@@ -1,0 +1,62 @@
+// Ablation: the clean L2-only Skellam RDP bound of this paper (Theorem 4)
+// vs the L1-dependent bound of Agarwal et al. 2021, for the *same* integer
+// inputs. The L1 term matters when the noise parameter mu is small relative
+// to the L1 sensitivity (low-noise / high-dimension regimes); the table
+// prints the calibrated aggregate Skellam parameter under each bound.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "accounting/calibration.h"
+#include "accounting/mechanism_rdp.h"
+#include "bench_util.h"
+
+namespace smm::bench {
+namespace {
+
+void Run(Scale scale) {
+  (void)scale;
+  const double eps = 3.0, delta = 1e-5;
+  std::printf("Ablation: Theorem 4 (L2-only) vs Agarwal et al. (L1 + L2)\n");
+  std::printf("calibrated aggregate Skellam parameter mu = n*lambda at\n");
+  std::printf("eps=%g delta=%g, integer input with ||s||2^2 = 16\n\n", eps,
+              delta);
+  std::printf("%-12s%16s%16s%12s\n", "||s||_1", "mu (Thm 4)",
+              "mu (Agarwal)", "ratio");
+
+  for (double l1 : {4.0, 64.0, 1024.0, 16384.0, 262144.0}) {
+    // Theorem 4: L1-free. Calibrate via the Skellam noise curve.
+    accounting::CurveFactory ours = [](double mu) {
+      return accounting::SkellamNoiseRdpCurve(mu, 16.0, /*delta_inf=*/0.0);
+    };
+    auto ours_result = accounting::CalibrateRdpNoise(ours, 1.0, 1, eps,
+                                                     delta, 1e-9, 1e15);
+    accounting::CurveFactory theirs = [l1](double mu) {
+      return accounting::SkellamAgarwalRdpCurve(mu, 16.0, l1);
+    };
+    auto theirs_result = accounting::CalibrateRdpNoise(theirs, 1.0, 1, eps,
+                                                       delta, 1e-9, 1e15);
+    if (!ours_result.ok() || !theirs_result.ok()) {
+      std::printf("%-12g calibration failed\n", l1);
+      continue;
+    }
+    std::printf("%-12s%16s%16s%12.3f\n", FormatSci(l1).c_str(),
+                FormatSci(ours_result->noise_parameter).c_str(),
+                FormatSci(theirs_result->noise_parameter).c_str(),
+                theirs_result->noise_parameter /
+                    ours_result->noise_parameter);
+  }
+  std::printf(
+      "\nReading: Theorem 4's mu is independent of ||s||_1; the L1 term in\n"
+      "the Agarwal bound is negligible at large mu but its leading constant\n"
+      "differs — the clean bound is what makes the SMM mixture analysis\n"
+      "(Theorem 5) tractable.\n");
+}
+
+}  // namespace
+}  // namespace smm::bench
+
+int main(int argc, char** argv) {
+  smm::bench::Run(smm::bench::ParseScale(argc, argv));
+  return 0;
+}

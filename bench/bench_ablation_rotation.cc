@@ -1,0 +1,99 @@
+// Ablation: the Walsh-Hadamard random rotation (Line 1 of Algorithm 4).
+// For concentrated ("spiky") inputs, skipping the rotation places the whole
+// signal mass on a few coordinates; the per-coordinate sum then exceeds the
+// centered range [-m/2, m/2) and wraps, destroying the estimate. The table
+// reports per-dimension MSE and wrap-around counts with and without the
+// rotation, for spiky vs already-flat inputs.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "accounting/calibration.h"
+#include "accounting/mechanism_rdp.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "mechanisms/distributed_mechanism.h"
+#include "mechanisms/smm_mechanism.h"
+#include "secagg/secure_aggregator.h"
+
+namespace smm::bench {
+namespace {
+
+double RunOnce(const std::vector<std::vector<double>>& inputs,
+               bool apply_rotation, uint64_t modulus, double gamma,
+               int64_t* overflows, RandomGenerator& rng) {
+  const size_t d = inputs[0].size();
+  const double c = gamma * gamma;
+  auto calib = accounting::CalibrateSmm(c, 1.0, 1, 3.0, 1e-5);
+  if (!calib.ok()) return -1.0;
+  mechanisms::SmmMechanism::Options o;
+  o.dim = d;
+  o.gamma = gamma;
+  o.c = c;
+  o.delta_inf = accounting::SmmMaxDeltaInf(calib->noise_parameter,
+                                           calib->guarantee.best_alpha);
+  o.lambda = calib->noise_parameter / static_cast<double>(inputs.size());
+  o.modulus = modulus;
+  o.rotation_seed = 5;
+  o.apply_rotation = apply_rotation;
+  auto mech = mechanisms::SmmMechanism::Create(o);
+  if (!mech.ok()) return -1.0;
+  secagg::IdealAggregator agg;
+  auto estimate = mechanisms::RunDistributedSum(**mech, agg, inputs, rng);
+  if (!estimate.ok()) return -1.0;
+  *overflows = (*mech)->overflow_count();
+  return mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
+}
+
+void Run(Scale scale) {
+  const size_t d = scale == Scale::kFull ? 65536 : 4096;
+  const int n = 50;
+  const double gamma = 64.0;
+  const uint64_t m = 1 << 10;
+
+  std::printf("Ablation: random rotation vs modular overflow\n");
+  std::printf("n=%d d=%zu gamma=%g m=2^10 eps=3\n\n", n, d, gamma);
+
+  RandomGenerator data_rng(2024);
+  // Flat inputs: uniform sphere points (every coordinate ~ 1/sqrt(d)).
+  const auto flat = data::SampleSphereDataset(n, d, 1.0, data_rng);
+  // Spiky inputs: all participants share one heavy coordinate.
+  std::vector<std::vector<double>> spiky(n, std::vector<double>(d, 0.0));
+  for (auto& x : spiky) {
+    x[3] = 0.9;
+    x[100] = std::sqrt(1.0 - 0.9 * 0.9);  // Unit norm, two heavy coords.
+  }
+
+  struct Case {
+    const char* name;
+    const std::vector<std::vector<double>>* inputs;
+    bool rotate;
+  };
+  const Case cases[] = {
+      {"flat / rotation", &flat, true},
+      {"flat / no rotation", &flat, false},
+      {"spiky / rotation", &spiky, true},
+      {"spiky / no rotation", &spiky, false},
+  };
+  std::printf("%-24s%14s%14s\n", "setting", "mse", "wraps");
+  for (const Case& c : cases) {
+    int64_t overflows = 0;
+    RandomGenerator rng(11);
+    const double mse = RunOnce(*c.inputs, c.rotate, m, gamma, &overflows,
+                               rng);
+    std::printf("%-24s%14s%14lld\n", c.name, FormatSci(mse).c_str(),
+                static_cast<long long>(overflows));
+  }
+  std::printf(
+      "\nReading: without the rotation, correlated spiky inputs wrap in the\n"
+      "modular sum and the estimate collapses; the rotation flattens them.\n");
+}
+
+}  // namespace
+}  // namespace smm::bench
+
+int main(int argc, char** argv) {
+  smm::bench::Run(smm::bench::ParseScale(argc, argv));
+  return 0;
+}

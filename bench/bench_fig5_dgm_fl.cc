@@ -1,0 +1,109 @@
+// Reproduces Figure 5 (Appendix B.3): federated learning comparing SMM and
+// DGM at communication constraints m in {2^6, 2^8, 2^10} (gamma in
+// {16, 64, 256}) on both synthetic tasks, with DPSGD as the ceiling.
+//
+// Expected shape (paper): DGM is comparable to SMM except at the smallest
+// bandwidth / strongest privacy, where the summed-discrete-Gaussian
+// divergence and overflow hurt DGM.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "fl_experiment.h"
+
+namespace smm::bench {
+namespace {
+
+void RunTask(const char* task_name, const data::SyntheticSplit& split,
+             const FlScaleParams& params, Scale scale) {
+  const std::vector<double> epsilons =
+      scale == Scale::kFast   ? std::vector<double>{3.0}
+      : scale == Scale::kFull ? std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0}
+                              : std::vector<double>{1.0, 3.0, 5.0};
+  struct Setting {
+    int log2_m;
+    double gamma;
+  };
+  const std::vector<Setting> settings = scale == Scale::kFast
+                                            ? std::vector<Setting>{{8, 64.0}}
+                                            : std::vector<Setting>{
+                                                  {6, 16.0},
+                                                  {8, 64.0},
+                                                  {10, 256.0}};
+
+  std::printf("--- Figure 5 (%s): accuracy%% vs eps ---\n", task_name);
+  std::vector<std::string> heads;
+  for (double e : epsilons) heads.push_back(FormatSci(e));
+  PrintRow("method \\ eps", heads, 18, 10);
+
+  auto run = [&](fl::MechanismKind kind, double eps, const Setting& s) {
+    fl::FlConfig c;
+    c.mechanism = kind;
+    c.epsilon = eps;
+    c.delta = 1e-5;
+    c.gamma = s.gamma;
+    c.modulus = 1ULL << s.log2_m;
+    c.rounds = params.rounds;
+    c.seed = 17 + static_cast<uint64_t>(eps * 31) +
+             static_cast<uint64_t>(s.log2_m);
+    return RunFlExperiment(split, params, c);
+  };
+
+  {
+    std::vector<std::string> cells;
+    for (double eps : epsilons) {
+      const double acc =
+          run(fl::MechanismKind::kCentralDpSgd, eps, {30, 1.0});
+      cells.push_back(acc < 0 ? "n/a" : FormatPct(acc));
+    }
+    PrintRow("DPSGD", cells, 18, 10);
+  }
+  for (const Setting& s : settings) {
+    for (fl::MechanismKind kind :
+         {fl::MechanismKind::kSmm, fl::MechanismKind::kDgm}) {
+      std::vector<std::string> cells;
+      for (double eps : epsilons) {
+        const double acc = run(kind, eps, s);
+        cells.push_back(acc < 0 ? "n/a" : FormatPct(acc));
+      }
+      char label[32];
+      std::snprintf(label, sizeof(label), "%s %d bits",
+                    fl::MechanismKindName(kind), s.log2_m);
+      PrintRow(label, cells, 18, 10);
+    }
+  }
+  std::printf("\n");
+}
+
+void Run(Scale scale) {
+  FlScaleParams params = GetFlScale(scale);
+  std::printf("Figure 5: SMM vs DGM federated learning, test accuracy%%\n");
+  std::printf("scale=%s  rounds=%d  |B|=%d  delta=1e-5\n\n",
+              ScaleName(scale), params.rounds, params.batch);
+
+  for (const auto& [name, options] :
+       {std::pair<const char*, data::SyntheticImageOptions>{
+            "MNIST-like", data::MnistLikeOptions()},
+        std::pair<const char*, data::SyntheticImageOptions>{
+            "Fashion-like", data::FashionLikeOptions()}}) {
+    data::SyntheticImageOptions data_options = options;
+    data_options.num_train = params.num_train;
+    data_options.num_test = params.num_test;
+    data_options.feature_dim = params.feature_dim;
+    auto split = data::MakeSyntheticImages(data_options);
+    if (!split.ok()) {
+      std::printf("data generation failed\n");
+      continue;
+    }
+    RunTask(name, *split, params, scale);
+  }
+}
+
+}  // namespace
+}  // namespace smm::bench
+
+int main(int argc, char** argv) {
+  smm::bench::Run(smm::bench::ParseScale(argc, argv));
+  return 0;
+}

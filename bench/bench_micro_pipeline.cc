@@ -1,0 +1,86 @@
+// Microbenchmarks for the hot paths of the mechanism pipeline: the fast
+// Walsh-Hadamard transform, the Algorithm 5 clip, and full participant
+// encodes for SMM and DDG. Useful for regressions; not tied to a paper
+// table.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "mechanisms/baseline_mechanisms.h"
+#include "mechanisms/clipping.h"
+#include "mechanisms/smm_mechanism.h"
+#include "transform/walsh_hadamard.h"
+
+namespace smm {
+namespace {
+
+void BM_WalshHadamard(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  RandomGenerator rng(1);
+  std::vector<double> v(d);
+  for (double& x : v) x = rng.Gaussian(0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transform::FastWalshHadamard(v));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(d));
+}
+BENCHMARK(BM_WalshHadamard)->Arg(1024)->Arg(4096)->Arg(65536);
+
+void BM_SmmClip(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  RandomGenerator rng(2);
+  std::vector<double> g(d);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (double& x : g) x = rng.Gaussian(0.0, 1.0);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(mechanisms::SmmClip(g, 64.0, 8.0));
+  }
+}
+BENCHMARK(BM_SmmClip)->Arg(1024)->Arg(4096);
+
+void BM_SmmEncode(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  mechanisms::SmmMechanism::Options o;
+  o.dim = d;
+  o.gamma = 64.0;
+  o.c = 4096.0;
+  o.delta_inf = 64.0;
+  o.lambda = 2.0;
+  o.modulus = 256;
+  auto mech = mechanisms::SmmMechanism::Create(o).value();
+  RandomGenerator rng(3);
+  std::vector<double> x(d);
+  for (double& v : x) v = rng.Gaussian(0.0, 0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mech->EncodeParticipant(x, rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(d));
+}
+BENCHMARK(BM_SmmEncode)->Arg(1024)->Arg(4096);
+
+void BM_DdgEncode(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  mechanisms::DdgMechanism::Options o;
+  o.dim = d;
+  o.gamma = 64.0;
+  o.l2_bound = 1.0;
+  o.sigma = 2.0;
+  o.modulus = 256;
+  auto mech = mechanisms::DdgMechanism::Create(o).value();
+  RandomGenerator rng(4);
+  std::vector<double> x(d);
+  for (double& v : x) v = rng.Gaussian(0.0, 0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mech->EncodeParticipant(x, rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(d));
+}
+BENCHMARK(BM_DdgEncode)->Arg(1024)->Arg(4096);
+
+}  // namespace
+}  // namespace smm
+
+BENCHMARK_MAIN();

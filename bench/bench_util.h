@@ -1,0 +1,67 @@
+#ifndef SMM_BENCH_BENCH_UTIL_H_
+#define SMM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace smm::bench {
+
+/// Experiment scale shared by the figure harnesses. The default fits the
+/// whole bench suite in minutes on a laptop while preserving every ratio the
+/// paper's phenomena depend on; --full (or SMM_FULL_SCALE=1) restores the
+/// paper's dimensions; --fast is a seconds-scale smoke run.
+enum class Scale { kFast, kDefault, kFull };
+
+inline Scale ParseScale(int argc, char** argv) {
+  const char* env = std::getenv("SMM_FULL_SCALE");
+  if (env != nullptr && std::strcmp(env, "1") == 0) return Scale::kFull;
+  const char* fast_env = std::getenv("SMM_FAST");
+  if (fast_env != nullptr && std::strcmp(fast_env, "1") == 0) {
+    return Scale::kFast;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) return Scale::kFull;
+    if (std::strcmp(argv[i], "--fast") == 0) return Scale::kFast;
+  }
+  return Scale::kDefault;
+}
+
+inline const char* ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kFast:
+      return "fast";
+    case Scale::kDefault:
+      return "default (reduced; pass --full for paper scale)";
+    case Scale::kFull:
+      return "full (paper scale)";
+  }
+  return "?";
+}
+
+/// Prints a row of right-aligned cells after a left-aligned label.
+inline void PrintRow(const std::string& label,
+                     const std::vector<std::string>& cells, int label_width,
+                     int cell_width) {
+  std::printf("%-*s", label_width, label.c_str());
+  for (const auto& cell : cells) std::printf("%*s", cell_width, cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string FormatSci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
+}
+
+inline std::string FormatPct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", 100.0 * v);
+  return buf;
+}
+
+}  // namespace smm::bench
+
+#endif  // SMM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,168 @@
+#ifndef SMM_BENCH_FL_EXPERIMENT_H_
+#define SMM_BENCH_FL_EXPERIMENT_H_
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "fl/fl_config.h"
+#include "fl/trainer.h"
+#include "nn/mlp.h"
+
+namespace smm::bench {
+
+/// Scaled FL experiment parameters (Section 6.2). Full scale matches the
+/// paper: 784-dim input, hidden width 80 (d = 63,610 -> padded 65,536),
+/// 60,000 one-record participants, 4 epochs. The default shrinks the model
+/// and round count so the whole sweep fits in minutes while keeping the
+/// gamma^2-vs-m and noise-vs-m ratios that drive the figures.
+struct FlScaleParams {
+  int feature_dim;
+  int hidden;
+  int num_train;
+  int num_test;
+  int batch;
+  int rounds;
+  double lr;
+};
+
+inline FlScaleParams GetFlScale(Scale scale) {
+  switch (scale) {
+    case Scale::kFull:
+      return {784, 80, 60000, 10000, 240, 1000, 0.005};
+    case Scale::kDefault:
+      // Matches the paper's operating ratios: q = B/n = 0.008 (paper 0.004)
+      // keeps the per-round noise within the modulus; B = 64 keeps the
+      // aggregate signal-plus-noise comparable to m/2, which is what drives
+      // the DDG/Skellam wrap-around collapse at small m that SMM avoids.
+      return {64, 32, 8000, 500, 64, 80, 0.015};
+    case Scale::kFast:
+      return {32, 16, 400, 200, 24, 40, 0.02};
+  }
+  return {64, 32, 8000, 500, 64, 80, 0.015};
+}
+
+/// Runs one FL training and returns final test accuracy; negative on error.
+inline double RunFlExperiment(const data::SyntheticSplit& split,
+                              const FlScaleParams& params,
+                              fl::FlConfig config) {
+  nn::Mlp::Options model_options;
+  model_options.input_dim = params.feature_dim;
+  model_options.hidden_dims = {params.hidden};
+  model_options.num_classes = split.train.num_classes;
+  model_options.init_seed = 31;
+  auto model = nn::Mlp::Create(model_options);
+  if (!model.ok()) return -1.0;
+  config.expected_batch_size = params.batch;
+  config.learning_rate = params.lr;
+  config.eval_every = 0;  // Final evaluation only.
+  auto trainer = fl::FederatedTrainer::Create(std::move(*model), split.train,
+                                              split.test, config);
+  if (!trainer.ok()) return -1.0;
+  auto result = (*trainer)->Train();
+  if (!result.ok()) return -1.0;
+  return result->final_accuracy;
+}
+
+/// Prints the three sweeps of one Figure-2/3 row for a given modulus m:
+/// varying epsilon, varying batch size |B|, varying gamma — for the listed
+/// mechanisms.
+inline void RunFigureSweeps(const data::SyntheticSplit& split,
+                            const FlScaleParams& params, int log2_m,
+                            double gamma_default, Scale scale,
+                            const std::vector<fl::MechanismKind>& methods) {
+  const uint64_t m = 1ULL << log2_m;
+  const std::vector<double> epsilons =
+      scale == Scale::kFast   ? std::vector<double>{3.0}
+      : scale == Scale::kFull ? std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0}
+                              : std::vector<double>{1.0, 3.0, 5.0};
+  const std::vector<int> batches =
+      scale == Scale::kFull
+          ? std::vector<int>{120, 240, 480, 960}
+          : std::vector<int>{params.batch / 2, params.batch,
+                             params.batch * 2};
+  std::vector<double> gammas;
+  for (double g = static_cast<double>(m) / 32.0;
+       g <= static_cast<double>(m) && gammas.size() < 6; g *= 2.0) {
+    gammas.push_back(g);
+  }
+  if (scale != Scale::kFull && gammas.size() > 3) {
+    gammas.erase(gammas.begin(), gammas.end() - 3);
+  }
+
+  auto run_cell = [&](fl::MechanismKind kind, double eps, int batch,
+                      double gamma) {
+    fl::FlConfig c;
+    c.mechanism = kind;
+    c.epsilon = eps;
+    c.delta = 1e-5;
+    c.gamma = gamma;
+    c.modulus = m;
+    c.rounds = params.rounds;
+    c.seed = 7 + static_cast<uint64_t>(eps * 100) + static_cast<uint64_t>(batch);
+    FlScaleParams p = params;
+    p.batch = batch;
+    return RunFlExperiment(split, p, c);
+  };
+
+  // Sweep 1: epsilon at fixed gamma and batch.
+  std::printf("  m=2^%d, gamma=%g, |B|=%d: accuracy%% vs eps\n", log2_m,
+              gamma_default, params.batch);
+  {
+    std::vector<std::string> heads;
+    for (double e : epsilons) heads.push_back(FormatSci(e));
+    PrintRow("  method\\eps", heads, 14, 10);
+    for (fl::MechanismKind kind : methods) {
+      std::vector<std::string> cells;
+      for (double eps : epsilons) {
+        const double acc = run_cell(kind, eps, params.batch, gamma_default);
+        cells.push_back(acc < 0.0 ? "n/a" : FormatPct(acc));
+      }
+      PrintRow(std::string("  ") + fl::MechanismKindName(kind), cells, 14,
+               10);
+    }
+  }
+  if (scale == Scale::kFast) return;
+
+  // Sweep 2: batch size at eps = 3.
+  std::printf("  m=2^%d, gamma=%g, eps=3: accuracy%% vs |B|\n", log2_m,
+              gamma_default);
+  {
+    std::vector<std::string> heads;
+    for (int b : batches) heads.push_back(std::to_string(b));
+    PrintRow("  method\\|B|", heads, 14, 10);
+    for (fl::MechanismKind kind : methods) {
+      std::vector<std::string> cells;
+      for (int b : batches) {
+        const double acc = run_cell(kind, 3.0, b, gamma_default);
+        cells.push_back(acc < 0.0 ? "n/a" : FormatPct(acc));
+      }
+      PrintRow(std::string("  ") + fl::MechanismKindName(kind), cells, 14,
+               10);
+    }
+  }
+
+  // Sweep 3: gamma at eps = 3.
+  std::printf("  m=2^%d, |B|=%d, eps=3: accuracy%% vs gamma\n", log2_m,
+              params.batch);
+  {
+    std::vector<std::string> heads;
+    for (double g : gammas) heads.push_back(FormatSci(g));
+    PrintRow("  method\\gam", heads, 14, 10);
+    for (fl::MechanismKind kind : methods) {
+      std::vector<std::string> cells;
+      for (double g : gammas) {
+        const double acc = run_cell(kind, 3.0, params.batch, g);
+        cells.push_back(acc < 0.0 ? "n/a" : FormatPct(acc));
+      }
+      PrintRow(std::string("  ") + fl::MechanismKindName(kind), cells, 14,
+               10);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace smm::bench
+
+#endif  // SMM_BENCH_FL_EXPERIMENT_H_

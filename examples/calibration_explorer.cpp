@@ -1,0 +1,59 @@
+// Calibration explorer: prints, for a grid of privacy budgets, the noise
+// each mechanism must inject for one release of a d-dimensional sum with
+// unit L2 sensitivity at scale gamma — the numbers behind Figure 1, usable
+// as a planning tool ("how much bandwidth do I need before DDG becomes
+// competitive with SMM?").
+//
+// Usage: ./build/examples/calibration_explorer [gamma] [d]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "accounting/calibration.h"
+#include "accounting/mechanism_rdp.h"
+#include "mechanisms/conditional_rounding.h"
+
+int main(int argc, char** argv) {
+  const double gamma = argc > 1 ? std::atof(argv[1]) : 16.0;
+  const int d = argc > 2 ? std::atoi(argv[2]) : 4096;
+  const int n = 100;
+  const double delta = 1e-5;
+
+  const double c = gamma * gamma;  // SMM mixed-sensitivity clip.
+  const double cond_bound = smm::mechanisms::ConditionalRoundingNormBound(
+      gamma, 1.0, static_cast<size_t>(d), std::exp(-0.5));
+  const double cond_l2sq = cond_bound * cond_bound;
+  const double cond_l1 = std::min(std::sqrt(static_cast<double>(d)) *
+                                      cond_bound,
+                                  cond_l2sq);
+
+  std::printf("Noise calibration for one d=%d sum release, gamma=%g, "
+              "n=%d, delta=%g\n", d, gamma, n, delta);
+  std::printf("SMM sensitivity c = %.0f; conditional-rounding L2^2 = %.0f "
+              "(the d/4 overhead = %.0f)\n\n", c, cond_l2sq, d / 4.0);
+  std::printf("%-8s%18s%18s%16s%14s\n", "eps", "SMM noise var",
+              "DDG noise var", "Skellam var", "DDG/SMM");
+
+  for (double eps : {0.5, 1.0, 2.0, 3.0, 5.0, 10.0}) {
+    auto smm_result = smm::accounting::CalibrateSmm(c, 1.0, 1, eps, delta);
+    auto ddg_result = smm::accounting::CalibrateDdg(n, cond_l2sq, cond_l1, d,
+                                                    1.0, 1, eps, delta);
+    auto agarwal_result = smm::accounting::CalibrateSkellamAgarwal(
+        cond_l2sq, cond_l1, 1.0, 1, eps, delta);
+    if (!smm_result.ok() || !ddg_result.ok() || !agarwal_result.ok()) {
+      std::printf("%-8g calibration failed\n", eps);
+      continue;
+    }
+    const double smm_var = 2.0 * smm_result->noise_parameter;
+    const double ddg_var = n * ddg_result->noise_parameter *
+                           ddg_result->noise_parameter;
+    const double agarwal_var = 2.0 * agarwal_result->noise_parameter;
+    std::printf("%-8g%18.1f%18.1f%16.1f%14.1f\n", eps, smm_var, ddg_var,
+                agarwal_var, ddg_var / smm_var);
+  }
+  std::printf(
+      "\nThe DDG/SMM column is the variance penalty conditional rounding\n"
+      "pays at this (gamma, d); it collapses toward ~1 as gamma^2 grows\n"
+      "past d/4 — the crossover visible across Figure 1's panels.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// End-to-end federated learning with differential privacy (Algorithm 3).
+//
+// Trains the paper's MLP architecture (scaled down) on the synthetic
+// MNIST-like task under three regimes — non-private, central DPSGD, and
+// SMM over secure aggregation at a one-byte-per-parameter communication
+// budget (m = 2^8) — and prints the accuracy trajectory of each.
+//
+// Build & run:  ./build/examples/federated_training
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "fl/fl_config.h"
+#include "fl/trainer.h"
+#include "nn/mlp.h"
+
+namespace {
+
+smm::StatusOr<smm::fl::TrainingResult> TrainWith(
+    smm::fl::MechanismKind mechanism, const smm::data::SyntheticSplit& split) {
+  smm::nn::Mlp::Options model_options;
+  model_options.input_dim = split.train.feature_dim;
+  model_options.hidden_dims = {32};
+  model_options.num_classes = split.train.num_classes;
+  model_options.init_seed = 3;
+  SMM_ASSIGN_OR_RETURN(auto model, smm::nn::Mlp::Create(model_options));
+
+  smm::fl::FlConfig config;
+  config.mechanism = mechanism;
+  config.epsilon = 3.0;
+  config.delta = 1e-5;
+  config.expected_batch_size = 32;
+  config.rounds = 150;
+  config.gamma = 64.0;
+  config.modulus = 1 << 8;  // One byte per model parameter.
+  config.learning_rate = 0.01;
+  config.eval_every = 30;
+  config.seed = 11;
+
+  SMM_ASSIGN_OR_RETURN(auto trainer,
+                       smm::fl::FederatedTrainer::Create(
+                           std::move(model), split.train, split.test,
+                           config));
+  return trainer->Train();
+}
+
+}  // namespace
+
+int main() {
+  smm::data::SyntheticImageOptions data_options =
+      smm::data::MnistLikeOptions();
+  data_options.num_train = 1500;
+  data_options.num_test = 500;
+  data_options.feature_dim = 64;
+  auto split = smm::data::MakeSyntheticImages(data_options);
+  if (!split.ok()) {
+    std::printf("data generation failed: %s\n",
+                split.status().ToString().c_str());
+    return 1;
+  }
+
+  const smm::fl::MechanismKind regimes[] = {
+      smm::fl::MechanismKind::kNonPrivate,
+      smm::fl::MechanismKind::kCentralDpSgd,
+      smm::fl::MechanismKind::kSmm,
+  };
+
+  for (smm::fl::MechanismKind kind : regimes) {
+    std::printf("=== %s ===\n", smm::fl::MechanismKindName(kind));
+    auto result = TrainWith(kind, *split);
+    if (!result.ok()) {
+      std::printf("  training failed: %s\n",
+                  result.status().ToString().c_str());
+      continue;
+    }
+    if (kind != smm::fl::MechanismKind::kNonPrivate) {
+      std::printf("  noise parameter: %.4f   achieved epsilon: %.3f\n",
+                  result->noise_parameter, result->guarantee.epsilon);
+    }
+    for (const auto& record : result->history) {
+      std::printf("  round %4d  train loss %.3f  test accuracy %.1f%%\n",
+                  record.round, record.train_loss,
+                  100.0 * record.test_accuracy);
+    }
+    std::printf("  final accuracy: %.1f%%  (modular wraps: %lld)\n\n",
+                100.0 * result->final_accuracy,
+                static_cast<long long>(result->total_overflows));
+  }
+  std::printf(
+      "Expected: SMM tracks DPSGD within a few points at epsilon = 3 with\n"
+      "one byte of communication per parameter (Figure 2(d) regime).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "accounting/binomial_accountant.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smm::accounting {
+
+StatusOr<double> BinomialMechanismEpsilon(const BinomialMechanismParams& p,
+                                          double delta) {
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return InvalidArgumentError("delta must be in (0, 1)");
+  }
+  if (!(p.total_trials > 0.0)) {
+    return InvalidArgumentError("total_trials must be > 0");
+  }
+  const double sigma2 = p.total_trials / 4.0;  // Np(1-p) with p = 1/2.
+  const double d = static_cast<double>(std::max(1, p.dimension));
+  const double precondition =
+      std::max(23.0 * std::log(10.0 * d / delta), 2.0 * p.linf);
+  if (sigma2 < precondition) {
+    return FailedPreconditionError(
+        "binomial variance below cpSGD Theorem 1 precondition");
+  }
+  const double sigma = std::sqrt(sigma2);
+  const double log_125 = std::log(1.25 / delta);
+  const double log_10 = std::log(10.0 / delta);
+  const double log_20d = std::log(20.0 * d / delta);
+  // Main Gaussian-approximation term.
+  const double main_term = p.l2 * std::sqrt(2.0 * log_125) / sigma;
+  // L1/L2 correction (cpSGD's b_{p,delta}, c_{p,delta} structure).
+  const double corr_l1 =
+      (p.l1 + p.l2 * std::sqrt(log_10)) * 2.0 / (sigma2 * (1.0 - delta / 10.0));
+  // Linf corrections.
+  const double corr_linf = (2.0 / 3.0) * p.linf * log_125 / sigma2 +
+                           p.linf * std::sqrt(2.0 * log_10) * log_20d / sigma2;
+  return main_term + corr_l1 + corr_linf;
+}
+
+double ComposeLinear(double eps_step, int steps) {
+  return eps_step * static_cast<double>(steps);
+}
+
+double ComposeAdvanced(double eps_step, int steps, double delta_slack) {
+  const double t = static_cast<double>(steps);
+  return eps_step * std::sqrt(2.0 * t * std::log(1.0 / delta_slack)) +
+         t * eps_step * (std::exp(eps_step) - 1.0);
+}
+
+StatusOr<double> CpSgdEpsilon(const BinomialMechanismParams& per_step,
+                              int steps, double delta) {
+  if (steps < 1) return InvalidArgumentError("steps must be >= 1");
+  // Half the delta budget goes to the per-step guarantees, half to the
+  // advanced-composition slack.
+  const double delta_step = delta / (2.0 * static_cast<double>(steps));
+  SMM_ASSIGN_OR_RETURN(const double eps_step,
+                       BinomialMechanismEpsilon(per_step, delta_step));
+  const double linear = ComposeLinear(eps_step, steps);
+  const double advanced = ComposeAdvanced(eps_step, steps, delta / 2.0);
+  return std::min(linear, advanced);
+}
+
+StatusOr<double> CalibrateBinomialTrials(BinomialMechanismParams per_step,
+                                         int steps, double target_epsilon,
+                                         double delta,
+                                         double max_total_trials) {
+  if (!(target_epsilon > 0.0)) {
+    return InvalidArgumentError("target_epsilon must be > 0");
+  }
+  auto eps_at = [&](double trials) -> StatusOr<double> {
+    per_step.total_trials = trials;
+    return CpSgdEpsilon(per_step, steps, delta);
+  };
+  // Find an upper bracket by doubling.
+  double hi = 1024.0;
+  while (true) {
+    auto e = eps_at(hi);
+    if (e.ok() && *e <= target_epsilon) break;
+    hi *= 2.0;
+    if (hi > max_total_trials) {
+      return FailedPreconditionError(
+          "cannot reach target epsilon within max_total_trials");
+    }
+  }
+  double lo = hi / 2.0;
+  for (int it = 0; it < 80; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    auto e = eps_at(mid);
+    if (e.ok() && *e <= target_epsilon) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace smm::accounting

@@ -1,0 +1,60 @@
+#ifndef SMM_ACCOUNTING_BINOMIAL_ACCOUNTANT_H_
+#define SMM_ACCOUNTING_BINOMIAL_ACCOUNTANT_H_
+
+#include "common/status.h"
+
+namespace smm::accounting {
+
+/// (epsilon, delta)-DP accounting for the binomial mechanism of cpSGD
+/// (Agarwal et al. 2018). The aggregate noise over n participants each
+/// adding Binomial(N, 1/2) - N/2 is Binomial(nN, 1/2) - nN/2 with variance
+/// sigma^2 = nN/4.
+///
+/// The epsilon follows the structure of cpSGD Theorem 1 (Gaussian-like main
+/// term plus L1/Linf correction terms that decay as 1/sigma^2); constants
+/// are transcribed in simplified form — in every regime the paper evaluates,
+/// the correction terms (driven by the stochastically-rounded L1 sensitivity
+/// ~ sqrt(d) * L2) dominate and render cpSGD unusable, which is exactly the
+/// paper's finding (error > 1e4 in Fig. 1, accuracy < 20% in Figs. 2-3).
+struct BinomialMechanismParams {
+  double total_trials = 0.0;  ///< n * N: total Bernoulli trials in the sum.
+  double l2 = 0.0;            ///< L2 sensitivity of the integer input.
+  double l1 = 0.0;            ///< L1 sensitivity.
+  double linf = 0.0;          ///< Linf sensitivity.
+  int dimension = 1;          ///< d, enters the high-probability union bound.
+};
+
+/// Epsilon of a single binomial-mechanism release at the given delta.
+/// Fails if the variance is too small for the theorem's preconditions
+/// (sigma^2 >= max(23 log(10 d / delta), 2 linf)).
+StatusOr<double> BinomialMechanismEpsilon(const BinomialMechanismParams& p,
+                                          double delta);
+
+/// Linear composition: epsilon scales by `steps`, delta budget split evenly.
+double ComposeLinear(double eps_step, int steps);
+
+/// Advanced composition (Dwork & Roth Thm 3.20): for `steps` mechanisms each
+/// (eps, delta_step)-DP, the composition is (eps', steps*delta_step +
+/// delta_slack)-DP with
+///   eps' = eps sqrt(2 steps log(1/delta_slack)) + steps eps (e^eps - 1).
+double ComposeAdvanced(double eps_step, int steps, double delta_slack);
+
+/// cpSGD end-to-end epsilon for T iterations: per-step binomial epsilon at
+/// delta/(2T), composed linearly and by advanced composition (delta_slack =
+/// delta/2), returning the smaller — "we apply both linear composition and
+/// advanced composition ... and choose the stronger guarantee" (Section 6).
+StatusOr<double> CpSgdEpsilon(const BinomialMechanismParams& per_step,
+                              int steps, double delta);
+
+/// Calibrates the per-participant trial count N (via total_trials) so that
+/// CpSgdEpsilon <= target_epsilon, by doubling + binary search. Returns the
+/// smallest feasible total_trials, or an error if even `max_total_trials`
+/// cannot reach the target.
+StatusOr<double> CalibrateBinomialTrials(BinomialMechanismParams per_step,
+                                         int steps, double target_epsilon,
+                                         double delta,
+                                         double max_total_trials = 1e18);
+
+}  // namespace smm::accounting
+
+#endif  // SMM_ACCOUNTING_BINOMIAL_ACCOUNTANT_H_

@@ -1,0 +1,109 @@
+#include "accounting/calibration.h"
+
+#include <cmath>
+
+#include "accounting/mechanism_rdp.h"
+
+namespace smm::accounting {
+
+StatusOr<CalibrationResult> CalibrateRdpNoise(const CurveFactory& factory,
+                                              double q, int steps,
+                                              double target_epsilon,
+                                              double delta, double param_lo,
+                                              double param_hi,
+                                              const AccountantOptions& options) {
+  if (!(target_epsilon > 0.0)) {
+    return InvalidArgumentError("target_epsilon must be > 0");
+  }
+  if (!(param_lo > 0.0 && param_hi > param_lo)) {
+    return InvalidArgumentError("need 0 < param_lo < param_hi");
+  }
+  auto epsilon_at = [&](double p) -> StatusOr<DpGuarantee> {
+    return ComputeDpEpsilon(factory(p), q, steps, delta, options);
+  };
+  SMM_ASSIGN_OR_RETURN(DpGuarantee at_hi, epsilon_at(param_hi));
+  if (at_hi.epsilon > target_epsilon) {
+    return FailedPreconditionError(
+        "param_hi does not reach the target epsilon; widen the bracket");
+  }
+  // If even the smallest parameter meets the target, return it.
+  {
+    auto at_lo = epsilon_at(param_lo);
+    if (at_lo.ok() && at_lo->epsilon <= target_epsilon) {
+      return CalibrationResult{param_lo, *at_lo};
+    }
+  }
+  double lo = param_lo, hi = param_hi;
+  DpGuarantee best = at_hi;
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    auto g = epsilon_at(mid);
+    if (g.ok() && g->epsilon <= target_epsilon) {
+      hi = mid;
+      best = *g;
+    } else {
+      lo = mid;
+    }
+  }
+  return CalibrationResult{hi, best};
+}
+
+StatusOr<CalibrationResult> CalibrateSmm(double c, double q, int steps,
+                                         double target_epsilon,
+                                         double delta) {
+  // Parameter: aggregate n*lambda. The Eq. (3) Linf constraint is enforced
+  // downstream by clipping to SmmMaxDeltaInf, so the curve is calibrated
+  // with the constraint vacuous (delta_inf = 0).
+  CurveFactory factory = [c](double n_lambda) {
+    return SmmRdpCurve(n_lambda, c, /*delta_inf=*/0.0);
+  };
+  return CalibrateRdpNoise(factory, q, steps, target_epsilon, delta,
+                           /*param_lo=*/1e-9, /*param_hi=*/1e15);
+}
+
+StatusOr<CalibrationResult> CalibrateGaussian(double sensitivity_l2, double q,
+                                              int steps,
+                                              double target_epsilon,
+                                              double delta) {
+  CurveFactory factory = [=](double sigma) {
+    return GaussianRdpCurve(sensitivity_l2, sigma);
+  };
+  return CalibrateRdpNoise(factory, q, steps, target_epsilon, delta,
+                           /*param_lo=*/1e-9, /*param_hi=*/1e12);
+}
+
+StatusOr<CalibrationResult> CalibrateDdg(int n, double l2_squared, double l1,
+                                         int d, double q, int steps,
+                                         double target_epsilon,
+                                         double delta) {
+  CurveFactory factory = [=](double sigma) {
+    return DdgRdpCurve(n, sigma, l2_squared, l1, d);
+  };
+  return CalibrateRdpNoise(factory, q, steps, target_epsilon, delta,
+                           /*param_lo=*/1e-6, /*param_hi=*/1e12);
+}
+
+StatusOr<CalibrationResult> CalibrateSkellamAgarwal(double l2_squared,
+                                                    double l1, double q,
+                                                    int steps,
+                                                    double target_epsilon,
+                                                    double delta) {
+  CurveFactory factory = [=](double mu) {
+    return SkellamAgarwalRdpCurve(mu, l2_squared, l1);
+  };
+  return CalibrateRdpNoise(factory, q, steps, target_epsilon, delta,
+                           /*param_lo=*/1e-9, /*param_hi=*/1e15);
+}
+
+StatusOr<CalibrationResult> CalibrateDgm(int n, double c, double l1, int d,
+                                         double delta_inf, double q,
+                                         int steps, double target_epsilon,
+                                         double delta) {
+  CurveFactory factory = [=](double sigma) {
+    return DgmRdpCurve(n, sigma, c, l1, d, delta_inf);
+  };
+  return CalibrateRdpNoise(factory, q, steps, target_epsilon, delta,
+                           /*param_lo=*/1e-6, /*param_hi=*/1e12);
+}
+
+}  // namespace smm::accounting

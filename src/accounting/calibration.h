@@ -1,0 +1,72 @@
+#ifndef SMM_ACCOUNTING_CALIBRATION_H_
+#define SMM_ACCOUNTING_CALIBRATION_H_
+
+#include <functional>
+
+#include "accounting/rdp_accountant.h"
+#include "common/status.h"
+
+namespace smm::accounting {
+
+/// Result of calibrating a noise parameter against a target (epsilon, delta).
+struct CalibrationResult {
+  /// The calibrated parameter (meaning depends on the mechanism: the
+  /// aggregate Skellam parameter n*lambda, a discrete/continuous Gaussian
+  /// sigma, ...).
+  double noise_parameter = 0.0;
+  /// The guarantee actually achieved at that parameter (epsilon <= target).
+  DpGuarantee guarantee;
+};
+
+/// Produces the RDP curve of a mechanism at a given noise parameter value.
+using CurveFactory = std::function<RdpCurve(double parameter)>;
+
+/// Finds the smallest noise parameter in [param_lo, param_hi] whose
+/// mechanism, run for `steps` Poisson-subsampled (rate q) invocations,
+/// satisfies (target_epsilon, delta)-DP. Assumes epsilon is non-increasing
+/// in the parameter (true for all curves in mechanism_rdp.h, where the
+/// parameter is the noise scale). Binary search with 60 iterations.
+StatusOr<CalibrationResult> CalibrateRdpNoise(
+    const CurveFactory& factory, double q, int steps, double target_epsilon,
+    double delta, double param_lo, double param_hi,
+    const AccountantOptions& options = {});
+
+/// Convenience wrappers for the experiment harnesses. Each returns the
+/// calibrated noise scale for one mechanism of Section 6.
+
+/// SMM (Corollary 1 / Theorem 6): returns the aggregate parameter n*lambda
+/// for mixed-sensitivity bound c. Divide by the (expected) participant count
+/// to get the per-participant lambda. The Linf feasibility bound is computed
+/// afterwards from Eq. (3) at the achieved alpha via SmmMaxDeltaInf.
+StatusOr<CalibrationResult> CalibrateSmm(double c, double q, int steps,
+                                         double target_epsilon, double delta);
+
+/// Continuous Gaussian / DPSGD: returns sigma for L2 sensitivity
+/// sensitivity_l2.
+StatusOr<CalibrationResult> CalibrateGaussian(double sensitivity_l2, double q,
+                                              int steps,
+                                              double target_epsilon,
+                                              double delta);
+
+/// Distributed discrete Gaussian (Kairouz et al.): returns the per-client
+/// sigma for n clients and the (conditionally rounded) sensitivities.
+StatusOr<CalibrationResult> CalibrateDdg(int n, double l2_squared, double l1,
+                                         int d, double q, int steps,
+                                         double target_epsilon, double delta);
+
+/// Skellam mechanism (Agarwal et al. 2021): returns the aggregate mu.
+StatusOr<CalibrationResult> CalibrateSkellamAgarwal(double l2_squared,
+                                                    double l1, double q,
+                                                    int steps,
+                                                    double target_epsilon,
+                                                    double delta);
+
+/// DGM (Appendix B): returns the per-client sigma.
+StatusOr<CalibrationResult> CalibrateDgm(int n, double c, double l1, int d,
+                                         double delta_inf, double q,
+                                         int steps, double target_epsilon,
+                                         double delta);
+
+}  // namespace smm::accounting
+
+#endif  // SMM_ACCOUNTING_CALIBRATION_H_

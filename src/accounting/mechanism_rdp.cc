@@ -1,0 +1,140 @@
+#include "accounting/mechanism_rdp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smm::accounting {
+
+RdpCurve SkellamNoiseRdpCurve(double lambda_total, double l2_squared,
+                              double delta_inf) {
+  return [=](int alpha) -> StatusOr<double> {
+    if (alpha < 2) return InvalidArgumentError("alpha must be >= 2");
+    if (!(lambda_total > 0.0)) {
+      return InvalidArgumentError("lambda_total must be > 0");
+    }
+    if (delta_inf > 0.0 &&
+        static_cast<double>(alpha) >= 2.0 * lambda_total / delta_inf + 1.0) {
+      return OutOfRangeError("Theorem 4 requires alpha < 2 lambda/Dinf + 1");
+    }
+    const double a = static_cast<double>(alpha);
+    return (1.09 * a + 0.91) / 2.0 * l2_squared / (2.0 * lambda_total);
+  };
+}
+
+RdpCurve SmmRdpCurve(double n_lambda, double c, double delta_inf) {
+  return [=](int alpha) -> StatusOr<double> {
+    if (alpha < 2) return InvalidArgumentError("alpha must be >= 2");
+    if (!(n_lambda > 0.0)) {
+      return InvalidArgumentError("n*lambda must be > 0");
+    }
+    const double a = static_cast<double>(alpha);
+    if (delta_inf > 0.0) {
+      if (a >= 2.0 * n_lambda / delta_inf + 1.0) {
+        return OutOfRangeError("Eq. (3): alpha < 2 n lambda / Dinf + 1");
+      }
+      const double quad = 10.9 * a * a - 1.8 * a - 9.1;
+      if (quad >= 4.0 * n_lambda / (delta_inf * delta_inf)) {
+        return OutOfRangeError(
+            "Eq. (3): 10.9 a^2 - 1.8 a - 9.1 < 4 n lambda / Dinf^2");
+      }
+    }
+    return (1.2 * a + 1.0) / 2.0 * c / (2.0 * n_lambda);
+  };
+}
+
+double SmmMaxDeltaInf(double n_lambda, int alpha) {
+  const double a = static_cast<double>(alpha);
+  // First constraint: Dinf < 2 n lambda / (alpha - 1).
+  const double bound1 = 2.0 * n_lambda / (a - 1.0);
+  // Second constraint: Dinf^2 < 4 n lambda / (10.9 a^2 - 1.8 a - 9.1)
+  // (vacuous when the quadratic is <= 0, i.e. alpha = 1).
+  const double quad = 10.9 * a * a - 1.8 * a - 9.1;
+  double bound2 = bound1;
+  if (quad > 0.0) bound2 = std::sqrt(4.0 * n_lambda / quad);
+  // Back off slightly so the strict inequalities hold.
+  return 0.999 * std::min(bound1, bound2);
+}
+
+double DdgTauN(int n, double sigma) {
+  // tau_n = 10 sum_{k=1}^{n-1} exp(-2 pi^2 sigma^2 k/(k+1)). The summand
+  // increases toward its limit exp(-2 pi^2 sigma^2), so no early exit; the
+  // direct sum is O(n) and n <= a few tens of thousands in our experiments.
+  const double two_pi2_sigma2 = 2.0 * M_PI * M_PI * sigma * sigma;
+  double sum = 0.0;
+  for (int k = 1; k <= n - 1; ++k) {
+    sum += std::exp(-two_pi2_sigma2 * static_cast<double>(k) /
+                    static_cast<double>(k + 1));
+  }
+  return 10.0 * sum;
+}
+
+RdpCurve DdgRdpCurve(int n, double sigma, double l2_squared, double l1,
+                     int d) {
+  const double tau_n = DdgTauN(n, sigma);
+  return [=](int alpha) -> StatusOr<double> {
+    if (alpha < 2) return InvalidArgumentError("alpha must be >= 2");
+    if (!(sigma > 0.0) || n < 1) {
+      return InvalidArgumentError("need sigma > 0 and n >= 1");
+    }
+    const double a = static_cast<double>(alpha);
+    const double nd = static_cast<double>(n);
+    const double base = a * l2_squared / (2.0 * nd * sigma * sigma);
+    const double corr1 = static_cast<double>(d) * tau_n;
+    const double corr2 = a * l1 * tau_n / (std::sqrt(nd) * sigma) +
+                         static_cast<double>(d) * tau_n * tau_n;
+    return base + std::min(corr1, corr2);
+  };
+}
+
+RdpCurve DgmRdpCurve(int n, double sigma, double c, double l1, int d,
+                     double delta_inf) {
+  const double tau_n = DdgTauN(n, sigma);
+  return [=](int alpha) -> StatusOr<double> {
+    if (alpha < 2) return InvalidArgumentError("alpha must be >= 2");
+    if (!(sigma > 0.0) || n < 1) {
+      return InvalidArgumentError("need sigma > 0 and n >= 1");
+    }
+    const double a = static_cast<double>(alpha);
+    const double nd = static_cast<double>(n);
+    // Eq. (8) feasibility: the per-step divergences fed into the mixture
+    // argument must stay in the regime where e^u < 1.1u + 1 applies.
+    const double u1 = a * delta_inf * delta_inf / (2.0 * nd * sigma * sigma) +
+                      tau_n;
+    if (u1 >= 0.1 / (a - 1.0)) {
+      return OutOfRangeError("Eq. (8) first constraint violated");
+    }
+    const double u2 = delta_inf / (std::sqrt(nd) * sigma) + tau_n;
+    if (u2 * u2 >= 0.2 / (a * a - a)) {
+      return OutOfRangeError("Eq. (8) second constraint violated");
+    }
+    const double base = 1.1 * a * c / (2.0 * nd * sigma * sigma);
+    const double corr1 = 1.1 * static_cast<double>(d) * tau_n;
+    const double corr2 = 1.1 * a * l1 * tau_n / (std::sqrt(nd) * sigma) +
+                         1.1 * static_cast<double>(d) * tau_n * tau_n;
+    return base + std::min(corr1, corr2);
+  };
+}
+
+RdpCurve GaussianRdpCurve(double sensitivity_l2, double sigma) {
+  return [=](int alpha) -> StatusOr<double> {
+    if (alpha < 2) return InvalidArgumentError("alpha must be >= 2");
+    if (!(sigma > 0.0)) return InvalidArgumentError("sigma must be > 0");
+    return static_cast<double>(alpha) * sensitivity_l2 * sensitivity_l2 /
+           (2.0 * sigma * sigma);
+  };
+}
+
+RdpCurve SkellamAgarwalRdpCurve(double mu, double l2_squared, double l1) {
+  return [=](int alpha) -> StatusOr<double> {
+    if (alpha < 2) return InvalidArgumentError("alpha must be >= 2");
+    if (!(mu > 0.0)) return InvalidArgumentError("mu must be > 0");
+    const double a = static_cast<double>(alpha);
+    const double base = a * l2_squared / (4.0 * mu);
+    const double corr =
+        std::min((2.0 * a - 1.0) * l2_squared + 6.0 * l1, 3.0 * l1) /
+        (4.0 * mu * mu);
+    return base + corr;
+  };
+}
+
+}  // namespace smm::accounting

@@ -1,0 +1,82 @@
+#include "accounting/rdp_accountant.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace smm::accounting {
+
+StatusOr<double> RdpToDpEpsilon(int alpha, double tau, double delta) {
+  if (alpha < 2) return InvalidArgumentError("alpha must be >= 2");
+  if (tau < 0.0) return InvalidArgumentError("tau must be >= 0");
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return InvalidArgumentError("delta must be in (0, 1)");
+  }
+  const double a = static_cast<double>(alpha);
+  const double eps = tau + (std::log(1.0 / delta) +
+                            (a - 1.0) * std::log(1.0 - 1.0 / a) -
+                            std::log(a)) /
+                               (a - 1.0);
+  return eps;
+}
+
+StatusOr<double> PoissonSubsampledRdp(double q, int alpha,
+                                      const RdpCurve& curve) {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    return InvalidArgumentError("sampling rate q must be in [0, 1]");
+  }
+  if (alpha < 2) return InvalidArgumentError("alpha must be >= 2");
+  if (q == 0.0) return 0.0;
+  if (q == 1.0) return curve(alpha);
+
+  const double a = static_cast<double>(alpha);
+  const double log_q = std::log(q);
+  const double log_1mq = std::log1p(-q);
+
+  std::vector<double> log_terms;
+  log_terms.reserve(alpha);
+  // l = 0 and l = 1 terms combine into (1-q)^{alpha-1} (alpha q - q + 1).
+  log_terms.push_back((a - 1.0) * log_1mq + std::log(a * q - q + 1.0));
+  for (int l = 2; l <= alpha; ++l) {
+    SMM_ASSIGN_OR_RETURN(const double tau_l, curve(l));
+    log_terms.push_back(LogBinomial(alpha, l) +
+                        (a - static_cast<double>(l)) * log_1mq +
+                        static_cast<double>(l) * log_q +
+                        (static_cast<double>(l) - 1.0) * tau_l);
+  }
+  const double log_sum = LogSumExp(log_terms);
+  // The sum is >= 1 analytically; clamp tiny negative drift from rounding.
+  return std::max(0.0, log_sum / (a - 1.0));
+}
+
+StatusOr<DpGuarantee> ComputeDpEpsilon(const RdpCurve& curve, double q,
+                                       int steps, double delta,
+                                       const AccountantOptions& options) {
+  if (steps < 1) return InvalidArgumentError("steps must be >= 1");
+  if (options.min_alpha < 2 || options.max_alpha < options.min_alpha) {
+    return InvalidArgumentError("invalid alpha search range");
+  }
+  DpGuarantee best;
+  best.epsilon = std::numeric_limits<double>::infinity();
+  for (int alpha = options.min_alpha; alpha <= options.max_alpha; ++alpha) {
+    auto tau_or = PoissonSubsampledRdp(q, alpha, curve);
+    if (!tau_or.ok()) continue;  // Order infeasible for this mechanism.
+    const double tau_total = static_cast<double>(steps) * *tau_or;
+    auto eps_or = RdpToDpEpsilon(alpha, tau_total, delta);
+    if (!eps_or.ok()) continue;
+    if (*eps_or < best.epsilon) {
+      best.epsilon = *eps_or;
+      best.best_alpha = alpha;
+      best.tau_at_best_alpha = tau_total;
+    }
+  }
+  if (!std::isfinite(best.epsilon)) {
+    return FailedPreconditionError(
+        "no feasible Renyi order in the search range");
+  }
+  return best;
+}
+
+}  // namespace smm::accounting

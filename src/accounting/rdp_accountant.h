@@ -1,0 +1,57 @@
+#ifndef SMM_ACCOUNTING_RDP_ACCOUNTANT_H_
+#define SMM_ACCOUNTING_RDP_ACCOUNTANT_H_
+
+#include <functional>
+
+#include "common/status.h"
+
+namespace smm::accounting {
+
+/// An RDP curve maps an integer Renyi order alpha (>= 2) to the RDP epsilon
+/// tau(alpha) of one mechanism invocation. Curves return an error Status for
+/// orders where the mechanism's bound is not valid (e.g. the Eq. (3)
+/// feasibility constraints of SMM); the accountant skips those orders.
+using RdpCurve = std::function<StatusOr<double>(int alpha)>;
+
+/// Lemma 3 (Canonne et al.): converts an (alpha, tau)-RDP guarantee into the
+/// epsilon of an (epsilon, delta)-DP guarantee:
+///   epsilon = tau + [log(1/delta) + (alpha-1) log(1 - 1/alpha)
+///                    - log(alpha)] / (alpha - 1).
+/// Requires alpha >= 2, tau >= 0, 0 < delta < 1.
+StatusOr<double> RdpToDpEpsilon(int alpha, double tau, double delta);
+
+/// Lemma 2 (Poisson-subsampled RDP, Zhu & Wang / Mironov et al.): the RDP of
+/// curve composed with Poisson sampling at rate q, at integer order alpha:
+///   tau' = 1/(alpha-1) * log( (1-q)^{alpha-1} (alpha q - q + 1)
+///          + sum_{l=2}^{alpha} C(alpha,l) (1-q)^{alpha-l} q^l
+///            e^{(l-1) tau(l)} ).
+/// Computed in log space. q = 1 degenerates to tau(alpha); q = 0 to 0.
+StatusOr<double> PoissonSubsampledRdp(double q, int alpha,
+                                      const RdpCurve& curve);
+
+/// The (epsilon, delta) guarantee derived from an RDP curve, together with
+/// the Renyi order that achieved it.
+struct DpGuarantee {
+  double epsilon = 0.0;
+  int best_alpha = 0;
+  double tau_at_best_alpha = 0.0;
+};
+
+/// Options for the accountant's order search.
+struct AccountantOptions {
+  int min_alpha = 2;
+  /// The paper searches integer orders 2..100 (Section 6.1).
+  int max_alpha = 100;
+};
+
+/// Composition over `steps` identical invocations with Poisson sampling rate
+/// q (Lemma 1 + Lemma 2 + Lemma 3), minimizing epsilon over integer alpha.
+/// Pass q = 1 and steps = 1 for a single full-batch release.
+/// Fails if no order in range is feasible.
+StatusOr<DpGuarantee> ComputeDpEpsilon(const RdpCurve& curve, double q,
+                                       int steps, double delta,
+                                       const AccountantOptions& options = {});
+
+}  // namespace smm::accounting
+
+#endif  // SMM_ACCOUNTING_RDP_ACCOUNTANT_H_

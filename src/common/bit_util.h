@@ -1,0 +1,28 @@
+#ifndef SMM_COMMON_BIT_UTIL_H_
+#define SMM_COMMON_BIT_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smm {
+
+/// True iff x is a power of two (x > 0).
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x. Requires x >= 1 and x <= 2^63.
+constexpr uint64_t NextPowerOfTwo(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// floor(log2(x)). Requires x >= 1.
+constexpr int Log2Floor(uint64_t x) {
+  int r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+}  // namespace smm
+
+#endif  // SMM_COMMON_BIT_UTIL_H_

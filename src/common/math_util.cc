@@ -1,0 +1,91 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace smm {
+
+double LogAdd(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double m = std::max(a, b);
+  return m + std::log1p(std::exp(std::min(a, b) - m));
+}
+
+double LogSumExp(const std::vector<double>& values) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double v : values) m = std::max(m, v);
+  if (m == -std::numeric_limits<double>::infinity()) return m;
+  double sum = 0.0;
+  for (double v : values) sum += std::exp(v - m);
+  return m + std::log(sum);
+}
+
+double LogFactorial(int64_t n) {
+  assert(n >= 0);
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogBinomial(int64_t n, int64_t k) {
+  assert(k >= 0 && k <= n);
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double LogBesselI(int64_t v, double x) {
+  assert(v >= 0);
+  assert(x >= 0.0);
+  if (x == 0.0) {
+    return v == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  }
+  const double log_half_x = std::log(x / 2.0);
+  // Terms t_h = (2h+v) log(x/2) - log h! - log (h+v)! rise to a peak near
+  // h ~ x/2 and then decay super-exponentially; sum until 60 nats below
+  // the running peak.
+  double max_term = -std::numeric_limits<double>::infinity();
+  std::vector<double> terms;
+  terms.reserve(64);
+  for (int64_t h = 0;; ++h) {
+    const double t = (2.0 * static_cast<double>(h) + static_cast<double>(v)) *
+                         log_half_x -
+                     LogFactorial(h) - LogFactorial(h + v);
+    terms.push_back(t);
+    max_term = std::max(max_term, t);
+    if (t < max_term - 60.0 && h > static_cast<int64_t>(x / 2.0) + 2) break;
+    if (h > 100000) break;  // Defensive cap; unreachable for tested ranges.
+  }
+  return LogSumExp(terms);
+}
+
+double PoissonLogPmf(int64_t k, double lambda) {
+  assert(lambda > 0.0);
+  assert(k >= 0);
+  return -lambda + static_cast<double>(k) * std::log(lambda) -
+         LogFactorial(k);
+}
+
+double SkellamLogPmf(int64_t k, double lambda) {
+  assert(lambda > 0.0);
+  return -2.0 * lambda + LogBesselI(std::llabs(k), 2.0 * lambda);
+}
+
+double DiscreteGaussianLogPmf(int64_t k, double sigma) {
+  assert(sigma > 0.0);
+  // Normalizer Z = sum_{j in Z} exp(-j^2 / (2 sigma^2)). The summand decays
+  // past |j| > ~10 sigma; sum symmetrically until negligible.
+  const double inv_two_sigma2 = 1.0 / (2.0 * sigma * sigma);
+  double z = 1.0;  // j = 0 term.
+  for (int64_t j = 1;; ++j) {
+    const double t = std::exp(-static_cast<double>(j) * j * inv_two_sigma2);
+    z += 2.0 * t;
+    if (t < 1e-17 * z) break;
+  }
+  return -static_cast<double>(k) * k * inv_two_sigma2 - std::log(z);
+}
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+}  // namespace smm

@@ -1,0 +1,44 @@
+#ifndef SMM_COMMON_MATH_UTIL_H_
+#define SMM_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace smm {
+
+/// Numerically stable log(exp(a) + exp(b)).
+double LogAdd(double a, double b);
+
+/// Numerically stable log(sum_i exp(v_i)). Returns -inf for an empty input.
+double LogSumExp(const std::vector<double>& values);
+
+/// log(n!) via lgamma. Requires n >= 0.
+double LogFactorial(int64_t n);
+
+/// log(C(n, k)). Requires 0 <= k <= n.
+double LogBinomial(int64_t n, int64_t k);
+
+/// log of the modified Bessel function of the first kind I_v(x) for integer
+/// order v >= 0 and x >= 0, evaluated by the ascending series
+///   I_v(x) = sum_h (x/2)^{2h+v} / (h! (h+v)!)
+/// in log space. Accurate for the moderate arguments used in tests
+/// (x up to a few thousand).
+double LogBesselI(int64_t v, double x);
+
+/// log Pr[Poisson(lambda) = k]. Requires lambda > 0, k >= 0.
+double PoissonLogPmf(int64_t k, double lambda);
+
+/// log Pr[Sk(lambda, lambda) = k], the symmetric Skellam pmf
+///   Pr[Z = k] = exp(-2 lambda) I_{|k|}(2 lambda).
+double SkellamLogPmf(int64_t k, double lambda);
+
+/// log Pr[N_Z(0, sigma^2) = k] for the discrete Gaussian: proportional to
+/// exp(-k^2 / (2 sigma^2)), normalized by direct summation.
+double DiscreteGaussianLogPmf(int64_t k, double sigma);
+
+/// Clamps v into [lo, hi].
+double Clamp(double v, double lo, double hi);
+
+}  // namespace smm
+
+#endif  // SMM_COMMON_MATH_UTIL_H_

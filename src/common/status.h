@@ -1,0 +1,149 @@
+#ifndef SMM_COMMON_STATUS_H_
+#define SMM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace smm {
+
+/// Error categories used across the library. The library does not throw
+/// exceptions; all fallible operations return a Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kFailedPrecondition = 2,
+  kOutOfRange = 3,
+  kNotFound = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+};
+
+/// Returns a human-readable name for a status code (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result, modeled after absl::Status.
+///
+/// Functions that can fail return Status (or StatusOr<T> when they also
+/// produce a value). A default-constructed Status is OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk; use the default constructor (or OkStatus()) for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code_ != StatusCode::kOk);
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Returns an OK status.
+inline Status OkStatus() { return Status(); }
+
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status OutOfRangeError(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+inline Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+inline Status UnimplementedError(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+
+/// A value-or-error result, modeled after absl::StatusOr.
+///
+/// Either holds a T (status().ok() is true) or an error Status. Accessing
+/// value() on an error aborts in debug builds; check ok() first or use
+/// the SMM_ASSIGN_OR_RETURN macro.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+  /// Constructs from a value (implicitly, to allow `return value;`).
+  StatusOr(T value)  // NOLINT
+      : status_(), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace smm
+
+/// Propagates an error Status from an expression that evaluates to Status.
+#define SMM_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::smm::Status smm_status_tmp_ = (expr);      \
+    if (!smm_status_tmp_.ok()) return smm_status_tmp_; \
+  } while (false)
+
+#define SMM_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define SMM_STATUS_MACROS_CONCAT_(x, y) SMM_STATUS_MACROS_CONCAT_INNER_(x, y)
+
+/// Evaluates an expression returning StatusOr<T>; on success binds the value
+/// to `lhs`, on error returns the Status from the enclosing function.
+#define SMM_ASSIGN_OR_RETURN(lhs, expr)                                \
+  SMM_ASSIGN_OR_RETURN_IMPL_(                                          \
+      SMM_STATUS_MACROS_CONCAT_(smm_statusor_, __LINE__), lhs, expr)
+
+#define SMM_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, expr) \
+  auto statusor = (expr);                               \
+  if (!statusor.ok()) return statusor.status();         \
+  lhs = std::move(statusor).value()
+
+#endif  // SMM_COMMON_STATUS_H_

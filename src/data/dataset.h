@@ -1,0 +1,27 @@
+#ifndef SMM_DATA_DATASET_H_
+#define SMM_DATA_DATASET_H_
+
+#include <vector>
+
+namespace smm::data {
+
+/// One labeled training/test record. In the FL experiments each record is
+/// one participant (Section 6.2: "we regard each data record in the training
+/// data as a participant").
+struct Example {
+  std::vector<double> features;
+  int label = 0;
+};
+
+/// A labeled dataset.
+struct Dataset {
+  std::vector<Example> examples;
+  int feature_dim = 0;
+  int num_classes = 0;
+
+  size_t size() const { return examples.size(); }
+};
+
+}  // namespace smm::data
+
+#endif  // SMM_DATA_DATASET_H_

@@ -1,0 +1,120 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+namespace smm::data {
+
+namespace {
+
+/// Draws a vector of iid N(0, 1/dim) entries (expected unit squared norm).
+std::vector<double> GaussianDirection(int dim, RandomGenerator& rng) {
+  std::vector<double> v(static_cast<size_t>(dim));
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim));
+  for (double& x : v) x = rng.Gaussian(0.0, scale);
+  return v;
+}
+
+void NormalizeToUnit(std::vector<double>& v) {
+  double norm = 0.0;
+  for (double x : v) norm += x * x;
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (double& x : v) x /= norm;
+  }
+}
+
+Example MakeExample(const std::vector<double>& prototype, int label,
+                    double noise_scale, RandomGenerator& rng) {
+  Example e;
+  e.label = label;
+  e.features = prototype;
+  // Isotropic per-coordinate noise: the projection of the noise onto any
+  // class-difference direction has standard deviation noise_scale, which is
+  // what controls class confusion (prototypes are ~sqrt(2) apart).
+  for (double& x : e.features) x += rng.Gaussian(0.0, noise_scale);
+  return e;
+}
+
+}  // namespace
+
+StatusOr<SyntheticSplit> MakeSyntheticImages(
+    const SyntheticImageOptions& options) {
+  if (options.feature_dim < 1) {
+    return InvalidArgumentError("feature_dim must be >= 1");
+  }
+  if (options.num_classes < 2) {
+    return InvalidArgumentError("num_classes must be >= 2");
+  }
+  if (options.num_train < options.num_classes || options.num_test < 1) {
+    return InvalidArgumentError("need at least one example per class");
+  }
+  if (!(options.noise_scale >= 0.0)) {
+    return InvalidArgumentError("noise_scale must be >= 0");
+  }
+  if (!(options.label_noise >= 0.0 && options.label_noise <= 1.0)) {
+    return InvalidArgumentError("label_noise must be in [0, 1]");
+  }
+  RandomGenerator rng(options.seed);
+  std::vector<std::vector<double>> prototypes(
+      static_cast<size_t>(options.num_classes));
+  for (auto& p : prototypes) {
+    p = GaussianDirection(options.feature_dim, rng);
+    NormalizeToUnit(p);
+  }
+
+  auto fill = [&](Dataset& ds, int count) {
+    ds.feature_dim = options.feature_dim;
+    ds.num_classes = options.num_classes;
+    ds.examples.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      const int label = i % options.num_classes;  // Balanced classes.
+      Example e = MakeExample(prototypes[static_cast<size_t>(label)], label,
+                              options.noise_scale, rng);
+      if (options.label_noise > 0.0 && rng.Bernoulli(options.label_noise)) {
+        e.label = static_cast<int>(rng.UniformUint64(
+            static_cast<uint64_t>(options.num_classes)));
+      }
+      ds.examples.push_back(std::move(e));
+    }
+  };
+
+  SyntheticSplit split;
+  fill(split.train, options.num_train);
+  fill(split.test, options.num_test);
+  return split;
+}
+
+SyntheticImageOptions MnistLikeOptions() {
+  // Margin sqrt(2)/2 over sigma 0.22 ~ 3.2 sigma per competing class:
+  // nearest-centroid accuracy ~98%, matching MNIST's MLP ceiling.
+  SyntheticImageOptions o;
+  o.noise_scale = 0.22;
+  o.seed = 42;
+  return o;
+}
+
+SyntheticImageOptions FashionLikeOptions() {
+  // ~2 sigma margin: accuracy ceiling in the high 80s, matching
+  // Fashion-MNIST's MLP ceiling.
+  SyntheticImageOptions o;
+  o.noise_scale = 0.35;
+  o.seed = 4242;
+  return o;
+}
+
+std::vector<std::vector<double>> SampleSphereDataset(int n, size_t d,
+                                                     double radius,
+                                                     RandomGenerator& rng) {
+  std::vector<std::vector<double>> points;
+  points.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> v(d);
+    for (double& x : v) x = rng.Gaussian(0.0, 1.0);
+    NormalizeToUnit(v);
+    for (double& x : v) x *= radius;
+    points.push_back(std::move(v));
+  }
+  return points;
+}
+
+}  // namespace smm::data

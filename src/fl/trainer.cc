@@ -1,0 +1,353 @@
+#include "fl/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "accounting/binomial_accountant.h"
+#include "accounting/calibration.h"
+#include "accounting/mechanism_rdp.h"
+#include "common/bit_util.h"
+#include "mechanisms/baseline_mechanisms.h"
+#include "mechanisms/clipping.h"
+#include "mechanisms/conditional_rounding.h"
+#include "mechanisms/dgm_mechanism.h"
+#include "mechanisms/smm_mechanism.h"
+
+namespace smm::fl {
+
+const char* MechanismKindName(MechanismKind kind) {
+  switch (kind) {
+    case MechanismKind::kSmm:
+      return "SMM";
+    case MechanismKind::kDgm:
+      return "DGM";
+    case MechanismKind::kDdg:
+      return "DDG";
+    case MechanismKind::kAgarwalSkellam:
+      return "Skellam";
+    case MechanismKind::kCpSgd:
+      return "cpSGD";
+    case MechanismKind::kCentralDpSgd:
+      return "DPSGD";
+    case MechanismKind::kNonPrivate:
+      return "NonPrivate";
+  }
+  return "Unknown";
+}
+
+FederatedTrainer::FederatedTrainer(nn::Mlp model, data::Dataset train,
+                                   data::Dataset test, FlConfig config)
+    : model_(std::move(model)),
+      train_(std::move(train)),
+      test_(std::move(test)),
+      config_(config),
+      rng_(config.seed) {}
+
+StatusOr<std::unique_ptr<FederatedTrainer>> FederatedTrainer::Create(
+    nn::Mlp model, data::Dataset train, data::Dataset test,
+    const FlConfig& config) {
+  if (train.examples.empty()) {
+    return InvalidArgumentError("empty training set");
+  }
+  if (config.rounds < 1) return InvalidArgumentError("rounds must be >= 1");
+  if (config.expected_batch_size < 1 ||
+      config.expected_batch_size > static_cast<int>(train.size())) {
+    return InvalidArgumentError(
+        "expected_batch_size must be in [1, |train set|]");
+  }
+  auto trainer = std::unique_ptr<FederatedTrainer>(new FederatedTrainer(
+      std::move(model), std::move(train), std::move(test), config));
+  trainer->padded_dim_ = NextPowerOfTwo(trainer->model_.num_parameters());
+  trainer->sampling_rate_ =
+      static_cast<double>(config.expected_batch_size) /
+      static_cast<double>(trainer->train_.size());
+  trainer->aggregator_ = std::make_unique<secagg::IdealAggregator>();
+  if (config.use_adam) {
+    trainer->optimizer_ =
+        std::make_unique<nn::AdamOptimizer>(config.learning_rate);
+  } else {
+    trainer->optimizer_ =
+        std::make_unique<nn::SgdOptimizer>(config.learning_rate);
+  }
+  SMM_RETURN_IF_ERROR(trainer->Calibrate());
+  return trainer;
+}
+
+Status FederatedTrainer::Calibrate() {
+  const double q = sampling_rate_;
+  const int steps = config_.rounds;
+  const int batch = config_.expected_batch_size;
+  const double d2 = config_.l2_clip;
+  const double d = static_cast<double>(padded_dim_);
+  const uint64_t rotation_seed = config_.seed ^ 0x5eedULL;
+
+  switch (config_.mechanism) {
+    case MechanismKind::kNonPrivate:
+      return OkStatus();
+
+    case MechanismKind::kCentralDpSgd: {
+      SMM_ASSIGN_OR_RETURN(auto result,
+                           accounting::CalibrateGaussian(
+                               d2, q, steps, config_.epsilon, config_.delta));
+      central_sigma_ = result.noise_parameter;
+      noise_parameter_ = result.noise_parameter;
+      guarantee_ = result.guarantee;
+      return OkStatus();
+    }
+
+    case MechanismKind::kSmm: {
+      const double c = config_.gamma * config_.gamma * d2 * d2;
+      SMM_ASSIGN_OR_RETURN(auto result,
+                           accounting::CalibrateSmm(
+                               c, q, steps, config_.epsilon, config_.delta));
+      const double n_lambda = result.noise_parameter;
+      delta_inf_ = accounting::SmmMaxDeltaInf(n_lambda,
+                                              result.guarantee.best_alpha);
+      mechanisms::SmmMechanism::Options options;
+      options.dim = padded_dim_;
+      options.gamma = config_.gamma;
+      options.c = c;
+      options.delta_inf = delta_inf_;
+      options.lambda = n_lambda / static_cast<double>(batch);
+      options.modulus = config_.modulus;
+      options.rotation_seed = rotation_seed;
+      options.sampler_mode = config_.sampler_mode;
+      SMM_ASSIGN_OR_RETURN(mechanism_,
+                           mechanisms::SmmMechanism::Create(options));
+      noise_parameter_ = options.lambda;
+      guarantee_ = result.guarantee;
+      return OkStatus();
+    }
+
+    case MechanismKind::kDgm: {
+      const double c = config_.gamma * config_.gamma * d2 * d2;
+      // Delta_1 <= sqrt(d) * gamma * Delta_2 (Appendix B.3).
+      const double l1 = std::sqrt(d) * config_.gamma * d2;
+      SMM_ASSIGN_OR_RETURN(
+          auto result,
+          accounting::CalibrateDgm(batch, c, l1,
+                                   static_cast<int>(padded_dim_),
+                                   /*delta_inf=*/0.0, q, steps,
+                                   config_.epsilon, config_.delta));
+      const double sigma = result.noise_parameter;
+      // The paper computes the DGM Linf bound from Eq. (3) as well; map the
+      // aggregate discrete Gaussian variance onto the equivalent Skellam
+      // parameter (2 lambda = sigma^2 per participant).
+      delta_inf_ = accounting::SmmMaxDeltaInf(
+          static_cast<double>(batch) * sigma * sigma / 2.0,
+          result.guarantee.best_alpha);
+      mechanisms::DgmMechanism::Options options;
+      options.dim = padded_dim_;
+      options.gamma = config_.gamma;
+      options.c = c;
+      options.delta_inf = delta_inf_;
+      options.sigma = sigma;
+      options.modulus = config_.modulus;
+      options.rotation_seed = rotation_seed;
+      options.sampler_mode = config_.sampler_mode;
+      SMM_ASSIGN_OR_RETURN(mechanism_,
+                           mechanisms::DgmMechanism::Create(options));
+      noise_parameter_ = sigma;
+      guarantee_ = result.guarantee;
+      return OkStatus();
+    }
+
+    case MechanismKind::kDdg: {
+      const double rounded_bound = mechanisms::ConditionalRoundingNormBound(
+          config_.gamma, d2, padded_dim_, config_.beta);
+      const double l2_squared = rounded_bound * rounded_bound;
+      const double l1 =
+          std::min(std::sqrt(d) * rounded_bound, l2_squared);
+      SMM_ASSIGN_OR_RETURN(
+          auto result,
+          accounting::CalibrateDdg(batch, l2_squared, l1,
+                                   static_cast<int>(padded_dim_), q, steps,
+                                   config_.epsilon, config_.delta));
+      mechanisms::DdgMechanism::Options options;
+      options.dim = padded_dim_;
+      options.gamma = config_.gamma;
+      options.l2_bound = d2;
+      options.beta = config_.beta;
+      options.sigma = result.noise_parameter;
+      options.modulus = config_.modulus;
+      options.rotation_seed = rotation_seed;
+      options.sampler_mode = config_.sampler_mode;
+      SMM_ASSIGN_OR_RETURN(mechanism_,
+                           mechanisms::DdgMechanism::Create(options));
+      noise_parameter_ = result.noise_parameter;
+      guarantee_ = result.guarantee;
+      return OkStatus();
+    }
+
+    case MechanismKind::kAgarwalSkellam: {
+      const double rounded_bound = mechanisms::ConditionalRoundingNormBound(
+          config_.gamma, d2, padded_dim_, config_.beta);
+      const double l2_squared = rounded_bound * rounded_bound;
+      const double l1 =
+          std::min(std::sqrt(d) * rounded_bound, l2_squared);
+      SMM_ASSIGN_OR_RETURN(auto result,
+                           accounting::CalibrateSkellamAgarwal(
+                               l2_squared, l1, q, steps, config_.epsilon,
+                               config_.delta));
+      mechanisms::AgarwalSkellamMechanism::Options options;
+      options.dim = padded_dim_;
+      options.gamma = config_.gamma;
+      options.l2_bound = d2;
+      options.beta = config_.beta;
+      options.lambda = result.noise_parameter / static_cast<double>(batch);
+      options.modulus = config_.modulus;
+      options.rotation_seed = rotation_seed;
+      options.sampler_mode = config_.sampler_mode;
+      SMM_ASSIGN_OR_RETURN(
+          mechanism_, mechanisms::AgarwalSkellamMechanism::Create(options));
+      noise_parameter_ = options.lambda;
+      guarantee_ = result.guarantee;
+      return OkStatus();
+    }
+
+    case MechanismKind::kCpSgd: {
+      // Stochastic rounding inflates the scaled L2 norm by up to sqrt(d).
+      const double l2 = config_.gamma * d2 + std::sqrt(d);
+      accounting::BinomialMechanismParams per_step;
+      per_step.l2 = l2;
+      per_step.l1 = std::sqrt(d) * l2;  // "L1 <= sqrt(d) * L2" (Section 6.1).
+      per_step.linf = config_.gamma * d2 + 1.0;
+      per_step.dimension = static_cast<int>(padded_dim_);
+      SMM_ASSIGN_OR_RETURN(
+          const double total_trials,
+          accounting::CalibrateBinomialTrials(per_step, steps,
+                                              config_.epsilon,
+                                              config_.delta));
+      mechanisms::CpSgdMechanism::Options options;
+      options.dim = padded_dim_;
+      options.gamma = config_.gamma;
+      options.l2_bound = d2;
+      options.binomial_trials = static_cast<int64_t>(
+          std::ceil(total_trials / static_cast<double>(batch)));
+      options.modulus = config_.modulus;
+      options.rotation_seed = rotation_seed;
+      SMM_ASSIGN_OR_RETURN(mechanism_,
+                           mechanisms::CpSgdMechanism::Create(options));
+      noise_parameter_ = static_cast<double>(options.binomial_trials);
+      // cpSGD's analysis is pure (epsilon, delta); record epsilon only.
+      guarantee_.epsilon = config_.epsilon;
+      guarantee_.best_alpha = 0;
+      return OkStatus();
+    }
+  }
+  return InternalError("unhandled mechanism kind");
+}
+
+StatusOr<std::vector<double>> FederatedTrainer::AggregateRound(
+    const std::vector<size_t>& participant_indices, double* mean_loss) {
+  const size_t model_dim = model_.num_parameters();
+  double loss_sum = 0.0;
+
+  // Per-participant clipped gradients (Lines 4-6 of Algorithm 3).
+  std::vector<std::vector<double>> gradients;
+  gradients.reserve(participant_indices.size());
+  for (size_t idx : participant_indices) {
+    const data::Example& example = train_.examples[idx];
+    nn::Mlp::LossAndGrad lg =
+        model_.ComputeLossAndGradient(example.features, example.label);
+    loss_sum += lg.loss;
+    mechanisms::L2Clip(lg.grad, config_.l2_clip);
+    gradients.push_back(std::move(lg.grad));
+  }
+  if (mean_loss != nullptr) {
+    *mean_loss = loss_sum / static_cast<double>(participant_indices.size());
+  }
+
+  std::vector<double> sum(model_dim, 0.0);
+  if (mechanism_ != nullptr) {
+    // Integer mechanism path: pad, encode, securely aggregate, decode.
+    std::vector<std::vector<uint64_t>> encoded;
+    encoded.reserve(gradients.size());
+    std::vector<double> padded(padded_dim_, 0.0);
+    for (const auto& g : gradients) {
+      std::fill(padded.begin(), padded.end(), 0.0);
+      std::copy(g.begin(), g.end(), padded.begin());
+      SMM_ASSIGN_OR_RETURN(auto z,
+                           mechanism_->EncodeParticipant(padded, rng_));
+      encoded.push_back(std::move(z));
+    }
+    SMM_ASSIGN_OR_RETURN(
+        auto zm_sum, aggregator_->Aggregate(encoded, mechanism_->modulus()));
+    SMM_ASSIGN_OR_RETURN(
+        auto decoded,
+        mechanism_->DecodeSum(zm_sum,
+                              static_cast<int>(participant_indices.size())));
+    std::copy(decoded.begin(), decoded.begin() + static_cast<long>(model_dim),
+              sum.begin());
+  } else {
+    // Central baselines: exact sum (+ Gaussian noise for DPSGD).
+    for (const auto& g : gradients) {
+      for (size_t j = 0; j < model_dim; ++j) sum[j] += g[j];
+    }
+    if (config_.mechanism == MechanismKind::kCentralDpSgd) {
+      for (size_t j = 0; j < model_dim; ++j) {
+        sum[j] += rng_.Gaussian(0.0, central_sigma_);
+      }
+    }
+  }
+  // Average over the (public) expected batch size.
+  const double scale = 1.0 / static_cast<double>(config_.expected_batch_size);
+  for (double& v : sum) v *= scale;
+  return sum;
+}
+
+StatusOr<TrainingResult> FederatedTrainer::Train() {
+  TrainingResult result;
+  result.noise_parameter = noise_parameter_;
+  result.guarantee = guarantee_;
+  result.delta_inf = delta_inf_;
+
+  for (int round = 1; round <= config_.rounds; ++round) {
+    // Line 3 of Algorithm 3: Poisson sampling of participants at rate q.
+    std::vector<size_t> participants;
+    for (size_t i = 0; i < train_.size(); ++i) {
+      if (rng_.Bernoulli(sampling_rate_)) participants.push_back(i);
+    }
+    if (participants.empty()) continue;
+
+    double mean_loss = 0.0;
+    SMM_ASSIGN_OR_RETURN(auto grad_avg,
+                         AggregateRound(participants, &mean_loss));
+    SMM_RETURN_IF_ERROR(
+        optimizer_->Step(model_.mutable_parameters(), grad_avg));
+
+    const bool should_eval =
+        (config_.eval_every > 0 && round % config_.eval_every == 0) ||
+        round == config_.rounds;
+    if (should_eval) {
+      RoundRecord record;
+      record.round = round;
+      record.train_loss = mean_loss;
+      record.test_accuracy = EvaluateAccuracy();
+      result.history.push_back(record);
+    }
+  }
+  result.final_accuracy =
+      result.history.empty() ? EvaluateAccuracy()
+                             : result.history.back().test_accuracy;
+  if (mechanism_ != nullptr) {
+    result.total_overflows = mechanism_->overflow_count();
+  }
+  return result;
+}
+
+double FederatedTrainer::EvaluateAccuracy() const {
+  if (test_.examples.empty()) return 0.0;
+  size_t count = test_.size();
+  if (config_.max_eval_examples > 0) {
+    count = std::min(count, static_cast<size_t>(config_.max_eval_examples));
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const data::Example& e = test_.examples[i];
+    if (model_.Predict(e.features) == e.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(count);
+}
+
+}  // namespace smm::fl

@@ -1,0 +1,97 @@
+#ifndef SMM_FL_TRAINER_H_
+#define SMM_FL_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "accounting/rdp_accountant.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "fl/fl_config.h"
+#include "mechanisms/distributed_mechanism.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "secagg/secure_aggregator.h"
+
+namespace smm::fl {
+
+/// Test-set metrics recorded during training.
+struct RoundRecord {
+  int round = 0;
+  double train_loss = 0.0;
+  double test_accuracy = 0.0;
+};
+
+/// Outcome of one federated training run.
+struct TrainingResult {
+  double final_accuracy = 0.0;
+  std::vector<RoundRecord> history;
+  /// The calibrated noise scale (lambda, sigma, or binomial trials,
+  /// depending on the mechanism; 0 for non-private).
+  double noise_parameter = 0.0;
+  /// The DP guarantee the calibration achieved (epsilon <= config.epsilon).
+  accounting::DpGuarantee guarantee;
+  /// The Linf clip used by the mixture mechanisms (from Eq. (3)).
+  double delta_inf = 0.0;
+  /// Modular wrap-around events across the run (utility-destroying at small
+  /// bitwidths; Section 6.2).
+  int64_t total_overflows = 0;
+};
+
+/// Federated learning with distributed SGD (Algorithm 3): every training
+/// record is one participant; each round Poisson-samples a participant
+/// subset, collects their mechanism-encoded clipped gradients through secure
+/// aggregation, and updates the model with the decoded gradient average.
+class FederatedTrainer {
+ public:
+  /// Calibrates the mechanism's noise to the config's (epsilon, delta)
+  /// budget (Theorem 6 accounting) and wires up the pipeline.
+  static StatusOr<std::unique_ptr<FederatedTrainer>> Create(
+      nn::Mlp model, data::Dataset train, data::Dataset test,
+      const FlConfig& config);
+
+  /// Runs the T training rounds.
+  StatusOr<TrainingResult> Train();
+
+  /// Test accuracy of the current model.
+  double EvaluateAccuracy() const;
+
+  const nn::Mlp& model() const { return model_; }
+
+ private:
+  FederatedTrainer(nn::Mlp model, data::Dataset train, data::Dataset test,
+                   FlConfig config);
+
+  /// Per-mechanism noise calibration; fills mechanism_/central_sigma_ and
+  /// the result metadata.
+  Status Calibrate();
+
+  /// One round: returns the decoded gradient average (model dimension).
+  StatusOr<std::vector<double>> AggregateRound(
+      const std::vector<size_t>& participant_indices, double* mean_loss);
+
+  nn::Mlp model_;
+  data::Dataset train_;
+  data::Dataset test_;
+  FlConfig config_;
+
+  size_t padded_dim_ = 0;
+  double sampling_rate_ = 0.0;
+
+  std::unique_ptr<mechanisms::DistributedSumMechanism> mechanism_;
+  std::unique_ptr<secagg::SecureAggregator> aggregator_;
+  std::unique_ptr<nn::Optimizer> optimizer_;
+  RandomGenerator rng_;
+
+  /// Central baseline state (kCentralDpSgd): per-coordinate Gaussian sigma.
+  double central_sigma_ = 0.0;
+
+  double noise_parameter_ = 0.0;
+  accounting::DpGuarantee guarantee_;
+  double delta_inf_ = 0.0;
+};
+
+}  // namespace smm::fl
+
+#endif  // SMM_FL_TRAINER_H_

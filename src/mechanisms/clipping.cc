@@ -1,0 +1,63 @@
+#include "mechanisms/clipping.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smm::mechanisms {
+
+double SmmSensitivityContribution(double magnitude) {
+  const double t = std::abs(magnitude);
+  const double f = t - std::floor(t);
+  return t * t + f - f * f;
+}
+
+double SmmSensitivityInverse(double w) {
+  if (w <= 0.0) return 0.0;
+  double k = std::floor(std::sqrt(w));
+  // Guard against floating-point sqrt landing one integer too high/low.
+  while (k * k > w) k -= 1.0;
+  while ((k + 1.0) * (k + 1.0) <= w) k += 1.0;
+  const double f = (w - k * k) / (2.0 * k + 1.0);
+  return k + f;
+}
+
+Status SmmClip(std::vector<double>& g, double c, double delta_inf) {
+  if (!(c > 0.0)) return InvalidArgumentError("clip threshold c must be > 0");
+  if (!(delta_inf > 0.0)) {
+    return InvalidArgumentError("delta_inf must be > 0");
+  }
+  const double dinf = std::max(1.0, std::floor(delta_inf));
+  // Map to sensitivity contributions (the helper vector v of Algorithm 5).
+  double l1 = 0.0;
+  std::vector<double> v(g.size());
+  for (size_t j = 0; j < g.size(); ++j) {
+    v[j] = SmmSensitivityContribution(g[j]);
+    l1 += v[j];
+  }
+  // L1-clip the contribution vector to c.
+  const double scale = l1 > c ? c / l1 : 1.0;
+  // Map back and apply the Linf clip.
+  for (size_t j = 0; j < g.size(); ++j) {
+    const double sign = g[j] < 0.0 ? -1.0 : 1.0;  // 0/0 := 1 per the paper.
+    double magnitude = SmmSensitivityInverse(v[j] * scale);
+    magnitude = std::min(magnitude, dinf);
+    g[j] = sign * magnitude;
+  }
+  return OkStatus();
+}
+
+void L2Clip(std::vector<double>& g, double threshold) {
+  const double norm = L2Norm(g);
+  if (norm > threshold && norm > 0.0) {
+    const double scale = threshold / norm;
+    for (double& x : g) x *= scale;
+  }
+}
+
+double L2Norm(const std::vector<double>& g) {
+  double sum = 0.0;
+  for (double x : g) sum += x * x;
+  return std::sqrt(sum);
+}
+
+}  // namespace smm::mechanisms

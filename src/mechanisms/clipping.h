@@ -1,0 +1,45 @@
+#ifndef SMM_MECHANISMS_CLIPPING_H_
+#define SMM_MECHANISMS_CLIPPING_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace smm::mechanisms {
+
+/// The per-coordinate sensitivity contribution of SMM (the summand of
+/// Eq. (4)): psi(t) = t^2 + (t - floor(t)) - (t - floor(t))^2 for t = |g_j|.
+/// Writing t = k + f with integer k and f in [0, 1), psi(t) = k^2 + (2k+1)f,
+/// which is continuous, strictly increasing, and maps [k, k+1) onto
+/// [k^2, (k+1)^2) — hence exactly invertible, which is what Algorithm 5
+/// exploits.
+double SmmSensitivityContribution(double magnitude);
+
+/// Inverse of SmmSensitivityContribution: given w >= 0 returns t >= 0 with
+/// psi(t) = w (Algorithm 5 lines 6-8: k = floor(sqrt(w)),
+/// f = (w - k^2) / (2k + 1)).
+double SmmSensitivityInverse(double w);
+
+/// Algorithm 5: clips g in place so that
+///   sum_j psi(|g_j|) <= c   and   ceil(|g_j|) <= delta_inf.
+/// Each coordinate is mapped to its sensitivity contribution, the
+/// contribution vector is L1-clipped to c, coordinates are mapped back, and
+/// finally each is clipped to delta_inf in magnitude. delta_inf should be a
+/// positive integer so that the ceil bound is respected; non-integer values
+/// are floored (with a minimum of 1).
+///
+/// Note: line 3 of Algorithm 5 as printed shows "+ (|g|-floor|g|)^2"; the
+/// sensitivity bound it must enforce (Eq. (4), Theorem 5) subtracts that
+/// term, and only the subtracted form makes lines 6-8 the exact inverse map.
+/// We implement the subtracted (correct) form.
+Status SmmClip(std::vector<double>& g, double c, double delta_inf);
+
+/// Standard L2 clipping (DPSGD): scales g so that ||g||_2 <= threshold.
+void L2Clip(std::vector<double>& g, double threshold);
+
+/// L2 norm helper.
+double L2Norm(const std::vector<double>& g);
+
+}  // namespace smm::mechanisms
+
+#endif  // SMM_MECHANISMS_CLIPPING_H_

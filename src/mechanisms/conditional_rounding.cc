@@ -1,0 +1,54 @@
+#include "mechanisms/conditional_rounding.h"
+
+#include <cmath>
+
+namespace smm::mechanisms {
+
+std::vector<int64_t> StochasticRound(const std::vector<double>& g,
+                                     RandomGenerator& rng) {
+  std::vector<int64_t> out(g.size());
+  for (size_t j = 0; j < g.size(); ++j) {
+    const double floor_x = std::floor(g[j]);
+    int64_t v = static_cast<int64_t>(floor_x);
+    if (rng.Bernoulli(g[j] - floor_x)) v += 1;
+    out[j] = v;
+  }
+  return out;
+}
+
+double ConditionalRoundingNormBound(double gamma, double l2_bound, size_t dim,
+                                    double beta) {
+  const double d = static_cast<double>(dim);
+  const double scaled = gamma * l2_bound;
+  return std::sqrt(scaled * scaled + d / 4.0 +
+                   std::sqrt(2.0 * std::log(1.0 / beta)) *
+                       (scaled + std::sqrt(d) / 2.0));
+}
+
+StatusOr<std::vector<int64_t>> ConditionallyRound(
+    const std::vector<double>& g, double norm_bound, int max_retries,
+    RandomGenerator& rng, int64_t* rejections) {
+  if (!(norm_bound > 0.0)) {
+    return InvalidArgumentError("norm_bound must be > 0");
+  }
+  if (max_retries < 1) return InvalidArgumentError("max_retries must be >= 1");
+  const double bound_sq = norm_bound * norm_bound;
+  for (int attempt = 0; attempt < max_retries; ++attempt) {
+    std::vector<int64_t> rounded = StochasticRound(g, rng);
+    double norm_sq = 0.0;
+    for (int64_t v : rounded) {
+      norm_sq += static_cast<double>(v) * static_cast<double>(v);
+    }
+    if (norm_sq <= bound_sq) return rounded;
+    if (rejections != nullptr) ++*rejections;
+  }
+  // Fallback: round to nearest, which cannot exceed the bound for inputs
+  // whose scaled norm respects the pre-rounding clip.
+  std::vector<int64_t> nearest(g.size());
+  for (size_t j = 0; j < g.size(); ++j) {
+    nearest[j] = static_cast<int64_t>(std::llround(g[j]));
+  }
+  return nearest;
+}
+
+}  // namespace smm::mechanisms

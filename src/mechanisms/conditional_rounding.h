@@ -1,0 +1,42 @@
+#ifndef SMM_MECHANISMS_CONDITIONAL_ROUNDING_H_
+#define SMM_MECHANISMS_CONDITIONAL_ROUNDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace smm::mechanisms {
+
+/// Rounding procedures of the competitor mechanisms (Section 5).
+
+/// Plain stochastic rounding (cpSGD): each coordinate rounds to floor(x) + 1
+/// with probability x - floor(x), else floor(x). Unbiased, but worst-case
+/// inflates the L2 norm by sqrt(d).
+std::vector<int64_t> StochasticRound(const std::vector<double>& g,
+                                     RandomGenerator& rng);
+
+/// The conditional-rounding norm bound of DDG / Skellam (Eq. (6)): a
+/// stochastically rounded version of a scaled input with ||gamma x||_2 <=
+/// gamma * l2_bound is accepted only if its norm is at most
+///   sqrt(gamma^2 l2_bound^2 + d/4
+///        + sqrt(2 log(1/beta)) * (gamma l2_bound + sqrt(d)/2)),
+/// which holds with probability >= 1 - beta. This inflated bound is also the
+/// L2 sensitivity the mechanisms must calibrate their noise to — the d/4
+/// term is the overhead SMM avoids.
+double ConditionalRoundingNormBound(double gamma, double l2_bound, size_t dim,
+                                    double beta);
+
+/// Conditional rounding (Kairouz et al.): retries stochastic rounding until
+/// the rounded vector's L2 norm is within norm_bound. Gives up after
+/// max_retries and returns the deterministically rounded (toward nearest)
+/// vector, which always satisfies the bound for inputs within the scaled
+/// clip. Adds the number of rejected attempts to *rejections if non-null.
+StatusOr<std::vector<int64_t>> ConditionallyRound(
+    const std::vector<double>& g, double norm_bound, int max_retries,
+    RandomGenerator& rng, int64_t* rejections);
+
+}  // namespace smm::mechanisms
+
+#endif  // SMM_MECHANISMS_CONDITIONAL_ROUNDING_H_

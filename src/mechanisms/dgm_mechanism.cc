@@ -1,0 +1,67 @@
+#include "mechanisms/dgm_mechanism.h"
+
+#include <cmath>
+
+#include "mechanisms/clipping.h"
+
+namespace smm::mechanisms {
+
+StatusOr<DiscreteGaussianMixtureNoiser> DiscreteGaussianMixtureNoiser::Create(
+    double sigma, sampling::SamplerMode mode) {
+  SMM_ASSIGN_OR_RETURN(
+      auto sampler, sampling::DiscreteGaussianSampler::Create(sigma, mode));
+  return DiscreteGaussianMixtureNoiser(std::move(sampler));
+}
+
+int64_t DiscreteGaussianMixtureNoiser::Perturb(double x,
+                                               RandomGenerator& rng) {
+  const double floor_x = std::floor(x);
+  const double p = x - floor_x;
+  int64_t base = static_cast<int64_t>(floor_x);
+  if (rng.Bernoulli(p)) base += 1;
+  return base + sampler_.Sample(rng);
+}
+
+std::vector<int64_t> DiscreteGaussianMixtureNoiser::PerturbVector(
+    const std::vector<double>& x, RandomGenerator& rng) {
+  std::vector<int64_t> out(x.size());
+  for (size_t j = 0; j < x.size(); ++j) out[j] = Perturb(x[j], rng);
+  return out;
+}
+
+StatusOr<std::unique_ptr<DgmMechanism>> DgmMechanism::Create(
+    const Options& options) {
+  RotationCodec::Options codec_options;
+  codec_options.dim = options.dim;
+  codec_options.gamma = options.gamma;
+  codec_options.modulus = options.modulus;
+  codec_options.rotation_seed = options.rotation_seed;
+  codec_options.apply_rotation = options.apply_rotation;
+  SMM_ASSIGN_OR_RETURN(auto codec, RotationCodec::Create(codec_options));
+  if (!(options.c > 0.0)) {
+    return InvalidArgumentError("clip threshold c must be > 0");
+  }
+  if (!(options.delta_inf > 0.0)) {
+    return InvalidArgumentError("delta_inf must be > 0");
+  }
+  SMM_ASSIGN_OR_RETURN(auto noiser, DiscreteGaussianMixtureNoiser::Create(
+                                        options.sigma, options.sampler_mode));
+  return std::unique_ptr<DgmMechanism>(
+      new DgmMechanism(options, std::move(codec), std::move(noiser)));
+}
+
+StatusOr<std::vector<uint64_t>> DgmMechanism::EncodeParticipant(
+    const std::vector<double>& x, RandomGenerator& rng) {
+  SMM_ASSIGN_OR_RETURN(auto g, codec_.RotateScale(x));
+  SMM_RETURN_IF_ERROR(SmmClip(g, options_.c, options_.delta_inf));
+  const std::vector<int64_t> perturbed = noiser_.PerturbVector(g, rng);
+  return codec_.Wrap(perturbed, &overflow_count_);
+}
+
+StatusOr<std::vector<double>> DgmMechanism::DecodeSum(
+    const std::vector<uint64_t>& zm_sum, int num_participants) {
+  (void)num_participants;
+  return codec_.Decode(zm_sum);
+}
+
+}  // namespace smm::mechanisms

@@ -1,0 +1,90 @@
+#ifndef SMM_MECHANISMS_DGM_MECHANISM_H_
+#define SMM_MECHANISMS_DGM_MECHANISM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "mechanisms/distributed_mechanism.h"
+#include "mechanisms/rotation_codec.h"
+#include "sampling/noise_sampler.h"
+
+namespace smm::mechanisms {
+
+/// The Discrete Gaussian Mixture of Appendix B (Algorithms 11, 12, 14): the
+/// same floor/ceil Bernoulli mixture as SMM but with discrete Gaussian noise
+/// NZ(0, sigma^2) instead of Skellam. Its privacy analysis (Theorems 8-9)
+/// pays an extra tau_n divergence because sums of discrete Gaussians are not
+/// discrete Gaussian.
+class DiscreteGaussianMixtureNoiser {
+ public:
+  static StatusOr<DiscreteGaussianMixtureNoiser> Create(
+      double sigma,
+      sampling::SamplerMode mode = sampling::SamplerMode::kApproximate);
+
+  /// Perturbs one value: floor(x) + Bernoulli(frac) + NZ(0, sigma^2).
+  int64_t Perturb(double x, RandomGenerator& rng);
+
+  /// Algorithm 12 (dDGM): independent per-coordinate perturbation.
+  std::vector<int64_t> PerturbVector(const std::vector<double>& x,
+                                     RandomGenerator& rng);
+
+  double sigma() const { return sampler_.sigma(); }
+
+ private:
+  explicit DiscreteGaussianMixtureNoiser(
+      sampling::DiscreteGaussianSampler sampler)
+      : sampler_(std::move(sampler)) {}
+
+  sampling::DiscreteGaussianSampler sampler_;
+};
+
+/// DGM applied to federated aggregation (Algorithm 14 + Algorithm 6): same
+/// pipeline as SmmMechanism with the noise distribution swapped.
+class DgmMechanism final : public DistributedSumMechanism {
+ public:
+  struct Options {
+    size_t dim = 0;
+    double gamma = 1.0;
+    double c = 1.0;          ///< Mixed-sensitivity clip threshold (Eq. 4).
+    double delta_inf = 1.0;  ///< Linf clip bound (Eq. 8 feasibility).
+    double sigma = 1.0;      ///< Per-participant discrete Gaussian sigma.
+    uint64_t modulus = 256;
+    uint64_t rotation_seed = 0;
+    bool apply_rotation = true;
+    sampling::SamplerMode sampler_mode = sampling::SamplerMode::kApproximate;
+  };
+
+  static StatusOr<std::unique_ptr<DgmMechanism>> Create(
+      const Options& options);
+
+  StatusOr<std::vector<uint64_t>> EncodeParticipant(
+      const std::vector<double>& x, RandomGenerator& rng) override;
+
+  StatusOr<std::vector<double>> DecodeSum(const std::vector<uint64_t>& zm_sum,
+                                          int num_participants) override;
+
+  uint64_t modulus() const override { return codec_.modulus(); }
+  size_t dim() const override { return codec_.dim(); }
+  int64_t overflow_count() const override { return overflow_count_; }
+  void ResetOverflowCount() override { overflow_count_ = 0; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  DgmMechanism(Options options, RotationCodec codec,
+               DiscreteGaussianMixtureNoiser noiser)
+      : options_(options),
+        codec_(std::move(codec)),
+        noiser_(std::move(noiser)) {}
+
+  Options options_;
+  RotationCodec codec_;
+  DiscreteGaussianMixtureNoiser noiser_;
+  int64_t overflow_count_ = 0;
+};
+
+}  // namespace smm::mechanisms
+
+#endif  // SMM_MECHANISMS_DGM_MECHANISM_H_

@@ -1,0 +1,35 @@
+#include "mechanisms/distributed_mechanism.h"
+
+namespace smm::mechanisms {
+
+StatusOr<std::vector<double>> RunDistributedSum(
+    DistributedSumMechanism& mechanism, secagg::SecureAggregator& aggregator,
+    const std::vector<std::vector<double>>& inputs, RandomGenerator& rng) {
+  if (inputs.empty()) return InvalidArgumentError("no inputs");
+  std::vector<std::vector<uint64_t>> encoded;
+  encoded.reserve(inputs.size());
+  for (const auto& x : inputs) {
+    SMM_ASSIGN_OR_RETURN(auto z, mechanism.EncodeParticipant(x, rng));
+    encoded.push_back(std::move(z));
+  }
+  SMM_ASSIGN_OR_RETURN(auto zm_sum,
+                       aggregator.Aggregate(encoded, mechanism.modulus()));
+  return mechanism.DecodeSum(zm_sum, static_cast<int>(inputs.size()));
+}
+
+double MeanSquaredErrorPerDimension(
+    const std::vector<double>& estimate,
+    const std::vector<std::vector<double>>& inputs) {
+  if (inputs.empty() || estimate.empty()) return 0.0;
+  const size_t d = inputs[0].size();
+  double sum_sq = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    double exact = 0.0;
+    for (const auto& x : inputs) exact += x[j];
+    const double e = (j < estimate.size() ? estimate[j] : 0.0) - exact;
+    sum_sq += e * e;
+  }
+  return sum_sq / static_cast<double>(d);
+}
+
+}  // namespace smm::mechanisms

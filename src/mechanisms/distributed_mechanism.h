@@ -1,0 +1,61 @@
+#ifndef SMM_MECHANISMS_DISTRIBUTED_MECHANISM_H_
+#define SMM_MECHANISMS_DISTRIBUTED_MECHANISM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "secagg/secure_aggregator.h"
+
+namespace smm::mechanisms {
+
+/// A distributed-DP mechanism for the sum estimation problem of Section 3.1,
+/// split into the participant-side encoding (noise injection + reduction
+/// into Z_m; e.g. Algorithm 4) and the server-side decoding of the
+/// aggregated Z_m sum (e.g. Algorithm 6). All competitor mechanisms of the
+/// paper implement this interface, so the experiment harnesses and the FL
+/// trainer are mechanism-agnostic.
+class DistributedSumMechanism {
+ public:
+  virtual ~DistributedSumMechanism() = default;
+
+  /// Participant procedure: perturbs x (length dim()) and returns the
+  /// integer vector in Z_m^d destined for secure aggregation.
+  virtual StatusOr<std::vector<uint64_t>> EncodeParticipant(
+      const std::vector<double>& x, RandomGenerator& rng) = 0;
+
+  /// Server procedure: converts the aggregated Z_m sum into an unbiased
+  /// estimate of sum_i x_i. num_participants is the count that contributed.
+  virtual StatusOr<std::vector<double>> DecodeSum(
+      const std::vector<uint64_t>& zm_sum, int num_participants) = 0;
+
+  /// The SecAgg modulus m (per-dimension communication of log2(m) bits).
+  virtual uint64_t modulus() const = 0;
+
+  /// The (power-of-two) dimension the mechanism operates in.
+  virtual size_t dim() const = 0;
+
+  /// Coordinates whose encoded value fell outside [-m/2, m/2) across all
+  /// EncodeParticipant calls since Reset — the modular wrap-around events
+  /// that destroy utility at small bitwidths (Section 6.2).
+  virtual int64_t overflow_count() const { return 0; }
+  virtual void ResetOverflowCount() {}
+};
+
+/// Runs the full pipeline: encodes every input, aggregates through
+/// `aggregator`, and decodes. Returns the estimated sum (same length as the
+/// inputs).
+StatusOr<std::vector<double>> RunDistributedSum(
+    DistributedSumMechanism& mechanism, secagg::SecureAggregator& aggregator,
+    const std::vector<std::vector<double>>& inputs, RandomGenerator& rng);
+
+/// Mean squared error per dimension between an estimate and the exact sum of
+/// `inputs` — the Err_M metric of Section 3.1.
+double MeanSquaredErrorPerDimension(
+    const std::vector<double>& estimate,
+    const std::vector<std::vector<double>>& inputs);
+
+}  // namespace smm::mechanisms
+
+#endif  // SMM_MECHANISMS_DISTRIBUTED_MECHANISM_H_

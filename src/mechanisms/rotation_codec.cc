@@ -1,0 +1,78 @@
+#include "mechanisms/rotation_codec.h"
+
+#include "common/bit_util.h"
+#include "secagg/modular.h"
+
+namespace smm::mechanisms {
+
+StatusOr<RotationCodec> RotationCodec::Create(const Options& options) {
+  if (options.dim == 0 || !IsPowerOfTwo(options.dim)) {
+    return InvalidArgumentError("codec dimension must be a power of two");
+  }
+  if (!(options.gamma > 0.0)) {
+    return InvalidArgumentError("gamma must be > 0");
+  }
+  if (options.modulus < 2) {
+    return InvalidArgumentError("modulus must be >= 2");
+  }
+  std::optional<transform::RandomRotation> rotation;
+  if (options.apply_rotation) {
+    SMM_ASSIGN_OR_RETURN(auto r, transform::RandomRotation::Create(
+                                     options.dim, options.rotation_seed));
+    rotation = std::move(r);
+  }
+  return RotationCodec(options, std::move(rotation));
+}
+
+StatusOr<std::vector<double>> RotationCodec::RotateScale(
+    const std::vector<double>& x) const {
+  if (x.size() != options_.dim) {
+    return InvalidArgumentError("input dimension mismatch");
+  }
+  std::vector<double> g;
+  if (rotation_.has_value()) {
+    SMM_ASSIGN_OR_RETURN(g, rotation_->Apply(x));
+  } else {
+    g = x;
+  }
+  for (double& v : g) v *= options_.gamma;
+  return g;
+}
+
+std::vector<uint64_t> RotationCodec::Wrap(const std::vector<int64_t>& values,
+                                          int64_t* overflow_count) const {
+  const uint64_t m = options_.modulus;
+  const int64_t half = static_cast<int64_t>(m / 2);
+  std::vector<uint64_t> out(values.size());
+  for (size_t j = 0; j < values.size(); ++j) {
+    if (overflow_count != nullptr &&
+        (values[j] < -half || values[j] >= half)) {
+      ++*overflow_count;
+    }
+    out[j] = secagg::ModReduce(values[j], m);
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> RotationCodec::Decode(
+    const std::vector<uint64_t>& zm_sum) const {
+  if (zm_sum.size() != options_.dim) {
+    return InvalidArgumentError("aggregated sum dimension mismatch");
+  }
+  const std::vector<int64_t> lifted =
+      secagg::LiftVector(zm_sum, options_.modulus);
+  std::vector<double> y(lifted.size());
+  for (size_t j = 0; j < y.size(); ++j) {
+    y[j] = static_cast<double>(lifted[j]);
+  }
+  std::vector<double> out;
+  if (rotation_.has_value()) {
+    SMM_ASSIGN_OR_RETURN(out, rotation_->Inverse(y));
+  } else {
+    out = std::move(y);
+  }
+  for (double& v : out) v /= options_.gamma;
+  return out;
+}
+
+}  // namespace smm::mechanisms

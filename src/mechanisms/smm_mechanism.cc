@@ -1,0 +1,71 @@
+#include "mechanisms/smm_mechanism.h"
+
+#include <cmath>
+
+#include "mechanisms/clipping.h"
+
+namespace smm::mechanisms {
+
+StatusOr<SkellamMixtureNoiser> SkellamMixtureNoiser::Create(
+    double lambda, sampling::SamplerMode mode) {
+  SMM_ASSIGN_OR_RETURN(auto sampler,
+                       sampling::SkellamSampler::Create(lambda, mode));
+  return SkellamMixtureNoiser(std::move(sampler));
+}
+
+int64_t SkellamMixtureNoiser::Perturb(double x, RandomGenerator& rng) {
+  const double floor_x = std::floor(x);
+  const double p = x - floor_x;  // In [0, 1).
+  int64_t base = static_cast<int64_t>(floor_x);
+  if (rng.Bernoulli(p)) base += 1;  // ceil(x) branch (Lines 6-7 of Alg. 1).
+  return base + sampler_.Sample(rng);
+}
+
+std::vector<int64_t> SkellamMixtureNoiser::PerturbVector(
+    const std::vector<double>& x, RandomGenerator& rng) {
+  std::vector<int64_t> out(x.size());
+  for (size_t j = 0; j < x.size(); ++j) out[j] = Perturb(x[j], rng);
+  return out;
+}
+
+StatusOr<std::unique_ptr<SmmMechanism>> SmmMechanism::Create(
+    const Options& options) {
+  RotationCodec::Options codec_options;
+  codec_options.dim = options.dim;
+  codec_options.gamma = options.gamma;
+  codec_options.modulus = options.modulus;
+  codec_options.rotation_seed = options.rotation_seed;
+  codec_options.apply_rotation = options.apply_rotation;
+  SMM_ASSIGN_OR_RETURN(auto codec, RotationCodec::Create(codec_options));
+  if (!(options.c > 0.0)) {
+    return InvalidArgumentError("clip threshold c must be > 0");
+  }
+  if (!(options.delta_inf > 0.0)) {
+    return InvalidArgumentError("delta_inf must be > 0");
+  }
+  SMM_ASSIGN_OR_RETURN(
+      auto noiser,
+      SkellamMixtureNoiser::Create(options.lambda, options.sampler_mode));
+  return std::unique_ptr<SmmMechanism>(
+      new SmmMechanism(options, std::move(codec), std::move(noiser)));
+}
+
+StatusOr<std::vector<uint64_t>> SmmMechanism::EncodeParticipant(
+    const std::vector<double>& x, RandomGenerator& rng) {
+  // Lines 1-2 of Algorithm 4: rotate and scale.
+  SMM_ASSIGN_OR_RETURN(auto g, codec_.RotateScale(x));
+  // Line 3: the mixed-sensitivity clip of Algorithm 5.
+  SMM_RETURN_IF_ERROR(SmmClip(g, options_.c, options_.delta_inf));
+  // Lines 4-10: the Skellam mixture perturbation.
+  const std::vector<int64_t> perturbed = noiser_.PerturbVector(g, rng);
+  // Line 11: reduce into Z_m.
+  return codec_.Wrap(perturbed, &overflow_count_);
+}
+
+StatusOr<std::vector<double>> SmmMechanism::DecodeSum(
+    const std::vector<uint64_t>& zm_sum, int num_participants) {
+  (void)num_participants;  // SMM's estimate is unbiased for any count.
+  return codec_.Decode(zm_sum);
+}
+
+}  // namespace smm::mechanisms

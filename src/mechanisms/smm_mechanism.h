@@ -1,0 +1,95 @@
+#ifndef SMM_MECHANISMS_SMM_MECHANISM_H_
+#define SMM_MECHANISMS_SMM_MECHANISM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "mechanisms/distributed_mechanism.h"
+#include "mechanisms/rotation_codec.h"
+#include "sampling/noise_sampler.h"
+
+namespace smm::mechanisms {
+
+/// The mixture perturbation at the heart of SMM (Algorithms 1 and 2): each
+/// real value x is mapped to floor(x) + Bernoulli(x - floor(x)) and then
+/// perturbed with symmetric Skellam noise Sk(lambda, lambda). The output is
+/// integer-valued and an unbiased estimator of x; across one participant it
+/// follows the mixture of two shifted Skellam distributions analyzed in
+/// Section 3.
+class SkellamMixtureNoiser {
+ public:
+  /// lambda > 0 is the per-participant Skellam parameter.
+  static StatusOr<SkellamMixtureNoiser> Create(
+      double lambda,
+      sampling::SamplerMode mode = sampling::SamplerMode::kApproximate);
+
+  /// Perturbs a single value (one iteration of Algorithm 1's loop body).
+  int64_t Perturb(double x, RandomGenerator& rng);
+
+  /// Perturbs every coordinate independently (Algorithm 2 / dSMM).
+  std::vector<int64_t> PerturbVector(const std::vector<double>& x,
+                                     RandomGenerator& rng);
+
+  double lambda() const { return sampler_.lambda(); }
+
+ private:
+  explicit SkellamMixtureNoiser(sampling::SkellamSampler sampler)
+      : sampler_(std::move(sampler)) {}
+
+  sampling::SkellamSampler sampler_;
+};
+
+/// The full Skellam Mixture Mechanism for federated/distributed aggregation
+/// (Algorithms 4 and 6): random rotation, scaling by gamma, the
+/// mixed-sensitivity clipping of Algorithm 5, mixture-Skellam perturbation,
+/// and reduction into Z_m; plus the server-side decoding.
+class SmmMechanism final : public DistributedSumMechanism {
+ public:
+  struct Options {
+    size_t dim = 0;           ///< Power-of-two dimension.
+    double gamma = 1.0;       ///< Scale parameter.
+    double c = 1.0;           ///< Mixed-sensitivity clip threshold (Eq. 4).
+    double delta_inf = 1.0;   ///< Linf clip bound from Eq. (3).
+    double lambda = 1.0;      ///< Per-participant Skellam parameter.
+    uint64_t modulus = 256;   ///< SecAgg modulus m.
+    uint64_t rotation_seed = 0;
+    bool apply_rotation = true;
+    sampling::SamplerMode sampler_mode = sampling::SamplerMode::kApproximate;
+  };
+
+  static StatusOr<std::unique_ptr<SmmMechanism>> Create(
+      const Options& options);
+
+  /// Algorithm 4.
+  StatusOr<std::vector<uint64_t>> EncodeParticipant(
+      const std::vector<double>& x, RandomGenerator& rng) override;
+
+  /// Algorithm 6.
+  StatusOr<std::vector<double>> DecodeSum(const std::vector<uint64_t>& zm_sum,
+                                          int num_participants) override;
+
+  uint64_t modulus() const override { return codec_.modulus(); }
+  size_t dim() const override { return codec_.dim(); }
+  int64_t overflow_count() const override { return overflow_count_; }
+  void ResetOverflowCount() override { overflow_count_ = 0; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  SmmMechanism(Options options, RotationCodec codec,
+               SkellamMixtureNoiser noiser)
+      : options_(options),
+        codec_(std::move(codec)),
+        noiser_(std::move(noiser)) {}
+
+  Options options_;
+  RotationCodec codec_;
+  SkellamMixtureNoiser noiser_;
+  int64_t overflow_count_ = 0;
+};
+
+}  // namespace smm::mechanisms
+
+#endif  // SMM_MECHANISMS_SMM_MECHANISM_H_

@@ -1,0 +1,151 @@
+#include "nn/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smm::nn {
+
+StatusOr<Mlp> Mlp::Create(const Options& options) {
+  if (options.input_dim < 1) {
+    return InvalidArgumentError("input_dim must be >= 1");
+  }
+  if (options.num_classes < 2) {
+    return InvalidArgumentError("num_classes must be >= 2");
+  }
+  for (int h : options.hidden_dims) {
+    if (h < 1) return InvalidArgumentError("hidden dims must be >= 1");
+  }
+  std::vector<int> widths;
+  widths.push_back(options.input_dim);
+  for (int h : options.hidden_dims) widths.push_back(h);
+  widths.push_back(options.num_classes);
+
+  std::vector<LayerShape> shapes;
+  size_t offset = 0;
+  for (size_t l = 0; l + 1 < widths.size(); ++l) {
+    LayerShape s;
+    s.in = widths[l];
+    s.out = widths[l + 1];
+    s.weight_offset = offset;
+    offset += static_cast<size_t>(s.in) * static_cast<size_t>(s.out);
+    s.bias_offset = offset;
+    offset += static_cast<size_t>(s.out);
+    shapes.push_back(s);
+  }
+
+  Mlp mlp(options, std::move(shapes), offset);
+  // Xavier/Glorot-uniform initialization.
+  RandomGenerator rng(options.init_seed);
+  for (const LayerShape& s : mlp.shapes_) {
+    const double limit = std::sqrt(6.0 / static_cast<double>(s.in + s.out));
+    for (size_t k = 0; k < static_cast<size_t>(s.in) * s.out; ++k) {
+      mlp.params_[s.weight_offset + k] =
+          (2.0 * rng.UniformDouble() - 1.0) * limit;
+    }
+    // Biases stay zero.
+  }
+  return mlp;
+}
+
+void Mlp::ForwardInternal(
+    const std::vector<double>& x,
+    std::vector<std::vector<double>>& activations) const {
+  activations.clear();
+  activations.reserve(shapes_.size() + 1);
+  activations.push_back(x);
+  for (size_t l = 0; l < shapes_.size(); ++l) {
+    const LayerShape& s = shapes_[l];
+    const std::vector<double>& a = activations.back();
+    std::vector<double> z(static_cast<size_t>(s.out));
+    for (int o = 0; o < s.out; ++o) {
+      const double* w =
+          params_.data() + s.weight_offset + static_cast<size_t>(o) * s.in;
+      double acc = params_[s.bias_offset + static_cast<size_t>(o)];
+      for (int i = 0; i < s.in; ++i) acc += w[i] * a[static_cast<size_t>(i)];
+      z[static_cast<size_t>(o)] = acc;
+    }
+    const bool is_last = (l + 1 == shapes_.size());
+    if (!is_last) {
+      for (double& v : z) v = std::max(0.0, v);  // ReLU.
+    }
+    activations.push_back(std::move(z));
+  }
+}
+
+std::vector<double> Mlp::Forward(const std::vector<double>& x) const {
+  std::vector<std::vector<double>> activations;
+  ForwardInternal(x, activations);
+  return activations.back();
+}
+
+namespace {
+
+/// Softmax probabilities from logits, numerically stable.
+std::vector<double> Softmax(const std::vector<double>& logits) {
+  const double m = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> p(logits.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    p[i] = std::exp(logits[i] - m);
+    sum += p[i];
+  }
+  for (double& v : p) v /= sum;
+  return p;
+}
+
+}  // namespace
+
+Mlp::LossAndGrad Mlp::ComputeLossAndGradient(const std::vector<double>& x,
+                                             int label) const {
+  std::vector<std::vector<double>> activations;
+  ForwardInternal(x, activations);
+  const std::vector<double> probs = Softmax(activations.back());
+  LossAndGrad result;
+  result.loss = -std::log(std::max(probs[static_cast<size_t>(label)], 1e-12));
+  result.grad.assign(params_.size(), 0.0);
+
+  // delta = dL/dz for the current layer; starts at softmax-CE gradient.
+  std::vector<double> delta = probs;
+  delta[static_cast<size_t>(label)] -= 1.0;
+
+  for (size_t l = shapes_.size(); l-- > 0;) {
+    const LayerShape& s = shapes_[l];
+    const std::vector<double>& a_in = activations[l];
+    // Weight and bias gradients.
+    for (int o = 0; o < s.out; ++o) {
+      const double d = delta[static_cast<size_t>(o)];
+      double* gw = result.grad.data() + s.weight_offset +
+                   static_cast<size_t>(o) * s.in;
+      for (int i = 0; i < s.in; ++i) gw[i] = d * a_in[static_cast<size_t>(i)];
+      result.grad[s.bias_offset + static_cast<size_t>(o)] = d;
+    }
+    if (l == 0) break;
+    // Propagate delta to the previous layer through W and the ReLU mask.
+    std::vector<double> prev(static_cast<size_t>(s.in), 0.0);
+    for (int o = 0; o < s.out; ++o) {
+      const double d = delta[static_cast<size_t>(o)];
+      const double* w =
+          params_.data() + s.weight_offset + static_cast<size_t>(o) * s.in;
+      for (int i = 0; i < s.in; ++i) prev[static_cast<size_t>(i)] += d * w[i];
+    }
+    for (int i = 0; i < s.in; ++i) {
+      if (a_in[static_cast<size_t>(i)] <= 0.0) prev[static_cast<size_t>(i)] = 0.0;
+    }
+    delta = std::move(prev);
+  }
+  return result;
+}
+
+double Mlp::ComputeLoss(const std::vector<double>& x, int label) const {
+  const std::vector<double> logits = Forward(x);
+  const std::vector<double> probs = Softmax(logits);
+  return -std::log(std::max(probs[static_cast<size_t>(label)], 1e-12));
+}
+
+int Mlp::Predict(const std::vector<double>& x) const {
+  const std::vector<double> logits = Forward(x);
+  return static_cast<int>(std::distance(
+      logits.begin(), std::max_element(logits.begin(), logits.end())));
+}
+
+}  // namespace smm::nn

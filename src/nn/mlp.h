@@ -1,0 +1,83 @@
+#ifndef SMM_NN_MLP_H_
+#define SMM_NN_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace smm::nn {
+
+/// A fully-connected ReLU network with a softmax cross-entropy head — the
+/// model of Section 6.2 ("a three-layer neural network with fully connected
+/// layers and ReLU activation"). Parameters live in one flat vector so that
+/// per-example gradients can be fed directly into the distributed
+/// mechanisms, and the optimizer can update them in place.
+class Mlp {
+ public:
+  struct Options {
+    int input_dim = 0;
+    /// Hidden layer widths; the paper uses {80, 80}.
+    std::vector<int> hidden_dims;
+    int num_classes = 0;
+    uint64_t init_seed = 1;
+  };
+
+  /// Creates an MLP with Xavier/Glorot-uniform initialized weights and zero
+  /// biases.
+  static StatusOr<Mlp> Create(const Options& options);
+
+  /// Total number of parameters (the gradient dimension d of the paper).
+  size_t num_parameters() const { return params_.size(); }
+
+  const std::vector<double>& parameters() const { return params_; }
+  std::vector<double>& mutable_parameters() { return params_; }
+
+  /// Class logits for a single example (length num_classes).
+  std::vector<double> Forward(const std::vector<double>& x) const;
+
+  /// Softmax cross-entropy loss and the full flat parameter gradient for a
+  /// single example — each FL participant holds one record (Section 6.2), so
+  /// per-example gradients are the unit of privacy.
+  struct LossAndGrad {
+    double loss = 0.0;
+    std::vector<double> grad;
+  };
+  LossAndGrad ComputeLossAndGradient(const std::vector<double>& x,
+                                     int label) const;
+
+  /// Loss only (no gradient), for cheap evaluation.
+  double ComputeLoss(const std::vector<double>& x, int label) const;
+
+  /// Argmax class prediction.
+  int Predict(const std::vector<double>& x) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct LayerShape {
+    int in = 0;
+    int out = 0;
+    size_t weight_offset = 0;  ///< Offset of W (row-major out x in).
+    size_t bias_offset = 0;    ///< Offset of b (length out).
+  };
+
+  Mlp(Options options, std::vector<LayerShape> shapes, size_t num_params)
+      : options_(std::move(options)),
+        shapes_(std::move(shapes)),
+        params_(num_params, 0.0) {}
+
+  /// Runs the forward pass, recording post-activation values per layer
+  /// (activations[0] = input, activations.back() = logits).
+  void ForwardInternal(const std::vector<double>& x,
+                       std::vector<std::vector<double>>& activations) const;
+
+  Options options_;
+  std::vector<LayerShape> shapes_;
+  std::vector<double> params_;
+};
+
+}  // namespace smm::nn
+
+#endif  // SMM_NN_MLP_H_

@@ -1,0 +1,48 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace smm::nn {
+
+Status SgdOptimizer::Step(std::vector<double>& params,
+                          const std::vector<double>& grad) {
+  if (grad.size() != params.size()) {
+    return InvalidArgumentError("gradient/parameter size mismatch");
+  }
+  if (momentum_ != 0.0) {
+    if (velocity_.empty()) velocity_.assign(params.size(), 0.0);
+    for (size_t i = 0; i < params.size(); ++i) {
+      velocity_[i] = momentum_ * velocity_[i] + grad[i];
+      params[i] -= learning_rate_ * velocity_[i];
+    }
+  } else {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i] -= learning_rate_ * grad[i];
+    }
+  }
+  return OkStatus();
+}
+
+Status AdamOptimizer::Step(std::vector<double>& params,
+                           const std::vector<double>& grad) {
+  if (grad.size() != params.size()) {
+    return InvalidArgumentError("gradient/parameter size mismatch");
+  }
+  if (m_.empty()) {
+    m_.assign(params.size(), 0.0);
+    v_.assign(params.size(), 0.0);
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grad[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grad[i] * grad[i];
+    const double m_hat = m_[i] / bc1;
+    const double v_hat = v_[i] / bc2;
+    params[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+  }
+  return OkStatus();
+}
+
+}  // namespace smm::nn

@@ -1,0 +1,62 @@
+#ifndef SMM_NN_OPTIMIZER_H_
+#define SMM_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smm::nn {
+
+/// First-order optimizer applying parameter updates from (noisy) gradient
+/// estimates — the Update step of Algorithm 3 Line 9.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update. grad must have params.size() entries.
+  virtual Status Step(std::vector<double>& params,
+                      const std::vector<double>& grad) = 0;
+};
+
+/// Plain SGD with optional momentum.
+class SgdOptimizer final : public Optimizer {
+ public:
+  explicit SgdOptimizer(double learning_rate, double momentum = 0.0)
+      : learning_rate_(learning_rate), momentum_(momentum) {}
+
+  Status Step(std::vector<double>& params,
+              const std::vector<double>& grad) override;
+
+ private:
+  double learning_rate_;
+  double momentum_;
+  std::vector<double> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) — the optimizer of Section 6.2 (lr = 0.005).
+class AdamOptimizer final : public Optimizer {
+ public:
+  explicit AdamOptimizer(double learning_rate, double beta1 = 0.9,
+                         double beta2 = 0.999, double epsilon = 1e-8)
+      : learning_rate_(learning_rate),
+        beta1_(beta1),
+        beta2_(beta2),
+        epsilon_(epsilon) {}
+
+  Status Step(std::vector<double>& params,
+              const std::vector<double>& grad) override;
+
+ private:
+  double learning_rate_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  int64_t t_ = 0;
+  std::vector<double> m_;
+  std::vector<double> v_;
+};
+
+}  // namespace smm::nn
+
+#endif  // SMM_NN_OPTIMIZER_H_

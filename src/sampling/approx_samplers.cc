@@ -1,0 +1,42 @@
+#include "sampling/approx_samplers.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace smm::sampling {
+
+int64_t SamplePoissonApprox(double lambda, RandomGenerator& rng) {
+  assert(lambda >= 0.0);
+  if (lambda == 0.0) return 0;
+  UrbgAdapter urbg{&rng};
+  std::poisson_distribution<int64_t> dist(lambda);
+  return dist(urbg);
+}
+
+int64_t SampleSkellamApprox(double lambda, RandomGenerator& rng) {
+  return SamplePoissonApprox(lambda, rng) - SamplePoissonApprox(lambda, rng);
+}
+
+int64_t SampleDiscreteGaussianApprox(double sigma, RandomGenerator& rng) {
+  assert(sigma > 0.0);
+  const int64_t t = static_cast<int64_t>(std::floor(sigma)) + 1;
+  const double sigma2 = sigma * sigma;
+  const double geo_success = 1.0 - std::exp(-1.0);
+  while (true) {
+    // Discrete Laplace proposal with scale t, floating-point variant of
+    // SampleDiscreteLaplaceExact.
+    const int64_t u =
+        static_cast<int64_t>(rng.UniformDouble() * static_cast<double>(t));
+    if (!rng.Bernoulli(std::exp(-static_cast<double>(u) / t))) continue;
+    int64_t v = 0;
+    while (!rng.Bernoulli(geo_success)) ++v;
+    const int64_t x = u + t * v;
+    const bool negative = rng.Bernoulli(0.5);
+    if (negative && x == 0) continue;
+    const int64_t y = negative ? -x : x;
+    const double dev = std::abs(static_cast<double>(y)) - sigma2 / t;
+    if (rng.Bernoulli(std::exp(-dev * dev / (2.0 * sigma2)))) return y;
+  }
+}
+
+}  // namespace smm::sampling

@@ -1,0 +1,42 @@
+#ifndef SMM_SAMPLING_APPROX_SAMPLERS_H_
+#define SMM_SAMPLING_APPROX_SAMPLERS_H_
+
+#include <cstdint>
+#include <random>
+
+#include "common/random.h"
+
+namespace smm::sampling {
+
+/// Fast floating-point ("approximate") samplers standing in for the
+/// TensorFlow samplers used in the paper's experiments (Section 6: "all
+/// experiments are done using the approximate samplers ... which are based
+/// on floating point approximations"). Their output distributions match the
+/// analytical forms only up to double rounding; the exact samplers in
+/// exact_samplers.h / discrete_gaussian_sampler.h are the strict-DP path.
+
+/// Adapts RandomGenerator to the standard UniformRandomBitGenerator concept
+/// so that <random> distributions can consume our deterministic stream.
+struct UrbgAdapter {
+  using result_type = uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<uint64_t>(0); }
+  RandomGenerator* rng;
+  result_type operator()() { return rng->NextBits(); }
+};
+
+/// Approximate Poisson(lambda) via the standard library implementation.
+int64_t SamplePoissonApprox(double lambda, RandomGenerator& rng);
+
+/// Approximate symmetric Skellam Sk(lambda, lambda): difference of two
+/// approximate Poisson(lambda) draws.
+int64_t SampleSkellamApprox(double lambda, RandomGenerator& rng);
+
+/// Approximate discrete Gaussian N_Z(0, sigma^2): the CKS rejection scheme
+/// (discrete Laplace proposal, Gaussian-weight acceptance) evaluated in
+/// double precision.
+int64_t SampleDiscreteGaussianApprox(double sigma, RandomGenerator& rng);
+
+}  // namespace smm::sampling
+
+#endif  // SMM_SAMPLING_APPROX_SAMPLERS_H_

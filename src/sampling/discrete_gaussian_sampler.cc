@@ -1,0 +1,122 @@
+#include "sampling/discrete_gaussian_sampler.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace smm::sampling {
+
+namespace {
+
+using uint128 = unsigned __int128;
+
+// Uniform integer in {1, ..., bound} for a 128-bit bound, by rejection over
+// the full 128-bit space. Needed because the exact Bernoulli(num/den) checks
+// inside the CKS sampler can involve denominators larger than 2^63.
+uint128 RandInt128(uint128 bound, RandomGenerator& rng) {
+  assert(bound >= 1);
+  const uint128 full = ~static_cast<uint128>(0);
+  const uint128 threshold = (full - bound + 1) % bound;  // (2^128 - b) mod b
+  while (true) {
+    const uint128 r = (static_cast<uint128>(rng.NextBits()) << 64) |
+                      static_cast<uint128>(rng.NextBits());
+    if (r >= threshold) return (r % bound) + 1;
+  }
+}
+
+// Exact Bernoulli(num/den) with 128-bit operands.
+bool Bernoulli128(uint128 num, uint128 den, RandomGenerator& rng) {
+  assert(den > 0);
+  if (num == 0) return false;
+  if (num >= den) return true;
+  return RandInt128(den, rng) <= num;
+}
+
+// Exact Bernoulli(exp(-num/den)) for 0 <= num/den <= 1 (CKS Algorithm 1,
+// gamma <= 1 case): K <- 1; while Bernoulli(gamma / K) succeeds, K <- K + 1;
+// accept iff K ends odd.
+bool BernoulliExpMinusLeOne(uint128 num, uint128 den, RandomGenerator& rng) {
+  assert(num <= den);
+  uint128 k = 1;
+  while (true) {
+    // Bernoulli(gamma / k) = Bernoulli(num / (den * k)).
+    if (!Bernoulli128(num, den * k, rng)) break;
+    ++k;
+    // gamma <= 1 makes this loop terminate quickly (E[K] <= e).
+  }
+  return (k % 2) == 1;
+}
+
+bool BernoulliExpMinus128(uint128 num, uint128 den, RandomGenerator& rng) {
+  // Factor exp(-gamma) = exp(-1)^floor(gamma) * exp(-(gamma mod 1)).
+  while (num > den) {
+    if (!BernoulliExpMinusLeOne(1, 1, rng)) return false;
+    num -= den;
+  }
+  return BernoulliExpMinusLeOne(num, den, rng);
+}
+
+uint128 Gcd128(uint128 a, uint128 b) {
+  while (b != 0) {
+    const uint128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+bool SampleBernoulliExpMinusExact(int64_t num, int64_t den,
+                                  RandomGenerator& rng) {
+  assert(num >= 0 && den > 0);
+  return BernoulliExpMinus128(static_cast<uint128>(num),
+                              static_cast<uint128>(den), rng);
+}
+
+int64_t SampleDiscreteLaplaceExact(int64_t t, RandomGenerator& rng) {
+  assert(t >= 1);
+  while (true) {
+    // U uniform on {0, ..., t-1}; accept with probability exp(-U/t).
+    const int64_t u = rng.RandInt(t) - 1;
+    if (!SampleBernoulliExpMinusExact(u, t, rng)) continue;
+    // V ~ Geometric(1 - exp(-1)): number of successes of Bernoulli(e^-1).
+    int64_t v = 0;
+    while (SampleBernoulliExpMinusExact(1, 1, rng)) ++v;
+    const int64_t x = u + t * v;
+    const bool negative = rng.RandInt(2) == 1;
+    if (negative && x == 0) continue;  // Avoid double-counting zero.
+    return negative ? -x : x;
+  }
+}
+
+StatusOr<int64_t> SampleDiscreteGaussianExact(const Rational& sigma_squared,
+                                              RandomGenerator& rng) {
+  if (sigma_squared.num <= 0 || sigma_squared.den <= 0) {
+    return InvalidArgumentError("sigma^2 must be a positive rational");
+  }
+  const uint128 p = static_cast<uint128>(sigma_squared.num);  // sigma^2 = p/q
+  const uint128 q = static_cast<uint128>(sigma_squared.den);
+  // t = floor(sigma) + 1, computed in integers: floor(sqrt(p/q)).
+  const double sigma = std::sqrt(sigma_squared.ToDouble());
+  int64_t t = static_cast<int64_t>(std::floor(sigma)) + 1;
+  if (t < 1) t = 1;
+  const uint128 t128 = static_cast<uint128>(t);
+
+  while (true) {
+    const int64_t y = SampleDiscreteLaplaceExact(t, rng);
+    const uint128 abs_y = static_cast<uint128>(y >= 0 ? y : -y);
+    // Acceptance probability exp(-(|Y| - sigma^2/t)^2 / (2 sigma^2)).
+    // With sigma^2 = p/q:
+    //   (|Y| - p/(q t))^2 / (2 p / q) = (|Y| q t - p)^2 / (2 p q t^2).
+    const uint128 a = abs_y * q * t128;
+    const uint128 diff = a >= p ? a - p : p - a;
+    uint128 num = diff * diff;
+    uint128 den = 2 * p * q * t128 * t128;
+    const uint128 g = Gcd128(num, den);
+    num /= g;
+    den /= g;
+    if (BernoulliExpMinus128(num, den, rng)) return y;
+  }
+}
+
+}  // namespace smm::sampling

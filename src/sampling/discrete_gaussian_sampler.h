@@ -1,0 +1,37 @@
+#ifndef SMM_SAMPLING_DISCRETE_GAUSSIAN_SAMPLER_H_
+#define SMM_SAMPLING_DISCRETE_GAUSSIAN_SAMPLER_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "sampling/rational.h"
+
+namespace smm::sampling {
+
+/// Exact sampler for the discrete Gaussian N_Z(0, sigma^2), following
+/// Canonne, Kamath & Steinke (NeurIPS 2020), the construction referenced by
+/// the paper for its Discrete Gaussian competitors (DDG, DGM). Like the
+/// Appendix-A Poisson samplers, it consumes randomness only through RandInt
+/// and decides every accept/reject with integer arithmetic, so the output
+/// distribution is exactly N_Z(0, sigma^2) for rational sigma^2.
+
+/// Exact Bernoulli(exp(-gamma)) for rational gamma = num/den >= 0
+/// (CKS Algorithm 1, extended to gamma > 1 by factoring exp(-gamma) into
+/// floor(gamma) factors of exp(-1) and one exp(-(gamma - floor(gamma)))).
+bool SampleBernoulliExpMinusExact(int64_t num, int64_t den,
+                                  RandomGenerator& rng);
+
+/// Exact two-sided geometric (discrete Laplace) with pmf proportional to
+/// exp(-|y| / t) for integer scale t >= 1 (CKS Algorithm 2 with s = 1).
+int64_t SampleDiscreteLaplaceExact(int64_t t, RandomGenerator& rng);
+
+/// Exact discrete Gaussian N_Z(0, sigma^2) with sigma^2 = sigma_squared
+/// (CKS Algorithm 3): rejection sampling with a discrete Laplace proposal of
+/// scale t = floor(sigma) + 1.
+StatusOr<int64_t> SampleDiscreteGaussianExact(const Rational& sigma_squared,
+                                              RandomGenerator& rng);
+
+}  // namespace smm::sampling
+
+#endif  // SMM_SAMPLING_DISCRETE_GAUSSIAN_SAMPLER_H_

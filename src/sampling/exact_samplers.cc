@@ -1,0 +1,75 @@
+#include "sampling/exact_samplers.h"
+
+#include <cassert>
+
+namespace smm::sampling {
+
+bool SampleBernoulliExact(int64_t px, int64_t py, RandomGenerator& rng) {
+  assert(py > 0);
+  assert(px >= 0 && px <= py);
+  if (px == 0) return false;
+  if (px == py) return true;
+  return rng.RandInt(py) <= px;
+}
+
+int64_t SamplePoissonOneExact(RandomGenerator& rng) {
+  // Algorithm 7 (Duchon & Duvignau). Grows a uniform random permutation one
+  // element at a time and tracks a statistic whose stationary distribution
+  // is Poisson(1).
+  int64_t n = 1, g = 0, k = 1;
+  while (true) {
+    const int64_t i = rng.RandInt(n + 1);  // uniform {1, ..., n+1}
+    if (i == n + 1) {
+      ++k;
+    } else if (i > g) {
+      --k;
+      g = n + 1;
+    } else {
+      return k;
+    }
+    ++n;
+  }
+}
+
+int64_t SamplePoissonLessThanOneExact(int64_t mx, int64_t my,
+                                      RandomGenerator& rng) {
+  assert(my > 0);
+  assert(mx > 0 && mx < my);
+  // Poisson(lambda) with lambda < 1 is distributed as the sum of N Bernoulli
+  // variates of success probability lambda, with N ~ Poisson(1)
+  // (Devroye 1986, p. 487).
+  int64_t k = 0;
+  const int64_t n = SamplePoissonOneExact(rng);
+  for (int64_t i = 0; i < n; ++i) {
+    if (SampleBernoulliExact(mx, my, rng)) ++k;
+  }
+  return k;
+}
+
+StatusOr<int64_t> SamplePoissonExact(const Rational& lambda,
+                                     RandomGenerator& rng) {
+  if (lambda.den <= 0 || lambda.num < 0) {
+    return InvalidArgumentError("Poisson parameter must be >= 0");
+  }
+  int64_t mx = lambda.num;
+  const int64_t my = lambda.den;
+  int64_t k = 0;
+  if (mx == 0) return k;
+  // While lambda >= 1, peel off Poisson(1) contributions (the sum of
+  // independent Poisson variates is Poisson with the summed parameter).
+  while (mx >= my) {
+    k += SamplePoissonOneExact(rng);
+    mx -= my;
+  }
+  if (mx > 0) k += SamplePoissonLessThanOneExact(mx, my, rng);
+  return k;
+}
+
+StatusOr<int64_t> SampleSkellamExact(const Rational& lambda,
+                                     RandomGenerator& rng) {
+  SMM_ASSIGN_OR_RETURN(const int64_t a, SamplePoissonExact(lambda, rng));
+  SMM_ASSIGN_OR_RETURN(const int64_t b, SamplePoissonExact(lambda, rng));
+  return a - b;
+}
+
+}  // namespace smm::sampling

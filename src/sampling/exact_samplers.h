@@ -1,0 +1,44 @@
+#ifndef SMM_SAMPLING_EXACT_SAMPLERS_H_
+#define SMM_SAMPLING_EXACT_SAMPLERS_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "sampling/rational.h"
+
+namespace smm::sampling {
+
+/// Exact integer samplers from Appendix A of the paper. Following the
+/// convention there (inherited from Canonne, Kamath & Steinke), the only
+/// source of randomness is RandomGenerator::RandInt(n), which returns a
+/// uniform integer from {1, ..., n}; everything else is integer arithmetic,
+/// so each sampler's output distribution matches its analytical form exactly
+/// (no floating-point discrepancies a la Mironov 2012).
+
+/// Algorithm 9: exact Bernoulli(p) with p = px/py. Requires 0 <= px <= py,
+/// py > 0 (checked by assertion; callers validate).
+bool SampleBernoulliExact(int64_t px, int64_t py, RandomGenerator& rng);
+
+/// Algorithm 7: exact sampler for Poisson(1) (Duchon & Duvignau 2016).
+int64_t SamplePoissonOneExact(RandomGenerator& rng);
+
+/// Algorithm 8: exact sampler for Poisson(lambda), 0 < lambda < 1, with
+/// lambda = mx/my. Draws N ~ Poisson(1) and returns the sum of N Bernoulli
+/// trials with success probability mx/my.
+int64_t SamplePoissonLessThanOneExact(int64_t mx, int64_t my,
+                                      RandomGenerator& rng);
+
+/// Algorithm 10: exact sampler for Poisson(lambda), lambda = mx/my >= 0.
+/// Validates the rational parameter and dispatches to Algorithms 7/8.
+StatusOr<int64_t> SamplePoissonExact(const Rational& lambda,
+                                     RandomGenerator& rng);
+
+/// Exact symmetric Skellam Sk(lambda, lambda): the difference of two
+/// independent exact Poisson(lambda) samples (Section 2.1).
+StatusOr<int64_t> SampleSkellamExact(const Rational& lambda,
+                                     RandomGenerator& rng);
+
+}  // namespace smm::sampling
+
+#endif  // SMM_SAMPLING_EXACT_SAMPLERS_H_

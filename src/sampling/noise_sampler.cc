@@ -1,0 +1,52 @@
+#include "sampling/noise_sampler.h"
+
+#include "sampling/approx_samplers.h"
+#include "sampling/discrete_gaussian_sampler.h"
+#include "sampling/exact_samplers.h"
+
+namespace smm::sampling {
+
+StatusOr<SkellamSampler> SkellamSampler::Create(double lambda,
+                                                SamplerMode mode,
+                                                int64_t max_denominator) {
+  if (!(lambda > 0.0)) {
+    return InvalidArgumentError("Skellam lambda must be > 0");
+  }
+  const Rational r = Rational::FromDouble(lambda, max_denominator);
+  if (mode == SamplerMode::kExact && r.num == 0) {
+    return InvalidArgumentError(
+        "Skellam lambda too small to rationalize for the exact sampler");
+  }
+  return SkellamSampler(lambda, mode, r);
+}
+
+int64_t SkellamSampler::Sample(RandomGenerator& rng) {
+  if (mode_ == SamplerMode::kApproximate) {
+    UrbgAdapter urbg{&rng};
+    return poisson_(urbg) - poisson_(urbg);
+  }
+  // Exact path: parameters were validated at Create time.
+  return SampleSkellamExact(rational_lambda_, rng).value();
+}
+
+StatusOr<DiscreteGaussianSampler> DiscreteGaussianSampler::Create(
+    double sigma, SamplerMode mode, int64_t max_denominator) {
+  if (!(sigma > 0.0)) {
+    return InvalidArgumentError("Discrete Gaussian sigma must be > 0");
+  }
+  const Rational r = Rational::FromDouble(sigma * sigma, max_denominator);
+  if (mode == SamplerMode::kExact && r.num == 0) {
+    return InvalidArgumentError(
+        "sigma^2 too small to rationalize for the exact sampler");
+  }
+  return DiscreteGaussianSampler(sigma, mode, r);
+}
+
+int64_t DiscreteGaussianSampler::Sample(RandomGenerator& rng) {
+  if (mode_ == SamplerMode::kApproximate) {
+    return SampleDiscreteGaussianApprox(sigma_, rng);
+  }
+  return SampleDiscreteGaussianExact(rational_sigma2_, rng).value();
+}
+
+}  // namespace smm::sampling

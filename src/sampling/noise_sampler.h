@@ -1,0 +1,77 @@
+#ifndef SMM_SAMPLING_NOISE_SAMPLER_H_
+#define SMM_SAMPLING_NOISE_SAMPLER_H_
+
+#include <cstdint>
+#include <random>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "sampling/rational.h"
+
+namespace smm::sampling {
+
+/// Whether a noise sampler uses the exact integer-arithmetic algorithms
+/// (strict DP; Appendix A) or the fast floating-point approximations
+/// (what the paper's experiments use; Section 6).
+enum class SamplerMode { kApproximate, kExact };
+
+/// Samples symmetric Skellam noise Sk(lambda, lambda) in either mode.
+///
+/// In exact mode, lambda is rationalized with denominator <= max_denominator
+/// (the sampled distribution is exactly Sk(p/q, p/q) for that rational).
+class SkellamSampler {
+ public:
+  /// Creates a sampler. lambda must be > 0.
+  static StatusOr<SkellamSampler> Create(
+      double lambda, SamplerMode mode = SamplerMode::kApproximate,
+      int64_t max_denominator = 1000000);
+
+  /// Draws one variate. Non-const: the approximate path keeps distribution
+  /// state for speed.
+  int64_t Sample(RandomGenerator& rng);
+
+  double lambda() const { return lambda_; }
+  SamplerMode mode() const { return mode_; }
+  /// Variance of the sampled distribution (2 * lambda).
+  double variance() const { return 2.0 * lambda_; }
+
+ private:
+  SkellamSampler(double lambda, SamplerMode mode, Rational rational_lambda)
+      : lambda_(lambda),
+        mode_(mode),
+        rational_lambda_(rational_lambda),
+        poisson_(lambda) {}
+
+  double lambda_;
+  SamplerMode mode_;
+  Rational rational_lambda_;
+  std::poisson_distribution<int64_t> poisson_;
+};
+
+/// Samples discrete Gaussian noise N_Z(0, sigma^2) in either mode.
+class DiscreteGaussianSampler {
+ public:
+  /// Creates a sampler. sigma must be > 0.
+  static StatusOr<DiscreteGaussianSampler> Create(
+      double sigma, SamplerMode mode = SamplerMode::kApproximate,
+      int64_t max_denominator = 1000000);
+
+  int64_t Sample(RandomGenerator& rng);
+
+  double sigma() const { return sigma_; }
+  SamplerMode mode() const { return mode_; }
+  double variance() const { return sigma_ * sigma_; }
+
+ private:
+  DiscreteGaussianSampler(double sigma, SamplerMode mode,
+                          Rational rational_sigma2)
+      : sigma_(sigma), mode_(mode), rational_sigma2_(rational_sigma2) {}
+
+  double sigma_;
+  SamplerMode mode_;
+  Rational rational_sigma2_;
+};
+
+}  // namespace smm::sampling
+
+#endif  // SMM_SAMPLING_NOISE_SAMPLER_H_

@@ -1,0 +1,43 @@
+#include "sampling/rational.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace smm::sampling {
+
+StatusOr<Rational> Rational::Create(int64_t num, int64_t den) {
+  if (num < 0) return InvalidArgumentError("Rational numerator must be >= 0");
+  if (den <= 0) return InvalidArgumentError("Rational denominator must be > 0");
+  const int64_t g = std::gcd(num, den);
+  return Rational{num / g, den / g};
+}
+
+Rational Rational::FromDouble(double x, int64_t max_den) {
+  assert(x >= 0.0);
+  assert(max_den >= 1);
+  // Continued-fraction convergents p_k/q_k of x; stop before q exceeds
+  // max_den.
+  int64_t p_prev = 1, q_prev = 0;  // p_{-1}/q_{-1}
+  int64_t p = static_cast<int64_t>(std::floor(x)), q = 1;  // p_0/q_0
+  double frac = x - std::floor(x);
+  while (frac > 1e-12) {
+    const double inv = 1.0 / frac;
+    const double a_f = std::floor(inv);
+    if (a_f > static_cast<double>(max_den)) break;
+    const int64_t a = static_cast<int64_t>(a_f);
+    const int64_t p_next = a * p + p_prev;
+    const int64_t q_next = a * q + q_prev;
+    if (q_next > max_den || p_next < 0 || q_next < 0) break;
+    p_prev = p;
+    q_prev = q;
+    p = p_next;
+    q = q_next;
+    frac = inv - a_f;
+  }
+  if (p < 0) p = 0;
+  const int64_t g = std::gcd(p, q);
+  return Rational{p / g, q / g};
+}
+
+}  // namespace smm::sampling

@@ -1,0 +1,31 @@
+#ifndef SMM_SAMPLING_RATIONAL_H_
+#define SMM_SAMPLING_RATIONAL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace smm::sampling {
+
+/// A non-negative rational number num/den used to parameterize the exact
+/// samplers (Appendix A of the paper requires rational noise parameters so
+/// that sampling reduces to RandInt calls and integer arithmetic only).
+struct Rational {
+  int64_t num = 0;
+  int64_t den = 1;
+
+  /// Validates num >= 0, den > 0 and reduces by gcd.
+  static StatusOr<Rational> Create(int64_t num, int64_t den);
+
+  /// Best rational approximation of x (>= 0) with denominator bounded by
+  /// max_den, via continued fractions. Used to feed double-calibrated noise
+  /// parameters into the exact samplers; the approximation error is at most
+  /// 1/max_den^2.
+  static Rational FromDouble(double x, int64_t max_den);
+
+  double ToDouble() const { return static_cast<double>(num) / den; }
+};
+
+}  // namespace smm::sampling
+
+#endif  // SMM_SAMPLING_RATIONAL_H_

@@ -1,0 +1,57 @@
+#include "secagg/modular.h"
+
+#include <cassert>
+
+namespace smm::secagg {
+
+uint64_t ModReduce(int64_t value, uint64_t m) {
+  assert(m >= 2);
+  const int64_t mod = static_cast<int64_t>(m);
+  int64_t r = value % mod;
+  if (r < 0) r += mod;
+  return static_cast<uint64_t>(r);
+}
+
+int64_t CenterLift(uint64_t value, uint64_t m) {
+  assert(m >= 2);
+  assert(value < m);
+  if (value >= m / 2) return static_cast<int64_t>(value) -
+                             static_cast<int64_t>(m);
+  return static_cast<int64_t>(value);
+}
+
+StatusOr<std::vector<uint64_t>> AddMod(const std::vector<uint64_t>& a,
+                                       const std::vector<uint64_t>& b,
+                                       uint64_t m) {
+  if (a.size() != b.size()) {
+    return InvalidArgumentError("AddMod: length mismatch");
+  }
+  std::vector<uint64_t> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = (a[i] + b[i]) % m;
+  return out;
+}
+
+StatusOr<std::vector<uint64_t>> SubMod(const std::vector<uint64_t>& a,
+                                       const std::vector<uint64_t>& b,
+                                       uint64_t m) {
+  if (a.size() != b.size()) {
+    return InvalidArgumentError("SubMod: length mismatch");
+  }
+  std::vector<uint64_t> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = (a[i] + m - b[i] % m) % m;
+  return out;
+}
+
+std::vector<uint64_t> ReduceVector(const std::vector<int64_t>& v, uint64_t m) {
+  std::vector<uint64_t> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = ModReduce(v[i], m);
+  return out;
+}
+
+std::vector<int64_t> LiftVector(const std::vector<uint64_t>& v, uint64_t m) {
+  std::vector<int64_t> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = CenterLift(v[i], m);
+  return out;
+}
+
+}  // namespace smm::secagg

@@ -1,0 +1,41 @@
+#ifndef SMM_SECAGG_MODULAR_H_
+#define SMM_SECAGG_MODULAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smm::secagg {
+
+/// Arithmetic in Z_m (Lines 11 of Algorithm 4 and Line 1 of Algorithm 6).
+/// The modulus m is the per-dimension communication budget of the secure
+/// aggregation protocol: log2(m) bits per coordinate.
+
+/// Reduces a signed integer into {0, ..., m-1}.
+uint64_t ModReduce(int64_t value, uint64_t m);
+
+/// The server-side unwrap of Algorithm 6 Line 1: maps {0, ..., m-1} back to
+/// the centered representatives [-m/2, m/2): values in {m/2, ..., m-1} map
+/// to {-m/2, ..., -1}, values in {0, ..., m/2 - 1} stay put.
+int64_t CenterLift(uint64_t value, uint64_t m);
+
+/// Element-wise (a + b) mod m. Vectors must have equal length.
+StatusOr<std::vector<uint64_t>> AddMod(const std::vector<uint64_t>& a,
+                                       const std::vector<uint64_t>& b,
+                                       uint64_t m);
+
+/// Element-wise (a - b) mod m.
+StatusOr<std::vector<uint64_t>> SubMod(const std::vector<uint64_t>& a,
+                                       const std::vector<uint64_t>& b,
+                                       uint64_t m);
+
+/// Reduces a signed vector into Z_m element-wise.
+std::vector<uint64_t> ReduceVector(const std::vector<int64_t>& v, uint64_t m);
+
+/// Center-lifts a Z_m vector element-wise.
+std::vector<int64_t> LiftVector(const std::vector<uint64_t>& v, uint64_t m);
+
+}  // namespace smm::secagg
+
+#endif  // SMM_SECAGG_MODULAR_H_

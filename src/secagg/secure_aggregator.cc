@@ -1,0 +1,174 @@
+#include "secagg/secure_aggregator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "secagg/modular.h"
+
+namespace smm::secagg {
+
+StatusOr<std::vector<uint64_t>> IdealAggregator::Aggregate(
+    const std::vector<std::vector<uint64_t>>& inputs, uint64_t m) {
+  if (inputs.empty()) return InvalidArgumentError("no inputs to aggregate");
+  if (m < 2) return InvalidArgumentError("modulus must be >= 2");
+  const size_t dim = inputs[0].size();
+  std::vector<uint64_t> sum(dim, 0);
+  for (const auto& input : inputs) {
+    if (input.size() != dim) {
+      return InvalidArgumentError("input dimension mismatch");
+    }
+    for (size_t j = 0; j < dim; ++j) sum[j] = (sum[j] + input[j] % m) % m;
+  }
+  return sum;
+}
+
+MaskedAggregator::MaskedAggregator(
+    Options options, std::vector<std::vector<uint64_t>> seeds,
+    std::vector<std::vector<std::vector<ShamirShare>>> shares)
+    : options_(options),
+      seeds_(std::move(seeds)),
+      shares_(std::move(shares)) {}
+
+StatusOr<std::unique_ptr<MaskedAggregator>> MaskedAggregator::Create(
+    const Options& options) {
+  const int n = options.num_participants;
+  if (n < 2) return InvalidArgumentError("need at least 2 participants");
+  if (options.threshold < 1 || options.threshold > n) {
+    return InvalidArgumentError("need 1 <= threshold <= num_participants");
+  }
+  RandomGenerator rng(options.session_seed);
+  // Pairwise seed agreement (simulating the DH key exchange of SecAgg
+  // round 0): one uniform seed per unordered pair.
+  std::vector<std::vector<uint64_t>> seeds(
+      n, std::vector<uint64_t>(static_cast<size_t>(n), 0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      // Keep seeds in the Shamir field so they can be shared verbatim.
+      seeds[i][j] = rng.UniformUint64(kShamirPrime);
+    }
+  }
+  // Each pair seed is Shamir-shared among all n participants so the server
+  // can recover masks of dropped participants from any `threshold`
+  // survivors.
+  std::vector<std::vector<std::vector<ShamirShare>>> shares(
+      n, std::vector<std::vector<ShamirShare>>(static_cast<size_t>(n)));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      SMM_ASSIGN_OR_RETURN(
+          shares[i][j], ShamirSplit(seeds[i][j], options.threshold, n, rng));
+    }
+  }
+  return std::unique_ptr<MaskedAggregator>(new MaskedAggregator(
+      options, std::move(seeds), std::move(shares)));
+}
+
+std::vector<uint64_t> MaskedAggregator::ExpandMask(uint64_t seed, size_t dim,
+                                                   uint64_t m) {
+  RandomGenerator prg(seed);
+  std::vector<uint64_t> mask(dim);
+  for (auto& v : mask) v = prg.UniformUint64(m);
+  return mask;
+}
+
+uint64_t MaskedAggregator::PairSeed(int i, int j) const {
+  return seeds_[std::min(i, j)][std::max(i, j)];
+}
+
+StatusOr<std::vector<uint64_t>> MaskedAggregator::MaskInput(
+    int participant, const std::vector<uint64_t>& input, uint64_t m) const {
+  const int n = options_.num_participants;
+  if (participant < 0 || participant >= n) {
+    return InvalidArgumentError("participant index out of range");
+  }
+  if (m < 2) return InvalidArgumentError("modulus must be >= 2");
+  std::vector<uint64_t> out(input.size());
+  for (size_t k = 0; k < input.size(); ++k) out[k] = input[k] % m;
+  // Participant i adds +PRG(s_ij) for j > i and -PRG(s_ij) for j < i; the
+  // contributions cancel pairwise in the full sum.
+  for (int j = 0; j < n; ++j) {
+    if (j == participant) continue;
+    const std::vector<uint64_t> mask =
+        ExpandMask(PairSeed(participant, j), input.size(), m);
+    if (j > participant) {
+      for (size_t k = 0; k < out.size(); ++k) out[k] = (out[k] + mask[k]) % m;
+    } else {
+      for (size_t k = 0; k < out.size(); ++k) {
+        out[k] = (out[k] + m - mask[k]) % m;
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<uint64_t>> MaskedAggregator::UnmaskSum(
+    const std::vector<std::vector<uint64_t>>& masked_inputs,
+    const std::vector<int>& survivors, size_t dim, uint64_t m) const {
+  const int n = options_.num_participants;
+  if (masked_inputs.size() != survivors.size()) {
+    return InvalidArgumentError("one masked input per survivor required");
+  }
+  if (static_cast<int>(survivors.size()) < options_.threshold) {
+    return FailedPreconditionError(
+        "fewer survivors than the Shamir threshold; cannot unmask");
+  }
+  std::unordered_set<int> survivor_set(survivors.begin(), survivors.end());
+  if (survivor_set.size() != survivors.size()) {
+    return InvalidArgumentError("duplicate survivor index");
+  }
+  std::vector<uint64_t> sum(dim, 0);
+  for (const auto& input : masked_inputs) {
+    if (input.size() != dim) {
+      return InvalidArgumentError("masked input dimension mismatch");
+    }
+    for (size_t k = 0; k < dim; ++k) sum[k] = (sum[k] + input[k]) % m;
+  }
+  // Masks between two survivors cancel. For every (survivor, dropped) pair,
+  // reconstruct the pair seed from the survivors' shares and remove the
+  // leftover mask term.
+  for (int i : survivors) {
+    for (int j = 0; j < n; ++j) {
+      if (j == i || survivor_set.count(j) > 0) continue;
+      // Collect the survivors' shares of the (i, j) pair seed.
+      const auto& pair_shares = shares_[std::min(i, j)][std::max(i, j)];
+      std::vector<ShamirShare> collected;
+      collected.reserve(survivors.size());
+      for (int s : survivors) {
+        collected.push_back(pair_shares[static_cast<size_t>(s)]);
+      }
+      SMM_ASSIGN_OR_RETURN(const uint64_t seed,
+                           ShamirReconstruct(collected, options_.threshold));
+      const std::vector<uint64_t> mask = ExpandMask(seed, dim, m);
+      if (j > i) {
+        // Survivor i added +mask expecting j to cancel it; subtract.
+        for (size_t k = 0; k < dim; ++k) sum[k] = (sum[k] + m - mask[k]) % m;
+      } else {
+        for (size_t k = 0; k < dim; ++k) sum[k] = (sum[k] + mask[k]) % m;
+      }
+    }
+  }
+  return sum;
+}
+
+StatusOr<std::vector<uint64_t>> MaskedAggregator::Aggregate(
+    const std::vector<std::vector<uint64_t>>& inputs, uint64_t m) {
+  const int n = options_.num_participants;
+  if (static_cast<int>(inputs.size()) != n) {
+    return InvalidArgumentError(
+        "Aggregate expects one input per participant");
+  }
+  if (inputs.empty()) return InvalidArgumentError("no inputs");
+  const size_t dim = inputs[0].size();
+  std::vector<std::vector<uint64_t>> masked;
+  masked.reserve(inputs.size());
+  std::vector<int> survivors;
+  survivors.reserve(inputs.size());
+  for (int i = 0; i < n; ++i) {
+    SMM_ASSIGN_OR_RETURN(auto mi, MaskInput(i, inputs[static_cast<size_t>(i)],
+                                            m));
+    masked.push_back(std::move(mi));
+    survivors.push_back(i);
+  }
+  return UnmaskSum(masked, survivors, dim, m);
+}
+
+}  // namespace smm::secagg

@@ -1,0 +1,97 @@
+#ifndef SMM_SECAGG_SECURE_AGGREGATOR_H_
+#define SMM_SECAGG_SECURE_AGGREGATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "secagg/shamir.h"
+
+namespace smm::secagg {
+
+/// Black-box secure aggregation interface (the protocol A of Algorithm 3):
+/// given per-participant vectors in Z_m^d, reveals only their element-wise
+/// sum mod m. The DP analysis of the paper treats this as an ideal
+/// functionality; both implementations below compute the identical sum, so
+/// the mechanisms are oblivious to which one runs underneath.
+class SecureAggregator {
+ public:
+  virtual ~SecureAggregator() = default;
+
+  /// Sums `inputs` (all of equal length) element-wise modulo m.
+  virtual StatusOr<std::vector<uint64_t>> Aggregate(
+      const std::vector<std::vector<uint64_t>>& inputs, uint64_t m) = 0;
+};
+
+/// The ideal functionality: a plain modular sum. Used by the experiment
+/// harnesses for speed (the paper likewise runs SecAgg "as a black box").
+class IdealAggregator final : public SecureAggregator {
+ public:
+  StatusOr<std::vector<uint64_t>> Aggregate(
+      const std::vector<std::vector<uint64_t>>& inputs, uint64_t m) override;
+};
+
+/// A faithful simulation of pairwise-mask secure aggregation (Bonawitz et
+/// al. 2017): every ordered pair (i < j) of participants derives a common
+/// seed; i adds PRG(seed) to its input, j subtracts it, so all masks cancel
+/// in the sum and individual masked inputs are uniform in Z_m^d. Each
+/// participant Shamir-shares its per-pair seeds so the server can unmask the
+/// pairs involving dropped participants from any `threshold` survivors.
+///
+/// This simulates the cryptography (seed agreement stands in for
+/// Diffie-Hellman); the algebra — masking, cancellation, dropout recovery —
+/// is executed for real.
+class MaskedAggregator final : public SecureAggregator {
+ public:
+  struct Options {
+    int num_participants = 0;
+    /// Shamir reconstruction threshold for dropout recovery. Must satisfy
+    /// 1 <= threshold <= num_participants.
+    int threshold = 1;
+    /// Session randomness for seed agreement and share generation.
+    uint64_t session_seed = 0;
+  };
+
+  static StatusOr<std::unique_ptr<MaskedAggregator>> Create(
+      const Options& options);
+
+  /// Client-side: returns participant i's masked input (input + sum of its
+  /// pairwise masks, mod m).
+  StatusOr<std::vector<uint64_t>> MaskInput(
+      int participant, const std::vector<uint64_t>& input, uint64_t m) const;
+
+  /// Server-side: sums masked inputs of the `survivors` (indices into the
+  /// participant range) and removes the masks that involve dropped
+  /// participants by Shamir-reconstructing their pair seeds from the
+  /// survivors' shares. Requires |survivors| >= threshold.
+  StatusOr<std::vector<uint64_t>> UnmaskSum(
+      const std::vector<std::vector<uint64_t>>& masked_inputs,
+      const std::vector<int>& survivors, size_t dim, uint64_t m) const;
+
+  /// SecureAggregator interface: all participants survive.
+  StatusOr<std::vector<uint64_t>> Aggregate(
+      const std::vector<std::vector<uint64_t>>& inputs, uint64_t m) override;
+
+ private:
+  MaskedAggregator(Options options, std::vector<std::vector<uint64_t>> seeds,
+                   std::vector<std::vector<std::vector<ShamirShare>>> shares);
+
+  /// Expands a pair seed into a mask vector in Z_m^d.
+  static std::vector<uint64_t> ExpandMask(uint64_t seed, size_t dim,
+                                          uint64_t m);
+
+  uint64_t PairSeed(int i, int j) const;  // i < j.
+
+  Options options_;
+  /// seeds_[i][j] is the seed shared by pair (i, j), i < j (upper triangle).
+  std::vector<std::vector<uint64_t>> seeds_;
+  /// shares_[i][j][k]: the k-th Shamir share of seeds_[min][max] for pair
+  /// (i, j), held by participant k. Used for dropout recovery.
+  std::vector<std::vector<std::vector<ShamirShare>>> shares_;
+};
+
+}  // namespace smm::secagg
+
+#endif  // SMM_SECAGG_SECURE_AGGREGATOR_H_

@@ -1,0 +1,99 @@
+#include "secagg/shamir.h"
+
+#include <unordered_set>
+
+namespace smm::secagg {
+
+namespace {
+
+using uint128 = unsigned __int128;
+
+uint64_t MulMod(uint64_t a, uint64_t b) {
+  return static_cast<uint64_t>((static_cast<uint128>(a) * b) % kShamirPrime);
+}
+
+uint64_t AddModP(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;  // < 2^62, no overflow.
+  if (s >= kShamirPrime) s -= kShamirPrime;
+  return s;
+}
+
+uint64_t SubModP(uint64_t a, uint64_t b) {
+  return a >= b ? a - b : a + kShamirPrime - b;
+}
+
+uint64_t PowMod(uint64_t base, uint64_t exp) {
+  uint64_t result = 1;
+  base %= kShamirPrime;
+  while (exp > 0) {
+    if (exp & 1) result = MulMod(result, base);
+    base = MulMod(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+// Fermat inverse: a^(p-2) mod p.
+uint64_t InvMod(uint64_t a) { return PowMod(a, kShamirPrime - 2); }
+
+}  // namespace
+
+StatusOr<std::vector<ShamirShare>> ShamirSplit(uint64_t secret, int threshold,
+                                               int num_shares,
+                                               RandomGenerator& rng) {
+  if (secret >= kShamirPrime) {
+    return InvalidArgumentError("secret must be < 2^61 - 1");
+  }
+  if (threshold < 1 || threshold > num_shares) {
+    return InvalidArgumentError("need 1 <= threshold <= num_shares");
+  }
+  // Random polynomial of degree threshold-1 with constant term = secret.
+  std::vector<uint64_t> coeffs(threshold);
+  coeffs[0] = secret;
+  for (int i = 1; i < threshold; ++i) {
+    coeffs[i] = rng.UniformUint64(kShamirPrime);
+  }
+  std::vector<ShamirShare> shares(num_shares);
+  for (int i = 0; i < num_shares; ++i) {
+    const uint64_t x = static_cast<uint64_t>(i) + 1;
+    // Horner evaluation.
+    uint64_t y = 0;
+    for (int j = threshold - 1; j >= 0; --j) {
+      y = AddModP(MulMod(y, x), coeffs[j]);
+    }
+    shares[i] = ShamirShare{x, y};
+  }
+  return shares;
+}
+
+StatusOr<uint64_t> ShamirReconstruct(const std::vector<ShamirShare>& shares,
+                                     int threshold) {
+  if (static_cast<int>(shares.size()) < threshold) {
+    return FailedPreconditionError("not enough shares to reconstruct");
+  }
+  std::unordered_set<uint64_t> seen;
+  for (int i = 0; i < threshold; ++i) {
+    if (!seen.insert(shares[i].x).second) {
+      return InvalidArgumentError("duplicate share evaluation point");
+    }
+    if (shares[i].x == 0) {
+      return InvalidArgumentError("share evaluation point must be nonzero");
+    }
+  }
+  // Lagrange interpolation at x = 0 using the first `threshold` shares:
+  //   secret = sum_i y_i * prod_{j != i} x_j / (x_j - x_i)  (mod p).
+  uint64_t secret = 0;
+  for (int i = 0; i < threshold; ++i) {
+    uint64_t num = 1, den = 1;
+    for (int j = 0; j < threshold; ++j) {
+      if (j == i) continue;
+      num = MulMod(num, shares[j].x);
+      den = MulMod(den, SubModP(shares[j].x, shares[i].x));
+    }
+    const uint64_t basis = MulMod(num, InvMod(den));
+    secret = AddModP(secret, MulMod(shares[i].y, basis));
+  }
+  return secret;
+}
+
+}  // namespace smm::secagg

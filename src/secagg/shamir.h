@@ -1,0 +1,42 @@
+#ifndef SMM_SECAGG_SHAMIR_H_
+#define SMM_SECAGG_SHAMIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace smm::secagg {
+
+/// Shamir secret sharing over the Mersenne prime field GF(2^61 - 1), used by
+/// the masked aggregation protocol to recover the pairwise-mask seeds of
+/// dropped participants (the dropout-resilience ingredient of Bonawitz et
+/// al.'s SecAgg).
+
+/// The field prime 2^61 - 1.
+inline constexpr uint64_t kShamirPrime = (1ULL << 61) - 1;
+
+/// One share: the evaluation point x (> 0) and the polynomial value y.
+struct ShamirShare {
+  uint64_t x = 0;
+  uint64_t y = 0;
+};
+
+/// Splits `secret` (< kShamirPrime) into `num_shares` shares such that any
+/// `threshold` of them reconstruct it and fewer reveal nothing. Shares are
+/// issued at evaluation points x = 1..num_shares.
+/// Requires 1 <= threshold <= num_shares < kShamirPrime.
+StatusOr<std::vector<ShamirShare>> ShamirSplit(uint64_t secret, int threshold,
+                                               int num_shares,
+                                               RandomGenerator& rng);
+
+/// Reconstructs the secret from >= threshold shares by Lagrange
+/// interpolation at x = 0. The caller must supply shares from the same
+/// split; duplicated evaluation points are rejected.
+StatusOr<uint64_t> ShamirReconstruct(const std::vector<ShamirShare>& shares,
+                                     int threshold);
+
+}  // namespace smm::secagg
+
+#endif  // SMM_SECAGG_SHAMIR_H_

@@ -1,0 +1,43 @@
+#include "transform/random_rotation.h"
+
+#include "common/bit_util.h"
+#include "common/random.h"
+#include "transform/walsh_hadamard.h"
+
+namespace smm::transform {
+
+StatusOr<RandomRotation> RandomRotation::Create(size_t dim,
+                                                uint64_t public_seed) {
+  if (dim == 0 || !IsPowerOfTwo(dim)) {
+    return InvalidArgumentError(
+        "RandomRotation requires a power-of-two dimension");
+  }
+  RandomGenerator rng(public_seed);
+  std::vector<int8_t> signs(dim);
+  for (auto& s : signs) s = static_cast<int8_t>(rng.Sign());
+  return RandomRotation(std::move(signs));
+}
+
+StatusOr<std::vector<double>> RandomRotation::Apply(
+    const std::vector<double>& x) const {
+  if (x.size() != signs_.size()) {
+    return InvalidArgumentError("input dimension mismatch");
+  }
+  std::vector<double> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] = signs_[i] * x[i];
+  SMM_RETURN_IF_ERROR(FastWalshHadamard(y));
+  return y;
+}
+
+StatusOr<std::vector<double>> RandomRotation::Inverse(
+    const std::vector<double>& y) const {
+  if (y.size() != signs_.size()) {
+    return InvalidArgumentError("input dimension mismatch");
+  }
+  std::vector<double> x = y;
+  SMM_RETURN_IF_ERROR(FastWalshHadamard(x));
+  for (size_t i = 0; i < x.size(); ++i) x[i] *= signs_[i];
+  return x;
+}
+
+}  // namespace smm::transform

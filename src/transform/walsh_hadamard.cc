@@ -1,0 +1,37 @@
+#include "transform/walsh_hadamard.h"
+
+#include <cmath>
+
+#include "common/bit_util.h"
+
+namespace smm::transform {
+
+Status FastWalshHadamard(std::vector<double>& v) {
+  const size_t d = v.size();
+  if (d == 0 || !IsPowerOfTwo(d)) {
+    return InvalidArgumentError(
+        "Walsh-Hadamard transform requires a power-of-two length");
+  }
+  for (size_t h = 1; h < d; h <<= 1) {
+    for (size_t i = 0; i < d; i += h << 1) {
+      for (size_t j = i; j < i + h; ++j) {
+        const double x = v[j];
+        const double y = v[j + h];
+        v[j] = x + y;
+        v[j + h] = x - y;
+      }
+    }
+  }
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d));
+  for (double& x : v) x *= scale;
+  return OkStatus();
+}
+
+std::vector<double> PadToPowerOfTwo(const std::vector<double>& x) {
+  const size_t d = x.size() == 0 ? 1 : NextPowerOfTwo(x.size());
+  std::vector<double> out(d, 0.0);
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i];
+  return out;
+}
+
+}  // namespace smm::transform

@@ -1,0 +1,22 @@
+#ifndef SMM_TRANSFORM_WALSH_HADAMARD_H_
+#define SMM_TRANSFORM_WALSH_HADAMARD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smm::transform {
+
+/// In-place normalized fast Walsh-Hadamard transform: v <- H v where H is
+/// the d x d Hadamard matrix with entries +-1/sqrt(d). H is symmetric and
+/// orthogonal (H H = I), so the same call inverts itself. Requires v.size()
+/// to be a power of two.
+Status FastWalshHadamard(std::vector<double>& v);
+
+/// Returns x zero-padded to the next power of two (identity if already one).
+std::vector<double> PadToPowerOfTwo(const std::vector<double>& x);
+
+}  // namespace smm::transform
+
+#endif  // SMM_TRANSFORM_WALSH_HADAMARD_H_

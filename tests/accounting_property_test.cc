@@ -1,0 +1,154 @@
+// Property sweeps over the accounting layer: monotonicity and consistency
+// relations that must hold for any correct RDP accountant, checked across
+// every mechanism curve in the library.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "accounting/calibration.h"
+#include "accounting/mechanism_rdp.h"
+#include "accounting/rdp_accountant.h"
+
+namespace smm::accounting {
+namespace {
+
+// Factory of factories: builds each mechanism's curve from a noise scale.
+struct MechanismUnderTest {
+  const char* name;
+  CurveFactory factory;
+};
+
+std::vector<MechanismUnderTest> AllMechanisms() {
+  return {
+      {"smm",
+       [](double p) { return SmmRdpCurve(p, /*c=*/4.0, /*delta_inf=*/0.0); }},
+      {"skellam_noise",
+       [](double p) { return SkellamNoiseRdpCurve(p, 4.0, 0.0); }},
+      {"gaussian",
+       [](double p) { return GaussianRdpCurve(2.0, std::sqrt(p)); }},
+      {"ddg",
+       [](double p) {
+         return DdgRdpCurve(50, std::sqrt(p / 50.0), 4.0, 10.0, 64);
+       }},
+      {"agarwal",
+       [](double p) { return SkellamAgarwalRdpCurve(p, 4.0, 10.0); }},
+  };
+}
+
+class CurveMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CurveMonotonicityTest, TauIncreasesWithAlpha) {
+  const int idx = GetParam();
+  const auto mech = AllMechanisms()[static_cast<size_t>(idx)];
+  const RdpCurve curve = mech.factory(500.0);
+  double prev = 0.0;
+  for (int alpha = 2; alpha <= 64; alpha *= 2) {
+    auto tau = curve(alpha);
+    ASSERT_TRUE(tau.ok()) << mech.name << " alpha=" << alpha;
+    EXPECT_GE(*tau, prev) << mech.name << " alpha=" << alpha;
+    prev = *tau;
+  }
+}
+
+TEST_P(CurveMonotonicityTest, TauDecreasesWithNoise) {
+  const int idx = GetParam();
+  const auto mech = AllMechanisms()[static_cast<size_t>(idx)];
+  double prev = 1e300;
+  for (double scale : {50.0, 500.0, 5000.0, 50000.0}) {
+    auto tau = mech.factory(scale)(8);
+    ASSERT_TRUE(tau.ok()) << mech.name;
+    EXPECT_LT(*tau, prev) << mech.name << " scale=" << scale;
+    prev = *tau;
+  }
+}
+
+TEST_P(CurveMonotonicityTest, SubsampledNeverExceedsFull) {
+  const int idx = GetParam();
+  const auto mech = AllMechanisms()[static_cast<size_t>(idx)];
+  const RdpCurve curve = mech.factory(500.0);
+  for (int alpha : {2, 4, 16}) {
+    for (double q : {0.001, 0.05, 0.5}) {
+      auto sub = PoissonSubsampledRdp(q, alpha, curve);
+      auto full = curve(alpha);
+      ASSERT_TRUE(sub.ok());
+      ASSERT_TRUE(full.ok());
+      EXPECT_LE(*sub, *full + 1e-12)
+          << mech.name << " q=" << q << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST_P(CurveMonotonicityTest, EpsilonScalesSublinearlyInSteps) {
+  // Composition is linear in RDP, but after optimizing alpha the (eps,
+  // delta) epsilon grows sublinearly-ish; at minimum it must be monotone
+  // and bounded by linear growth.
+  const int idx = GetParam();
+  const auto mech = AllMechanisms()[static_cast<size_t>(idx)];
+  const RdpCurve curve = mech.factory(5000.0);
+  auto one = ComputeDpEpsilon(curve, 0.05, 1, 1e-5);
+  auto hundred = ComputeDpEpsilon(curve, 0.05, 100, 1e-5);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(hundred.ok());
+  EXPECT_GT(hundred->epsilon, one->epsilon);
+  EXPECT_LT(hundred->epsilon, 100.0 * one->epsilon);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMechanisms, CurveMonotonicityTest,
+                         ::testing::Range(0, 5));
+
+class CalibrationTightnessTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CalibrationTightnessTest, SmmCalibrationIsTightAtEveryEpsilon) {
+  const double eps = GetParam();
+  auto result = CalibrateSmm(16.0, 0.01, 200, eps, 1e-5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->guarantee.epsilon, eps);
+  // Tightness: 2% less noise must violate the target.
+  auto curve = SmmRdpCurve(result->noise_parameter * 0.98, 16.0, 0.0);
+  auto check = ComputeDpEpsilon(curve, 0.01, 200, 1e-5);
+  ASSERT_TRUE(check.ok());
+  EXPECT_GT(check->epsilon, eps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, CalibrationTightnessTest,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.0, 5.0, 10.0));
+
+TEST(DeltaMonotonicityTest, SmallerDeltaNeedsLargerEpsilon) {
+  const RdpCurve curve = GaussianRdpCurve(1.0, 2.0);
+  double prev = 1e300;
+  for (double delta : {1e-3, 1e-5, 1e-7, 1e-9}) {
+    auto g = ComputeDpEpsilon(curve, 1.0, 1, delta);
+    ASSERT_TRUE(g.ok());
+    EXPECT_GT(g->epsilon, 0.0);
+    // Smaller delta -> larger epsilon (reading the loop from 1e-3 down).
+    EXPECT_TRUE(delta == 1e-3 || g->epsilon > 0.0);
+    if (delta != 1e-3) EXPECT_GT(g->epsilon, prev - 1e300);
+    prev = g->epsilon;
+  }
+  // Explicit pairwise check.
+  auto loose = ComputeDpEpsilon(curve, 1.0, 1, 1e-3);
+  auto strict = ComputeDpEpsilon(curve, 1.0, 1, 1e-9);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(strict.ok());
+  EXPECT_LT(loose->epsilon, strict->epsilon);
+}
+
+TEST(SmmMaxDeltaInfPropertyTest, MonotoneInNoiseAndAlpha) {
+  // More aggregate noise permits a larger Linf bound; higher order alpha
+  // demands a smaller one.
+  double prev = 0.0;
+  for (double n_lambda : {10.0, 100.0, 1000.0, 10000.0}) {
+    const double dinf = SmmMaxDeltaInf(n_lambda, 8);
+    EXPECT_GT(dinf, prev);
+    prev = dinf;
+  }
+  prev = 1e300;
+  for (int alpha : {2, 4, 8, 16, 32}) {
+    const double dinf = SmmMaxDeltaInf(1000.0, alpha);
+    EXPECT_LT(dinf, prev);
+    prev = dinf;
+  }
+}
+
+}  // namespace
+}  // namespace smm::accounting

@@ -1,0 +1,103 @@
+#include "accounting/binomial_accountant.h"
+
+#include <gtest/gtest.h>
+
+namespace smm::accounting {
+namespace {
+
+BinomialMechanismParams BasicParams(double trials) {
+  BinomialMechanismParams p;
+  p.total_trials = trials;
+  p.l2 = 2.0;
+  p.l1 = 10.0;
+  p.linf = 1.0;
+  p.dimension = 128;
+  return p;
+}
+
+TEST(BinomialEpsilonTest, FailsBelowVariancePrecondition) {
+  // sigma^2 = trials/4 must exceed 23 log(10 d / delta).
+  EXPECT_FALSE(BinomialMechanismEpsilon(BasicParams(10.0), 1e-5).ok());
+}
+
+TEST(BinomialEpsilonTest, DecreasesWithTrials) {
+  double prev = 1e300;
+  for (double trials : {1e4, 1e5, 1e6, 1e8}) {
+    auto eps = BinomialMechanismEpsilon(BasicParams(trials), 1e-5);
+    ASSERT_TRUE(eps.ok());
+    EXPECT_LT(*eps, prev);
+    prev = *eps;
+  }
+}
+
+TEST(BinomialEpsilonTest, GrowsWithSensitivity) {
+  auto small = BinomialMechanismEpsilon(BasicParams(1e6), 1e-5);
+  BinomialMechanismParams big = BasicParams(1e6);
+  big.l2 *= 10.0;
+  big.l1 *= 10.0;
+  big.linf *= 10.0;
+  auto large = BinomialMechanismEpsilon(big, 1e-5);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(*large, *small);
+}
+
+TEST(BinomialEpsilonTest, RejectsBadArguments) {
+  EXPECT_FALSE(BinomialMechanismEpsilon(BasicParams(0.0), 1e-5).ok());
+  EXPECT_FALSE(BinomialMechanismEpsilon(BasicParams(1e6), 0.0).ok());
+  EXPECT_FALSE(BinomialMechanismEpsilon(BasicParams(1e6), 1.5).ok());
+}
+
+TEST(ComposeTest, LinearIsExactMultiple) {
+  EXPECT_DOUBLE_EQ(ComposeLinear(0.01, 100), 1.0);
+}
+
+TEST(ComposeTest, AdvancedBeatsLinearForManySmallSteps) {
+  const double eps_step = 0.01;
+  const int steps = 10000;
+  EXPECT_LT(ComposeAdvanced(eps_step, steps, 1e-5 / 2),
+            ComposeLinear(eps_step, steps));
+}
+
+TEST(ComposeTest, LinearBeatsAdvancedForFewSteps) {
+  const double eps_step = 0.5;
+  EXPECT_LT(ComposeLinear(eps_step, 2), ComposeAdvanced(eps_step, 2, 1e-5));
+}
+
+TEST(CpSgdEpsilonTest, PicksTheBetterComposition) {
+  auto eps = CpSgdEpsilon(BasicParams(1e8), 1000, 1e-5);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_GT(*eps, 0.0);
+}
+
+TEST(CalibrateBinomialTest, ReachesTarget) {
+  BinomialMechanismParams p = BasicParams(0.0);
+  auto trials = CalibrateBinomialTrials(p, 100, 3.0, 1e-5);
+  ASSERT_TRUE(trials.ok());
+  p.total_trials = *trials;
+  auto eps = CpSgdEpsilon(p, 100, 1e-5);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_LE(*eps, 3.0);
+  // And it should be reasonably tight: halving the trials must exceed it.
+  p.total_trials = *trials / 4.0;
+  auto eps_half = CpSgdEpsilon(p, 100, 1e-5);
+  if (eps_half.ok()) EXPECT_GT(*eps_half, 3.0);
+}
+
+TEST(CalibrateBinomialTest, HugeSensitivityNeedsHugeNoise) {
+  // The cpSGD failure mode: stochastic rounding makes L1 ~ sqrt(d) * L2,
+  // and without RDP amplification the calibrated trial count explodes.
+  BinomialMechanismParams p;
+  p.l2 = 256.0;      // gamma * Delta2 + sqrt(d) for d = 65536.
+  p.l1 = 256.0 * 256.0;
+  p.linf = 5.0;
+  p.dimension = 65536;
+  auto trials = CalibrateBinomialTrials(p, 1000, 3.0, 1e-5);
+  ASSERT_TRUE(trials.ok());
+  // Aggregate noise variance trials/4 >> 2^16: guaranteed overflow at the
+  // bitwidths of Figure 1.
+  EXPECT_GT(*trials, 1e10);
+}
+
+}  // namespace
+}  // namespace smm::accounting

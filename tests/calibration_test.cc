@@ -1,0 +1,135 @@
+#include "accounting/calibration.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "accounting/mechanism_rdp.h"
+
+namespace smm::accounting {
+namespace {
+
+TEST(CalibrateSmmTest, AchievesTargetTightly) {
+  // One full-batch release (Figure 1 setting): n = 100 participants,
+  // c = gamma^2 = 16.
+  auto result = CalibrateSmm(/*c=*/16.0, /*q=*/1.0, /*steps=*/1,
+                             /*target_epsilon=*/1.0, /*delta=*/1e-5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->guarantee.epsilon, 1.0);
+  EXPECT_GE(result->guarantee.epsilon, 0.90);  // Binary search is tight.
+  EXPECT_GT(result->noise_parameter, 0.0);
+}
+
+TEST(CalibrateSmmTest, MoreEpsilonNeedsLessNoise) {
+  double prev = 1e300;
+  for (double eps : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    auto result = CalibrateSmm(16.0, 1.0, 1, eps, 1e-5);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LT(result->noise_parameter, prev);
+    prev = result->noise_parameter;
+  }
+}
+
+TEST(CalibrateSmmTest, NoiseScalesWithClipThreshold) {
+  auto small = CalibrateSmm(16.0, 1.0, 1, 3.0, 1e-5);
+  auto large = CalibrateSmm(1600.0, 1.0, 1, 3.0, 1e-5);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  // n*lambda should scale roughly linearly with c (the ratio c / (2 n
+  // lambda) drives the bound).
+  const double ratio = large->noise_parameter / small->noise_parameter;
+  EXPECT_GT(ratio, 50.0);
+  EXPECT_LT(ratio, 200.0);
+}
+
+TEST(CalibrateSmmTest, SubsamplingReducesNoise) {
+  auto full = CalibrateSmm(16.0, 1.0, 100, 3.0, 1e-5);
+  auto sub = CalibrateSmm(16.0, 0.01, 100, 3.0, 1e-5);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(sub.ok());
+  EXPECT_LT(sub->noise_parameter, full->noise_parameter);
+}
+
+TEST(CalibrateGaussianTest, MatchesAnalyticOrder) {
+  auto result = CalibrateGaussian(1.0, 1.0, 1, 1.0, 1e-5);
+  ASSERT_TRUE(result.ok());
+  // Classic Gaussian mechanism at eps = 1, delta = 1e-5 needs sigma ~ 3-5.
+  EXPECT_GT(result->noise_parameter, 2.0);
+  EXPECT_LT(result->noise_parameter, 6.0);
+  EXPECT_LE(result->guarantee.epsilon, 1.0);
+}
+
+TEST(CalibrateDdgTest, AchievesTarget) {
+  auto result = CalibrateDdg(/*n=*/100, /*l2_squared=*/100.0, /*l1=*/500.0,
+                             /*d=*/1024, /*q=*/1.0, /*steps=*/1,
+                             /*target_epsilon=*/2.0, /*delta=*/1e-5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->guarantee.epsilon, 2.0);
+  // Verify against the curve directly.
+  auto check = ComputeDpEpsilon(
+      DdgRdpCurve(100, result->noise_parameter, 100.0, 500.0, 1024), 1.0, 1,
+      1e-5);
+  ASSERT_TRUE(check.ok());
+  EXPECT_NEAR(check->epsilon, result->guarantee.epsilon, 1e-9);
+}
+
+TEST(CalibrateSkellamAgarwalTest, AchievesTarget) {
+  auto result = CalibrateSkellamAgarwal(/*l2_squared=*/100.0, /*l1=*/500.0,
+                                        1.0, 1, 2.0, 1e-5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->guarantee.epsilon, 2.0);
+  EXPECT_GE(result->guarantee.epsilon, 1.8);
+}
+
+TEST(CalibrateDgmTest, AchievesTarget) {
+  auto result = CalibrateDgm(/*n=*/100, /*c=*/16.0, /*l1=*/128.0, /*d=*/256,
+                             /*delta_inf=*/0.0, /*q=*/1.0, /*steps=*/1,
+                             /*target_epsilon=*/2.0, /*delta=*/1e-5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->guarantee.epsilon, 2.0);
+}
+
+TEST(CalibrateSmmVsDdgTest, SensitivityOverheadDrivesNoiseGap) {
+  // The headline phenomenon of Figure 1: at small gamma and large d, DDG's
+  // conditionally-rounded sensitivity (~ d/4 term) forces far more noise
+  // than SMM's c = gamma^2. Compare calibrated aggregate noise variances.
+  const double gamma = 4.0;
+  const int d = 65536;
+  const int n = 100;
+  const double c = gamma * gamma;  // SMM clip threshold.
+  auto smm = CalibrateSmm(c, 1.0, 1, 3.0, 1e-5);
+  ASSERT_TRUE(smm.ok());
+  const double smm_variance = 2.0 * smm->noise_parameter;  // Var = 2 n lambda.
+
+  const double d2r_sq = gamma * gamma + d / 4.0 +
+                        std::sqrt(2.0 * 0.5) * (gamma + std::sqrt(d) / 2.0);
+  const double l1 = std::min(std::sqrt(static_cast<double>(d)) *
+                                 std::sqrt(d2r_sq),
+                             d2r_sq);
+  auto ddg = CalibrateDdg(n, d2r_sq, l1, d, 1.0, 1, 3.0, 1e-5);
+  ASSERT_TRUE(ddg.ok());
+  const double ddg_variance =
+      n * ddg->noise_parameter * ddg->noise_parameter;
+  // The DDG aggregate variance must exceed SMM's by orders of magnitude.
+  EXPECT_GT(ddg_variance / smm_variance, 100.0);
+}
+
+TEST(CalibrateRdpNoiseTest, FailsWhenBracketTooSmall) {
+  CurveFactory factory = [](double sigma) {
+    return GaussianRdpCurve(1.0, sigma);
+  };
+  auto result = CalibrateRdpNoise(factory, 1.0, 1, /*target=*/0.001, 1e-5,
+                                  /*lo=*/1e-3, /*hi=*/1e-2);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CalibrateRdpNoiseTest, RejectsBadBracket) {
+  CurveFactory factory = [](double sigma) {
+    return GaussianRdpCurve(1.0, sigma);
+  };
+  EXPECT_FALSE(CalibrateRdpNoise(factory, 1.0, 1, 1.0, 1e-5, 2.0, 1.0).ok());
+  EXPECT_FALSE(CalibrateRdpNoise(factory, 1.0, 1, -1.0, 1e-5, 1.0, 2.0).ok());
+}
+
+}  // namespace
+}  // namespace smm::accounting

@@ -1,0 +1,114 @@
+#include "mechanisms/clipping.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace smm::mechanisms {
+namespace {
+
+class PsiRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PsiRoundTripTest, InverseUndoesContribution) {
+  const double t = GetParam();
+  const double w = SmmSensitivityContribution(t);
+  EXPECT_NEAR(SmmSensitivityInverse(w), t, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, PsiRoundTripTest,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.999, 1.0, 1.5,
+                                           2.0, 3.75, 10.0, 100.25));
+
+TEST(PsiTest, MatchesClosedForm) {
+  // psi(k + f) = k^2 + (2k + 1) f.
+  EXPECT_NEAR(SmmSensitivityContribution(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(SmmSensitivityContribution(1.5), 1.0 + 3.0 * 0.5, 1e-12);
+  EXPECT_NEAR(SmmSensitivityContribution(2.25), 4.0 + 5.0 * 0.25, 1e-12);
+  EXPECT_NEAR(SmmSensitivityContribution(-1.5),
+              SmmSensitivityContribution(1.5), 1e-12);  // Uses |t|.
+}
+
+TEST(PsiTest, MonotoneIncreasing) {
+  double prev = -1.0;
+  for (double t = 0.0; t <= 5.0; t += 0.01) {
+    const double w = SmmSensitivityContribution(t);
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(SmmClipTest, NoOpWhenWithinBounds) {
+  std::vector<double> g = {0.1, -0.2, 0.3};
+  const std::vector<double> original = g;
+  ASSERT_TRUE(SmmClip(g, /*c=*/10.0, /*delta_inf=*/5.0).ok());
+  for (size_t i = 0; i < g.size(); ++i) EXPECT_NEAR(g[i], original[i], 1e-12);
+}
+
+TEST(SmmClipTest, EnforcesEq4Invariant) {
+  RandomGenerator rng(1);
+  for (double c : {0.5, 2.0, 16.0}) {
+    std::vector<double> g(256);
+    for (double& v : g) v = rng.Gaussian(0.0, 2.0);
+    ASSERT_TRUE(SmmClip(g, c, /*delta_inf=*/100.0).ok());
+    double total = 0.0;
+    for (double v : g) total += SmmSensitivityContribution(v);
+    EXPECT_LE(total, c * (1.0 + 1e-9)) << "c=" << c;
+  }
+}
+
+TEST(SmmClipTest, EnforcesLinfBound) {
+  std::vector<double> g = {10.0, -7.5, 0.5};
+  ASSERT_TRUE(SmmClip(g, /*c=*/1e6, /*delta_inf=*/2.0).ok());
+  for (double v : g) {
+    EXPECT_LE(std::ceil(std::abs(v)), 2.0 + 1e-12);
+  }
+}
+
+TEST(SmmClipTest, PreservesSigns) {
+  std::vector<double> g = {3.0, -4.0, 0.0, -0.25};
+  ASSERT_TRUE(SmmClip(g, /*c=*/2.0, /*delta_inf=*/10.0).ok());
+  EXPECT_GE(g[0], 0.0);
+  EXPECT_LE(g[1], 0.0);
+  EXPECT_EQ(g[2], 0.0);
+  EXPECT_LE(g[3], 0.0);
+}
+
+TEST(SmmClipTest, ScalingIsProportionalInContributionSpace) {
+  // After clipping, each coordinate's contribution should be its original
+  // contribution scaled by c / ||v||_1 (Line 4 of Algorithm 5).
+  std::vector<double> g = {1.0, 2.0};
+  const double w0 = SmmSensitivityContribution(1.0);  // 1.
+  const double w1 = SmmSensitivityContribution(2.0);  // 4.
+  const double c = 2.5;
+  const double scale = c / (w0 + w1);
+  ASSERT_TRUE(SmmClip(g, c, /*delta_inf=*/100.0).ok());
+  EXPECT_NEAR(SmmSensitivityContribution(g[0]), w0 * scale, 1e-9);
+  EXPECT_NEAR(SmmSensitivityContribution(g[1]), w1 * scale, 1e-9);
+}
+
+TEST(SmmClipTest, RejectsBadParameters) {
+  std::vector<double> g = {1.0};
+  EXPECT_FALSE(SmmClip(g, 0.0, 1.0).ok());
+  EXPECT_FALSE(SmmClip(g, 1.0, 0.0).ok());
+}
+
+TEST(L2ClipTest, ScalesDownOnly) {
+  std::vector<double> g = {3.0, 4.0};  // Norm 5.
+  L2Clip(g, 1.0);
+  EXPECT_NEAR(L2Norm(g), 1.0, 1e-12);
+  EXPECT_NEAR(g[0] / g[1], 0.75, 1e-12);  // Direction preserved.
+  std::vector<double> small = {0.3, 0.4};
+  L2Clip(small, 1.0);
+  EXPECT_NEAR(small[0], 0.3, 1e-12);  // Untouched when within the ball.
+}
+
+TEST(L2ClipTest, ZeroVectorUnchanged) {
+  std::vector<double> g = {0.0, 0.0};
+  L2Clip(g, 1.0);
+  EXPECT_EQ(g[0], 0.0);
+}
+
+}  // namespace
+}  // namespace smm::mechanisms

@@ -1,0 +1,110 @@
+#include "mechanisms/conditional_rounding.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace smm::mechanisms {
+namespace {
+
+TEST(StochasticRoundTest, IntegersPassThrough) {
+  RandomGenerator rng(1);
+  const std::vector<double> g = {0.0, 3.0, -2.0};
+  const std::vector<int64_t> r = StochasticRound(g, rng);
+  EXPECT_EQ(r, (std::vector<int64_t>{0, 3, -2}));
+}
+
+TEST(StochasticRoundTest, RoundsToNeighbors) {
+  RandomGenerator rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<int64_t> r = StochasticRound({1.3, -0.7}, rng);
+    EXPECT_TRUE(r[0] == 1 || r[0] == 2);
+    EXPECT_TRUE(r[1] == -1 || r[1] == 0);
+  }
+}
+
+TEST(StochasticRoundTest, IsUnbiased) {
+  RandomGenerator rng(3);
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(StochasticRound({0.3}, rng)[0]);
+  }
+  EXPECT_NEAR(sum / kN, 0.3, 0.006);
+}
+
+TEST(StochasticRoundTest, WorstCaseNormInflation) {
+  // The cpSGD pathology (Section 1): a vector of d small entries can round
+  // to a vector of norm ~sqrt(count of nonzero roundings).
+  RandomGenerator rng(4);
+  const size_t d = 10000;
+  std::vector<double> g(d, 0.01);  // Norm = 1.
+  const std::vector<int64_t> r = StochasticRound(g, rng);
+  double norm_sq = 0.0;
+  for (int64_t v : r) norm_sq += static_cast<double>(v) * v;
+  // Expected ~ d * 0.01 = 100 ones: norm ~ 10 >> 1.
+  EXPECT_GT(std::sqrt(norm_sq), 5.0);
+}
+
+TEST(NormBoundTest, MatchesEq6) {
+  const double gamma = 4.0, l2 = 1.0, beta = std::exp(-0.5);
+  const size_t d = 65536;
+  const double expected =
+      std::sqrt(gamma * gamma + 65536.0 / 4.0 +
+                std::sqrt(2.0 * 0.5) * (gamma + 256.0 / 2.0));
+  EXPECT_NEAR(ConditionalRoundingNormBound(gamma, l2, d, beta), expected,
+              1e-9);
+}
+
+TEST(NormBoundTest, DominatedByDimensionTermAtSmallGamma) {
+  // The overhead driving Figure 1: at gamma = 4, d = 65536, the bound is
+  // ~sqrt(d/4) = 128 despite the scaled signal norm being only 4.
+  const double bound =
+      ConditionalRoundingNormBound(4.0, 1.0, 65536, std::exp(-0.5));
+  EXPECT_GT(bound, 100.0);
+  EXPECT_LT(bound, 200.0);
+}
+
+TEST(ConditionallyRoundTest, OutputSatisfiesBound) {
+  RandomGenerator rng(5);
+  std::vector<double> g(512);
+  for (double& v : g) v = rng.Gaussian(0.0, 0.5);
+  const double bound = ConditionalRoundingNormBound(1.0, 16.0, 512,
+                                                    std::exp(-0.5));
+  auto r = ConditionallyRound(g, bound, 1000, rng, nullptr);
+  ASSERT_TRUE(r.ok());
+  double norm_sq = 0.0;
+  for (int64_t v : *r) norm_sq += static_cast<double>(v) * v;
+  EXPECT_LE(std::sqrt(norm_sq), bound);
+}
+
+TEST(ConditionallyRoundTest, CountsRejections) {
+  RandomGenerator rng(6);
+  // A tight bound forces rejections: 100 entries at 0.5 with bound 5 means
+  // typical rounded norm ~ sqrt(50) ~ 7 > 5.
+  std::vector<double> g(100, 0.5);
+  int64_t rejections = 0;
+  auto r = ConditionallyRound(g, 5.0, 2000, rng, &rejections);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(rejections, 0);
+}
+
+TEST(ConditionallyRoundTest, FallsBackToNearestAfterRetryBudget) {
+  RandomGenerator rng(7);
+  // Impossible bound: the fallback (round-to-nearest of 0.4 -> 0) applies.
+  std::vector<double> g(100, 0.4);
+  auto r = ConditionallyRound(g, 0.5, 3, rng, nullptr);
+  ASSERT_TRUE(r.ok());
+  for (int64_t v : *r) EXPECT_EQ(v, 0);
+}
+
+TEST(ConditionallyRoundTest, RejectsBadParameters) {
+  RandomGenerator rng(8);
+  EXPECT_FALSE(ConditionallyRound({0.5}, 0.0, 10, rng, nullptr).ok());
+  EXPECT_FALSE(ConditionallyRound({0.5}, 1.0, 0, rng, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace smm::mechanisms

@@ -1,0 +1,119 @@
+#include "mechanisms/dgm_mechanism.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mechanisms/distributed_mechanism.h"
+#include "secagg/secure_aggregator.h"
+
+namespace smm::mechanisms {
+namespace {
+
+class DgmNoiserUnbiasednessTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DgmNoiserUnbiasednessTest, PerturbedValueIsUnbiased) {
+  const double x = GetParam();
+  auto noiser = DiscreteGaussianMixtureNoiser::Create(1.2);
+  ASSERT_TRUE(noiser.ok());
+  RandomGenerator rng(static_cast<uint64_t>(std::abs(x) * 997) + 7);
+  constexpr int kN = 150000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(noiser->Perturb(x, rng));
+  }
+  EXPECT_NEAR(sum / kN, x, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, DgmNoiserUnbiasednessTest,
+                         ::testing::Values(0.0, 0.5, -0.5, 1.75, -2.25));
+
+TEST(DgmNoiserTest, VarianceMatchesTheory) {
+  // Var ~ sigma^2 + p(1-p) (discrete Gaussian variance is slightly below
+  // sigma^2 but within a couple of percent for sigma >= 1).
+  const double x = 0.5, sigma = 2.0;
+  auto noiser = DiscreteGaussianMixtureNoiser::Create(sigma);
+  ASSERT_TRUE(noiser.ok());
+  RandomGenerator rng(3);
+  constexpr int kN = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double v = static_cast<double>(noiser->Perturb(x, rng));
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kN;
+  EXPECT_NEAR(sum_sq / kN - mean * mean, sigma * sigma + 0.25, 0.12);
+}
+
+DgmMechanism::Options BasicOptions() {
+  DgmMechanism::Options o;
+  o.dim = 128;
+  o.gamma = 32.0;
+  o.c = o.gamma * o.gamma;
+  o.delta_inf = 32.0;
+  o.sigma = 1.0;
+  o.modulus = 1 << 16;
+  o.rotation_seed = 5;
+  return o;
+}
+
+TEST(DgmMechanismTest, CreateValidates) {
+  auto bad = BasicOptions();
+  bad.sigma = 0.0;
+  EXPECT_FALSE(DgmMechanism::Create(bad).ok());
+  EXPECT_TRUE(DgmMechanism::Create(BasicOptions()).ok());
+}
+
+TEST(DgmMechanismTest, SumEstimateAccurateWithSmallNoise) {
+  auto options = BasicOptions();
+  options.sigma = 0.5;
+  auto mech = DgmMechanism::Create(options);
+  ASSERT_TRUE(mech.ok());
+  RandomGenerator rng(11);
+  secagg::IdealAggregator agg;
+  const int n = 10;
+  std::vector<std::vector<double>> inputs(n);
+  for (auto& x : inputs) {
+    x.assign(128, 0.0);
+    for (size_t j = 0; j < 128; ++j) x[j] = rng.Gaussian(0.0, 0.05);
+  }
+  auto estimate = RunDistributedSum(**mech, agg, inputs, rng);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_LT(MeanSquaredErrorPerDimension(*estimate, inputs), 0.05);
+}
+
+TEST(DgmMechanismTest, MatchesSmmPipelineShape) {
+  // DGM and SMM differ only in the noise distribution: with equal variance
+  // (sigma^2 = 2 lambda), their sum-estimation errors should be comparable.
+  auto dgm_options = BasicOptions();
+  dgm_options.sigma = 2.0;  // Variance 4.
+  auto mech = DgmMechanism::Create(dgm_options);
+  ASSERT_TRUE(mech.ok());
+  RandomGenerator rng(13);
+  secagg::IdealAggregator agg;
+  std::vector<std::vector<double>> inputs(
+      20, std::vector<double>(128, 0.01));
+  auto estimate = RunDistributedSum(**mech, agg, inputs, rng);
+  ASSERT_TRUE(estimate.ok());
+  const double mse = MeanSquaredErrorPerDimension(*estimate, inputs);
+  // Predicted: (n * (sigma^2 + ~1/4 Bernoulli)) / gamma^2 ~ 0.083.
+  EXPECT_LT(mse, 0.3);
+  EXPECT_GT(mse, 0.01);
+}
+
+TEST(DgmMechanismTest, OverflowCounterAtTinyModulus) {
+  auto options = BasicOptions();
+  options.modulus = 4;
+  options.sigma = 50.0;
+  auto mech = DgmMechanism::Create(options);
+  ASSERT_TRUE(mech.ok());
+  RandomGenerator rng(17);
+  std::vector<double> x(128, 0.0);
+  ASSERT_TRUE((*mech)->EncodeParticipant(x, rng).ok());
+  EXPECT_GT((*mech)->overflow_count(), 0);
+}
+
+}  // namespace
+}  // namespace smm::mechanisms

@@ -1,0 +1,129 @@
+#include "sampling/discrete_gaussian_sampler.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace smm::sampling {
+namespace {
+
+class BernoulliExpMinusTest
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(BernoulliExpMinusTest, MeanMatchesExpMinusGamma) {
+  const auto [num, den] = GetParam();
+  const double gamma = static_cast<double>(num) / static_cast<double>(den);
+  RandomGenerator rng(static_cast<uint64_t>(31 + num * 7 + den));
+  constexpr int kN = 80000;
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) {
+    if (SampleBernoulliExpMinusExact(num, den, rng)) ++hits;
+  }
+  const double p = std::exp(-gamma);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, p,
+              5.0 * std::sqrt(p * (1 - p) / kN) + 0.002);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Gammas, BernoulliExpMinusTest,
+    ::testing::Values(std::pair<int64_t, int64_t>{0, 1},
+                      std::pair<int64_t, int64_t>{1, 2},
+                      std::pair<int64_t, int64_t>{1, 1},
+                      std::pair<int64_t, int64_t>{3, 2},
+                      std::pair<int64_t, int64_t>{5, 2},
+                      std::pair<int64_t, int64_t>{4, 1}));
+
+TEST(DiscreteLaplaceExactTest, SymmetricAndGeometricTails) {
+  RandomGenerator rng(3);
+  constexpr int kN = 120000;
+  const int64_t t = 2;
+  std::map<int64_t, int> counts;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const int64_t v = SampleDiscreteLaplaceExact(t, rng);
+    counts[v]++;
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  // pmf proportional to exp(-|k|/t): check the ratio of consecutive buckets.
+  const double ratio_expected = std::exp(-1.0 / static_cast<double>(t));
+  for (int64_t k = 0; k <= 3; ++k) {
+    const double ratio = static_cast<double>(counts[k + 1]) /
+                         static_cast<double>(counts[k]);
+    EXPECT_NEAR(ratio, ratio_expected, 0.05);
+  }
+  // Symmetry.
+  for (int64_t k = 1; k <= 4; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / counts[-k], 1.0, 0.12);
+  }
+}
+
+TEST(DiscreteGaussianExactTest, RejectsInvalidSigma) {
+  RandomGenerator rng(4);
+  EXPECT_FALSE(SampleDiscreteGaussianExact(Rational{0, 1}, rng).ok());
+  EXPECT_FALSE(SampleDiscreteGaussianExact(Rational{1, 0}, rng).ok());
+}
+
+class DiscreteGaussianExactMomentsTest
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(DiscreteGaussianExactMomentsTest, MeanZeroVarianceNearSigma2) {
+  const auto [num, den] = GetParam();  // sigma^2 = num/den.
+  const double sigma2 = static_cast<double>(num) / static_cast<double>(den);
+  RandomGenerator rng(static_cast<uint64_t>(7 + num));
+  constexpr int kN = 60000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const int64_t v =
+        SampleDiscreteGaussianExact(Rational{num, den}, rng).value();
+    sum += static_cast<double>(v);
+    sum_sq += static_cast<double>(v) * v;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 5.0 * std::sqrt(sigma2 / kN) + 0.01);
+  // The discrete Gaussian variance approaches sigma^2 from below; for
+  // sigma^2 >= 1 they differ by well under 2%.
+  if (sigma2 >= 1.0) {
+    EXPECT_NEAR(var / sigma2, 1.0, 0.05);
+  } else {
+    EXPECT_LT(var, sigma2 + 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sigmas, DiscreteGaussianExactMomentsTest,
+    ::testing::Values(std::pair<int64_t, int64_t>{1, 4},   // sigma = 0.5
+                      std::pair<int64_t, int64_t>{1, 1},   // sigma = 1
+                      std::pair<int64_t, int64_t>{4, 1},   // sigma = 2
+                      std::pair<int64_t, int64_t>{16, 1},  // sigma = 4
+                      std::pair<int64_t, int64_t>{32, 1}));
+
+TEST(DiscreteGaussianExactTest, GoodnessOfFit) {
+  RandomGenerator rng(5);
+  constexpr int kN = 150000;
+  const double sigma = 2.0;
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < kN; ++i) {
+    counts[SampleDiscreteGaussianExact(Rational{4, 1}, rng).value()]++;
+  }
+  double chi2 = 0.0;
+  int buckets = 0;
+  for (int64_t k = -8; k <= 8; ++k) {
+    const double expected =
+        std::exp(DiscreteGaussianLogPmf(k, sigma)) * kN;
+    if (expected < 5.0) continue;
+    const double diff = static_cast<double>(counts[k]) - expected;
+    chi2 += diff * diff / expected;
+    ++buckets;
+  }
+  EXPECT_GE(buckets, 10);
+  EXPECT_LT(chi2, 55.0);  // Far beyond the 99.9% quantile for ~16 dof.
+}
+
+}  // namespace
+}  // namespace smm::sampling

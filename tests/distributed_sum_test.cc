@@ -1,0 +1,151 @@
+// Integration test for the Section 6.1 distributed sum estimation pipeline:
+// calibrate every mechanism to the same (epsilon, delta) target and verify
+// the relative error ordering the paper reports in Figure 1.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "accounting/calibration.h"
+#include "accounting/mechanism_rdp.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "mechanisms/baseline_mechanisms.h"
+#include "mechanisms/conditional_rounding.h"
+#include "mechanisms/distributed_mechanism.h"
+#include "mechanisms/smm_mechanism.h"
+#include "secagg/secure_aggregator.h"
+
+namespace smm {
+namespace {
+
+constexpr int kN = 50;
+constexpr size_t kDim = 4096;
+constexpr double kEpsilon = 3.0;
+constexpr double kDelta = 1e-5;
+
+double RunSmm(const std::vector<std::vector<double>>& inputs, double gamma,
+              uint64_t modulus, RandomGenerator& rng) {
+  const double c = gamma * gamma;
+  auto calib = accounting::CalibrateSmm(c, 1.0, 1, kEpsilon, kDelta).value();
+  mechanisms::SmmMechanism::Options o;
+  o.dim = kDim;
+  o.gamma = gamma;
+  o.c = c;
+  o.delta_inf = accounting::SmmMaxDeltaInf(calib.noise_parameter,
+                                           calib.guarantee.best_alpha);
+  o.lambda = calib.noise_parameter / kN;
+  o.modulus = modulus;
+  o.rotation_seed = 1;
+  auto mech = mechanisms::SmmMechanism::Create(o).value();
+  secagg::IdealAggregator agg;
+  auto estimate =
+      mechanisms::RunDistributedSum(*mech, agg, inputs, rng).value();
+  return mechanisms::MeanSquaredErrorPerDimension(estimate, inputs);
+}
+
+double RunDdg(const std::vector<std::vector<double>>& inputs, double gamma,
+              uint64_t modulus, RandomGenerator& rng) {
+  const double bound = mechanisms::ConditionalRoundingNormBound(
+      gamma, 1.0, kDim, std::exp(-0.5));
+  const double l2sq = bound * bound;
+  const double l1 = std::min(std::sqrt(static_cast<double>(kDim)) * bound,
+                             l2sq);
+  auto calib = accounting::CalibrateDdg(kN, l2sq, l1, kDim, 1.0, 1, kEpsilon,
+                                        kDelta)
+                   .value();
+  mechanisms::DdgMechanism::Options o;
+  o.dim = kDim;
+  o.gamma = gamma;
+  o.l2_bound = 1.0;
+  o.sigma = calib.noise_parameter;
+  o.modulus = modulus;
+  o.rotation_seed = 1;
+  auto mech = mechanisms::DdgMechanism::Create(o).value();
+  secagg::IdealAggregator agg;
+  auto estimate =
+      mechanisms::RunDistributedSum(*mech, agg, inputs, rng).value();
+  return mechanisms::MeanSquaredErrorPerDimension(estimate, inputs);
+}
+
+double RunGaussian(const std::vector<std::vector<double>>& inputs,
+                   RandomGenerator& rng) {
+  auto calib =
+      accounting::CalibrateGaussian(1.0, 1.0, 1, kEpsilon, kDelta).value();
+  mechanisms::CentralGaussianBaseline::Options o;
+  o.sigma = calib.noise_parameter;
+  o.l2_bound = 1.0;
+  mechanisms::CentralGaussianBaseline baseline(o);
+  auto estimate = baseline.PerturbedSum(inputs, rng).value();
+  return mechanisms::MeanSquaredErrorPerDimension(estimate, inputs);
+}
+
+class DistributedSumIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RandomGenerator data_rng(1234);
+    inputs_ = data::SampleSphereDataset(kN, kDim, 1.0, data_rng);
+  }
+  std::vector<std::vector<double>> inputs_;
+};
+
+TEST_F(DistributedSumIntegrationTest, SmmBeatsDdgAtSmallBitwidth) {
+  // Figure 1(a) regime: m = 2^10, gamma = 4. DDG's conditionally-rounded
+  // sensitivity (~d/4) forces orders of magnitude more noise.
+  RandomGenerator rng(7);
+  const double smm_mse = RunSmm(inputs_, 4.0, 1 << 10, rng);
+  const double ddg_mse = RunDdg(inputs_, 4.0, 1 << 10, rng);
+  EXPECT_LT(smm_mse * 20.0, ddg_mse)
+      << "smm=" << smm_mse << " ddg=" << ddg_mse;
+}
+
+TEST_F(DistributedSumIntegrationTest, GapClosesAtLargeBitwidth) {
+  // Figure 1(e) regime: m = 2^18, gamma = 1024. DDG approaches the
+  // continuous Gaussian baseline and SMM is within a small factor.
+  RandomGenerator rng(11);
+  const double smm_mse = RunSmm(inputs_, 1024.0, 1 << 18, rng);
+  const double ddg_mse = RunDdg(inputs_, 1024.0, 1 << 18, rng);
+  EXPECT_LT(ddg_mse, smm_mse * 10.0);
+  EXPECT_LT(smm_mse, ddg_mse * 10.0);
+}
+
+TEST_F(DistributedSumIntegrationTest, ContinuousGaussianIsTheFloor) {
+  RandomGenerator rng(13);
+  const double gauss_mse = RunGaussian(inputs_, rng);
+  const double smm_mse = RunSmm(inputs_, 1024.0, 1 << 18, rng);
+  // SMM at fine quantization sits within a small constant of the central
+  // baseline (the 1.2 factor of Corollary 2 plus quantization).
+  EXPECT_LT(gauss_mse, smm_mse * 1.5);
+  EXPECT_LT(smm_mse, gauss_mse * 5.0);
+}
+
+TEST_F(DistributedSumIntegrationTest, SmmErrorMatchesCorollary2Prediction) {
+  // Corollary 2: Err = (1.2 a + 1)/2 * c / tau / gamma^2 ... per dimension:
+  // (2 n lambda + sum p(1-p)) / gamma^2. Check the measured error is within
+  // a factor of ~3 of the noise-variance prediction.
+  RandomGenerator rng(17);
+  const double gamma = 64.0;
+  const double c = gamma * gamma;
+  auto calib = accounting::CalibrateSmm(c, 1.0, 1, kEpsilon, kDelta).value();
+  mechanisms::SmmMechanism::Options o;
+  o.dim = kDim;
+  o.gamma = gamma;
+  o.c = c;
+  o.delta_inf = accounting::SmmMaxDeltaInf(calib.noise_parameter,
+                                           calib.guarantee.best_alpha);
+  o.lambda = calib.noise_parameter / kN;
+  o.modulus = 1ULL << 32;  // No overflow.
+  o.rotation_seed = 3;
+  auto mech = mechanisms::SmmMechanism::Create(o).value();
+  secagg::IdealAggregator agg;
+  auto estimate =
+      mechanisms::RunDistributedSum(*mech, agg, inputs_, rng).value();
+  const double mse =
+      mechanisms::MeanSquaredErrorPerDimension(estimate, inputs_);
+  const double noise_var_per_dim =
+      2.0 * calib.noise_parameter / (gamma * gamma);
+  EXPECT_LT(mse, 3.0 * (noise_var_per_dim + 0.25 * kN / (gamma * gamma)));
+  EXPECT_GT(mse, 0.3 * noise_var_per_dim);
+}
+
+}  // namespace
+}  // namespace smm

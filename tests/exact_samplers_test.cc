@@ -1,0 +1,208 @@
+#include "sampling/exact_samplers.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace smm::sampling {
+namespace {
+
+// Chi-square goodness-of-fit of empirical counts against log-pmf values.
+// Buckets with expected count < 5 are pooled into a tail bucket.
+double ChiSquare(const std::map<int64_t, int>& counts, int total,
+                 const std::function<double(int64_t)>& log_pmf,
+                 int64_t support_lo, int64_t support_hi) {
+  double chi2 = 0.0;
+  double pooled_expected = 0.0;
+  int pooled_observed = 0;
+  double covered_probability = 0.0;
+  for (int64_t k = support_lo; k <= support_hi; ++k) {
+    const double p = std::exp(log_pmf(k));
+    covered_probability += p;
+    const double expected = p * total;
+    const auto it = counts.find(k);
+    const int observed = it == counts.end() ? 0 : it->second;
+    if (expected < 5.0) {
+      pooled_expected += expected;
+      pooled_observed += observed;
+      continue;
+    }
+    const double diff = observed - expected;
+    chi2 += diff * diff / expected;
+  }
+  // Everything outside [support_lo, support_hi] joins the pooled bucket.
+  int outside = total;
+  for (const auto& [k, c] : counts) {
+    if (k >= support_lo && k <= support_hi) outside -= c;
+  }
+  pooled_observed += outside;
+  pooled_expected += (1.0 - covered_probability) * total;
+  if (pooled_expected >= 5.0) {
+    const double diff = pooled_observed - pooled_expected;
+    chi2 += diff * diff / pooled_expected;
+  }
+  return chi2;
+}
+
+TEST(BernoulliExactTest, DegenerateProbabilities) {
+  RandomGenerator rng(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(SampleBernoulliExact(0, 7, rng));
+    EXPECT_TRUE(SampleBernoulliExact(7, 7, rng));
+  }
+}
+
+TEST(BernoulliExactTest, MeanMatchesProbability) {
+  RandomGenerator rng(2);
+  constexpr int kN = 100000;
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) {
+    if (SampleBernoulliExact(3, 10, rng)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.006);
+}
+
+TEST(PoissonOneExactTest, MomentsMatchPoissonOne) {
+  RandomGenerator rng(3);
+  constexpr int kN = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const int64_t v = SamplePoissonOneExact(rng);
+    ASSERT_GE(v, 0);
+    sum += static_cast<double>(v);
+    sum_sq += static_cast<double>(v) * v;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(PoissonOneExactTest, GoodnessOfFit) {
+  RandomGenerator rng(4);
+  constexpr int kN = 200000;
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < kN; ++i) counts[SamplePoissonOneExact(rng)]++;
+  const double chi2 = ChiSquare(
+      counts, kN, [](int64_t k) { return PoissonLogPmf(k, 1.0); }, 0, 12);
+  // ~9 effective buckets; 35 is far beyond the 99.9% quantile.
+  EXPECT_LT(chi2, 35.0);
+}
+
+TEST(PoissonLessThanOneExactTest, MomentsMatch) {
+  RandomGenerator rng(5);
+  constexpr int kN = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const int64_t v = SamplePoissonLessThanOneExact(3, 10, rng);  // 0.3
+    sum += static_cast<double>(v);
+    sum_sq += static_cast<double>(v) * v;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.3, 0.01);
+  EXPECT_NEAR(var, 0.3, 0.01);
+}
+
+TEST(PoissonExactTest, ZeroParameterIsZero) {
+  RandomGenerator rng(6);
+  auto v = SamplePoissonExact(Rational{0, 1}, rng);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 0);
+}
+
+TEST(PoissonExactTest, RejectsInvalidParameters) {
+  RandomGenerator rng(7);
+  EXPECT_FALSE(SamplePoissonExact(Rational{-1, 1}, rng).ok());
+  EXPECT_FALSE(SamplePoissonExact(Rational{1, 0}, rng).ok());
+}
+
+class PoissonExactMomentsTest
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(PoissonExactMomentsTest, MeanAndVarianceEqualLambda) {
+  const auto [num, den] = GetParam();
+  const double lambda = static_cast<double>(num) / static_cast<double>(den);
+  RandomGenerator rng(100 + static_cast<uint64_t>(num));
+  constexpr int kN = 60000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    auto v = SamplePoissonExact(Rational{num, den}, rng);
+    ASSERT_TRUE(v.ok());
+    sum += static_cast<double>(*v);
+    sum_sq += static_cast<double>(*v) * static_cast<double>(*v);
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  const double tol = 5.0 * std::sqrt(lambda / kN) + 0.01;
+  EXPECT_NEAR(mean, lambda, tol);
+  EXPECT_NEAR(var, lambda, 6.0 * lambda * std::sqrt(2.0 / kN) + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lambdas, PoissonExactMomentsTest,
+    ::testing::Values(std::pair<int64_t, int64_t>{1, 2},
+                      std::pair<int64_t, int64_t>{5, 2},
+                      std::pair<int64_t, int64_t>{7, 1},
+                      std::pair<int64_t, int64_t>{31, 10}));
+
+TEST(PoissonExactTest, GoodnessOfFitLambda2_5) {
+  RandomGenerator rng(8);
+  constexpr int kN = 150000;
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < kN; ++i) {
+    counts[SamplePoissonExact(Rational{5, 2}, rng).value()]++;
+  }
+  const double chi2 = ChiSquare(
+      counts, kN, [](int64_t k) { return PoissonLogPmf(k, 2.5); }, 0, 15);
+  EXPECT_LT(chi2, 45.0);
+}
+
+TEST(SkellamExactTest, SymmetricZeroMean) {
+  RandomGenerator rng(9);
+  constexpr int kN = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  const Rational lambda{2, 1};
+  for (int i = 0; i < kN; ++i) {
+    const int64_t v = SampleSkellamExact(lambda, rng).value();
+    sum += static_cast<double>(v);
+    sum_sq += static_cast<double>(v) * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / kN, 4.0, 0.15);  // Var = 2 lambda = 4.
+}
+
+TEST(SkellamExactTest, GoodnessOfFit) {
+  RandomGenerator rng(10);
+  constexpr int kN = 150000;
+  std::map<int64_t, int> counts;
+  const Rational lambda{3, 2};  // lambda = 1.5, variance 3.
+  for (int i = 0; i < kN; ++i) {
+    counts[SampleSkellamExact(lambda, rng).value()]++;
+  }
+  const double chi2 = ChiSquare(
+      counts, kN, [](int64_t k) { return SkellamLogPmf(k, 1.5); }, -12, 12);
+  EXPECT_LT(chi2, 50.0);
+}
+
+TEST(SkellamExactTest, AdditivityOfTwoSamples) {
+  // Sum of two Sk(1,1) draws should match Sk(2,2) in moments (Section 2.1).
+  RandomGenerator rng(11);
+  constexpr int kN = 80000;
+  double sum_sq = 0.0;
+  const Rational one{1, 1};
+  for (int i = 0; i < kN; ++i) {
+    const int64_t v = SampleSkellamExact(one, rng).value() +
+                      SampleSkellamExact(one, rng).value();
+    sum_sq += static_cast<double>(v) * v;
+  }
+  EXPECT_NEAR(sum_sq / kN, 4.0, 0.15);
+}
+
+}  // namespace
+}  // namespace smm::sampling

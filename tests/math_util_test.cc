@@ -1,0 +1,145 @@
+#include "common/math_util.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace smm {
+namespace {
+
+TEST(LogAddTest, MatchesDirectComputation) {
+  EXPECT_NEAR(LogAdd(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_NEAR(LogAdd(0.0, 0.0), std::log(2.0), 1e-12);
+}
+
+TEST(LogAddTest, HandlesNegativeInfinity) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_EQ(LogAdd(ninf, 1.5), 1.5);
+  EXPECT_EQ(LogAdd(1.5, ninf), 1.5);
+  EXPECT_EQ(LogAdd(ninf, ninf), ninf);
+}
+
+TEST(LogAddTest, StableForLargeMagnitudes) {
+  // exp(1000) overflows, but log(exp(1000) + exp(999)) is fine in log space.
+  EXPECT_NEAR(LogAdd(1000.0, 999.0), 1000.0 + std::log1p(std::exp(-1.0)),
+              1e-9);
+}
+
+TEST(LogSumExpTest, EmptyIsNegativeInfinity) {
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(LogSumExpTest, MatchesDirectSum) {
+  const std::vector<double> v = {std::log(1.0), std::log(2.0), std::log(3.0)};
+  EXPECT_NEAR(LogSumExp(v), std::log(6.0), 1e-12);
+}
+
+TEST(LogFactorialTest, SmallValuesExact) {
+  EXPECT_NEAR(LogFactorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogBinomialTest, MatchesPascal) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-10);
+  EXPECT_NEAR(LogBinomial(10, 0), 0.0, 1e-10);
+  EXPECT_NEAR(LogBinomial(10, 10), 0.0, 1e-10);
+  EXPECT_NEAR(LogBinomial(52, 5), std::log(2598960.0), 1e-8);
+}
+
+TEST(LogBesselITest, KnownValues) {
+  // Reference values from Abramowitz & Stegun.
+  EXPECT_NEAR(std::exp(LogBesselI(0, 1.0)), 1.2660658777520084, 1e-9);
+  EXPECT_NEAR(std::exp(LogBesselI(1, 1.0)), 0.5651591039924851, 1e-9);
+  EXPECT_NEAR(std::exp(LogBesselI(0, 2.0)), 2.2795853023360673, 1e-9);
+  EXPECT_NEAR(std::exp(LogBesselI(2, 2.0)), 0.6889484476987382, 1e-9);
+}
+
+TEST(LogBesselITest, ZeroArgument) {
+  EXPECT_EQ(LogBesselI(0, 0.0), 0.0);  // I_0(0) = 1.
+  EXPECT_EQ(LogBesselI(3, 0.0), -std::numeric_limits<double>::infinity());
+}
+
+TEST(LogBesselITest, LargeArgumentDoesNotOverflow) {
+  // I_0(700) ~ e^700 / sqrt(2 pi 700): log value near 700 - 4.07.
+  const double lv = LogBesselI(0, 700.0);
+  EXPECT_TRUE(std::isfinite(lv));
+  EXPECT_NEAR(lv, 700.0 - 0.5 * std::log(2.0 * M_PI * 700.0), 0.01);
+}
+
+TEST(PoissonLogPmfTest, SumsToOne) {
+  const double lambda = 3.7;
+  double total = 0.0;
+  for (int k = 0; k < 60; ++k) total += std::exp(PoissonLogPmf(k, lambda));
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(PoissonLogPmfTest, MatchesDirectFormula) {
+  EXPECT_NEAR(std::exp(PoissonLogPmf(0, 2.0)), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(std::exp(PoissonLogPmf(2, 2.0)), std::exp(-2.0) * 2.0, 1e-12);
+}
+
+class SkellamPmfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SkellamPmfTest, SumsToOneAndSymmetric) {
+  const double lambda = GetParam();
+  double total = 0.0;
+  const int range = static_cast<int>(20.0 + 10.0 * std::sqrt(2.0 * lambda));
+  for (int k = -range; k <= range; ++k) {
+    total += std::exp(SkellamLogPmf(k, lambda));
+    EXPECT_NEAR(SkellamLogPmf(k, lambda), SkellamLogPmf(-k, lambda), 1e-10);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-8);
+}
+
+TEST_P(SkellamPmfTest, VarianceIsTwoLambda) {
+  const double lambda = GetParam();
+  const int range = static_cast<int>(20.0 + 12.0 * std::sqrt(2.0 * lambda));
+  double var = 0.0;
+  for (int k = -range; k <= range; ++k) {
+    var += static_cast<double>(k) * k * std::exp(SkellamLogPmf(k, lambda));
+  }
+  EXPECT_NEAR(var, 2.0 * lambda, 2e-6 * (1.0 + 2.0 * lambda));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, SkellamPmfTest,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 8.0, 32.0));
+
+class DiscreteGaussianPmfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiscreteGaussianPmfTest, SumsToOne) {
+  const double sigma = GetParam();
+  double total = 0.0;
+  const int range = static_cast<int>(20.0 + 12.0 * sigma);
+  for (int k = -range; k <= range; ++k) {
+    total += std::exp(DiscreteGaussianLogPmf(k, sigma));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(DiscreteGaussianPmfTest, VarianceNearSigmaSquared) {
+  // For sigma >= 1 the discrete Gaussian variance is within ~1% of sigma^2.
+  const double sigma = GetParam();
+  if (sigma < 1.0) return;
+  const int range = static_cast<int>(20.0 + 12.0 * sigma);
+  double var = 0.0;
+  for (int k = -range; k <= range; ++k) {
+    var += static_cast<double>(k) * k *
+           std::exp(DiscreteGaussianLogPmf(k, sigma));
+  }
+  EXPECT_NEAR(var / (sigma * sigma), 1.0, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, DiscreteGaussianPmfTest,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.66));
+
+TEST(ClampTest, Basics) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace smm

@@ -1,0 +1,169 @@
+#include "accounting/mechanism_rdp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace smm::accounting {
+namespace {
+
+TEST(SkellamNoiseRdpTest, MatchesTheorem4Formula) {
+  // tau(alpha) = (1.09 a + 0.91)/2 * c / (2 lambda).
+  const RdpCurve curve = SkellamNoiseRdpCurve(100.0, 4.0, 1.0);
+  auto tau = curve(3);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_NEAR(*tau, (1.09 * 3 + 0.91) / 2.0 * 4.0 / 200.0, 1e-12);
+}
+
+TEST(SkellamNoiseRdpTest, ComparableToGaussianOfSameVariance) {
+  // Theorem 3 discussion: Skellam of variance 2*lambda is within a constant
+  // factor of Gaussian RDP alpha*s^2 / (2 * 2lambda).
+  const double lambda = 50.0, s2 = 1.0;
+  const RdpCurve skellam = SkellamNoiseRdpCurve(lambda, s2, 1.0);
+  const RdpCurve gauss = GaussianRdpCurve(1.0, std::sqrt(2.0 * lambda));
+  for (int alpha : {2, 4, 8, 16}) {
+    const double ts = skellam(alpha).value();
+    const double tg = gauss(alpha).value();
+    EXPECT_GT(ts, tg);          // Slightly worse than Gaussian...
+    EXPECT_LT(ts, 2.0 * tg);    // ...but within a factor of 2.
+  }
+}
+
+TEST(SkellamNoiseRdpTest, EnforcesOrderConstraint) {
+  // alpha < 2 lambda / delta_inf + 1 = 2*5/10 + 1 = 2: alpha = 2 infeasible.
+  const RdpCurve curve = SkellamNoiseRdpCurve(5.0, 1.0, 10.0);
+  EXPECT_FALSE(curve(2).ok());
+  // Large lambda admits all small orders.
+  const RdpCurve ok = SkellamNoiseRdpCurve(1000.0, 1.0, 10.0);
+  EXPECT_TRUE(ok(2).ok());
+}
+
+TEST(SmmRdpTest, MatchesCorollary1Formula) {
+  const RdpCurve curve = SmmRdpCurve(200.0, 16.0, 0.0);
+  auto tau = curve(5);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_NEAR(*tau, (1.2 * 5 + 1.0) / 2.0 * 16.0 / 400.0, 1e-12);
+}
+
+TEST(SmmRdpTest, Eq3ConstraintsRejectInfeasibleOrders) {
+  // Small n*lambda with large delta_inf violates the quadratic constraint.
+  const RdpCurve curve = SmmRdpCurve(10.0, 1.0, 5.0);
+  EXPECT_FALSE(curve(10).ok());
+}
+
+TEST(SmmMaxDeltaInfTest, SatisfiesBothConstraints) {
+  for (double n_lambda : {10.0, 100.0, 1e4, 1e6}) {
+    for (int alpha : {2, 4, 8, 32}) {
+      const double dinf = SmmMaxDeltaInf(n_lambda, alpha);
+      ASSERT_GT(dinf, 0.0);
+      const double a = static_cast<double>(alpha);
+      EXPECT_LT(a, 2.0 * n_lambda / dinf + 1.0);
+      const double quad = 10.9 * a * a - 1.8 * a - 9.1;
+      EXPECT_LT(quad, 4.0 * n_lambda / (dinf * dinf));
+      // The curve itself must accept this (alpha, delta_inf) pair.
+      const RdpCurve curve = SmmRdpCurve(n_lambda, 1.0, dinf);
+      EXPECT_TRUE(curve(alpha).ok());
+    }
+  }
+}
+
+TEST(SmmRdpTest, OnlyTwentyPercentWorseThanGaussianLeadingConstant) {
+  // Corollary 2 discussion: the SMM multiplier (1.2a+1)/2 vs Gaussian a/2.
+  const double n_lambda = 1000.0, c = 1.0;
+  const RdpCurve smm = SmmRdpCurve(n_lambda, c, 0.0);
+  const RdpCurve gauss = GaussianRdpCurve(1.0, std::sqrt(2.0 * n_lambda));
+  for (int alpha : {4, 16, 64}) {
+    const double ratio = smm(alpha).value() / gauss(alpha).value();
+    EXPECT_GT(ratio, 1.0);
+    EXPECT_LT(ratio, 1.2 + 2.0 / alpha);
+  }
+}
+
+TEST(DdgTauNTest, DecreasesInSigmaIncreasesInN) {
+  EXPECT_GT(DdgTauN(100, 0.5), DdgTauN(100, 1.0));
+  EXPECT_GT(DdgTauN(100, 1.0), DdgTauN(100, 2.0));
+  EXPECT_GT(DdgTauN(200, 1.0), DdgTauN(100, 1.0));
+  EXPECT_EQ(DdgTauN(1, 1.0), 0.0);  // Single client: no divergence.
+  EXPECT_LT(DdgTauN(100, 10.0), 1e-100);  // Vanishes for large sigma.
+}
+
+TEST(DdgRdpTest, DominatedByGaussianTermForLargeSigma) {
+  const int n = 100, d = 1024;
+  const double sigma = 10.0, l2sq = 4.0, l1 = 20.0;
+  const RdpCurve curve = DdgRdpCurve(n, sigma, l2sq, l1, d);
+  for (int alpha : {2, 8, 32}) {
+    const double expected = alpha * l2sq / (2.0 * n * sigma * sigma);
+    EXPECT_NEAR(curve(alpha).value(), expected, 1e-6 * expected + 1e-30);
+  }
+}
+
+TEST(DdgRdpTest, TauNCorrectionVisibleForSmallSigma) {
+  const int n = 100, d = 1024;
+  const RdpCurve curve = DdgRdpCurve(n, 0.5, 4.0, 20.0, d);
+  const double base = 2.0 * 4.0 / (2.0 * n * 0.25);
+  EXPECT_GT(curve(2).value(), base);  // Correction strictly adds.
+}
+
+TEST(DgmRdpTest, MatchesCorollary3Structure) {
+  const int n = 100, d = 256;
+  const double sigma = 20.0, c = 4.0, l1 = 16.0;
+  const RdpCurve curve = DgmRdpCurve(n, sigma, c, l1, d, /*delta_inf=*/1.0);
+  auto tau = curve(4);
+  ASSERT_TRUE(tau.ok());
+  const double base = 1.1 * 4.0 * c / (2.0 * n * sigma * sigma);
+  EXPECT_GE(*tau, base);
+  EXPECT_LT(*tau, base + 1e-3);
+}
+
+TEST(DgmRdpTest, Eq8RejectsTinySigma) {
+  // sigma so small that the mixture expansion is invalid at alpha = 8.
+  const RdpCurve curve = DgmRdpCurve(2, 0.4, 1.0, 1.0, 16, /*delta_inf=*/5.0);
+  EXPECT_FALSE(curve(8).ok());
+}
+
+TEST(GaussianRdpTest, LinearInAlpha) {
+  const RdpCurve curve = GaussianRdpCurve(2.0, 4.0);
+  EXPECT_NEAR(curve(2).value(), 2.0 * 4.0 / 32.0, 1e-12);
+  EXPECT_NEAR(curve(8).value(), 4.0 * curve(2).value(), 1e-12);
+}
+
+TEST(AgarwalSkellamRdpTest, ReducesToLeadingTermForLargeMu) {
+  const double mu = 1e6, l2sq = 4.0, l1 = 64.0;
+  const RdpCurve curve = SkellamAgarwalRdpCurve(mu, l2sq, l1);
+  const double expected = 8.0 * l2sq / (4.0 * mu);
+  EXPECT_NEAR(curve(8).value(), expected, 1e-3 * expected);
+}
+
+TEST(AgarwalSkellamRdpTest, L1TermPenalizesSmallMu) {
+  // For small mu the correction term (with L1 dependence) is visible —
+  // the weakness SMM's clean bound avoids.
+  const double mu = 10.0, l2sq = 1.0, l1 = 100.0;
+  const RdpCurve with_l1 = SkellamAgarwalRdpCurve(mu, l2sq, l1);
+  const RdpCurve no_l1 = SkellamAgarwalRdpCurve(mu, l2sq, 0.0);
+  EXPECT_GT(with_l1(4).value(), no_l1(4).value());
+}
+
+class NoiseMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NoiseMonotoneTest, AllCurvesDecreaseWithNoise) {
+  const int alpha = GetParam();
+  double prev_smm = 1e300, prev_ddg = 1e300, prev_ag = 1e300;
+  for (double scale : {10.0, 100.0, 1000.0, 10000.0}) {
+    const double smm = SmmRdpCurve(scale, 1.0, 0.0)(alpha).value();
+    const double ddg =
+        DdgRdpCurve(100, std::sqrt(scale), 1.0, 10.0, 64)(alpha).value();
+    const double ag = SkellamAgarwalRdpCurve(scale, 1.0, 10.0)(alpha).value();
+    EXPECT_LT(smm, prev_smm);
+    EXPECT_LT(ddg, prev_ddg);
+    EXPECT_LT(ag, prev_ag);
+    prev_smm = smm;
+    prev_ddg = ddg;
+    prev_ag = ag;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, NoiseMonotoneTest,
+                         ::testing::Values(2, 4, 8, 16, 64));
+
+}  // namespace
+}  // namespace smm::accounting

@@ -1,0 +1,194 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "nn/optimizer.h"
+
+namespace smm::nn {
+namespace {
+
+Mlp::Options SmallOptions() {
+  Mlp::Options o;
+  o.input_dim = 6;
+  o.hidden_dims = {8, 8};
+  o.num_classes = 3;
+  o.init_seed = 11;
+  return o;
+}
+
+TEST(MlpTest, CreateValidates) {
+  auto bad = SmallOptions();
+  bad.input_dim = 0;
+  EXPECT_FALSE(Mlp::Create(bad).ok());
+  bad = SmallOptions();
+  bad.num_classes = 1;
+  EXPECT_FALSE(Mlp::Create(bad).ok());
+  bad = SmallOptions();
+  bad.hidden_dims = {0};
+  EXPECT_FALSE(Mlp::Create(bad).ok());
+  EXPECT_TRUE(Mlp::Create(SmallOptions()).ok());
+}
+
+TEST(MlpTest, ParameterCountMatchesArchitecture) {
+  auto mlp = Mlp::Create(SmallOptions());
+  ASSERT_TRUE(mlp.ok());
+  // 6*8+8 + 8*8+8 + 8*3+3 = 56 + 72 + 27 = 155.
+  EXPECT_EQ(mlp->num_parameters(), 155u);
+}
+
+TEST(MlpTest, PaperModelHas63610Parameters) {
+  // Section 6.2: the "three-layer" network (input-hidden-output) with 80
+  // neurons per hidden layer on 784-dim input gives d = 63,610 weights:
+  // 784*80 + 80 + 80*10 + 10.
+  Mlp::Options o;
+  o.input_dim = 784;
+  o.hidden_dims = {80};
+  o.num_classes = 10;
+  auto mlp = Mlp::Create(o);
+  ASSERT_TRUE(mlp.ok());
+  EXPECT_EQ(mlp->num_parameters(), 63610u);
+}
+
+TEST(MlpTest, ForwardOutputsLogitsPerClass) {
+  auto mlp = Mlp::Create(SmallOptions());
+  ASSERT_TRUE(mlp.ok());
+  const std::vector<double> x(6, 0.5);
+  const std::vector<double> logits = mlp->Forward(x);
+  EXPECT_EQ(logits.size(), 3u);
+}
+
+TEST(MlpTest, DeterministicForSeed) {
+  auto a = Mlp::Create(SmallOptions());
+  auto b = Mlp::Create(SmallOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->parameters(), b->parameters());
+}
+
+TEST(MlpTest, GradientMatchesFiniteDifferences) {
+  auto mlp = Mlp::Create(SmallOptions());
+  ASSERT_TRUE(mlp.ok());
+  RandomGenerator rng(3);
+  std::vector<double> x(6);
+  for (double& v : x) v = rng.Gaussian(0.0, 1.0);
+  const int label = 1;
+
+  const Mlp::LossAndGrad lg = mlp->ComputeLossAndGradient(x, label);
+  ASSERT_EQ(lg.grad.size(), mlp->num_parameters());
+
+  // Check a spread of parameter indices with central differences.
+  const double h = 1e-6;
+  std::vector<double>& params = mlp->mutable_parameters();
+  for (size_t idx = 0; idx < params.size(); idx += 13) {
+    const double saved = params[idx];
+    params[idx] = saved + h;
+    const double loss_plus = mlp->ComputeLoss(x, label);
+    params[idx] = saved - h;
+    const double loss_minus = mlp->ComputeLoss(x, label);
+    params[idx] = saved;
+    const double numeric = (loss_plus - loss_minus) / (2.0 * h);
+    EXPECT_NEAR(lg.grad[idx], numeric, 1e-5 * (1.0 + std::abs(numeric)))
+        << "param " << idx;
+  }
+}
+
+TEST(MlpTest, LossDecreasesUnderGradientDescent) {
+  auto mlp = Mlp::Create(SmallOptions());
+  ASSERT_TRUE(mlp.ok());
+  RandomGenerator rng(5);
+  // Tiny synthetic task: class = argmax of first 3 inputs.
+  std::vector<std::vector<double>> xs;
+  std::vector<int> ys;
+  for (int i = 0; i < 60; ++i) {
+    std::vector<double> x(6);
+    for (double& v : x) v = rng.Gaussian(0.0, 1.0);
+    int label = 0;
+    for (int c = 1; c < 3; ++c) {
+      if (x[static_cast<size_t>(c)] > x[static_cast<size_t>(label)]) {
+        label = c;
+      }
+    }
+    xs.push_back(std::move(x));
+    ys.push_back(label);
+  }
+  auto mean_loss = [&]() {
+    double total = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      total += mlp->ComputeLoss(xs[i], ys[i]);
+    }
+    return total / static_cast<double>(xs.size());
+  };
+  const double before = mean_loss();
+  SgdOptimizer opt(0.1);
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    std::vector<double> grad(mlp->num_parameters(), 0.0);
+    for (size_t i = 0; i < xs.size(); ++i) {
+      const auto lg = mlp->ComputeLossAndGradient(xs[i], ys[i]);
+      for (size_t j = 0; j < grad.size(); ++j) {
+        grad[j] += lg.grad[j] / static_cast<double>(xs.size());
+      }
+    }
+    ASSERT_TRUE(opt.Step(mlp->mutable_parameters(), grad).ok());
+  }
+  EXPECT_LT(mean_loss(), 0.5 * before);
+}
+
+TEST(MlpTest, PredictIsArgmaxOfForward) {
+  auto mlp = Mlp::Create(SmallOptions());
+  ASSERT_TRUE(mlp.ok());
+  const std::vector<double> x(6, 0.3);
+  const std::vector<double> logits = mlp->Forward(x);
+  int argmax = 0;
+  for (int c = 1; c < 3; ++c) {
+    if (logits[static_cast<size_t>(c)] > logits[static_cast<size_t>(argmax)]) {
+      argmax = c;
+    }
+  }
+  EXPECT_EQ(mlp->Predict(x), argmax);
+}
+
+TEST(OptimizerTest, SgdStepMath) {
+  SgdOptimizer opt(0.5);
+  std::vector<double> params = {1.0, 2.0};
+  ASSERT_TRUE(opt.Step(params, {0.2, -0.4}).ok());
+  EXPECT_NEAR(params[0], 0.9, 1e-12);
+  EXPECT_NEAR(params[1], 2.2, 1e-12);
+}
+
+TEST(OptimizerTest, SizeMismatchRejected) {
+  SgdOptimizer sgd(0.1);
+  AdamOptimizer adam(0.1);
+  std::vector<double> params = {1.0};
+  EXPECT_FALSE(sgd.Step(params, {0.1, 0.2}).ok());
+  EXPECT_FALSE(adam.Step(params, {0.1, 0.2}).ok());
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  // Minimize f(w) = ||w - target||^2 / 2.
+  AdamOptimizer opt(0.05);
+  std::vector<double> w = {5.0, -3.0, 2.0};
+  const std::vector<double> target = {1.0, 1.0, 1.0};
+  for (int it = 0; it < 2000; ++it) {
+    std::vector<double> grad(3);
+    for (size_t i = 0; i < 3; ++i) grad[i] = w[i] - target[i];
+    ASSERT_TRUE(opt.Step(w, grad).ok());
+  }
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(w[i], 1.0, 0.05);
+}
+
+TEST(OptimizerTest, MomentumAcceleratesSgd) {
+  SgdOptimizer plain(0.01);
+  SgdOptimizer momentum(0.01, 0.9);
+  std::vector<double> w1 = {10.0}, w2 = {10.0};
+  for (int it = 0; it < 50; ++it) {
+    ASSERT_TRUE(plain.Step(w1, {w1[0]}).ok());
+    ASSERT_TRUE(momentum.Step(w2, {w2[0]}).ok());
+  }
+  EXPECT_LT(std::abs(w2[0]), std::abs(w1[0]));
+}
+
+}  // namespace
+}  // namespace smm::nn

@@ -1,0 +1,74 @@
+#include "secagg/modular.h"
+
+#include <gtest/gtest.h>
+
+namespace smm::secagg {
+namespace {
+
+TEST(ModReduceTest, NonNegativeValues) {
+  EXPECT_EQ(ModReduce(0, 8), 0u);
+  EXPECT_EQ(ModReduce(5, 8), 5u);
+  EXPECT_EQ(ModReduce(8, 8), 0u);
+  EXPECT_EQ(ModReduce(13, 8), 5u);
+}
+
+TEST(ModReduceTest, NegativeValues) {
+  EXPECT_EQ(ModReduce(-1, 8), 7u);
+  EXPECT_EQ(ModReduce(-8, 8), 0u);
+  EXPECT_EQ(ModReduce(-13, 8), 3u);
+}
+
+TEST(CenterLiftTest, MatchesAlgorithm6Mapping) {
+  // Values in {0, ..., m/2 - 1} stay; {m/2, ..., m-1} map to negatives.
+  const uint64_t m = 8;
+  EXPECT_EQ(CenterLift(0, m), 0);
+  EXPECT_EQ(CenterLift(3, m), 3);
+  EXPECT_EQ(CenterLift(4, m), -4);
+  EXPECT_EQ(CenterLift(7, m), -1);
+}
+
+class WrapRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WrapRoundTripTest, LiftInvertsReduceInCenteredRange) {
+  const uint64_t m = GetParam();
+  const int64_t half = static_cast<int64_t>(m / 2);
+  for (int64_t v = -half; v < half; ++v) {
+    EXPECT_EQ(CenterLift(ModReduce(v, m), m), v) << "m=" << m << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, WrapRoundTripTest,
+                         ::testing::Values(2, 8, 64, 256, 1024));
+
+TEST(WrapRoundTripTest, ValuesOutsideRangeWrapIrrecoverably) {
+  const uint64_t m = 8;
+  // +4 is outside [-4, 4): wraps to -4.
+  EXPECT_EQ(CenterLift(ModReduce(4, m), m), -4);
+  EXPECT_EQ(CenterLift(ModReduce(-5, m), m), 3);
+}
+
+TEST(VectorOpsTest, AddSubMod) {
+  const std::vector<uint64_t> a = {1, 7, 3};
+  const std::vector<uint64_t> b = {2, 5, 6};
+  auto sum = AddMod(a, b, 8);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, (std::vector<uint64_t>{3, 4, 1}));
+  auto diff = SubMod(a, b, 8);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, (std::vector<uint64_t>{7, 2, 5}));
+}
+
+TEST(VectorOpsTest, LengthMismatchRejected) {
+  EXPECT_FALSE(AddMod({1}, {1, 2}, 8).ok());
+  EXPECT_FALSE(SubMod({1, 2}, {1}, 8).ok());
+}
+
+TEST(VectorOpsTest, ReduceAndLiftVectors) {
+  const std::vector<int64_t> v = {-3, 0, 3, -1};
+  const std::vector<uint64_t> reduced = ReduceVector(v, 8);
+  EXPECT_EQ(reduced, (std::vector<uint64_t>{5, 0, 3, 7}));
+  EXPECT_EQ(LiftVector(reduced, 8), v);
+}
+
+}  // namespace
+}  // namespace smm::secagg

@@ -1,0 +1,143 @@
+// Numerical verification of the paper's core theory: computes exact Renyi
+// divergences from the analytic pmfs and checks them against the
+// closed-form bounds of Theorem 3 (Skellam noise) and Theorem 5 / Lemma 5
+// (the Skellam mixture). These are the inequalities everything else in the
+// library rests on.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "accounting/mechanism_rdp.h"
+#include "common/math_util.h"
+
+namespace smm {
+namespace {
+
+// D_alpha(P || Q) = 1/(a-1) * log sum_k P(k)^a Q(k)^{1-a}, with P and Q
+// given as log-pmf callables over the integers, summed over a wide window.
+double RenyiDivergence(const std::function<double(int64_t)>& log_p,
+                       const std::function<double(int64_t)>& log_q,
+                       double alpha, int64_t lo, int64_t hi) {
+  std::vector<double> terms;
+  terms.reserve(static_cast<size_t>(hi - lo + 1));
+  for (int64_t k = lo; k <= hi; ++k) {
+    terms.push_back(alpha * log_p(k) + (1.0 - alpha) * log_q(k));
+  }
+  return LogSumExp(terms) / (alpha - 1.0);
+}
+
+struct SkellamCase {
+  double lambda;
+  int64_t shift;
+  int alpha;
+};
+
+class Theorem3Test : public ::testing::TestWithParam<SkellamCase> {};
+
+TEST_P(Theorem3Test, BoundDominatesExactDivergence) {
+  const auto [lambda, s, alpha] = GetParam();
+  // Theorem 3 requires alpha < 2 lambda / |s| + 1.
+  ASSERT_LT(alpha, 2.0 * lambda / static_cast<double>(std::llabs(s)) + 1.0);
+  const auto log_p = [&](int64_t k) {
+    return SkellamLogPmf(k - s, lambda);  // s + Sk(lambda, lambda).
+  };
+  const auto log_q = [&](int64_t k) { return SkellamLogPmf(k, lambda); };
+  const int64_t window =
+      static_cast<int64_t>(40.0 + 15.0 * std::sqrt(2.0 * lambda)) +
+      std::llabs(s);
+  const double exact =
+      RenyiDivergence(log_p, log_q, alpha, -window, window);
+  const double bound = (1.09 * alpha + 0.91) / 2.0 *
+                       static_cast<double>(s) * static_cast<double>(s) /
+                       (2.0 * lambda);
+  EXPECT_LE(exact, bound * (1.0 + 1e-9))
+      << "lambda=" << lambda << " s=" << s << " alpha=" << alpha;
+  // The bound should not be absurdly loose either (within ~2.5x of the
+  // Gaussian-equivalent rate alpha s^2 / (4 lambda)).
+  EXPECT_GT(exact, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Theorem3Test,
+    ::testing::Values(SkellamCase{4.0, 1, 2}, SkellamCase{4.0, 1, 4},
+                      SkellamCase{4.0, 2, 3}, SkellamCase{16.0, 1, 8},
+                      SkellamCase{16.0, 3, 6}, SkellamCase{64.0, 2, 16},
+                      SkellamCase{64.0, 8, 4}, SkellamCase{256.0, 4, 32},
+                      SkellamCase{1000.0, 10, 10}));
+
+struct MixtureCase {
+  double n_lambda;  // Aggregate Skellam parameter of n participants.
+  double x;         // The extra participant's value (the differing tuple).
+  int alpha;
+};
+
+class Theorem5Test : public ::testing::TestWithParam<MixtureCase> {};
+
+// Lemma 4 reduces Theorem 5 to comparing Sk(n lambda) against the mixture
+// (1-p) * (floor(x) + Sk) + p * (ceil(x) + Sk); both directions (A_alpha
+// and B_alpha in the proof) must be below tau = (1.2 a + 1)/2 * c/(2 n l)
+// with c = x^2 + p - p^2.
+TEST_P(Theorem5Test, MixtureDivergenceWithinCorollary1Bound) {
+  const auto [n_lambda, x, alpha] = GetParam();
+  const double floor_x = std::floor(x);
+  const double p = x - floor_x;
+  const int64_t lo_shift = static_cast<int64_t>(floor_x);
+  const auto log_base = [&](int64_t k) {
+    return SkellamLogPmf(k, n_lambda);
+  };
+  const auto log_mixture = [&](int64_t k) {
+    const double a = std::log1p(-p) + SkellamLogPmf(k - lo_shift, n_lambda);
+    if (p <= 0.0) return a;
+    const double b =
+        std::log(p) + SkellamLogPmf(k - lo_shift - 1, n_lambda);
+    return LogAdd(a, b);
+  };
+  const int64_t window =
+      static_cast<int64_t>(40.0 + 15.0 * std::sqrt(2.0 * n_lambda)) +
+      std::llabs(lo_shift) + 2;
+  const double a_alpha =
+      RenyiDivergence(log_base, log_mixture, alpha, -window, window);
+  const double b_alpha =
+      RenyiDivergence(log_mixture, log_base, alpha, -window, window);
+  const double c = x * x + p - p * p;
+  const double tau = (1.2 * alpha + 1.0) / 2.0 * c / (2.0 * n_lambda);
+  EXPECT_LE(a_alpha, tau * (1.0 + 1e-9))
+      << "n_lambda=" << n_lambda << " x=" << x << " alpha=" << alpha;
+  EXPECT_LE(b_alpha, tau * (1.0 + 1e-9))
+      << "n_lambda=" << n_lambda << " x=" << x << " alpha=" << alpha;
+  // And the accountant's curve must report exactly tau.
+  const auto curve = accounting::SmmRdpCurve(n_lambda, c, 0.0);
+  EXPECT_NEAR(curve(alpha).value(), tau, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Theorem5Test,
+    ::testing::Values(MixtureCase{8.0, 0.5, 2}, MixtureCase{8.0, 0.9, 3},
+                      MixtureCase{16.0, 1.5, 4}, MixtureCase{16.0, 0.25, 8},
+                      MixtureCase{64.0, 2.75, 6}, MixtureCase{64.0, 1.0, 12},
+                      MixtureCase{256.0, 3.5, 16},
+                      MixtureCase{1000.0, 5.25, 8}));
+
+// The Gaussian RDP identity (Mironov 2017) as a sanity anchor for the
+// numerical divergence machinery itself: for continuous Gaussians the Renyi
+// divergence is exactly alpha s^2 / (2 sigma^2); its discrete counterpart
+// must land close for sigma >> 1.
+TEST(DiscreteGaussianRdpSanity, CloseToContinuousRate) {
+  const double sigma = 10.0;
+  const int64_t s = 3;
+  const int alpha = 4;
+  const auto log_p = [&](int64_t k) {
+    return DiscreteGaussianLogPmf(k - s, sigma);
+  };
+  const auto log_q = [&](int64_t k) {
+    return DiscreteGaussianLogPmf(k, sigma);
+  };
+  const double exact = RenyiDivergence(log_p, log_q, alpha, -200, 200);
+  const double continuous_rate =
+      alpha * static_cast<double>(s * s) / (2.0 * sigma * sigma);
+  EXPECT_NEAR(exact, continuous_rate, 0.01 * continuous_rate);
+}
+
+}  // namespace
+}  // namespace smm

@@ -1,0 +1,134 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace smm {
+namespace {
+
+TEST(Xoshiro256Test, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RandomGeneratorTest, RandIntRange) {
+  RandomGenerator rng(7);
+  for (int n : {1, 2, 3, 10, 1000}) {
+    for (int i = 0; i < 200; ++i) {
+      const int64_t v = rng.RandInt(n);
+      EXPECT_GE(v, 1);
+      EXPECT_LE(v, n);
+    }
+  }
+}
+
+TEST(RandomGeneratorTest, RandIntApproximatelyUniform) {
+  RandomGenerator rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    counts[static_cast<size_t>(rng.RandInt(kBuckets) - 1)]++;
+  }
+  // Chi-square with 7 dof; 40 is far beyond the 99.9% quantile (24.3), so
+  // the test only catches gross non-uniformity, not random flakiness.
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 40.0);
+}
+
+TEST(RandomGeneratorTest, UniformDoubleInUnitInterval) {
+  RandomGenerator rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(RandomGeneratorTest, GaussianMoments) {
+  RandomGenerator rng(5);
+  constexpr int kN = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.Gaussian(2.0, 3.0);
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.25);
+}
+
+TEST(RandomGeneratorTest, BernoulliEdgeCases) {
+  RandomGenerator rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomGeneratorTest, BernoulliMean) {
+  RandomGenerator rng(13);
+  int hits = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RandomGeneratorTest, SignIsBalanced) {
+  RandomGenerator rng(17);
+  int plus = 0;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    const int s = rng.Sign();
+    ASSERT_TRUE(s == 1 || s == -1);
+    if (s == 1) ++plus;
+  }
+  EXPECT_NEAR(static_cast<double>(plus) / kN, 0.5, 0.02);
+}
+
+TEST(RandomGeneratorTest, ForkedStreamsDiffer) {
+  RandomGenerator parent(21);
+  RandomGenerator child1 = parent.Fork();
+  RandomGenerator child2 = parent.Fork();
+  int same12 = 0, same1p = 0;
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t a = child1.NextBits();
+    const uint64_t b = child2.NextBits();
+    const uint64_t c = parent.NextBits();
+    if (a == b) ++same12;
+    if (a == c) ++same1p;
+  }
+  EXPECT_LT(same12, 2);
+  EXPECT_LT(same1p, 2);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+}
+
+}  // namespace
+}  // namespace smm

@@ -1,0 +1,57 @@
+#include "sampling/rational.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace smm::sampling {
+namespace {
+
+TEST(RationalTest, CreateReduces) {
+  auto r = Rational::Create(6, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num, 3);
+  EXPECT_EQ(r->den, 2);
+}
+
+TEST(RationalTest, CreateRejectsInvalid) {
+  EXPECT_FALSE(Rational::Create(-1, 2).ok());
+  EXPECT_FALSE(Rational::Create(1, 0).ok());
+  EXPECT_FALSE(Rational::Create(1, -3).ok());
+}
+
+TEST(RationalTest, FromDoubleExactFractions) {
+  const Rational half = Rational::FromDouble(0.5, 1000);
+  EXPECT_EQ(half.num, 1);
+  EXPECT_EQ(half.den, 2);
+  const Rational third = Rational::FromDouble(1.0 / 3.0, 1000);
+  EXPECT_EQ(third.num, 1);
+  EXPECT_EQ(third.den, 3);
+}
+
+TEST(RationalTest, FromDoubleInteger) {
+  const Rational five = Rational::FromDouble(5.0, 1000);
+  EXPECT_EQ(five.num, 5);
+  EXPECT_EQ(five.den, 1);
+  const Rational zero = Rational::FromDouble(0.0, 1000);
+  EXPECT_EQ(zero.num, 0);
+}
+
+class RationalApproxTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RationalApproxTest, ApproximationErrorBounded) {
+  const double x = GetParam();
+  const int64_t max_den = 1000000;
+  const Rational r = Rational::FromDouble(x, max_den);
+  EXPECT_LE(r.den, max_den);
+  // Continued fraction convergents satisfy |x - p/q| <= 1/q^2.
+  EXPECT_LE(std::abs(x - r.ToDouble()),
+            1.0 / (static_cast<double>(r.den) * r.den) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, RationalApproxTest,
+                         ::testing::Values(0.1, 3.14159265358979, 2.718281828,
+                                           123.456, 1e-4, 7.0, 0.333333));
+
+}  // namespace
+}  // namespace smm::sampling

@@ -1,0 +1,121 @@
+#include "accounting/rdp_accountant.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "accounting/mechanism_rdp.h"
+
+namespace smm::accounting {
+namespace {
+
+TEST(RdpToDpTest, MatchesHandComputedFormula) {
+  // alpha = 10, tau = 0.5, delta = 1e-5:
+  // eps = 0.5 + (log(1e5) + 9 log(0.9) - log 10) / 9.
+  const double expected =
+      0.5 + (std::log(1e5) + 9.0 * std::log(0.9) - std::log(10.0)) / 9.0;
+  auto eps = RdpToDpEpsilon(10, 0.5, 1e-5);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_NEAR(*eps, expected, 1e-12);
+}
+
+TEST(RdpToDpTest, RejectsInvalidInputs) {
+  EXPECT_FALSE(RdpToDpEpsilon(1, 0.5, 1e-5).ok());
+  EXPECT_FALSE(RdpToDpEpsilon(10, -0.1, 1e-5).ok());
+  EXPECT_FALSE(RdpToDpEpsilon(10, 0.5, 0.0).ok());
+  EXPECT_FALSE(RdpToDpEpsilon(10, 0.5, 1.0).ok());
+}
+
+TEST(SubsampledRdpTest, ZeroRateGivesZero) {
+  const RdpCurve curve = GaussianRdpCurve(1.0, 1.0);
+  auto tau = PoissonSubsampledRdp(0.0, 8, curve);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_EQ(*tau, 0.0);
+}
+
+TEST(SubsampledRdpTest, FullRateEqualsBaseCurve) {
+  const RdpCurve curve = GaussianRdpCurve(1.0, 2.0);
+  auto tau = PoissonSubsampledRdp(1.0, 8, curve);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_NEAR(*tau, 8.0 / (2.0 * 4.0), 1e-12);
+}
+
+TEST(SubsampledRdpTest, SubsamplingAmplifiesPrivacy) {
+  const RdpCurve curve = GaussianRdpCurve(1.0, 1.0);
+  auto full = PoissonSubsampledRdp(1.0, 4, curve);
+  auto sub = PoissonSubsampledRdp(0.01, 4, curve);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(sub.ok());
+  EXPECT_LT(*sub, *full);
+  EXPECT_GT(*sub, 0.0);
+}
+
+TEST(SubsampledRdpTest, MonotoneInSamplingRate) {
+  const RdpCurve curve = GaussianRdpCurve(1.0, 2.0);
+  double prev = 0.0;
+  for (double q : {0.001, 0.01, 0.1, 0.5, 1.0}) {
+    auto tau = PoissonSubsampledRdp(q, 6, curve);
+    ASSERT_TRUE(tau.ok());
+    EXPECT_GE(*tau, prev);
+    prev = *tau;
+  }
+}
+
+TEST(ComputeDpEpsilonTest, GaussianFullBatchSanity) {
+  // One release of N(0, sigma^2) with sensitivity 1: for sigma = 4 and
+  // delta = 1e-5 the classic bound gives eps well below 2 and above 0.5.
+  const RdpCurve curve = GaussianRdpCurve(1.0, 4.0);
+  auto g = ComputeDpEpsilon(curve, 1.0, 1, 1e-5);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(g->epsilon, 0.5);
+  EXPECT_LT(g->epsilon, 2.0);
+  EXPECT_GE(g->best_alpha, 2);
+}
+
+TEST(ComputeDpEpsilonTest, MatchesKnownDpSgdRegime) {
+  // Subsampled Gaussian with q = 0.01, sigma (noise multiplier) = 1.0,
+  // T = 1000, delta = 1e-5: the moments accountant gives eps ~ 3 (the
+  // classic DPSGD setting); accept a generous band.
+  const RdpCurve curve = GaussianRdpCurve(1.0, 1.0);
+  auto g = ComputeDpEpsilon(curve, 0.01, 1000, 1e-5);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(g->epsilon, 1.5);
+  EXPECT_LT(g->epsilon, 5.0);
+}
+
+TEST(ComputeDpEpsilonTest, EpsilonDecreasesWithNoise) {
+  double prev = 1e100;
+  for (double sigma : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    auto g = ComputeDpEpsilon(GaussianRdpCurve(1.0, sigma), 0.05, 100, 1e-5);
+    ASSERT_TRUE(g.ok());
+    EXPECT_LT(g->epsilon, prev);
+    prev = g->epsilon;
+  }
+}
+
+TEST(ComputeDpEpsilonTest, EpsilonIncreasesWithSteps) {
+  const RdpCurve curve = GaussianRdpCurve(1.0, 2.0);
+  auto g1 = ComputeDpEpsilon(curve, 0.05, 10, 1e-5);
+  auto g2 = ComputeDpEpsilon(curve, 0.05, 1000, 1e-5);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_LT(g1->epsilon, g2->epsilon);
+}
+
+TEST(ComputeDpEpsilonTest, FailsWhenNoOrderFeasible) {
+  const RdpCurve always_invalid = [](int) -> StatusOr<double> {
+    return OutOfRangeError("never feasible");
+  };
+  EXPECT_FALSE(ComputeDpEpsilon(always_invalid, 1.0, 1, 1e-5).ok());
+}
+
+TEST(ComputeDpEpsilonTest, RejectsBadArguments) {
+  const RdpCurve curve = GaussianRdpCurve(1.0, 1.0);
+  EXPECT_FALSE(ComputeDpEpsilon(curve, 0.5, 0, 1e-5).ok());
+  AccountantOptions bad;
+  bad.min_alpha = 1;
+  EXPECT_FALSE(ComputeDpEpsilon(curve, 0.5, 1, 1e-5, bad).ok());
+}
+
+}  // namespace
+}  // namespace smm::accounting

@@ -1,0 +1,115 @@
+#include "mechanisms/rotation_codec.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "secagg/modular.h"
+
+namespace smm::mechanisms {
+namespace {
+
+RotationCodec::Options BasicOptions() {
+  RotationCodec::Options o;
+  o.dim = 64;
+  o.gamma = 8.0;
+  o.modulus = 1 << 12;
+  o.rotation_seed = 3;
+  return o;
+}
+
+TEST(RotationCodecTest, CreateValidates) {
+  auto o = BasicOptions();
+  o.dim = 48;
+  EXPECT_FALSE(RotationCodec::Create(o).ok());
+  o = BasicOptions();
+  o.gamma = 0.0;
+  EXPECT_FALSE(RotationCodec::Create(o).ok());
+  o = BasicOptions();
+  o.modulus = 1;
+  EXPECT_FALSE(RotationCodec::Create(o).ok());
+  EXPECT_TRUE(RotationCodec::Create(BasicOptions()).ok());
+}
+
+TEST(RotationCodecTest, DecodeInvertsRotateScaleOnIntegerizedValues) {
+  auto codec = RotationCodec::Create(BasicOptions());
+  ASSERT_TRUE(codec.ok());
+  RandomGenerator rng(7);
+  std::vector<double> x(64);
+  for (double& v : x) v = rng.Gaussian(0.0, 0.5);
+  auto g = codec->RotateScale(x);
+  ASSERT_TRUE(g.ok());
+  // Round to integers (the only lossy step), wrap, sum of one, decode.
+  std::vector<int64_t> rounded(64);
+  for (size_t j = 0; j < 64; ++j) {
+    rounded[j] = static_cast<int64_t>(std::llround((*g)[j]));
+  }
+  int64_t overflows = 0;
+  const auto wrapped = codec->Wrap(rounded, &overflows);
+  EXPECT_EQ(overflows, 0);
+  auto decoded = codec->Decode(wrapped);
+  ASSERT_TRUE(decoded.ok());
+  // Error per coordinate bounded by rounding/gamma spread by rotation:
+  // ||error||_inf <= ||rounding error vector||_2 / gamma <= sqrt(d)*0.5/8.
+  for (size_t j = 0; j < 64; ++j) {
+    EXPECT_NEAR((*decoded)[j], x[j], std::sqrt(64.0) * 0.5 / 8.0);
+  }
+}
+
+TEST(RotationCodecTest, WrapCountsOutOfRangeValues) {
+  auto codec = RotationCodec::Create(BasicOptions());
+  ASSERT_TRUE(codec.ok());
+  const int64_t half = 1 << 11;  // m/2.
+  std::vector<int64_t> values = {0, half - 1, half, -half, -half - 1, 42};
+  int64_t overflows = 0;
+  const auto wrapped = codec->Wrap(values, &overflows);
+  EXPECT_EQ(overflows, 2);  // half and -half-1 are outside [-m/2, m/2).
+  EXPECT_EQ(wrapped[0], 0u);
+  EXPECT_EQ(secagg::CenterLift(wrapped[1], 1 << 12), half - 1);
+}
+
+TEST(RotationCodecTest, WrapWithNullCounterDoesNotCrash) {
+  auto codec = RotationCodec::Create(BasicOptions());
+  ASSERT_TRUE(codec.ok());
+  const auto wrapped = codec->Wrap({1, -1, 100000}, nullptr);
+  EXPECT_EQ(wrapped.size(), 3u);
+}
+
+TEST(RotationCodecTest, GammaScalesEncodedMagnitude) {
+  auto small = RotationCodec::Create(BasicOptions());
+  auto o = BasicOptions();
+  o.gamma = 16.0;
+  auto large = RotationCodec::Create(o);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  std::vector<double> x(64, 0.1);
+  auto gs = small->RotateScale(x);
+  auto gl = large->RotateScale(x);
+  ASSERT_TRUE(gs.ok());
+  ASSERT_TRUE(gl.ok());
+  for (size_t j = 0; j < 64; ++j) {
+    EXPECT_NEAR((*gl)[j], 2.0 * (*gs)[j], 1e-9);
+  }
+}
+
+TEST(RotationCodecTest, NoRotationModeIsPureScaling) {
+  auto o = BasicOptions();
+  o.apply_rotation = false;
+  auto codec = RotationCodec::Create(o);
+  ASSERT_TRUE(codec.ok());
+  std::vector<double> x(64, 0.25);
+  auto g = codec->RotateScale(x);
+  ASSERT_TRUE(g.ok());
+  for (double v : *g) EXPECT_NEAR(v, 2.0, 1e-12);  // 0.25 * gamma(8).
+}
+
+TEST(RotationCodecTest, DimensionMismatchesRejected) {
+  auto codec = RotationCodec::Create(BasicOptions());
+  ASSERT_TRUE(codec.ok());
+  EXPECT_FALSE(codec->RotateScale(std::vector<double>(32, 0.0)).ok());
+  EXPECT_FALSE(codec->Decode(std::vector<uint64_t>(32, 0)).ok());
+}
+
+}  // namespace
+}  // namespace smm::mechanisms

@@ -1,0 +1,219 @@
+#include "mechanisms/smm_mechanism.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mechanisms/clipping.h"
+#include "secagg/secure_aggregator.h"
+
+namespace smm::mechanisms {
+namespace {
+
+TEST(SkellamMixtureNoiserTest, CreateValidates) {
+  EXPECT_FALSE(SkellamMixtureNoiser::Create(0.0).ok());
+  EXPECT_TRUE(SkellamMixtureNoiser::Create(2.0).ok());
+}
+
+class NoiserUnbiasednessTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiserUnbiasednessTest, PerturbedValueIsUnbiased) {
+  const double x = GetParam();
+  auto noiser = SkellamMixtureNoiser::Create(1.5);
+  ASSERT_TRUE(noiser.ok());
+  RandomGenerator rng(static_cast<uint64_t>(std::abs(x) * 1000) + 3);
+  constexpr int kN = 150000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(noiser->Perturb(x, rng));
+  }
+  // Standard error ~ sqrt(2*1.5 + 0.25) / sqrt(kN) ~ 0.005.
+  EXPECT_NEAR(sum / kN, x, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, NoiserUnbiasednessTest,
+                         ::testing::Values(0.0, 0.3, 0.5, 0.99, 1.0, -0.7,
+                                           2.25, -3.75));
+
+TEST(SkellamMixtureNoiserTest, VarianceMatchesTheory) {
+  // Var = 2 lambda + p(1 - p) where p is the fractional part.
+  const double x = 0.3, lambda = 2.0;
+  auto noiser = SkellamMixtureNoiser::Create(lambda);
+  ASSERT_TRUE(noiser.ok());
+  RandomGenerator rng(11);
+  constexpr int kN = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double v = static_cast<double>(noiser->Perturb(x, rng));
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(var, 2.0 * lambda + 0.3 * 0.7, 0.1);
+}
+
+TEST(SkellamMixtureNoiserTest, IntegerInputGetsPureSkellam) {
+  // Corner case in Section 3.2: integer x has p = 0 — output is x + Sk.
+  auto noiser = SkellamMixtureNoiser::Create(1.0);
+  ASSERT_TRUE(noiser.ok());
+  RandomGenerator rng(13);
+  constexpr int kN = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double v = static_cast<double>(noiser->Perturb(5.0, rng));
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kN;
+  EXPECT_NEAR(mean, 5.0, 0.03);
+  EXPECT_NEAR(sum_sq / kN - mean * mean, 2.0, 0.06);
+}
+
+TEST(SkellamMixtureNoiserTest, VectorPerturbationIsElementwise) {
+  auto noiser = SkellamMixtureNoiser::Create(1.0);
+  ASSERT_TRUE(noiser.ok());
+  RandomGenerator rng(17);
+  const std::vector<double> x = {0.5, -1.25, 3.0};
+  const std::vector<int64_t> out = noiser->PerturbVector(x, rng);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+SmmMechanism::Options BasicOptions() {
+  SmmMechanism::Options o;
+  o.dim = 256;
+  o.gamma = 64.0;
+  o.c = o.gamma * o.gamma;  // Delta_2 = 1.
+  o.delta_inf = 64.0;
+  o.lambda = 1.0;
+  o.modulus = 1 << 16;
+  o.rotation_seed = 5;
+  return o;
+}
+
+TEST(SmmMechanismTest, CreateValidates) {
+  auto bad_dim = BasicOptions();
+  bad_dim.dim = 100;
+  EXPECT_FALSE(SmmMechanism::Create(bad_dim).ok());
+  auto bad_c = BasicOptions();
+  bad_c.c = 0.0;
+  EXPECT_FALSE(SmmMechanism::Create(bad_c).ok());
+  EXPECT_TRUE(SmmMechanism::Create(BasicOptions()).ok());
+}
+
+TEST(SmmMechanismTest, EncodeProducesZmVectors) {
+  auto mech = SmmMechanism::Create(BasicOptions());
+  ASSERT_TRUE(mech.ok());
+  RandomGenerator rng(19);
+  std::vector<double> x(256, 0.01);
+  auto z = (*mech)->EncodeParticipant(x, rng);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(z->size(), 256u);
+  for (uint64_t v : *z) EXPECT_LT(v, (*mech)->modulus());
+}
+
+TEST(SmmMechanismTest, SumEstimateIsAccurateWithTinyNoise) {
+  // With lambda small and a huge modulus, decode(encode-sum) must track the
+  // exact sum closely: per-dim error variance ~ (n*2lambda + n/4)/gamma^2.
+  auto options = BasicOptions();
+  options.lambda = 0.05;
+  auto mech = SmmMechanism::Create(options);
+  ASSERT_TRUE(mech.ok());
+  RandomGenerator rng(23);
+  secagg::IdealAggregator agg;
+
+  const int n = 20;
+  std::vector<std::vector<double>> inputs(n);
+  std::vector<double> exact(256, 0.0);
+  for (auto& x : inputs) {
+    x.resize(256);
+    for (size_t j = 0; j < 256; ++j) x[j] = rng.Gaussian(0.0, 0.02);
+    L2Clip(x, 1.0);
+    for (size_t j = 0; j < 256; ++j) exact[j] += x[j];
+  }
+  auto estimate = RunDistributedSum(**mech, agg, inputs, rng);
+  ASSERT_TRUE(estimate.ok());
+  const double mse = MeanSquaredErrorPerDimension(*estimate, inputs);
+  // Error budget: (20 * (0.1 + 0.25)) / 64^2 ~ 0.0017 per dim.
+  EXPECT_LT(mse, 0.02);
+  EXPECT_EQ((*mech)->overflow_count(), 0);
+}
+
+TEST(SmmMechanismTest, EstimateIsUnbiasedOverRepetitions) {
+  auto options = BasicOptions();
+  options.dim = 16;
+  options.gamma = 8.0;
+  options.c = 64.0;
+  options.lambda = 0.5;
+  options.modulus = 1 << 18;
+  auto mech = SmmMechanism::Create(options);
+  ASSERT_TRUE(mech.ok());
+  RandomGenerator rng(29);
+  secagg::IdealAggregator agg;
+
+  std::vector<std::vector<double>> inputs = {
+      std::vector<double>(16, 0.05), std::vector<double>(16, -0.03)};
+  std::vector<double> mean_estimate(16, 0.0);
+  constexpr int kReps = 3000;
+  for (int r = 0; r < kReps; ++r) {
+    auto estimate = RunDistributedSum(**mech, agg, inputs, rng);
+    ASSERT_TRUE(estimate.ok());
+    for (size_t j = 0; j < 16; ++j) mean_estimate[j] += (*estimate)[j];
+  }
+  for (size_t j = 0; j < 16; ++j) {
+    EXPECT_NEAR(mean_estimate[j] / kReps, 0.02, 0.01) << "dim " << j;
+  }
+}
+
+TEST(SmmMechanismTest, SmallModulusTriggersOverflowCounter) {
+  auto options = BasicOptions();
+  options.modulus = 4;     // Absurdly small.
+  options.lambda = 100.0;  // Noise far beyond [-2, 2).
+  auto mech = SmmMechanism::Create(options);
+  ASSERT_TRUE(mech.ok());
+  RandomGenerator rng(31);
+  std::vector<double> x(256, 0.0);
+  ASSERT_TRUE((*mech)->EncodeParticipant(x, rng).ok());
+  EXPECT_GT((*mech)->overflow_count(), 0);
+  (*mech)->ResetOverflowCount();
+  EXPECT_EQ((*mech)->overflow_count(), 0);
+}
+
+TEST(SmmMechanismTest, DimensionMismatchRejected) {
+  auto mech = SmmMechanism::Create(BasicOptions());
+  ASSERT_TRUE(mech.ok());
+  RandomGenerator rng(37);
+  std::vector<double> wrong(128, 0.0);
+  EXPECT_FALSE((*mech)->EncodeParticipant(wrong, rng).ok());
+  std::vector<uint64_t> wrong_sum(128, 0);
+  EXPECT_FALSE((*mech)->DecodeSum(wrong_sum, 1).ok());
+}
+
+TEST(SmmMechanismTest, RotationAblationStillUnbiased) {
+  auto options = BasicOptions();
+  options.apply_rotation = false;
+  options.dim = 16;
+  options.gamma = 16.0;
+  options.c = 256.0;
+  options.lambda = 0.5;
+  options.modulus = 1 << 18;
+  auto mech = SmmMechanism::Create(options);
+  ASSERT_TRUE(mech.ok());
+  RandomGenerator rng(41);
+  secagg::IdealAggregator agg;
+  std::vector<std::vector<double>> inputs = {std::vector<double>(16, 0.25)};
+  std::vector<double> mean_estimate(16, 0.0);
+  constexpr int kReps = 2000;
+  for (int r = 0; r < kReps; ++r) {
+    auto estimate = RunDistributedSum(**mech, agg, inputs, rng);
+    ASSERT_TRUE(estimate.ok());
+    for (size_t j = 0; j < 16; ++j) mean_estimate[j] += (*estimate)[j];
+  }
+  for (size_t j = 0; j < 16; ++j) {
+    EXPECT_NEAR(mean_estimate[j] / kReps, 0.25, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace smm::mechanisms

@@ -1,0 +1,158 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace smm::data {
+namespace {
+
+TEST(SyntheticImagesTest, Validates) {
+  SyntheticImageOptions o;
+  o.feature_dim = 0;
+  EXPECT_FALSE(MakeSyntheticImages(o).ok());
+  o = SyntheticImageOptions();
+  o.num_classes = 1;
+  EXPECT_FALSE(MakeSyntheticImages(o).ok());
+  o = SyntheticImageOptions();
+  o.label_noise = 2.0;
+  EXPECT_FALSE(MakeSyntheticImages(o).ok());
+}
+
+TEST(SyntheticImagesTest, SizesAndShapes) {
+  SyntheticImageOptions o;
+  o.num_train = 500;
+  o.num_test = 100;
+  o.feature_dim = 32;
+  auto split = MakeSyntheticImages(o);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size(), 500u);
+  EXPECT_EQ(split->test.size(), 100u);
+  EXPECT_EQ(split->train.feature_dim, 32);
+  EXPECT_EQ(split->train.examples[0].features.size(), 32u);
+}
+
+TEST(SyntheticImagesTest, BalancedClasses) {
+  SyntheticImageOptions o;
+  o.num_train = 1000;
+  auto split = MakeSyntheticImages(o);
+  ASSERT_TRUE(split.ok());
+  std::vector<int> counts(10, 0);
+  for (const auto& e : split->train.examples) {
+    ASSERT_GE(e.label, 0);
+    ASSERT_LT(e.label, 10);
+    counts[static_cast<size_t>(e.label)]++;
+  }
+  for (int c : counts) EXPECT_EQ(c, 100);
+}
+
+TEST(SyntheticImagesTest, DeterministicForSeed) {
+  auto a = MakeSyntheticImages(MnistLikeOptions());
+  auto b = MakeSyntheticImages(MnistLikeOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->train.examples[0].features, b->train.examples[0].features);
+}
+
+// Nearest-prototype accuracy: estimates class prototypes from train data and
+// classifies test points by the closest estimate. This upper-bounds the
+// separability of the task without training a network.
+double NearestCentroidAccuracy(const SyntheticSplit& split) {
+  const int k = split.train.num_classes;
+  const int d = split.train.feature_dim;
+  std::vector<std::vector<double>> centroids(
+      static_cast<size_t>(k), std::vector<double>(static_cast<size_t>(d)));
+  std::vector<int> counts(static_cast<size_t>(k), 0);
+  for (const auto& e : split.train.examples) {
+    counts[static_cast<size_t>(e.label)]++;
+    for (int j = 0; j < d; ++j) {
+      centroids[static_cast<size_t>(e.label)][static_cast<size_t>(j)] +=
+          e.features[static_cast<size_t>(j)];
+    }
+  }
+  for (int c = 0; c < k; ++c) {
+    for (int j = 0; j < d; ++j) {
+      centroids[static_cast<size_t>(c)][static_cast<size_t>(j)] /=
+          std::max(1, counts[static_cast<size_t>(c)]);
+    }
+  }
+  int correct = 0;
+  for (const auto& e : split.test.examples) {
+    int best = 0;
+    double best_dist = 1e300;
+    for (int c = 0; c < k; ++c) {
+      double dist = 0.0;
+      for (int j = 0; j < d; ++j) {
+        const double diff =
+            e.features[static_cast<size_t>(j)] -
+            centroids[static_cast<size_t>(c)][static_cast<size_t>(j)];
+        dist += diff * diff;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    if (best == e.label) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(split.test.size());
+}
+
+TEST(SyntheticImagesTest, MnistLikeIsHighlySeparable) {
+  auto split = MakeSyntheticImages(MnistLikeOptions());
+  ASSERT_TRUE(split.ok());
+  EXPECT_GT(NearestCentroidAccuracy(*split), 0.95);
+}
+
+TEST(SyntheticImagesTest, FashionLikeIsHarder) {
+  auto mnist = MakeSyntheticImages(MnistLikeOptions());
+  auto fashion = MakeSyntheticImages(FashionLikeOptions());
+  ASSERT_TRUE(mnist.ok());
+  ASSERT_TRUE(fashion.ok());
+  const double acc_m = NearestCentroidAccuracy(*mnist);
+  const double acc_f = NearestCentroidAccuracy(*fashion);
+  EXPECT_LT(acc_f, acc_m);
+  EXPECT_GT(acc_f, 0.6);  // Still learnable.
+}
+
+TEST(SyntheticImagesTest, LabelNoiseReducesSeparability) {
+  SyntheticImageOptions o = MnistLikeOptions();
+  o.label_noise = 0.5;
+  auto noisy = MakeSyntheticImages(o);
+  ASSERT_TRUE(noisy.ok());
+  auto clean = MakeSyntheticImages(MnistLikeOptions());
+  ASSERT_TRUE(clean.ok());
+  EXPECT_LT(NearestCentroidAccuracy(*noisy),
+            NearestCentroidAccuracy(*clean));
+}
+
+TEST(SphereDatasetTest, NormsEqualRadius) {
+  RandomGenerator rng(1);
+  const auto points = SampleSphereDataset(50, 128, 2.5, rng);
+  ASSERT_EQ(points.size(), 50u);
+  for (const auto& p : points) {
+    double norm = 0.0;
+    for (double v : p) norm += v * v;
+    EXPECT_NEAR(std::sqrt(norm), 2.5, 1e-9);
+  }
+}
+
+TEST(SphereDatasetTest, DirectionsAreSpread) {
+  RandomGenerator rng(2);
+  const auto points = SampleSphereDataset(100, 64, 1.0, rng);
+  // Mean of uniform sphere points concentrates near zero.
+  std::vector<double> mean(64, 0.0);
+  for (const auto& p : points) {
+    for (size_t j = 0; j < 64; ++j) mean[j] += p[j] / 100.0;
+  }
+  double norm = 0.0;
+  for (double v : mean) norm += v * v;
+  EXPECT_LT(std::sqrt(norm), 0.35);
+}
+
+}  // namespace
+}  // namespace smm::data

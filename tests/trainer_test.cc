@@ -1,0 +1,192 @@
+#include "fl/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "fl/fl_config.h"
+#include "nn/mlp.h"
+
+namespace smm::fl {
+namespace {
+
+data::SyntheticSplit SmallTask() {
+  data::SyntheticImageOptions o;
+  o.num_train = 400;
+  o.num_test = 200;
+  o.feature_dim = 16;
+  o.num_classes = 4;
+  o.noise_scale = 0.3;
+  o.seed = 77;
+  return MakeSyntheticImages(o).value();
+}
+
+nn::Mlp SmallModel() {
+  nn::Mlp::Options o;
+  o.input_dim = 16;
+  o.hidden_dims = {16};
+  o.num_classes = 4;
+  o.init_seed = 5;
+  return nn::Mlp::Create(o).value();
+}
+
+FlConfig FastConfig(MechanismKind mechanism) {
+  FlConfig c;
+  c.mechanism = mechanism;
+  c.epsilon = 3.0;
+  c.delta = 1e-5;
+  c.expected_batch_size = 40;
+  c.rounds = 60;
+  c.gamma = 64.0;
+  c.modulus = 1 << 16;
+  c.learning_rate = 0.02;
+  c.eval_every = 30;
+  c.seed = 9;
+  return c;
+}
+
+TEST(FederatedTrainerTest, CreateValidates) {
+  auto task = SmallTask();
+  FlConfig c = FastConfig(MechanismKind::kNonPrivate);
+  c.rounds = 0;
+  EXPECT_FALSE(
+      FederatedTrainer::Create(SmallModel(), task.train, task.test, c).ok());
+  c = FastConfig(MechanismKind::kNonPrivate);
+  c.expected_batch_size = 100000;
+  EXPECT_FALSE(
+      FederatedTrainer::Create(SmallModel(), task.train, task.test, c).ok());
+}
+
+TEST(FederatedTrainerTest, NonPrivateLearnsTheTask) {
+  auto task = SmallTask();
+  auto trainer = FederatedTrainer::Create(
+      SmallModel(), task.train, task.test,
+      FastConfig(MechanismKind::kNonPrivate));
+  ASSERT_TRUE(trainer.ok());
+  auto result = (*trainer)->Train();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->final_accuracy, 0.8);  // Chance level is 0.25.
+  EXPECT_FALSE(result->history.empty());
+}
+
+TEST(FederatedTrainerTest, SmmTrainsCloseToNonPrivateAtModerateEpsilon) {
+  auto task = SmallTask();
+  auto trainer = FederatedTrainer::Create(SmallModel(), task.train, task.test,
+                                          FastConfig(MechanismKind::kSmm));
+  ASSERT_TRUE(trainer.ok());
+  auto result = (*trainer)->Train();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->final_accuracy, 0.5);
+  EXPECT_LE(result->guarantee.epsilon, 3.0);
+  EXPECT_GT(result->noise_parameter, 0.0);
+  EXPECT_GT(result->delta_inf, 0.0);
+}
+
+TEST(FederatedTrainerTest, CentralDpSgdTrains) {
+  auto task = SmallTask();
+  auto trainer =
+      FederatedTrainer::Create(SmallModel(), task.train, task.test,
+                               FastConfig(MechanismKind::kCentralDpSgd));
+  ASSERT_TRUE(trainer.ok());
+  auto result = (*trainer)->Train();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->final_accuracy, 0.5);
+  EXPECT_LE(result->guarantee.epsilon, 3.0);
+}
+
+TEST(FederatedTrainerTest, GuaranteeRespectsEpsilonBudget) {
+  auto task = SmallTask();
+  for (double eps : {1.0, 5.0}) {
+    FlConfig c = FastConfig(MechanismKind::kSmm);
+    c.epsilon = eps;
+    c.rounds = 20;
+    auto trainer =
+        FederatedTrainer::Create(SmallModel(), task.train, task.test, c);
+    ASSERT_TRUE(trainer.ok());
+    auto result = (*trainer)->Train();
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->guarantee.epsilon, eps);
+  }
+}
+
+TEST(FederatedTrainerTest, MoreEpsilonMeansLessNoise) {
+  auto task = SmallTask();
+  double prev = 1e300;
+  for (double eps : {1.0, 3.0, 5.0}) {
+    FlConfig c = FastConfig(MechanismKind::kSmm);
+    c.epsilon = eps;
+    c.rounds = 10;
+    auto trainer =
+        FederatedTrainer::Create(SmallModel(), task.train, task.test, c);
+    ASSERT_TRUE(trainer.ok());
+    auto result = (*trainer)->Train();
+    ASSERT_TRUE(result.ok());
+    EXPECT_LT(result->noise_parameter, prev);
+    prev = result->noise_parameter;
+  }
+}
+
+TEST(FederatedTrainerTest, TinyModulusCausesOverflows) {
+  auto task = SmallTask();
+  FlConfig c = FastConfig(MechanismKind::kSmm);
+  c.modulus = 4;  // 2 bits per coordinate: guaranteed wraps.
+  c.epsilon = 1.0;
+  c.rounds = 10;
+  auto trainer =
+      FederatedTrainer::Create(SmallModel(), task.train, task.test, c);
+  ASSERT_TRUE(trainer.ok());
+  auto result = (*trainer)->Train();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->total_overflows, 0);
+}
+
+TEST(FederatedTrainerTest, DgmTrains) {
+  auto task = SmallTask();
+  FlConfig c = FastConfig(MechanismKind::kDgm);
+  c.rounds = 30;
+  auto trainer =
+      FederatedTrainer::Create(SmallModel(), task.train, task.test, c);
+  ASSERT_TRUE(trainer.ok());
+  auto result = (*trainer)->Train();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->final_accuracy, 0.3);
+}
+
+TEST(FederatedTrainerTest, DdgAndSkellamCalibrateAndRun) {
+  auto task = SmallTask();
+  for (MechanismKind kind :
+       {MechanismKind::kDdg, MechanismKind::kAgarwalSkellam}) {
+    FlConfig c = FastConfig(kind);
+    c.rounds = 10;
+    auto trainer =
+        FederatedTrainer::Create(SmallModel(), task.train, task.test, c);
+    ASSERT_TRUE(trainer.ok()) << MechanismKindName(kind);
+    auto result = (*trainer)->Train();
+    ASSERT_TRUE(result.ok()) << MechanismKindName(kind);
+    EXPECT_GT(result->noise_parameter, 0.0);
+  }
+}
+
+TEST(FederatedTrainerTest, CpSgdCalibratesToHugeNoise) {
+  auto task = SmallTask();
+  FlConfig c = FastConfig(MechanismKind::kCpSgd);
+  c.rounds = 5;
+  auto trainer =
+      FederatedTrainer::Create(SmallModel(), task.train, task.test, c);
+  ASSERT_TRUE(trainer.ok());
+  auto result = (*trainer)->Train();
+  ASSERT_TRUE(result.ok());
+  // The binomial trial count must dwarf what any other mechanism needs —
+  // the cpSGD pathology the paper reports.
+  EXPECT_GT(result->noise_parameter, 1e4);
+}
+
+TEST(FederatedTrainerTest, MechanismNamesAreStable) {
+  EXPECT_STREQ(MechanismKindName(MechanismKind::kSmm), "SMM");
+  EXPECT_STREQ(MechanismKindName(MechanismKind::kDdg), "DDG");
+  EXPECT_STREQ(MechanismKindName(MechanismKind::kAgarwalSkellam), "Skellam");
+  EXPECT_STREQ(MechanismKindName(MechanismKind::kCpSgd), "cpSGD");
+  EXPECT_STREQ(MechanismKindName(MechanismKind::kCentralDpSgd), "DPSGD");
+}
+
+}  // namespace
+}  // namespace smm::fl

@@ -1,0 +1,139 @@
+#include "transform/walsh_hadamard.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "transform/random_rotation.h"
+
+namespace smm::transform {
+namespace {
+
+TEST(WalshHadamardTest, RejectsNonPowerOfTwo) {
+  std::vector<double> v(3, 1.0);
+  EXPECT_FALSE(FastWalshHadamard(v).ok());
+  std::vector<double> empty;
+  EXPECT_FALSE(FastWalshHadamard(empty).ok());
+}
+
+TEST(WalshHadamardTest, DimensionOneIsIdentity) {
+  std::vector<double> v = {3.5};
+  ASSERT_TRUE(FastWalshHadamard(v).ok());
+  EXPECT_DOUBLE_EQ(v[0], 3.5);
+}
+
+TEST(WalshHadamardTest, KnownTwoDimensionalValues) {
+  std::vector<double> v = {1.0, 0.0};
+  ASSERT_TRUE(FastWalshHadamard(v).ok());
+  const double s = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(v[0], s, 1e-12);
+  EXPECT_NEAR(v[1], s, 1e-12);
+}
+
+TEST(WalshHadamardTest, IsInvolution) {
+  RandomGenerator rng(1);
+  std::vector<double> v(64);
+  for (double& x : v) x = rng.Gaussian(0.0, 1.0);
+  std::vector<double> original = v;
+  ASSERT_TRUE(FastWalshHadamard(v).ok());
+  ASSERT_TRUE(FastWalshHadamard(v).ok());
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(v[i], original[i], 1e-10);
+}
+
+class WalshHadamardNormTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WalshHadamardNormTest, PreservesL2Norm) {
+  const size_t d = GetParam();
+  RandomGenerator rng(d);
+  std::vector<double> v(d);
+  for (double& x : v) x = rng.Gaussian(0.0, 1.0);
+  double norm_before = 0.0;
+  for (double x : v) norm_before += x * x;
+  ASSERT_TRUE(FastWalshHadamard(v).ok());
+  double norm_after = 0.0;
+  for (double x : v) norm_after += x * x;
+  EXPECT_NEAR(norm_after / norm_before, 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, WalshHadamardNormTest,
+                         ::testing::Values(1, 2, 4, 64, 1024, 4096));
+
+TEST(WalshHadamardTest, FlattensSpikes) {
+  // A one-hot vector spreads to uniform magnitude 1/sqrt(d) — the property
+  // that limits overflow (Section 4).
+  std::vector<double> v(256, 0.0);
+  v[17] = 1.0;
+  ASSERT_TRUE(FastWalshHadamard(v).ok());
+  for (double x : v) EXPECT_NEAR(std::abs(x), 1.0 / 16.0, 1e-12);
+}
+
+TEST(PadToPowerOfTwoTest, PadsAndPreserves) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> p = PadToPowerOfTwo(x);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p[0], 1.0);
+  EXPECT_EQ(p[2], 3.0);
+  EXPECT_EQ(p[3], 0.0);
+  EXPECT_EQ(PadToPowerOfTwo(p).size(), 4u);  // Already a power of two.
+}
+
+TEST(RandomRotationTest, RejectsBadDimensions) {
+  EXPECT_FALSE(RandomRotation::Create(0, 1).ok());
+  EXPECT_FALSE(RandomRotation::Create(3, 1).ok());
+}
+
+TEST(RandomRotationTest, InverseUndoesApply) {
+  auto rotation = RandomRotation::Create(128, 99);
+  ASSERT_TRUE(rotation.ok());
+  RandomGenerator rng(5);
+  std::vector<double> x(128);
+  for (double& v : x) v = rng.Gaussian(0.0, 1.0);
+  auto y = rotation->Apply(x);
+  ASSERT_TRUE(y.ok());
+  auto back = rotation->Inverse(*y);
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR((*back)[i], x[i], 1e-10);
+}
+
+TEST(RandomRotationTest, SameSeedSameRotation) {
+  auto r1 = RandomRotation::Create(64, 7);
+  auto r2 = RandomRotation::Create(64, 7);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->signs(), r2->signs());
+}
+
+TEST(RandomRotationTest, DifferentSeedsDiffer) {
+  auto r1 = RandomRotation::Create(64, 7);
+  auto r2 = RandomRotation::Create(64, 8);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NE(r1->signs(), r2->signs());
+}
+
+TEST(RandomRotationTest, FlattensConcentratedVectors) {
+  // Section 4: each rotated coordinate is sub-Gaussian with variance
+  // O(||x||^2 / d); check the max coordinate of a rotated one-hot input.
+  const size_t d = 4096;
+  auto rotation = RandomRotation::Create(d, 3);
+  ASSERT_TRUE(rotation.ok());
+  std::vector<double> x(d, 0.0);
+  x[7] = 1.0;
+  auto y = rotation->Apply(x);
+  ASSERT_TRUE(y.ok());
+  double max_abs = 0.0;
+  for (double v : *y) max_abs = std::max(max_abs, std::abs(v));
+  EXPECT_LE(max_abs, 1.0 / std::sqrt(static_cast<double>(d)) + 1e-12);
+}
+
+TEST(RandomRotationTest, DimensionMismatchRejected) {
+  auto rotation = RandomRotation::Create(64, 7);
+  ASSERT_TRUE(rotation.ok());
+  std::vector<double> wrong(32, 1.0);
+  EXPECT_FALSE(rotation->Apply(wrong).ok());
+  EXPECT_FALSE(rotation->Inverse(wrong).ok());
+}
+
+}  // namespace
+}  // namespace smm::transform
