@@ -7,9 +7,11 @@
 // (m = 2^10..2^14); DDG/Skellam approach the continuous Gaussian and close
 // the gap at m = 2^16..2^18; cpSGD is off the chart everywhere (> 1e4).
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "data/synthetic.h"
 #include "sum_experiment.h"
@@ -48,10 +50,16 @@ void Run(Scale scale) {
   RandomGenerator data_rng(1234);
   const auto inputs = data::SampleSphereDataset(n, d, 1.0, data_rng);
 
+  const int threads =
+      BenchThreads() == 0 ? ThreadPool::HardwareThreads() : BenchThreads();
+  std::unique_ptr<ThreadPool> pool =
+      threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+
   for (const Subplot& sp : subplots) {
     SumExperimentConfig cfg;
     cfg.gamma = sp.gamma;
     cfg.modulus = 1ULL << sp.log2_m;
+    cfg.pool = pool.get();
     std::printf("--- Figure 1%s: m = 2^%d, gamma = %g ---\n", sp.name,
                 sp.log2_m, sp.gamma);
     PrintRow("method \\ eps",

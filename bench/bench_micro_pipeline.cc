@@ -1,12 +1,19 @@
 // Microbenchmarks for the hot paths of the mechanism pipeline: the fast
 // Walsh-Hadamard transform, the Algorithm 5 clip, and full participant
-// encodes for SMM and DDG. Useful for regressions; not tied to a paper
-// table.
+// encodes for SMM and DDG — scalar (allocating) vs batched
+// (workspace-reusing) vs batched parallel. Useful for regressions; not tied
+// to a paper table.
+#include <memory>
+#include <string>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "mechanisms/baseline_mechanisms.h"
 #include "mechanisms/clipping.h"
+#include "mechanisms/distributed_mechanism.h"
 #include "mechanisms/smm_mechanism.h"
 #include "transform/walsh_hadamard.h"
 
@@ -79,6 +86,63 @@ void BM_DdgEncode(benchmark::State& state) {
                           static_cast<int64_t>(d));
 }
 BENCHMARK(BM_DdgEncode)->Arg(1024)->Arg(4096);
+
+std::unique_ptr<mechanisms::SmmMechanism> MakeBatchSmm(size_t d) {
+  mechanisms::SmmMechanism::Options o;
+  o.dim = d;
+  o.gamma = 64.0;
+  o.c = 4096.0;
+  o.delta_inf = 64.0;
+  o.lambda = 2.0;
+  o.modulus = 256;
+  return mechanisms::SmmMechanism::Create(o).value();
+}
+
+std::vector<std::vector<double>> MakeBatchInputs(size_t n, size_t d) {
+  RandomGenerator rng(5);
+  std::vector<std::vector<double>> inputs(n, std::vector<double>(d));
+  for (auto& x : inputs) {
+    for (double& v : x) v = rng.Gaussian(0.0, 0.01);
+  }
+  return inputs;
+}
+
+void BM_SmmEncodeBatch(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  constexpr size_t kBatch = 16;
+  auto mech = MakeBatchSmm(d);
+  const auto inputs = MakeBatchInputs(kBatch, d);
+  std::vector<std::vector<uint64_t>> out(kBatch);
+  mechanisms::EncodeWorkspace workspace;
+  RandomGenerator rng(6);
+  for (auto _ : state) {
+    auto streams = MakeParticipantStreams(rng, kBatch);
+    benchmark::DoNotOptimize(
+        mech->EncodeBatch(inputs, 0, kBatch, streams.data(), workspace,
+                          &out));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(d * kBatch));
+}
+BENCHMARK(BM_SmmEncodeBatch)->Arg(1024)->Arg(4096);
+
+void BM_SmmEncodeBatchParallel(benchmark::State& state) {
+  const size_t d = 4096;
+  constexpr size_t kBatch = 16;
+  auto mech = MakeBatchSmm(d);
+  const auto inputs = MakeBatchInputs(kBatch, d);
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  RandomGenerator rng(7);
+  for (auto _ : state) {
+    auto streams = MakeParticipantStreams(rng, kBatch);
+    benchmark::DoNotOptimize(
+        mechanisms::EncodeBatchParallel(*mech, inputs, streams, &pool));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(d * kBatch));
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_SmmEncodeBatchParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 }  // namespace smm

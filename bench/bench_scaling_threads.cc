@@ -1,0 +1,158 @@
+// Thread-scaling benchmark for the batched encode pipeline: encodes a fixed
+// participant batch through EncodeBatchParallel at 1/2/4/8 threads and
+// reports throughput in encoded coordinates per second, plus the speedup
+// over the single-threaded run.
+//
+// Expected shape: near-linear scaling up to the physical core count (the
+// per-participant encodes are independent and allocation-free), then flat.
+// The target regime of the ISSUE: >= 2.5x at 4 threads for SmmMechanism at
+// dim 2^14 on hardware with >= 4 cores. The harness also cross-checks that
+// every thread count produced bit-identical encodings — the determinism
+// contract of the jump-ahead streams.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "common/random.h"
+#include "mechanisms/baseline_mechanisms.h"
+#include "mechanisms/distributed_mechanism.h"
+#include "mechanisms/smm_mechanism.h"
+
+namespace smm::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::vector<std::vector<double>> MakeInputs(size_t n, size_t dim) {
+  RandomGenerator rng(17);
+  std::vector<std::vector<double>> inputs(n, std::vector<double>(dim));
+  for (auto& x : inputs) {
+    for (auto& v : x) v = rng.Gaussian(0.0, 0.01);
+  }
+  return inputs;
+}
+
+/// Encodes the batch `repeats` times at the given thread count and returns
+/// the best wall time plus the last repeat's encodings. ok is false (and the
+/// harness aborts) if any encode failed — a failed run must not feed the
+/// throughput or invariance reporting.
+struct EncodeTiming {
+  bool ok = false;
+  double best_seconds = 0.0;
+  std::vector<std::vector<uint64_t>> encoded;
+};
+
+EncodeTiming TimeEncode(mechanisms::DistributedSumMechanism& mechanism,
+                        const std::vector<std::vector<double>>& inputs,
+                        int threads, int repeats) {
+  ThreadPool pool(threads);
+  EncodeTiming timing;
+  timing.best_seconds = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    RandomGenerator rng(4242);
+    std::vector<RandomGenerator> streams =
+        MakeParticipantStreams(rng, inputs.size());
+    const auto start = Clock::now();
+    auto encoded =
+        mechanisms::EncodeBatchParallel(mechanism, inputs, streams, &pool);
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (!encoded.ok()) {
+      std::printf("encode failed: %s\n",
+                  encoded.status().ToString().c_str());
+      timing.ok = false;
+      return timing;
+    }
+    if (seconds < timing.best_seconds) timing.best_seconds = seconds;
+    timing.encoded = std::move(*encoded);
+    timing.ok = true;
+  }
+  return timing;
+}
+
+void RunMechanism(const char* name,
+                  mechanisms::DistributedSumMechanism& mechanism,
+                  const std::vector<std::vector<double>>& inputs,
+                  int repeats) {
+  const double coords = static_cast<double>(inputs.size()) *
+                        static_cast<double>(mechanism.dim());
+  std::printf("%s: dim=%zu, participants=%zu\n", name, mechanism.dim(),
+              inputs.size());
+  PrintRow("  threads", {"1", "2", "4", "8"}, 14, 12);
+  std::vector<std::string> throughput_cells;
+  std::vector<std::string> speedup_cells;
+  double base_seconds = 0.0;
+  std::vector<std::vector<uint64_t>> reference;
+  bool deterministic = true;
+  for (int threads : {1, 2, 4, 8}) {
+    const EncodeTiming timing =
+        TimeEncode(mechanism, inputs, threads, repeats);
+    if (!timing.ok) {
+      std::printf("  aborting %s: encode failed at %d threads\n", name,
+                  threads);
+      std::exit(1);
+    }
+    if (threads == 1) {
+      base_seconds = timing.best_seconds;
+      reference = timing.encoded;
+    } else if (timing.encoded != reference) {
+      deterministic = false;
+    }
+    throughput_cells.push_back(FormatSci(coords / timing.best_seconds));
+    speedup_cells.push_back(FormatSci(base_seconds / timing.best_seconds));
+  }
+  PrintRow("  coords/sec", throughput_cells, 14, 12);
+  PrintRow("  speedup", speedup_cells, 14, 12);
+  std::printf("  thread-count invariance: %s\n",
+              deterministic ? "bit-identical" : "MISMATCH (bug!)");
+  // A determinism violation must fail the harness (and the CI smoke run).
+  if (!deterministic) std::exit(1);
+}
+
+void Run(Scale scale) {
+  const size_t dim = scale == Scale::kFast ? (1u << 10) : (1u << 14);
+  const size_t participants = scale == Scale::kFull ? 64 : 32;
+  const int repeats = scale == Scale::kFast ? 2 : 3;
+  const auto inputs = MakeInputs(participants, dim);
+
+  std::printf("Encode thread scaling (%s). Hardware threads: %d\n",
+              ScaleName(scale), ThreadPool::HardwareThreads());
+  std::printf(
+      "Note: speedups > 1 require as many physical cores as threads.\n\n");
+
+  {
+    mechanisms::SmmMechanism::Options o;
+    o.dim = dim;
+    o.gamma = 64.0;
+    o.c = 4096.0;
+    o.delta_inf = 64.0;
+    o.lambda = 2.0;
+    o.modulus = 1 << 16;
+    o.rotation_seed = 99;
+    auto mech = mechanisms::SmmMechanism::Create(o).value();
+    RunMechanism("SmmMechanism", *mech, inputs, repeats);
+  }
+  std::printf("\n");
+  {
+    mechanisms::DdgMechanism::Options o;
+    o.dim = dim;
+    o.gamma = 64.0;
+    o.l2_bound = 1.0;
+    o.sigma = 2.0;
+    o.modulus = 1 << 16;
+    o.rotation_seed = 99;
+    auto mech = mechanisms::DdgMechanism::Create(o).value();
+    RunMechanism("DdgMechanism", *mech, inputs, repeats);
+  }
+}
+
+}  // namespace
+}  // namespace smm::bench
+
+int main(int argc, char** argv) {
+  smm::bench::Run(smm::bench::ParseScale(argc, argv));
+  return 0;
+}

@@ -10,6 +10,8 @@
 // from the paper's Python/TensorFlow measurements; the orderings are the
 // reproducible claim.
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -17,6 +19,7 @@
 #include "sampling/approx_samplers.h"
 #include "sampling/discrete_gaussian_sampler.h"
 #include "sampling/exact_samplers.h"
+#include "sampling/noise_sampler.h"
 #include "sampling/rational.h"
 
 namespace smm::sampling {
@@ -79,6 +82,55 @@ BENCHMARK(BM_ApproxDiscreteGaussian)
     ->Arg(4)
     ->Arg(2)
     ->Arg(1);
+
+// Block-sampler variants: same distributions drawn through the
+// SampleBlock(n, out) API the batched encode path uses, amortizing the
+// adapter/dispatch overhead per block of 1024 coordinates.
+
+void BM_ApproxSkellamBlock(benchmark::State& state) {
+  const double lambda = static_cast<double>(state.range(0)) / 2.0;
+  auto sampler = SkellamSampler::Create(lambda).value();
+  RandomGenerator rng(7);
+  constexpr size_t kBlock = 1024;
+  std::vector<int64_t> out(kBlock);
+  for (auto _ : state) {
+    sampler.SampleBlock(kBlock, out.data(), rng);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBlock);
+  state.SetLabel("variance=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ApproxSkellamBlock)->Arg(32)->Arg(8)->Arg(1);
+
+void BM_ApproxDiscreteGaussianBlock(benchmark::State& state) {
+  const double sigma = std::sqrt(static_cast<double>(state.range(0)));
+  auto sampler = DiscreteGaussianSampler::Create(sigma).value();
+  RandomGenerator rng(8);
+  constexpr size_t kBlock = 1024;
+  std::vector<int64_t> out(kBlock);
+  for (auto _ : state) {
+    sampler.SampleBlock(kBlock, out.data(), rng);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBlock);
+  state.SetLabel("variance=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ApproxDiscreteGaussianBlock)->Arg(32)->Arg(8)->Arg(1);
+
+void BM_ExactSkellamBlock(benchmark::State& state) {
+  const double lambda = static_cast<double>(state.range(0)) / 2.0;
+  auto sampler = SkellamSampler::Create(lambda, SamplerMode::kExact).value();
+  RandomGenerator rng(9);
+  constexpr size_t kBlock = 1024;
+  std::vector<int64_t> out(kBlock);
+  for (auto _ : state) {
+    sampler.SampleBlock(kBlock, out.data(), rng);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBlock);
+  state.SetLabel("variance=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ExactSkellamBlock)->Arg(8)->Arg(1);
 
 // The building blocks of the exact samplers, for profiling context.
 void BM_ExactPoissonOne(benchmark::State& state) {

@@ -41,6 +41,18 @@ inline const char* ScaleName(Scale scale) {
   return "?";
 }
 
+/// Thread count for the bench harnesses, from SMM_THREADS (unset, empty, or
+/// unparsable = 1, i.e. the historical sequential behavior; "0" = hardware
+/// concurrency). Results are thread-count invariant; only wall time changes.
+inline int BenchThreads() {
+  const char* env = std::getenv("SMM_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const long threads = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || threads < 0 || threads > 4096) return 1;
+  return static_cast<int>(threads);
+}
+
 /// Prints a row of right-aligned cells after a left-aligned label.
 inline void PrintRow(const std::string& label,
                      const std::vector<std::string>& cells, int label_width,

@@ -57,6 +57,9 @@ inline double RunFlExperiment(const data::SyntheticSplit& split,
   config.expected_batch_size = params.batch;
   config.learning_rate = params.lr;
   config.eval_every = 0;  // Final evaluation only.
+  // SMM_THREADS opts the round pipeline into the parallel path (0 resolves
+  // to hardware concurrency); accuracy is thread-count invariant.
+  config.num_threads = BenchThreads();
   auto trainer = fl::FederatedTrainer::Create(std::move(*model), split.train,
                                               split.test, config);
   if (!trainer.ok()) return -1.0;

@@ -8,6 +8,7 @@
 #include "accounting/binomial_accountant.h"
 #include "accounting/calibration.h"
 #include "accounting/mechanism_rdp.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "mechanisms/baseline_mechanisms.h"
 #include "mechanisms/conditional_rounding.h"
@@ -30,6 +31,9 @@ struct SumExperimentConfig {
   double delta = 1e-5;
   double radius = 1.0;
   uint64_t rotation_seed = 99;
+  /// Optional thread pool for the encode/aggregate pipeline (not owned;
+  /// nullptr = sequential). MSE results are thread-count invariant.
+  ThreadPool* pool = nullptr;
 };
 
 inline double RunSumSmm(const std::vector<std::vector<double>>& inputs,
@@ -52,7 +56,7 @@ inline double RunSumSmm(const std::vector<std::vector<double>>& inputs,
   auto mech = mechanisms::SmmMechanism::Create(o);
   if (!mech.ok()) return -1.0;
   secagg::IdealAggregator agg;
-  auto estimate = mechanisms::RunDistributedSum(**mech, agg, inputs, rng);
+  auto estimate = mechanisms::RunDistributedSum(**mech, agg, inputs, rng, cfg.pool);
   if (!estimate.ok()) return -1.0;
   return mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
 }
@@ -80,7 +84,7 @@ inline double RunSumDgm(const std::vector<std::vector<double>>& inputs,
   auto mech = mechanisms::DgmMechanism::Create(o);
   if (!mech.ok()) return -1.0;
   secagg::IdealAggregator agg;
-  auto estimate = mechanisms::RunDistributedSum(**mech, agg, inputs, rng);
+  auto estimate = mechanisms::RunDistributedSum(**mech, agg, inputs, rng, cfg.pool);
   if (!estimate.ok()) return -1.0;
   return mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
 }
@@ -107,7 +111,7 @@ inline double RunSumDdg(const std::vector<std::vector<double>>& inputs,
   auto mech = mechanisms::DdgMechanism::Create(o);
   if (!mech.ok()) return -1.0;
   secagg::IdealAggregator agg;
-  auto estimate = mechanisms::RunDistributedSum(**mech, agg, inputs, rng);
+  auto estimate = mechanisms::RunDistributedSum(**mech, agg, inputs, rng, cfg.pool);
   if (!estimate.ok()) return -1.0;
   return mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
 }
@@ -135,7 +139,7 @@ inline double RunSumAgarwalSkellam(
   auto mech = mechanisms::AgarwalSkellamMechanism::Create(o);
   if (!mech.ok()) return -1.0;
   secagg::IdealAggregator agg;
-  auto estimate = mechanisms::RunDistributedSum(**mech, agg, inputs, rng);
+  auto estimate = mechanisms::RunDistributedSum(**mech, agg, inputs, rng, cfg.pool);
   if (!estimate.ok()) return -1.0;
   return mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
 }
@@ -165,7 +169,7 @@ inline double RunSumCpSgd(const std::vector<std::vector<double>>& inputs,
   auto mech = mechanisms::CpSgdMechanism::Create(o);
   if (!mech.ok()) return -1.0;
   secagg::IdealAggregator agg;
-  auto estimate = mechanisms::RunDistributedSum(**mech, agg, inputs, rng);
+  auto estimate = mechanisms::RunDistributedSum(**mech, agg, inputs, rng, cfg.pool);
   if (!estimate.ok()) return -1.0;
   return mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
 }

@@ -1,0 +1,106 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace smm {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = std::max(1, num_threads) - 1;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+bool ThreadPool::TryRunOneQueuedTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_;
+    if (pending_ == 0) work_done_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) return;
+    }
+    TryRunOneQueuedTask();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n,
+    const std::function<void(int chunk, size_t begin, size_t end)>& fn) {
+  if (n == 0) return;
+  const bool was_active = loop_active_.exchange(true);
+  assert(!was_active && "ParallelFor is not reentrant on the same pool");
+  (void)was_active;
+  const std::vector<size_t> bounds = StaticChunkBounds(n, num_threads());
+  const int num_chunks = static_cast<int>(bounds.size()) - 1;
+  if (num_chunks == 1 || workers_.empty()) {
+    for (int c = 0; c < num_chunks; ++c) fn(c, bounds[c], bounds[c + 1]);
+    loop_active_.store(false);
+    return;
+  }
+  // Chunks 1..k-1 go to the workers; the calling thread runs chunk 0 and
+  // then helps drain the queue before waiting.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_ += static_cast<size_t>(num_chunks - 1);
+    for (int c = 1; c < num_chunks; ++c) {
+      const size_t begin = bounds[c];
+      const size_t end = bounds[c + 1];
+      tasks_.push([&fn, c, begin, end] { fn(c, begin, end); });
+    }
+  }
+  work_ready_.notify_all();
+  fn(0, bounds[0], bounds[1]);
+  while (TryRunOneQueuedTask()) {
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  work_done_.wait(lock, [this] { return pending_ == 0; });
+  lock.unlock();
+  loop_active_.store(false);
+}
+
+int ThreadPool::HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::vector<size_t> StaticChunkBounds(size_t n, int max_chunks) {
+  if (n == 0) return {0};
+  const size_t k =
+      std::min(n, static_cast<size_t>(std::max(1, max_chunks)));
+  std::vector<size_t> bounds(k + 1, 0);
+  const size_t base = n / k;
+  const size_t extra = n % k;
+  for (size_t c = 0; c < k; ++c) {
+    bounds[c + 1] = bounds[c] + base + (c < extra ? 1 : 0);
+  }
+  return bounds;
+}
+
+}  // namespace smm

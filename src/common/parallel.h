@@ -1,0 +1,83 @@
+#ifndef SMM_COMMON_PARALLEL_H_
+#define SMM_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace smm {
+
+/// A fixed-size pool of worker threads for data-parallel loops over
+/// participants and coordinates.
+///
+/// The pool is built for the deterministic aggregation pipeline: every
+/// parallel loop uses *static* contiguous chunking (one chunk per thread),
+/// so which items share a thread depends only on (n, num_threads), never on
+/// scheduling. Combined with per-participant RNG streams (see
+/// RandomGenerator::Fork), this makes the batched encode path bit-identical
+/// for any thread count.
+class ThreadPool {
+ public:
+  /// Creates a pool that runs loops on `num_threads` threads total (the
+  /// calling thread participates, so num_threads - 1 workers are spawned).
+  /// num_threads < 1 is clamped to 1; a 1-thread pool runs everything inline.
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Total threads a parallel loop uses (workers + the calling thread).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(chunk_index, begin, end) over the contiguous chunks of [0, n)
+  /// (at most num_threads() chunks, split as evenly as possible), in
+  /// parallel, and blocks until all chunks finish. chunk_index is dense in
+  /// [0, num_chunks) so callers can keep per-chunk accumulators and reduce
+  /// them deterministically afterwards. fn must not throw.
+  ///
+  /// Not reentrant: fn must not call ParallelFor on the same pool (nested
+  /// loops would deadlock waiting on each other's pending chunks), and only
+  /// one thread may drive a given pool at a time. Asserted in debug builds.
+  void ParallelFor(
+      size_t n,
+      const std::function<void(int chunk, size_t begin, size_t end)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  /// Pops and runs one queued task, decrementing pending_ and signalling
+  /// work_done_ when the last task finishes. Returns false if the queue was
+  /// empty. Shared by the workers and the caller's help-drain in
+  /// ParallelFor so the completion protocol exists once.
+  bool TryRunOneQueuedTask();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::queue<std::function<void()>> tasks_;
+  size_t pending_ = 0;  ///< Tasks queued or running.
+  bool shutdown_ = false;
+  std::atomic<bool> loop_active_{false};  ///< Reentrancy guard (debug).
+};
+
+/// Splits [0, n) into at most max_chunks contiguous chunks of near-equal
+/// size (the first n % k chunks get one extra item). Returns the chunk
+/// boundaries: chunk i is [bounds[i], bounds[i + 1]). Deterministic in
+/// (n, max_chunks); empty chunks are never produced, so the result has
+/// min(n, max_chunks) + 1 entries (or {0} when n == 0).
+std::vector<size_t> StaticChunkBounds(size_t n, int max_chunks);
+
+}  // namespace smm
+
+#endif  // SMM_COMMON_PARALLEL_H_

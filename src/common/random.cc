@@ -111,4 +111,12 @@ RandomGenerator RandomGenerator::Fork() {
   return RandomGenerator(child);
 }
 
+std::vector<RandomGenerator> MakeParticipantStreams(RandomGenerator& rng,
+                                                    size_t n) {
+  std::vector<RandomGenerator> streams;
+  streams.reserve(n);
+  for (size_t i = 0; i < n; ++i) streams.push_back(rng.Fork());
+  return streams;
+}
+
 }  // namespace smm

@@ -1,6 +1,7 @@
 #ifndef SMM_COMMON_RANDOM_H_
 #define SMM_COMMON_RANDOM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -82,6 +83,14 @@ class RandomGenerator {
   bool have_cached_gaussian_ = false;
   double cached_gaussian_ = 0.0;
 };
+
+/// Derives n independent jump-ahead streams from `rng`, one per participant
+/// (stream i is the i-th Fork). The streams are pairwise non-overlapping and
+/// depend only on rng's state and n, never on how (or on which thread) they
+/// are later consumed — the foundation of the deterministic parallel encode
+/// path.
+std::vector<RandomGenerator> MakeParticipantStreams(RandomGenerator& rng,
+                                                    size_t n);
 
 }  // namespace smm
 

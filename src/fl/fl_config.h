@@ -51,6 +51,11 @@ struct FlConfig {
   sampling::SamplerMode sampler_mode = sampling::SamplerMode::kApproximate;
   uint64_t seed = 7;
 
+  /// Threads for the per-round gradient/encode/aggregate pipeline
+  /// (0 = hardware concurrency). Per-participant jump-ahead RNG streams make
+  /// the trained model bit-identical for every thread count.
+  int num_threads = 1;
+
   /// Evaluate test accuracy every this many rounds (and always at the end).
   int eval_every = 100;
   /// Cap on test examples per evaluation (0 = use all).

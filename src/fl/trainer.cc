@@ -55,8 +55,14 @@ StatusOr<std::unique_ptr<FederatedTrainer>> FederatedTrainer::Create(
     return InvalidArgumentError(
         "expected_batch_size must be in [1, |train set|]");
   }
+  if (config.num_threads < 0) {
+    return InvalidArgumentError("num_threads must be >= 0");
+  }
   auto trainer = std::unique_ptr<FederatedTrainer>(new FederatedTrainer(
       std::move(model), std::move(train), std::move(test), config));
+  const int threads = config.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                              : config.num_threads;
+  if (threads > 1) trainer->pool_ = std::make_unique<ThreadPool>(threads);
   trainer->padded_dim_ = NextPowerOfTwo(trainer->model_.num_parameters());
   trainer->sampling_rate_ =
       static_cast<double>(config.expected_batch_size) /
@@ -241,42 +247,50 @@ Status FederatedTrainer::Calibrate() {
 StatusOr<std::vector<double>> FederatedTrainer::AggregateRound(
     const std::vector<size_t>& participant_indices, double* mean_loss) {
   const size_t model_dim = model_.num_parameters();
-  double loss_sum = 0.0;
+  const size_t count = participant_indices.size();
 
-  // Per-participant clipped gradients (Lines 4-6 of Algorithm 3).
-  std::vector<std::vector<double>> gradients;
-  gradients.reserve(participant_indices.size());
-  for (size_t idx : participant_indices) {
-    const data::Example& example = train_.examples[idx];
+  // Per-participant clipped gradients (Lines 4-6 of Algorithm 3), computed
+  // in parallel: the forward/backward pass only reads the shared model, and
+  // each participant writes its own slot.
+  std::vector<std::vector<double>> gradients(count);
+  std::vector<double> losses(count, 0.0);
+  const auto compute_gradient = [&](size_t i) {
+    const data::Example& example = train_.examples[participant_indices[i]];
     nn::Mlp::LossAndGrad lg =
         model_.ComputeLossAndGradient(example.features, example.label);
-    loss_sum += lg.loss;
+    losses[i] = lg.loss;
     mechanisms::L2Clip(lg.grad, config_.l2_clip);
-    gradients.push_back(std::move(lg.grad));
+    gradients[i] = std::move(lg.grad);
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(count, [&](int, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) compute_gradient(i);
+    });
+  } else {
+    for (size_t i = 0; i < count; ++i) compute_gradient(i);
   }
   if (mean_loss != nullptr) {
-    *mean_loss = loss_sum / static_cast<double>(participant_indices.size());
+    // Summed in participant order so the result is thread-count invariant.
+    double loss_sum = 0.0;
+    for (double loss : losses) loss_sum += loss;
+    *mean_loss = loss_sum / static_cast<double>(count);
   }
 
   std::vector<double> sum(model_dim, 0.0);
   if (mechanism_ != nullptr) {
-    // Integer mechanism path: pad, encode, securely aggregate, decode.
-    std::vector<std::vector<uint64_t>> encoded;
-    encoded.reserve(gradients.size());
-    std::vector<double> padded(padded_dim_, 0.0);
-    for (const auto& g : gradients) {
-      std::fill(padded.begin(), padded.end(), 0.0);
-      std::copy(g.begin(), g.end(), padded.begin());
-      SMM_ASSIGN_OR_RETURN(auto z,
-                           mechanism_->EncodeParticipant(padded, rng_));
-      encoded.push_back(std::move(z));
-    }
-    SMM_ASSIGN_OR_RETURN(
-        auto zm_sum, aggregator_->Aggregate(encoded, mechanism_->modulus()));
-    SMM_ASSIGN_OR_RETURN(
-        auto decoded,
-        mechanism_->DecodeSum(zm_sum,
-                              static_cast<int>(participant_indices.size())));
+    // Integer mechanism path: pad, batch-encode under per-participant
+    // jump-ahead streams, securely aggregate, decode.
+    for (auto& g : gradients) g.resize(padded_dim_, 0.0);
+    std::vector<RandomGenerator> streams = MakeParticipantStreams(rng_, count);
+    SMM_ASSIGN_OR_RETURN(auto encoded,
+                         mechanisms::EncodeBatchParallel(
+                             *mechanism_, gradients, streams, pool_.get()));
+    SMM_ASSIGN_OR_RETURN(auto zm_sum,
+                         aggregator_->AggregateParallel(
+                             encoded, mechanism_->modulus(), pool_.get()));
+    SMM_ASSIGN_OR_RETURN(auto decoded,
+                         mechanism_->DecodeSum(zm_sum,
+                                               static_cast<int>(count)));
     std::copy(decoded.begin(), decoded.begin() + static_cast<long>(model_dim),
               sum.begin());
   } else {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "accounting/rdp_accountant.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "data/dataset.h"
@@ -82,6 +83,9 @@ class FederatedTrainer {
   std::unique_ptr<mechanisms::DistributedSumMechanism> mechanism_;
   std::unique_ptr<secagg::SecureAggregator> aggregator_;
   std::unique_ptr<nn::Optimizer> optimizer_;
+  /// Shared by gradient computation, batched encode, and aggregation;
+  /// null when config.num_threads resolves to 1.
+  std::unique_ptr<ThreadPool> pool_;
   RandomGenerator rng_;
 
   /// Central baseline state (kCentralDpSgd): per-coordinate Gaussian sigma.

@@ -1,11 +1,9 @@
 #include "mechanisms/baseline_mechanisms.h"
 
 #include <cmath>
-#include <random>
 
 #include "mechanisms/clipping.h"
 #include "mechanisms/conditional_rounding.h"
-#include "sampling/approx_samplers.h"
 
 namespace smm::mechanisms {
 
@@ -48,16 +46,50 @@ StatusOr<std::unique_ptr<DdgMechanism>> DdgMechanism::Create(
       options, std::move(codec), std::move(sampler), norm_bound));
 }
 
+Status DdgMechanism::EncodeOneInto(const std::vector<double>& x,
+                                   RandomGenerator& rng,
+                                   EncodeWorkspace& workspace,
+                                   int64_t* overflow, int64_t* rejections,
+                                   std::vector<uint64_t>& out) {
+  SMM_RETURN_IF_ERROR(codec_.RotateScaleInto(x, workspace.real));
+  L2Clip(workspace.real, options_.gamma * options_.l2_bound);
+  SMM_RETURN_IF_ERROR(ConditionallyRoundInto(
+      workspace.real, norm_bound_, options_.max_rounding_retries, rng,
+      rejections, workspace.ints));
+  const size_t n = workspace.ints.size();
+  workspace.noise.resize(n);
+  sampler_.SampleBlock(n, workspace.noise.data(), rng);
+  for (size_t j = 0; j < n; ++j) workspace.ints[j] += workspace.noise[j];
+  codec_.WrapInto(workspace.ints, overflow, out);
+  return OkStatus();
+}
+
 StatusOr<std::vector<uint64_t>> DdgMechanism::EncodeParticipant(
     const std::vector<double>& x, RandomGenerator& rng) {
-  SMM_ASSIGN_OR_RETURN(auto g, codec_.RotateScale(x));
-  L2Clip(g, options_.gamma * options_.l2_bound);
-  SMM_ASSIGN_OR_RETURN(
-      auto rounded,
-      ConditionallyRound(g, norm_bound_, options_.max_rounding_retries, rng,
-                         &rounding_rejections_));
-  for (auto& v : rounded) v += sampler_.Sample(rng);
-  return codec_.Wrap(rounded, &overflow_count_);
+  EncodeWorkspace workspace;
+  std::vector<uint64_t> out;
+  int64_t overflow = 0;
+  int64_t rejections = 0;
+  SMM_RETURN_IF_ERROR(
+      EncodeOneInto(x, rng, workspace, &overflow, &rejections, out));
+  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
+  rounding_rejections_.fetch_add(rejections, std::memory_order_relaxed);
+  return out;
+}
+
+Status DdgMechanism::EncodeBatch(
+    const std::vector<std::vector<double>>& inputs, size_t begin, size_t end,
+    RandomGenerator* rng_streams, EncodeWorkspace& workspace,
+    std::vector<std::vector<uint64_t>>* out) {
+  int64_t overflow = 0;
+  int64_t rejections = 0;
+  for (size_t i = begin; i < end; ++i) {
+    SMM_RETURN_IF_ERROR(EncodeOneInto(inputs[i], rng_streams[i], workspace,
+                                      &overflow, &rejections, (*out)[i]));
+  }
+  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
+  rounding_rejections_.fetch_add(rejections, std::memory_order_relaxed);
+  return OkStatus();
 }
 
 StatusOr<std::vector<double>> DdgMechanism::DecodeSum(
@@ -89,16 +121,45 @@ AgarwalSkellamMechanism::Create(const Options& options) {
       options, std::move(codec), std::move(sampler), norm_bound));
 }
 
+Status AgarwalSkellamMechanism::EncodeOneInto(const std::vector<double>& x,
+                                              RandomGenerator& rng,
+                                              EncodeWorkspace& workspace,
+                                              int64_t* overflow,
+                                              std::vector<uint64_t>& out) {
+  SMM_RETURN_IF_ERROR(codec_.RotateScaleInto(x, workspace.real));
+  L2Clip(workspace.real, options_.gamma * options_.l2_bound);
+  SMM_RETURN_IF_ERROR(ConditionallyRoundInto(
+      workspace.real, norm_bound_, options_.max_rounding_retries, rng,
+      /*rejections=*/nullptr, workspace.ints));
+  const size_t n = workspace.ints.size();
+  workspace.noise.resize(n);
+  sampler_.SampleBlock(n, workspace.noise.data(), rng);
+  for (size_t j = 0; j < n; ++j) workspace.ints[j] += workspace.noise[j];
+  codec_.WrapInto(workspace.ints, overflow, out);
+  return OkStatus();
+}
+
 StatusOr<std::vector<uint64_t>> AgarwalSkellamMechanism::EncodeParticipant(
     const std::vector<double>& x, RandomGenerator& rng) {
-  SMM_ASSIGN_OR_RETURN(auto g, codec_.RotateScale(x));
-  L2Clip(g, options_.gamma * options_.l2_bound);
-  SMM_ASSIGN_OR_RETURN(
-      auto rounded, ConditionallyRound(g, norm_bound_,
-                                       options_.max_rounding_retries, rng,
-                                       /*rejections=*/nullptr));
-  for (auto& v : rounded) v += sampler_.Sample(rng);
-  return codec_.Wrap(rounded, &overflow_count_);
+  EncodeWorkspace workspace;
+  std::vector<uint64_t> out;
+  int64_t overflow = 0;
+  SMM_RETURN_IF_ERROR(EncodeOneInto(x, rng, workspace, &overflow, out));
+  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
+  return out;
+}
+
+Status AgarwalSkellamMechanism::EncodeBatch(
+    const std::vector<std::vector<double>>& inputs, size_t begin, size_t end,
+    RandomGenerator* rng_streams, EncodeWorkspace& workspace,
+    std::vector<std::vector<uint64_t>>* out) {
+  int64_t overflow = 0;
+  for (size_t i = begin; i < end; ++i) {
+    SMM_RETURN_IF_ERROR(EncodeOneInto(inputs[i], rng_streams[i], workspace,
+                                      &overflow, (*out)[i]));
+  }
+  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
+  return OkStatus();
 }
 
 StatusOr<std::vector<double>> AgarwalSkellamMechanism::DecodeSum(
@@ -119,34 +180,50 @@ StatusOr<std::unique_ptr<CpSgdMechanism>> CpSgdMechanism::Create(
   if (!(options.l2_bound > 0.0)) {
     return InvalidArgumentError("l2_bound must be > 0");
   }
-  if (options.binomial_trials < 1) {
-    return InvalidArgumentError("binomial_trials must be >= 1");
-  }
+  SMM_ASSIGN_OR_RETURN(
+      auto binomial,
+      sampling::CenteredBinomialSampler::Create(options.binomial_trials));
   return std::unique_ptr<CpSgdMechanism>(
-      new CpSgdMechanism(options, std::move(codec)));
+      new CpSgdMechanism(options, std::move(codec), binomial));
 }
 
-int64_t CpSgdMechanism::SampleCenteredBinomial(RandomGenerator& rng) const {
-  const int64_t n = options_.binomial_trials;
-  if (n > 100000) {
-    // Normal approximation; fine for a floating-point baseline and the
-    // paper's regime where cpSGD noise is enormous anyway.
-    const double sigma = std::sqrt(static_cast<double>(n) / 4.0);
-    const double v = rng.Gaussian(0.0, sigma);
-    return static_cast<int64_t>(std::llround(v));
-  }
-  sampling::UrbgAdapter urbg{&rng};
-  std::binomial_distribution<int64_t> dist(n, 0.5);
-  return dist(urbg) - n / 2;
+Status CpSgdMechanism::EncodeOneInto(const std::vector<double>& x,
+                                     RandomGenerator& rng,
+                                     EncodeWorkspace& workspace,
+                                     int64_t* overflow,
+                                     std::vector<uint64_t>& out) {
+  SMM_RETURN_IF_ERROR(codec_.RotateScaleInto(x, workspace.real));
+  L2Clip(workspace.real, options_.gamma * options_.l2_bound);
+  StochasticRoundInto(workspace.real, rng, workspace.ints);
+  const size_t n = workspace.ints.size();
+  workspace.noise.resize(n);
+  binomial_.SampleBlock(n, workspace.noise.data(), rng);
+  for (size_t j = 0; j < n; ++j) workspace.ints[j] += workspace.noise[j];
+  codec_.WrapInto(workspace.ints, overflow, out);
+  return OkStatus();
 }
 
 StatusOr<std::vector<uint64_t>> CpSgdMechanism::EncodeParticipant(
     const std::vector<double>& x, RandomGenerator& rng) {
-  SMM_ASSIGN_OR_RETURN(auto g, codec_.RotateScale(x));
-  L2Clip(g, options_.gamma * options_.l2_bound);
-  std::vector<int64_t> rounded = StochasticRound(g, rng);
-  for (auto& v : rounded) v += SampleCenteredBinomial(rng);
-  return codec_.Wrap(rounded, &overflow_count_);
+  EncodeWorkspace workspace;
+  std::vector<uint64_t> out;
+  int64_t overflow = 0;
+  SMM_RETURN_IF_ERROR(EncodeOneInto(x, rng, workspace, &overflow, out));
+  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
+  return out;
+}
+
+Status CpSgdMechanism::EncodeBatch(
+    const std::vector<std::vector<double>>& inputs, size_t begin, size_t end,
+    RandomGenerator* rng_streams, EncodeWorkspace& workspace,
+    std::vector<std::vector<uint64_t>>* out) {
+  int64_t overflow = 0;
+  for (size_t i = begin; i < end; ++i) {
+    SMM_RETURN_IF_ERROR(EncodeOneInto(inputs[i], rng_streams[i], workspace,
+                                      &overflow, (*out)[i]));
+  }
+  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
+  return OkStatus();
 }
 
 StatusOr<std::vector<double>> CpSgdMechanism::DecodeSum(

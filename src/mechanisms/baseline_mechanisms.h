@@ -1,6 +1,7 @@
 #ifndef SMM_MECHANISMS_BASELINE_MECHANISMS_H_
 #define SMM_MECHANISMS_BASELINE_MECHANISMS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -40,18 +41,30 @@ class DdgMechanism final : public DistributedSumMechanism {
 
   StatusOr<std::vector<uint64_t>> EncodeParticipant(
       const std::vector<double>& x, RandomGenerator& rng) override;
+  /// Batched encode with scratch reuse and block-sampled noise
+  /// (bit-identical to the fallback).
+  Status EncodeBatch(const std::vector<std::vector<double>>& inputs,
+                     size_t begin, size_t end, RandomGenerator* rng_streams,
+                     EncodeWorkspace& workspace,
+                     std::vector<std::vector<uint64_t>>* out) override;
   StatusOr<std::vector<double>> DecodeSum(const std::vector<uint64_t>& zm_sum,
                                           int num_participants) override;
 
   uint64_t modulus() const override { return codec_.modulus(); }
   size_t dim() const override { return codec_.dim(); }
-  int64_t overflow_count() const override { return overflow_count_; }
-  void ResetOverflowCount() override { overflow_count_ = 0; }
+  int64_t overflow_count() const override {
+    return overflow_count_.load(std::memory_order_relaxed);
+  }
+  void ResetOverflowCount() override {
+    overflow_count_.store(0, std::memory_order_relaxed);
+  }
 
   /// The Eq. (6) norm bound the rounded vector is conditioned on; also the
   /// L2 sensitivity fed into the accountant.
   double rounded_norm_bound() const { return norm_bound_; }
-  int64_t rounding_rejections() const { return rounding_rejections_; }
+  int64_t rounding_rejections() const {
+    return rounding_rejections_.load(std::memory_order_relaxed);
+  }
 
  private:
   DdgMechanism(Options options, RotationCodec codec,
@@ -61,12 +74,17 @@ class DdgMechanism final : public DistributedSumMechanism {
         sampler_(std::move(sampler)),
         norm_bound_(norm_bound) {}
 
+  Status EncodeOneInto(const std::vector<double>& x, RandomGenerator& rng,
+                       EncodeWorkspace& workspace, int64_t* overflow,
+                       int64_t* rejections, std::vector<uint64_t>& out);
+
   Options options_;
   RotationCodec codec_;
   sampling::DiscreteGaussianSampler sampler_;
   double norm_bound_;
-  int64_t overflow_count_ = 0;
-  int64_t rounding_rejections_ = 0;
+  /// Atomic so concurrent EncodeBatch shards never lose events.
+  std::atomic<int64_t> overflow_count_{0};
+  std::atomic<int64_t> rounding_rejections_{0};
 };
 
 /// The Skellam mechanism of Agarwal et al. 2021: identical pipeline to DDG
@@ -91,13 +109,23 @@ class AgarwalSkellamMechanism final : public DistributedSumMechanism {
 
   StatusOr<std::vector<uint64_t>> EncodeParticipant(
       const std::vector<double>& x, RandomGenerator& rng) override;
+  /// Batched encode with scratch reuse and block-sampled noise
+  /// (bit-identical to the fallback).
+  Status EncodeBatch(const std::vector<std::vector<double>>& inputs,
+                     size_t begin, size_t end, RandomGenerator* rng_streams,
+                     EncodeWorkspace& workspace,
+                     std::vector<std::vector<uint64_t>>* out) override;
   StatusOr<std::vector<double>> DecodeSum(const std::vector<uint64_t>& zm_sum,
                                           int num_participants) override;
 
   uint64_t modulus() const override { return codec_.modulus(); }
   size_t dim() const override { return codec_.dim(); }
-  int64_t overflow_count() const override { return overflow_count_; }
-  void ResetOverflowCount() override { overflow_count_ = 0; }
+  int64_t overflow_count() const override {
+    return overflow_count_.load(std::memory_order_relaxed);
+  }
+  void ResetOverflowCount() override {
+    overflow_count_.store(0, std::memory_order_relaxed);
+  }
 
   double rounded_norm_bound() const { return norm_bound_; }
 
@@ -109,11 +137,16 @@ class AgarwalSkellamMechanism final : public DistributedSumMechanism {
         sampler_(std::move(sampler)),
         norm_bound_(norm_bound) {}
 
+  Status EncodeOneInto(const std::vector<double>& x, RandomGenerator& rng,
+                       EncodeWorkspace& workspace, int64_t* overflow,
+                       std::vector<uint64_t>& out);
+
   Options options_;
   RotationCodec codec_;
   sampling::SkellamSampler sampler_;
   double norm_bound_;
-  int64_t overflow_count_ = 0;
+  /// Atomic so concurrent EncodeBatch shards never lose wrap-around events.
+  std::atomic<int64_t> overflow_count_{0};
 };
 
 /// cpSGD (Agarwal et al. 2018): rotate, scale, L2 clip, *unconditional*
@@ -135,25 +168,38 @@ class CpSgdMechanism final : public DistributedSumMechanism {
 
   StatusOr<std::vector<uint64_t>> EncodeParticipant(
       const std::vector<double>& x, RandomGenerator& rng) override;
+  /// Batched encode with scratch reuse and block-sampled binomial noise
+  /// (bit-identical to the fallback).
+  Status EncodeBatch(const std::vector<std::vector<double>>& inputs,
+                     size_t begin, size_t end, RandomGenerator* rng_streams,
+                     EncodeWorkspace& workspace,
+                     std::vector<std::vector<uint64_t>>* out) override;
   StatusOr<std::vector<double>> DecodeSum(const std::vector<uint64_t>& zm_sum,
                                           int num_participants) override;
 
   uint64_t modulus() const override { return codec_.modulus(); }
   size_t dim() const override { return codec_.dim(); }
-  int64_t overflow_count() const override { return overflow_count_; }
-  void ResetOverflowCount() override { overflow_count_ = 0; }
+  int64_t overflow_count() const override {
+    return overflow_count_.load(std::memory_order_relaxed);
+  }
+  void ResetOverflowCount() override {
+    overflow_count_.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  CpSgdMechanism(Options options, RotationCodec codec)
-      : options_(options), codec_(std::move(codec)) {}
+  CpSgdMechanism(Options options, RotationCodec codec,
+                 sampling::CenteredBinomialSampler binomial)
+      : options_(options), codec_(std::move(codec)), binomial_(binomial) {}
 
-  /// Centered binomial variate Binomial(N, 1/2) - N/2 (normal approximation
-  /// above 100k trials; the baseline is floating-point either way).
-  int64_t SampleCenteredBinomial(RandomGenerator& rng) const;
+  Status EncodeOneInto(const std::vector<double>& x, RandomGenerator& rng,
+                       EncodeWorkspace& workspace, int64_t* overflow,
+                       std::vector<uint64_t>& out);
 
   Options options_;
   RotationCodec codec_;
-  int64_t overflow_count_ = 0;
+  sampling::CenteredBinomialSampler binomial_;
+  /// Atomic so concurrent EncodeBatch shards never lose wrap-around events.
+  std::atomic<int64_t> overflow_count_{0};
 };
 
 /// The centralized continuous Gaussian baseline ("a strong baseline",

@@ -6,14 +6,20 @@ namespace smm::mechanisms {
 
 std::vector<int64_t> StochasticRound(const std::vector<double>& g,
                                      RandomGenerator& rng) {
-  std::vector<int64_t> out(g.size());
+  std::vector<int64_t> out;
+  StochasticRoundInto(g, rng, out);
+  return out;
+}
+
+void StochasticRoundInto(const std::vector<double>& g, RandomGenerator& rng,
+                         std::vector<int64_t>& out) {
+  out.resize(g.size());
   for (size_t j = 0; j < g.size(); ++j) {
     const double floor_x = std::floor(g[j]);
     int64_t v = static_cast<int64_t>(floor_x);
     if (rng.Bernoulli(g[j] - floor_x)) v += 1;
     out[j] = v;
   }
-  return out;
 }
 
 double ConditionalRoundingNormBound(double gamma, double l2_bound, size_t dim,
@@ -28,27 +34,37 @@ double ConditionalRoundingNormBound(double gamma, double l2_bound, size_t dim,
 StatusOr<std::vector<int64_t>> ConditionallyRound(
     const std::vector<double>& g, double norm_bound, int max_retries,
     RandomGenerator& rng, int64_t* rejections) {
+  std::vector<int64_t> out;
+  SMM_RETURN_IF_ERROR(
+      ConditionallyRoundInto(g, norm_bound, max_retries, rng, rejections,
+                             out));
+  return out;
+}
+
+Status ConditionallyRoundInto(const std::vector<double>& g, double norm_bound,
+                              int max_retries, RandomGenerator& rng,
+                              int64_t* rejections, std::vector<int64_t>& out) {
   if (!(norm_bound > 0.0)) {
     return InvalidArgumentError("norm_bound must be > 0");
   }
   if (max_retries < 1) return InvalidArgumentError("max_retries must be >= 1");
   const double bound_sq = norm_bound * norm_bound;
   for (int attempt = 0; attempt < max_retries; ++attempt) {
-    std::vector<int64_t> rounded = StochasticRound(g, rng);
+    StochasticRoundInto(g, rng, out);
     double norm_sq = 0.0;
-    for (int64_t v : rounded) {
+    for (int64_t v : out) {
       norm_sq += static_cast<double>(v) * static_cast<double>(v);
     }
-    if (norm_sq <= bound_sq) return rounded;
+    if (norm_sq <= bound_sq) return OkStatus();
     if (rejections != nullptr) ++*rejections;
   }
   // Fallback: round to nearest, which cannot exceed the bound for inputs
   // whose scaled norm respects the pre-rounding clip.
-  std::vector<int64_t> nearest(g.size());
+  out.resize(g.size());
   for (size_t j = 0; j < g.size(); ++j) {
-    nearest[j] = static_cast<int64_t>(std::llround(g[j]));
+    out[j] = static_cast<int64_t>(std::llround(g[j]));
   }
-  return nearest;
+  return OkStatus();
 }
 
 }  // namespace smm::mechanisms

@@ -17,6 +17,10 @@ namespace smm::mechanisms {
 std::vector<int64_t> StochasticRound(const std::vector<double>& g,
                                      RandomGenerator& rng);
 
+/// Allocation-free StochasticRound: writes into out, reusing its capacity.
+void StochasticRoundInto(const std::vector<double>& g, RandomGenerator& rng,
+                         std::vector<int64_t>& out);
+
 /// The conditional-rounding norm bound of DDG / Skellam (Eq. (6)): a
 /// stochastically rounded version of a scaled input with ||gamma x||_2 <=
 /// gamma * l2_bound is accepted only if its norm is at most
@@ -36,6 +40,13 @@ double ConditionalRoundingNormBound(double gamma, double l2_bound, size_t dim,
 StatusOr<std::vector<int64_t>> ConditionallyRound(
     const std::vector<double>& g, double norm_bound, int max_retries,
     RandomGenerator& rng, int64_t* rejections);
+
+/// Allocation-free ConditionallyRound for the batched encode path: writes
+/// into out, reusing its capacity. Consumes the RNG identically to
+/// ConditionallyRound.
+Status ConditionallyRoundInto(const std::vector<double>& g, double norm_bound,
+                              int max_retries, RandomGenerator& rng,
+                              int64_t* rejections, std::vector<int64_t>& out);
 
 }  // namespace smm::mechanisms
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "mechanisms/clipping.h"
+#include "mechanisms/conditional_rounding.h"
 
 namespace smm::mechanisms {
 
@@ -24,9 +25,21 @@ int64_t DiscreteGaussianMixtureNoiser::Perturb(double x,
 
 std::vector<int64_t> DiscreteGaussianMixtureNoiser::PerturbVector(
     const std::vector<double>& x, RandomGenerator& rng) {
-  std::vector<int64_t> out(x.size());
-  for (size_t j = 0; j < x.size(); ++j) out[j] = Perturb(x[j], rng);
+  std::vector<int64_t> out;
+  std::vector<int64_t> noise;
+  PerturbVectorInto(x, rng, out, noise);
   return out;
+}
+
+void DiscreteGaussianMixtureNoiser::PerturbVectorInto(
+    const std::vector<double>& x, RandomGenerator& rng,
+    std::vector<int64_t>& out, std::vector<int64_t>& noise) {
+  // The floor/ceil Bernoulli mixture is exactly stochastic rounding.
+  StochasticRoundInto(x, rng, out);
+  const size_t n = x.size();
+  noise.resize(n);
+  sampler_.SampleBlock(n, noise.data(), rng);
+  for (size_t j = 0; j < n; ++j) out[j] += noise[j];
 }
 
 StatusOr<std::unique_ptr<DgmMechanism>> DgmMechanism::Create(
@@ -50,12 +63,40 @@ StatusOr<std::unique_ptr<DgmMechanism>> DgmMechanism::Create(
       new DgmMechanism(options, std::move(codec), std::move(noiser)));
 }
 
+Status DgmMechanism::EncodeOneInto(const std::vector<double>& x,
+                                   RandomGenerator& rng,
+                                   EncodeWorkspace& workspace,
+                                   int64_t* overflow,
+                                   std::vector<uint64_t>& out) {
+  SMM_RETURN_IF_ERROR(codec_.RotateScaleInto(x, workspace.real));
+  SMM_RETURN_IF_ERROR(SmmClip(workspace.real, options_.c, options_.delta_inf));
+  noiser_.PerturbVectorInto(workspace.real, rng, workspace.ints,
+                            workspace.noise);
+  codec_.WrapInto(workspace.ints, overflow, out);
+  return OkStatus();
+}
+
 StatusOr<std::vector<uint64_t>> DgmMechanism::EncodeParticipant(
     const std::vector<double>& x, RandomGenerator& rng) {
-  SMM_ASSIGN_OR_RETURN(auto g, codec_.RotateScale(x));
-  SMM_RETURN_IF_ERROR(SmmClip(g, options_.c, options_.delta_inf));
-  const std::vector<int64_t> perturbed = noiser_.PerturbVector(g, rng);
-  return codec_.Wrap(perturbed, &overflow_count_);
+  EncodeWorkspace workspace;
+  std::vector<uint64_t> out;
+  int64_t overflow = 0;
+  SMM_RETURN_IF_ERROR(EncodeOneInto(x, rng, workspace, &overflow, out));
+  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
+  return out;
+}
+
+Status DgmMechanism::EncodeBatch(
+    const std::vector<std::vector<double>>& inputs, size_t begin, size_t end,
+    RandomGenerator* rng_streams, EncodeWorkspace& workspace,
+    std::vector<std::vector<uint64_t>>* out) {
+  int64_t overflow = 0;
+  for (size_t i = begin; i < end; ++i) {
+    SMM_RETURN_IF_ERROR(EncodeOneInto(inputs[i], rng_streams[i], workspace,
+                                      &overflow, (*out)[i]));
+  }
+  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
+  return OkStatus();
 }
 
 StatusOr<std::vector<double>> DgmMechanism::DecodeSum(

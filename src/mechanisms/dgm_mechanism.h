@@ -1,6 +1,7 @@
 #ifndef SMM_MECHANISMS_DGM_MECHANISM_H_
 #define SMM_MECHANISMS_DGM_MECHANISM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -29,6 +30,13 @@ class DiscreteGaussianMixtureNoiser {
   /// Algorithm 12 (dDGM): independent per-coordinate perturbation.
   std::vector<int64_t> PerturbVector(const std::vector<double>& x,
                                      RandomGenerator& rng);
+
+  /// Allocation-free PerturbVector: Bernoulli rounding phase, then one
+  /// discrete-Gaussian SampleBlock into `noise`, summed into `out`.
+  /// PerturbVector delegates here (same RNG consumption on both paths).
+  void PerturbVectorInto(const std::vector<double>& x, RandomGenerator& rng,
+                         std::vector<int64_t>& out,
+                         std::vector<int64_t>& noise);
 
   double sigma() const { return sampler_.sigma(); }
 
@@ -62,13 +70,24 @@ class DgmMechanism final : public DistributedSumMechanism {
   StatusOr<std::vector<uint64_t>> EncodeParticipant(
       const std::vector<double>& x, RandomGenerator& rng) override;
 
+  /// Batched Algorithm 14 with scratch reuse (bit-identical to the
+  /// fallback).
+  Status EncodeBatch(const std::vector<std::vector<double>>& inputs,
+                     size_t begin, size_t end, RandomGenerator* rng_streams,
+                     EncodeWorkspace& workspace,
+                     std::vector<std::vector<uint64_t>>* out) override;
+
   StatusOr<std::vector<double>> DecodeSum(const std::vector<uint64_t>& zm_sum,
                                           int num_participants) override;
 
   uint64_t modulus() const override { return codec_.modulus(); }
   size_t dim() const override { return codec_.dim(); }
-  int64_t overflow_count() const override { return overflow_count_; }
-  void ResetOverflowCount() override { overflow_count_ = 0; }
+  int64_t overflow_count() const override {
+    return overflow_count_.load(std::memory_order_relaxed);
+  }
+  void ResetOverflowCount() override {
+    overflow_count_.store(0, std::memory_order_relaxed);
+  }
 
   const Options& options() const { return options_; }
 
@@ -79,10 +98,15 @@ class DgmMechanism final : public DistributedSumMechanism {
         codec_(std::move(codec)),
         noiser_(std::move(noiser)) {}
 
+  Status EncodeOneInto(const std::vector<double>& x, RandomGenerator& rng,
+                       EncodeWorkspace& workspace, int64_t* overflow,
+                       std::vector<uint64_t>& out);
+
   Options options_;
   RotationCodec codec_;
   DiscreteGaussianMixtureNoiser noiser_;
-  int64_t overflow_count_ = 0;
+  /// Atomic so concurrent EncodeBatch shards never lose wrap-around events.
+  std::atomic<int64_t> overflow_count_{0};
 };
 
 }  // namespace smm::mechanisms

@@ -2,18 +2,60 @@
 
 namespace smm::mechanisms {
 
+Status DistributedSumMechanism::EncodeBatch(
+    const std::vector<std::vector<double>>& inputs, size_t begin, size_t end,
+    RandomGenerator* rng_streams, EncodeWorkspace& workspace,
+    std::vector<std::vector<uint64_t>>* out) {
+  (void)workspace;  // The fallback has no fused pipeline to reuse it in.
+  for (size_t i = begin; i < end; ++i) {
+    SMM_ASSIGN_OR_RETURN((*out)[i],
+                         EncodeParticipant(inputs[i], rng_streams[i]));
+  }
+  return OkStatus();
+}
+
+StatusOr<std::vector<std::vector<uint64_t>>> EncodeBatchParallel(
+    DistributedSumMechanism& mechanism,
+    const std::vector<std::vector<double>>& inputs,
+    std::vector<RandomGenerator>& rng_streams, ThreadPool* pool) {
+  if (inputs.size() != rng_streams.size()) {
+    return InvalidArgumentError("one rng stream per input required");
+  }
+  std::vector<std::vector<uint64_t>> encoded(inputs.size());
+  if (inputs.empty()) return encoded;
+  if (pool == nullptr || pool->num_threads() == 1) {
+    EncodeWorkspace workspace;
+    SMM_RETURN_IF_ERROR(mechanism.EncodeBatch(
+        inputs, 0, inputs.size(), rng_streams.data(), workspace, &encoded));
+    return encoded;
+  }
+  // Static contiguous shards, one workspace per shard. Results are
+  // bit-identical to the sequential path because participant i's encode
+  // reads only inputs[i] and rng_streams[i].
+  std::vector<Status> shard_status(static_cast<size_t>(pool->num_threads()));
+  pool->ParallelFor(inputs.size(), [&](int chunk, size_t begin, size_t end) {
+    EncodeWorkspace workspace;
+    shard_status[static_cast<size_t>(chunk)] = mechanism.EncodeBatch(
+        inputs, begin, end, rng_streams.data(), workspace, &encoded);
+  });
+  for (const Status& status : shard_status) {
+    if (!status.ok()) return status;
+  }
+  return encoded;
+}
+
 StatusOr<std::vector<double>> RunDistributedSum(
     DistributedSumMechanism& mechanism, secagg::SecureAggregator& aggregator,
-    const std::vector<std::vector<double>>& inputs, RandomGenerator& rng) {
+    const std::vector<std::vector<double>>& inputs, RandomGenerator& rng,
+    ThreadPool* pool) {
   if (inputs.empty()) return InvalidArgumentError("no inputs");
-  std::vector<std::vector<uint64_t>> encoded;
-  encoded.reserve(inputs.size());
-  for (const auto& x : inputs) {
-    SMM_ASSIGN_OR_RETURN(auto z, mechanism.EncodeParticipant(x, rng));
-    encoded.push_back(std::move(z));
-  }
-  SMM_ASSIGN_OR_RETURN(auto zm_sum,
-                       aggregator.Aggregate(encoded, mechanism.modulus()));
+  std::vector<RandomGenerator> streams =
+      MakeParticipantStreams(rng, inputs.size());
+  SMM_ASSIGN_OR_RETURN(auto encoded,
+                       EncodeBatchParallel(mechanism, inputs, streams, pool));
+  SMM_ASSIGN_OR_RETURN(
+      auto zm_sum,
+      aggregator.AggregateParallel(encoded, mechanism.modulus(), pool));
   return mechanism.DecodeSum(zm_sum, static_cast<int>(inputs.size()));
 }
 

@@ -4,11 +4,22 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "secagg/secure_aggregator.h"
 
 namespace smm::mechanisms {
+
+/// Reusable scratch buffers for EncodeBatch. One workspace serves one thread:
+/// the batched encoders route every intermediate (rotated/clipped reals,
+/// rounded/perturbed integers, block-sampled noise) through these buffers,
+/// so steady-state encoding allocates nothing per participant.
+struct EncodeWorkspace {
+  std::vector<double> real;    ///< Rotated/scaled/clipped coordinates.
+  std::vector<int64_t> ints;   ///< Rounded/perturbed integer coordinates.
+  std::vector<int64_t> noise;  ///< Block-sampled noise draws.
+};
 
 /// A distributed-DP mechanism for the sum estimation problem of Section 3.1,
 /// split into the participant-side encoding (noise injection + reduction
@@ -24,6 +35,23 @@ class DistributedSumMechanism {
   /// integer vector in Z_m^d destined for secure aggregation.
   virtual StatusOr<std::vector<uint64_t>> EncodeParticipant(
       const std::vector<double>& x, RandomGenerator& rng) = 0;
+
+  /// Batched participant procedure: encodes inputs[begin..end) into
+  /// (*out)[begin..end), drawing participant i's randomness exclusively from
+  /// rng_streams[i] and reusing `workspace` scratch across participants.
+  /// out must already have inputs.size() entries.
+  ///
+  /// Contract: the encoding of participant i depends only on inputs[i] and
+  /// rng_streams[i], so any partition of [0, n) into ranges — one per
+  /// thread, each with its own workspace — yields bit-identical output.
+  /// Implementations override this with an allocation-free fused pipeline;
+  /// the default delegates to EncodeParticipant and consumes each stream
+  /// identically, so overriding never changes results, only speed.
+  virtual Status EncodeBatch(const std::vector<std::vector<double>>& inputs,
+                             size_t begin, size_t end,
+                             RandomGenerator* rng_streams,
+                             EncodeWorkspace& workspace,
+                             std::vector<std::vector<uint64_t>>* out);
 
   /// Server procedure: converts the aggregated Z_m sum into an unbiased
   /// estimate of sum_i x_i. num_participants is the count that contributed.
@@ -43,12 +71,23 @@ class DistributedSumMechanism {
   virtual void ResetOverflowCount() {}
 };
 
-/// Runs the full pipeline: encodes every input, aggregates through
-/// `aggregator`, and decodes. Returns the estimated sum (same length as the
-/// inputs).
+/// Encodes all inputs through the batch API, sharding participants across
+/// `pool` (nullptr or a 1-thread pool runs inline). rng_streams[i] is
+/// consumed by participant i only; the result is bit-identical for every
+/// thread count.
+StatusOr<std::vector<std::vector<uint64_t>>> EncodeBatchParallel(
+    DistributedSumMechanism& mechanism,
+    const std::vector<std::vector<double>>& inputs,
+    std::vector<RandomGenerator>& rng_streams, ThreadPool* pool = nullptr);
+
+/// Runs the full pipeline: derives one jump-ahead stream per participant
+/// from `rng`, encodes every input (in parallel when `pool` is given),
+/// aggregates through `aggregator`, and decodes. Returns the estimated sum
+/// (same length as the inputs). Output is independent of the thread count.
 StatusOr<std::vector<double>> RunDistributedSum(
     DistributedSumMechanism& mechanism, secagg::SecureAggregator& aggregator,
-    const std::vector<std::vector<double>>& inputs, RandomGenerator& rng);
+    const std::vector<std::vector<double>>& inputs, RandomGenerator& rng,
+    ThreadPool* pool = nullptr);
 
 /// Mean squared error per dimension between an estimate and the exact sum of
 /// `inputs` — the Err_M metric of Section 3.1.

@@ -26,24 +26,38 @@ StatusOr<RotationCodec> RotationCodec::Create(const Options& options) {
 
 StatusOr<std::vector<double>> RotationCodec::RotateScale(
     const std::vector<double>& x) const {
+  std::vector<double> g;
+  SMM_RETURN_IF_ERROR(RotateScaleInto(x, g));
+  return g;
+}
+
+Status RotationCodec::RotateScaleInto(const std::vector<double>& x,
+                                      std::vector<double>& g) const {
   if (x.size() != options_.dim) {
     return InvalidArgumentError("input dimension mismatch");
   }
-  std::vector<double> g;
   if (rotation_.has_value()) {
-    SMM_ASSIGN_OR_RETURN(g, rotation_->Apply(x));
+    SMM_RETURN_IF_ERROR(rotation_->ApplyInto(x, g));
   } else {
-    g = x;
+    g.assign(x.begin(), x.end());
   }
   for (double& v : g) v *= options_.gamma;
-  return g;
+  return OkStatus();
 }
 
 std::vector<uint64_t> RotationCodec::Wrap(const std::vector<int64_t>& values,
                                           int64_t* overflow_count) const {
+  std::vector<uint64_t> out;
+  WrapInto(values, overflow_count, out);
+  return out;
+}
+
+void RotationCodec::WrapInto(const std::vector<int64_t>& values,
+                             int64_t* overflow_count,
+                             std::vector<uint64_t>& out) const {
   const uint64_t m = options_.modulus;
   const int64_t half = static_cast<int64_t>(m / 2);
-  std::vector<uint64_t> out(values.size());
+  out.resize(values.size());
   for (size_t j = 0; j < values.size(); ++j) {
     if (overflow_count != nullptr &&
         (values[j] < -half || values[j] >= half)) {
@@ -51,7 +65,6 @@ std::vector<uint64_t> RotationCodec::Wrap(const std::vector<int64_t>& values,
     }
     out[j] = secagg::ModReduce(values[j], m);
   }
-  return out;
 }
 
 StatusOr<std::vector<double>> RotationCodec::Decode(

@@ -31,11 +31,20 @@ class RotationCodec {
   /// is disabled). x must have length dim().
   StatusOr<std::vector<double>> RotateScale(const std::vector<double>& x) const;
 
+  /// Allocation-free RotateScale for the batched encode path: writes into g,
+  /// reusing its capacity. x and g must not alias.
+  Status RotateScaleInto(const std::vector<double>& x,
+                         std::vector<double>& g) const;
+
   /// Reduces integer values into Z_m, counting coordinates that fall outside
   /// the representable centered range [-m/2, m/2) (irrecoverable wrap-around
   /// events) into *overflow_count if non-null.
   std::vector<uint64_t> Wrap(const std::vector<int64_t>& values,
                              int64_t* overflow_count) const;
+
+  /// Allocation-free Wrap: writes into out, reusing its capacity.
+  void WrapInto(const std::vector<int64_t>& values, int64_t* overflow_count,
+                std::vector<uint64_t>& out) const;
 
   /// Server side (Algorithm 6): centered unwrap of the aggregated Z_m sum,
   /// inverse rotation and division by gamma.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "mechanisms/clipping.h"
+#include "mechanisms/conditional_rounding.h"
 
 namespace smm::mechanisms {
 
@@ -23,9 +24,24 @@ int64_t SkellamMixtureNoiser::Perturb(double x, RandomGenerator& rng) {
 
 std::vector<int64_t> SkellamMixtureNoiser::PerturbVector(
     const std::vector<double>& x, RandomGenerator& rng) {
-  std::vector<int64_t> out(x.size());
-  for (size_t j = 0; j < x.size(); ++j) out[j] = Perturb(x[j], rng);
+  std::vector<int64_t> out;
+  std::vector<int64_t> noise;
+  PerturbVectorInto(x, rng, out, noise);
   return out;
+}
+
+void SkellamMixtureNoiser::PerturbVectorInto(const std::vector<double>& x,
+                                             RandomGenerator& rng,
+                                             std::vector<int64_t>& out,
+                                             std::vector<int64_t>& noise) {
+  // Phase 1 (Lines 5-8 of Algorithm 2): the floor/ceil Bernoulli mixture is
+  // exactly stochastic rounding.
+  StochasticRoundInto(x, rng, out);
+  // Phase 2 (Line 9): one Skellam block for the whole vector.
+  const size_t n = x.size();
+  noise.resize(n);
+  sampler_.SampleBlock(n, noise.data(), rng);
+  for (size_t j = 0; j < n; ++j) out[j] += noise[j];
 }
 
 StatusOr<std::unique_ptr<SmmMechanism>> SmmMechanism::Create(
@@ -50,16 +66,44 @@ StatusOr<std::unique_ptr<SmmMechanism>> SmmMechanism::Create(
       new SmmMechanism(options, std::move(codec), std::move(noiser)));
 }
 
+Status SmmMechanism::EncodeOneInto(const std::vector<double>& x,
+                                   RandomGenerator& rng,
+                                   EncodeWorkspace& workspace,
+                                   int64_t* overflow,
+                                   std::vector<uint64_t>& out) {
+  // Lines 1-2 of Algorithm 4: rotate and scale.
+  SMM_RETURN_IF_ERROR(codec_.RotateScaleInto(x, workspace.real));
+  // Line 3: the mixed-sensitivity clip of Algorithm 5.
+  SMM_RETURN_IF_ERROR(SmmClip(workspace.real, options_.c, options_.delta_inf));
+  // Lines 4-10: the Skellam mixture perturbation.
+  noiser_.PerturbVectorInto(workspace.real, rng, workspace.ints,
+                            workspace.noise);
+  // Line 11: reduce into Z_m.
+  codec_.WrapInto(workspace.ints, overflow, out);
+  return OkStatus();
+}
+
 StatusOr<std::vector<uint64_t>> SmmMechanism::EncodeParticipant(
     const std::vector<double>& x, RandomGenerator& rng) {
-  // Lines 1-2 of Algorithm 4: rotate and scale.
-  SMM_ASSIGN_OR_RETURN(auto g, codec_.RotateScale(x));
-  // Line 3: the mixed-sensitivity clip of Algorithm 5.
-  SMM_RETURN_IF_ERROR(SmmClip(g, options_.c, options_.delta_inf));
-  // Lines 4-10: the Skellam mixture perturbation.
-  const std::vector<int64_t> perturbed = noiser_.PerturbVector(g, rng);
-  // Line 11: reduce into Z_m.
-  return codec_.Wrap(perturbed, &overflow_count_);
+  EncodeWorkspace workspace;
+  std::vector<uint64_t> out;
+  int64_t overflow = 0;
+  SMM_RETURN_IF_ERROR(EncodeOneInto(x, rng, workspace, &overflow, out));
+  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
+  return out;
+}
+
+Status SmmMechanism::EncodeBatch(
+    const std::vector<std::vector<double>>& inputs, size_t begin, size_t end,
+    RandomGenerator* rng_streams, EncodeWorkspace& workspace,
+    std::vector<std::vector<uint64_t>>* out) {
+  int64_t overflow = 0;
+  for (size_t i = begin; i < end; ++i) {
+    SMM_RETURN_IF_ERROR(EncodeOneInto(inputs[i], rng_streams[i], workspace,
+                                      &overflow, (*out)[i]));
+  }
+  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
+  return OkStatus();
 }
 
 StatusOr<std::vector<double>> SmmMechanism::DecodeSum(

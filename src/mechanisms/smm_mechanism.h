@@ -1,6 +1,7 @@
 #ifndef SMM_MECHANISMS_SMM_MECHANISM_H_
 #define SMM_MECHANISMS_SMM_MECHANISM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -31,6 +32,14 @@ class SkellamMixtureNoiser {
   /// Perturbs every coordinate independently (Algorithm 2 / dSMM).
   std::vector<int64_t> PerturbVector(const std::vector<double>& x,
                                      RandomGenerator& rng);
+
+  /// Allocation-free PerturbVector: the rounding phase (floor + Bernoulli,
+  /// per coordinate) runs first, then one Skellam SampleBlock fills `noise`,
+  /// and the two are summed into `out`. PerturbVector delegates here, so the
+  /// scalar and batched encode paths consume the RNG identically.
+  void PerturbVectorInto(const std::vector<double>& x, RandomGenerator& rng,
+                         std::vector<int64_t>& out,
+                         std::vector<int64_t>& noise);
 
   double lambda() const { return sampler_.lambda(); }
 
@@ -66,14 +75,24 @@ class SmmMechanism final : public DistributedSumMechanism {
   StatusOr<std::vector<uint64_t>> EncodeParticipant(
       const std::vector<double>& x, RandomGenerator& rng) override;
 
+  /// Batched Algorithm 4 with scratch reuse (bit-identical to the fallback).
+  Status EncodeBatch(const std::vector<std::vector<double>>& inputs,
+                     size_t begin, size_t end, RandomGenerator* rng_streams,
+                     EncodeWorkspace& workspace,
+                     std::vector<std::vector<uint64_t>>* out) override;
+
   /// Algorithm 6.
   StatusOr<std::vector<double>> DecodeSum(const std::vector<uint64_t>& zm_sum,
                                           int num_participants) override;
 
   uint64_t modulus() const override { return codec_.modulus(); }
   size_t dim() const override { return codec_.dim(); }
-  int64_t overflow_count() const override { return overflow_count_; }
-  void ResetOverflowCount() override { overflow_count_ = 0; }
+  int64_t overflow_count() const override {
+    return overflow_count_.load(std::memory_order_relaxed);
+  }
+  void ResetOverflowCount() override {
+    overflow_count_.store(0, std::memory_order_relaxed);
+  }
 
   const Options& options() const { return options_; }
 
@@ -84,10 +103,18 @@ class SmmMechanism final : public DistributedSumMechanism {
         codec_(std::move(codec)),
         noiser_(std::move(noiser)) {}
 
+  /// One participant through the fused rotate/clip/perturb/wrap pipeline,
+  /// accumulating wrap-around events into *overflow (callers publish the
+  /// total to overflow_count_ once per batch).
+  Status EncodeOneInto(const std::vector<double>& x, RandomGenerator& rng,
+                       EncodeWorkspace& workspace, int64_t* overflow,
+                       std::vector<uint64_t>& out);
+
   Options options_;
   RotationCodec codec_;
   SkellamMixtureNoiser noiser_;
-  int64_t overflow_count_ = 0;
+  /// Atomic so concurrent EncodeBatch shards never lose wrap-around events.
+  std::atomic<int64_t> overflow_count_{0};
 };
 
 }  // namespace smm::mechanisms

@@ -5,16 +5,72 @@
 
 namespace smm::sampling {
 
+namespace {
+
+/// log(Gamma(x)) for x > 0.5 via the Lanczos approximation (g = 7, 9
+/// terms; ~1e-13 relative accuracy). Self-contained on purpose: glibc's
+/// lgamma() writes the process-global `signgam`, a data race when the
+/// parallel encode shards sample concurrently.
+double LogGammaPositive(double x) {
+  static constexpr double kCoeffs[9] = {
+      0.99999999999980993,     676.5203681218851,     -1259.1392167224028,
+      771.32342877765313,      -176.61502916214059,   12.507343278686905,
+      -0.13857109526572012,    9.9843695780195716e-6, 1.5056327351493116e-7};
+  constexpr double kHalfLog2Pi = 0.91893853320467274178;
+  double series = kCoeffs[0];
+  for (int i = 1; i < 9; ++i) {
+    series += kCoeffs[i] / (x + static_cast<double>(i) - 1.0);
+  }
+  const double t = x + 6.5;
+  return kHalfLog2Pi + (x - 0.5) * std::log(t) - t + std::log(series);
+}
+
+}  // namespace
+
 int64_t SamplePoissonApprox(double lambda, RandomGenerator& rng) {
   assert(lambda >= 0.0);
   if (lambda == 0.0) return 0;
-  UrbgAdapter urbg{&rng};
-  std::poisson_distribution<int64_t> dist(lambda);
-  return dist(urbg);
+  // Self-contained Poisson sampler (no libstdc++ distribution objects): the
+  // standard ones route through glibc lgamma(), whose global-signgam write
+  // races under concurrent EncodeBatch shards, and their internal Gaussian
+  // caches leak state across draws, breaking stream determinism.
+  if (lambda < 10.0) {
+    // Knuth's multiplication method: expected lambda + 1 uniforms.
+    const double threshold = std::exp(-lambda);
+    int64_t k = 0;
+    double product = rng.UniformDouble();
+    while (product > threshold) {
+      ++k;
+      product *= rng.UniformDouble();
+    }
+    return k;
+  }
+  // Hormann's transformed rejection with squeeze (PTRS), the standard
+  // O(1) method for lambda >= 10 (used by NumPy).
+  const double log_lambda = std::log(lambda);
+  const double b = 0.931 + 2.53 * std::sqrt(lambda);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+  while (true) {
+    const double u = rng.UniformDouble() - 0.5;
+    const double v = rng.UniformDouble();
+    const double us = 0.5 - std::abs(u);
+    const double k = std::floor((2.0 * a / us + b) * u + lambda + 0.43);
+    if (us >= 0.07 && v <= v_r) return static_cast<int64_t>(k);
+    if (k < 0.0 || (us < 0.013 && v > us)) continue;
+    if (std::log(v) + std::log(inv_alpha) - std::log(a / (us * us) + b) <=
+        k * log_lambda - lambda - LogGammaPositive(k + 1.0)) {
+      return static_cast<int64_t>(k);
+    }
+  }
 }
 
 int64_t SampleSkellamApprox(double lambda, RandomGenerator& rng) {
-  return SamplePoissonApprox(lambda, rng) - SamplePoissonApprox(lambda, rng);
+  // Named draws pin the order; operand order of `-` is unspecified.
+  const int64_t first = SamplePoissonApprox(lambda, rng);
+  const int64_t second = SamplePoissonApprox(lambda, rng);
+  return first - second;
 }
 
 int64_t SampleDiscreteGaussianApprox(double sigma, RandomGenerator& rng) {

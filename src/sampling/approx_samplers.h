@@ -2,7 +2,6 @@
 #define SMM_SAMPLING_APPROX_SAMPLERS_H_
 
 #include <cstdint>
-#include <random>
 
 #include "common/random.h"
 
@@ -15,17 +14,15 @@ namespace smm::sampling {
 /// analytical forms only up to double rounding; the exact samplers in
 /// exact_samplers.h / discrete_gaussian_sampler.h are the strict-DP path.
 
-/// Adapts RandomGenerator to the standard UniformRandomBitGenerator concept
-/// so that <random> distributions can consume our deterministic stream.
-struct UrbgAdapter {
-  using result_type = uint64_t;
-  static constexpr result_type min() { return 0; }
-  static constexpr result_type max() { return ~static_cast<uint64_t>(0); }
-  RandomGenerator* rng;
-  result_type operator()() { return rng->NextBits(); }
-};
+/// NOTE: do not route sampling through std::poisson_distribution /
+/// std::binomial_distribution here. Their large-parameter algorithms cache
+/// Gaussian state across draws (leaking bits between participants' RNG
+/// streams) and call glibc lgamma(), whose global-signgam write races under
+/// concurrent EncodeBatch shards. The samplers below are self-contained.
 
-/// Approximate Poisson(lambda) via the standard library implementation.
+/// Approximate Poisson(lambda): Knuth multiplication below lambda = 10,
+/// Hormann's PTRS transformed rejection (with a local Lanczos log-gamma)
+/// above.
 int64_t SamplePoissonApprox(double lambda, RandomGenerator& rng);
 
 /// Approximate symmetric Skellam Sk(lambda, lambda): difference of two

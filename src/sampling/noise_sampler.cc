@@ -1,5 +1,7 @@
 #include "sampling/noise_sampler.h"
 
+#include <cmath>
+
 #include "sampling/approx_samplers.h"
 #include "sampling/discrete_gaussian_sampler.h"
 #include "sampling/exact_samplers.h"
@@ -22,11 +24,21 @@ StatusOr<SkellamSampler> SkellamSampler::Create(double lambda,
 
 int64_t SkellamSampler::Sample(RandomGenerator& rng) {
   if (mode_ == SamplerMode::kApproximate) {
-    UrbgAdapter urbg{&rng};
-    return poisson_(urbg) - poisson_(urbg);
+    return SampleSkellamApprox(lambda_, rng);
   }
   // Exact path: parameters were validated at Create time.
   return SampleSkellamExact(rational_lambda_, rng).value();
+}
+
+void SkellamSampler::SampleBlock(size_t n, int64_t* out,
+                                 RandomGenerator& rng) {
+  if (mode_ == SamplerMode::kApproximate) {
+    for (size_t i = 0; i < n; ++i) out[i] = SampleSkellamApprox(lambda_, rng);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = SampleSkellamExact(rational_lambda_, rng).value();
+  }
 }
 
 StatusOr<DiscreteGaussianSampler> DiscreteGaussianSampler::Create(
@@ -47,6 +59,76 @@ int64_t DiscreteGaussianSampler::Sample(RandomGenerator& rng) {
     return SampleDiscreteGaussianApprox(sigma_, rng);
   }
   return SampleDiscreteGaussianExact(rational_sigma2_, rng).value();
+}
+
+void DiscreteGaussianSampler::SampleBlock(size_t n, int64_t* out,
+                                          RandomGenerator& rng) {
+  if (mode_ == SamplerMode::kApproximate) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = SampleDiscreteGaussianApprox(sigma_, rng);
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = SampleDiscreteGaussianExact(rational_sigma2_, rng).value();
+  }
+}
+
+StatusOr<CenteredBinomialSampler> CenteredBinomialSampler::Create(
+    int64_t trials) {
+  if (trials < 1) {
+    return InvalidArgumentError("binomial trials must be >= 1");
+  }
+  return CenteredBinomialSampler(trials);
+}
+
+namespace {
+
+/// Trial count above which the centered binomial uses the normal
+/// approximation instead of exact coin counting — the same boundary the
+/// accountant-facing behavior always had, so Binomial noise stays exactly
+/// binomial wherever it used to be.
+constexpr int64_t kBinomialExactTrials = 100000;
+
+/// Exact Binomial(trials, 1/2): counts set bits in `trials` raw generator
+/// bits. Branch-free and free of global state.
+int64_t CountFairCoins(int64_t trials, RandomGenerator& rng) {
+  int64_t successes = 0;
+  int64_t remaining = trials;
+  for (; remaining >= 64; remaining -= 64) {
+    successes += __builtin_popcountll(rng.NextBits());
+  }
+  if (remaining > 0) {
+    const uint64_t mask = (~uint64_t{0}) >> (64 - remaining);
+    successes += __builtin_popcountll(rng.NextBits() & mask);
+  }
+  return successes;
+}
+
+}  // namespace
+
+int64_t CenteredBinomialSampler::Sample(RandomGenerator& rng) const {
+  if (trials_ > kBinomialExactTrials) {
+    // Normal approximation; fine for a floating-point baseline and the
+    // paper's regime where cpSGD noise is enormous anyway.
+    const double sigma = std::sqrt(static_cast<double>(trials_) / 4.0);
+    return static_cast<int64_t>(std::llround(rng.Gaussian(0.0, sigma)));
+  }
+  return CountFairCoins(trials_, rng) - trials_ / 2;
+}
+
+void CenteredBinomialSampler::SampleBlock(size_t n, int64_t* out,
+                                          RandomGenerator& rng) const {
+  if (trials_ > kBinomialExactTrials) {
+    const double sigma = std::sqrt(static_cast<double>(trials_) / 4.0);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<int64_t>(std::llround(rng.Gaussian(0.0, sigma)));
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = CountFairCoins(trials_, rng) - trials_ / 2;
+  }
 }
 
 }  // namespace smm::sampling

@@ -1,8 +1,8 @@
 #ifndef SMM_SAMPLING_NOISE_SAMPLER_H_
 #define SMM_SAMPLING_NOISE_SAMPLER_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <random>
 
 #include "common/random.h"
 #include "common/status.h"
@@ -30,22 +30,29 @@ class SkellamSampler {
   /// state for speed.
   int64_t Sample(RandomGenerator& rng);
 
+  /// Fills out[0..n) with n i.i.d. draws, amortizing the mode dispatch and
+  /// adapter setup over the whole block. Consumes the RNG exactly as n
+  /// scalar Sample calls would (in particular, exact mode draws the
+  /// identical RandInt sequence), so block and scalar encodes are
+  /// bit-compatible.
+  void SampleBlock(size_t n, int64_t* out, RandomGenerator& rng);
+
   double lambda() const { return lambda_; }
   SamplerMode mode() const { return mode_; }
   /// Variance of the sampled distribution (2 * lambda).
   double variance() const { return 2.0 * lambda_; }
 
  private:
+  // No distribution-object state: the approximate path uses the
+  // self-contained SamplePoissonApprox (libstdc++'s poisson_distribution
+  // caches Gaussian state across draws and calls glibc lgamma(), whose
+  // global-signgam write races under concurrent EncodeBatch shards).
   SkellamSampler(double lambda, SamplerMode mode, Rational rational_lambda)
-      : lambda_(lambda),
-        mode_(mode),
-        rational_lambda_(rational_lambda),
-        poisson_(lambda) {}
+      : lambda_(lambda), mode_(mode), rational_lambda_(rational_lambda) {}
 
   double lambda_;
   SamplerMode mode_;
   Rational rational_lambda_;
-  std::poisson_distribution<int64_t> poisson_;
 };
 
 /// Samples discrete Gaussian noise N_Z(0, sigma^2) in either mode.
@@ -57,6 +64,10 @@ class DiscreteGaussianSampler {
       int64_t max_denominator = 1000000);
 
   int64_t Sample(RandomGenerator& rng);
+
+  /// Block variant of Sample; same RNG-consumption guarantee as
+  /// SkellamSampler::SampleBlock.
+  void SampleBlock(size_t n, int64_t* out, RandomGenerator& rng);
 
   double sigma() const { return sigma_; }
   SamplerMode mode() const { return mode_; }
@@ -70,6 +81,32 @@ class DiscreteGaussianSampler {
   double sigma_;
   SamplerMode mode_;
   Rational rational_sigma2_;
+};
+
+/// Samples centered binomial noise Binomial(trials, 1/2) - trials/2, the
+/// cpSGD baseline's distribution. Up to 100k trials the draw is an exact
+/// fair-coin count (popcount over raw generator words — free of
+/// libstdc++/libc global state, at cost linear in trials); above that the
+/// normal approximation is used, as in the paper's regime where cpSGD's
+/// calibrated trial counts are enormous.
+class CenteredBinomialSampler {
+ public:
+  /// Creates a sampler. trials must be >= 1.
+  static StatusOr<CenteredBinomialSampler> Create(int64_t trials);
+
+  int64_t Sample(RandomGenerator& rng) const;
+
+  /// Block variant; consumes the RNG exactly as n scalar Sample calls.
+  void SampleBlock(size_t n, int64_t* out, RandomGenerator& rng) const;
+
+  int64_t trials() const { return trials_; }
+  /// Variance of the sampled distribution (trials / 4).
+  double variance() const { return static_cast<double>(trials_) / 4.0; }
+
+ private:
+  explicit CenteredBinomialSampler(int64_t trials) : trials_(trials) {}
+
+  int64_t trials_;
 };
 
 }  // namespace smm::sampling

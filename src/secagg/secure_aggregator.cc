@@ -9,15 +9,46 @@ namespace smm::secagg {
 
 StatusOr<std::vector<uint64_t>> IdealAggregator::Aggregate(
     const std::vector<std::vector<uint64_t>>& inputs, uint64_t m) {
+  return AggregateParallel(inputs, m, nullptr);
+}
+
+StatusOr<std::vector<uint64_t>> IdealAggregator::AggregateParallel(
+    const std::vector<std::vector<uint64_t>>& inputs, uint64_t m,
+    ThreadPool* pool) {
   if (inputs.empty()) return InvalidArgumentError("no inputs to aggregate");
   if (m < 2) return InvalidArgumentError("modulus must be >= 2");
   const size_t dim = inputs[0].size();
-  std::vector<uint64_t> sum(dim, 0);
   for (const auto& input : inputs) {
     if (input.size() != dim) {
       return InvalidArgumentError("input dimension mismatch");
     }
-    for (size_t j = 0; j < dim; ++j) sum[j] = (sum[j] + input[j] % m) % m;
+  }
+  if (pool == nullptr || pool->num_threads() == 1 || inputs.size() < 2) {
+    std::vector<uint64_t> sum(dim, 0);
+    for (const auto& input : inputs) {
+      for (size_t j = 0; j < dim; ++j) sum[j] = (sum[j] + input[j] % m) % m;
+    }
+    return sum;
+  }
+  // Per-thread partial sums over contiguous participant shards, reduced
+  // mod m at the end. Modular addition commutes, so the result is identical
+  // to the sequential accumulation for any shard count.
+  std::vector<std::vector<uint64_t>> partials(
+      static_cast<size_t>(pool->num_threads()));
+  pool->ParallelFor(inputs.size(), [&](int chunk, size_t begin, size_t end) {
+    std::vector<uint64_t>& partial = partials[static_cast<size_t>(chunk)];
+    partial.assign(dim, 0);
+    for (size_t i = begin; i < end; ++i) {
+      const std::vector<uint64_t>& input = inputs[i];
+      for (size_t j = 0; j < dim; ++j) {
+        partial[j] = (partial[j] + input[j] % m) % m;
+      }
+    }
+  });
+  std::vector<uint64_t> sum(dim, 0);
+  for (const auto& partial : partials) {
+    if (partial.empty()) continue;  // Chunk count may be below thread count.
+    for (size_t j = 0; j < dim; ++j) sum[j] = (sum[j] + partial[j]) % m;
   }
   return sum;
 }

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "secagg/shamir.h"
@@ -23,6 +24,17 @@ class SecureAggregator {
   /// Sums `inputs` (all of equal length) element-wise modulo m.
   virtual StatusOr<std::vector<uint64_t>> Aggregate(
       const std::vector<std::vector<uint64_t>>& inputs, uint64_t m) = 0;
+
+  /// Like Aggregate, but may shard the accumulation across `pool` (nullptr
+  /// means sequential). Addition in Z_m commutes, so implementations must —
+  /// and the provided ones do — return bit-identical sums for any thread
+  /// count. The default ignores the pool.
+  virtual StatusOr<std::vector<uint64_t>> AggregateParallel(
+      const std::vector<std::vector<uint64_t>>& inputs, uint64_t m,
+      ThreadPool* pool) {
+    (void)pool;
+    return Aggregate(inputs, m);
+  }
 };
 
 /// The ideal functionality: a plain modular sum. Used by the experiment
@@ -31,6 +43,14 @@ class IdealAggregator final : public SecureAggregator {
  public:
   StatusOr<std::vector<uint64_t>> Aggregate(
       const std::vector<std::vector<uint64_t>>& inputs, uint64_t m) override;
+
+  /// Shards the participant range across the pool; each thread accumulates
+  /// its shard into a private partial sum, and the partials are reduced
+  /// mod m at the end (in shard order, though modular addition makes the
+  /// order immaterial).
+  StatusOr<std::vector<uint64_t>> AggregateParallel(
+      const std::vector<std::vector<uint64_t>>& inputs, uint64_t m,
+      ThreadPool* pool) override;
 };
 
 /// A faithful simulation of pairwise-mask secure aggregation (Bonawitz et

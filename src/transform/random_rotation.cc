@@ -20,13 +20,19 @@ StatusOr<RandomRotation> RandomRotation::Create(size_t dim,
 
 StatusOr<std::vector<double>> RandomRotation::Apply(
     const std::vector<double>& x) const {
+  std::vector<double> y;
+  SMM_RETURN_IF_ERROR(ApplyInto(x, y));
+  return y;
+}
+
+Status RandomRotation::ApplyInto(const std::vector<double>& x,
+                                 std::vector<double>& y) const {
   if (x.size() != signs_.size()) {
     return InvalidArgumentError("input dimension mismatch");
   }
-  std::vector<double> y(x.size());
+  y.resize(x.size());
   for (size_t i = 0; i < x.size(); ++i) y[i] = signs_[i] * x[i];
-  SMM_RETURN_IF_ERROR(FastWalshHadamard(y));
-  return y;
+  return FastWalshHadamard(y);
 }
 
 StatusOr<std::vector<double>> RandomRotation::Inverse(

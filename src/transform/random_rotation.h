@@ -23,6 +23,10 @@ class RandomRotation {
   /// Applies y = H D_xi x. x must have size dim().
   StatusOr<std::vector<double>> Apply(const std::vector<double>& x) const;
 
+  /// Allocation-free variant of Apply for hot encode loops: writes into y,
+  /// reusing its capacity (y is resized to dim()). x and y must not alias.
+  Status ApplyInto(const std::vector<double>& x, std::vector<double>& y) const;
+
   /// Applies the inverse x = D_xi H^T y = D_xi H y (H is symmetric).
   StatusOr<std::vector<double>> Inverse(const std::vector<double>& y) const;
 

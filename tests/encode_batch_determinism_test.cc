@@ -1,0 +1,221 @@
+// Property tests for the batched parallel encode pipeline: for every
+// mechanism, the overridden EncodeBatch must be bit-identical to the base
+// EncodeParticipant fallback, and the parallel path must be bit-identical
+// to the sequential path for 1, 2, and 8 threads — down to the decoded sum
+// and the overflow accounting.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "mechanisms/baseline_mechanisms.h"
+#include "mechanisms/dgm_mechanism.h"
+#include "mechanisms/distributed_mechanism.h"
+#include "mechanisms/smm_mechanism.h"
+#include "secagg/secure_aggregator.h"
+
+namespace smm::mechanisms {
+namespace {
+
+constexpr size_t kDim = 64;
+constexpr size_t kNumParticipants = 12;
+constexpr uint64_t kStreamSeed = 4242;
+
+std::vector<std::vector<double>> MakeInputs() {
+  RandomGenerator rng(99);
+  std::vector<std::vector<double>> inputs(kNumParticipants,
+                                          std::vector<double>(kDim));
+  for (auto& x : inputs) {
+    for (auto& v : x) v = rng.Gaussian(0.0, 0.05);
+  }
+  return inputs;
+}
+
+struct NamedMechanism {
+  std::string name;
+  std::unique_ptr<DistributedSumMechanism> mechanism;
+};
+
+std::vector<NamedMechanism> MakeAllMechanisms(sampling::SamplerMode mode) {
+  std::vector<NamedMechanism> out;
+  {
+    SmmMechanism::Options o;
+    o.dim = kDim;
+    o.gamma = 16.0;
+    o.c = 256.0;
+    o.delta_inf = 8.0;
+    o.lambda = 1.5;
+    o.modulus = 1 << 12;
+    o.rotation_seed = 7;
+    o.sampler_mode = mode;
+    out.push_back({"SMM", SmmMechanism::Create(o).value()});
+  }
+  {
+    DgmMechanism::Options o;
+    o.dim = kDim;
+    o.gamma = 16.0;
+    o.c = 256.0;
+    o.delta_inf = 8.0;
+    o.sigma = 1.5;
+    o.modulus = 1 << 12;
+    o.rotation_seed = 7;
+    o.sampler_mode = mode;
+    out.push_back({"DGM", DgmMechanism::Create(o).value()});
+  }
+  {
+    DdgMechanism::Options o;
+    o.dim = kDim;
+    o.gamma = 16.0;
+    o.l2_bound = 1.0;
+    o.sigma = 1.5;
+    o.modulus = 1 << 12;
+    o.rotation_seed = 7;
+    o.sampler_mode = mode;
+    out.push_back({"DDG", DdgMechanism::Create(o).value()});
+  }
+  {
+    AgarwalSkellamMechanism::Options o;
+    o.dim = kDim;
+    o.gamma = 16.0;
+    o.l2_bound = 1.0;
+    o.lambda = 1.5;
+    o.modulus = 1 << 12;
+    o.rotation_seed = 7;
+    o.sampler_mode = mode;
+    out.push_back({"Skellam", AgarwalSkellamMechanism::Create(o).value()});
+  }
+  if (mode == sampling::SamplerMode::kApproximate) {
+    // cpSGD has no exact-sampler variant.
+    CpSgdMechanism::Options o;
+    o.dim = kDim;
+    o.gamma = 16.0;
+    o.l2_bound = 1.0;
+    o.binomial_trials = 128;
+    o.modulus = 1 << 12;
+    o.rotation_seed = 7;
+    out.push_back({"cpSGD", CpSgdMechanism::Create(o).value()});
+  }
+  return out;
+}
+
+/// Encodes all inputs with fresh jump-ahead streams (always derived the same
+/// way) through EncodeBatchParallel, returning the encodings and the
+/// overflow count the run added.
+struct EncodeRun {
+  std::vector<std::vector<uint64_t>> encoded;
+  int64_t overflows = 0;
+};
+
+EncodeRun RunEncode(DistributedSumMechanism& mechanism,
+                    const std::vector<std::vector<double>>& inputs,
+                    ThreadPool* pool) {
+  RandomGenerator rng(kStreamSeed);
+  std::vector<RandomGenerator> streams =
+      MakeParticipantStreams(rng, inputs.size());
+  mechanism.ResetOverflowCount();
+  EncodeRun run;
+  run.encoded =
+      EncodeBatchParallel(mechanism, inputs, streams, pool).value();
+  run.overflows = mechanism.overflow_count();
+  return run;
+}
+
+TEST(EncodeBatchDeterminismTest, OverrideMatchesFallbackBitForBit) {
+  const auto inputs = MakeInputs();
+  for (auto mode : {sampling::SamplerMode::kApproximate,
+                    sampling::SamplerMode::kExact}) {
+    for (auto& named : MakeAllMechanisms(mode)) {
+      // Fallback: the base-class EncodeBatch, which loops EncodeParticipant.
+      RandomGenerator rng(kStreamSeed);
+      std::vector<RandomGenerator> streams =
+          MakeParticipantStreams(rng, inputs.size());
+      std::vector<std::vector<uint64_t>> fallback(inputs.size());
+      EncodeWorkspace workspace;
+      ASSERT_TRUE(named.mechanism
+                      ->DistributedSumMechanism::EncodeBatch(
+                          inputs, 0, inputs.size(), streams.data(), workspace,
+                          &fallback)
+                      .ok())
+          << named.name;
+      const int64_t fallback_overflows = named.mechanism->overflow_count();
+
+      named.mechanism->ResetOverflowCount();
+      const EncodeRun batched =
+          RunEncode(*named.mechanism, inputs, /*pool=*/nullptr);
+      EXPECT_EQ(fallback, batched.encoded) << named.name;
+      EXPECT_EQ(fallback_overflows, batched.overflows) << named.name;
+    }
+  }
+}
+
+TEST(EncodeBatchDeterminismTest, ParallelMatchesSequentialAtEveryThreadCount) {
+  const auto inputs = MakeInputs();
+  for (auto mode : {sampling::SamplerMode::kApproximate,
+                    sampling::SamplerMode::kExact}) {
+    for (auto& named : MakeAllMechanisms(mode)) {
+      const EncodeRun sequential =
+          RunEncode(*named.mechanism, inputs, /*pool=*/nullptr);
+      for (int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        const EncodeRun parallel =
+            RunEncode(*named.mechanism, inputs, &pool);
+        EXPECT_EQ(sequential.encoded, parallel.encoded)
+            << named.name << " at " << threads << " threads";
+        EXPECT_EQ(sequential.overflows, parallel.overflows)
+            << named.name << " at " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(EncodeBatchDeterminismTest, DecodedSumIsThreadCountInvariant) {
+  const auto inputs = MakeInputs();
+  secagg::IdealAggregator aggregator;
+  for (auto& named :
+       MakeAllMechanisms(sampling::SamplerMode::kApproximate)) {
+    RandomGenerator seq_rng(kStreamSeed);
+    const std::vector<double> sequential =
+        RunDistributedSum(*named.mechanism, aggregator, inputs, seq_rng)
+            .value();
+    for (int threads : {1, 2, 8}) {
+      ThreadPool pool(threads);
+      RandomGenerator par_rng(kStreamSeed);
+      const std::vector<double> parallel =
+          RunDistributedSum(*named.mechanism, aggregator, inputs, par_rng,
+                            &pool)
+              .value();
+      ASSERT_EQ(sequential.size(), parallel.size()) << named.name;
+      for (size_t j = 0; j < sequential.size(); ++j) {
+        EXPECT_EQ(sequential[j], parallel[j])
+            << named.name << " coord " << j << " at " << threads
+            << " threads";
+      }
+    }
+  }
+}
+
+TEST(EncodeBatchDeterminismTest, ShardedAggregationMatchesSequential) {
+  RandomGenerator rng(5);
+  constexpr uint64_t kModulus = 1 << 16;
+  std::vector<std::vector<uint64_t>> inputs(
+      37, std::vector<uint64_t>(kDim));
+  for (auto& row : inputs) {
+    for (auto& v : row) v = rng.UniformUint64(kModulus);
+  }
+  secagg::IdealAggregator aggregator;
+  const std::vector<uint64_t> sequential =
+      aggregator.Aggregate(inputs, kModulus).value();
+  for (int threads : {2, 5, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(sequential,
+              aggregator.AggregateParallel(inputs, kModulus, &pool).value())
+        << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace smm::mechanisms

@@ -1,0 +1,91 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace smm {
+namespace {
+
+TEST(StaticChunkBoundsTest, SplitsEvenlyWithRemainderUpFront) {
+  const std::vector<size_t> bounds = StaticChunkBounds(10, 3);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_EQ(bounds[0], 0u);
+  EXPECT_EQ(bounds[1], 4u);  // First chunk takes the remainder item.
+  EXPECT_EQ(bounds[2], 7u);
+  EXPECT_EQ(bounds[3], 10u);
+}
+
+TEST(StaticChunkBoundsTest, NeverProducesEmptyChunks) {
+  const std::vector<size_t> bounds = StaticChunkBounds(2, 8);
+  ASSERT_EQ(bounds.size(), 3u);  // min(n, max_chunks) chunks.
+  EXPECT_EQ(bounds[2], 2u);
+}
+
+TEST(StaticChunkBoundsTest, HandlesZeroAndClampsChunks) {
+  EXPECT_EQ(StaticChunkBounds(0, 4), std::vector<size_t>{0});
+  const std::vector<size_t> bounds = StaticChunkBounds(5, 0);  // Clamped to 1.
+  ASSERT_EQ(bounds.size(), 2u);
+  EXPECT_EQ(bounds[1], 5u);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> visits(kN);
+    for (auto& v : visits) v.store(0);
+    pool.ParallelFor(kN, [&](int chunk, size_t begin, size_t end) {
+      EXPECT_GE(chunk, 0);
+      EXPECT_LT(chunk, threads);
+      for (size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, [&](int, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SmallRangeUsesFewerChunksThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(3, [&](int chunk, size_t begin, size_t end) {
+    calls.fetch_add(1);
+    EXPECT_LT(chunk, 3);
+    EXPECT_EQ(end, begin + 1);
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossManyLoops) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int iter = 0; iter < 50; ++iter) {
+    pool.ParallelFor(97, [&](int, size_t begin, size_t end) {
+      total.fetch_add(static_cast<long>(end - begin));
+    });
+  }
+  EXPECT_EQ(total.load(), 50 * 97);
+}
+
+TEST(ThreadPoolTest, NonPositiveThreadCountClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(5, [&](int, size_t begin, size_t end) {
+    sum.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(sum.load(), 5);
+}
+
+}  // namespace
+}  // namespace smm

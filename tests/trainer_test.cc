@@ -180,6 +180,49 @@ TEST(FederatedTrainerTest, CpSgdCalibratesToHugeNoise) {
   EXPECT_GT(result->noise_parameter, 1e4);
 }
 
+TEST(FederatedTrainerTest, TrainingIsThreadCountInvariant) {
+  // The parallel round pipeline (gradients, batched encode, sharded
+  // aggregation) must reproduce the single-threaded run bit for bit: same
+  // history, same final model parameters.
+  auto task = SmallTask();
+  FlConfig base = FastConfig(MechanismKind::kSmm);
+  base.rounds = 15;
+  base.eval_every = 5;
+
+  base.num_threads = 1;
+  auto reference =
+      FederatedTrainer::Create(SmallModel(), task.train, task.test, base);
+  ASSERT_TRUE(reference.ok());
+  auto reference_result = (*reference)->Train();
+  ASSERT_TRUE(reference_result.ok());
+
+  for (int threads : {2, 8}) {
+    FlConfig c = base;
+    c.num_threads = threads;
+    auto trainer =
+        FederatedTrainer::Create(SmallModel(), task.train, task.test, c);
+    ASSERT_TRUE(trainer.ok()) << threads << " threads";
+    auto result = (*trainer)->Train();
+    ASSERT_TRUE(result.ok()) << threads << " threads";
+    EXPECT_EQ(result->total_overflows, reference_result->total_overflows);
+    ASSERT_EQ(result->history.size(), reference_result->history.size());
+    for (size_t i = 0; i < result->history.size(); ++i) {
+      EXPECT_EQ(result->history[i].train_loss,
+                reference_result->history[i].train_loss)
+          << threads << " threads, record " << i;
+      EXPECT_EQ(result->history[i].test_accuracy,
+                reference_result->history[i].test_accuracy);
+    }
+    const auto& ref_params = (*reference)->model().parameters();
+    const auto& params = (*trainer)->model().parameters();
+    ASSERT_EQ(params.size(), ref_params.size());
+    for (size_t j = 0; j < params.size(); ++j) {
+      EXPECT_EQ(params[j], ref_params[j])
+          << threads << " threads, parameter " << j;
+    }
+  }
+}
+
 TEST(FederatedTrainerTest, MechanismNamesAreStable) {
   EXPECT_STREQ(MechanismKindName(MechanismKind::kSmm), "SMM");
   EXPECT_STREQ(MechanismKindName(MechanismKind::kDdg), "DDG");
