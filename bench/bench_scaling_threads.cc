@@ -1,17 +1,23 @@
-// Thread-scaling benchmark for the batched encode pipeline: encodes a fixed
-// participant batch through EncodeBatchParallel at 1/2/4/8 threads and
-// reports throughput in encoded coordinates per second, plus the speedup
-// over the single-threaded run.
+// Thread-scaling benchmark for the parallel aggregation pipeline. Three
+// sections, each timed at 1/2/4/8 threads with a bit-identity cross-check
+// against the single-threaded run:
 //
-// Expected shape: near-linear scaling up to the physical core count (the
-// per-participant encodes are independent and allocation-free), then flat.
-// The target regime of the ISSUE: >= 2.5x at 4 threads for SmmMechanism at
-// dim 2^14 on hardware with >= 4 cores. The harness also cross-checks that
-// every thread count produced bit-identical encodings — the determinism
-// contract of the jump-ahead streams.
+//   encode        EncodeBatchParallel for SMM and DDG (the PR 1 hot path,
+//                 now with the tiled batched-rotation pre-pass);
+//   rotation      the batched Walsh-Hadamard transform on its own;
+//   masked_secagg a full Bonawitz-style round — parallel pairwise masking
+//                 across survivors plus UnmaskSum with dropouts.
+//
+// Expected shape: near-linear scaling up to the physical core count, then
+// flat. Each section ends with a `SPEEDUP_SUMMARY` line (grepped by CI), and
+// `--json <path>` writes the raw numbers as a JSON artifact so the per-PR
+// perf trajectory is machine-readable.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -20,11 +26,98 @@
 #include "mechanisms/baseline_mechanisms.h"
 #include "mechanisms/distributed_mechanism.h"
 #include "mechanisms/smm_mechanism.h"
+#include "secagg/secure_aggregator.h"
+#include "transform/walsh_hadamard.h"
 
 namespace smm::bench {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+/// Raw numbers of one benchmark section, for the table, the summary line,
+/// and the JSON artifact.
+struct Section {
+  std::string name;
+  size_t dim = 0;
+  size_t participants = 0;
+  std::vector<int> threads;
+  std::vector<double> best_seconds;
+  bool deterministic = true;
+
+  double speedup(size_t idx) const {
+    return best_seconds[0] / best_seconds[idx];
+  }
+};
+
+std::vector<Section> g_sections;
+
+const char* ParseJsonPath(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+void PrintSection(const Section& section, double work_items) {
+  std::vector<std::string> throughput_cells;
+  std::vector<std::string> speedup_cells;
+  for (size_t t = 0; t < section.best_seconds.size(); ++t) {
+    throughput_cells.push_back(
+        FormatSci(work_items / section.best_seconds[t]));
+    speedup_cells.push_back(FormatSci(section.speedup(t)));
+  }
+  PrintRow("  items/sec", throughput_cells, 14, 12);
+  PrintRow("  speedup", speedup_cells, 14, 12);
+  std::printf("  thread-count invariance: %s\n",
+              section.deterministic ? "bit-identical" : "MISMATCH (bug!)");
+  std::printf("SPEEDUP_SUMMARY section=%s dim=%zu participants=%zu "
+              "speedup_8t=%.2fx\n",
+              section.name.c_str(), section.dim, section.participants,
+              section.speedup(section.best_seconds.size() - 1));
+  // A determinism violation must fail the harness (and the CI smoke run).
+  if (!section.deterministic) std::exit(1);
+}
+
+void WriteJson(const char* path, Scale scale) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("cannot open %s for the JSON report\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_scaling_threads\",\n");
+  std::fprintf(f, "  \"scale\": \"%s\",\n",
+               scale == Scale::kFast ? "fast"
+               : scale == Scale::kFull ? "full" : "default");
+  std::fprintf(f, "  \"hardware_threads\": %d,\n",
+               ThreadPool::HardwareThreads());
+  std::fprintf(f, "  \"sections\": [\n");
+  for (size_t s = 0; s < g_sections.size(); ++s) {
+    const Section& section = g_sections[s];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"dim\": %zu, \"participants\": "
+                 "%zu,\n     \"threads\": [",
+                 section.name.c_str(), section.dim, section.participants);
+    for (size_t t = 0; t < section.threads.size(); ++t) {
+      std::fprintf(f, "%s%d", t == 0 ? "" : ", ", section.threads[t]);
+    }
+    std::fprintf(f, "],\n     \"seconds\": [");
+    for (size_t t = 0; t < section.best_seconds.size(); ++t) {
+      std::fprintf(f, "%s%.6e", t == 0 ? "" : ", ", section.best_seconds[t]);
+    }
+    std::fprintf(f, "],\n     \"speedup\": [");
+    for (size_t t = 0; t < section.best_seconds.size(); ++t) {
+      std::fprintf(f, "%s%.3f", t == 0 ? "" : ", ", section.speedup(t));
+    }
+    std::fprintf(f, "],\n     \"bit_identical\": %s}%s\n",
+                 section.deterministic ? "true" : "false",
+                 s + 1 < g_sections.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote JSON report to %s\n", path);
+}
 
 std::vector<std::vector<double>> MakeInputs(size_t n, size_t dim) {
   RandomGenerator rng(17);
@@ -34,6 +127,10 @@ std::vector<std::vector<double>> MakeInputs(size_t n, size_t dim) {
   }
   return inputs;
 }
+
+// ---------------------------------------------------------------------------
+// Section 1: the batched encode pipeline.
+// ---------------------------------------------------------------------------
 
 /// Encodes the batch `repeats` times at the given thread count and returns
 /// the best wall time plus the last repeat's encodings. ok is false (and the
@@ -73,21 +170,19 @@ EncodeTiming TimeEncode(mechanisms::DistributedSumMechanism& mechanism,
   return timing;
 }
 
-void RunMechanism(const char* name,
-                  mechanisms::DistributedSumMechanism& mechanism,
-                  const std::vector<std::vector<double>>& inputs,
-                  int repeats) {
-  const double coords = static_cast<double>(inputs.size()) *
-                        static_cast<double>(mechanism.dim());
+void RunEncodeSection(const char* name,
+                      mechanisms::DistributedSumMechanism& mechanism,
+                      const std::vector<std::vector<double>>& inputs,
+                      int repeats) {
+  Section section;
+  section.name = name;
+  section.dim = mechanism.dim();
+  section.participants = inputs.size();
   std::printf("%s: dim=%zu, participants=%zu\n", name, mechanism.dim(),
               inputs.size());
   PrintRow("  threads", {"1", "2", "4", "8"}, 14, 12);
-  std::vector<std::string> throughput_cells;
-  std::vector<std::string> speedup_cells;
-  double base_seconds = 0.0;
   std::vector<std::vector<uint64_t>> reference;
-  bool deterministic = true;
-  for (int threads : {1, 2, 4, 8}) {
+  for (int threads : kThreadCounts) {
     const EncodeTiming timing =
         TimeEncode(mechanism, inputs, threads, repeats);
     if (!timing.ok) {
@@ -96,29 +191,159 @@ void RunMechanism(const char* name,
       std::exit(1);
     }
     if (threads == 1) {
-      base_seconds = timing.best_seconds;
       reference = timing.encoded;
     } else if (timing.encoded != reference) {
-      deterministic = false;
+      section.deterministic = false;
     }
-    throughput_cells.push_back(FormatSci(coords / timing.best_seconds));
-    speedup_cells.push_back(FormatSci(base_seconds / timing.best_seconds));
+    section.threads.push_back(threads);
+    section.best_seconds.push_back(timing.best_seconds);
   }
-  PrintRow("  coords/sec", throughput_cells, 14, 12);
-  PrintRow("  speedup", speedup_cells, 14, 12);
-  std::printf("  thread-count invariance: %s\n",
-              deterministic ? "bit-identical" : "MISMATCH (bug!)");
-  // A determinism violation must fail the harness (and the CI smoke run).
-  if (!deterministic) std::exit(1);
+  const double coords = static_cast<double>(inputs.size()) *
+                        static_cast<double>(mechanism.dim());
+  PrintSection(section, coords);
+  g_sections.push_back(std::move(section));
 }
 
-void Run(Scale scale) {
+// ---------------------------------------------------------------------------
+// Section 2: the batched Walsh-Hadamard rotation kernel on its own.
+// ---------------------------------------------------------------------------
+
+void RunRotationSection(size_t batch, size_t dim, int repeats) {
+  RandomGenerator rng(29);
+  std::vector<double> original(batch * dim);
+  for (double& v : original) v = rng.Gaussian(0.0, 1.0);
+
+  Section section;
+  section.name = "rotation_batch";
+  section.dim = dim;
+  section.participants = batch;
+  std::printf("FastWalshHadamardBatch: dim=%zu, batch=%zu\n", dim, batch);
+  PrintRow("  threads", {"1", "2", "4", "8"}, 14, 12);
+  std::vector<double> reference;
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    double best_seconds = 1e300;
+    std::vector<double> data;
+    for (int r = 0; r < repeats; ++r) {
+      data = original;
+      const auto start = Clock::now();
+      auto status = transform::FastWalshHadamardBatch(data.data(), batch,
+                                                      dim, &pool);
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (!status.ok()) {
+        std::printf("rotation failed: %s\n", status.ToString().c_str());
+        std::exit(1);
+      }
+      if (seconds < best_seconds) best_seconds = seconds;
+    }
+    if (threads == 1) {
+      reference = data;
+    } else if (data != reference) {
+      section.deterministic = false;
+    }
+    section.threads.push_back(threads);
+    section.best_seconds.push_back(best_seconds);
+  }
+  PrintSection(section, static_cast<double>(batch * dim));
+  g_sections.push_back(std::move(section));
+}
+
+// ---------------------------------------------------------------------------
+// Section 3: the full masked-secagg round (Bonawitz-style) with dropouts.
+// ---------------------------------------------------------------------------
+
+void RunMaskedSecaggSection(int participants, size_t dim, int repeats) {
+  secagg::MaskedAggregator::Options options;
+  options.num_participants = participants;
+  options.threshold = participants / 2;
+  options.session_seed = 77;
+  auto aggregator = secagg::MaskedAggregator::Create(options);
+  if (!aggregator.ok()) {
+    std::printf("masked aggregator creation failed: %s\n",
+                aggregator.status().ToString().c_str());
+    std::exit(1);
+  }
+  const uint64_t m = 1 << 16;
+  RandomGenerator rng(31);
+  std::vector<std::vector<uint64_t>> inputs(
+      static_cast<size_t>(participants), std::vector<uint64_t>(dim));
+  for (auto& v : inputs) {
+    for (auto& x : v) x = rng.UniformUint64(m);
+  }
+  // The last two participants drop out after masking is configured.
+  std::vector<int> survivors;
+  for (int i = 0; i < participants - 2; ++i) survivors.push_back(i);
+
+  Section section;
+  section.name = "masked_secagg";
+  section.dim = dim;
+  section.participants = static_cast<size_t>(participants);
+  std::printf(
+      "MaskedAggregator round: dim=%zu, participants=%d (2 dropouts)\n", dim,
+      participants);
+  PrintRow("  threads", {"1", "2", "4", "8"}, 14, 12);
+  std::vector<uint64_t> reference;
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    double best_seconds = 1e300;
+    std::vector<uint64_t> sum;
+    for (int r = 0; r < repeats; ++r) {
+      const auto start = Clock::now();
+      // Client side: pairwise masking, sharded across survivors.
+      std::vector<std::vector<uint64_t>> masked(survivors.size());
+      std::atomic<bool> failed{false};
+      pool.ParallelFor(survivors.size(), [&](int, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const int p = survivors[i];
+          auto mi = (*aggregator)
+                        ->MaskInput(p, inputs[static_cast<size_t>(p)], m);
+          if (!mi.ok()) {
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+          masked[i] = std::move(*mi);
+        }
+      });
+      // Server side: sum + dropout recovery, sharded on the same pool.
+      auto unmasked = failed.load() ? StatusOr<std::vector<uint64_t>>(
+                                          InternalError("masking failed"))
+                                    : (*aggregator)->UnmaskSum(
+                                          masked, survivors, dim, m, &pool);
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (!unmasked.ok()) {
+        std::printf("masked round failed: %s\n",
+                    unmasked.status().ToString().c_str());
+        std::exit(1);
+      }
+      if (seconds < best_seconds) best_seconds = seconds;
+      sum = std::move(*unmasked);
+    }
+    if (threads == 1) {
+      reference = sum;
+    } else if (sum != reference) {
+      section.deterministic = false;
+    }
+    section.threads.push_back(threads);
+    section.best_seconds.push_back(best_seconds);
+  }
+  // One work item = one masked coordinate contribution (n_surv * n * d mask
+  // draws dominate).
+  const double work = static_cast<double>(survivors.size()) *
+                      static_cast<double>(participants) *
+                      static_cast<double>(dim);
+  PrintSection(section, work);
+  g_sections.push_back(std::move(section));
+}
+
+void Run(Scale scale, const char* json_path) {
   const size_t dim = scale == Scale::kFast ? (1u << 10) : (1u << 14);
   const size_t participants = scale == Scale::kFull ? 64 : 32;
   const int repeats = scale == Scale::kFast ? 2 : 3;
   const auto inputs = MakeInputs(participants, dim);
 
-  std::printf("Encode thread scaling (%s). Hardware threads: %d\n",
+  std::printf("Aggregation thread scaling (%s). Hardware threads: %d\n",
               ScaleName(scale), ThreadPool::HardwareThreads());
   std::printf(
       "Note: speedups > 1 require as many physical cores as threads.\n\n");
@@ -133,7 +358,7 @@ void Run(Scale scale) {
     o.modulus = 1 << 16;
     o.rotation_seed = 99;
     auto mech = mechanisms::SmmMechanism::Create(o).value();
-    RunMechanism("SmmMechanism", *mech, inputs, repeats);
+    RunEncodeSection("encode_smm", *mech, inputs, repeats);
   }
   std::printf("\n");
   {
@@ -145,14 +370,24 @@ void Run(Scale scale) {
     o.modulus = 1 << 16;
     o.rotation_seed = 99;
     auto mech = mechanisms::DdgMechanism::Create(o).value();
-    RunMechanism("DdgMechanism", *mech, inputs, repeats);
+    RunEncodeSection("encode_ddg", *mech, inputs, repeats);
   }
+  std::printf("\n");
+  RunRotationSection(/*batch=*/scale == Scale::kFast ? 64 : 256, dim,
+                     repeats);
+  std::printf("\n");
+  RunMaskedSecaggSection(
+      /*participants=*/scale == Scale::kFast ? 16 : 32,
+      /*dim=*/scale == Scale::kFast ? (1u << 9) : (1u << 11), repeats);
+
+  if (json_path != nullptr) WriteJson(json_path, scale);
 }
 
 }  // namespace
 }  // namespace smm::bench
 
 int main(int argc, char** argv) {
-  smm::bench::Run(smm::bench::ParseScale(argc, argv));
+  smm::bench::Run(smm::bench::ParseScale(argc, argv),
+                  smm::bench::ParseJsonPath(argc, argv));
   return 0;
 }

@@ -337,7 +337,9 @@ StatusOr<TrainingResult> FederatedTrainer::Train() {
       RoundRecord record;
       record.round = round;
       record.train_loss = mean_loss;
-      record.test_accuracy = EvaluateAccuracy();
+      const EvalMetrics metrics = EvaluateMetrics();
+      record.test_accuracy = metrics.accuracy;
+      record.test_loss = metrics.mean_loss;
       result.history.push_back(record);
     }
   }
@@ -351,17 +353,49 @@ StatusOr<TrainingResult> FederatedTrainer::Train() {
 }
 
 double FederatedTrainer::EvaluateAccuracy() const {
-  if (test_.examples.empty()) return 0.0;
+  return EvaluateMetrics().accuracy;
+}
+
+EvalMetrics FederatedTrainer::EvaluateMetrics() const {
+  EvalMetrics metrics;
+  if (test_.examples.empty()) return metrics;
   size_t count = test_.size();
   if (config_.max_eval_examples > 0) {
     count = std::min(count, static_cast<size_t>(config_.max_eval_examples));
   }
-  size_t correct = 0;
-  for (size_t i = 0; i < count; ++i) {
-    const data::Example& e = test_.examples[i];
-    if (model_.Predict(e.features) == e.label) ++correct;
+  // Each example's forward pass only reads the shared model and writes its
+  // own slot, so the example range shards cleanly across the pool. The
+  // reductions below are thread-count invariant: the correct counts are
+  // integers, and the losses are summed in example order.
+  std::vector<double> losses(count, 0.0);
+  std::vector<size_t> correct_per_chunk(
+      pool_ != nullptr ? static_cast<size_t>(pool_->num_threads()) : 1, 0);
+  const auto evaluate_range = [&](size_t begin, size_t end, size_t chunk) {
+    size_t correct = 0;
+    for (size_t i = begin; i < end; ++i) {
+      const data::Example& e = test_.examples[i];
+      const nn::Mlp::PredictionLoss pl =
+          model_.PredictWithLoss(e.features, e.label);
+      if (pl.predicted == e.label) ++correct;
+      losses[i] = pl.loss;
+    }
+    correct_per_chunk[chunk] = correct;
+  };
+  if (pool_ != nullptr && count > 1) {
+    pool_->ParallelFor(count, [&](int chunk, size_t begin, size_t end) {
+      evaluate_range(begin, end, static_cast<size_t>(chunk));
+    });
+  } else {
+    evaluate_range(0, count, 0);
   }
-  return static_cast<double>(correct) / static_cast<double>(count);
+  size_t correct = 0;
+  for (size_t c : correct_per_chunk) correct += c;
+  double loss_sum = 0.0;
+  for (double loss : losses) loss_sum += loss;
+  metrics.accuracy =
+      static_cast<double>(correct) / static_cast<double>(count);
+  metrics.mean_loss = loss_sum / static_cast<double>(count);
+  return metrics;
 }
 
 }  // namespace smm::fl

@@ -22,6 +22,13 @@ struct RoundRecord {
   int round = 0;
   double train_loss = 0.0;
   double test_accuracy = 0.0;
+  double test_loss = 0.0;
+};
+
+/// One evaluation pass over the test set.
+struct EvalMetrics {
+  double accuracy = 0.0;
+  double mean_loss = 0.0;
 };
 
 /// Outcome of one federated training run.
@@ -55,8 +62,16 @@ class FederatedTrainer {
   /// Runs the T training rounds.
   StatusOr<TrainingResult> Train();
 
-  /// Test accuracy of the current model.
+  /// Test accuracy of the current model. Sharded over the trainer's pool
+  /// (result is thread-count invariant); shorthand for
+  /// EvaluateMetrics().accuracy.
   double EvaluateAccuracy() const;
+
+  /// Test accuracy and mean test loss in one pass over the (capped) test
+  /// set. The forward passes shard across the trainer's pool; per-example
+  /// results land in per-example slots and are reduced in example order, so
+  /// both metrics are bit-identical for every thread count.
+  EvalMetrics EvaluateMetrics() const;
 
   const nn::Mlp& model() const { return model_; }
 

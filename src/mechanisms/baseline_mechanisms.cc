@@ -46,56 +46,18 @@ StatusOr<std::unique_ptr<DdgMechanism>> DdgMechanism::Create(
       options, std::move(codec), std::move(sampler), norm_bound));
 }
 
-Status DdgMechanism::EncodeOneInto(const std::vector<double>& x,
-                                   RandomGenerator& rng,
-                                   EncodeWorkspace& workspace,
-                                   int64_t* overflow, int64_t* rejections,
-                                   std::vector<uint64_t>& out) {
-  SMM_RETURN_IF_ERROR(codec_.RotateScaleInto(x, workspace.real));
+Status DdgMechanism::PerturbRotatedInto(RandomGenerator& rng,
+                                        EncodeWorkspace& workspace,
+                                        EncodeCounters& counters) {
   L2Clip(workspace.real, options_.gamma * options_.l2_bound);
   SMM_RETURN_IF_ERROR(ConditionallyRoundInto(
       workspace.real, norm_bound_, options_.max_rounding_retries, rng,
-      rejections, workspace.ints));
+      &counters.rejections, workspace.ints));
   const size_t n = workspace.ints.size();
   workspace.noise.resize(n);
   sampler_.SampleBlock(n, workspace.noise.data(), rng);
   for (size_t j = 0; j < n; ++j) workspace.ints[j] += workspace.noise[j];
-  codec_.WrapInto(workspace.ints, overflow, out);
   return OkStatus();
-}
-
-StatusOr<std::vector<uint64_t>> DdgMechanism::EncodeParticipant(
-    const std::vector<double>& x, RandomGenerator& rng) {
-  EncodeWorkspace workspace;
-  std::vector<uint64_t> out;
-  int64_t overflow = 0;
-  int64_t rejections = 0;
-  SMM_RETURN_IF_ERROR(
-      EncodeOneInto(x, rng, workspace, &overflow, &rejections, out));
-  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
-  rounding_rejections_.fetch_add(rejections, std::memory_order_relaxed);
-  return out;
-}
-
-Status DdgMechanism::EncodeBatch(
-    const std::vector<std::vector<double>>& inputs, size_t begin, size_t end,
-    RandomGenerator* rng_streams, EncodeWorkspace& workspace,
-    std::vector<std::vector<uint64_t>>* out) {
-  int64_t overflow = 0;
-  int64_t rejections = 0;
-  for (size_t i = begin; i < end; ++i) {
-    SMM_RETURN_IF_ERROR(EncodeOneInto(inputs[i], rng_streams[i], workspace,
-                                      &overflow, &rejections, (*out)[i]));
-  }
-  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
-  rounding_rejections_.fetch_add(rejections, std::memory_order_relaxed);
-  return OkStatus();
-}
-
-StatusOr<std::vector<double>> DdgMechanism::DecodeSum(
-    const std::vector<uint64_t>& zm_sum, int num_participants) {
-  (void)num_participants;
-  return codec_.Decode(zm_sum);
 }
 
 // ---------------------------------------------------------------------------
@@ -121,12 +83,10 @@ AgarwalSkellamMechanism::Create(const Options& options) {
       options, std::move(codec), std::move(sampler), norm_bound));
 }
 
-Status AgarwalSkellamMechanism::EncodeOneInto(const std::vector<double>& x,
-                                              RandomGenerator& rng,
-                                              EncodeWorkspace& workspace,
-                                              int64_t* overflow,
-                                              std::vector<uint64_t>& out) {
-  SMM_RETURN_IF_ERROR(codec_.RotateScaleInto(x, workspace.real));
+Status AgarwalSkellamMechanism::PerturbRotatedInto(RandomGenerator& rng,
+                                                   EncodeWorkspace& workspace,
+                                                   EncodeCounters& counters) {
+  (void)counters;  // Rejections are not tracked for this mechanism.
   L2Clip(workspace.real, options_.gamma * options_.l2_bound);
   SMM_RETURN_IF_ERROR(ConditionallyRoundInto(
       workspace.real, norm_bound_, options_.max_rounding_retries, rng,
@@ -135,37 +95,7 @@ Status AgarwalSkellamMechanism::EncodeOneInto(const std::vector<double>& x,
   workspace.noise.resize(n);
   sampler_.SampleBlock(n, workspace.noise.data(), rng);
   for (size_t j = 0; j < n; ++j) workspace.ints[j] += workspace.noise[j];
-  codec_.WrapInto(workspace.ints, overflow, out);
   return OkStatus();
-}
-
-StatusOr<std::vector<uint64_t>> AgarwalSkellamMechanism::EncodeParticipant(
-    const std::vector<double>& x, RandomGenerator& rng) {
-  EncodeWorkspace workspace;
-  std::vector<uint64_t> out;
-  int64_t overflow = 0;
-  SMM_RETURN_IF_ERROR(EncodeOneInto(x, rng, workspace, &overflow, out));
-  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
-  return out;
-}
-
-Status AgarwalSkellamMechanism::EncodeBatch(
-    const std::vector<std::vector<double>>& inputs, size_t begin, size_t end,
-    RandomGenerator* rng_streams, EncodeWorkspace& workspace,
-    std::vector<std::vector<uint64_t>>* out) {
-  int64_t overflow = 0;
-  for (size_t i = begin; i < end; ++i) {
-    SMM_RETURN_IF_ERROR(EncodeOneInto(inputs[i], rng_streams[i], workspace,
-                                      &overflow, (*out)[i]));
-  }
-  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
-  return OkStatus();
-}
-
-StatusOr<std::vector<double>> AgarwalSkellamMechanism::DecodeSum(
-    const std::vector<uint64_t>& zm_sum, int num_participants) {
-  (void)num_participants;
-  return codec_.Decode(zm_sum);
 }
 
 // ---------------------------------------------------------------------------
@@ -187,42 +117,16 @@ StatusOr<std::unique_ptr<CpSgdMechanism>> CpSgdMechanism::Create(
       new CpSgdMechanism(options, std::move(codec), binomial));
 }
 
-Status CpSgdMechanism::EncodeOneInto(const std::vector<double>& x,
-                                     RandomGenerator& rng,
-                                     EncodeWorkspace& workspace,
-                                     int64_t* overflow,
-                                     std::vector<uint64_t>& out) {
-  SMM_RETURN_IF_ERROR(codec_.RotateScaleInto(x, workspace.real));
+Status CpSgdMechanism::PerturbRotatedInto(RandomGenerator& rng,
+                                          EncodeWorkspace& workspace,
+                                          EncodeCounters& counters) {
+  (void)counters;  // cpSGD tracks no events beyond the shared overflow count.
   L2Clip(workspace.real, options_.gamma * options_.l2_bound);
   StochasticRoundInto(workspace.real, rng, workspace.ints);
   const size_t n = workspace.ints.size();
   workspace.noise.resize(n);
   binomial_.SampleBlock(n, workspace.noise.data(), rng);
   for (size_t j = 0; j < n; ++j) workspace.ints[j] += workspace.noise[j];
-  codec_.WrapInto(workspace.ints, overflow, out);
-  return OkStatus();
-}
-
-StatusOr<std::vector<uint64_t>> CpSgdMechanism::EncodeParticipant(
-    const std::vector<double>& x, RandomGenerator& rng) {
-  EncodeWorkspace workspace;
-  std::vector<uint64_t> out;
-  int64_t overflow = 0;
-  SMM_RETURN_IF_ERROR(EncodeOneInto(x, rng, workspace, &overflow, out));
-  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
-  return out;
-}
-
-Status CpSgdMechanism::EncodeBatch(
-    const std::vector<std::vector<double>>& inputs, size_t begin, size_t end,
-    RandomGenerator* rng_streams, EncodeWorkspace& workspace,
-    std::vector<std::vector<uint64_t>>* out) {
-  int64_t overflow = 0;
-  for (size_t i = begin; i < end; ++i) {
-    SMM_RETURN_IF_ERROR(EncodeOneInto(inputs[i], rng_streams[i], workspace,
-                                      &overflow, (*out)[i]));
-  }
-  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
   return OkStatus();
 }
 
@@ -231,10 +135,10 @@ StatusOr<std::vector<double>> CpSgdMechanism::DecodeSum(
   // The centered binomial has mean 0 only when N is even (N/2 integer);
   // for odd N each participant contributes a +1/2 bias before centering,
   // which we remove here.
-  SMM_ASSIGN_OR_RETURN(auto estimate, codec_.Decode(zm_sum));
+  SMM_ASSIGN_OR_RETURN(auto estimate, codec().Decode(zm_sum));
   if (options_.binomial_trials % 2 != 0) {
     const double bias = 0.5 * static_cast<double>(num_participants) /
-                        codec_.gamma();
+                        codec().gamma();
     (void)bias;  // The rotation spreads it; left in place (matches cpSGD).
   }
   return estimate;

@@ -21,7 +21,7 @@ namespace smm::mechanisms {
 /// Distributed Discrete Gaussian (Kairouz et al. 2021): rotate, scale, L2
 /// clip, *conditional* stochastic rounding against the Eq. (6) norm bound,
 /// then per-coordinate discrete Gaussian noise NZ(0, sigma^2).
-class DdgMechanism final : public DistributedSumMechanism {
+class DdgMechanism final : public RotatedModularMechanism {
  public:
   struct Options {
     size_t dim = 0;
@@ -39,26 +39,6 @@ class DdgMechanism final : public DistributedSumMechanism {
   static StatusOr<std::unique_ptr<DdgMechanism>> Create(
       const Options& options);
 
-  StatusOr<std::vector<uint64_t>> EncodeParticipant(
-      const std::vector<double>& x, RandomGenerator& rng) override;
-  /// Batched encode with scratch reuse and block-sampled noise
-  /// (bit-identical to the fallback).
-  Status EncodeBatch(const std::vector<std::vector<double>>& inputs,
-                     size_t begin, size_t end, RandomGenerator* rng_streams,
-                     EncodeWorkspace& workspace,
-                     std::vector<std::vector<uint64_t>>* out) override;
-  StatusOr<std::vector<double>> DecodeSum(const std::vector<uint64_t>& zm_sum,
-                                          int num_participants) override;
-
-  uint64_t modulus() const override { return codec_.modulus(); }
-  size_t dim() const override { return codec_.dim(); }
-  int64_t overflow_count() const override {
-    return overflow_count_.load(std::memory_order_relaxed);
-  }
-  void ResetOverflowCount() override {
-    overflow_count_.store(0, std::memory_order_relaxed);
-  }
-
   /// The Eq. (6) norm bound the rounded vector is conditioned on; also the
   /// L2 sensitivity fed into the accountant.
   double rounded_norm_bound() const { return norm_bound_; }
@@ -66,30 +46,38 @@ class DdgMechanism final : public DistributedSumMechanism {
     return rounding_rejections_.load(std::memory_order_relaxed);
   }
 
+ protected:
+  /// L2 clip, conditional rounding (counting rejections), discrete Gaussian
+  /// noise.
+  Status PerturbRotatedInto(RandomGenerator& rng, EncodeWorkspace& workspace,
+                            EncodeCounters& counters) override;
+
+  /// Publishes the rounding-rejection count on top of the shared overflow
+  /// accounting.
+  void PublishCounters(const EncodeCounters& counters) override {
+    RotatedModularMechanism::PublishCounters(counters);
+    rounding_rejections_.fetch_add(counters.rejections,
+                                   std::memory_order_relaxed);
+  }
+
  private:
   DdgMechanism(Options options, RotationCodec codec,
                sampling::DiscreteGaussianSampler sampler, double norm_bound)
-      : options_(options),
-        codec_(std::move(codec)),
+      : RotatedModularMechanism(std::move(codec)),
+        options_(options),
         sampler_(std::move(sampler)),
         norm_bound_(norm_bound) {}
 
-  Status EncodeOneInto(const std::vector<double>& x, RandomGenerator& rng,
-                       EncodeWorkspace& workspace, int64_t* overflow,
-                       int64_t* rejections, std::vector<uint64_t>& out);
-
   Options options_;
-  RotationCodec codec_;
   sampling::DiscreteGaussianSampler sampler_;
   double norm_bound_;
   /// Atomic so concurrent EncodeBatch shards never lose events.
-  std::atomic<int64_t> overflow_count_{0};
   std::atomic<int64_t> rounding_rejections_{0};
 };
 
 /// The Skellam mechanism of Agarwal et al. 2021: identical pipeline to DDG
 /// (including conditional rounding) with Skellam noise Sk(lambda, lambda).
-class AgarwalSkellamMechanism final : public DistributedSumMechanism {
+class AgarwalSkellamMechanism final : public RotatedModularMechanism {
  public:
   struct Options {
     size_t dim = 0;
@@ -107,51 +95,29 @@ class AgarwalSkellamMechanism final : public DistributedSumMechanism {
   static StatusOr<std::unique_ptr<AgarwalSkellamMechanism>> Create(
       const Options& options);
 
-  StatusOr<std::vector<uint64_t>> EncodeParticipant(
-      const std::vector<double>& x, RandomGenerator& rng) override;
-  /// Batched encode with scratch reuse and block-sampled noise
-  /// (bit-identical to the fallback).
-  Status EncodeBatch(const std::vector<std::vector<double>>& inputs,
-                     size_t begin, size_t end, RandomGenerator* rng_streams,
-                     EncodeWorkspace& workspace,
-                     std::vector<std::vector<uint64_t>>* out) override;
-  StatusOr<std::vector<double>> DecodeSum(const std::vector<uint64_t>& zm_sum,
-                                          int num_participants) override;
-
-  uint64_t modulus() const override { return codec_.modulus(); }
-  size_t dim() const override { return codec_.dim(); }
-  int64_t overflow_count() const override {
-    return overflow_count_.load(std::memory_order_relaxed);
-  }
-  void ResetOverflowCount() override {
-    overflow_count_.store(0, std::memory_order_relaxed);
-  }
-
   double rounded_norm_bound() const { return norm_bound_; }
+
+ protected:
+  /// L2 clip, conditional rounding, Skellam noise.
+  Status PerturbRotatedInto(RandomGenerator& rng, EncodeWorkspace& workspace,
+                            EncodeCounters& counters) override;
 
  private:
   AgarwalSkellamMechanism(Options options, RotationCodec codec,
                           sampling::SkellamSampler sampler, double norm_bound)
-      : options_(options),
-        codec_(std::move(codec)),
+      : RotatedModularMechanism(std::move(codec)),
+        options_(options),
         sampler_(std::move(sampler)),
         norm_bound_(norm_bound) {}
 
-  Status EncodeOneInto(const std::vector<double>& x, RandomGenerator& rng,
-                       EncodeWorkspace& workspace, int64_t* overflow,
-                       std::vector<uint64_t>& out);
-
   Options options_;
-  RotationCodec codec_;
   sampling::SkellamSampler sampler_;
   double norm_bound_;
-  /// Atomic so concurrent EncodeBatch shards never lose wrap-around events.
-  std::atomic<int64_t> overflow_count_{0};
 };
 
 /// cpSGD (Agarwal et al. 2018): rotate, scale, L2 clip, *unconditional*
 /// stochastic rounding, then centered binomial noise Binomial(N, 1/2) - N/2.
-class CpSgdMechanism final : public DistributedSumMechanism {
+class CpSgdMechanism final : public RotatedModularMechanism {
  public:
   struct Options {
     size_t dim = 0;
@@ -166,40 +132,25 @@ class CpSgdMechanism final : public DistributedSumMechanism {
   static StatusOr<std::unique_ptr<CpSgdMechanism>> Create(
       const Options& options);
 
-  StatusOr<std::vector<uint64_t>> EncodeParticipant(
-      const std::vector<double>& x, RandomGenerator& rng) override;
-  /// Batched encode with scratch reuse and block-sampled binomial noise
-  /// (bit-identical to the fallback).
-  Status EncodeBatch(const std::vector<std::vector<double>>& inputs,
-                     size_t begin, size_t end, RandomGenerator* rng_streams,
-                     EncodeWorkspace& workspace,
-                     std::vector<std::vector<uint64_t>>* out) override;
+  /// Decode with the odd-trial bias note of cpSGD (overridden because the
+  /// estimate depends on the participant count).
   StatusOr<std::vector<double>> DecodeSum(const std::vector<uint64_t>& zm_sum,
                                           int num_participants) override;
 
-  uint64_t modulus() const override { return codec_.modulus(); }
-  size_t dim() const override { return codec_.dim(); }
-  int64_t overflow_count() const override {
-    return overflow_count_.load(std::memory_order_relaxed);
-  }
-  void ResetOverflowCount() override {
-    overflow_count_.store(0, std::memory_order_relaxed);
-  }
+ protected:
+  /// L2 clip, unconditional stochastic rounding, centered binomial noise.
+  Status PerturbRotatedInto(RandomGenerator& rng, EncodeWorkspace& workspace,
+                            EncodeCounters& counters) override;
 
  private:
   CpSgdMechanism(Options options, RotationCodec codec,
                  sampling::CenteredBinomialSampler binomial)
-      : options_(options), codec_(std::move(codec)), binomial_(binomial) {}
-
-  Status EncodeOneInto(const std::vector<double>& x, RandomGenerator& rng,
-                       EncodeWorkspace& workspace, int64_t* overflow,
-                       std::vector<uint64_t>& out);
+      : RotatedModularMechanism(std::move(codec)),
+        options_(options),
+        binomial_(binomial) {}
 
   Options options_;
-  RotationCodec codec_;
   sampling::CenteredBinomialSampler binomial_;
-  /// Atomic so concurrent EncodeBatch shards never lose wrap-around events.
-  std::atomic<int64_t> overflow_count_{0};
 };
 
 /// The centralized continuous Gaussian baseline ("a strong baseline",

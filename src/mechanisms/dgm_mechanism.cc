@@ -63,46 +63,14 @@ StatusOr<std::unique_ptr<DgmMechanism>> DgmMechanism::Create(
       new DgmMechanism(options, std::move(codec), std::move(noiser)));
 }
 
-Status DgmMechanism::EncodeOneInto(const std::vector<double>& x,
-                                   RandomGenerator& rng,
-                                   EncodeWorkspace& workspace,
-                                   int64_t* overflow,
-                                   std::vector<uint64_t>& out) {
-  SMM_RETURN_IF_ERROR(codec_.RotateScaleInto(x, workspace.real));
+Status DgmMechanism::PerturbRotatedInto(RandomGenerator& rng,
+                                        EncodeWorkspace& workspace,
+                                        EncodeCounters& counters) {
+  (void)counters;  // DGM tracks no events beyond the shared overflow count.
   SMM_RETURN_IF_ERROR(SmmClip(workspace.real, options_.c, options_.delta_inf));
   noiser_.PerturbVectorInto(workspace.real, rng, workspace.ints,
                             workspace.noise);
-  codec_.WrapInto(workspace.ints, overflow, out);
   return OkStatus();
-}
-
-StatusOr<std::vector<uint64_t>> DgmMechanism::EncodeParticipant(
-    const std::vector<double>& x, RandomGenerator& rng) {
-  EncodeWorkspace workspace;
-  std::vector<uint64_t> out;
-  int64_t overflow = 0;
-  SMM_RETURN_IF_ERROR(EncodeOneInto(x, rng, workspace, &overflow, out));
-  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
-  return out;
-}
-
-Status DgmMechanism::EncodeBatch(
-    const std::vector<std::vector<double>>& inputs, size_t begin, size_t end,
-    RandomGenerator* rng_streams, EncodeWorkspace& workspace,
-    std::vector<std::vector<uint64_t>>* out) {
-  int64_t overflow = 0;
-  for (size_t i = begin; i < end; ++i) {
-    SMM_RETURN_IF_ERROR(EncodeOneInto(inputs[i], rng_streams[i], workspace,
-                                      &overflow, (*out)[i]));
-  }
-  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
-  return OkStatus();
-}
-
-StatusOr<std::vector<double>> DgmMechanism::DecodeSum(
-    const std::vector<uint64_t>& zm_sum, int num_participants) {
-  (void)num_participants;
-  return codec_.Decode(zm_sum);
 }
 
 }  // namespace smm::mechanisms

@@ -1,7 +1,6 @@
 #ifndef SMM_MECHANISMS_DGM_MECHANISM_H_
 #define SMM_MECHANISMS_DGM_MECHANISM_H_
 
-#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -50,7 +49,7 @@ class DiscreteGaussianMixtureNoiser {
 
 /// DGM applied to federated aggregation (Algorithm 14 + Algorithm 6): same
 /// pipeline as SmmMechanism with the noise distribution swapped.
-class DgmMechanism final : public DistributedSumMechanism {
+class DgmMechanism final : public RotatedModularMechanism {
  public:
   struct Options {
     size_t dim = 0;
@@ -67,46 +66,23 @@ class DgmMechanism final : public DistributedSumMechanism {
   static StatusOr<std::unique_ptr<DgmMechanism>> Create(
       const Options& options);
 
-  StatusOr<std::vector<uint64_t>> EncodeParticipant(
-      const std::vector<double>& x, RandomGenerator& rng) override;
-
-  /// Batched Algorithm 14 with scratch reuse (bit-identical to the
-  /// fallback).
-  Status EncodeBatch(const std::vector<std::vector<double>>& inputs,
-                     size_t begin, size_t end, RandomGenerator* rng_streams,
-                     EncodeWorkspace& workspace,
-                     std::vector<std::vector<uint64_t>>* out) override;
-
-  StatusOr<std::vector<double>> DecodeSum(const std::vector<uint64_t>& zm_sum,
-                                          int num_participants) override;
-
-  uint64_t modulus() const override { return codec_.modulus(); }
-  size_t dim() const override { return codec_.dim(); }
-  int64_t overflow_count() const override {
-    return overflow_count_.load(std::memory_order_relaxed);
-  }
-  void ResetOverflowCount() override {
-    overflow_count_.store(0, std::memory_order_relaxed);
-  }
-
   const Options& options() const { return options_; }
+
+ protected:
+  /// The Algorithm 5 clip followed by the discrete-Gaussian mixture
+  /// perturbation of Algorithm 12.
+  Status PerturbRotatedInto(RandomGenerator& rng, EncodeWorkspace& workspace,
+                            EncodeCounters& counters) override;
 
  private:
   DgmMechanism(Options options, RotationCodec codec,
                DiscreteGaussianMixtureNoiser noiser)
-      : options_(options),
-        codec_(std::move(codec)),
+      : RotatedModularMechanism(std::move(codec)),
+        options_(options),
         noiser_(std::move(noiser)) {}
 
-  Status EncodeOneInto(const std::vector<double>& x, RandomGenerator& rng,
-                       EncodeWorkspace& workspace, int64_t* overflow,
-                       std::vector<uint64_t>& out);
-
   Options options_;
-  RotationCodec codec_;
   DiscreteGaussianMixtureNoiser noiser_;
-  /// Atomic so concurrent EncodeBatch shards never lose wrap-around events.
-  std::atomic<int64_t> overflow_count_{0};
 };
 
 }  // namespace smm::mechanisms

@@ -1,6 +1,18 @@
 #include "mechanisms/distributed_mechanism.h"
 
+#include <algorithm>
+
 namespace smm::mechanisms {
+
+namespace {
+
+/// Participants per batched-rotation tile in the shared EncodeBatch: bounds
+/// workspace.batch to kRotationTile * dim doubles per thread while still
+/// amortizing one batched Walsh-Hadamard dispatch over many rows. The tile
+/// size never affects results (rotation consumes no randomness).
+constexpr size_t kRotationTile = 32;
+
+}  // namespace
 
 Status DistributedSumMechanism::EncodeBatch(
     const std::vector<std::vector<double>>& inputs, size_t begin, size_t end,
@@ -12,6 +24,49 @@ Status DistributedSumMechanism::EncodeBatch(
                          EncodeParticipant(inputs[i], rng_streams[i]));
   }
   return OkStatus();
+}
+
+StatusOr<std::vector<uint64_t>> RotatedModularMechanism::EncodeParticipant(
+    const std::vector<double>& x, RandomGenerator& rng) {
+  EncodeWorkspace workspace;
+  EncodeCounters counters;
+  std::vector<uint64_t> out;
+  SMM_RETURN_IF_ERROR(codec_.RotateScaleInto(x, workspace.real));
+  SMM_RETURN_IF_ERROR(PerturbRotatedInto(rng, workspace, counters));
+  codec_.WrapInto(workspace.ints, &counters.overflow, out);
+  PublishCounters(counters);
+  return out;
+}
+
+Status RotatedModularMechanism::EncodeBatch(
+    const std::vector<std::vector<double>>& inputs, size_t begin, size_t end,
+    RandomGenerator* rng_streams, EncodeWorkspace& workspace,
+    std::vector<std::vector<uint64_t>>* out) {
+  const size_t d = codec_.dim();
+  EncodeCounters counters;
+  for (size_t tile = begin; tile < end; tile += kRotationTile) {
+    const size_t tile_end = std::min(end, tile + kRotationTile);
+    // One batched rotate + scale pass over the whole tile. The per-row
+    // result is bit-identical to RotateScaleInto, and rotation draws no
+    // randomness, so tiling never changes the encoding.
+    SMM_RETURN_IF_ERROR(codec_.RotateScaleBatchInto(inputs, tile, tile_end,
+                                                    workspace.batch));
+    for (size_t i = tile; i < tile_end; ++i) {
+      const double* row = workspace.batch.data() + (i - tile) * d;
+      workspace.real.assign(row, row + d);
+      SMM_RETURN_IF_ERROR(PerturbRotatedInto(rng_streams[i], workspace,
+                                             counters));
+      codec_.WrapInto(workspace.ints, &counters.overflow, (*out)[i]);
+    }
+  }
+  PublishCounters(counters);
+  return OkStatus();
+}
+
+StatusOr<std::vector<double>> RotatedModularMechanism::DecodeSum(
+    const std::vector<uint64_t>& zm_sum, int num_participants) {
+  (void)num_participants;  // The default decode is unbiased for any count.
+  return codec_.Decode(zm_sum);
 }
 
 StatusOr<std::vector<std::vector<uint64_t>>> EncodeBatchParallel(

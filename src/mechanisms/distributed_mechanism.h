@@ -1,12 +1,14 @@
 #ifndef SMM_MECHANISMS_DISTRIBUTED_MECHANISM_H_
 #define SMM_MECHANISMS_DISTRIBUTED_MECHANISM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "common/parallel.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "mechanisms/rotation_codec.h"
 #include "secagg/secure_aggregator.h"
 
 namespace smm::mechanisms {
@@ -19,6 +21,15 @@ struct EncodeWorkspace {
   std::vector<double> real;    ///< Rotated/scaled/clipped coordinates.
   std::vector<int64_t> ints;   ///< Rounded/perturbed integer coordinates.
   std::vector<int64_t> noise;  ///< Block-sampled noise draws.
+  std::vector<double> batch;   ///< Row-major batched-rotation tile.
+};
+
+/// Event counters accumulated privately over one encode batch and published
+/// to the mechanism's atomics once per batch, so concurrent shards never
+/// contend on (or lose) events.
+struct EncodeCounters {
+  int64_t overflow = 0;    ///< Coordinates wrapped outside [-m/2, m/2).
+  int64_t rejections = 0;  ///< Conditional-rounding rejected attempts.
 };
 
 /// A distributed-DP mechanism for the sum estimation problem of Section 3.1,
@@ -69,6 +80,70 @@ class DistributedSumMechanism {
   /// that destroy utility at small bitwidths (Section 6.2).
   virtual int64_t overflow_count() const { return 0; }
   virtual void ResetOverflowCount() {}
+};
+
+/// The shared scaffold of all five integer mechanisms: every one rotates and
+/// scales through a RotationCodec, applies a mechanism-specific
+/// clip/round/perturb step, and reduces into Z_m. This base folds the
+/// formerly quintuplicated EncodeParticipant / EncodeBatch / DecodeSum /
+/// overflow-accounting bodies into one place; concrete mechanisms implement
+/// only PerturbRotatedInto (the middle of the pipeline).
+///
+/// EncodeBatch rotates the shard through RotationCodec::RotateScaleBatchInto
+/// in cache-bounded tiles, so one batched Walsh-Hadamard pass covers many
+/// participants; the scalar EncodeParticipant path performs the identical
+/// arithmetic one row at a time, keeping the two bit-identical.
+class RotatedModularMechanism : public DistributedSumMechanism {
+ public:
+  StatusOr<std::vector<uint64_t>> EncodeParticipant(
+      const std::vector<double>& x, RandomGenerator& rng) override;
+
+  Status EncodeBatch(const std::vector<std::vector<double>>& inputs,
+                     size_t begin, size_t end, RandomGenerator* rng_streams,
+                     EncodeWorkspace& workspace,
+                     std::vector<std::vector<uint64_t>>* out) override;
+
+  /// Centered unwrap, inverse rotation, rescale (Algorithm 6). Mechanisms
+  /// whose estimate depends on the participant count override this.
+  StatusOr<std::vector<double>> DecodeSum(const std::vector<uint64_t>& zm_sum,
+                                          int num_participants) override;
+
+  uint64_t modulus() const override { return codec_.modulus(); }
+  size_t dim() const override { return codec_.dim(); }
+  int64_t overflow_count() const override {
+    return overflow_count_.load(std::memory_order_relaxed);
+  }
+  void ResetOverflowCount() override {
+    overflow_count_.store(0, std::memory_order_relaxed);
+  }
+
+ protected:
+  explicit RotatedModularMechanism(RotationCodec codec)
+      : codec_(std::move(codec)) {}
+
+  /// The mechanism-specific middle of the encode pipeline. On entry
+  /// workspace.real holds the rotated + scaled coordinates; implementations
+  /// clip/round/perturb them into workspace.ints, drawing randomness only
+  /// from `rng` (so any partition of participants across threads is
+  /// bit-identical) and adding events to `counters` instead of touching
+  /// shared state.
+  virtual Status PerturbRotatedInto(RandomGenerator& rng,
+                                    EncodeWorkspace& workspace,
+                                    EncodeCounters& counters) = 0;
+
+  /// Publishes one batch's counters to the shared atomics. The default
+  /// publishes counters.overflow; mechanisms tracking more (e.g. rounding
+  /// rejections) extend it.
+  virtual void PublishCounters(const EncodeCounters& counters) {
+    overflow_count_.fetch_add(counters.overflow, std::memory_order_relaxed);
+  }
+
+  const RotationCodec& codec() const { return codec_; }
+
+ private:
+  RotationCodec codec_;
+  /// Atomic so concurrent EncodeBatch shards never lose wrap-around events.
+  std::atomic<int64_t> overflow_count_{0};
 };
 
 /// Encodes all inputs through the batch API, sharding participants across

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "transform/random_rotation.h"
 
@@ -35,6 +36,16 @@ class RotationCodec {
   /// reusing its capacity. x and g must not alias.
   Status RotateScaleInto(const std::vector<double>& x,
                          std::vector<double>& g) const;
+
+  /// Batched RotateScale: rotates and scales rows inputs[begin..end) into
+  /// `flat` (row-major, (end - begin) x dim(), resized as needed) with one
+  /// batched Walsh-Hadamard pass, sharding rows across `pool` when given.
+  /// Row r of `flat` is bit-identical to RotateScaleInto(inputs[begin + r])
+  /// for any thread count.
+  Status RotateScaleBatchInto(const std::vector<std::vector<double>>& inputs,
+                              size_t begin, size_t end,
+                              std::vector<double>& flat,
+                              ThreadPool* pool = nullptr) const;
 
   /// Reduces integer values into Z_m, counting coordinates that fall outside
   /// the representable centered range [-m/2, m/2) (irrecoverable wrap-around

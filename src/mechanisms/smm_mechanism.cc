@@ -66,50 +66,16 @@ StatusOr<std::unique_ptr<SmmMechanism>> SmmMechanism::Create(
       new SmmMechanism(options, std::move(codec), std::move(noiser)));
 }
 
-Status SmmMechanism::EncodeOneInto(const std::vector<double>& x,
-                                   RandomGenerator& rng,
-                                   EncodeWorkspace& workspace,
-                                   int64_t* overflow,
-                                   std::vector<uint64_t>& out) {
-  // Lines 1-2 of Algorithm 4: rotate and scale.
-  SMM_RETURN_IF_ERROR(codec_.RotateScaleInto(x, workspace.real));
-  // Line 3: the mixed-sensitivity clip of Algorithm 5.
+Status SmmMechanism::PerturbRotatedInto(RandomGenerator& rng,
+                                        EncodeWorkspace& workspace,
+                                        EncodeCounters& counters) {
+  (void)counters;  // SMM tracks no events beyond the shared overflow count.
+  // Line 3 of Algorithm 4: the mixed-sensitivity clip of Algorithm 5.
   SMM_RETURN_IF_ERROR(SmmClip(workspace.real, options_.c, options_.delta_inf));
   // Lines 4-10: the Skellam mixture perturbation.
   noiser_.PerturbVectorInto(workspace.real, rng, workspace.ints,
                             workspace.noise);
-  // Line 11: reduce into Z_m.
-  codec_.WrapInto(workspace.ints, overflow, out);
   return OkStatus();
-}
-
-StatusOr<std::vector<uint64_t>> SmmMechanism::EncodeParticipant(
-    const std::vector<double>& x, RandomGenerator& rng) {
-  EncodeWorkspace workspace;
-  std::vector<uint64_t> out;
-  int64_t overflow = 0;
-  SMM_RETURN_IF_ERROR(EncodeOneInto(x, rng, workspace, &overflow, out));
-  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
-  return out;
-}
-
-Status SmmMechanism::EncodeBatch(
-    const std::vector<std::vector<double>>& inputs, size_t begin, size_t end,
-    RandomGenerator* rng_streams, EncodeWorkspace& workspace,
-    std::vector<std::vector<uint64_t>>* out) {
-  int64_t overflow = 0;
-  for (size_t i = begin; i < end; ++i) {
-    SMM_RETURN_IF_ERROR(EncodeOneInto(inputs[i], rng_streams[i], workspace,
-                                      &overflow, (*out)[i]));
-  }
-  overflow_count_.fetch_add(overflow, std::memory_order_relaxed);
-  return OkStatus();
-}
-
-StatusOr<std::vector<double>> SmmMechanism::DecodeSum(
-    const std::vector<uint64_t>& zm_sum, int num_participants) {
-  (void)num_participants;  // SMM's estimate is unbiased for any count.
-  return codec_.Decode(zm_sum);
 }
 
 }  // namespace smm::mechanisms

@@ -1,7 +1,6 @@
 #ifndef SMM_MECHANISMS_SMM_MECHANISM_H_
 #define SMM_MECHANISMS_SMM_MECHANISM_H_
 
-#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -53,8 +52,10 @@ class SkellamMixtureNoiser {
 /// The full Skellam Mixture Mechanism for federated/distributed aggregation
 /// (Algorithms 4 and 6): random rotation, scaling by gamma, the
 /// mixed-sensitivity clipping of Algorithm 5, mixture-Skellam perturbation,
-/// and reduction into Z_m; plus the server-side decoding.
-class SmmMechanism final : public DistributedSumMechanism {
+/// and reduction into Z_m; plus the server-side decoding. Rotation, wrap,
+/// decode, and the batched encode loop live in RotatedModularMechanism; this
+/// class contributes only the Algorithm 5 clip + mixture perturbation.
+class SmmMechanism final : public RotatedModularMechanism {
  public:
   struct Options {
     size_t dim = 0;           ///< Power-of-two dimension.
@@ -71,50 +72,23 @@ class SmmMechanism final : public DistributedSumMechanism {
   static StatusOr<std::unique_ptr<SmmMechanism>> Create(
       const Options& options);
 
-  /// Algorithm 4.
-  StatusOr<std::vector<uint64_t>> EncodeParticipant(
-      const std::vector<double>& x, RandomGenerator& rng) override;
-
-  /// Batched Algorithm 4 with scratch reuse (bit-identical to the fallback).
-  Status EncodeBatch(const std::vector<std::vector<double>>& inputs,
-                     size_t begin, size_t end, RandomGenerator* rng_streams,
-                     EncodeWorkspace& workspace,
-                     std::vector<std::vector<uint64_t>>* out) override;
-
-  /// Algorithm 6.
-  StatusOr<std::vector<double>> DecodeSum(const std::vector<uint64_t>& zm_sum,
-                                          int num_participants) override;
-
-  uint64_t modulus() const override { return codec_.modulus(); }
-  size_t dim() const override { return codec_.dim(); }
-  int64_t overflow_count() const override {
-    return overflow_count_.load(std::memory_order_relaxed);
-  }
-  void ResetOverflowCount() override {
-    overflow_count_.store(0, std::memory_order_relaxed);
-  }
-
   const Options& options() const { return options_; }
+
+ protected:
+  /// Lines 3-10 of Algorithm 4: the mixed-sensitivity clip of Algorithm 5
+  /// followed by the Skellam mixture perturbation.
+  Status PerturbRotatedInto(RandomGenerator& rng, EncodeWorkspace& workspace,
+                            EncodeCounters& counters) override;
 
  private:
   SmmMechanism(Options options, RotationCodec codec,
                SkellamMixtureNoiser noiser)
-      : options_(options),
-        codec_(std::move(codec)),
+      : RotatedModularMechanism(std::move(codec)),
+        options_(options),
         noiser_(std::move(noiser)) {}
 
-  /// One participant through the fused rotate/clip/perturb/wrap pipeline,
-  /// accumulating wrap-around events into *overflow (callers publish the
-  /// total to overflow_count_ once per batch).
-  Status EncodeOneInto(const std::vector<double>& x, RandomGenerator& rng,
-                       EncodeWorkspace& workspace, int64_t* overflow,
-                       std::vector<uint64_t>& out);
-
   Options options_;
-  RotationCodec codec_;
   SkellamMixtureNoiser noiser_;
-  /// Atomic so concurrent EncodeBatch shards never lose wrap-around events.
-  std::atomic<int64_t> overflow_count_{0};
 };
 
 }  // namespace smm::mechanisms

@@ -148,4 +148,15 @@ int Mlp::Predict(const std::vector<double>& x) const {
       logits.begin(), std::max_element(logits.begin(), logits.end())));
 }
 
+Mlp::PredictionLoss Mlp::PredictWithLoss(const std::vector<double>& x,
+                                         int label) const {
+  const std::vector<double> logits = Forward(x);
+  PredictionLoss result;
+  result.predicted = static_cast<int>(std::distance(
+      logits.begin(), std::max_element(logits.begin(), logits.end())));
+  const std::vector<double> probs = Softmax(logits);
+  result.loss = -std::log(std::max(probs[static_cast<size_t>(label)], 1e-12));
+  return result;
+}
+
 }  // namespace smm::nn

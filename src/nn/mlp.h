@@ -53,6 +53,16 @@ class Mlp {
   /// Argmax class prediction.
   int Predict(const std::vector<double>& x) const;
 
+  /// Argmax prediction and softmax cross-entropy loss from a single forward
+  /// pass — the evaluation hot path (Predict + ComputeLoss would each rerun
+  /// Forward). Bit-identical to calling the two separately.
+  struct PredictionLoss {
+    int predicted = 0;
+    double loss = 0.0;
+  };
+  PredictionLoss PredictWithLoss(const std::vector<double>& x,
+                                 int label) const;
+
   const Options& options() const { return options_; }
 
  private:

@@ -1,11 +1,50 @@
 #include "secagg/secure_aggregator.h"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_set>
+#include <utility>
 
 #include "secagg/modular.h"
 
 namespace smm::secagg {
+
+namespace {
+
+/// The one sharded-reduction scaffold behind every parallel sum in this
+/// file: shards [0, n) across `pool` (nullptr, a 1-thread pool, or n < 2
+/// runs fn inline on `acc`), gives each chunk a zeroed partial accumulator
+/// of acc.size() elements, and reduces the partials into acc mod m in chunk
+/// order, returning the first chunk error. fn(begin, end, acc) must
+/// accumulate mod m. Modular addition commutes, so the result is
+/// bit-identical for any thread count.
+Status ShardedModularAccumulate(
+    ThreadPool* pool, size_t n, uint64_t m, std::vector<uint64_t>& acc,
+    const std::function<Status(size_t, size_t, std::vector<uint64_t>&)>& fn) {
+  if (pool == nullptr || pool->num_threads() == 1 || n < 2) {
+    return fn(0, n, acc);
+  }
+  std::vector<std::vector<uint64_t>> partials(
+      static_cast<size_t>(pool->num_threads()));
+  std::vector<Status> chunk_status(static_cast<size_t>(pool->num_threads()));
+  pool->ParallelFor(n, [&](int chunk, size_t begin, size_t end) {
+    std::vector<uint64_t>& partial = partials[static_cast<size_t>(chunk)];
+    partial.assign(acc.size(), 0);
+    chunk_status[static_cast<size_t>(chunk)] = fn(begin, end, partial);
+  });
+  for (const Status& status : chunk_status) {
+    if (!status.ok()) return status;
+  }
+  for (const auto& partial : partials) {
+    if (partial.empty()) continue;  // Chunk count may be below thread count.
+    for (size_t k = 0; k < acc.size(); ++k) {
+      acc[k] = (acc[k] + partial[k]) % m;
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
 
 StatusOr<std::vector<uint64_t>> IdealAggregator::Aggregate(
     const std::vector<std::vector<uint64_t>>& inputs, uint64_t m) {
@@ -23,33 +62,18 @@ StatusOr<std::vector<uint64_t>> IdealAggregator::AggregateParallel(
       return InvalidArgumentError("input dimension mismatch");
     }
   }
-  if (pool == nullptr || pool->num_threads() == 1 || inputs.size() < 2) {
-    std::vector<uint64_t> sum(dim, 0);
-    for (const auto& input : inputs) {
-      for (size_t j = 0; j < dim; ++j) sum[j] = (sum[j] + input[j] % m) % m;
-    }
-    return sum;
-  }
-  // Per-thread partial sums over contiguous participant shards, reduced
-  // mod m at the end. Modular addition commutes, so the result is identical
-  // to the sequential accumulation for any shard count.
-  std::vector<std::vector<uint64_t>> partials(
-      static_cast<size_t>(pool->num_threads()));
-  pool->ParallelFor(inputs.size(), [&](int chunk, size_t begin, size_t end) {
-    std::vector<uint64_t>& partial = partials[static_cast<size_t>(chunk)];
-    partial.assign(dim, 0);
-    for (size_t i = begin; i < end; ++i) {
-      const std::vector<uint64_t>& input = inputs[i];
-      for (size_t j = 0; j < dim; ++j) {
-        partial[j] = (partial[j] + input[j] % m) % m;
-      }
-    }
-  });
   std::vector<uint64_t> sum(dim, 0);
-  for (const auto& partial : partials) {
-    if (partial.empty()) continue;  // Chunk count may be below thread count.
-    for (size_t j = 0; j < dim; ++j) sum[j] = (sum[j] + partial[j]) % m;
-  }
+  SMM_RETURN_IF_ERROR(ShardedModularAccumulate(
+      pool, inputs.size(), m, sum,
+      [&](size_t begin, size_t end, std::vector<uint64_t>& acc) {
+        for (size_t i = begin; i < end; ++i) {
+          const std::vector<uint64_t>& input = inputs[i];
+          for (size_t j = 0; j < dim; ++j) {
+            acc[j] = (acc[j] + input[j] % m) % m;
+          }
+        }
+        return OkStatus();
+      }));
   return sum;
 }
 
@@ -93,12 +117,14 @@ StatusOr<std::unique_ptr<MaskedAggregator>> MaskedAggregator::Create(
       options, std::move(seeds), std::move(shares)));
 }
 
-std::vector<uint64_t> MaskedAggregator::ExpandMask(uint64_t seed, size_t dim,
-                                                   uint64_t m) {
+void MaskedAggregator::AccumulateMask(uint64_t seed, uint64_t m, int sign,
+                                      std::vector<uint64_t>& acc) {
   RandomGenerator prg(seed);
-  std::vector<uint64_t> mask(dim);
-  for (auto& v : mask) v = prg.UniformUint64(m);
-  return mask;
+  if (sign > 0) {
+    for (auto& v : acc) v = (v + prg.UniformUint64(m)) % m;
+  } else {
+    for (auto& v : acc) v = (v + m - prg.UniformUint64(m)) % m;
+  }
 }
 
 uint64_t MaskedAggregator::PairSeed(int i, int j) const {
@@ -106,7 +132,8 @@ uint64_t MaskedAggregator::PairSeed(int i, int j) const {
 }
 
 StatusOr<std::vector<uint64_t>> MaskedAggregator::MaskInput(
-    int participant, const std::vector<uint64_t>& input, uint64_t m) const {
+    int participant, const std::vector<uint64_t>& input, uint64_t m,
+    ThreadPool* pool) const {
   const int n = options_.num_participants;
   if (participant < 0 || participant >= n) {
     return InvalidArgumentError("participant index out of range");
@@ -115,25 +142,32 @@ StatusOr<std::vector<uint64_t>> MaskedAggregator::MaskInput(
   std::vector<uint64_t> out(input.size());
   for (size_t k = 0; k < input.size(); ++k) out[k] = input[k] % m;
   // Participant i adds +PRG(s_ij) for j > i and -PRG(s_ij) for j < i; the
-  // contributions cancel pairwise in the full sum.
-  for (int j = 0; j < n; ++j) {
-    if (j == participant) continue;
-    const std::vector<uint64_t> mask =
-        ExpandMask(PairSeed(participant, j), input.size(), m);
-    if (j > participant) {
-      for (size_t k = 0; k < out.size(); ++k) out[k] = (out[k] + mask[k]) % m;
-    } else {
-      for (size_t k = 0; k < out.size(); ++k) {
-        out[k] = (out[k] + m - mask[k]) % m;
-      }
+  // contributions cancel pairwise in the full sum. Pair index p enumerates
+  // the n - 1 counterparties in increasing j order.
+  const size_t num_pairs = static_cast<size_t>(n - 1);
+  const auto accumulate_pairs = [&](size_t begin, size_t end,
+                                    std::vector<uint64_t>& acc) {
+    for (size_t p = begin; p < end; ++p) {
+      const int j = static_cast<int>(p) < participant
+                        ? static_cast<int>(p)
+                        : static_cast<int>(p) + 1;
+      AccumulateMask(PairSeed(participant, j), m, j > participant ? 1 : -1,
+                     acc);
     }
-  }
+  };
+  SMM_RETURN_IF_ERROR(ShardedModularAccumulate(
+      pool, num_pairs, m, out,
+      [&](size_t begin, size_t end, std::vector<uint64_t>& acc) {
+        accumulate_pairs(begin, end, acc);
+        return OkStatus();
+      }));
   return out;
 }
 
 StatusOr<std::vector<uint64_t>> MaskedAggregator::UnmaskSum(
     const std::vector<std::vector<uint64_t>>& masked_inputs,
-    const std::vector<int>& survivors, size_t dim, uint64_t m) const {
+    const std::vector<int>& survivors, size_t dim, uint64_t m,
+    ThreadPool* pool) const {
   const int n = options_.num_participants;
   if (masked_inputs.size() != survivors.size()) {
     return InvalidArgumentError("one masked input per survivor required");
@@ -146,42 +180,68 @@ StatusOr<std::vector<uint64_t>> MaskedAggregator::UnmaskSum(
   if (survivor_set.size() != survivors.size()) {
     return InvalidArgumentError("duplicate survivor index");
   }
-  std::vector<uint64_t> sum(dim, 0);
   for (const auto& input : masked_inputs) {
     if (input.size() != dim) {
       return InvalidArgumentError("masked input dimension mismatch");
     }
-    for (size_t k = 0; k < dim; ++k) sum[k] = (sum[k] + input[k]) % m;
   }
-  // Masks between two survivors cancel. For every (survivor, dropped) pair,
-  // reconstruct the pair seed from the survivors' shares and remove the
-  // leftover mask term.
+  // Stage 1: element-wise sum of the masked inputs, sharded over survivors
+  // when a pool is given.
+  std::vector<uint64_t> sum(dim, 0);
+  SMM_RETURN_IF_ERROR(ShardedModularAccumulate(
+      pool, masked_inputs.size(), m, sum,
+      [&](size_t begin, size_t end, std::vector<uint64_t>& acc) {
+        for (size_t i = begin; i < end; ++i) {
+          const std::vector<uint64_t>& input = masked_inputs[i];
+          for (size_t k = 0; k < dim; ++k) acc[k] = (acc[k] + input[k]) % m;
+        }
+        return OkStatus();
+      }));
+
+  // Stage 2: masks between two survivors cancel. For every
+  // (survivor, dropped) pair, reconstruct the pair seed from the survivors'
+  // shares and remove the leftover mask term. The pairs are enumerated up
+  // front and sharded across the pool; each pair's mask comes from its own
+  // PRG stream, so the chunking never changes the result.
+  std::vector<std::pair<int, int>> recovery_pairs;
   for (int i : survivors) {
     for (int j = 0; j < n; ++j) {
       if (j == i || survivor_set.count(j) > 0) continue;
-      // Collect the survivors' shares of the (i, j) pair seed.
+      recovery_pairs.emplace_back(i, j);
+    }
+  }
+  const auto recover_range = [&](size_t begin, size_t end,
+                                 std::vector<uint64_t>& acc) -> Status {
+    std::vector<ShamirShare> collected;
+    collected.reserve(survivors.size());
+    for (size_t p = begin; p < end; ++p) {
+      const auto [i, j] = recovery_pairs[p];
       const auto& pair_shares = shares_[std::min(i, j)][std::max(i, j)];
-      std::vector<ShamirShare> collected;
-      collected.reserve(survivors.size());
+      collected.clear();
       for (int s : survivors) {
         collected.push_back(pair_shares[static_cast<size_t>(s)]);
       }
       SMM_ASSIGN_OR_RETURN(const uint64_t seed,
                            ShamirReconstruct(collected, options_.threshold));
-      const std::vector<uint64_t> mask = ExpandMask(seed, dim, m);
-      if (j > i) {
-        // Survivor i added +mask expecting j to cancel it; subtract.
-        for (size_t k = 0; k < dim; ++k) sum[k] = (sum[k] + m - mask[k]) % m;
-      } else {
-        for (size_t k = 0; k < dim; ++k) sum[k] = (sum[k] + mask[k]) % m;
-      }
+      // Survivor i added +mask for j > i expecting j to cancel it
+      // (subtract); for j < i it added -mask (add back).
+      AccumulateMask(seed, m, j > i ? -1 : 1, acc);
     }
-  }
+    return OkStatus();
+  };
+  SMM_RETURN_IF_ERROR(ShardedModularAccumulate(pool, recovery_pairs.size(),
+                                               m, sum, recover_range));
   return sum;
 }
 
 StatusOr<std::vector<uint64_t>> MaskedAggregator::Aggregate(
     const std::vector<std::vector<uint64_t>>& inputs, uint64_t m) {
+  return AggregateParallel(inputs, m, nullptr);
+}
+
+StatusOr<std::vector<uint64_t>> MaskedAggregator::AggregateParallel(
+    const std::vector<std::vector<uint64_t>>& inputs, uint64_t m,
+    ThreadPool* pool) {
   const int n = options_.num_participants;
   if (static_cast<int>(inputs.size()) != n) {
     return InvalidArgumentError(
@@ -189,17 +249,37 @@ StatusOr<std::vector<uint64_t>> MaskedAggregator::Aggregate(
   }
   if (inputs.empty()) return InvalidArgumentError("no inputs");
   const size_t dim = inputs[0].size();
-  std::vector<std::vector<uint64_t>> masked;
-  masked.reserve(inputs.size());
-  std::vector<int> survivors;
-  survivors.reserve(inputs.size());
-  for (int i = 0; i < n; ++i) {
-    SMM_ASSIGN_OR_RETURN(auto mi, MaskInput(i, inputs[static_cast<size_t>(i)],
-                                            m));
-    masked.push_back(std::move(mi));
-    survivors.push_back(i);
+  std::vector<std::vector<uint64_t>> masked(inputs.size());
+  std::vector<int> survivors(inputs.size());
+  for (int i = 0; i < n; ++i) survivors[static_cast<size_t>(i)] = i;
+  if (pool == nullptr || pool->num_threads() == 1 || n < 2) {
+    for (int i = 0; i < n; ++i) {
+      SMM_ASSIGN_OR_RETURN(masked[static_cast<size_t>(i)],
+                           MaskInput(i, inputs[static_cast<size_t>(i)], m));
+    }
+  } else {
+    // Each participant's masking is independent (it reads only the shared
+    // seed table), so the participant range shards cleanly; the per-pair
+    // PRG streams keep every shard's masks identical to the sequential run.
+    std::vector<Status> chunk_status(
+        static_cast<size_t>(pool->num_threads()));
+    pool->ParallelFor(inputs.size(), [&](int chunk, size_t begin,
+                                         size_t end) {
+      Status& status = chunk_status[static_cast<size_t>(chunk)];
+      for (size_t i = begin; i < end; ++i) {
+        auto mi = MaskInput(static_cast<int>(i), inputs[i], m);
+        if (!mi.ok()) {
+          status = mi.status();
+          return;
+        }
+        masked[i] = std::move(*mi);
+      }
+    });
+    for (const Status& status : chunk_status) {
+      if (!status.ok()) return status;
+    }
   }
-  return UnmaskSum(masked, survivors, dim, m);
+  return UnmaskSum(masked, survivors, dim, m, pool);
 }
 
 }  // namespace smm::secagg

@@ -78,29 +78,51 @@ class MaskedAggregator final : public SecureAggregator {
       const Options& options);
 
   /// Client-side: returns participant i's masked input (input + sum of its
-  /// pairwise masks, mod m).
-  StatusOr<std::vector<uint64_t>> MaskInput(
-      int participant, const std::vector<uint64_t>& input, uint64_t m) const;
+  /// pairwise masks, mod m). When `pool` is given, mask expansion is sharded
+  /// across the participant's n - 1 pairs: every pair mask is expanded from
+  /// its own PRG stream (seeded by the pair seed alone) into a chunk-local
+  /// partial accumulator, and the partials are reduced mod m in chunk order.
+  /// Modular addition commutes, so the result is bit-identical for any
+  /// thread count.
+  StatusOr<std::vector<uint64_t>> MaskInput(int participant,
+                                            const std::vector<uint64_t>& input,
+                                            uint64_t m,
+                                            ThreadPool* pool = nullptr) const;
 
   /// Server-side: sums masked inputs of the `survivors` (indices into the
   /// participant range) and removes the masks that involve dropped
   /// participants by Shamir-reconstructing their pair seeds from the
-  /// survivors' shares. Requires |survivors| >= threshold.
+  /// survivors' shares. Requires |survivors| >= threshold. When `pool` is
+  /// given, both the masked-input sum (sharded over survivors) and the
+  /// dropout recovery (sharded over (survivor, dropped) pairs) run on the
+  /// pool, bit-identically to the sequential path.
   StatusOr<std::vector<uint64_t>> UnmaskSum(
       const std::vector<std::vector<uint64_t>>& masked_inputs,
-      const std::vector<int>& survivors, size_t dim, uint64_t m) const;
+      const std::vector<int>& survivors, size_t dim, uint64_t m,
+      ThreadPool* pool = nullptr) const;
 
   /// SecureAggregator interface: all participants survive.
   StatusOr<std::vector<uint64_t>> Aggregate(
       const std::vector<std::vector<uint64_t>>& inputs, uint64_t m) override;
 
+  /// Parallel full round: masking is sharded across participants (each
+  /// participant's MaskInput is independent) and the unmask sum across
+  /// survivors, so the O(n^2 d) mask expansion — the dominant cost — scales
+  /// with the thread count while staying bit-identical to Aggregate.
+  StatusOr<std::vector<uint64_t>> AggregateParallel(
+      const std::vector<std::vector<uint64_t>>& inputs, uint64_t m,
+      ThreadPool* pool) override;
+
  private:
   MaskedAggregator(Options options, std::vector<std::vector<uint64_t>> seeds,
                    std::vector<std::vector<std::vector<ShamirShare>>> shares);
 
-  /// Expands a pair seed into a mask vector in Z_m^d.
-  static std::vector<uint64_t> ExpandMask(uint64_t seed, size_t dim,
-                                          uint64_t m);
+  /// Accumulates sign * PRG(seed) into acc mod m (sign is +1 or -1),
+  /// without materializing the mask: acc[k] += m +- mask[k] (mod m). Each
+  /// call owns a fresh PRG seeded by the pair seed — the per-pair stream
+  /// that makes sharding over pairs deterministic.
+  static void AccumulateMask(uint64_t seed, uint64_t m, int sign,
+                             std::vector<uint64_t>& acc);
 
   uint64_t PairSeed(int i, int j) const;  // i < j.
 

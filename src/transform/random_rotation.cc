@@ -35,6 +35,39 @@ Status RandomRotation::ApplyInto(const std::vector<double>& x,
   return FastWalshHadamard(y);
 }
 
+Status RandomRotation::ApplyBatchInto(
+    const std::vector<std::vector<double>>& xs, size_t begin, size_t end,
+    std::vector<double>& flat, ThreadPool* pool) const {
+  const size_t d = signs_.size();
+  if (begin > end || end > xs.size()) {
+    return InvalidArgumentError("batch range out of bounds");
+  }
+  for (size_t i = begin; i < end; ++i) {
+    if (xs[i].size() != d) {
+      return InvalidArgumentError("input dimension mismatch");
+    }
+  }
+  const size_t rows = end - begin;
+  flat.resize(rows * d);
+  const auto rotate_rows = [&](size_t row_begin, size_t row_end) {
+    for (size_t r = row_begin; r < row_end; ++r) {
+      const std::vector<double>& x = xs[begin + r];
+      double* row = flat.data() + r * d;
+      for (size_t k = 0; k < d; ++k) row[k] = signs_[k] * x[k];
+      FastWalshHadamardKernel(row, d);
+    }
+  };
+  if (pool == nullptr || pool->num_threads() == 1 || rows < 2) {
+    rotate_rows(0, rows);
+  } else {
+    pool->ParallelFor(rows, [&](int /*chunk*/, size_t row_begin,
+                                size_t row_end) {
+      rotate_rows(row_begin, row_end);
+    });
+  }
+  return OkStatus();
+}
+
 StatusOr<std::vector<double>> RandomRotation::Inverse(
     const std::vector<double>& y) const {
   if (y.size() != signs_.size()) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 
 namespace smm::transform {
@@ -26,6 +27,15 @@ class RandomRotation {
   /// Allocation-free variant of Apply for hot encode loops: writes into y,
   /// reusing its capacity (y is resized to dim()). x and y must not alias.
   Status ApplyInto(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// Batched Apply: rotates rows xs[begin..end) into `flat` (row-major,
+  /// (end - begin) x dim(), resized as needed), sharding rows across `pool`
+  /// when given. Rows are independent and every row goes through the same
+  /// kernel as ApplyInto, so the output is bit-identical to end - begin
+  /// scalar applications for any thread count.
+  Status ApplyBatchInto(const std::vector<std::vector<double>>& xs,
+                        size_t begin, size_t end, std::vector<double>& flat,
+                        ThreadPool* pool = nullptr) const;
 
   /// Applies the inverse x = D_xi H^T y = D_xi H y (H is symmetric).
   StatusOr<std::vector<double>> Inverse(const std::vector<double>& y) const;

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 
 namespace smm::transform {
@@ -13,6 +14,24 @@ namespace smm::transform {
 /// orthogonal (H H = I), so the same call inverts itself. Requires v.size()
 /// to be a power of two.
 Status FastWalshHadamard(std::vector<double>& v);
+
+/// The raw kernel behind FastWalshHadamard: normalized in-place transform of
+/// v[0..d). Precondition (validated by the Status-returning wrappers): d is a
+/// nonzero power of two. The kernel is cache-blocked — the first log2(B)
+/// butterfly stages run block-locally while each block is cache-resident,
+/// with a fused radix-4 first pass — and every butterfly loop is contiguous
+/// so the compiler can auto-vectorize it. Every entry point (scalar, batch,
+/// any thread count) funnels through this one kernel, which keeps results
+/// bit-identical across all of them.
+void FastWalshHadamardKernel(double* v, size_t d);
+
+/// Batched transform: `batch` rows of length d stored contiguously
+/// (row-major) in `data`, each transformed in place. Rows are independent,
+/// so the outer batch dimension is sharded across `pool` when given
+/// (nullptr runs sequentially); results are bit-identical for any thread
+/// count. Requires d to be a nonzero power of two.
+Status FastWalshHadamardBatch(double* data, size_t batch, size_t d,
+                              ThreadPool* pool = nullptr);
 
 /// Returns x zero-padded to the next power of two (identity if already one).
 std::vector<double> PadToPowerOfTwo(const std::vector<double>& x);

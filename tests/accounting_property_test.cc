@@ -122,7 +122,9 @@ TEST(DeltaMonotonicityTest, SmallerDeltaNeedsLargerEpsilon) {
     EXPECT_GT(g->epsilon, 0.0);
     // Smaller delta -> larger epsilon (reading the loop from 1e-3 down).
     EXPECT_TRUE(delta == 1e-3 || g->epsilon > 0.0);
-    if (delta != 1e-3) EXPECT_GT(g->epsilon, prev - 1e300);
+    if (delta != 1e-3) {
+      EXPECT_GT(g->epsilon, prev - 1e300);
+    }
     prev = g->epsilon;
   }
   // Explicit pairwise check.

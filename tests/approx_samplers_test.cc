@@ -66,7 +66,9 @@ TEST_P(ApproxDiscreteGaussianTest, MomentsMatch) {
   const double mean = sum / kN;
   const double var = sum_sq / kN - mean * mean;
   EXPECT_NEAR(mean, 0.0, 5.0 * sigma / std::sqrt(kN) + 0.01);
-  if (sigma >= 1.0) EXPECT_NEAR(var / (sigma * sigma), 1.0, 0.05);
+  if (sigma >= 1.0) {
+    EXPECT_NEAR(var / (sigma * sigma), 1.0, 0.05);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sigmas, ApproxDiscreteGaussianTest,

@@ -81,7 +81,9 @@ TEST(CalibrateBinomialTest, ReachesTarget) {
   // And it should be reasonably tight: halving the trials must exceed it.
   p.total_trials = *trials / 4.0;
   auto eps_half = CpSgdEpsilon(p, 100, 1e-5);
-  if (eps_half.ok()) EXPECT_GT(*eps_half, 3.0);
+  if (eps_half.ok()) {
+    EXPECT_GT(*eps_half, 3.0);
+  }
 }
 
 TEST(CalibrateBinomialTest, HugeSensitivityNeedsHugeNoise) {

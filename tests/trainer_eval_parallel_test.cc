@@ -1,0 +1,105 @@
+// The sharded test-set evaluation must be bit-identical to a serial pass:
+// integer correct-counts and example-order loss reduction make
+// EvaluateMetrics thread-count invariant, and both metrics must match a
+// hand-rolled serial evaluation of the same model.
+#include "fl/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "fl/fl_config.h"
+#include "nn/mlp.h"
+
+namespace smm::fl {
+namespace {
+
+data::SyntheticSplit SmallTask() {
+  data::SyntheticImageOptions o;
+  o.num_train = 200;
+  o.num_test = 333;  // Deliberately not a multiple of any chunk count.
+  o.feature_dim = 16;
+  o.num_classes = 4;
+  o.noise_scale = 0.3;
+  o.seed = 21;
+  return MakeSyntheticImages(o).value();
+}
+
+nn::Mlp SmallModel() {
+  nn::Mlp::Options o;
+  o.input_dim = 16;
+  o.hidden_dims = {16};
+  o.num_classes = 4;
+  o.init_seed = 5;
+  return nn::Mlp::Create(o).value();
+}
+
+FlConfig EvalConfig(int num_threads) {
+  FlConfig c;
+  c.mechanism = MechanismKind::kNonPrivate;
+  c.expected_batch_size = 20;
+  c.rounds = 1;
+  c.seed = 9;
+  c.num_threads = num_threads;
+  return c;
+}
+
+TEST(TrainerEvalParallelTest, ShardedEvaluationMatchesSerialBitForBit) {
+  const auto task = SmallTask();
+
+  // Hand-rolled serial reference over the same (freshly initialized) model.
+  const nn::Mlp model = SmallModel();
+  size_t correct = 0;
+  double loss_sum = 0.0;
+  for (const data::Example& e : task.test.examples) {
+    if (model.Predict(e.features) == e.label) ++correct;
+    loss_sum += model.ComputeLoss(e.features, e.label);
+  }
+  const double expected_accuracy =
+      static_cast<double>(correct) /
+      static_cast<double>(task.test.examples.size());
+  const double expected_loss =
+      loss_sum / static_cast<double>(task.test.examples.size());
+
+  for (int threads : {1, 2, 8}) {
+    auto trainer = FederatedTrainer::Create(SmallModel(), task.train,
+                                            task.test, EvalConfig(threads));
+    ASSERT_TRUE(trainer.ok()) << threads << " threads";
+    const EvalMetrics metrics = (*trainer)->EvaluateMetrics();
+    EXPECT_EQ(metrics.accuracy, expected_accuracy) << threads << " threads";
+    EXPECT_EQ(metrics.mean_loss, expected_loss) << threads << " threads";
+    EXPECT_EQ((*trainer)->EvaluateAccuracy(), expected_accuracy)
+        << threads << " threads";
+  }
+}
+
+TEST(TrainerEvalParallelTest, EvalExampleCapIsRespectedAndInvariant) {
+  const auto task = SmallTask();
+  FlConfig base = EvalConfig(1);
+  base.max_eval_examples = 100;
+  auto reference =
+      FederatedTrainer::Create(SmallModel(), task.train, task.test, base);
+  ASSERT_TRUE(reference.ok());
+  const EvalMetrics expected = (*reference)->EvaluateMetrics();
+
+  const nn::Mlp model = SmallModel();
+  size_t correct = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    const data::Example& e = task.test.examples[i];
+    if (model.Predict(e.features) == e.label) ++correct;
+  }
+  EXPECT_EQ(expected.accuracy, static_cast<double>(correct) / 100.0);
+
+  for (int threads : {2, 8}) {
+    FlConfig c = base;
+    c.num_threads = threads;
+    auto trainer =
+        FederatedTrainer::Create(SmallModel(), task.train, task.test, c);
+    ASSERT_TRUE(trainer.ok()) << threads << " threads";
+    const EvalMetrics metrics = (*trainer)->EvaluateMetrics();
+    EXPECT_EQ(metrics.accuracy, expected.accuracy) << threads << " threads";
+    EXPECT_EQ(metrics.mean_loss, expected.mean_loss) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace smm::fl

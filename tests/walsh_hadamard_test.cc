@@ -1,9 +1,11 @@
 #include "transform/walsh_hadamard.h"
 
 #include <cmath>
+#include <cstddef>
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "transform/random_rotation.h"
 
@@ -57,7 +59,86 @@ TEST_P(WalshHadamardNormTest, PreservesL2Norm) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Dims, WalshHadamardNormTest,
-                         ::testing::Values(1, 2, 4, 64, 1024, 4096));
+                         ::testing::Values(1, 2, 4, 64, 1024, 4096, 8192));
+
+TEST(WalshHadamardTest, BlockedKernelMatchesNaiveReference) {
+  // 8192 > the kernel's cache-block size, so this exercises the two-phase
+  // (block-local stages + cross-block stages) path against the textbook
+  // stage-by-stage loop. Identical associations, so results are exact.
+  const size_t d = 8192;
+  RandomGenerator rng(3);
+  std::vector<double> v(d);
+  for (double& x : v) x = rng.Gaussian(0.0, 1.0);
+  std::vector<double> reference = v;
+  for (size_t h = 1; h < d; h <<= 1) {
+    for (size_t i = 0; i < d; i += h << 1) {
+      for (size_t j = i; j < i + h; ++j) {
+        const double x = reference[j];
+        const double y = reference[j + h];
+        reference[j] = x + y;
+        reference[j + h] = x - y;
+      }
+    }
+  }
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d));
+  for (double& x : reference) x *= scale;
+  ASSERT_TRUE(FastWalshHadamard(v).ok());
+  for (size_t j = 0; j < d; ++j) {
+    ASSERT_DOUBLE_EQ(v[j], reference[j]) << "coordinate " << j;
+  }
+}
+
+class WalshHadamardBatchTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WalshHadamardBatchTest, BatchMatchesScalarBitForBit) {
+  const size_t d = GetParam();
+  const size_t batch = 5;
+  RandomGenerator rng(7 + d);
+  std::vector<double> flat(batch * d);
+  for (double& x : flat) x = rng.Gaussian(0.0, 1.0);
+  // Scalar reference: each row through the vector API.
+  std::vector<std::vector<double>> rows(batch);
+  for (size_t r = 0; r < batch; ++r) {
+    rows[r].assign(flat.begin() + static_cast<ptrdiff_t>(r * d),
+                   flat.begin() + static_cast<ptrdiff_t>((r + 1) * d));
+    ASSERT_TRUE(FastWalshHadamard(rows[r]).ok());
+  }
+  ASSERT_TRUE(FastWalshHadamardBatch(flat.data(), batch, d).ok());
+  for (size_t r = 0; r < batch; ++r) {
+    for (size_t j = 0; j < d; ++j) {
+      ASSERT_EQ(flat[r * d + j], rows[r][j])
+          << "row " << r << " coordinate " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, WalshHadamardBatchTest,
+                         ::testing::Values(1, 2, 64, 1024, 4096));
+
+TEST(WalshHadamardTest, BatchIsThreadCountInvariant) {
+  const size_t d = 512;
+  const size_t batch = 7;  // Not a multiple of any chunk count.
+  RandomGenerator rng(9);
+  std::vector<double> reference(batch * d);
+  for (double& x : reference) x = rng.Gaussian(0.0, 1.0);
+  const std::vector<double> original = reference;
+  ASSERT_TRUE(FastWalshHadamardBatch(reference.data(), batch, d).ok());
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<double> parallel = original;
+    ASSERT_TRUE(
+        FastWalshHadamardBatch(parallel.data(), batch, d, &pool).ok());
+    EXPECT_EQ(reference, parallel) << threads << " threads";
+  }
+}
+
+TEST(WalshHadamardTest, BatchRejectsBadDimension) {
+  std::vector<double> flat(9, 1.0);
+  EXPECT_FALSE(FastWalshHadamardBatch(flat.data(), 3, 3).ok());
+  EXPECT_FALSE(FastWalshHadamardBatch(flat.data(), 1, 0).ok());
+  EXPECT_TRUE(FastWalshHadamardBatch(nullptr, 0, 4).ok());  // Empty batch.
+  EXPECT_FALSE(FastWalshHadamardBatch(nullptr, 2, 4).ok());
+}
 
 TEST(WalshHadamardTest, FlattensSpikes) {
   // A one-hot vector spreads to uniform magnitude 1/sqrt(d) — the property
@@ -133,6 +214,49 @@ TEST(RandomRotationTest, DimensionMismatchRejected) {
   std::vector<double> wrong(32, 1.0);
   EXPECT_FALSE(rotation->Apply(wrong).ok());
   EXPECT_FALSE(rotation->Inverse(wrong).ok());
+}
+
+TEST(RandomRotationTest, BatchApplyMatchesScalarBitForBit) {
+  const size_t d = 256;
+  auto rotation = RandomRotation::Create(d, 17);
+  ASSERT_TRUE(rotation.ok());
+  RandomGenerator rng(23);
+  std::vector<std::vector<double>> xs(6, std::vector<double>(d));
+  for (auto& x : xs) {
+    for (double& v : x) v = rng.Gaussian(0.0, 1.0);
+  }
+  // Scalar reference over the middle sub-range [1, 5).
+  std::vector<std::vector<double>> expected;
+  for (size_t i = 1; i < 5; ++i) {
+    auto y = rotation->Apply(xs[i]);
+    ASSERT_TRUE(y.ok());
+    expected.push_back(std::move(*y));
+  }
+  std::vector<double> flat;
+  ASSERT_TRUE(rotation->ApplyBatchInto(xs, 1, 5, flat).ok());
+  ASSERT_EQ(flat.size(), 4 * d);
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t j = 0; j < d; ++j) {
+      ASSERT_EQ(flat[r * d + j], expected[r][j])
+          << "row " << r << " coordinate " << j;
+    }
+  }
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<double> parallel;
+    ASSERT_TRUE(rotation->ApplyBatchInto(xs, 1, 5, parallel, &pool).ok());
+    EXPECT_EQ(flat, parallel) << threads << " threads";
+  }
+}
+
+TEST(RandomRotationTest, BatchApplyValidates) {
+  auto rotation = RandomRotation::Create(64, 7);
+  ASSERT_TRUE(rotation.ok());
+  std::vector<double> flat;
+  std::vector<std::vector<double>> xs(2, std::vector<double>(64, 1.0));
+  EXPECT_FALSE(rotation->ApplyBatchInto(xs, 1, 3, flat).ok());  // Range.
+  xs[1].resize(32);  // Ragged row.
+  EXPECT_FALSE(rotation->ApplyBatchInto(xs, 0, 2, flat).ok());
 }
 
 }  // namespace
