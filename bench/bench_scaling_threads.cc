@@ -2,11 +2,15 @@
 // sections, each timed at 1/2/4/8 threads with a bit-identity cross-check
 // against the single-threaded run:
 //
-//   encode        EncodeBatchParallel for SMM and DDG (the PR 1 hot path,
-//                 now with the tiled batched-rotation pre-pass);
-//   rotation      the batched Walsh-Hadamard transform on its own;
-//   masked_secagg a full Bonawitz-style round — parallel pairwise masking
-//                 across survivors plus UnmaskSum with dropouts.
+//   encode          EncodeBatchParallel for SMM and DDG (the PR 1 hot path,
+//                   now with the tiled batched-rotation pre-pass);
+//   rotation        the batched Walsh-Hadamard transform on its own;
+//   streaming_ideal the streaming aggregation subsystem at participant
+//                   counts 10-100x beyond what the batch-materializing
+//                   path's O(n·d) buffer can hold, at the wrap-prone
+//                   modulus 2^64 - 59;
+//   masked_secagg   a full Bonawitz-style round — parallel pairwise masking
+//                   across survivors plus UnmaskSum with dropouts.
 //
 // Expected shape: near-linear scaling up to the physical core count, then
 // flat. Each section ends with a `SPEEDUP_SUMMARY` line (grepped by CI), and
@@ -250,7 +254,92 @@ void RunRotationSection(size_t batch, size_t dim, int repeats) {
 }
 
 // ---------------------------------------------------------------------------
-// Section 3: the full masked-secagg round (Bonawitz-style) with dropouts.
+// Section 3: streaming aggregation at participant counts the batch path
+// cannot hold. One tile of inputs is resident at a time (the stream's own
+// state is a single O(dim) running sum, O(threads·dim) during a tile
+// absorb), so the participant count here runs 10-100x beyond what the
+// batch-materializing path's O(n·d) buffer would tolerate at production
+// dimensions.
+// ---------------------------------------------------------------------------
+
+void RunStreamingSection(size_t participants, size_t dim, int repeats) {
+  const uint64_t m = 18446744073709551557ULL;  // 2^64 - 59: wrap-prone.
+  constexpr size_t kTileRows = 256;
+  participants = participants / kTileRows * kTileRows;  // Whole tiles only.
+  // One pre-generated tile, absorbed over and over under rotating ids: the
+  // timed loop measures pure streaming-absorb throughput with exactly one
+  // tile resident, and every thread count consumes identical data.
+  RandomGenerator rng(23);
+  std::vector<std::vector<uint64_t>> tile(kTileRows,
+                                          std::vector<uint64_t>(dim));
+  for (auto& row : tile) {
+    for (auto& v : row) v = rng.UniformUint64(m);
+  }
+  std::vector<int> ids(kTileRows);
+
+  Section section;
+  section.name = "streaming_ideal";
+  section.dim = dim;
+  section.participants = participants;
+  const double batch_mb =
+      static_cast<double>(participants) * static_cast<double>(dim) * 8 / 1e6;
+  std::printf(
+      "IdealAggregator streaming: dim=%zu, participants=%zu, m=2^64-59\n"
+      "  (batch path would materialize %.0f MB; stream keeps one %zu-row "
+      "tile)\n",
+      dim, participants, batch_mb, kTileRows);
+  PrintRow("  threads", {"1", "2", "4", "8"}, 14, 12);
+  secagg::IdealAggregator aggregator;
+  std::vector<uint64_t> reference;
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    double best_seconds = 1e300;
+    std::vector<uint64_t> sum;
+    for (int r = 0; r < repeats; ++r) {
+      const auto start = Clock::now();
+      auto stream = aggregator.Open(dim, m, &pool);
+      if (!stream.ok()) {
+        std::printf("open failed: %s\n",
+                    stream.status().ToString().c_str());
+        std::exit(1);
+      }
+      for (size_t begin = 0; begin < participants; begin += kTileRows) {
+        for (size_t i = 0; i < kTileRows; ++i) {
+          ids[i] = static_cast<int>((begin + i) % 1000000);
+        }
+        auto status = (*stream)->AbsorbTile(ids, tile);
+        if (!status.ok()) {
+          std::printf("absorb failed: %s\n", status.ToString().c_str());
+          std::exit(1);
+        }
+      }
+      auto finalized = (*stream)->Finalize();
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (!finalized.ok()) {
+        std::printf("finalize failed: %s\n",
+                    finalized.status().ToString().c_str());
+        std::exit(1);
+      }
+      if (seconds < best_seconds) best_seconds = seconds;
+      sum = std::move(*finalized);
+    }
+    if (threads == 1) {
+      reference = sum;
+    } else if (sum != reference) {
+      section.deterministic = false;
+    }
+    section.threads.push_back(threads);
+    section.best_seconds.push_back(best_seconds);
+  }
+  const double work =
+      static_cast<double>(participants) * static_cast<double>(dim);
+  PrintSection(section, work);
+  g_sections.push_back(std::move(section));
+}
+
+// ---------------------------------------------------------------------------
+// Section 4: the full masked-secagg round (Bonawitz-style) with dropouts.
 // ---------------------------------------------------------------------------
 
 void RunMaskedSecaggSection(int participants, size_t dim, int repeats) {
@@ -375,6 +464,10 @@ void Run(Scale scale, const char* json_path) {
   std::printf("\n");
   RunRotationSection(/*batch=*/scale == Scale::kFast ? 64 : 256, dim,
                      repeats);
+  std::printf("\n");
+  RunStreamingSection(
+      /*participants=*/scale == Scale::kFast ? (1u << 14) : (1u << 17),
+      /*dim=*/scale == Scale::kFast ? (1u << 9) : (1u << 10), repeats);
   std::printf("\n");
   RunMaskedSecaggSection(
       /*participants=*/scale == Scale::kFast ? 16 : 32,

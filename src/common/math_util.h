@@ -6,6 +6,31 @@
 
 namespace smm {
 
+/// Overflow-safe (a + b) mod m for a, b already reduced into [0, m).
+///
+/// The naive `(a + b) % m` silently wraps uint64_t whenever a + b >= 2^64,
+/// which happens for any modulus above 2^63 — exactly the large-modulus
+/// regime the communication analysis sweeps. This helper never forms the
+/// possibly-wrapping sum: it branches on the headroom instead
+/// (a + b >= m  <=>  a >= m - b), so every intermediate stays below m and
+/// the result is exact for every m in [2, 2^64). All modular accumulation
+/// in the library goes through AddMod/SubMod; they are also the only
+/// arithmetic the unsigned-overflow sanitizer CI job needs to accept.
+///
+/// Contract: a < m and b < m (the caller reduces unconstrained inputs with
+/// `% m` first — a single reduction cannot overflow).
+inline uint64_t AddMod(uint64_t a, uint64_t b, uint64_t m) {
+  // b < m makes m - b >= 1 and a - (m - b) = a + b - m when the branch is
+  // taken, so neither expression can wrap.
+  return a >= m - b ? a - (m - b) : a + b;
+}
+
+/// Overflow-safe (a - b) mod m for a, b already reduced into [0, m).
+/// Same contract as AddMod; the naive `(a + m - b) % m` wraps for m > 2^63.
+inline uint64_t SubMod(uint64_t a, uint64_t b, uint64_t m) {
+  return a >= b ? a - b : a + (m - b);
+}
+
 /// Numerically stable log(exp(a) + exp(b)).
 double LogAdd(double a, double b);
 

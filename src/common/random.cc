@@ -3,8 +3,21 @@
 #include <cassert>
 #include <cmath>
 
+// The generators below wrap uint64_t *by design* (splitmix64 and
+// xoshiro256++ are defined over arithmetic mod 2^64). The CI job that
+// builds common/ and secagg/ with clang's unsigned-integer-overflow
+// sanitizer — the guard against accidental wrap in the modular-arithmetic
+// paths — must not flag these deliberate wraps, so they are annotated out.
+#if defined(__clang__)
+#define SMM_NO_SANITIZE_UNSIGNED_WRAP \
+  __attribute__((no_sanitize("unsigned-integer-overflow")))
+#else
+#define SMM_NO_SANITIZE_UNSIGNED_WRAP
+#endif
+
 namespace smm {
 
+SMM_NO_SANITIZE_UNSIGNED_WRAP
 uint64_t SplitMix64(uint64_t* state) {
   uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -23,6 +36,7 @@ Xoshiro256::Xoshiro256(uint64_t seed) {
   for (auto& s : s_) s = SplitMix64(&sm);
 }
 
+SMM_NO_SANITIZE_UNSIGNED_WRAP
 uint64_t Xoshiro256::Next() {
   const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
   const uint64_t t = s_[1] << 17;
@@ -63,9 +77,11 @@ int64_t RandomGenerator::RandInt(int64_t n) {
   return static_cast<int64_t>(UniformUint64(static_cast<uint64_t>(n))) + 1;
 }
 
+SMM_NO_SANITIZE_UNSIGNED_WRAP
 uint64_t RandomGenerator::UniformUint64(uint64_t bound) {
   assert(bound >= 1);
-  // Rejection sampling: draw 64 bits, reject the biased tail.
+  // Rejection sampling: draw 64 bits, reject the biased tail. The unsigned
+  // negation deliberately wraps: -bound == 2^64 - bound (mod 2^64).
   const uint64_t threshold = -bound % bound;  // == (2^64 - bound) % bound
   while (true) {
     uint64_t r = gen_.Next();

@@ -15,6 +15,19 @@
 
 namespace smm::fl {
 
+namespace {
+
+/// Participants per pipelined round tile and per thread: each tile holds
+/// threads * kTileRowsPerThread gradients/encodings resident — enough to
+/// hand every thread one full batched-rotation tile of the encoder — so
+/// peak round memory is O(threads·d), independent of how many participants
+/// the Poisson sample drew. The tile size never affects results: gradients
+/// and encodings depend only on the participant, and the streamed modular
+/// sum is exact.
+constexpr size_t kTileRowsPerThread = 32;
+
+}  // namespace
+
 const char* MechanismKindName(MechanismKind kind) {
   switch (kind) {
     case MechanismKind::kSmm:
@@ -54,6 +67,12 @@ StatusOr<std::unique_ptr<FederatedTrainer>> FederatedTrainer::Create(
       config.expected_batch_size > static_cast<int>(train.size())) {
     return InvalidArgumentError(
         "expected_batch_size must be in [1, |train set|]");
+  }
+  if (config.modulus < 2) {
+    return InvalidArgumentError("modulus must be >= 2");
+  }
+  if (config.eval_every < 0) {
+    return InvalidArgumentError("eval_every must be >= 0");
   }
   if (config.num_threads < 0) {
     return InvalidArgumentError("num_threads must be >= 0");
@@ -248,60 +267,93 @@ StatusOr<std::vector<double>> FederatedTrainer::AggregateRound(
     const std::vector<size_t>& participant_indices, double* mean_loss) {
   const size_t model_dim = model_.num_parameters();
   const size_t count = participant_indices.size();
+  const int threads = pool_ != nullptr ? pool_->num_threads() : 1;
+  const size_t tile_size = static_cast<size_t>(threads) * kTileRowsPerThread;
 
-  // Per-participant clipped gradients (Lines 4-6 of Algorithm 3), computed
-  // in parallel: the forward/backward pass only reads the shared model, and
-  // each participant writes its own slot.
-  std::vector<std::vector<double>> gradients(count);
-  std::vector<double> losses(count, 0.0);
-  const auto compute_gradient = [&](size_t i) {
-    const data::Example& example = train_.examples[participant_indices[i]];
-    nn::Mlp::LossAndGrad lg =
-        model_.ComputeLossAndGradient(example.features, example.label);
-    losses[i] = lg.loss;
-    mechanisms::L2Clip(lg.grad, config_.l2_clip);
-    gradients[i] = std::move(lg.grad);
-  };
-  if (pool_ != nullptr) {
-    pool_->ParallelFor(count, [&](int, size_t begin, size_t end) {
-      for (size_t i = begin; i < end; ++i) compute_gradient(i);
-    });
-  } else {
-    for (size_t i = 0; i < count; ++i) compute_gradient(i);
-  }
-  if (mean_loss != nullptr) {
-    // Summed in participant order so the result is thread-count invariant.
-    double loss_sum = 0.0;
-    for (double loss : losses) loss_sum += loss;
-    *mean_loss = loss_sum / static_cast<double>(count);
+  // Integer mechanism path: one streaming aggregation session per round.
+  // Tiles are encoded and absorbed as they are produced, so the round never
+  // holds more than one tile of gradients/encodings plus the aggregator's
+  // O(threads·d) running-sum state — the batch-materializing O(count·d)
+  // buffer is gone.
+  std::unique_ptr<secagg::StreamingAggregator> stream;
+  if (mechanism_ != nullptr) {
+    SMM_ASSIGN_OR_RETURN(stream, aggregator_->Open(
+                                     padded_dim_, mechanism_->modulus(),
+                                     pool_.get()));
   }
 
   std::vector<double> sum(model_dim, 0.0);
+  double loss_sum = 0.0;
+  std::vector<std::vector<double>> gradients;
+  std::vector<double> losses;
+  std::vector<int> tile_ids;
+  for (size_t tile_begin = 0; tile_begin < count; tile_begin += tile_size) {
+    const size_t tile_end = std::min(count, tile_begin + tile_size);
+    const size_t tile_count = tile_end - tile_begin;
+
+    // Per-participant clipped gradients (Lines 4-6 of Algorithm 3), computed
+    // in parallel: the forward/backward pass only reads the shared model,
+    // and each participant writes its own slot.
+    gradients.assign(tile_count, {});
+    losses.assign(tile_count, 0.0);
+    const auto compute_gradient = [&](size_t t) {
+      const data::Example& example =
+          train_.examples[participant_indices[tile_begin + t]];
+      nn::Mlp::LossAndGrad lg =
+          model_.ComputeLossAndGradient(example.features, example.label);
+      losses[t] = lg.loss;
+      mechanisms::L2Clip(lg.grad, config_.l2_clip);
+      gradients[t] = std::move(lg.grad);
+    };
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(tile_count, [&](int, size_t begin, size_t end) {
+        for (size_t t = begin; t < end; ++t) compute_gradient(t);
+      });
+    } else {
+      for (size_t t = 0; t < tile_count; ++t) compute_gradient(t);
+    }
+    // Summed in participant order (tiles are visited in order) so the
+    // result is thread-count invariant.
+    for (double loss : losses) loss_sum += loss;
+
+    if (mechanism_ != nullptr) {
+      // Pad, batch-encode under per-participant jump-ahead streams, absorb.
+      // Forking the streams tile by tile consumes rng_ exactly as one
+      // up-front MakeParticipantStreams(rng_, count) would, so the encodings
+      // are bit-identical to the batch-materializing pipeline.
+      for (auto& g : gradients) g.resize(padded_dim_, 0.0);
+      std::vector<RandomGenerator> streams =
+          MakeParticipantStreams(rng_, tile_count);
+      SMM_ASSIGN_OR_RETURN(auto encoded,
+                           mechanisms::EncodeBatchParallel(
+                               *mechanism_, gradients, streams, pool_.get()));
+      tile_ids.resize(tile_count);
+      for (size_t t = 0; t < tile_count; ++t) {
+        tile_ids[t] = static_cast<int>(tile_begin + t);
+      }
+      SMM_RETURN_IF_ERROR(stream->AbsorbTile(tile_ids, encoded));
+    } else {
+      // Central baselines: exact sum, accumulated in participant order.
+      for (const auto& g : gradients) {
+        for (size_t j = 0; j < model_dim; ++j) sum[j] += g[j];
+      }
+    }
+  }
+  if (mean_loss != nullptr) {
+    *mean_loss = loss_sum / static_cast<double>(count);
+  }
+
   if (mechanism_ != nullptr) {
-    // Integer mechanism path: pad, batch-encode under per-participant
-    // jump-ahead streams, securely aggregate, decode.
-    for (auto& g : gradients) g.resize(padded_dim_, 0.0);
-    std::vector<RandomGenerator> streams = MakeParticipantStreams(rng_, count);
-    SMM_ASSIGN_OR_RETURN(auto encoded,
-                         mechanisms::EncodeBatchParallel(
-                             *mechanism_, gradients, streams, pool_.get()));
-    SMM_ASSIGN_OR_RETURN(auto zm_sum,
-                         aggregator_->AggregateParallel(
-                             encoded, mechanism_->modulus(), pool_.get()));
+    SMM_ASSIGN_OR_RETURN(auto zm_sum, stream->Finalize());
     SMM_ASSIGN_OR_RETURN(auto decoded,
                          mechanism_->DecodeSum(zm_sum,
                                                static_cast<int>(count)));
     std::copy(decoded.begin(), decoded.begin() + static_cast<long>(model_dim),
               sum.begin());
-  } else {
-    // Central baselines: exact sum (+ Gaussian noise for DPSGD).
-    for (const auto& g : gradients) {
-      for (size_t j = 0; j < model_dim; ++j) sum[j] += g[j];
-    }
-    if (config_.mechanism == MechanismKind::kCentralDpSgd) {
-      for (size_t j = 0; j < model_dim; ++j) {
-        sum[j] += rng_.Gaussian(0.0, central_sigma_);
-      }
+  } else if (config_.mechanism == MechanismKind::kCentralDpSgd) {
+    // Central DPSGD: Gaussian noise on the exact sum.
+    for (size_t j = 0; j < model_dim; ++j) {
+      sum[j] += rng_.Gaussian(0.0, central_sigma_);
     }
   }
   // Average over the (public) expected batch size.

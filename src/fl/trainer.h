@@ -84,6 +84,11 @@ class FederatedTrainer {
   Status Calibrate();
 
   /// One round: returns the decoded gradient average (model dimension).
+  /// The round is pipelined per tile of O(threads) participants — compute
+  /// gradients, encode, absorb into a streaming aggregation session — so
+  /// peak memory is O(threads·d) regardless of how many participants the
+  /// Poisson sample drew, and the result is bit-identical to materializing
+  /// every encoded vector and batch-aggregating.
   StatusOr<std::vector<double>> AggregateRound(
       const std::vector<size_t>& participant_indices, double* mean_loss);
 

@@ -2,21 +2,32 @@
 
 #include <cassert>
 
+#include "common/math_util.h"
+
 namespace smm::secagg {
 
 uint64_t ModReduce(int64_t value, uint64_t m) {
   assert(m >= 2);
-  const int64_t mod = static_cast<int64_t>(m);
-  int64_t r = value % mod;
-  if (r < 0) r += mod;
-  return static_cast<uint64_t>(r);
+  if (value >= 0) return static_cast<uint64_t>(value) % m;
+  // Negative: reduce the magnitude, then fold it below m. ~value computes
+  // -value - 1 without the INT64_MIN negation overflow; the +1 cannot wrap
+  // because the magnitude is at most 2^63.
+  const uint64_t magnitude = (static_cast<uint64_t>(~value) + 1) % m;
+  return magnitude == 0 ? 0 : m - magnitude;
 }
 
 int64_t CenterLift(uint64_t value, uint64_t m) {
   assert(m >= 2);
   assert(value < m);
-  if (value >= m / 2) return static_cast<int64_t>(value) -
-                             static_cast<int64_t>(m);
+  if (value >= m / 2) {
+    // Negative representative -(m - value). The magnitude m - value is at
+    // most ceil(m/2) <= 2^63, so it fits int64_t except for the single
+    // boundary point 2^63 = -INT64_MIN (reached only when m = 2^64 - 1 and
+    // value = m / 2), which must not be negated after the cast.
+    const uint64_t magnitude = m - value;
+    if (magnitude > static_cast<uint64_t>(INT64_MAX)) return INT64_MIN;
+    return -static_cast<int64_t>(magnitude);
+  }
   return static_cast<int64_t>(value);
 }
 
@@ -26,8 +37,11 @@ StatusOr<std::vector<uint64_t>> AddMod(const std::vector<uint64_t>& a,
   if (a.size() != b.size()) {
     return InvalidArgumentError("AddMod: length mismatch");
   }
+  if (m < 2) return InvalidArgumentError("AddMod: modulus must be >= 2");
   std::vector<uint64_t> out(a.size());
-  for (size_t i = 0; i < a.size(); ++i) out[i] = (a[i] + b[i]) % m;
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = smm::AddMod(a[i] % m, b[i] % m, m);
+  }
   return out;
 }
 
@@ -37,8 +51,11 @@ StatusOr<std::vector<uint64_t>> SubMod(const std::vector<uint64_t>& a,
   if (a.size() != b.size()) {
     return InvalidArgumentError("SubMod: length mismatch");
   }
+  if (m < 2) return InvalidArgumentError("SubMod: modulus must be >= 2");
   std::vector<uint64_t> out(a.size());
-  for (size_t i = 0; i < a.size(); ++i) out[i] = (a[i] + m - b[i] % m) % m;
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = smm::SubMod(a[i] % m, b[i] % m, m);
+  }
   return out;
 }
 
@@ -52,6 +69,32 @@ std::vector<int64_t> LiftVector(const std::vector<uint64_t>& v, uint64_t m) {
   std::vector<int64_t> out(v.size());
   for (size_t i = 0; i < v.size(); ++i) out[i] = CenterLift(v[i], m);
   return out;
+}
+
+Status ShardedModularAccumulate(
+    ThreadPool* pool, size_t n, uint64_t m, std::vector<uint64_t>& acc,
+    const std::function<Status(size_t, size_t, std::vector<uint64_t>&)>& fn) {
+  if (pool == nullptr || pool->num_threads() == 1 || n < 2) {
+    return fn(0, n, acc);
+  }
+  std::vector<std::vector<uint64_t>> partials(
+      static_cast<size_t>(pool->num_threads()));
+  std::vector<Status> chunk_status(static_cast<size_t>(pool->num_threads()));
+  pool->ParallelFor(n, [&](int chunk, size_t begin, size_t end) {
+    std::vector<uint64_t>& partial = partials[static_cast<size_t>(chunk)];
+    partial.assign(acc.size(), 0);
+    chunk_status[static_cast<size_t>(chunk)] = fn(begin, end, partial);
+  });
+  for (const Status& status : chunk_status) {
+    if (!status.ok()) return status;
+  }
+  for (const auto& partial : partials) {
+    if (partial.empty()) continue;  // Chunk count may be below thread count.
+    for (size_t k = 0; k < acc.size(); ++k) {
+      acc[k] = smm::AddMod(acc[k], partial[k], m);
+    }
+  }
+  return OkStatus();
 }
 
 }  // namespace smm::secagg

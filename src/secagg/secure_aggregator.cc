@@ -1,50 +1,68 @@
 #include "secagg/secure_aggregator.h"
 
 #include <algorithm>
-#include <functional>
 #include <unordered_set>
 #include <utility>
 
+#include "common/math_util.h"
 #include "secagg/modular.h"
 
 namespace smm::secagg {
 
 namespace {
 
-/// The one sharded-reduction scaffold behind every parallel sum in this
-/// file: shards [0, n) across `pool` (nullptr, a 1-thread pool, or n < 2
-/// runs fn inline on `acc`), gives each chunk a zeroed partial accumulator
-/// of acc.size() elements, and reduces the partials into acc mod m in chunk
-/// order, returning the first chunk error. fn(begin, end, acc) must
-/// accumulate mod m. Modular addition commutes, so the result is
-/// bit-identical for any thread count.
-Status ShardedModularAccumulate(
-    ThreadPool* pool, size_t n, uint64_t m, std::vector<uint64_t>& acc,
-    const std::function<Status(size_t, size_t, std::vector<uint64_t>&)>& fn) {
-  if (pool == nullptr || pool->num_threads() == 1 || n < 2) {
-    return fn(0, n, acc);
+/// The fallback stream behind the default SecureAggregator::Open: buffers
+/// every absorbed input and delegates to AggregateParallel at Finalize.
+/// Correct for any aggregator, but O(n·dim) resident — the bounded-memory
+/// implementations live with their aggregators below.
+class BufferingStream final : public StreamingAggregator {
+ public:
+  BufferingStream(SecureAggregator& aggregator, size_t dim, uint64_t m,
+                  ThreadPool* pool)
+      : aggregator_(aggregator), dim_(dim), m_(m), pool_(pool) {}
+
+  size_t dim() const override { return dim_; }
+  uint64_t modulus() const override { return m_; }
+  size_t absorbed() const override { return buffered_.size(); }
+
+  Status Absorb(int participant_id, const uint64_t* data,
+                size_t size) override {
+    (void)participant_id;
+    if (finalized_) return FailedPreconditionError("stream already finalized");
+    if (size != dim_) return InvalidArgumentError("input dimension mismatch");
+    buffered_.emplace_back(data, data + size);
+    return OkStatus();
   }
-  std::vector<std::vector<uint64_t>> partials(
-      static_cast<size_t>(pool->num_threads()));
-  std::vector<Status> chunk_status(static_cast<size_t>(pool->num_threads()));
-  pool->ParallelFor(n, [&](int chunk, size_t begin, size_t end) {
-    std::vector<uint64_t>& partial = partials[static_cast<size_t>(chunk)];
-    partial.assign(acc.size(), 0);
-    chunk_status[static_cast<size_t>(chunk)] = fn(begin, end, partial);
-  });
-  for (const Status& status : chunk_status) {
-    if (!status.ok()) return status;
+
+  StatusOr<std::vector<uint64_t>> Finalize() override {
+    if (finalized_) return FailedPreconditionError("stream already finalized");
+    finalized_ = true;
+    return aggregator_.AggregateParallel(buffered_, m_, pool_);
   }
-  for (const auto& partial : partials) {
-    if (partial.empty()) continue;  // Chunk count may be below thread count.
-    for (size_t k = 0; k < acc.size(); ++k) {
-      acc[k] = (acc[k] + partial[k]) % m;
-    }
-  }
+
+ private:
+  SecureAggregator& aggregator_;
+  size_t dim_;
+  uint64_t m_;
+  ThreadPool* pool_;
+  std::vector<std::vector<uint64_t>> buffered_;
+  bool finalized_ = false;
+};
+
+Status ValidateStreamParams(size_t dim, uint64_t m) {
+  if (dim == 0) return InvalidArgumentError("dimension must be >= 1");
+  if (m < 2) return InvalidArgumentError("modulus must be >= 2");
   return OkStatus();
 }
 
 }  // namespace
+
+StatusOr<std::unique_ptr<StreamingAggregator>> SecureAggregator::Open(
+    size_t dim, uint64_t m, ThreadPool* pool) {
+  SMM_RETURN_IF_ERROR(ValidateStreamParams(dim, m));
+  return std::unique_ptr<StreamingAggregator>(
+      new BufferingStream(*this, dim, m, pool));
+}
 
 StatusOr<std::vector<uint64_t>> IdealAggregator::Aggregate(
     const std::vector<std::vector<uint64_t>>& inputs, uint64_t m) {
@@ -69,13 +87,82 @@ StatusOr<std::vector<uint64_t>> IdealAggregator::AggregateParallel(
         for (size_t i = begin; i < end; ++i) {
           const std::vector<uint64_t>& input = inputs[i];
           for (size_t j = 0; j < dim; ++j) {
-            acc[j] = (acc[j] + input[j] % m) % m;
+            acc[j] = smm::AddMod(acc[j], input[j] % m, m);
           }
         }
         return OkStatus();
       }));
   return sum;
 }
+
+StatusOr<std::unique_ptr<StreamingAggregator>> IdealAggregator::Open(
+    size_t dim, uint64_t m, ThreadPool* pool) {
+  SMM_RETURN_IF_ERROR(ValidateStreamParams(dim, m));
+  return std::unique_ptr<StreamingAggregator>(
+      new RunningSumStream(dim, m, pool));
+}
+
+/// The masked protocol's server-side stream: a running sum of masked
+/// inputs plus an O(n)-bit record of who contributed. Dropout recovery is
+/// deferred to Finalize, where everyone not absorbed counts as dropped.
+class MaskedAggregator::Stream final : public RunningSumStream {
+ public:
+  Stream(const MaskedAggregator& parent, size_t dim, uint64_t m,
+         ThreadPool* pool)
+      : RunningSumStream(dim, m, pool),
+        parent_(parent),
+        seen_(static_cast<size_t>(parent.options_.num_participants), false) {}
+
+ protected:
+  Status AdmitParticipant(int participant_id) override {
+    SMM_RETURN_IF_ERROR(ValidateParticipant(participant_id));
+    seen_[static_cast<size_t>(participant_id)] = true;
+    return OkStatus();
+  }
+
+  Status AdmitTile(const std::vector<int>& participant_ids) override {
+    // Validate the whole tile (including duplicates *within* it) before
+    // recording anyone, so a rejected tile leaves no participant marked
+    // absorbed whose input was never accumulated.
+    std::vector<bool> in_tile(seen_.size(), false);
+    for (int id : participant_ids) {
+      SMM_RETURN_IF_ERROR(ValidateParticipant(id));
+      if (in_tile[static_cast<size_t>(id)]) {
+        return InvalidArgumentError("participant absorbed twice");
+      }
+      in_tile[static_cast<size_t>(id)] = true;
+    }
+    for (int id : participant_ids) seen_[static_cast<size_t>(id)] = true;
+    return OkStatus();
+  }
+
+  Status FinalizeInto(std::vector<uint64_t>& sum) override {
+    std::vector<int> survivors;
+    for (int i = 0; i < parent_.options_.num_participants; ++i) {
+      if (seen_[static_cast<size_t>(i)]) survivors.push_back(i);
+    }
+    if (static_cast<int>(survivors.size()) < parent_.options_.threshold) {
+      return FailedPreconditionError(
+          "fewer survivors than the Shamir threshold; cannot unmask");
+    }
+    return parent_.RecoverDroppedMasks(survivors, modulus(), pool(), sum);
+  }
+
+ private:
+  Status ValidateParticipant(int participant_id) const {
+    if (participant_id < 0 ||
+        participant_id >= parent_.options_.num_participants) {
+      return InvalidArgumentError("participant index out of range");
+    }
+    if (seen_[static_cast<size_t>(participant_id)]) {
+      return InvalidArgumentError("participant absorbed twice");
+    }
+    return OkStatus();
+  }
+
+  const MaskedAggregator& parent_;
+  std::vector<bool> seen_;
+};
 
 MaskedAggregator::MaskedAggregator(
     Options options, std::vector<std::vector<uint64_t>> seeds,
@@ -121,9 +208,9 @@ void MaskedAggregator::AccumulateMask(uint64_t seed, uint64_t m, int sign,
                                       std::vector<uint64_t>& acc) {
   RandomGenerator prg(seed);
   if (sign > 0) {
-    for (auto& v : acc) v = (v + prg.UniformUint64(m)) % m;
+    for (auto& v : acc) v = smm::AddMod(v, prg.UniformUint64(m), m);
   } else {
-    for (auto& v : acc) v = (v + m - prg.UniformUint64(m)) % m;
+    for (auto& v : acc) v = smm::SubMod(v, prg.UniformUint64(m), m);
   }
 }
 
@@ -138,6 +225,7 @@ StatusOr<std::vector<uint64_t>> MaskedAggregator::MaskInput(
   if (participant < 0 || participant >= n) {
     return InvalidArgumentError("participant index out of range");
   }
+  if (input.empty()) return InvalidArgumentError("empty input");
   if (m < 2) return InvalidArgumentError("modulus must be >= 2");
   std::vector<uint64_t> out(input.size());
   for (size_t k = 0; k < input.size(); ++k) out[k] = input[k] % m;
@@ -164,45 +252,16 @@ StatusOr<std::vector<uint64_t>> MaskedAggregator::MaskInput(
   return out;
 }
 
-StatusOr<std::vector<uint64_t>> MaskedAggregator::UnmaskSum(
-    const std::vector<std::vector<uint64_t>>& masked_inputs,
-    const std::vector<int>& survivors, size_t dim, uint64_t m,
-    ThreadPool* pool) const {
+Status MaskedAggregator::RecoverDroppedMasks(const std::vector<int>& survivors,
+                                             uint64_t m, ThreadPool* pool,
+                                             std::vector<uint64_t>& sum) const {
   const int n = options_.num_participants;
-  if (masked_inputs.size() != survivors.size()) {
-    return InvalidArgumentError("one masked input per survivor required");
-  }
-  if (static_cast<int>(survivors.size()) < options_.threshold) {
-    return FailedPreconditionError(
-        "fewer survivors than the Shamir threshold; cannot unmask");
-  }
+  // Masks between two survivors cancel. For every (survivor, dropped) pair,
+  // reconstruct the pair seed from the survivors' shares and remove the
+  // leftover mask term. The pairs are enumerated up front and sharded
+  // across the pool; each pair's mask comes from its own PRG stream, so the
+  // chunking never changes the result.
   std::unordered_set<int> survivor_set(survivors.begin(), survivors.end());
-  if (survivor_set.size() != survivors.size()) {
-    return InvalidArgumentError("duplicate survivor index");
-  }
-  for (const auto& input : masked_inputs) {
-    if (input.size() != dim) {
-      return InvalidArgumentError("masked input dimension mismatch");
-    }
-  }
-  // Stage 1: element-wise sum of the masked inputs, sharded over survivors
-  // when a pool is given.
-  std::vector<uint64_t> sum(dim, 0);
-  SMM_RETURN_IF_ERROR(ShardedModularAccumulate(
-      pool, masked_inputs.size(), m, sum,
-      [&](size_t begin, size_t end, std::vector<uint64_t>& acc) {
-        for (size_t i = begin; i < end; ++i) {
-          const std::vector<uint64_t>& input = masked_inputs[i];
-          for (size_t k = 0; k < dim; ++k) acc[k] = (acc[k] + input[k]) % m;
-        }
-        return OkStatus();
-      }));
-
-  // Stage 2: masks between two survivors cancel. For every
-  // (survivor, dropped) pair, reconstruct the pair seed from the survivors'
-  // shares and remove the leftover mask term. The pairs are enumerated up
-  // front and sharded across the pool; each pair's mask comes from its own
-  // PRG stream, so the chunking never changes the result.
   std::vector<std::pair<int, int>> recovery_pairs;
   for (int i : survivors) {
     for (int j = 0; j < n; ++j) {
@@ -229,8 +288,49 @@ StatusOr<std::vector<uint64_t>> MaskedAggregator::UnmaskSum(
     }
     return OkStatus();
   };
-  SMM_RETURN_IF_ERROR(ShardedModularAccumulate(pool, recovery_pairs.size(),
-                                               m, sum, recover_range));
+  return ShardedModularAccumulate(pool, recovery_pairs.size(), m, sum,
+                                  recover_range);
+}
+
+StatusOr<std::vector<uint64_t>> MaskedAggregator::UnmaskSum(
+    const std::vector<std::vector<uint64_t>>& masked_inputs,
+    const std::vector<int>& survivors, size_t dim, uint64_t m,
+    ThreadPool* pool) const {
+  if (dim == 0) return InvalidArgumentError("dimension must be >= 1");
+  if (m < 2) return InvalidArgumentError("modulus must be >= 2");
+  if (masked_inputs.size() != survivors.size()) {
+    return InvalidArgumentError("one masked input per survivor required");
+  }
+  if (static_cast<int>(survivors.size()) < options_.threshold) {
+    return FailedPreconditionError(
+        "fewer survivors than the Shamir threshold; cannot unmask");
+  }
+  std::unordered_set<int> survivor_set(survivors.begin(), survivors.end());
+  if (survivor_set.size() != survivors.size()) {
+    return InvalidArgumentError("duplicate survivor index");
+  }
+  for (const auto& input : masked_inputs) {
+    if (input.size() != dim) {
+      return InvalidArgumentError("masked input dimension mismatch");
+    }
+  }
+  // Stage 1: element-wise sum of the masked inputs, sharded over survivors
+  // when a pool is given.
+  std::vector<uint64_t> sum(dim, 0);
+  SMM_RETURN_IF_ERROR(ShardedModularAccumulate(
+      pool, masked_inputs.size(), m, sum,
+      [&](size_t begin, size_t end, std::vector<uint64_t>& acc) {
+        for (size_t i = begin; i < end; ++i) {
+          const std::vector<uint64_t>& input = masked_inputs[i];
+          for (size_t k = 0; k < dim; ++k) {
+            acc[k] = smm::AddMod(acc[k], input[k] % m, m);
+          }
+        }
+        return OkStatus();
+      }));
+
+  // Stage 2: recover the masks that involve dropped participants.
+  SMM_RETURN_IF_ERROR(RecoverDroppedMasks(survivors, m, pool, sum));
   return sum;
 }
 
@@ -280,6 +380,13 @@ StatusOr<std::vector<uint64_t>> MaskedAggregator::AggregateParallel(
     }
   }
   return UnmaskSum(masked, survivors, dim, m, pool);
+}
+
+StatusOr<std::unique_ptr<StreamingAggregator>> MaskedAggregator::Open(
+    size_t dim, uint64_t m, ThreadPool* pool) {
+  SMM_RETURN_IF_ERROR(ValidateStreamParams(dim, m));
+  return std::unique_ptr<StreamingAggregator>(
+      new Stream(*this, dim, m, pool));
 }
 
 }  // namespace smm::secagg

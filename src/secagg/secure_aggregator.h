@@ -9,6 +9,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "secagg/shamir.h"
+#include "secagg/streaming_aggregator.h"
 
 namespace smm::secagg {
 
@@ -16,7 +17,9 @@ namespace smm::secagg {
 /// given per-participant vectors in Z_m^d, reveals only their element-wise
 /// sum mod m. The DP analysis of the paper treats this as an ideal
 /// functionality; both implementations below compute the identical sum, so
-/// the mechanisms are oblivious to which one runs underneath.
+/// the mechanisms are oblivious to which one runs underneath. All sums are
+/// exact for any modulus in [2, 2^64), including m > 2^63 where naive
+/// accumulation would wrap uint64_t (see smm::AddMod).
 class SecureAggregator {
  public:
   virtual ~SecureAggregator() = default;
@@ -35,6 +38,19 @@ class SecureAggregator {
     (void)pool;
     return Aggregate(inputs, m);
   }
+
+  /// Opens a streaming aggregation session over Z_m^dim: contributions
+  /// arrive one participant (or tile) at a time via Absorb/AbsorbTile and
+  /// the sum is released by Finalize, bit-identical to the batch path above
+  /// for any thread count and absorb order. Requires dim >= 1 and m >= 2.
+  ///
+  /// Both provided aggregators override this with bounded-memory streams
+  /// (O(threads·dim) resident, independent of the participant count); the
+  /// default adapter buffers every absorbed input and delegates to
+  /// AggregateParallel at Finalize — correct for any implementation, but
+  /// O(n·dim) memory. The aggregator must outlive the returned stream.
+  virtual StatusOr<std::unique_ptr<StreamingAggregator>> Open(
+      size_t dim, uint64_t m, ThreadPool* pool = nullptr);
 };
 
 /// The ideal functionality: a plain modular sum. Used by the experiment
@@ -51,6 +67,12 @@ class IdealAggregator final : public SecureAggregator {
   StatusOr<std::vector<uint64_t>> AggregateParallel(
       const std::vector<std::vector<uint64_t>>& inputs, uint64_t m,
       ThreadPool* pool) override;
+
+  /// Bounded-memory stream: one O(dim) running sum (sharded tile absorbs
+  /// keep one O(dim) partial per thread, reusing ShardedModularAccumulate).
+  /// The stream is self-contained; it does not reference the aggregator.
+  StatusOr<std::unique_ptr<StreamingAggregator>> Open(
+      size_t dim, uint64_t m, ThreadPool* pool = nullptr) override;
 };
 
 /// A faithful simulation of pairwise-mask secure aggregation (Bonawitz et
@@ -78,10 +100,11 @@ class MaskedAggregator final : public SecureAggregator {
       const Options& options);
 
   /// Client-side: returns participant i's masked input (input + sum of its
-  /// pairwise masks, mod m). When `pool` is given, mask expansion is sharded
-  /// across the participant's n - 1 pairs: every pair mask is expanded from
-  /// its own PRG stream (seeded by the pair seed alone) into a chunk-local
-  /// partial accumulator, and the partials are reduced mod m in chunk order.
+  /// pairwise masks, mod m). Requires a non-empty input and m >= 2. When
+  /// `pool` is given, mask expansion is sharded across the participant's
+  /// n - 1 pairs: every pair mask is expanded from its own PRG stream
+  /// (seeded by the pair seed alone) into a chunk-local partial
+  /// accumulator, and the partials are reduced mod m in chunk order.
   /// Modular addition commutes, so the result is bit-identical for any
   /// thread count.
   StatusOr<std::vector<uint64_t>> MaskInput(int participant,
@@ -92,10 +115,11 @@ class MaskedAggregator final : public SecureAggregator {
   /// Server-side: sums masked inputs of the `survivors` (indices into the
   /// participant range) and removes the masks that involve dropped
   /// participants by Shamir-reconstructing their pair seeds from the
-  /// survivors' shares. Requires |survivors| >= threshold. When `pool` is
-  /// given, both the masked-input sum (sharded over survivors) and the
-  /// dropout recovery (sharded over (survivor, dropped) pairs) run on the
-  /// pool, bit-identically to the sequential path.
+  /// survivors' shares. Requires dim >= 1, m >= 2, and |survivors| >=
+  /// threshold. When `pool` is given, both the masked-input sum (sharded
+  /// over survivors) and the dropout recovery (sharded over (survivor,
+  /// dropped) pairs) run on the pool, bit-identically to the sequential
+  /// path.
   StatusOr<std::vector<uint64_t>> UnmaskSum(
       const std::vector<std::vector<uint64_t>>& masked_inputs,
       const std::vector<int>& survivors, size_t dim, uint64_t m,
@@ -113,16 +137,36 @@ class MaskedAggregator final : public SecureAggregator {
       const std::vector<std::vector<uint64_t>>& inputs, uint64_t m,
       ThreadPool* pool) override;
 
+  /// Server-side stream: absorbs *masked* inputs incrementally into an
+  /// O(dim) running sum (each participant at most once) and defers dropout
+  /// recovery to Finalize — participants absent at Finalize are treated as
+  /// dropped and their leftover masks removed via Shamir recovery, exactly
+  /// as UnmaskSum would. Bit-identical to UnmaskSum over the same survivor
+  /// set for any absorb order and thread count. The aggregator must outlive
+  /// the stream.
+  StatusOr<std::unique_ptr<StreamingAggregator>> Open(
+      size_t dim, uint64_t m, ThreadPool* pool = nullptr) override;
+
  private:
+  class Stream;
+
   MaskedAggregator(Options options, std::vector<std::vector<uint64_t>> seeds,
                    std::vector<std::vector<std::vector<ShamirShare>>> shares);
 
   /// Accumulates sign * PRG(seed) into acc mod m (sign is +1 or -1),
-  /// without materializing the mask: acc[k] += m +- mask[k] (mod m). Each
-  /// call owns a fresh PRG seeded by the pair seed — the per-pair stream
-  /// that makes sharding over pairs deterministic.
+  /// without materializing the mask: acc[k] = acc[k] +- mask[k] (mod m,
+  /// overflow-safe). Each call owns a fresh PRG seeded by the pair seed —
+  /// the per-pair stream that makes sharding over pairs deterministic.
   static void AccumulateMask(uint64_t seed, uint64_t m, int sign,
                              std::vector<uint64_t>& acc);
+
+  /// The deferred half of unmasking: removes from `sum` the leftover mask
+  /// terms of every (survivor, dropped) pair by Shamir-reconstructing the
+  /// pair seed from the survivors' shares. Pairs shard across the pool;
+  /// requires |survivors| >= threshold (checked by the callers).
+  Status RecoverDroppedMasks(const std::vector<int>& survivors, uint64_t m,
+                             ThreadPool* pool,
+                             std::vector<uint64_t>& sum) const;
 
   uint64_t PairSeed(int i, int j) const;  // i < j.
 

@@ -1,0 +1,114 @@
+#include "secagg/streaming_aggregator.h"
+
+#include "common/math_util.h"
+#include "secagg/modular.h"
+
+namespace smm::secagg {
+
+Status StreamingAggregator::AbsorbTile(
+    const std::vector<int>& participant_ids,
+    const std::vector<std::vector<uint64_t>>& inputs) {
+  if (participant_ids.size() != inputs.size()) {
+    return InvalidArgumentError("one participant id per tile input required");
+  }
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    SMM_RETURN_IF_ERROR(Absorb(participant_ids[i], inputs[i]));
+  }
+  return OkStatus();
+}
+
+RunningSumStream::RunningSumStream(size_t dim, uint64_t m, ThreadPool* pool)
+    : dim_(dim), m_(m), pool_(pool), sum_(dim, 0) {}
+
+Status RunningSumStream::CheckOpen() const {
+  if (finalized_) {
+    return FailedPreconditionError("stream already finalized");
+  }
+  return OkStatus();
+}
+
+Status RunningSumStream::AdmitParticipant(int participant_id) {
+  (void)participant_id;
+  return OkStatus();
+}
+
+Status RunningSumStream::FinalizeInto(std::vector<uint64_t>& sum) {
+  (void)sum;
+  return OkStatus();
+}
+
+Status RunningSumStream::AdmitTile(const std::vector<int>& participant_ids) {
+  for (int id : participant_ids) {
+    SMM_RETURN_IF_ERROR(AdmitParticipant(id));
+  }
+  return OkStatus();
+}
+
+Status RunningSumStream::Absorb(int participant_id, const uint64_t* data,
+                                size_t size) {
+  SMM_RETURN_IF_ERROR(CheckOpen());
+  if (size != dim_) {
+    return InvalidArgumentError("input dimension mismatch");
+  }
+  SMM_RETURN_IF_ERROR(AdmitParticipant(participant_id));
+  // A single contribution updates each coordinate independently, so the
+  // coordinate range shards with no partials at all: the memory high-water
+  // mark of a one-participant absorb is the O(dim) running sum itself.
+  const auto accumulate = [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      sum_[k] = smm::AddMod(sum_[k], data[k] % m_, m_);
+    }
+  };
+  if (pool_ != nullptr && pool_->num_threads() > 1 && dim_ > 1) {
+    pool_->ParallelFor(dim_, [&](int, size_t begin, size_t end) {
+      accumulate(begin, end);
+    });
+  } else {
+    accumulate(0, dim_);
+  }
+  ++absorbed_;
+  return OkStatus();
+}
+
+Status RunningSumStream::AbsorbTile(
+    const std::vector<int>& participant_ids,
+    const std::vector<std::vector<uint64_t>>& inputs) {
+  SMM_RETURN_IF_ERROR(CheckOpen());
+  if (participant_ids.size() != inputs.size()) {
+    return InvalidArgumentError("one participant id per tile input required");
+  }
+  for (const auto& input : inputs) {
+    if (input.size() != dim_) {
+      return InvalidArgumentError("input dimension mismatch");
+    }
+  }
+  // Admission is all-or-nothing and runs before any accumulation, so a
+  // rejected tile leaves the stream untouched; the data is then folded in
+  // with one O(dim) partial per thread, reduced in chunk order.
+  SMM_RETURN_IF_ERROR(AdmitTile(participant_ids));
+  SMM_RETURN_IF_ERROR(ShardedModularAccumulate(
+      pool_, inputs.size(), m_, sum_,
+      [&](size_t begin, size_t end, std::vector<uint64_t>& acc) {
+        for (size_t i = begin; i < end; ++i) {
+          const std::vector<uint64_t>& input = inputs[i];
+          for (size_t k = 0; k < dim_; ++k) {
+            acc[k] = smm::AddMod(acc[k], input[k] % m_, m_);
+          }
+        }
+        return OkStatus();
+      }));
+  absorbed_ += inputs.size();
+  return OkStatus();
+}
+
+StatusOr<std::vector<uint64_t>> RunningSumStream::Finalize() {
+  SMM_RETURN_IF_ERROR(CheckOpen());
+  if (absorbed_ == 0) {
+    return FailedPreconditionError("no contributions absorbed");
+  }
+  finalized_ = true;
+  SMM_RETURN_IF_ERROR(FinalizeInto(sum_));
+  return std::move(sum_);
+}
+
+}  // namespace smm::secagg

@@ -1,0 +1,179 @@
+// Regression tests for the large-modulus regime (m > 2^63), where the old
+// `(acc + v) % m` accumulators silently wrapped uint64_t: every aggregation
+// and modular-arithmetic path must now be exact against an unsigned
+// __int128 reference at m = 2^64 - 59 — the regime the paper's
+// communication analysis (Section 5) sweeps. These tests are the payload of
+// the unsigned-integer-overflow sanitizer CI job.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "secagg/modular.h"
+#include "secagg/secure_aggregator.h"
+
+namespace smm::secagg {
+namespace {
+
+constexpr uint64_t kLargePrime = 18446744073709551557ULL;  // 2^64 - 59.
+
+using uint128 = unsigned __int128;
+
+std::vector<std::vector<uint64_t>> RandomInputs(int n, size_t dim, uint64_t m,
+                                                uint64_t seed) {
+  RandomGenerator rng(seed);
+  std::vector<std::vector<uint64_t>> inputs(static_cast<size_t>(n));
+  for (auto& v : inputs) {
+    v.resize(dim);
+    for (auto& x : v) x = rng.UniformUint64(m);
+  }
+  return inputs;
+}
+
+/// Exact reference sum through 128-bit arithmetic.
+std::vector<uint64_t> ExactSum128(
+    const std::vector<std::vector<uint64_t>>& inputs, uint64_t m) {
+  std::vector<uint64_t> sum(inputs[0].size(), 0);
+  for (size_t j = 0; j < sum.size(); ++j) {
+    uint128 acc = 0;
+    for (const auto& v : inputs) acc += v[j];
+    sum[j] = static_cast<uint64_t>(acc % m);
+  }
+  return sum;
+}
+
+TEST(LargeModulusTest, ScalarAddSubModMatch128BitReference) {
+  RandomGenerator rng(2);
+  for (uint64_t m : std::vector<uint64_t>{kLargePrime, ~0ULL,
+                                          (1ULL << 63) + 1, 1ULL << 63}) {
+    for (int trial = 0; trial < 2000; ++trial) {
+      const uint64_t a = rng.UniformUint64(m);
+      const uint64_t b = rng.UniformUint64(m);
+      EXPECT_EQ(smm::AddMod(a, b, m),
+                static_cast<uint64_t>((static_cast<uint128>(a) + b) % m));
+      EXPECT_EQ(smm::SubMod(a, b, m),
+                static_cast<uint64_t>(
+                    (static_cast<uint128>(a) + m - b) % m));
+    }
+    // Boundary values.
+    EXPECT_EQ(smm::AddMod(m - 1, m - 1, m),
+              static_cast<uint64_t>((static_cast<uint128>(m - 1) * 2) % m));
+    EXPECT_EQ(smm::AddMod(m - 1, 1, m), 0ULL);
+    EXPECT_EQ(smm::AddMod(0, 0, m), 0ULL);
+    EXPECT_EQ(smm::SubMod(0, m - 1, m), 1ULL);
+    EXPECT_EQ(smm::SubMod(m - 1, 0, m), m - 1);
+  }
+}
+
+TEST(LargeModulusTest, VectorAddSubModAreExact) {
+  const uint64_t m = kLargePrime;
+  const std::vector<uint64_t> a = {m - 1, m - 2, 0, m / 2, m / 2 + 1};
+  const std::vector<uint64_t> b = {m - 1, 5, m - 1, m / 2, m / 2 + 3};
+  auto add = AddMod(a, b, m);
+  ASSERT_TRUE(add.ok());
+  auto sub = SubMod(a, b, m);
+  ASSERT_TRUE(sub.ok());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ((*add)[i],
+              static_cast<uint64_t>((static_cast<uint128>(a[i]) + b[i]) % m));
+    EXPECT_EQ((*sub)[i], static_cast<uint64_t>(
+                             (static_cast<uint128>(a[i]) + m - b[i]) % m));
+  }
+}
+
+TEST(LargeModulusTest, ModReduceAndCenterLiftRoundTrip) {
+  const uint64_t m = kLargePrime;
+  // ModReduce must fold arbitrary signed values into [0, m) without the
+  // int64 cast of m (negative for m > 2^63) the old implementation used.
+  EXPECT_EQ(ModReduce(0, m), 0ULL);
+  EXPECT_EQ(ModReduce(-1, m), m - 1);
+  EXPECT_EQ(ModReduce(INT64_MAX, m), static_cast<uint64_t>(INT64_MAX));
+  EXPECT_EQ(ModReduce(INT64_MIN, m), m - (1ULL << 63));
+  // Centered lift: values inside [-m/2, m/2) round-trip. (INT64_MAX and
+  // INT64_MIN fall *outside* that range for m = 2^64 - 59 — its centered
+  // representatives stop about 30 short of the int64 limits — so they lift
+  // to their congruent in-range representatives instead.)
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{123456},
+                    int64_t{-123456}, static_cast<int64_t>(m / 2 - 1),
+                    -static_cast<int64_t>(m - m / 2)}) {
+    EXPECT_EQ(CenterLift(ModReduce(v, m), m), v) << v;
+  }
+  EXPECT_EQ(CenterLift(static_cast<uint64_t>(INT64_MAX), m),
+            -static_cast<int64_t>(m - static_cast<uint64_t>(INT64_MAX)));
+  EXPECT_EQ(CenterLift(m - 1, m), -1);
+  EXPECT_EQ(CenterLift(m / 2 - 1, m), static_cast<int64_t>(m / 2 - 1));
+  // m = 2^64 - 1 reaches the single -2^63 boundary representative.
+  EXPECT_EQ(CenterLift((~0ULL) / 2, ~0ULL), INT64_MIN);
+}
+
+TEST(LargeModulusTest, IdealAggregatorIsExact) {
+  const uint64_t m = kLargePrime;
+  const auto inputs = RandomInputs(23, 17, m, 6);
+  const auto expected = ExactSum128(inputs, m);
+  IdealAggregator agg;
+  auto sequential = agg.Aggregate(inputs, m);
+  ASSERT_TRUE(sequential.ok());
+  EXPECT_EQ(*sequential, expected);
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    auto parallel = agg.AggregateParallel(inputs, m, &pool);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(*parallel, expected) << threads << " threads";
+  }
+}
+
+TEST(LargeModulusTest, MaskedAggregatorIsExact) {
+  const int n = 7;
+  MaskedAggregator::Options o;
+  o.num_participants = n;
+  o.threshold = 3;
+  o.session_seed = 99;
+  auto agg = MaskedAggregator::Create(o);
+  ASSERT_TRUE(agg.ok());
+  const uint64_t m = kLargePrime;
+  const size_t dim = 19;
+  const auto inputs = RandomInputs(n, dim, m, 8);
+  // Full participation: every pairwise mask must cancel exactly even though
+  // individual masked coordinates live right below 2^64.
+  auto full = (*agg)->Aggregate(inputs, m);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(*full, ExactSum128(inputs, m));
+
+  // Dropout recovery at the same modulus.
+  const std::vector<int> survivors = {0, 2, 3, 5, 6};
+  std::vector<std::vector<uint64_t>> masked;
+  std::vector<std::vector<uint64_t>> survivor_inputs;
+  for (int i : survivors) {
+    auto mi = (*agg)->MaskInput(i, inputs[static_cast<size_t>(i)], m);
+    ASSERT_TRUE(mi.ok());
+    masked.push_back(std::move(*mi));
+    survivor_inputs.push_back(inputs[static_cast<size_t>(i)]);
+  }
+  auto recovered = (*agg)->UnmaskSum(masked, survivors, dim, m);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, ExactSum128(survivor_inputs, m));
+}
+
+TEST(LargeModulusTest, StreamingAggregationIsExact) {
+  const uint64_t m = kLargePrime;
+  const size_t dim = 31;
+  const auto inputs = RandomInputs(41, dim, m, 9);
+  const auto expected = ExactSum128(inputs, m);
+  IdealAggregator agg;
+  for (int threads : {1, 8}) {
+    ThreadPool pool(threads);
+    auto stream = agg.Open(dim, m, &pool);
+    ASSERT_TRUE(stream.ok());
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      ASSERT_TRUE((*stream)->Absorb(static_cast<int>(i), inputs[i]).ok());
+    }
+    auto sum = (*stream)->Finalize();
+    ASSERT_TRUE(sum.ok());
+    EXPECT_EQ(*sum, expected) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace smm::secagg

@@ -8,6 +8,38 @@
 namespace smm {
 namespace {
 
+TEST(AddModTest, SmallModulusMatchesNaive) {
+  const uint64_t m = 97;
+  for (uint64_t a = 0; a < m; a += 7) {
+    for (uint64_t b = 0; b < m; b += 5) {
+      EXPECT_EQ(AddMod(a, b, m), (a + b) % m);
+      EXPECT_EQ(SubMod(a, b, m), (a + m - b) % m);
+    }
+  }
+}
+
+TEST(AddModTest, NeverWrapsAtHugeModuli) {
+  // The naive (a + b) % m wraps for every pair below; compare-and-correct
+  // must stay exact. (The exhaustive 128-bit cross-check lives in
+  // tests/large_modulus_test.cc.)
+  const uint64_t m = 18446744073709551557ULL;  // 2^64 - 59.
+  EXPECT_EQ(AddMod(m - 1, m - 1, m), m - 2);
+  EXPECT_EQ(AddMod(m - 1, 1, m), 0ULL);
+  EXPECT_EQ(AddMod(m - 2, 1, m), m - 1);
+  EXPECT_EQ(SubMod(0, 1, m), m - 1);
+  EXPECT_EQ(SubMod(1, m - 1, m), 2ULL);
+}
+
+TEST(AddModTest, IdentityAndInverse) {
+  for (uint64_t m : std::vector<uint64_t>{2, 1000, ~0ULL}) {
+    for (uint64_t a : std::vector<uint64_t>{0, 1, m / 2, m - 1}) {
+      EXPECT_EQ(AddMod(a, 0, m), a);
+      EXPECT_EQ(SubMod(a, a, m), 0ULL);
+      EXPECT_EQ(AddMod(a, SubMod(0, a, m), m), 0ULL);
+    }
+  }
+}
+
 TEST(LogAddTest, MatchesDirectComputation) {
   EXPECT_NEAR(LogAdd(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
   EXPECT_NEAR(LogAdd(0.0, 0.0), std::log(2.0), 1e-12);

@@ -151,6 +151,32 @@ TEST(MaskedAggregatorTest, TooManyDropoutsFail) {
   EXPECT_FALSE((*agg)->UnmaskSum(masked, survivors, 4, m).ok());
 }
 
+TEST(MaskedAggregatorTest, MaskInputValidatesArguments) {
+  auto agg = MaskedAggregator::Create(BasicOptions(4, 2));
+  ASSERT_TRUE(agg.ok());
+  const std::vector<uint64_t> input(8, 1);
+  // A zero or unit modulus used to reach `% 0` / degenerate masking.
+  EXPECT_FALSE((*agg)->MaskInput(0, input, 0).ok());
+  EXPECT_FALSE((*agg)->MaskInput(0, input, 1).ok());
+  // Empty inputs carry no dimension to mask.
+  EXPECT_FALSE((*agg)->MaskInput(0, {}, 256).ok());
+  // Out-of-range participants.
+  EXPECT_FALSE((*agg)->MaskInput(-1, input, 256).ok());
+  EXPECT_FALSE((*agg)->MaskInput(4, input, 256).ok());
+  EXPECT_TRUE((*agg)->MaskInput(3, input, 256).ok());
+}
+
+TEST(MaskedAggregatorTest, UnmaskSumValidatesArguments) {
+  auto agg = MaskedAggregator::Create(BasicOptions(4, 2));
+  ASSERT_TRUE(agg.ok());
+  std::vector<std::vector<uint64_t>> masked(3, std::vector<uint64_t>(4, 0));
+  const std::vector<int> survivors = {0, 1, 2};
+  EXPECT_FALSE((*agg)->UnmaskSum(masked, survivors, 4, 0).ok());
+  EXPECT_FALSE((*agg)->UnmaskSum(masked, survivors, 4, 1).ok());
+  EXPECT_FALSE((*agg)->UnmaskSum(masked, survivors, 0, 256).ok());
+  EXPECT_TRUE((*agg)->UnmaskSum(masked, survivors, 4, 256).ok());
+}
+
 TEST(MaskedAggregatorTest, DuplicateSurvivorRejected) {
   auto agg = MaskedAggregator::Create(BasicOptions(4, 2));
   ASSERT_TRUE(agg.ok());

@@ -56,6 +56,34 @@ TEST(FederatedTrainerTest, CreateValidates) {
       FederatedTrainer::Create(SmallModel(), task.train, task.test, c).ok());
 }
 
+TEST(FederatedTrainerTest, CreateRejectsDegenerateConfigs) {
+  // Every rejection below used to proceed into division-by-zero, `% 0`, or
+  // empty-round undefined behavior; Create must refuse up front.
+  auto task = SmallTask();
+  const auto rejected = [&](void (*mutate)(FlConfig&)) {
+    FlConfig c = FastConfig(MechanismKind::kSmm);
+    mutate(c);
+    auto trainer =
+        FederatedTrainer::Create(SmallModel(), task.train, task.test, c);
+    if (trainer.ok()) return false;
+    return trainer.status().code() == StatusCode::kInvalidArgument;
+  };
+  EXPECT_TRUE(rejected([](FlConfig& c) { c.rounds = 0; }));
+  EXPECT_TRUE(rejected([](FlConfig& c) { c.rounds = -3; }));
+  EXPECT_TRUE(rejected([](FlConfig& c) { c.modulus = 0; }));
+  EXPECT_TRUE(rejected([](FlConfig& c) { c.modulus = 1; }));
+  EXPECT_TRUE(rejected([](FlConfig& c) { c.expected_batch_size = 0; }));
+  EXPECT_TRUE(rejected([](FlConfig& c) { c.expected_batch_size = -1; }));
+  EXPECT_TRUE(rejected([](FlConfig& c) { c.eval_every = -1; }));
+  EXPECT_TRUE(rejected([](FlConfig& c) { c.num_threads = -1; }));
+
+  // The unmutated config must pass, so the rejections above are meaningful.
+  FlConfig good = FastConfig(MechanismKind::kSmm);
+  EXPECT_TRUE(
+      FederatedTrainer::Create(SmallModel(), task.train, task.test, good)
+          .ok());
+}
+
 TEST(FederatedTrainerTest, NonPrivateLearnsTheTask) {
   auto task = SmallTask();
   auto trainer = FederatedTrainer::Create(
