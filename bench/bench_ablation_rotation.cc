@@ -43,7 +43,8 @@ double RunOnce(const std::vector<std::vector<double>>& inputs,
   auto estimate = mechanisms::RunDistributedSum(**mech, agg, inputs, rng);
   if (!estimate.ok()) return -1.0;
   *overflows = (*mech)->overflow_count();
-  return mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
+  auto mse = mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
+  return mse.ok() ? *mse : -1.0;
 }
 
 void Run(Scale scale) {

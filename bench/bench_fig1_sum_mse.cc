@@ -6,6 +6,10 @@
 // Expected shape (paper): SMM wins by orders of magnitude at small bitwidths
 // (m = 2^10..2^14); DDG/Skellam approach the continuous Gaussian and close
 // the gap at m = 2^16..2^18; cpSGD is off the chart everywhere (> 1e4).
+//
+// Every integer-mechanism run goes over the wire: encode -> ContributionMsg
+// frame -> AggregationSession -> streaming sum (see RunDistributedSum), so
+// resident memory is one participant tile, independent of n.
 #include <cstdio>
 #include <memory>
 #include <vector>

@@ -6,6 +6,10 @@
 // Expected shape (paper): DGM tracks SMM at moderate/large bitwidths; at the
 // smallest bitwidth DGM is worse (integer-rounded sigma and the tau_n
 // divergence of summed discrete Gaussians).
+//
+// Every integer-mechanism run goes over the wire: encode -> ContributionMsg
+// frame -> AggregationSession -> streaming sum (see RunDistributedSum), so
+// resident memory is one participant tile, independent of n.
 #include <cstdio>
 #include <vector>
 

@@ -10,7 +10,11 @@
 //                   path's O(n·d) buffer can hold, at the wrap-prone
 //                   modulus 2^64 - 59;
 //   masked_secagg   a full Bonawitz-style round — parallel pairwise masking
-//                   across survivors plus UnmaskSum with dropouts.
+//                   across survivors plus UnmaskSum with dropouts;
+//   session_masked  the same protocol driven over the wire: participants
+//                   mask, frame, and send ContributionMsg bytes through the
+//                   loopback transport into an AggregationSession feeding
+//                   the masked streaming sum.
 //
 // Expected shape: near-linear scaling up to the physical core count, then
 // flat. Each section ends with a `SPEEDUP_SUMMARY` line (grepped by CI), and
@@ -31,6 +35,8 @@
 #include "mechanisms/distributed_mechanism.h"
 #include "mechanisms/smm_mechanism.h"
 #include "secagg/secure_aggregator.h"
+#include "secagg/session.h"
+#include "secagg/transport.h"
 #include "transform/walsh_hadamard.h"
 
 namespace smm::bench {
@@ -426,6 +432,117 @@ void RunMaskedSecaggSection(int participants, size_t dim, int repeats) {
   g_sections.push_back(std::move(section));
 }
 
+// ---------------------------------------------------------------------------
+// Section 5: the wire path — participants mask + frame ContributionMsg
+// bytes, the loopback transport carries them, and an AggregationSession
+// decodes each frame straight into the masked protocol's streaming sum
+// (dropout recovery deferred to Finalize). Measures the full
+// client -> frame -> session -> stream pipeline the sum harnesses now run.
+// ---------------------------------------------------------------------------
+
+void RunSessionMaskedSection(int participants, size_t dim, int repeats) {
+  secagg::MaskedAggregator::Options options;
+  options.num_participants = participants;
+  options.threshold = participants / 2;
+  options.session_seed = 79;
+  auto aggregator = secagg::MaskedAggregator::Create(options);
+  if (!aggregator.ok()) {
+    std::printf("masked aggregator creation failed: %s\n",
+                aggregator.status().ToString().c_str());
+    std::exit(1);
+  }
+  const uint64_t m = 1 << 16;
+  RandomGenerator rng(37);
+  std::vector<std::vector<uint64_t>> inputs(
+      static_cast<size_t>(participants), std::vector<uint64_t>(dim));
+  for (auto& v : inputs) {
+    for (auto& x : v) x = rng.UniformUint64(m);
+  }
+  // The last two participants drop out: they never send a frame, and the
+  // session recovers their leftover masks at Finalize.
+  const int contributors = participants - 2;
+
+  Section section;
+  section.name = "session_masked";
+  section.dim = dim;
+  section.participants = static_cast<size_t>(participants);
+  std::printf(
+      "AggregationSession over frames: dim=%zu, participants=%d "
+      "(2 dropouts)\n", dim, participants);
+  PrintRow("  threads", {"1", "2", "4", "8"}, 14, 12);
+  std::vector<uint64_t> reference;
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    double best_seconds = 1e300;
+    std::vector<uint64_t> sum;
+    for (int r = 0; r < repeats; ++r) {
+      const auto start = Clock::now();
+      secagg::AggregationSession::Options session_options;
+      session_options.dim = dim;
+      session_options.modulus = m;
+      session_options.pool = &pool;
+      // Trusted in-process clients: absorb one sharded tile at a time.
+      session_options.tile_rows = 32;
+      auto session =
+          secagg::AggregationSession::Open(**aggregator, session_options);
+      if (!session.ok()) {
+        std::printf("session open failed: %s\n",
+                    session.status().ToString().c_str());
+        std::exit(1);
+      }
+      secagg::InMemoryTransport transport;
+      for (int p = 0; p < contributors; ++p) {
+        secagg::ContributionMsg msg;
+        msg.participant_id = p;
+        msg.modulus = m;
+        auto masked = (*aggregator)->PrepareContribution(
+            p, inputs[static_cast<size_t>(p)], m, &pool);
+        if (!masked.ok()) {
+          std::printf("masking failed: %s\n",
+                      masked.status().ToString().c_str());
+          std::exit(1);
+        }
+        msg.payload = std::move(*masked);
+        auto frame = secagg::EncodeFrame(msg);
+        if (!frame.ok()) {
+          std::printf("framing failed: %s\n",
+                      frame.status().ToString().c_str());
+          std::exit(1);
+        }
+        if (!transport.Send(p, std::move(*frame)).ok() ||
+            !(*session)->DrainTransport(transport).ok()) {
+          std::printf("frame delivery failed\n");
+          std::exit(1);
+        }
+      }
+      auto finalized = (*session)->Finalize();
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (!finalized.ok()) {
+        std::printf("finalize failed: %s\n",
+                    finalized.status().ToString().c_str());
+        std::exit(1);
+      }
+      if (seconds < best_seconds) best_seconds = seconds;
+      sum = std::move(finalized->sum);
+    }
+    if (threads == 1) {
+      reference = sum;
+    } else if (sum != reference) {
+      section.deterministic = false;
+    }
+    section.threads.push_back(threads);
+    section.best_seconds.push_back(best_seconds);
+  }
+  // Work model mirrors masked_secagg: the O(contributors * n * d) mask
+  // expansion dominates; framing adds O(contributors * d) byte shuffling.
+  const double work = static_cast<double>(contributors) *
+                      static_cast<double>(participants) *
+                      static_cast<double>(dim);
+  PrintSection(section, work);
+  g_sections.push_back(std::move(section));
+}
+
 void Run(Scale scale, const char* json_path) {
   const size_t dim = scale == Scale::kFast ? (1u << 10) : (1u << 14);
   const size_t participants = scale == Scale::kFull ? 64 : 32;
@@ -470,6 +587,10 @@ void Run(Scale scale, const char* json_path) {
       /*dim=*/scale == Scale::kFast ? (1u << 9) : (1u << 10), repeats);
   std::printf("\n");
   RunMaskedSecaggSection(
+      /*participants=*/scale == Scale::kFast ? 16 : 32,
+      /*dim=*/scale == Scale::kFast ? (1u << 9) : (1u << 11), repeats);
+  std::printf("\n");
+  RunSessionMaskedSection(
       /*participants=*/scale == Scale::kFast ? 16 : 32,
       /*dim=*/scale == Scale::kFast ? (1u << 9) : (1u << 11), repeats);
 

@@ -24,6 +24,12 @@ namespace smm::bench {
 /// per-dimension MSE. Inputs are unit-sphere points (Delta_2 = radius = 1).
 /// Returns a negative value if calibration fails (plotted as "off chart",
 /// which is how the paper renders cpSGD).
+///
+/// Every integer-mechanism run goes through the wire path of
+/// RunDistributedSum — encode -> ContributionMsg frame -> AggregationSession
+/// -> streaming sum — so the harnesses exercise the same message flow a
+/// production server would, with resident memory independent of the
+/// participant count.
 struct SumExperimentConfig {
   double gamma = 4.0;
   uint64_t modulus = 1 << 10;
@@ -58,7 +64,8 @@ inline double RunSumSmm(const std::vector<std::vector<double>>& inputs,
   secagg::IdealAggregator agg;
   auto estimate = mechanisms::RunDistributedSum(**mech, agg, inputs, rng, cfg.pool);
   if (!estimate.ok()) return -1.0;
-  return mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
+  auto mse = mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
+  return mse.ok() ? *mse : -1.0;
 }
 
 inline double RunSumDgm(const std::vector<std::vector<double>>& inputs,
@@ -86,7 +93,8 @@ inline double RunSumDgm(const std::vector<std::vector<double>>& inputs,
   secagg::IdealAggregator agg;
   auto estimate = mechanisms::RunDistributedSum(**mech, agg, inputs, rng, cfg.pool);
   if (!estimate.ok()) return -1.0;
-  return mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
+  auto mse = mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
+  return mse.ok() ? *mse : -1.0;
 }
 
 inline double RunSumDdg(const std::vector<std::vector<double>>& inputs,
@@ -113,7 +121,8 @@ inline double RunSumDdg(const std::vector<std::vector<double>>& inputs,
   secagg::IdealAggregator agg;
   auto estimate = mechanisms::RunDistributedSum(**mech, agg, inputs, rng, cfg.pool);
   if (!estimate.ok()) return -1.0;
-  return mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
+  auto mse = mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
+  return mse.ok() ? *mse : -1.0;
 }
 
 inline double RunSumAgarwalSkellam(
@@ -141,7 +150,8 @@ inline double RunSumAgarwalSkellam(
   secagg::IdealAggregator agg;
   auto estimate = mechanisms::RunDistributedSum(**mech, agg, inputs, rng, cfg.pool);
   if (!estimate.ok()) return -1.0;
-  return mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
+  auto mse = mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
+  return mse.ok() ? *mse : -1.0;
 }
 
 inline double RunSumCpSgd(const std::vector<std::vector<double>>& inputs,
@@ -171,7 +181,8 @@ inline double RunSumCpSgd(const std::vector<std::vector<double>>& inputs,
   secagg::IdealAggregator agg;
   auto estimate = mechanisms::RunDistributedSum(**mech, agg, inputs, rng, cfg.pool);
   if (!estimate.ok()) return -1.0;
-  return mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
+  auto mse = mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
+  return mse.ok() ? *mse : -1.0;
 }
 
 inline double RunSumGaussian(const std::vector<std::vector<double>>& inputs,
@@ -186,7 +197,8 @@ inline double RunSumGaussian(const std::vector<std::vector<double>>& inputs,
   mechanisms::CentralGaussianBaseline baseline(o);
   auto estimate = baseline.PerturbedSum(inputs, rng);
   if (!estimate.ok()) return -1.0;
-  return mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
+  auto mse = mechanisms::MeanSquaredErrorPerDimension(*estimate, inputs);
+  return mse.ok() ? *mse : -1.0;
 }
 
 }  // namespace smm::bench

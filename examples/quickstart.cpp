@@ -88,6 +88,7 @@ int main() {
   }
   std::printf("\nper-dimension MSE: %.4f\n",
               smm::mechanisms::MeanSquaredErrorPerDimension(*estimate,
-                                                            private_data));
+                                                            private_data)
+                  .value());
   return 0;
 }

@@ -1,20 +1,54 @@
-// Secure aggregation walkthrough: pairwise masking, mask cancellation, and
-// dropout recovery via Shamir secret sharing — the substrate Algorithm 3
-// treats as a black box.
+// Secure aggregation walkthrough over the wire: pairwise masking, framed
+// client messages, a server session, mask cancellation, and dropout
+// recovery via Shamir secret sharing — the substrate Algorithm 3 treats as
+// a black box, run as the client -> frame -> session -> stream pipeline a
+// production server would.
 //
-// Eight participants mask their integer vectors; the server only ever sees
-// masked inputs (uniform garbage individually) yet recovers the exact
-// modular sum. Two participants then drop out, and the server unmasks the
-// surviving sum by reconstructing the dropped pairs' seeds from the
-// survivors' Shamir shares.
+// Eight participants mask their integer vectors and frame them into
+// ContributionMsg bytes; the loopback transport carries the frames to an
+// AggregationSession, which only ever sees masked inputs (uniform garbage
+// individually) yet recovers the exact modular sum. In round two, two
+// participants drop out mid-protocol — they never send a frame — and the
+// session's Finalize unmasks the surviving sum by reconstructing the
+// dropped pairs' seeds from the survivors' Shamir shares. A corrupt frame
+// is thrown at the server along the way to show it is rejected with a
+// status, never a crash.
 //
-// Build & run:  ./build/examples/secure_aggregation
+// Build & run:  ./build/example_secure_aggregation
 #include <cstdio>
 #include <vector>
 
 #include "common/random.h"
 #include "secagg/modular.h"
 #include "secagg/secure_aggregator.h"
+#include "secagg/session.h"
+#include "secagg/transport.h"
+
+namespace {
+
+/// Client-side: mask participant i's input, frame it, and send it.
+bool SendContribution(const smm::secagg::MaskedAggregator& aggregator,
+                      int participant, const std::vector<uint64_t>& input,
+                      uint64_t modulus,
+                      smm::secagg::InMemoryTransport& transport) {
+  auto masked =
+      aggregator.PrepareContribution(participant, input, modulus);
+  if (!masked.ok()) return false;
+  smm::secagg::ContributionMsg msg;
+  msg.participant_id = participant;
+  msg.modulus = modulus;
+  msg.payload = std::move(*masked);
+  auto frame = smm::secagg::EncodeFrame(msg);
+  if (!frame.ok()) return false;
+  return transport.Send(participant, std::move(*frame)).ok();
+}
+
+void PrintVector(const char* label, const std::vector<uint64_t>& v) {
+  std::printf("%s", label);
+  for (uint64_t x : v) std::printf("%6llu", (unsigned long long)x);
+}
+
+}  // namespace
 
 int main() {
   constexpr int kParticipants = 8;
@@ -41,37 +75,86 @@ int main() {
     for (auto& x : v) x = rng.UniformUint64(100);
   }
 
-  std::printf("participant 0 raw input:    ");
-  for (uint64_t v : inputs[0]) std::printf("%6llu", (unsigned long long)v);
+  PrintVector("participant 0 raw input:    ", inputs[0]);
   std::printf("\n");
-
-  auto masked0 = (*aggregator)->MaskInput(0, inputs[0], kModulus);
-  std::printf("participant 0 masked input: ");
-  for (uint64_t v : *masked0) std::printf("%6llu", (unsigned long long)v);
+  auto masked0 = (*aggregator)->PrepareContribution(0, inputs[0], kModulus);
+  if (!masked0.ok()) {
+    std::printf("masking failed: %s\n", masked0.status().ToString().c_str());
+    return 1;
+  }
+  PrintVector("participant 0 framed payload:", *masked0);
   std::printf("   <- uniform in Z_m, reveals nothing\n\n");
 
-  // --- Round 1: everyone participates. ---
-  auto full_sum = (*aggregator)->Aggregate(inputs, kModulus);
+  smm::secagg::AggregationSession::Options session_options;
+  session_options.dim = kDim;
+  session_options.modulus = kModulus;
+
+  // --- Round 1: everyone sends a frame. ---
+  auto session =
+      smm::secagg::AggregationSession::Open(**aggregator, session_options);
+  if (!session.ok()) {
+    std::printf("session open failed: %s\n",
+                session.status().ToString().c_str());
+    return 1;
+  }
+  smm::secagg::InMemoryTransport transport;
+  for (int i = 0; i < kParticipants; ++i) {
+    if (!SendContribution(**aggregator, i, inputs[static_cast<size_t>(i)],
+                          kModulus, transport)) {
+      std::printf("participant %d failed to send\n", i);
+      return 1;
+    }
+  }
+  // A corrupted frame arrives too: the session rejects it with a status and
+  // keeps serving — malformed bytes can never crash the server loop.
+  auto drain_status = (*session)->DrainTransport(transport);
+  std::vector<uint8_t> corrupt = {'S', 'M', 'M', '1', 9, 9, 9, 9};
+  auto corrupt_status = (*session)->HandleFrame(corrupt);
+  std::printf("corrupt frame -> %s (session keeps serving, %zu rejected)\n",
+              corrupt_status.ToString().c_str(),
+              (*session)->rejected_frames());
+  auto full_sum = drain_status.ok() ? (*session)->Finalize()
+                                    : smm::StatusOr<smm::secagg::SumMsg>(
+                                          drain_status);
+  if (!full_sum.ok()) {
+    std::printf("round 1 failed: %s\n",
+                full_sum.status().ToString().c_str());
+    return 1;
+  }
   std::vector<uint64_t> exact(kDim, 0);
   for (const auto& v : inputs) {
     for (size_t j = 0; j < kDim; ++j) exact[j] = (exact[j] + v[j]) % kModulus;
   }
-  std::printf("full-participation sum:  ");
-  for (uint64_t v : *full_sum) std::printf("%6llu", (unsigned long long)v);
-  std::printf("\nexact sum:               ");
-  for (uint64_t v : exact) std::printf("%6llu", (unsigned long long)v);
+  std::printf("\n%u frames -> session ->\n",
+              full_sum->num_contributors);
+  PrintVector("full-participation sum:  ", full_sum->sum);
+  PrintVector("\nexact sum:               ", exact);
   std::printf("   -> masks cancelled exactly\n\n");
 
-  // --- Round 2: participants 2 and 6 drop out mid-protocol. ---
+  // --- Round 2: participants 2 and 6 drop out mid-protocol (no frame). ---
   const std::vector<int> survivors = {0, 1, 3, 4, 5, 7};
-  std::vector<std::vector<uint64_t>> masked;
-  for (int i : survivors) {
-    auto mi = (*aggregator)->MaskInput(i, inputs[static_cast<size_t>(i)],
-                                       kModulus);
-    masked.push_back(std::move(*mi));
+  auto session2 =
+      smm::secagg::AggregationSession::Open(**aggregator, session_options);
+  if (!session2.ok()) {
+    std::printf("session open failed: %s\n",
+                session2.status().ToString().c_str());
+    return 1;
   }
-  auto surviving_sum =
-      (*aggregator)->UnmaskSum(masked, survivors, kDim, kModulus);
+  for (int i : survivors) {
+    if (!SendContribution(**aggregator, i, inputs[static_cast<size_t>(i)],
+                          kModulus, transport)) {
+      std::printf("participant %d failed to send\n", i);
+      return 1;
+    }
+  }
+  if (!(*session2)->DrainTransport(transport).ok()) {
+    std::printf("round 2 drain failed\n");
+    return 1;
+  }
+  // Finalize treats everyone who never contributed as dropped and removes
+  // their leftover masks via Shamir reconstruction from the survivors'
+  // shares.
+  auto surviving_sum = (*session2)->Finalize();
   if (!surviving_sum.ok()) {
     std::printf("unmask failed: %s\n",
                 surviving_sum.status().ToString().c_str());
@@ -85,14 +168,8 @@ int main() {
     }
   }
   std::printf("participants 2 and 6 dropped out; Shamir recovery kicks in\n");
-  std::printf("survivors' unmasked sum: ");
-  for (uint64_t v : *surviving_sum) {
-    std::printf("%6llu", (unsigned long long)v);
-  }
-  std::printf("\nexact survivors' sum:    ");
-  for (uint64_t v : exact_surviving) {
-    std::printf("%6llu", (unsigned long long)v);
-  }
+  PrintVector("survivors' unmasked sum: ", surviving_sum->sum);
+  PrintVector("\nexact survivors' sum:    ", exact_surviving);
   std::printf("\n");
   return 0;
 }

@@ -4,6 +4,19 @@
 #include <cstdint>
 #include <vector>
 
+/// Annotation for functions whose uint64 arithmetic wraps *by design* (the
+/// xoshiro/splitmix PRG core, the FNV-1a frame checksum). The uio CI job
+/// builds src/common and src/secagg with clang's
+/// -fsanitize=unsigned-integer-overflow to catch *accidental* wrap in the
+/// modular-arithmetic paths; deliberate-wrap sites carry this one shared
+/// annotation so the definitions cannot drift apart.
+#if defined(__clang__)
+#define SMM_NO_SANITIZE_UNSIGNED_WRAP \
+  __attribute__((no_sanitize("unsigned-integer-overflow")))
+#else
+#define SMM_NO_SANITIZE_UNSIGNED_WRAP
+#endif
+
 namespace smm {
 
 /// Overflow-safe (a + b) mod m for a, b already reduced into [0, m).

@@ -4,16 +4,10 @@
 #include <cmath>
 
 // The generators below wrap uint64_t *by design* (splitmix64 and
-// xoshiro256++ are defined over arithmetic mod 2^64). The CI job that
-// builds common/ and secagg/ with clang's unsigned-integer-overflow
-// sanitizer — the guard against accidental wrap in the modular-arithmetic
-// paths — must not flag these deliberate wraps, so they are annotated out.
-#if defined(__clang__)
-#define SMM_NO_SANITIZE_UNSIGNED_WRAP \
-  __attribute__((no_sanitize("unsigned-integer-overflow")))
-#else
-#define SMM_NO_SANITIZE_UNSIGNED_WRAP
-#endif
+// xoshiro256++ are defined over arithmetic mod 2^64); the shared
+// SMM_NO_SANITIZE_UNSIGNED_WRAP annotation (common/math_util.h) keeps the
+// unsigned-overflow sanitizer CI job from flagging the deliberate wraps.
+#include "common/math_util.h"
 
 namespace smm {
 

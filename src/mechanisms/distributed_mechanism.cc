@@ -1,6 +1,10 @@
 #include "mechanisms/distributed_mechanism.h"
 
 #include <algorithm>
+#include <cstddef>
+
+#include "secagg/session.h"
+#include "secagg/transport.h"
 
 namespace smm::mechanisms {
 
@@ -11,6 +15,14 @@ namespace {
 /// amortizing one batched Walsh-Hadamard dispatch over many rows. The tile
 /// size never affects results (rotation consumes no randomness).
 constexpr size_t kRotationTile = 32;
+
+/// Participants per pipelined session tile in RunDistributedSum, per
+/// thread: each tile holds threads * kSessionTileRows encodings resident —
+/// enough to hand every thread one full batched-rotation tile — before its
+/// frames are drained into the aggregation stream. The tile size never
+/// affects results (encoding reads only per-participant streams, and
+/// absorption is exact mod m).
+constexpr size_t kSessionTileRows = 32;
 
 }  // namespace
 
@@ -69,6 +81,38 @@ StatusOr<std::vector<double>> RotatedModularMechanism::DecodeSum(
   return codec_.Decode(zm_sum);
 }
 
+namespace {
+
+/// Encodes inputs[begin..end) into (*out)[begin..end), sharding the range
+/// across `pool` (nullptr or a 1-thread pool runs inline) — the range core
+/// behind EncodeBatchParallel and RunDistributedSum's tile loop. Results
+/// are bit-identical to the sequential path because participant i's encode
+/// reads only inputs[i] and rng_streams[i].
+Status EncodeRangeParallel(DistributedSumMechanism& mechanism,
+                           const std::vector<std::vector<double>>& inputs,
+                           size_t begin, size_t end,
+                           RandomGenerator* rng_streams, ThreadPool* pool,
+                           std::vector<std::vector<uint64_t>>* out) {
+  if (pool == nullptr || pool->num_threads() == 1) {
+    EncodeWorkspace workspace;
+    return mechanism.EncodeBatch(inputs, begin, end, rng_streams, workspace,
+                                 out);
+  }
+  // Static contiguous shards, one workspace per shard.
+  std::vector<Status> shard_status(static_cast<size_t>(pool->num_threads()));
+  pool->ParallelFor(end - begin, [&](int chunk, size_t b, size_t e) {
+    EncodeWorkspace workspace;
+    shard_status[static_cast<size_t>(chunk)] = mechanism.EncodeBatch(
+        inputs, begin + b, begin + e, rng_streams, workspace, out);
+  });
+  for (const Status& status : shard_status) {
+    if (!status.ok()) return status;
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
 StatusOr<std::vector<std::vector<uint64_t>>> EncodeBatchParallel(
     DistributedSumMechanism& mechanism,
     const std::vector<std::vector<double>>& inputs,
@@ -78,24 +122,8 @@ StatusOr<std::vector<std::vector<uint64_t>>> EncodeBatchParallel(
   }
   std::vector<std::vector<uint64_t>> encoded(inputs.size());
   if (inputs.empty()) return encoded;
-  if (pool == nullptr || pool->num_threads() == 1) {
-    EncodeWorkspace workspace;
-    SMM_RETURN_IF_ERROR(mechanism.EncodeBatch(
-        inputs, 0, inputs.size(), rng_streams.data(), workspace, &encoded));
-    return encoded;
-  }
-  // Static contiguous shards, one workspace per shard. Results are
-  // bit-identical to the sequential path because participant i's encode
-  // reads only inputs[i] and rng_streams[i].
-  std::vector<Status> shard_status(static_cast<size_t>(pool->num_threads()));
-  pool->ParallelFor(inputs.size(), [&](int chunk, size_t begin, size_t end) {
-    EncodeWorkspace workspace;
-    shard_status[static_cast<size_t>(chunk)] = mechanism.EncodeBatch(
-        inputs, begin, end, rng_streams.data(), workspace, &encoded);
-  });
-  for (const Status& status : shard_status) {
-    if (!status.ok()) return status;
-  }
+  SMM_RETURN_IF_ERROR(EncodeRangeParallel(mechanism, inputs, 0, inputs.size(),
+                                          rng_streams.data(), pool, &encoded));
   return encoded;
 }
 
@@ -104,26 +132,81 @@ StatusOr<std::vector<double>> RunDistributedSum(
     const std::vector<std::vector<double>>& inputs, RandomGenerator& rng,
     ThreadPool* pool) {
   if (inputs.empty()) return InvalidArgumentError("no inputs");
+  const uint64_t m = mechanism.modulus();
+  const int threads = pool != nullptr ? pool->num_threads() : 1;
+  const size_t tile_size = static_cast<size_t>(threads) * kSessionTileRows;
+
+  // The full client -> server message flow: each tile of participants is
+  // encoded in place, prepared for the wire (masked, under the masked
+  // protocol), framed, sent over the loopback transport, and absorbed by
+  // the session's stream before the next tile is encoded. Resident state
+  // is one tile of encodings plus the stream's O(threads·d) running sum —
+  // the batch-materializing O(participants·d) encoded buffer is gone. (The
+  // `encoded` vector below has one entry per participant, but only the
+  // current tile's entries ever hold a payload; outside the tile they are
+  // empty, so its footprint has no d factor — same order as the
+  // per-participant rng streams.)
+  secagg::AggregationSession::Options session_options;
+  session_options.dim = mechanism.dim();
+  session_options.modulus = m;
+  session_options.pool = pool;
+  // Frames come from this very pipeline (trusted, no duplicates), so the
+  // session may buffer a whole tile and absorb it with one sharded
+  // fork/join rather than one per frame.
+  session_options.tile_rows = tile_size;
+  SMM_ASSIGN_OR_RETURN(
+      auto session, secagg::AggregationSession::Open(aggregator,
+                                                     session_options));
+  secagg::InMemoryTransport transport;
+
   std::vector<RandomGenerator> streams =
       MakeParticipantStreams(rng, inputs.size());
-  SMM_ASSIGN_OR_RETURN(auto encoded,
-                       EncodeBatchParallel(mechanism, inputs, streams, pool));
-  SMM_ASSIGN_OR_RETURN(
-      auto zm_sum,
-      aggregator.AggregateParallel(encoded, mechanism.modulus(), pool));
-  return mechanism.DecodeSum(zm_sum, static_cast<int>(inputs.size()));
+  std::vector<std::vector<uint64_t>> encoded(inputs.size());
+  for (size_t tile_begin = 0; tile_begin < inputs.size();
+       tile_begin += tile_size) {
+    const size_t tile_end = std::min(inputs.size(), tile_begin + tile_size);
+    SMM_RETURN_IF_ERROR(EncodeRangeParallel(mechanism, inputs, tile_begin,
+                                            tile_end, streams.data(), pool,
+                                            &encoded));
+    for (size_t t = tile_begin; t < tile_end; ++t) {
+      secagg::ContributionMsg msg;
+      msg.participant_id = static_cast<int>(t);
+      msg.modulus = m;
+      SMM_ASSIGN_OR_RETURN(msg.payload, aggregator.PrepareContribution(
+                                            msg.participant_id, encoded[t],
+                                            m, pool));
+      // Release the tile entry before the frame travels: the encoding is
+      // done with, and the buffer must not accumulate across tiles.
+      std::vector<uint64_t>().swap(encoded[t]);
+      SMM_ASSIGN_OR_RETURN(auto frame, secagg::EncodeFrame(msg));
+      SMM_RETURN_IF_ERROR(transport.Send(msg.participant_id,
+                                         std::move(frame)));
+    }
+    SMM_RETURN_IF_ERROR(session->DrainTransport(transport));
+  }
+  SMM_ASSIGN_OR_RETURN(secagg::SumMsg sum, session->Finalize());
+  return mechanism.DecodeSum(sum.sum, static_cast<int>(inputs.size()));
 }
 
-double MeanSquaredErrorPerDimension(
+StatusOr<double> MeanSquaredErrorPerDimension(
     const std::vector<double>& estimate,
     const std::vector<std::vector<double>>& inputs) {
-  if (inputs.empty() || estimate.empty()) return 0.0;
+  if (inputs.empty()) return InvalidArgumentError("no inputs");
   const size_t d = inputs[0].size();
+  if (d == 0) return InvalidArgumentError("empty input rows");
+  for (const auto& x : inputs) {
+    if (x.size() != d) {
+      return InvalidArgumentError("ragged input rows: dimension mismatch");
+    }
+  }
+  if (estimate.size() != d) {
+    return InvalidArgumentError("estimate dimension does not match inputs");
+  }
   double sum_sq = 0.0;
   for (size_t j = 0; j < d; ++j) {
     double exact = 0.0;
     for (const auto& x : inputs) exact += x[j];
-    const double e = (j < estimate.size() ? estimate[j] : 0.0) - exact;
+    const double e = estimate[j] - exact;
     sum_sq += e * e;
   }
   return sum_sq / static_cast<double>(d);

@@ -155,18 +155,28 @@ StatusOr<std::vector<std::vector<uint64_t>>> EncodeBatchParallel(
     const std::vector<std::vector<double>>& inputs,
     std::vector<RandomGenerator>& rng_streams, ThreadPool* pool = nullptr);
 
-/// Runs the full pipeline: derives one jump-ahead stream per participant
-/// from `rng`, encodes every input (in parallel when `pool` is given),
-/// aggregates through `aggregator`, and decodes. Returns the estimated sum
-/// (same length as the inputs). Output is independent of the thread count.
+/// Runs the full pipeline over the wire: derives one jump-ahead stream per
+/// participant from `rng`, then — one tile of participants at a time —
+/// encodes (in parallel when `pool` is given), prepares each contribution
+/// for transport (masking, under the masked protocol), frames it into a
+/// ContributionMsg, and drains the frames through an AggregationSession
+/// into the aggregator's streaming sum; the framed SumMsg result is decoded
+/// into the estimated sum (same length as the inputs). Resident payload
+/// memory is one tile of encodings plus the stream's O(threads·d) state —
+/// the O(participants·d) encoded buffer is gone; only d-free
+/// per-participant bookkeeping (the rng streams) scales with n — and the
+/// output is bit-identical to the former batch-materializing path at every
+/// thread count.
 StatusOr<std::vector<double>> RunDistributedSum(
     DistributedSumMechanism& mechanism, secagg::SecureAggregator& aggregator,
     const std::vector<std::vector<double>>& inputs, RandomGenerator& rng,
     ThreadPool* pool = nullptr);
 
 /// Mean squared error per dimension between an estimate and the exact sum of
-/// `inputs` — the Err_M metric of Section 3.1.
-double MeanSquaredErrorPerDimension(
+/// `inputs` — the Err_M metric of Section 3.1. Fails (instead of reading out
+/// of bounds or silently zero-padding) when `inputs` is empty or ragged, or
+/// when the estimate's dimension does not match the inputs'.
+StatusOr<double> MeanSquaredErrorPerDimension(
     const std::vector<double>& estimate,
     const std::vector<std::vector<double>>& inputs);
 

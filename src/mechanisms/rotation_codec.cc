@@ -84,11 +84,17 @@ void RotationCodec::WrapInto(const std::vector<int64_t>& values,
                              int64_t* overflow_count,
                              std::vector<uint64_t>& out) const {
   const uint64_t m = options_.modulus;
-  const int64_t half = static_cast<int64_t>(m / 2);
+  // The representable centered range is exactly what CenterLift inverts:
+  // {-floor(m/2), ..., ceil(m/2) - 1}. Both bounds fit int64_t for every
+  // m < 2^64 (floor(m/2) <= 2^63 - 1 when m is odd, and ceil(m/2) - 1 <=
+  // 2^63 - 2 when m is even <= 2^64 - 2; the maximum over both parities is
+  // INT64_MAX). The former [-m/2, m/2) bounds under-counted the top of the
+  // odd-m range and over-counted its bottom.
+  const int64_t lo = -static_cast<int64_t>(m / 2);
+  const int64_t hi = static_cast<int64_t>((m - 1) / 2);
   out.resize(values.size());
   for (size_t j = 0; j < values.size(); ++j) {
-    if (overflow_count != nullptr &&
-        (values[j] < -half || values[j] >= half)) {
+    if (overflow_count != nullptr && (values[j] < lo || values[j] > hi)) {
       ++*overflow_count;
     }
     out[j] = secagg::ModReduce(values[j], m);

@@ -48,8 +48,10 @@ class RotationCodec {
                               ThreadPool* pool = nullptr) const;
 
   /// Reduces integer values into Z_m, counting coordinates that fall outside
-  /// the representable centered range [-m/2, m/2) (irrecoverable wrap-around
-  /// events) into *overflow_count if non-null.
+  /// the representable centered range {-floor(m/2), ..., ceil(m/2) - 1} —
+  /// exactly the window secagg::CenterLift inverts, for either modulus
+  /// parity — into *overflow_count if non-null (irrecoverable wrap-around
+  /// events).
   std::vector<uint64_t> Wrap(const std::vector<int64_t>& values,
                              int64_t* overflow_count) const;
 

@@ -19,14 +19,18 @@ uint64_t ModReduce(int64_t value, uint64_t m) {
 int64_t CenterLift(uint64_t value, uint64_t m) {
   assert(m >= 2);
   assert(value < m);
-  if (value >= m / 2) {
+  // Negative representatives start at ceil(m/2): value > (m-1)/2 is exactly
+  // value >= ceil(m/2) for both parities. For even m this is the familiar
+  // value >= m/2 split; for odd m the boundary point floor(m/2) = (m-1)/2
+  // stays positive (+(m-1)/2), which the old `value >= m/2` test got wrong
+  // by one (it lifted floor(m/2) to -(m+1)/2, outside the centered range).
+  if (value > (m - 1) / 2) {
     // Negative representative -(m - value). The magnitude m - value is at
-    // most ceil(m/2) <= 2^63, so it fits int64_t except for the single
-    // boundary point 2^63 = -INT64_MIN (reached only when m = 2^64 - 1 and
-    // value = m / 2), which must not be negated after the cast.
-    const uint64_t magnitude = m - value;
-    if (magnitude > static_cast<uint64_t>(INT64_MAX)) return INT64_MIN;
-    return -static_cast<int64_t>(magnitude);
+    // most m - ceil(m/2) = floor(m/2) <= floor((2^64 - 1)/2) = 2^63 - 1 =
+    // INT64_MAX, so the negation below can never overflow — including the
+    // former m = 2^64 - 1 boundary, whose largest magnitude is now
+    // 2^63 - 1, not 2^63.
+    return -static_cast<int64_t>(m - value);
   }
   return static_cast<int64_t>(value);
 }

@@ -21,8 +21,12 @@ namespace smm::secagg {
 uint64_t ModReduce(int64_t value, uint64_t m);
 
 /// The server-side unwrap of Algorithm 6 Line 1: maps {0, ..., m-1} back to
-/// the centered representatives [-m/2, m/2): values in {m/2, ..., m-1} map
-/// to {-m/2, ..., -1}, values in {0, ..., m/2 - 1} stay put.
+/// the centered representatives {-floor(m/2), ..., ceil(m/2) - 1}. Values in
+/// {ceil(m/2), ..., m-1} map to {-floor(m/2), ..., -1}; values in
+/// {0, ..., ceil(m/2) - 1} stay put. For even m that is the familiar
+/// [-m/2, m/2) window; for odd m the window is symmetric,
+/// [-(m-1)/2, (m-1)/2], and the boundary value floor(m/2) lifts to the
+/// positive representative +(m-1)/2.
 int64_t CenterLift(uint64_t value, uint64_t m);
 
 /// Element-wise (a + b) mod m. Vectors must have equal length. Entries need

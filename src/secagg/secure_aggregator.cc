@@ -57,6 +57,18 @@ Status ValidateStreamParams(size_t dim, uint64_t m) {
 
 }  // namespace
 
+StatusOr<std::vector<uint64_t>> SecureAggregator::PrepareContribution(
+    int participant, const std::vector<uint64_t>& input, uint64_t m,
+    ThreadPool* pool) const {
+  (void)participant;
+  (void)pool;
+  if (input.empty()) return InvalidArgumentError("empty input");
+  if (m < 2) return InvalidArgumentError("modulus must be >= 2");
+  std::vector<uint64_t> out(input.size());
+  for (size_t k = 0; k < input.size(); ++k) out[k] = input[k] % m;
+  return out;
+}
+
 StatusOr<std::unique_ptr<StreamingAggregator>> SecureAggregator::Open(
     size_t dim, uint64_t m, ThreadPool* pool) {
   SMM_RETURN_IF_ERROR(ValidateStreamParams(dim, m));
@@ -332,6 +344,12 @@ StatusOr<std::vector<uint64_t>> MaskedAggregator::UnmaskSum(
   // Stage 2: recover the masks that involve dropped participants.
   SMM_RETURN_IF_ERROR(RecoverDroppedMasks(survivors, m, pool, sum));
   return sum;
+}
+
+StatusOr<std::vector<uint64_t>> MaskedAggregator::PrepareContribution(
+    int participant, const std::vector<uint64_t>& input, uint64_t m,
+    ThreadPool* pool) const {
+  return MaskInput(participant, input, m, pool);
 }
 
 StatusOr<std::vector<uint64_t>> MaskedAggregator::Aggregate(

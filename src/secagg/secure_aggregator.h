@@ -39,6 +39,20 @@ class SecureAggregator {
     return Aggregate(inputs, m);
   }
 
+  /// Client-side preparation of participant `participant`'s contribution
+  /// before it goes on the wire: returns the vector the server should
+  /// receive in its ContributionMsg. The default reduces the input into Z_m
+  /// unchanged (the ideal functionality sends plaintext residues); the
+  /// masked protocol overrides this with pairwise masking, so the framed
+  /// payload is uniform garbage individually and the full
+  /// mask -> frame -> session -> stream path exercises the real protocol.
+  /// Requires a non-empty input and m >= 2. When `pool` is given,
+  /// implementations may shard the preparation, bit-identically to the
+  /// sequential path.
+  virtual StatusOr<std::vector<uint64_t>> PrepareContribution(
+      int participant, const std::vector<uint64_t>& input, uint64_t m,
+      ThreadPool* pool = nullptr) const;
+
   /// Opens a streaming aggregation session over Z_m^dim: contributions
   /// arrive one participant (or tile) at a time via Absorb/AbsorbTile and
   /// the sum is released by Finalize, bit-identical to the batch path above
@@ -124,6 +138,13 @@ class MaskedAggregator final : public SecureAggregator {
       const std::vector<std::vector<uint64_t>>& masked_inputs,
       const std::vector<int>& survivors, size_t dim, uint64_t m,
       ThreadPool* pool = nullptr) const;
+
+  /// Client-side wire preparation: pairwise masking via MaskInput, so the
+  /// transported payload is exactly the masked input Bonawitz-style SecAgg
+  /// puts on the network.
+  StatusOr<std::vector<uint64_t>> PrepareContribution(
+      int participant, const std::vector<uint64_t>& input, uint64_t m,
+      ThreadPool* pool = nullptr) const override;
 
   /// SecureAggregator interface: all participants survive.
   StatusOr<std::vector<uint64_t>> Aggregate(

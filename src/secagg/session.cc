@@ -1,0 +1,88 @@
+#include "secagg/session.h"
+
+#include <utility>
+
+namespace smm::secagg {
+
+StatusOr<std::unique_ptr<AggregationSession>> AggregationSession::Open(
+    SecureAggregator& aggregator, const Options& options) {
+  SMM_ASSIGN_OR_RETURN(
+      auto stream, aggregator.Open(options.dim, options.modulus, options.pool));
+  return std::unique_ptr<AggregationSession>(
+      new AggregationSession(std::move(stream), options));
+}
+
+Status AggregationSession::FlushPendingTile() {
+  if (pending_ids_.empty()) return OkStatus();
+  const Status status = stream_->AbsorbTile(pending_ids_, pending_payloads_);
+  if (!status.ok()) rejected_frames_ += pending_ids_.size();
+  pending_ids_.clear();
+  pending_payloads_.clear();
+  return status;
+}
+
+Status AggregationSession::Handle(ContributionMsg msg) {
+  if (msg.modulus != modulus_) {
+    return InvalidArgumentError("contribution modulus does not match session");
+  }
+  if (msg.payload.size() != dim_) {
+    return InvalidArgumentError(
+        "contribution dimension does not match session");
+  }
+  if (tile_rows_ <= 1) {
+    return stream_->Absorb(msg.participant_id, msg.payload);
+  }
+  // Tile mode: buffer up to tile_rows contributions (O(tile_rows·d)
+  // pending), then fold them in with one sharded AbsorbTile fork/join
+  // instead of one per frame. Bit-identical to immediate absorption —
+  // modular addition commutes exactly.
+  pending_ids_.push_back(msg.participant_id);
+  pending_payloads_.push_back(std::move(msg.payload));
+  if (pending_ids_.size() >= tile_rows_) return FlushPendingTile();
+  return OkStatus();
+}
+
+Status AggregationSession::HandleFrame(const uint8_t* data, size_t size) {
+  auto message = DecodeFrame(data, size);
+  if (!message.ok()) {
+    ++rejected_frames_;
+    return message.status();
+  }
+  Status status = OkStatus();
+  if (auto* contribution = std::get_if<ContributionMsg>(&*message)) {
+    const size_t rejected_before = rejected_frames_;
+    status = Handle(std::move(*contribution));
+    if (!status.ok() && rejected_frames_ == rejected_before) {
+      ++rejected_frames_;  // Not already counted by a failed tile flush.
+    }
+    return status;
+  }
+  if (std::get_if<SharesMsg>(&*message) != nullptr) {
+    // The simulated aggregator distributed every pair seed's shares at
+    // Create time, so the session only acknowledges the deposit; a real
+    // backend would persist the shares for Finalize-time recovery here.
+    ++shares_received_;
+    return OkStatus();
+  }
+  ++rejected_frames_;
+  return InvalidArgumentError(
+      "sum frames are server-outbound and cannot be received");
+}
+
+Status AggregationSession::DrainTransport(InMemoryTransport& transport) {
+  while (auto frame = transport.Receive()) {
+    SMM_RETURN_IF_ERROR(HandleFrame(*frame));
+  }
+  return OkStatus();
+}
+
+StatusOr<SumMsg> AggregationSession::Finalize() {
+  SMM_RETURN_IF_ERROR(FlushPendingTile());
+  SumMsg msg;
+  msg.modulus = modulus_;
+  msg.num_contributors = static_cast<uint32_t>(stream_->absorbed());
+  SMM_ASSIGN_OR_RETURN(msg.sum, stream_->Finalize());
+  return msg;
+}
+
+}  // namespace smm::secagg

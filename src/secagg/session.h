@@ -1,0 +1,135 @@
+#ifndef SMM_SECAGG_SESSION_H_
+#define SMM_SECAGG_SESSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/status.h"
+#include "secagg/secure_aggregator.h"
+#include "secagg/streaming_aggregator.h"
+#include "secagg/transport.h"
+
+namespace smm::secagg {
+
+/// One server-side aggregation round driven by wire-format frames: decoded
+/// ContributionMsg frames are fed straight into a SecureAggregator::Open
+/// stream, so the session inherits the stream's memory model (O(threads·d)
+/// resident with the provided aggregators, independent of the participant
+/// count), accepts contributions in any arrival order, and defers dropout
+/// handling to Finalize exactly as the masked stream already does.
+///
+///   Open(aggregator, {dim, m, pool})
+///     -> HandleFrame / DrainTransport per arriving frame
+///     -> Finalize() -> SumMsg
+///
+/// Frame handling is status-only: a truncated, corrupt, oversized, or
+/// protocol-violating frame (wrong modulus, wrong dimension, duplicate
+/// participant under the masked protocol) is rejected with a Status, the
+/// running sum is left untouched, and the session keeps serving subsequent
+/// frames — malformed input can never crash the server loop. (With
+/// Options::tile_rows > 1, stream-level rejections surface at the tile
+/// flush instead of the offending frame; see Options.) SharesMsg
+/// frames are tallied and acknowledged (the simulated aggregator already
+/// holds every participant's shares; a real backend would store them here
+/// for Finalize-time recovery). SumMsg frames are server-outbound only and
+/// are rejected on receive.
+///
+/// Determinism: contributions are folded in with exact arithmetic mod m, so
+/// Finalize is bit-identical to the batch Aggregate/AggregateParallel path
+/// for any thread count and any frame arrival order.
+///
+/// Not thread-safe: one server loop drives a session (absorption itself may
+/// shard across the pool the session was opened with). The aggregator must
+/// outlive the session.
+class AggregationSession {
+ public:
+  struct Options {
+    /// Dimension of the aggregated vectors; every contribution must match.
+    size_t dim = 0;
+    /// The session modulus; frames carrying any other modulus are rejected.
+    uint64_t modulus = 0;
+    /// Optional pool for sharded absorption (not owned; nullptr =
+    /// sequential).
+    ThreadPool* pool = nullptr;
+    /// Contributions buffered before one sharded AbsorbTile flush. The
+    /// default (1) absorbs every frame immediately, so protocol violations
+    /// (e.g. a duplicate participant) surface from the very HandleFrame
+    /// that carried them — right for untrusted clients. Larger values
+    /// bound O(tile_rows·d) pending payloads and amortize one fork/join
+    /// per tile instead of one per frame — right for trusted in-process
+    /// pipelines like RunDistributedSum; absorption errors then surface at
+    /// the flush (the HandleFrame that filled the tile, or Finalize), and
+    /// a rejected tile drops all its pending contributions (AbsorbTile's
+    /// all-or-nothing admission). The sum is bit-identical either way.
+    size_t tile_rows = 1;
+  };
+
+  /// Opens a session over `aggregator` (requires dim >= 1, modulus >= 2).
+  static StatusOr<std::unique_ptr<AggregationSession>> Open(
+      SecureAggregator& aggregator, const Options& options);
+
+  /// Handles one received frame: parses it, validates it against the
+  /// session, and absorbs a contribution into the stream. On error the
+  /// frame is dropped (counted in rejected_frames) and the session state is
+  /// unchanged except that a masked-protocol tile admission already
+  /// recorded by the stream stays recorded — the provided streams reject
+  /// before touching the sum, so a failed HandleFrame never corrupts it.
+  Status HandleFrame(const uint8_t* data, size_t size);
+  Status HandleFrame(const std::vector<uint8_t>& frame) {
+    return HandleFrame(frame.data(), frame.size());
+  }
+
+  /// Drains `transport` until no frame is pending, handling each in the
+  /// transport's deterministic order. Stops at (and returns) the first
+  /// frame error, leaving the remaining frames queued so the caller can
+  /// decide whether to keep draining.
+  Status DrainTransport(InMemoryTransport& transport);
+
+  /// Completes the round: runs the stream's deferred work (e.g. Shamir
+  /// dropout recovery for participants that never contributed) and returns
+  /// the aggregated sum as a ready-to-frame SumMsg. The session is consumed.
+  StatusOr<SumMsg> Finalize();
+
+  /// Contributions accepted so far (absorbed plus any buffered in the
+  /// pending tile).
+  size_t contributions() const {
+    return stream_->absorbed() + pending_ids_.size();
+  }
+  /// SharesMsg frames acknowledged so far.
+  size_t shares_received() const { return shares_received_; }
+  /// Frames rejected so far (parse failures and protocol violations).
+  size_t rejected_frames() const { return rejected_frames_; }
+
+  size_t dim() const { return dim_; }
+  uint64_t modulus() const { return modulus_; }
+
+ private:
+  AggregationSession(std::unique_ptr<StreamingAggregator> stream,
+                     const Options& options)
+      : stream_(std::move(stream)),
+        dim_(options.dim),
+        modulus_(options.modulus),
+        tile_rows_(options.tile_rows < 1 ? 1 : options.tile_rows) {}
+
+  Status Handle(ContributionMsg msg);
+  /// Absorbs the pending tile through one sharded AbsorbTile. On error the
+  /// tile is dropped (counted in rejected_frames) — AbsorbTile admission is
+  /// all-or-nothing, so the stream is untouched.
+  Status FlushPendingTile();
+
+  std::unique_ptr<StreamingAggregator> stream_;
+  size_t dim_;
+  uint64_t modulus_;
+  size_t tile_rows_;
+  std::vector<int> pending_ids_;
+  std::vector<std::vector<uint64_t>> pending_payloads_;
+  size_t shares_received_ = 0;
+  size_t rejected_frames_ = 0;
+};
+
+}  // namespace smm::secagg
+
+#endif  // SMM_SECAGG_SESSION_H_

@@ -1,0 +1,138 @@
+#ifndef SMM_SECAGG_TRANSPORT_H_
+#define SMM_SECAGG_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "secagg/shamir.h"
+
+namespace smm::secagg {
+
+/// The versioned binary wire format of the secure-aggregation transport:
+/// the client -> server message flow that Bonawitz-style SecAgg and the
+/// DDP-SA line of work build on, made concrete so contributions arrive as
+/// framed messages instead of in-memory vector batches.
+///
+/// Every message travels in one frame:
+///
+///   offset  size  field
+///   0       4     magic "SMM1" (raw bytes, rejects non-protocol data)
+///   4       1     version (kWireVersion; parsers reject anything else)
+///   5       1     message type (MessageType; parsers reject unknowns)
+///   6       2     reserved, must be zero
+///   8       4     payload length in bytes (little-endian uint32)
+///   12      len   payload (per-type layout below)
+///   12+len  8     FNV-1a 64-bit checksum of bytes [0, 12+len)
+///
+/// All integers are serialized little-endian byte by byte, so the encoding
+/// is identical on any host endianness. Parsing is strict: a frame is
+/// rejected (with a Status, never UB) if it is truncated, carries trailing
+/// bytes, exceeds kMaxPayloadBytes, fails the checksum, or its payload's
+/// internal counts disagree with the payload length.
+///
+/// Payload layouts (LE):
+///   kContribution  participant_id u32 | count u32 | modulus u64
+///                  | count x value u64
+///   kShares        participant_id u32 | count u32 | count x (x u64, y u64)
+///   kSum           num_contributors u32 | count u32 | modulus u64
+///                  | count x value u64
+
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 12;
+inline constexpr size_t kFrameChecksumBytes = 8;
+inline constexpr size_t kFrameOverheadBytes =
+    kFrameHeaderBytes + kFrameChecksumBytes;
+/// Upper bound on a frame's payload, enforced by encoder and parser alike:
+/// 1 GiB covers d = 2^27 u64 coordinates per contribution while keeping a
+/// corrupt length prefix from driving a giant allocation.
+inline constexpr size_t kMaxPayloadBytes = size_t{1} << 30;
+
+enum class MessageType : uint8_t {
+  kContribution = 1,
+  kShares = 2,
+  kSum = 3,
+};
+
+/// One participant's (masked) contribution in Z_m^d — the client -> server
+/// payload of Algorithm 3's black-box protocol.
+struct ContributionMsg {
+  int participant_id = 0;
+  uint64_t modulus = 0;
+  std::vector<uint64_t> payload;
+};
+
+/// A participant's Shamir shares (the dropout-recovery material clients
+/// deposit with the server before contributing).
+struct SharesMsg {
+  int participant_id = 0;
+  std::vector<ShamirShare> shares;
+};
+
+/// The server's aggregated sum in Z_m^d, broadcast after Finalize.
+struct SumMsg {
+  uint64_t modulus = 0;
+  uint32_t num_contributors = 0;
+  std::vector<uint64_t> sum;
+};
+
+/// A successfully parsed frame, one alternative per message type.
+using WireMessage = std::variant<ContributionMsg, SharesMsg, SumMsg>;
+
+/// Serializes a message into one framed byte string. Fails on a negative
+/// participant id, a modulus < 2, or a payload over kMaxPayloadBytes.
+StatusOr<std::vector<uint8_t>> EncodeFrame(const ContributionMsg& msg);
+StatusOr<std::vector<uint8_t>> EncodeFrame(const SharesMsg& msg);
+StatusOr<std::vector<uint8_t>> EncodeFrame(const SumMsg& msg);
+
+/// Parses one frame. `size` must be the exact frame length: truncated,
+/// oversized, corrupt, or trailing-garbage input is rejected with an
+/// InvalidArgument status and never touches memory outside [data, size).
+StatusOr<WireMessage> DecodeFrame(const uint8_t* data, size_t size);
+
+inline StatusOr<WireMessage> DecodeFrame(const std::vector<uint8_t>& frame) {
+  return DecodeFrame(frame.data(), frame.size());
+}
+
+/// A loopback message channel with per-client FIFO queues: clients enqueue
+/// framed bytes with Send, the server drains them with Receive. The whole
+/// client -> frame -> session -> stream pipeline runs in-process through
+/// this today; a socket backend only has to reproduce the same
+/// byte-in/byte-out contract to slot in underneath AggregationSession.
+///
+/// Determinism contract: Receive always returns the oldest frame of the
+/// lowest client id that has one pending, so the drain order is a function
+/// of what was sent — per-client send order and the client id set — never
+/// of thread scheduling. Send is thread-safe (clients may enqueue
+/// concurrently); Receive is meant to be driven by one server loop.
+class InMemoryTransport {
+ public:
+  /// Enqueues a frame from `client_id` (>= 0). The frame is taken by value
+  /// and moved into the queue.
+  Status Send(int client_id, std::vector<uint8_t> frame);
+
+  /// Dequeues the next frame in the deterministic drain order, or nullopt
+  /// when every queue is empty.
+  std::optional<std::vector<uint8_t>> Receive();
+
+  /// Frames currently queued across all clients.
+  size_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  /// Non-empty queues only, keyed by client id (ordered map = lowest-id
+  /// drain order); an emptied queue is erased so memory tracks the pending
+  /// frames, not the client universe.
+  std::map<int, std::deque<std::vector<uint8_t>>> queues_;
+  size_t pending_ = 0;
+};
+
+}  // namespace smm::secagg
+
+#endif  // SMM_SECAGG_TRANSPORT_H_

@@ -51,7 +51,7 @@ TEST(DdgMechanismTest, SumEstimateAccurateAtLargeScale) {
   auto estimate = RunDistributedSum(**mech, agg, inputs, rng);
   ASSERT_TRUE(estimate.ok());
   // Rounding error ~ n/4 per dim plus noise, all divided by gamma^2.
-  EXPECT_LT(MeanSquaredErrorPerDimension(*estimate, inputs), 0.01);
+  EXPECT_LT(MeanSquaredErrorPerDimension(*estimate, inputs).value(), 0.01);
 }
 
 TEST(DdgMechanismTest, EstimateUnbiasedWhenRoundingUnconstrained) {
@@ -93,7 +93,7 @@ TEST(AgarwalSkellamMechanismTest, MirrorsDdgPipeline) {
       10, std::vector<double>(128, 0.02));
   auto estimate = RunDistributedSum(**mech, agg, inputs, rng);
   ASSERT_TRUE(estimate.ok());
-  EXPECT_LT(MeanSquaredErrorPerDimension(*estimate, inputs), 0.01);
+  EXPECT_LT(MeanSquaredErrorPerDimension(*estimate, inputs).value(), 0.01);
   EXPECT_NEAR((*mech)->rounded_norm_bound(),
               ConditionalRoundingNormBound(256.0, 1.0, 128, o.beta), 1e-9);
 }

@@ -81,7 +81,7 @@ TEST(DgmMechanismTest, SumEstimateAccurateWithSmallNoise) {
   }
   auto estimate = RunDistributedSum(**mech, agg, inputs, rng);
   ASSERT_TRUE(estimate.ok());
-  EXPECT_LT(MeanSquaredErrorPerDimension(*estimate, inputs), 0.05);
+  EXPECT_LT(MeanSquaredErrorPerDimension(*estimate, inputs).value(), 0.05);
 }
 
 TEST(DgmMechanismTest, MatchesSmmPipelineShape) {
@@ -97,7 +97,7 @@ TEST(DgmMechanismTest, MatchesSmmPipelineShape) {
       20, std::vector<double>(128, 0.01));
   auto estimate = RunDistributedSum(**mech, agg, inputs, rng);
   ASSERT_TRUE(estimate.ok());
-  const double mse = MeanSquaredErrorPerDimension(*estimate, inputs);
+  const double mse = MeanSquaredErrorPerDimension(*estimate, inputs).value();
   // Predicted: (n * (sigma^2 + ~1/4 Bernoulli)) / gamma^2 ~ 0.083.
   EXPECT_LT(mse, 0.3);
   EXPECT_GT(mse, 0.01);

@@ -40,7 +40,7 @@ double RunSmm(const std::vector<std::vector<double>>& inputs, double gamma,
   secagg::IdealAggregator agg;
   auto estimate =
       mechanisms::RunDistributedSum(*mech, agg, inputs, rng).value();
-  return mechanisms::MeanSquaredErrorPerDimension(estimate, inputs);
+  return mechanisms::MeanSquaredErrorPerDimension(estimate, inputs).value();
 }
 
 double RunDdg(const std::vector<std::vector<double>>& inputs, double gamma,
@@ -64,7 +64,7 @@ double RunDdg(const std::vector<std::vector<double>>& inputs, double gamma,
   secagg::IdealAggregator agg;
   auto estimate =
       mechanisms::RunDistributedSum(*mech, agg, inputs, rng).value();
-  return mechanisms::MeanSquaredErrorPerDimension(estimate, inputs);
+  return mechanisms::MeanSquaredErrorPerDimension(estimate, inputs).value();
 }
 
 double RunGaussian(const std::vector<std::vector<double>>& inputs,
@@ -76,7 +76,7 @@ double RunGaussian(const std::vector<std::vector<double>>& inputs,
   o.l2_bound = 1.0;
   mechanisms::CentralGaussianBaseline baseline(o);
   auto estimate = baseline.PerturbedSum(inputs, rng).value();
-  return mechanisms::MeanSquaredErrorPerDimension(estimate, inputs);
+  return mechanisms::MeanSquaredErrorPerDimension(estimate, inputs).value();
 }
 
 class DistributedSumIntegrationTest : public ::testing::Test {
@@ -140,7 +140,7 @@ TEST_F(DistributedSumIntegrationTest, SmmErrorMatchesCorollary2Prediction) {
   auto estimate =
       mechanisms::RunDistributedSum(*mech, agg, inputs_, rng).value();
   const double mse =
-      mechanisms::MeanSquaredErrorPerDimension(estimate, inputs_);
+      mechanisms::MeanSquaredErrorPerDimension(estimate, inputs_).value();
   const double noise_var_per_dim =
       2.0 * calib.noise_parameter / (gamma * gamma);
   EXPECT_LT(mse, 3.0 * (noise_var_per_dim + 0.25 * kN / (gamma * gamma)));

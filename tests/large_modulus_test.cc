@@ -91,21 +91,65 @@ TEST(LargeModulusTest, ModReduceAndCenterLiftRoundTrip) {
   EXPECT_EQ(ModReduce(-1, m), m - 1);
   EXPECT_EQ(ModReduce(INT64_MAX, m), static_cast<uint64_t>(INT64_MAX));
   EXPECT_EQ(ModReduce(INT64_MIN, m), m - (1ULL << 63));
-  // Centered lift: values inside [-m/2, m/2) round-trip. (INT64_MAX and
-  // INT64_MIN fall *outside* that range for m = 2^64 - 59 — its centered
-  // representatives stop about 30 short of the int64 limits — so they lift
-  // to their congruent in-range representatives instead.)
+  // Centered lift: values inside [-(m-1)/2, (m-1)/2] round-trip (m is odd,
+  // so the centered window is symmetric and includes both boundary
+  // representatives). INT64_MAX and INT64_MIN fall *outside* that range for
+  // m = 2^64 - 59 — its centered representatives stop about 30 short of the
+  // int64 limits — so they lift to their congruent in-range representatives
+  // instead.
   for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{123456},
                     int64_t{-123456}, static_cast<int64_t>(m / 2 - 1),
-                    -static_cast<int64_t>(m - m / 2)}) {
+                    static_cast<int64_t>(m / 2),
+                    -static_cast<int64_t>(m / 2)}) {
     EXPECT_EQ(CenterLift(ModReduce(v, m), m), v) << v;
   }
   EXPECT_EQ(CenterLift(static_cast<uint64_t>(INT64_MAX), m),
             -static_cast<int64_t>(m - static_cast<uint64_t>(INT64_MAX)));
   EXPECT_EQ(CenterLift(m - 1, m), -1);
   EXPECT_EQ(CenterLift(m / 2 - 1, m), static_cast<int64_t>(m / 2 - 1));
-  // m = 2^64 - 1 reaches the single -2^63 boundary representative.
-  EXPECT_EQ(CenterLift((~0ULL) / 2, ~0ULL), INT64_MIN);
+  // The odd-m boundary point floor(m/2) is the *positive* end of the
+  // centered window (+(m-1)/2), not a negative wrap — the off-by-one the
+  // old `value >= m / 2` condition got wrong.
+  EXPECT_EQ(CenterLift(m / 2, m), static_cast<int64_t>(m / 2));
+  EXPECT_EQ(CenterLift(m / 2 + 1, m), -static_cast<int64_t>(m / 2));
+  // m = 2^64 - 1: the largest magnitude is now floor(m/2) = 2^63 - 1 on
+  // both sides, so INT64_MIN is no longer reachable.
+  EXPECT_EQ(CenterLift((~0ULL) / 2, ~0ULL), INT64_MAX);
+  EXPECT_EQ(CenterLift((~0ULL) / 2 + 1, ~0ULL), -INT64_MAX);
+}
+
+TEST(LargeModulusTest, CenterLiftMatches128BitReferenceAtBothParities) {
+  // Cross-check CenterLift against a signed 128-bit reference — value, then
+  // subtract m iff the value exceeds the centered window's positive end —
+  // at odd and even moduli spanning the full range, including the wrap-prone
+  // m > 2^63 regime and the odd boundary cases of the ISSUE-4 regression.
+  RandomGenerator rng(3);
+  for (uint64_t m : std::vector<uint64_t>{3, 5, 8, 1024, (1ULL << 63) - 1,
+                                          1ULL << 63, (1ULL << 63) + 1,
+                                          kLargePrime, ~0ULL - 1, ~0ULL}) {
+    const auto reference = [m](uint64_t value) {
+      __int128 lifted = static_cast<__int128>(value);
+      if (lifted > static_cast<__int128>((m - 1) / 2)) {
+        lifted -= static_cast<__int128>(m);
+      }
+      return static_cast<int64_t>(lifted);
+    };
+    // Every boundary-adjacent value plus random probes.
+    std::vector<uint64_t> probes = {0, 1, m - 1, m - 2, m / 2, (m - 1) / 2};
+    if (m / 2 >= 1) probes.push_back(m / 2 - 1);
+    if (m / 2 + 1 < m) probes.push_back(m / 2 + 1);
+    for (int trial = 0; trial < 200; ++trial) {
+      probes.push_back(rng.UniformUint64(m));
+    }
+    for (uint64_t value : probes) {
+      ASSERT_LT(value, m);
+      EXPECT_EQ(CenterLift(value, m), reference(value))
+          << "m=" << m << " value=" << value;
+      // And the round trip the decode path relies on.
+      EXPECT_EQ(ModReduce(CenterLift(value, m), m), value)
+          << "m=" << m << " value=" << value;
+    }
+  }
 }
 
 TEST(LargeModulusTest, IdealAggregatorIsExact) {

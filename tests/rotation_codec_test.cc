@@ -69,6 +69,30 @@ TEST(RotationCodecTest, WrapCountsOutOfRangeValues) {
   EXPECT_EQ(secagg::CenterLift(wrapped[1], 1 << 12), half - 1);
 }
 
+TEST(RotationCodecTest, WrapOverflowAccountingMatchesCenterLiftWindow) {
+  // The overflow count must flag exactly the values CenterLift cannot
+  // round-trip, for either modulus parity — odd moduli have the symmetric
+  // window [-(m-1)/2, (m-1)/2], so both boundary values are representable.
+  for (uint64_t m : std::vector<uint64_t>{4, 5, 6, 7, 1021, 1024}) {
+    auto o = BasicOptions();
+    o.dim = 1;  // Power-of-two dim, modulus free.
+    o.modulus = m;
+    o.apply_rotation = false;
+    auto codec = RotationCodec::Create(o);
+    ASSERT_TRUE(codec.ok());
+    const int64_t lo = -static_cast<int64_t>(m / 2);
+    const int64_t hi = static_cast<int64_t>((m - 1) / 2);
+    for (int64_t v = lo - 2; v <= hi + 2; ++v) {
+      int64_t overflows = 0;
+      const auto wrapped = codec->Wrap({v}, &overflows);
+      const bool representable =
+          secagg::CenterLift(wrapped[0], m) == v;
+      EXPECT_EQ(overflows, representable ? 0 : 1)
+          << "m=" << m << " v=" << v;
+    }
+  }
+}
+
 TEST(RotationCodecTest, WrapWithNullCounterDoesNotCrash) {
   auto codec = RotationCodec::Create(BasicOptions());
   ASSERT_TRUE(codec.ok());

@@ -134,7 +134,7 @@ TEST(SmmMechanismTest, SumEstimateIsAccurateWithTinyNoise) {
   }
   auto estimate = RunDistributedSum(**mech, agg, inputs, rng);
   ASSERT_TRUE(estimate.ok());
-  const double mse = MeanSquaredErrorPerDimension(*estimate, inputs);
+  const double mse = MeanSquaredErrorPerDimension(*estimate, inputs).value();
   // Error budget: (20 * (0.1 + 0.25)) / 64^2 ~ 0.0017 per dim.
   EXPECT_LT(mse, 0.02);
   EXPECT_EQ((*mech)->overflow_count(), 0);

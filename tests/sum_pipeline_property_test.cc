@@ -52,7 +52,7 @@ TEST_P(SumPipelineTest, SmmTracksExactSumWithTinyNoise) {
   // bias; allow 5x headroom. No wraps expected at these moduli.
   const double predicted =
       20.0 * (2.0 * 0.05 + 0.25) / (gamma * gamma);
-  EXPECT_LT(MeanSquaredErrorPerDimension(*estimate, inputs_),
+  EXPECT_LT(MeanSquaredErrorPerDimension(*estimate, inputs_).value(),
             5.0 * predicted + 0.02);
   EXPECT_EQ((*mech)->overflow_count(), 0);
 }
@@ -91,8 +91,8 @@ TEST_P(SumPipelineTest, DgmMatchesSmmErrorAtEqualVariance) {
     auto ge = RunDistributedSum(**dgm, agg, inputs_, rng);
     ASSERT_TRUE(se.ok());
     ASSERT_TRUE(ge.ok());
-    smm_mse += MeanSquaredErrorPerDimension(*se, inputs_) / kReps;
-    dgm_mse += MeanSquaredErrorPerDimension(*ge, inputs_) / kReps;
+    smm_mse += MeanSquaredErrorPerDimension(*se, inputs_).value() / kReps;
+    dgm_mse += MeanSquaredErrorPerDimension(*ge, inputs_).value() / kReps;
   }
   // Same pipeline, same noise variance: errors within 2x of each other.
   EXPECT_LT(smm_mse, 2.0 * dgm_mse + 1e-6);
@@ -149,6 +149,74 @@ TEST(SumPipelineFailureInjection, EmptyInputsRejected) {
   secagg::IdealAggregator agg;
   RandomGenerator rng(3);
   EXPECT_FALSE(RunDistributedSum(**mech, agg, {}, rng).ok());
+}
+
+TEST(SumPipelineDeterminism, SessionPathMatchesBatchPathAtEveryThreadCount) {
+  // The wire path RunDistributedSum now runs (tile-encode -> mask -> frame
+  // -> session -> stream) must be bit-identical to the former
+  // batch-materializing pipeline (encode everything, AggregateParallel,
+  // decode) at thread counts {1, 2, 8}, for both aggregators.
+  SmmMechanism::Options o;
+  o.dim = 128;
+  o.gamma = 16.0;
+  o.c = 256.0;
+  o.delta_inf = 16.0;
+  o.lambda = 1.0;
+  o.modulus = 1 << 16;
+  o.rotation_seed = 8;
+  RandomGenerator data_rng(21);
+  // More inputs than one session tile per thread count, so tiling kicks in.
+  const auto inputs = data::SampleSphereDataset(100, 128, 1.0, data_rng);
+
+  // The batch path, composed by hand exactly as RunDistributedSum used to.
+  auto run_batch = [&](secagg::SecureAggregator& agg) {
+    auto mech = SmmMechanism::Create(o).value();
+    RandomGenerator rng(42);
+    std::vector<RandomGenerator> streams =
+        MakeParticipantStreams(rng, inputs.size());
+    auto encoded = EncodeBatchParallel(*mech, inputs, streams).value();
+    auto zm_sum = agg.Aggregate(encoded, mech->modulus()).value();
+    return mech->DecodeSum(zm_sum, static_cast<int>(inputs.size())).value();
+  };
+  auto run_session = [&](secagg::SecureAggregator& agg, int threads) {
+    auto mech = SmmMechanism::Create(o).value();
+    RandomGenerator rng(42);
+    ThreadPool pool(threads);
+    return RunDistributedSum(*mech, agg, inputs, rng, &pool).value();
+  };
+
+  secagg::IdealAggregator ideal;
+  const std::vector<double> batch = run_batch(ideal);
+  for (int threads : {1, 2, 8}) {
+    EXPECT_EQ(run_session(ideal, threads), batch) << threads << " threads";
+  }
+
+  // Masked protocol: masking + frame transport + deferred recovery must
+  // cancel to the identical estimate.
+  secagg::MaskedAggregator::Options mo;
+  mo.num_participants = static_cast<int>(inputs.size());
+  mo.threshold = 50;
+  mo.session_seed = 2;
+  auto masked = secagg::MaskedAggregator::Create(mo).value();
+  for (int threads : {1, 2, 8}) {
+    EXPECT_EQ(run_session(*masked, threads), batch) << threads << " threads";
+  }
+}
+
+TEST(SumPipelineFailureInjection, MseValidatesDimensions) {
+  // Ragged rows and estimate/input mismatches must surface as errors, not
+  // out-of-bounds reads or silent zero-padding.
+  const std::vector<std::vector<double>> inputs = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_FALSE(MeanSquaredErrorPerDimension({}, inputs).ok());
+  EXPECT_FALSE(MeanSquaredErrorPerDimension({1.0}, inputs).ok());
+  EXPECT_FALSE(MeanSquaredErrorPerDimension({1.0, 2.0, 3.0}, inputs).ok());
+  EXPECT_FALSE(MeanSquaredErrorPerDimension({1.0, 2.0}, {}).ok());
+  EXPECT_FALSE(
+      MeanSquaredErrorPerDimension({1.0, 2.0}, {{1.0, 2.0}, {3.0}}).ok());
+  EXPECT_FALSE(MeanSquaredErrorPerDimension({}, {{}, {}}).ok());
+  auto mse = MeanSquaredErrorPerDimension({4.0, 7.0}, inputs);
+  ASSERT_TRUE(mse.ok());
+  EXPECT_DOUBLE_EQ(*mse, 0.5);  // ((4-4)^2 + (7-6)^2) / 2.
 }
 
 TEST(SumPipelineDeterminism, SameSeedSameEstimate) {
