@@ -14,7 +14,12 @@
 //   session_masked  the same protocol driven over the wire: participants
 //                   mask, frame, and send ContributionMsg bytes through the
 //                   loopback transport into an AggregationSession feeding
-//                   the masked streaming sum.
+//                   the masked streaming sum;
+//   simd_kernels    single-thread scalar-reference vs dispatched (AVX2 when
+//                   the cpu has it) elements/sec for each hot kernel of the
+//                   SIMD layer, with a bit-identity cross-check — the
+//                   per-kernel speedup the dispatch layer buys before any
+//                   threading.
 //
 // Expected shape: near-linear scaling up to the physical core count, then
 // flat. Each section ends with a `SPEEDUP_SUMMARY` line (grepped by CI), and
@@ -25,12 +30,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/parallel.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "mechanisms/baseline_mechanisms.h"
 #include "mechanisms/distributed_mechanism.h"
 #include "mechanisms/smm_mechanism.h"
@@ -62,6 +69,20 @@ struct Section {
 };
 
 std::vector<Section> g_sections;
+
+/// Raw numbers of one SIMD-kernel comparison (single thread, scalar
+/// reference vs dispatched table), for the table and the JSON artifact.
+struct SimdKernelResult {
+  std::string name;
+  size_t elements = 0;
+  double scalar_seconds = 0.0;
+  double dispatch_seconds = 0.0;
+  bool identical = true;
+
+  double speedup() const { return scalar_seconds / dispatch_seconds; }
+};
+
+std::vector<SimdKernelResult> g_simd_results;
 
 const char* ParseJsonPath(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
@@ -123,6 +144,24 @@ void WriteJson(const char* path, Scale scale) {
     std::fprintf(f, "],\n     \"bit_identical\": %s}%s\n",
                  section.deterministic ? "true" : "false",
                  s + 1 < g_sections.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"simd_dispatch\": \"%s\",\n",
+               smm::simd::Active().name);
+  std::fprintf(f, "  \"simd_kernels\": [\n");
+  for (size_t s = 0; s < g_simd_results.size(); ++s) {
+    const SimdKernelResult& r = g_simd_results[s];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"elements\": %zu,\n"
+                 "     \"scalar_seconds\": %.6e, \"dispatch_seconds\": "
+                 "%.6e,\n     \"scalar_eps\": %.6e, \"dispatch_eps\": %.6e,\n"
+                 "     \"speedup\": %.3f, \"bit_identical\": %s}%s\n",
+                 r.name.c_str(), r.elements, r.scalar_seconds,
+                 r.dispatch_seconds,
+                 static_cast<double>(r.elements) / r.scalar_seconds,
+                 static_cast<double>(r.elements) / r.dispatch_seconds,
+                 r.speedup(), r.identical ? "true" : "false",
+                 s + 1 < g_simd_results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -543,6 +582,164 @@ void RunSessionMaskedSection(int participants, size_t dim, int repeats) {
   g_sections.push_back(std::move(section));
 }
 
+// ---------------------------------------------------------------------------
+// Section 6: the SIMD kernel layer, scalar reference vs dispatched table at
+// a single thread. Every case cross-checks bit-identity (scalar output ==
+// dispatched output) before timing; a mismatch is a dispatch-layer bug and
+// fails the harness like a determinism violation.
+// ---------------------------------------------------------------------------
+
+void RunOneSimdCase(const char* name, size_t elements, int repeats,
+                    const std::function<void()>& reset,
+                    const std::function<void(const smm::simd::Kernels&)>& run,
+                    const unsigned char* out, size_t out_bytes) {
+  SimdKernelResult result;
+  result.name = name;
+  result.elements = elements;
+
+  std::vector<unsigned char> scalar_snapshot(out_bytes);
+  reset();
+  run(smm::simd::ScalarKernels());
+  std::memcpy(scalar_snapshot.data(), out, out_bytes);
+  reset();
+  run(smm::simd::Active());
+  result.identical = std::memcmp(scalar_snapshot.data(), out, out_bytes) == 0;
+
+  const auto best_seconds = [&](const smm::simd::Kernels& kernels) {
+    double best = 1e300;
+    for (int r = 0; r < repeats; ++r) {
+      reset();
+      const auto start = Clock::now();
+      run(kernels);
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (seconds < best) best = seconds;
+    }
+    return best;
+  };
+  result.scalar_seconds = best_seconds(smm::simd::ScalarKernels());
+  result.dispatch_seconds = best_seconds(smm::simd::Active());
+
+  const double e = static_cast<double>(elements);
+  PrintRow("  " + result.name,
+           {FormatSci(e / result.scalar_seconds),
+            FormatSci(e / result.dispatch_seconds),
+            FormatSci(result.speedup()),
+            result.identical ? "yes" : "MISMATCH"},
+           22, 14);
+  std::printf("SIMD_KERNEL name=%s elements=%zu speedup=%.2fx "
+              "identical=%s\n",
+              result.name.c_str(), result.elements, result.speedup(),
+              result.identical ? "yes" : "no");
+  const bool identical = result.identical;
+  g_simd_results.push_back(std::move(result));
+  if (!identical) {
+    std::printf("SIMD dispatch bit-identity violation in %s\n", name);
+    std::exit(1);
+  }
+}
+
+void RunSimdKernelSection(Scale scale) {
+  const size_t n = scale == Scale::kFast ? (1u << 20) : (1u << 22);
+  const int repeats = scale == Scale::kFast ? 3 : 5;
+  const uint64_t m = 18446744073709551557ULL;  // 2^64 - 59: wrap-prone.
+
+  std::printf(
+      "SIMD kernels: single-thread scalar reference vs dispatched (%s), "
+      "n=%zu, m=2^64-59\n",
+      smm::simd::Active().name, n);
+  PrintRow("  kernel",
+           {"scalar el/s", "dispatch el/s", "speedup", "identical"}, 22, 14);
+
+  RandomGenerator rng(43);
+  // Shared inputs: centered signed values (the wrap fast path's home turf),
+  // reduced residues, and Gaussian doubles.
+  std::vector<int64_t> signed_vals(n);
+  for (auto& v : signed_vals) {
+    v = static_cast<int64_t>(rng.UniformUint64(m)) -
+        static_cast<int64_t>(m / 2);
+  }
+  std::vector<uint64_t> residues(n);
+  for (auto& v : residues) v = rng.UniformUint64(m);
+  std::vector<uint64_t> residues_b(n);
+  for (auto& v : residues_b) v = rng.UniformUint64(m);
+  std::vector<double> reals(n);
+  for (auto& v : reals) v = rng.Gaussian(0.0, 100.0);
+
+  std::vector<uint64_t> u64_out(n);
+  std::vector<int64_t> i64_out(n);
+  std::vector<uint64_t> acc(n);
+  std::vector<double> real_work(n);
+  std::vector<double> flr(n), frac(n);
+
+  RunOneSimdCase(
+      "wrap_centered", n, repeats, [] {},
+      [&](const smm::simd::Kernels& k) {
+        k.wrap_centered_into(signed_vals.data(), n, m, u64_out.data());
+      },
+      reinterpret_cast<const unsigned char*>(u64_out.data()),
+      n * sizeof(uint64_t));
+  RunOneSimdCase(
+      "center_lift", n, repeats, [] {},
+      [&](const smm::simd::Kernels& k) {
+        k.center_lift_into(residues.data(), n, m, i64_out.data());
+      },
+      reinterpret_cast<const unsigned char*>(i64_out.data()),
+      n * sizeof(int64_t));
+  RunOneSimdCase(
+      "add_mod", n, repeats,
+      [&] { std::memcpy(acc.data(), residues.data(), n * sizeof(uint64_t)); },
+      [&](const smm::simd::Kernels& k) {
+        k.add_mod_vec(acc.data(), residues_b.data(), n, m);
+      },
+      reinterpret_cast<const unsigned char*>(acc.data()),
+      n * sizeof(uint64_t));
+  RunOneSimdCase(
+      "sub_mod", n, repeats,
+      [&] { std::memcpy(acc.data(), residues.data(), n * sizeof(uint64_t)); },
+      [&](const smm::simd::Kernels& k) {
+        k.sub_mod_vec(acc.data(), residues_b.data(), n, m);
+      },
+      reinterpret_cast<const unsigned char*>(acc.data()),
+      n * sizeof(uint64_t));
+  RunOneSimdCase(
+      "mod_reduce", n, repeats, [] {},
+      [&](const smm::simd::Kernels& k) {
+        k.mod_reduce_into(residues.data(), n, m, u64_out.data());
+      },
+      reinterpret_cast<const unsigned char*>(u64_out.data()),
+      n * sizeof(uint64_t));
+  RunOneSimdCase(
+      "scale_round_prep", n, repeats, [] {},
+      [&](const smm::simd::Kernels& k) {
+        k.floor_fract_scaled(reals.data(), n, 64.0, flr.data(), frac.data());
+      },
+      reinterpret_cast<const unsigned char*>(frac.data()),
+      n * sizeof(double));
+  RunOneSimdCase(
+      "wht_butterfly", n, repeats,
+      [&] {
+        std::memcpy(real_work.data(), reals.data(), n * sizeof(double));
+      },
+      [&](const smm::simd::Kernels& k) {
+        // One full stage at the cache-block span the transform's phase-1
+        // stages use.
+        k.wht_butterfly_pass(real_work.data(), n, 1024);
+      },
+      reinterpret_cast<const unsigned char*>(real_work.data()),
+      n * sizeof(double));
+  RunOneSimdCase(
+      "scale", n, repeats,
+      [&] {
+        std::memcpy(real_work.data(), reals.data(), n * sizeof(double));
+      },
+      [&](const smm::simd::Kernels& k) {
+        k.scale_inplace(real_work.data(), n, 1.00000001);
+      },
+      reinterpret_cast<const unsigned char*>(real_work.data()),
+      n * sizeof(double));
+}
+
 void Run(Scale scale, const char* json_path) {
   const size_t dim = scale == Scale::kFast ? (1u << 10) : (1u << 14);
   const size_t participants = scale == Scale::kFull ? 64 : 32;
@@ -593,6 +790,8 @@ void Run(Scale scale, const char* json_path) {
   RunSessionMaskedSection(
       /*participants=*/scale == Scale::kFast ? 16 : 32,
       /*dim=*/scale == Scale::kFast ? (1u << 9) : (1u << 11), repeats);
+  std::printf("\n");
+  RunSimdKernelSection(scale);
 
   if (json_path != nullptr) WriteJson(json_path, scale);
 }

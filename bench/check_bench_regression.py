@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Diffs two bench_scaling_threads --json artifacts and prints per-section
+speedup lines, so the per-PR perf trajectory is visible in CI logs.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--fail-below R]
+
+Compares, per thread-scaling section, the best single-thread seconds and the
+highest-thread-count seconds (throughput ratio new/old; > 1 is faster), and,
+per SIMD kernel, the dispatched elements/sec. A missing or unreadable
+baseline is not an error — the first run of a fresh trajectory prints the
+current numbers and exits 0, so the CI job that seeds the baseline cache
+passes. With --fail-below R (e.g. 0.5), exits 1 when any section's
+throughput ratio drops below R — by default the check is informational,
+because shared CI runners jitter far too much to gate merges on wall time.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def fmt_ratio(ratio):
+    arrow = "+" if ratio >= 1.0 else "-"
+    return f"{ratio:6.2f}x ({arrow})"
+
+
+def section_map(report, key, name_field="name"):
+    return {s[name_field]: s for s in report.get(key, [])}
+
+
+def print_current_only(current):
+    print("no readable baseline; current numbers (seeding the trajectory):")
+    for s in current.get("sections", []):
+        secs = s["seconds"]
+        print(f"  BENCH_SECTION section={s['name']} t1={secs[0]:.3e}s "
+              f"t{s['threads'][-1]}={secs[-1]:.3e}s")
+    for k in current.get("simd_kernels", []):
+        print(f"  BENCH_SIMD kernel={k['name']} "
+              f"dispatch_eps={k['dispatch_eps']:.3e} "
+              f"speedup_vs_scalar={k['speedup']:.2f}x")
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    fail_below = None
+    if "--fail-below" in argv:
+        fail_below = float(argv[argv.index("--fail-below") + 1])
+
+    try:
+        current = load(argv[2])
+    except (OSError, ValueError) as e:
+        print(f"cannot read current report {argv[2]}: {e}")
+        return 1
+    try:
+        baseline = load(argv[1])
+    except (OSError, ValueError):
+        print_current_only(current)
+        return 0
+
+    print(f"bench regression check: baseline scale={baseline.get('scale')} "
+          f"vs current scale={current.get('scale')} "
+          f"(dispatch {baseline.get('simd_dispatch', '?')} -> "
+          f"{current.get('simd_dispatch', '?')})")
+    if baseline.get("scale") != current.get("scale"):
+        print("  scales differ; ratios are not comparable — "
+              "printing current only")
+        print_current_only(current)
+        return 0
+
+    worst = None
+    base_sections = section_map(baseline, "sections")
+    for s in current.get("sections", []):
+        b = base_sections.get(s["name"])
+        if b is None or not b["seconds"] or not s["seconds"]:
+            print(f"  BENCH_DIFF section={s['name']} (new section)")
+            continue
+        # Throughput ratio at one thread and at the top thread count;
+        # > 1 means the current revision is faster.
+        r1 = b["seconds"][0] / s["seconds"][0]
+        rn = b["seconds"][-1] / s["seconds"][-1]
+        worst = min(worst, r1, rn) if worst is not None else min(r1, rn)
+        print(f"  BENCH_DIFF section={s['name']} "
+              f"t1_throughput_ratio={fmt_ratio(r1)} "
+              f"t{s['threads'][-1]}_throughput_ratio={fmt_ratio(rn)}")
+
+    base_kernels = section_map(baseline, "simd_kernels")
+    for k in current.get("simd_kernels", []):
+        b = base_kernels.get(k["name"])
+        if b is None:
+            print(f"  BENCH_DIFF simd_kernel={k['name']} (new kernel) "
+                  f"dispatch_eps={k['dispatch_eps']:.3e}")
+            continue
+        r = k["dispatch_eps"] / b["dispatch_eps"]
+        worst = min(worst, r) if worst is not None else r
+        print(f"  BENCH_DIFF simd_kernel={k['name']} "
+              f"dispatch_throughput_ratio={fmt_ratio(r)} "
+              f"speedup_vs_scalar={k['speedup']:.2f}x")
+
+    if fail_below is not None and worst is not None and worst < fail_below:
+        print(f"FAIL: worst throughput ratio {worst:.2f} "
+              f"below threshold {fail_below}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,299 @@
+// The AVX2 half of the runtime-dispatched kernel layer (see simd.h). This
+// translation unit is the only one compiled with -mavx2 (CMake sets the flag
+// per-source), so the rest of the library keeps its portable baseline and
+// the AVX2 instructions execute only after the cpuid probe in
+// Avx2KernelsIfSupported passes.
+//
+// Every kernel here must be bit-identical to the scalar reference in
+// simd.cc. The double kernels use only IEEE-exact operations (add, sub,
+// mul, div, floor), which vector and scalar units round identically. The
+// integer kernels take a division-free fast path on in-range lanes — the
+// arithmetic on those lanes is exactly the value the `% m` reference
+// computes — and spill the rare out-of-range lane to the same scalar
+// arithmetic the reference runs. Deliberate uint64 lane wraps (the unsigned
+// wrap trick behind the branchless compare-and-correct) happen only inside
+// intrinsics, which sanitizers do not instrument; the scalar spill paths
+// stay wrap-free.
+#include "common/simd.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace smm::simd {
+
+namespace {
+
+inline __m256i LoadU(const void* p) {
+  return _mm256_loadu_si256(static_cast<const __m256i*>(p));
+}
+
+inline void StoreU(void* p, __m256i v) {
+  _mm256_storeu_si256(static_cast<__m256i*>(p), v);
+}
+
+/// Unsigned 64-bit per-lane a > b, via the sign-flip trick (AVX2 only has
+/// the signed compare).
+inline __m256i UGt(__m256i a, __m256i b) {
+  const __m256i sign = _mm256_set1_epi64x(INT64_MIN);
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(a, sign),
+                            _mm256_xor_si256(b, sign));
+}
+
+/// The 4 per-lane predicate bits of a 64-bit comparison mask.
+inline int LaneMask(__m256i mask) {
+  return _mm256_movemask_pd(_mm256_castsi256_pd(mask));
+}
+
+void Avx2ScaleInPlace(double* v, size_t n, double factor) {
+  const __m256d f = _mm256_set1_pd(factor);
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(v + j, _mm256_mul_pd(_mm256_loadu_pd(v + j), f));
+  }
+  for (; j < n; ++j) v[j] *= factor;
+}
+
+void Avx2UnscaleInPlace(double* v, size_t n, double factor) {
+  const __m256d f = _mm256_set1_pd(factor);
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(v + j, _mm256_div_pd(_mm256_loadu_pd(v + j), f));
+  }
+  for (; j < n; ++j) v[j] /= factor;
+}
+
+void Avx2WhtButterflyPass(double* v, size_t n, size_t h) {
+  if (h < 4) {
+    // Sub-vector spans (only reachable for transforms shorter than the
+    // radix-4 first pass handles): the scalar reference loop.
+    for (size_t i = 0; i < n; i += h << 1) {
+      double* a = v + i;
+      double* b = v + i + h;
+      for (size_t j = 0; j < h; ++j) {
+        const double x = a[j];
+        const double y = b[j];
+        a[j] = x + y;
+        b[j] = x - y;
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; i += h << 1) {
+    double* a = v + i;
+    double* b = v + i + h;
+    for (size_t j = 0; j < h; j += 4) {
+      const __m256d x = _mm256_loadu_pd(a + j);
+      const __m256d y = _mm256_loadu_pd(b + j);
+      _mm256_storeu_pd(a + j, _mm256_add_pd(x, y));
+      _mm256_storeu_pd(b + j, _mm256_sub_pd(x, y));
+    }
+  }
+}
+
+void Avx2FloorFractScaled(const double* x, size_t n, double scale,
+                          double* flr, double* frac) {
+  const __m256d s = _mm256_set1_pd(scale);
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d g = _mm256_mul_pd(_mm256_loadu_pd(x + j), s);
+    const __m256d f = _mm256_floor_pd(g);
+    _mm256_storeu_pd(flr + j, f);
+    _mm256_storeu_pd(frac + j, _mm256_sub_pd(g, f));
+  }
+  for (; j < n; ++j) {
+    const double g = x[j] * scale;
+    const double f = std::floor(g);
+    flr[j] = f;
+    frac[j] = g - f;
+  }
+}
+
+size_t Avx2WrapCenteredInto(const int64_t* values, size_t n, uint64_t m,
+                            uint64_t* out) {
+  const int64_t lo = -static_cast<int64_t>(m / 2);
+  const int64_t hi = static_cast<int64_t>((m - 1) / 2);
+  const __m256i vlo = _mm256_set1_epi64x(lo);
+  const __m256i vhi = _mm256_set1_epi64x(hi);
+  const __m256i vm = _mm256_set1_epi64x(static_cast<int64_t>(m));
+  const __m256i zero = _mm256_setzero_si256();
+  size_t overflow = 0;
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256i v = LoadU(values + j);
+    // Out-of-window accounting: signed compares, since lo/hi/v are int64.
+    const __m256i oob = _mm256_or_si256(_mm256_cmpgt_epi64(vlo, v),
+                                        _mm256_cmpgt_epi64(v, vhi));
+    overflow += static_cast<size_t>(__builtin_popcount(
+        static_cast<unsigned>(LaneMask(oob))));
+    // Division-free wrap for lanes with -m <= v < m (always true when
+    // m >= 2^63, and overwhelmingly true otherwise — out-of-range values
+    // are the rare overflow events):
+    //   v >= 0: result is v itself iff (uint64)v < m;
+    //   v <  0: (uint64)v + m wraps 2^64 exactly when v >= -m, and the
+    //           wrapped sum v + m is the reduced value.
+    const __m256i neg = _mm256_cmpgt_epi64(zero, v);
+    const __m256i w = _mm256_add_epi64(v, vm);  // (uint64)v + m, mod 2^64.
+    const __m256i wrapped = UGt(v, w);          // Wrap occurred.
+    const __m256i ultm = UGt(vm, v);            // (uint64)v < m.
+    const __m256i fast = _mm256_blendv_epi8(ultm, wrapped, neg);
+    const __m256i rfast = _mm256_blendv_epi8(v, w, neg);
+    const int fast_lanes = LaneMask(fast);
+    if (fast_lanes == 0xF) {
+      StoreU(out + j, rfast);
+    } else {
+      alignas(32) uint64_t r[4];
+      alignas(32) int64_t raw[4];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(r), rfast);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(raw), v);
+      for (int lane = 0; lane < 4; ++lane) {
+        if (((fast_lanes >> lane) & 1) == 0) {
+          r[lane] = ModReduceScalarI64(raw[lane], m);
+        }
+      }
+      StoreU(out + j, LoadU(r));
+    }
+  }
+  for (; j < n; ++j) {
+    const int64_t v = values[j];
+    if (v < lo || v > hi) ++overflow;
+    out[j] = ModReduceScalarI64(v, m);
+  }
+  return overflow;
+}
+
+void Avx2CenterLiftInto(const uint64_t* values, size_t n, uint64_t m,
+                        int64_t* out) {
+  const uint64_t threshold = (m - 1) / 2;
+  const __m256i vthr = _mm256_set1_epi64x(static_cast<int64_t>(threshold));
+  const __m256i vm = _mm256_set1_epi64x(static_cast<int64_t>(m));
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256i v = LoadU(values + j);
+    const __m256i is_neg = UGt(v, vthr);
+    // v - m in two's complement is exactly the negative representative
+    // -(m - v); the lane wrap is deliberate and confined to the intrinsic.
+    const __m256i shifted = _mm256_sub_epi64(v, vm);
+    StoreU(out + j, _mm256_blendv_epi8(v, shifted, is_neg));
+  }
+  for (; j < n; ++j) {
+    const uint64_t v = values[j];
+    out[j] = v > threshold ? -static_cast<int64_t>(m - v)
+                           : static_cast<int64_t>(v);
+  }
+}
+
+void Avx2ModReduceInto(const uint64_t* values, size_t n, uint64_t m,
+                       uint64_t* out) {
+  const __m256i vm = _mm256_set1_epi64x(static_cast<int64_t>(m));
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m256i v = LoadU(values + j);
+    const int reduced_lanes = LaneMask(UGt(vm, v));  // v < m per lane.
+    if (reduced_lanes != 0xF) {
+      alignas(32) uint64_t tmp[4];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), v);
+      for (int lane = 0; lane < 4; ++lane) {
+        if (((reduced_lanes >> lane) & 1) == 0) tmp[lane] %= m;
+      }
+      v = LoadU(tmp);
+    }
+    StoreU(out + j, v);
+  }
+  for (; j < n; ++j) out[j] = values[j] % m;
+}
+
+/// Loads b[j..j+4), reducing any lane >= m with the scalar `%` the
+/// reference runs (rare: every secagg producer hands over pre-reduced
+/// residues; the `%` is defensive).
+inline __m256i LoadReduced(const uint64_t* b, uint64_t m, __m256i vm) {
+  __m256i vb = LoadU(b);
+  const int reduced_lanes = LaneMask(UGt(vm, vb));
+  if (reduced_lanes != 0xF) {
+    alignas(32) uint64_t tmp[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), vb);
+    for (int lane = 0; lane < 4; ++lane) {
+      if (((reduced_lanes >> lane) & 1) == 0) tmp[lane] %= m;
+    }
+    vb = LoadU(tmp);
+  }
+  return vb;
+}
+
+void Avx2AddModVec(uint64_t* acc, const uint64_t* b, size_t n, uint64_t m) {
+  const __m256i vm = _mm256_set1_epi64x(static_cast<int64_t>(m));
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256i vb = LoadReduced(b + j, m, vm);
+    const __m256i va = LoadU(acc + j);
+    // Branchless compare-and-correct: with a, b < m, m - b never wraps, and
+    // the select between a + b (no-overflow lanes) and a - (m - b)
+    // (overflow lanes) never *uses* a lane whose uint64 arithmetic wrapped
+    // — that is why the result is exact for every m < 2^64 even though
+    // a + b itself can exceed 2^64.
+    const __m256i mb = _mm256_sub_epi64(vm, vb);         // m - b.
+    const __m256i no_over = UGt(mb, va);                 // a + b < m.
+    const __m256i apb = _mm256_add_epi64(va, vb);        // Exact iff no_over.
+    const __m256i corrected = _mm256_sub_epi64(va, mb);  // a + b - m.
+    StoreU(acc + j, _mm256_blendv_epi8(corrected, apb, no_over));
+  }
+  for (; j < n; ++j) acc[j] = smm::AddMod(acc[j], b[j] % m, m);
+}
+
+void Avx2SubModVec(uint64_t* acc, const uint64_t* b, size_t n, uint64_t m) {
+  const __m256i vm = _mm256_set1_epi64x(static_cast<int64_t>(m));
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256i vb = LoadReduced(b + j, m, vm);
+    const __m256i va = LoadU(acc + j);
+    const __m256i borrow = UGt(vb, va);             // a < b.
+    const __m256i diff = _mm256_sub_epi64(va, vb);  // Exact iff !borrow.
+    const __m256i folded = _mm256_add_epi64(diff, vm);  // a - b + m.
+    StoreU(acc + j, _mm256_blendv_epi8(diff, folded, borrow));
+  }
+  for (; j < n; ++j) acc[j] = smm::SubMod(acc[j], b[j] % m, m);
+}
+
+void Avx2AddI64InPlace(int64_t* v, const int64_t* delta, size_t n) {
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    StoreU(v + j, _mm256_add_epi64(LoadU(v + j), LoadU(delta + j)));
+  }
+  for (; j < n; ++j) v[j] += delta[j];
+}
+
+constexpr Kernels kAvx2Kernels = {
+    "avx2",
+    Avx2ScaleInPlace,
+    Avx2UnscaleInPlace,
+    Avx2WhtButterflyPass,
+    Avx2FloorFractScaled,
+    Avx2WrapCenteredInto,
+    Avx2CenterLiftInto,
+    Avx2ModReduceInto,
+    Avx2AddModVec,
+    Avx2SubModVec,
+    Avx2AddI64InPlace,
+};
+
+}  // namespace
+
+const Kernels* Avx2KernelTableForBuild() { return &kAvx2Kernels; }
+
+}  // namespace smm::simd
+
+#else  // !defined(__AVX2__)
+
+namespace smm::simd {
+
+// Compiled without AVX2 support (non-x86 target, or a compiler without
+// -mavx2): dispatch falls through to the scalar reference.
+const Kernels* Avx2KernelTableForBuild() { return nullptr; }
+
+}  // namespace smm::simd
+
+#endif  // defined(__AVX2__)

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/simd.h"
 #include "mechanisms/clipping.h"
 #include "mechanisms/conditional_rounding.h"
 
@@ -56,7 +57,7 @@ Status DdgMechanism::PerturbRotatedInto(RandomGenerator& rng,
   const size_t n = workspace.ints.size();
   workspace.noise.resize(n);
   sampler_.SampleBlock(n, workspace.noise.data(), rng);
-  for (size_t j = 0; j < n; ++j) workspace.ints[j] += workspace.noise[j];
+  simd::AddI64InPlace(workspace.ints.data(), workspace.noise.data(), n);
   return OkStatus();
 }
 
@@ -94,7 +95,7 @@ Status AgarwalSkellamMechanism::PerturbRotatedInto(RandomGenerator& rng,
   const size_t n = workspace.ints.size();
   workspace.noise.resize(n);
   sampler_.SampleBlock(n, workspace.noise.data(), rng);
-  for (size_t j = 0; j < n; ++j) workspace.ints[j] += workspace.noise[j];
+  simd::AddI64InPlace(workspace.ints.data(), workspace.noise.data(), n);
   return OkStatus();
 }
 
@@ -126,7 +127,7 @@ Status CpSgdMechanism::PerturbRotatedInto(RandomGenerator& rng,
   const size_t n = workspace.ints.size();
   workspace.noise.resize(n);
   binomial_.SampleBlock(n, workspace.noise.data(), rng);
-  for (size_t j = 0; j < n; ++j) workspace.ints[j] += workspace.noise[j];
+  simd::AddI64InPlace(workspace.ints.data(), workspace.noise.data(), n);
   return OkStatus();
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/simd.h"
+
 namespace smm::mechanisms {
 
 std::vector<int64_t> StochasticRound(const std::vector<double>& g,
@@ -14,12 +16,13 @@ std::vector<int64_t> StochasticRound(const std::vector<double>& g,
 void StochasticRoundInto(const std::vector<double>& g, RandomGenerator& rng,
                          std::vector<int64_t>& out) {
   out.resize(g.size());
-  for (size_t j = 0; j < g.size(); ++j) {
-    const double floor_x = std::floor(g[j]);
-    int64_t v = static_cast<int64_t>(floor_x);
-    if (rng.Bernoulli(g[j] - floor_x)) v += 1;
-    out[j] = v;
-  }
+  // The SIMD layer's rounding primitive consumes `rng` exactly like the
+  // historical floor + Bernoulli loop (one draw per nonzero fraction, in
+  // order), so every mechanism built on stochastic rounding stays
+  // bit-identical across dispatch paths; conditional_rounding_test pins the
+  // equivalence against the old loop.
+  simd::ScaleRoundStochasticInto(g.data(), g.size(), /*scale=*/1.0, rng,
+                                 out.data());
 }
 
 double ConditionalRoundingNormBound(double gamma, double l2_bound, size_t dim,

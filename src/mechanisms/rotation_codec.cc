@@ -4,9 +4,29 @@
 #include <cstddef>
 
 #include "common/bit_util.h"
+#include "common/simd.h"
 #include "secagg/modular.h"
 
 namespace smm::mechanisms {
+
+namespace {
+
+/// The one gamma-scaling loop behind RotateScale{,Batch}Into and Decode
+/// (formerly three scattered copies): forward multiplies by gamma, inverse
+/// divides by it. Division is kept a true division (not a reciprocal
+/// multiply) so decode output is bit-identical to the historical loop; both
+/// directions run on the dispatched SIMD kernels.
+enum class GammaDir { kForward, kInverse };
+
+void ApplyGamma(std::vector<double>& v, double gamma, GammaDir dir) {
+  if (dir == GammaDir::kForward) {
+    simd::ScaleInPlace(v.data(), v.size(), gamma);
+  } else {
+    simd::UnscaleInPlace(v.data(), v.size(), gamma);
+  }
+}
+
+}  // namespace
 
 StatusOr<RotationCodec> RotationCodec::Create(const Options& options) {
   if (options.dim == 0 || !IsPowerOfTwo(options.dim)) {
@@ -44,7 +64,7 @@ Status RotationCodec::RotateScaleInto(const std::vector<double>& x,
   } else {
     g.assign(x.begin(), x.end());
   }
-  for (double& v : g) v *= options_.gamma;
+  ApplyGamma(g, options_.gamma, GammaDir::kForward);
   return OkStatus();
 }
 
@@ -68,8 +88,7 @@ Status RotationCodec::RotateScaleBatchInto(
                 flat.begin() + static_cast<ptrdiff_t>((i - begin) * d));
     }
   }
-  const double gamma = options_.gamma;
-  for (double& v : flat) v *= gamma;
+  ApplyGamma(flat, options_.gamma, GammaDir::kForward);
   return OkStatus();
 }
 
@@ -83,21 +102,14 @@ std::vector<uint64_t> RotationCodec::Wrap(const std::vector<int64_t>& values,
 void RotationCodec::WrapInto(const std::vector<int64_t>& values,
                              int64_t* overflow_count,
                              std::vector<uint64_t>& out) const {
-  const uint64_t m = options_.modulus;
-  // The representable centered range is exactly what CenterLift inverts:
-  // {-floor(m/2), ..., ceil(m/2) - 1}. Both bounds fit int64_t for every
-  // m < 2^64 (floor(m/2) <= 2^63 - 1 when m is odd, and ceil(m/2) - 1 <=
-  // 2^63 - 2 when m is even <= 2^64 - 2; the maximum over both parities is
-  // INT64_MAX). The former [-m/2, m/2) bounds under-counted the top of the
-  // odd-m range and over-counted its bottom.
-  const int64_t lo = -static_cast<int64_t>(m / 2);
-  const int64_t hi = static_cast<int64_t>((m - 1) / 2);
   out.resize(values.size());
-  for (size_t j = 0; j < values.size(); ++j) {
-    if (overflow_count != nullptr && (values[j] < lo || values[j] > hi)) {
-      ++*overflow_count;
-    }
-    out[j] = secagg::ModReduce(values[j], m);
+  // The kernel reduces into Z_m and counts coordinates outside the
+  // representable centered window {-floor(m/2), ..., ceil(m/2) - 1} —
+  // exactly what CenterLift inverts, for either modulus parity.
+  const size_t overflowed = simd::WrapCenteredInto(
+      values.data(), values.size(), options_.modulus, out.data());
+  if (overflow_count != nullptr) {
+    *overflow_count += static_cast<int64_t>(overflowed);
   }
 }
 
@@ -118,7 +130,7 @@ StatusOr<std::vector<double>> RotationCodec::Decode(
   } else {
     out = std::move(y);
   }
-  for (double& v : out) v /= options_.gamma;
+  ApplyGamma(out, options_.gamma, GammaDir::kInverse);
   return out;
 }
 

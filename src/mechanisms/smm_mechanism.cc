@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/simd.h"
 #include "mechanisms/clipping.h"
 #include "mechanisms/conditional_rounding.h"
 
@@ -41,7 +42,7 @@ void SkellamMixtureNoiser::PerturbVectorInto(const std::vector<double>& x,
   const size_t n = x.size();
   noise.resize(n);
   sampler_.SampleBlock(n, noise.data(), rng);
-  for (size_t j = 0; j < n; ++j) out[j] += noise[j];
+  simd::AddI64InPlace(out.data(), noise.data(), n);
 }
 
 StatusOr<std::unique_ptr<SmmMechanism>> SmmMechanism::Create(

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/math_util.h"
+#include "common/simd.h"
 
 namespace smm::secagg {
 
@@ -42,10 +43,11 @@ StatusOr<std::vector<uint64_t>> AddMod(const std::vector<uint64_t>& a,
     return InvalidArgumentError("AddMod: length mismatch");
   }
   if (m < 2) return InvalidArgumentError("AddMod: modulus must be >= 2");
+  // Reduce a into the output, then fold b in with the vector kernel — the
+  // same AddMod(a % m, b % m, m) per element as the historical loop.
   std::vector<uint64_t> out(a.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    out[i] = smm::AddMod(a[i] % m, b[i] % m, m);
-  }
+  simd::ModReduceInto(a.data(), a.size(), m, out.data());
+  simd::AddModVec(out.data(), b.data(), b.size(), m);
   return out;
 }
 
@@ -57,21 +59,22 @@ StatusOr<std::vector<uint64_t>> SubMod(const std::vector<uint64_t>& a,
   }
   if (m < 2) return InvalidArgumentError("SubMod: modulus must be >= 2");
   std::vector<uint64_t> out(a.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    out[i] = smm::SubMod(a[i] % m, b[i] % m, m);
-  }
+  simd::ModReduceInto(a.data(), a.size(), m, out.data());
+  simd::SubModVec(out.data(), b.data(), b.size(), m);
   return out;
 }
 
 std::vector<uint64_t> ReduceVector(const std::vector<int64_t>& v, uint64_t m) {
   std::vector<uint64_t> out(v.size());
-  for (size_t i = 0; i < v.size(); ++i) out[i] = ModReduce(v[i], m);
+  // The wrap kernel computes ModReduce per element (the overflow count it
+  // also produces is the codec's concern, not this helper's).
+  simd::WrapCenteredInto(v.data(), v.size(), m, out.data());
   return out;
 }
 
 std::vector<int64_t> LiftVector(const std::vector<uint64_t>& v, uint64_t m) {
   std::vector<int64_t> out(v.size());
-  for (size_t i = 0; i < v.size(); ++i) out[i] = CenterLift(v[i], m);
+  simd::CenterLiftInto(v.data(), v.size(), m, out.data());
   return out;
 }
 
@@ -94,9 +97,7 @@ Status ShardedModularAccumulate(
   }
   for (const auto& partial : partials) {
     if (partial.empty()) continue;  // Chunk count may be below thread count.
-    for (size_t k = 0; k < acc.size(); ++k) {
-      acc[k] = smm::AddMod(acc[k], partial[k], m);
-    }
+    simd::AddModVec(acc.data(), partial.data(), acc.size(), m);
   }
   return OkStatus();
 }

@@ -4,7 +4,7 @@
 #include <unordered_set>
 #include <utility>
 
-#include "common/math_util.h"
+#include "common/simd.h"
 #include "secagg/modular.h"
 
 namespace smm::secagg {
@@ -65,7 +65,7 @@ StatusOr<std::vector<uint64_t>> SecureAggregator::PrepareContribution(
   if (input.empty()) return InvalidArgumentError("empty input");
   if (m < 2) return InvalidArgumentError("modulus must be >= 2");
   std::vector<uint64_t> out(input.size());
-  for (size_t k = 0; k < input.size(); ++k) out[k] = input[k] % m;
+  simd::ModReduceInto(input.data(), input.size(), m, out.data());
   return out;
 }
 
@@ -97,10 +97,7 @@ StatusOr<std::vector<uint64_t>> IdealAggregator::AggregateParallel(
       pool, inputs.size(), m, sum,
       [&](size_t begin, size_t end, std::vector<uint64_t>& acc) {
         for (size_t i = begin; i < end; ++i) {
-          const std::vector<uint64_t>& input = inputs[i];
-          for (size_t j = 0; j < dim; ++j) {
-            acc[j] = smm::AddMod(acc[j], input[j] % m, m);
-          }
+          simd::AddModVec(acc.data(), inputs[i].data(), dim, m);
         }
         return OkStatus();
       }));
@@ -219,10 +216,21 @@ StatusOr<std::unique_ptr<MaskedAggregator>> MaskedAggregator::Create(
 void MaskedAggregator::AccumulateMask(uint64_t seed, uint64_t m, int sign,
                                       std::vector<uint64_t>& acc) {
   RandomGenerator prg(seed);
-  if (sign > 0) {
-    for (auto& v : acc) v = smm::AddMod(v, prg.UniformUint64(m), m);
-  } else {
-    for (auto& v : acc) v = smm::SubMod(v, prg.UniformUint64(m), m);
+  // The PRG expansion is inherently serial (rejection sampling per draw),
+  // but the modular accumulate is not: draw one stack tile at a time — in
+  // exactly the per-coordinate order the historical fused loop used — and
+  // fold it in with the vector kernel.
+  constexpr size_t kTile = 256;
+  uint64_t draws[kTile];
+  const size_t n = acc.size();
+  for (size_t base = 0; base < n; base += kTile) {
+    const size_t len = n - base < kTile ? n - base : kTile;
+    for (size_t k = 0; k < len; ++k) draws[k] = prg.UniformUint64(m);
+    if (sign > 0) {
+      simd::AddModVec(acc.data() + base, draws, len, m);
+    } else {
+      simd::SubModVec(acc.data() + base, draws, len, m);
+    }
   }
 }
 
@@ -240,7 +248,7 @@ StatusOr<std::vector<uint64_t>> MaskedAggregator::MaskInput(
   if (input.empty()) return InvalidArgumentError("empty input");
   if (m < 2) return InvalidArgumentError("modulus must be >= 2");
   std::vector<uint64_t> out(input.size());
-  for (size_t k = 0; k < input.size(); ++k) out[k] = input[k] % m;
+  simd::ModReduceInto(input.data(), input.size(), m, out.data());
   // Participant i adds +PRG(s_ij) for j > i and -PRG(s_ij) for j < i; the
   // contributions cancel pairwise in the full sum. Pair index p enumerates
   // the n - 1 counterparties in increasing j order.
@@ -333,10 +341,7 @@ StatusOr<std::vector<uint64_t>> MaskedAggregator::UnmaskSum(
       pool, masked_inputs.size(), m, sum,
       [&](size_t begin, size_t end, std::vector<uint64_t>& acc) {
         for (size_t i = begin; i < end; ++i) {
-          const std::vector<uint64_t>& input = masked_inputs[i];
-          for (size_t k = 0; k < dim; ++k) {
-            acc[k] = smm::AddMod(acc[k], input[k] % m, m);
-          }
+          simd::AddModVec(acc.data(), masked_inputs[i].data(), dim, m);
         }
         return OkStatus();
       }));

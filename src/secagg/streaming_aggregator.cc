@@ -1,6 +1,6 @@
 #include "secagg/streaming_aggregator.h"
 
-#include "common/math_util.h"
+#include "common/simd.h"
 #include "secagg/modular.h"
 
 namespace smm::secagg {
@@ -55,9 +55,7 @@ Status RunningSumStream::Absorb(int participant_id, const uint64_t* data,
   // coordinate range shards with no partials at all: the memory high-water
   // mark of a one-participant absorb is the O(dim) running sum itself.
   const auto accumulate = [&](size_t begin, size_t end) {
-    for (size_t k = begin; k < end; ++k) {
-      sum_[k] = smm::AddMod(sum_[k], data[k] % m_, m_);
-    }
+    simd::AddModVec(sum_.data() + begin, data + begin, end - begin, m_);
   };
   if (pool_ != nullptr && pool_->num_threads() > 1 && dim_ > 1) {
     pool_->ParallelFor(dim_, [&](int, size_t begin, size_t end) {
@@ -90,10 +88,7 @@ Status RunningSumStream::AbsorbTile(
       pool_, inputs.size(), m_, sum_,
       [&](size_t begin, size_t end, std::vector<uint64_t>& acc) {
         for (size_t i = begin; i < end; ++i) {
-          const std::vector<uint64_t>& input = inputs[i];
-          for (size_t k = 0; k < dim_; ++k) {
-            acc[k] = smm::AddMod(acc[k], input[k] % m_, m_);
-          }
+          simd::AddModVec(acc.data(), inputs[i].data(), dim_, m_);
         }
         return OkStatus();
       }));

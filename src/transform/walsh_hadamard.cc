@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/bit_util.h"
+#include "common/simd.h"
 
 namespace smm::transform {
 
@@ -35,25 +36,11 @@ void Radix4Pass(double* v, size_t n) {
   }
 }
 
-/// One radix-2 butterfly stage with half-span h over v[0..n): the inner loop
-/// runs over h contiguous elements on each side, so the compiler can
-/// auto-vectorize it for every h >= the vector width.
-void ButterflyStage(double* v, size_t n, size_t h) {
-  for (size_t i = 0; i < n; i += h << 1) {
-    double* a = v + i;
-    double* b = v + i + h;
-    for (size_t j = 0; j < h; ++j) {
-      const double x = a[j];
-      const double y = b[j];
-      a[j] = x + y;
-      b[j] = x - y;
-    }
-  }
-}
-
 /// Unnormalized transform of a cache-resident span (d <= kBlockElems,
-/// d a power of two).
-void TransformBlock(double* v, size_t d) {
+/// d a power of two). The radix-2 stages run on the dispatched butterfly
+/// kernel — add/sub are IEEE-exact, so scalar and AVX2 stages are
+/// bit-identical.
+void TransformBlock(const simd::Kernels& kernels, double* v, size_t d) {
   if (d < 4) {
     if (d == 2) {
       const double x = v[0];
@@ -64,14 +51,15 @@ void TransformBlock(double* v, size_t d) {
     return;  // d == 1: identity.
   }
   Radix4Pass(v, d);
-  for (size_t h = 4; h < d; h <<= 1) ButterflyStage(v, d, h);
+  for (size_t h = 4; h < d; h <<= 1) kernels.wht_butterfly_pass(v, d, h);
 }
 
 }  // namespace
 
 void FastWalshHadamardKernel(double* v, size_t d) {
+  const simd::Kernels& kernels = simd::Active();
   if (d <= kBlockElems) {
-    TransformBlock(v, d);
+    TransformBlock(kernels, v, d);
   } else {
     // Butterflies with span h < kBlockElems stay inside one aligned block,
     // so running all of them block-by-block (phase 1) performs exactly the
@@ -79,12 +67,14 @@ void FastWalshHadamardKernel(double* v, size_t d) {
     // cache-resident. The remaining cross-block stages (phase 2) stream the
     // vector once per stage with contiguous, vector-width inner loops.
     for (size_t i = 0; i < d; i += kBlockElems) {
-      TransformBlock(v + i, kBlockElems);
+      TransformBlock(kernels, v + i, kBlockElems);
     }
-    for (size_t h = kBlockElems; h < d; h <<= 1) ButterflyStage(v, d, h);
+    for (size_t h = kBlockElems; h < d; h <<= 1) {
+      kernels.wht_butterfly_pass(v, d, h);
+    }
   }
   const double scale = 1.0 / std::sqrt(static_cast<double>(d));
-  for (size_t j = 0; j < d; ++j) v[j] *= scale;
+  kernels.scale_inplace(v, d, scale);
 }
 
 Status FastWalshHadamard(std::vector<double>& v) {

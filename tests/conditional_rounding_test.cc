@@ -5,9 +5,82 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "common/simd.h"
 
 namespace smm::mechanisms {
 namespace {
+
+/// The pre-SIMD stochastic-rounding loop, verbatim: the regression reference
+/// for the kernel-backed StochasticRoundInto. Any divergence — in the
+/// rounded values or in how many rng draws were consumed — would silently
+/// change every mechanism's encoding.
+std::vector<int64_t> HistoricalStochasticRound(const std::vector<double>& g,
+                                               RandomGenerator& rng) {
+  std::vector<int64_t> out(g.size());
+  for (size_t j = 0; j < g.size(); ++j) {
+    const double floor_x = std::floor(g[j]);
+    int64_t v = static_cast<int64_t>(floor_x);
+    if (rng.Bernoulli(g[j] - floor_x)) v += 1;
+    out[j] = v;
+  }
+  return out;
+}
+
+TEST(StochasticRoundTest, KernelMatchesHistoricalLoopBitForBit) {
+  RandomGenerator input_rng(71);
+  for (size_t n : {0u, 1u, 3u, 4u, 7u, 64u, 300u, 1000u}) {
+    std::vector<double> g(n);
+    for (size_t j = 0; j < n; ++j) {
+      // Exact integers every third coordinate: their zero fraction must not
+      // consume a draw, or the streams desynchronize mid-vector.
+      g[j] = j % 3 == 0 ? std::floor(input_rng.Gaussian(0.0, 20.0))
+                        : input_rng.Gaussian(0.0, 20.0);
+    }
+    if (n >= 4) {
+      // Values a hair below an integer: g - floor(g) rounds to exactly 1.0,
+      // which Bernoulli's p >= 1 short-circuit rounds up *without* a draw —
+      // the other way the streams can desynchronize.
+      g[1] = -1e-300;
+      g[3] = -1e-17;
+    }
+    for (auto mode : {simd::DispatchMode::kForceScalar,
+                      simd::DispatchMode::kAuto}) {
+      simd::SetDispatchModeForTest(mode);
+      RandomGenerator old_rng(1234);
+      RandomGenerator new_rng(1234);
+      const std::vector<int64_t> expected =
+          HistoricalStochasticRound(g, old_rng);
+      std::vector<int64_t> actual;
+      StochasticRoundInto(g, new_rng, actual);
+      EXPECT_EQ(expected, actual) << "n=" << n;
+      // Same stream position afterwards: everything rounded later in the
+      // same encode must also match.
+      EXPECT_EQ(old_rng.NextBits(), new_rng.NextBits()) << "n=" << n;
+    }
+    simd::SetDispatchModeForTest(simd::DispatchMode::kAuto);
+  }
+}
+
+TEST(ConditionalRoundTest, KernelBackedRoundingIsDispatchInvariant) {
+  RandomGenerator input_rng(73);
+  std::vector<double> g(257);
+  for (auto& v : g) v = input_rng.Gaussian(0.0, 2.0);
+  const double bound = ConditionalRoundingNormBound(1.0, 30.0, g.size(), 0.1);
+  simd::SetDispatchModeForTest(simd::DispatchMode::kForceScalar);
+  RandomGenerator scalar_rng(99);
+  int64_t scalar_rejections = 0;
+  const auto scalar_out =
+      ConditionallyRound(g, bound, 10, scalar_rng, &scalar_rejections)
+          .value();
+  simd::SetDispatchModeForTest(simd::DispatchMode::kAuto);
+  RandomGenerator auto_rng(99);
+  int64_t auto_rejections = 0;
+  const auto auto_out =
+      ConditionallyRound(g, bound, 10, auto_rng, &auto_rejections).value();
+  EXPECT_EQ(scalar_out, auto_out);
+  EXPECT_EQ(scalar_rejections, auto_rejections);
+  EXPECT_EQ(scalar_rng.NextBits(), auto_rng.NextBits());
+}
 
 TEST(StochasticRoundTest, IntegersPassThrough) {
   RandomGenerator rng(1);

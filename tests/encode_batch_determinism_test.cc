@@ -12,6 +12,7 @@
 
 #include "common/parallel.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "mechanisms/baseline_mechanisms.h"
 #include "mechanisms/dgm_mechanism.h"
 #include "mechanisms/distributed_mechanism.h"
@@ -196,6 +197,35 @@ TEST(EncodeBatchDeterminismTest, DecodedSumIsThreadCountInvariant) {
       }
     }
   }
+}
+
+TEST(EncodeBatchDeterminismTest, ScalarDispatchMatchesSimdAtEveryThreadCount) {
+  // The SIMD dispatch sweep: the forced-scalar reference kernels and the
+  // cpuid-dispatched kernels must produce bit-identical encodings (and
+  // overflow accounting) for every mechanism at threads {1, 2, 8}. This is
+  // the in-process equivalent of rerunning the suite under
+  // SMM_FORCE_SCALAR=1, and it pins AVX2 == scalar end-to-end through
+  // rotate/scale, clip, round, perturb, and wrap.
+  const auto inputs = MakeInputs();
+  for (auto mode : {sampling::SamplerMode::kApproximate,
+                    sampling::SamplerMode::kExact}) {
+    for (auto& named : MakeAllMechanisms(mode)) {
+      simd::SetDispatchModeForTest(simd::DispatchMode::kForceScalar);
+      const EncodeRun scalar_run =
+          RunEncode(*named.mechanism, inputs, /*pool=*/nullptr);
+      simd::SetDispatchModeForTest(simd::DispatchMode::kAuto);
+      for (int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        const EncodeRun dispatched =
+            RunEncode(*named.mechanism, inputs, &pool);
+        EXPECT_EQ(scalar_run.encoded, dispatched.encoded)
+            << named.name << " at " << threads << " threads";
+        EXPECT_EQ(scalar_run.overflows, dispatched.overflows)
+            << named.name << " at " << threads << " threads";
+      }
+    }
+  }
+  simd::SetDispatchModeForTest(simd::DispatchMode::kAuto);
 }
 
 TEST(EncodeBatchDeterminismTest, ShardedAggregationMatchesSequential) {
