@@ -15,16 +15,24 @@
 //                   mask, frame, and send ContributionMsg bytes through the
 //                   loopback transport into an AggregationSession feeding
 //                   the masked streaming sum;
-//   simd_kernels    single-thread scalar-reference vs dispatched (AVX2 when
-//                   the cpu has it) elements/sec for each hot kernel of the
-//                   SIMD layer, with a bit-identity cross-check — the
-//                   per-kernel speedup the dispatch layer buys before any
-//                   threading.
+//   simd_kernels    single-thread scalar-reference vs dispatched (AVX2 or
+//                   AVX-512 when the cpu has it) elements/sec for each hot
+//                   kernel of the SIMD layer, with a bit-identity
+//                   cross-check — the per-kernel speedup the dispatch layer
+//                   buys before any threading;
+//   encode_fused    the fused three-sweep blocked encode pipeline vs the
+//                   historical per-pass EncodeBatchUnfused, single-threaded
+//                   end-to-end elements/sec on a memory-bound cheap-noise
+//                   configuration (cpSGD with a small trial count at large
+//                   dim — Skellam-style sampling would dominate the clock
+//                   and dilute the pass-structure comparison), with a
+//                   bit-identity cross-check.
 //
 // Expected shape: near-linear scaling up to the physical core count, then
 // flat. Each section ends with a `SPEEDUP_SUMMARY` line (grepped by CI), and
 // `--json <path>` writes the raw numbers as a JSON artifact so the per-PR
 // perf trajectory is machine-readable.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -83,6 +91,21 @@ struct SimdKernelResult {
 };
 
 std::vector<SimdKernelResult> g_simd_results;
+
+/// Raw numbers of the fused-vs-unfused encode comparison (single thread),
+/// for the table and the JSON artifact.
+struct FusedEncodeResult {
+  std::string name;
+  size_t dim = 0;
+  size_t participants = 0;
+  double unfused_seconds = 0.0;
+  double fused_seconds = 0.0;
+  bool identical = true;
+
+  double speedup() const { return unfused_seconds / fused_seconds; }
+};
+
+std::vector<FusedEncodeResult> g_fused_results;
 
 const char* ParseJsonPath(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
@@ -144,6 +167,23 @@ void WriteJson(const char* path, Scale scale) {
     std::fprintf(f, "],\n     \"bit_identical\": %s}%s\n",
                  section.deterministic ? "true" : "false",
                  s + 1 < g_sections.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"encode_fused\": [\n");
+  for (size_t s = 0; s < g_fused_results.size(); ++s) {
+    const FusedEncodeResult& r = g_fused_results[s];
+    const double elements =
+        static_cast<double>(r.participants) * static_cast<double>(r.dim);
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"dim\": %zu, \"participants\": "
+                 "%zu,\n     \"unfused_seconds\": %.6e, \"fused_seconds\": "
+                 "%.6e,\n     \"unfused_eps\": %.6e, \"fused_eps\": %.6e,\n"
+                 "     \"fused_vs_unfused\": %.3f, \"bit_identical\": %s}%s\n",
+                 r.name.c_str(), r.dim, r.participants, r.unfused_seconds,
+                 r.fused_seconds, elements / r.unfused_seconds,
+                 elements / r.fused_seconds, r.speedup(),
+                 r.identical ? "true" : "false",
+                 s + 1 < g_fused_results.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"simd_dispatch\": \"%s\",\n",
@@ -520,8 +560,9 @@ void RunSessionMaskedSection(int participants, size_t dim, int repeats) {
       session_options.dim = dim;
       session_options.modulus = m;
       session_options.pool = &pool;
-      // Trusted in-process clients: absorb one sharded tile at a time.
-      session_options.tile_rows = 32;
+      // Trusted in-process clients: absorb one sharded tile at a time (the
+      // shared per-thread tile sizing the encode paths use).
+      session_options.tile_rows = DefaultTileRows(threads);
       auto session =
           secagg::AggregationSession::Open(**aggregator, session_options);
       if (!session.ok()) {
@@ -740,6 +781,104 @@ void RunSimdKernelSection(Scale scale) {
       n * sizeof(double));
 }
 
+// ---------------------------------------------------------------------------
+// Section 7: the fused three-sweep encode pipeline vs the historical
+// per-pass path, single-threaded. A cheap-noise cpSGD configuration at
+// large dim keeps the comparison memory-bound — exactly the regime the
+// fusion targets: ~9 full-row passes collapse into one raw rotate plus
+// three L1-resident blocked sweeps. Sampling-heavy mechanisms (SMM/DDG)
+// spend most of their encode clock in noise draws, which fusion neither
+// helps nor harms, so they would only dilute the signal measured here.
+// Bit-identity between the two paths is cross-checked before timing; a
+// mismatch fails the harness.
+// ---------------------------------------------------------------------------
+
+void RunEncodeFusedSection(Scale scale) {
+  const size_t dim = scale == Scale::kFast ? (1u << 14) : (1u << 16);
+  const size_t participants = 8;
+  const int repeats = scale == Scale::kFast ? 5 : 11;
+
+  mechanisms::CpSgdMechanism::Options o;
+  o.dim = dim;
+  o.gamma = 64.0;
+  o.l2_bound = 1.0;
+  o.binomial_trials = 8;  // Popcount-exact: one generator word per draw.
+  o.modulus = 1 << 16;
+  o.rotation_seed = 101;
+  auto mech = mechanisms::CpSgdMechanism::Create(o).value();
+  const auto inputs = MakeInputs(participants, dim);
+
+  FusedEncodeResult result;
+  result.name = "cpsgd_cheap_noise";
+  result.dim = dim;
+  result.participants = participants;
+
+  // One timed run of either path with identical fresh streams; returns the
+  // wall seconds and leaves the encodings in `out`. The workspace and `out`
+  // rows persist across repeats (fully overwritten each run), so the timed
+  // region measures the encode pipeline, not the allocator faulting in
+  // fresh pages — the warm-up pass below pre-sizes both.
+  mechanisms::EncodeWorkspace workspace;
+  const auto run_once = [&](bool fused,
+                            std::vector<std::vector<uint64_t>>& out) {
+    RandomGenerator rng(4242);
+    std::vector<RandomGenerator> streams =
+        MakeParticipantStreams(rng, inputs.size());
+    out.resize(inputs.size());
+    const auto start = Clock::now();
+    const Status status =
+        fused ? mech->EncodeBatch(inputs, 0, inputs.size(), streams.data(),
+                                  workspace, &out)
+              : mech->EncodeBatchUnfused(inputs, 0, inputs.size(),
+                                         streams.data(), workspace, &out);
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (!status.ok()) {
+      std::printf("fused-section encode failed: %s\n",
+                  status.ToString().c_str());
+      std::exit(1);
+    }
+    return seconds;
+  };
+
+  std::printf(
+      "Fused encode pipeline (cpSGD, trials=8): dim=%zu, participants=%zu, "
+      "single thread, dispatch=%s\n",
+      dim, participants, smm::simd::Active().name);
+  std::vector<std::vector<uint64_t>> unfused_out, fused_out;
+  run_once(false, unfused_out);  // Untimed warm-up: faults in workspace
+  run_once(true, fused_out);     // and output pages for both paths.
+  result.unfused_seconds = 1e300;
+  result.fused_seconds = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    result.unfused_seconds =
+        std::min(result.unfused_seconds, run_once(false, unfused_out));
+    result.fused_seconds =
+        std::min(result.fused_seconds, run_once(true, fused_out));
+  }
+  result.identical = fused_out == unfused_out;
+
+  const double elements =
+      static_cast<double>(participants) * static_cast<double>(dim);
+  PrintRow("  path", {"unfused el/s", "fused el/s", "ratio", "identical"},
+           22, 14);
+  PrintRow("  encode_fused",
+           {FormatSci(elements / result.unfused_seconds),
+            FormatSci(elements / result.fused_seconds),
+            FormatSci(result.speedup()),
+            result.identical ? "yes" : "MISMATCH"},
+           22, 14);
+  std::printf("SPEEDUP_SUMMARY section=encode_fused dim=%zu participants=%zu "
+              "fused_vs_unfused=%.2fx\n",
+              dim, participants, result.speedup());
+  const bool identical = result.identical;
+  g_fused_results.push_back(std::move(result));
+  if (!identical) {
+    std::printf("fused/unfused bit-identity violation\n");
+    std::exit(1);
+  }
+}
+
 void Run(Scale scale, const char* json_path) {
   const size_t dim = scale == Scale::kFast ? (1u << 10) : (1u << 14);
   const size_t participants = scale == Scale::kFull ? 64 : 32;
@@ -792,6 +931,8 @@ void Run(Scale scale, const char* json_path) {
       /*dim=*/scale == Scale::kFast ? (1u << 9) : (1u << 11), repeats);
   std::printf("\n");
   RunSimdKernelSection(scale);
+  std::printf("\n");
+  RunEncodeFusedSection(scale);
 
   if (json_path != nullptr) WriteJson(json_path, scale);
 }

@@ -78,6 +78,23 @@ class ThreadPool {
 /// min(n, max_chunks) + 1 entries (or {0} when n == 0).
 std::vector<size_t> StaticChunkBounds(size_t n, int max_chunks);
 
+/// Rows (participants) each thread processes per pipelined tile in the
+/// batched encode/aggregate paths — one full batched-rotation tile.
+constexpr size_t kTileRowsPerThread = 32;
+
+/// Participants per pipelined tile for `num_threads` workers: every thread
+/// gets one full batched-rotation tile (kTileRowsPerThread rows) before the
+/// tile is drained downstream. The single source of the formerly scattered
+/// `32 * threads` constants in the trainer, the aggregation-session
+/// pipeline, and RunDistributedSum. Tile sizing never affects results —
+/// encoding reads only per-participant RNG streams, and absorption is exact
+/// mod m — so callers may size tiles freely; this is just the shared
+/// default. num_threads < 1 is clamped to 1.
+inline size_t DefaultTileRows(int num_threads) {
+  return kTileRowsPerThread *
+         static_cast<size_t>(num_threads < 1 ? 1 : num_threads);
+}
+
 }  // namespace smm
 
 #endif  // SMM_COMMON_PARALLEL_H_

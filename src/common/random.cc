@@ -19,28 +19,9 @@ uint64_t SplitMix64(uint64_t* state) {
   return z ^ (z >> 31);
 }
 
-namespace {
-
-inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
-}  // namespace
-
 Xoshiro256::Xoshiro256(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(&sm);
-}
-
-SMM_NO_SANITIZE_UNSIGNED_WRAP
-uint64_t Xoshiro256::Next() {
-  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
-  const uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
 }
 
 void Xoshiro256::Jump() {
@@ -83,17 +64,6 @@ uint64_t RandomGenerator::UniformUint64(uint64_t bound) {
   }
 }
 
-double RandomGenerator::UniformDouble() {
-  // Top 53 bits -> [0, 1).
-  return static_cast<double>(gen_.Next() >> 11) * 0x1.0p-53;
-}
-
-bool RandomGenerator::Bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return UniformDouble() < p;
-}
-
 double RandomGenerator::Gaussian(double mean, double stddev) {
   if (have_cached_gaussian_) {
     have_cached_gaussian_ = false;
@@ -110,8 +80,6 @@ double RandomGenerator::Gaussian(double mean, double stddev) {
   have_cached_gaussian_ = true;
   return mean + stddev * (u * factor);
 }
-
-int RandomGenerator::Sign() { return (gen_.Next() & 1) ? 1 : -1; }
 
 RandomGenerator RandomGenerator::Fork() {
   // The child consumes the next 2^128 outputs of the current stream; the

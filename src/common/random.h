@@ -5,6 +5,11 @@
 #include <cstdint>
 #include <vector>
 
+// For SMM_NO_SANITIZE_UNSIGNED_WRAP: the PRG core below wraps uint64_t by
+// design and is defined inline here so the per-draw cost in the encode hot
+// loops is a handful of instructions, not a cross-TU call.
+#include "common/math_util.h"
+
 namespace smm {
 
 /// A deterministic, seedable source of 64 random bits per call.
@@ -28,13 +33,31 @@ class Xoshiro256 final : public BitGenerator {
  public:
   explicit Xoshiro256(uint64_t seed);
 
-  uint64_t Next() override;
+  // Defined inline: one draw per coordinate is the serial floor of the
+  // fused encode pipeline, so the state transition must compile down to a
+  // few ALU ops at the call site rather than a function call.
+  SMM_NO_SANITIZE_UNSIGNED_WRAP
+  uint64_t Next() override {
+    const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
 
   /// Advances the state by 2^128 steps; used to derive independent
   /// per-participant streams from a common seed.
   void Jump();
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   uint64_t s_[4];
 };
 
@@ -57,18 +80,26 @@ class RandomGenerator {
   /// Uniform integer in {0, ..., bound - 1}. Requires bound >= 1.
   uint64_t UniformUint64(uint64_t bound);
 
-  /// Uniform double in [0, 1) with 53 bits of precision.
-  double UniformDouble();
+  /// Uniform double in [0, 1) with 53 bits of precision (top 53 bits of
+  /// one draw -> [0, 1)). Inline for the same reason as Xoshiro256::Next —
+  /// it is the per-coordinate cost of stochastic rounding.
+  double UniformDouble() {
+    return static_cast<double>(gen_.Next() >> 11) * 0x1.0p-53;
+  }
 
   /// Bernoulli trial with success probability p in [0, 1].
-  bool Bernoulli(double p);
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return UniformDouble() < p;
+  }
 
   /// Gaussian variate via the polar (Marsaglia) method. Deterministic given
   /// the seed; does not depend on libstdc++'s distribution implementations.
   double Gaussian(double mean, double stddev);
 
   /// Uniform random sign in {-1, +1}.
-  int Sign();
+  int Sign() { return (gen_.Next() & 1) ? 1 : -1; }
 
   /// Raw 64 random bits (pass-through to the underlying generator).
   uint64_t NextBits() { return gen_.Next(); }

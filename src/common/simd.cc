@@ -116,22 +116,33 @@ constexpr Kernels kScalarKernels = {
 
 // ---------------------------------------------------------------------------
 // Dispatch. Resolution happens once (first Active() call): the test
-// override, then the SMM_FORCE_SCALAR environment override, then the cpuid
-// probe. The cached pointer is atomic so concurrent first calls are safe;
-// resolution is idempotent, so a benign double-resolve stores the same
-// table.
+// override, then the SMM_FORCE_SCALAR / SMM_FORCE_AVX2 environment
+// overrides, then the cpuid probes (widest table first). The cached pointer
+// is atomic so concurrent first calls are safe; resolution is idempotent,
+// so a benign double-resolve stores the same table.
 // ---------------------------------------------------------------------------
 
 std::atomic<const Kernels*> g_active{nullptr};
 std::atomic<int> g_mode{static_cast<int>(DispatchMode::kAuto)};
 
+bool EnvFlagSet(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
 const Kernels* Resolve() {
-  if (g_mode.load(std::memory_order_acquire) ==
-      static_cast<int>(DispatchMode::kForceScalar)) {
+  const int mode = g_mode.load(std::memory_order_acquire);
+  if (mode == static_cast<int>(DispatchMode::kForceScalar)) {
     return &kScalarKernels;
   }
-  const char* env = std::getenv("SMM_FORCE_SCALAR");
-  if (env != nullptr && std::strcmp(env, "1") == 0) return &kScalarKernels;
+  if (mode == static_cast<int>(DispatchMode::kForceAvx2)) {
+    const Kernels* avx2 = Avx2KernelsIfSupported();
+    return avx2 != nullptr ? avx2 : &kScalarKernels;
+  }
+  if (EnvFlagSet("SMM_FORCE_SCALAR")) return &kScalarKernels;
+  if (!EnvFlagSet("SMM_FORCE_AVX2")) {
+    if (const Kernels* avx512 = Avx512KernelsIfSupported()) return avx512;
+  }
   if (const Kernels* avx2 = Avx2KernelsIfSupported()) return avx2;
   return &kScalarKernels;
 }
@@ -143,12 +154,28 @@ const Kernels* Resolve() {
 /// -mavx2). The cpuid gate lives in Avx2KernelsIfSupported.
 const Kernels* Avx2KernelTableForBuild();
 
+/// Defined in simd_avx512.cc; returns nullptr when that translation unit
+/// was compiled without AVX-512 support. The cpuid gate lives in
+/// Avx512KernelsIfSupported.
+const Kernels* Avx512KernelTableForBuild();
+
 const Kernels& ScalarKernels() { return kScalarKernels; }
 
 const Kernels* Avx2KernelsIfSupported() {
 #if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
   const Kernels* table = Avx2KernelTableForBuild();
   if (table != nullptr && __builtin_cpu_supports("avx2")) return table;
+#endif
+  return nullptr;
+}
+
+const Kernels* Avx512KernelsIfSupported() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  const Kernels* table = Avx512KernelTableForBuild();
+  if (table != nullptr && __builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq")) {
+    return table;
+  }
 #endif
   return nullptr;
 }

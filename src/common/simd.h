@@ -11,7 +11,7 @@ namespace smm::simd {
 /// Runtime-dispatched kernels for the dense inner loops that dominate the
 /// encode/aggregate cost at large d: rotate/scale/round, the modular wrap
 /// and centered lift, the Walsh-Hadamard butterfly, and modular
-/// accumulation. Two implementations exist behind one function-pointer
+/// accumulation. Three implementations exist behind one function-pointer
 /// table:
 ///
 ///  - the *scalar reference* (`ScalarKernels()`): a faithful port of the
@@ -19,24 +19,30 @@ namespace smm::simd {
 ///    compare-and-correct AddMod/SubMod — whose output defines correctness;
 ///  - the AVX2 path (`Avx2KernelsIfSupported()`): 4-lane vector kernels
 ///    that take a division-free fast path on in-range lanes and fall back
-///    to the scalar arithmetic on the rare out-of-range lane.
+///    to the scalar arithmetic on the rare out-of-range lane;
+///  - the AVX-512 path (`Avx512KernelsIfSupported()`): the same kernels at
+///    8 lanes, using native unsigned 64-bit compares (no sign-flip trick)
+///    and mask registers, with the same masked scalar spill for
+///    out-of-range lanes.
 ///
 /// The contract is *bit-identity*: for every kernel, every input, and every
-/// thread count, the AVX2 path produces exactly the scalar reference's
+/// thread count, the vector paths produce exactly the scalar reference's
 /// output (the integer kernels compute the same residues; the double
 /// kernels use only IEEE-exact add/sub/mul/div/floor, which vector and
 /// scalar units round identically). simd_kernel_test pins this across
 /// moduli up to 2^64 - 59, odd/even lengths, and unaligned offsets, and the
 /// PR-1 determinism suite pins it end-to-end through the encode pipeline.
 ///
-/// Dispatch: `Active()` resolves once per process — the AVX2 table when the
-/// build has an AVX2 translation unit and cpuid reports AVX2, else the
-/// scalar table. Setting the environment variable SMM_FORCE_SCALAR=1
-/// (before first use) forces the scalar reference; tests flip paths
-/// in-process with SetDispatchModeForTest.
+/// Dispatch: `Active()` resolves once per process — the AVX-512 table when
+/// the build has an AVX-512 translation unit and cpuid reports
+/// AVX-512F + AVX-512DQ, else the AVX2 table under the analogous probe,
+/// else the scalar table. Environment overrides (read before first use):
+/// SMM_FORCE_SCALAR=1 pins the scalar reference, SMM_FORCE_AVX2=1 caps
+/// resolution at AVX2 (useful for comparing paths on AVX-512 hosts). Tests
+/// flip paths in-process with SetDispatchModeForTest.
 struct Kernels {
-  /// Human-readable path name ("scalar" or "avx2") for logs and the bench
-  /// JSON artifact.
+  /// Human-readable path name ("scalar", "avx2" or "avx512") for logs and
+  /// the bench JSON artifact.
   const char* name;
 
   /// v[j] *= factor for j in [0, n).
@@ -94,20 +100,28 @@ const Kernels& ScalarKernels();
 
 /// The AVX2 table, or nullptr when the build lacks an AVX2 translation unit
 /// or the CPU lacks AVX2. Exposed (rather than private to dispatch) so the
-/// property tests and the bench harness can compare both paths in one
-/// process regardless of how dispatch resolved.
+/// property tests and the bench harness can compare paths in one process
+/// regardless of how dispatch resolved.
 const Kernels* Avx2KernelsIfSupported();
 
+/// The AVX-512 table, or nullptr when the build lacks an AVX-512
+/// translation unit or the CPU lacks AVX-512F / AVX-512DQ. Exposed for the
+/// same reason as Avx2KernelsIfSupported.
+const Kernels* Avx512KernelsIfSupported();
+
 /// The dispatched table: resolved once per process (cpuid probe +
-/// SMM_FORCE_SCALAR env override + test override), then cached.
+/// SMM_FORCE_SCALAR / SMM_FORCE_AVX2 env overrides + test override), then
+/// cached.
 const Kernels& Active();
 
 /// In-process dispatch override for tests and benches. kAuto restores the
-/// cpuid/env resolution; kForceScalar pins the scalar reference. Resets the
-/// cached resolution, so the next Active() call re-resolves. Not
-/// thread-safe against concurrent Active() users — flip it only from
-/// single-threaded test setup.
-enum class DispatchMode { kAuto, kForceScalar };
+/// cpuid/env resolution; kForceScalar pins the scalar reference;
+/// kForceAvx2 caps resolution at the AVX2 table (falling back to scalar
+/// when AVX2 is unavailable), which lets tests pin the AVX2 path on
+/// AVX-512 hosts. Resets the cached resolution, so the next Active() call
+/// re-resolves. Not thread-safe against concurrent Active() users — flip
+/// it only from single-threaded test setup.
+enum class DispatchMode { kAuto, kForceScalar, kForceAvx2 };
 void SetDispatchModeForTest(DispatchMode mode);
 
 /// Reduces a signed value into {0, ..., m-1} — the same arithmetic as

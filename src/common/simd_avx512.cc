@@ -1,0 +1,286 @@
+// The AVX-512 half of the runtime-dispatched kernel layer (see simd.h).
+// This translation unit is the only one compiled with -mavx512f -mavx512dq
+// (CMake sets the flags per-source), so the rest of the library keeps its
+// portable baseline and the AVX-512 instructions execute only after the
+// cpuid probe in Avx512KernelsIfSupported passes.
+//
+// Every kernel here must be bit-identical to the scalar reference in
+// simd.cc (the same contract the AVX2 table in simd_avx2.cc satisfies).
+// The double kernels use only IEEE-exact operations (add, sub, mul, div,
+// floor), which vector and scalar units round identically. The integer
+// kernels differ from the AVX2 table in two welcome ways: compares are
+// native unsigned 64-bit (_mm512_cmp*_epu64_mask — no sign-flip trick) and
+// produce mask registers (__mmask8) directly, so the fast-path test is one
+// mask comparison and the select is a masked blend. Out-of-range lanes
+// spill to the same scalar arithmetic the reference runs, patched through a
+// masked store/reload. Deliberate uint64 lane wraps (the unsigned wrap
+// trick behind the branchless compare-and-correct) happen only inside
+// intrinsics, which sanitizers do not instrument; the scalar spill paths
+// stay wrap-free.
+#include "common/simd.h"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace smm::simd {
+
+namespace {
+
+inline __m512i LoadU(const void* p) { return _mm512_loadu_si512(p); }
+
+inline void StoreU(void* p, __m512i v) { _mm512_storeu_si512(p, v); }
+
+void Avx512ScaleInPlace(double* v, size_t n, double factor) {
+  const __m512d f = _mm512_set1_pd(factor);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm512_storeu_pd(v + j, _mm512_mul_pd(_mm512_loadu_pd(v + j), f));
+  }
+  for (; j < n; ++j) v[j] *= factor;
+}
+
+void Avx512UnscaleInPlace(double* v, size_t n, double factor) {
+  const __m512d f = _mm512_set1_pd(factor);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm512_storeu_pd(v + j, _mm512_div_pd(_mm512_loadu_pd(v + j), f));
+  }
+  for (; j < n; ++j) v[j] /= factor;
+}
+
+void Avx512WhtButterflyPass(double* v, size_t n, size_t h) {
+  if (h < 8) {
+    // Sub-vector spans: the scalar reference loop (h is a power of two, so
+    // h < 8 never reaches the 8-lane body below).
+    for (size_t i = 0; i < n; i += h << 1) {
+      double* a = v + i;
+      double* b = v + i + h;
+      for (size_t j = 0; j < h; ++j) {
+        const double x = a[j];
+        const double y = b[j];
+        a[j] = x + y;
+        b[j] = x - y;
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; i += h << 1) {
+    double* a = v + i;
+    double* b = v + i + h;
+    for (size_t j = 0; j < h; j += 8) {
+      const __m512d x = _mm512_loadu_pd(a + j);
+      const __m512d y = _mm512_loadu_pd(b + j);
+      _mm512_storeu_pd(a + j, _mm512_add_pd(x, y));
+      _mm512_storeu_pd(b + j, _mm512_sub_pd(x, y));
+    }
+  }
+}
+
+void Avx512FloorFractScaled(const double* x, size_t n, double scale,
+                            double* flr, double* frac) {
+  const __m512d s = _mm512_set1_pd(scale);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512d g = _mm512_mul_pd(_mm512_loadu_pd(x + j), s);
+    const __m512d f =
+        _mm512_roundscale_pd(g, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);
+    _mm512_storeu_pd(flr + j, f);
+    _mm512_storeu_pd(frac + j, _mm512_sub_pd(g, f));
+  }
+  for (; j < n; ++j) {
+    const double g = x[j] * scale;
+    const double f = std::floor(g);
+    flr[j] = f;
+    frac[j] = g - f;
+  }
+}
+
+size_t Avx512WrapCenteredInto(const int64_t* values, size_t n, uint64_t m,
+                              uint64_t* out) {
+  const int64_t lo = -static_cast<int64_t>(m / 2);
+  const int64_t hi = static_cast<int64_t>((m - 1) / 2);
+  const __m512i vlo = _mm512_set1_epi64(lo);
+  const __m512i vhi = _mm512_set1_epi64(hi);
+  const __m512i vm = _mm512_set1_epi64(static_cast<int64_t>(m));
+  const __m512i zero = _mm512_setzero_si512();
+  size_t overflow = 0;
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512i v = LoadU(values + j);
+    // Out-of-window accounting: signed compares, since lo/hi/v are int64.
+    const __mmask8 oob = _kor_mask8(_mm512_cmpgt_epi64_mask(vlo, v),
+                                    _mm512_cmpgt_epi64_mask(v, vhi));
+    overflow += static_cast<size_t>(
+        __builtin_popcount(static_cast<unsigned>(oob)));
+    // Division-free wrap for lanes with -m <= v < m, exactly as in the AVX2
+    // table (see Avx2WrapCenteredInto for the derivation):
+    //   v >= 0: result is v itself iff (uint64)v < m;
+    //   v <  0: (uint64)v + m wraps 2^64 exactly when v >= -m, and the
+    //           wrapped sum v + m is the reduced value.
+    const __mmask8 neg = _mm512_cmpgt_epi64_mask(zero, v);
+    const __m512i w = _mm512_add_epi64(v, vm);  // (uint64)v + m, mod 2^64.
+    const __mmask8 wrapped = _mm512_cmpgt_epu64_mask(v, w);  // Wrap occurred.
+    const __mmask8 ultm = _mm512_cmpgt_epu64_mask(vm, v);  // (uint64)v < m.
+    const __mmask8 fast =
+        _kor_mask8(_kand_mask8(neg, wrapped), _kandn_mask8(neg, ultm));
+    const __m512i rfast = _mm512_mask_blend_epi64(neg, v, w);
+    if (fast == 0xFF) {
+      StoreU(out + j, rfast);
+    } else {
+      // Masked scalar spill: patch the out-of-range lanes with the scalar
+      // reference arithmetic, keep the fast lanes.
+      alignas(64) uint64_t r[8];
+      alignas(64) int64_t raw[8];
+      _mm512_store_si512(r, rfast);
+      _mm512_store_si512(raw, v);
+      for (int lane = 0; lane < 8; ++lane) {
+        if (((fast >> lane) & 1) == 0) {
+          r[lane] = ModReduceScalarI64(raw[lane], m);
+        }
+      }
+      StoreU(out + j, LoadU(r));
+    }
+  }
+  for (; j < n; ++j) {
+    const int64_t v = values[j];
+    if (v < lo || v > hi) ++overflow;
+    out[j] = ModReduceScalarI64(v, m);
+  }
+  return overflow;
+}
+
+void Avx512CenterLiftInto(const uint64_t* values, size_t n, uint64_t m,
+                          int64_t* out) {
+  const uint64_t threshold = (m - 1) / 2;
+  const __m512i vthr = _mm512_set1_epi64(static_cast<int64_t>(threshold));
+  const __m512i vm = _mm512_set1_epi64(static_cast<int64_t>(m));
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512i v = LoadU(values + j);
+    const __mmask8 is_neg = _mm512_cmpgt_epu64_mask(v, vthr);
+    // v - m in two's complement is exactly the negative representative
+    // -(m - v); the lane wrap is deliberate and confined to the intrinsic.
+    const __m512i shifted = _mm512_sub_epi64(v, vm);
+    StoreU(out + j, _mm512_mask_blend_epi64(is_neg, v, shifted));
+  }
+  for (; j < n; ++j) {
+    const uint64_t v = values[j];
+    out[j] = v > threshold ? -static_cast<int64_t>(m - v)
+                           : static_cast<int64_t>(v);
+  }
+}
+
+void Avx512ModReduceInto(const uint64_t* values, size_t n, uint64_t m,
+                         uint64_t* out) {
+  const __m512i vm = _mm512_set1_epi64(static_cast<int64_t>(m));
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m512i v = LoadU(values + j);
+    const __mmask8 reduced = _mm512_cmplt_epu64_mask(v, vm);  // v < m.
+    if (reduced != 0xFF) {
+      alignas(64) uint64_t tmp[8];
+      _mm512_store_si512(tmp, v);
+      for (int lane = 0; lane < 8; ++lane) {
+        if (((reduced >> lane) & 1) == 0) tmp[lane] %= m;
+      }
+      v = LoadU(tmp);
+    }
+    StoreU(out + j, v);
+  }
+  for (; j < n; ++j) out[j] = values[j] % m;
+}
+
+/// Loads b[j..j+8), reducing any lane >= m with the scalar `%` the
+/// reference runs (rare: every secagg producer hands over pre-reduced
+/// residues; the `%` is defensive).
+inline __m512i LoadReduced(const uint64_t* b, uint64_t m, __m512i vm) {
+  __m512i vb = LoadU(b);
+  const __mmask8 reduced = _mm512_cmplt_epu64_mask(vb, vm);
+  if (reduced != 0xFF) {
+    alignas(64) uint64_t tmp[8];
+    _mm512_store_si512(tmp, vb);
+    for (int lane = 0; lane < 8; ++lane) {
+      if (((reduced >> lane) & 1) == 0) tmp[lane] %= m;
+    }
+    vb = LoadU(tmp);
+  }
+  return vb;
+}
+
+void Avx512AddModVec(uint64_t* acc, const uint64_t* b, size_t n, uint64_t m) {
+  const __m512i vm = _mm512_set1_epi64(static_cast<int64_t>(m));
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512i vb = LoadReduced(b + j, m, vm);
+    const __m512i va = LoadU(acc + j);
+    // Branchless compare-and-correct: with a, b < m, m - b never wraps, and
+    // the select between a + b (no-overflow lanes) and a - (m - b)
+    // (overflow lanes) never *uses* a lane whose uint64 arithmetic wrapped
+    // — exact for every m < 2^64 even though a + b itself can exceed 2^64.
+    const __m512i mb = _mm512_sub_epi64(vm, vb);              // m - b.
+    const __mmask8 no_over = _mm512_cmpgt_epu64_mask(mb, va);  // a + b < m.
+    const __m512i apb = _mm512_add_epi64(va, vb);     // Exact iff no_over.
+    const __m512i corrected = _mm512_sub_epi64(va, mb);  // a + b - m.
+    StoreU(acc + j, _mm512_mask_blend_epi64(no_over, corrected, apb));
+  }
+  for (; j < n; ++j) acc[j] = smm::AddMod(acc[j], b[j] % m, m);
+}
+
+void Avx512SubModVec(uint64_t* acc, const uint64_t* b, size_t n, uint64_t m) {
+  const __m512i vm = _mm512_set1_epi64(static_cast<int64_t>(m));
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512i vb = LoadReduced(b + j, m, vm);
+    const __m512i va = LoadU(acc + j);
+    const __mmask8 borrow = _mm512_cmpgt_epu64_mask(vb, va);  // a < b.
+    const __m512i diff = _mm512_sub_epi64(va, vb);  // Exact iff !borrow.
+    const __m512i folded = _mm512_add_epi64(diff, vm);  // a - b + m.
+    StoreU(acc + j, _mm512_mask_blend_epi64(borrow, diff, folded));
+  }
+  for (; j < n; ++j) acc[j] = smm::SubMod(acc[j], b[j] % m, m);
+}
+
+void Avx512AddI64InPlace(int64_t* v, const int64_t* delta, size_t n) {
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    StoreU(v + j, _mm512_add_epi64(LoadU(v + j), LoadU(delta + j)));
+  }
+  for (; j < n; ++j) v[j] += delta[j];
+}
+
+constexpr Kernels kAvx512Kernels = {
+    "avx512",
+    Avx512ScaleInPlace,
+    Avx512UnscaleInPlace,
+    Avx512WhtButterflyPass,
+    Avx512FloorFractScaled,
+    Avx512WrapCenteredInto,
+    Avx512CenterLiftInto,
+    Avx512ModReduceInto,
+    Avx512AddModVec,
+    Avx512SubModVec,
+    Avx512AddI64InPlace,
+};
+
+}  // namespace
+
+const Kernels* Avx512KernelTableForBuild() { return &kAvx512Kernels; }
+
+}  // namespace smm::simd
+
+#else  // !(defined(__AVX512F__) && defined(__AVX512DQ__))
+
+namespace smm::simd {
+
+// Compiled without AVX-512 support (non-x86 target, or a compiler without
+// -mavx512f/-mavx512dq): dispatch falls through to AVX2 or scalar.
+const Kernels* Avx512KernelTableForBuild() { return nullptr; }
+
+}  // namespace smm::simd
+
+#endif  // defined(__AVX512F__) && defined(__AVX512DQ__)

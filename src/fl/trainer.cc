@@ -15,19 +15,6 @@
 
 namespace smm::fl {
 
-namespace {
-
-/// Participants per pipelined round tile and per thread: each tile holds
-/// threads * kTileRowsPerThread gradients/encodings resident — enough to
-/// hand every thread one full batched-rotation tile of the encoder — so
-/// peak round memory is O(threads·d), independent of how many participants
-/// the Poisson sample drew. The tile size never affects results: gradients
-/// and encodings depend only on the participant, and the streamed modular
-/// sum is exact.
-constexpr size_t kTileRowsPerThread = 32;
-
-}  // namespace
-
 const char* MechanismKindName(MechanismKind kind) {
   switch (kind) {
     case MechanismKind::kSmm:
@@ -268,7 +255,12 @@ StatusOr<std::vector<double>> FederatedTrainer::AggregateRound(
   const size_t model_dim = model_.num_parameters();
   const size_t count = participant_indices.size();
   const int threads = pool_ != nullptr ? pool_->num_threads() : 1;
-  const size_t tile_size = static_cast<size_t>(threads) * kTileRowsPerThread;
+  // One batched-rotation tile of gradients/encodings per thread stays
+  // resident per round, so peak round memory is O(threads·d) independent of
+  // how many participants the Poisson sample drew. The tile size never
+  // affects results: gradients and encodings depend only on the
+  // participant, and the streamed modular sum is exact.
+  const size_t tile_size = DefaultTileRows(threads);
 
   // Integer mechanism path: one streaming aggregation session per round.
   // Tiles are encoded and absorbed as they are produced, so the round never

@@ -1,6 +1,7 @@
 #include "mechanisms/baseline_mechanisms.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/simd.h"
 #include "mechanisms/clipping.h"
@@ -47,6 +48,28 @@ StatusOr<std::unique_ptr<DdgMechanism>> DdgMechanism::Create(
       options, std::move(codec), std::move(sampler), norm_bound));
 }
 
+DdgMechanism::DdgMechanism(Options options, RotationCodec codec,
+                           sampling::DiscreteGaussianSampler sampler,
+                           double norm_bound)
+    : RotatedModularMechanism(std::move(codec)),
+      options_(options),
+      sampler_(std::move(sampler)),
+      norm_bound_(norm_bound) {
+  // Fused-pipeline description of PerturbRotatedInto. `this` is
+  // heap-allocated by Create and never moves.
+  FusedPerturbSpec spec;
+  spec.clip = FusedPerturbSpec::Clip::kL2;
+  spec.l2_threshold = options_.gamma * options_.l2_bound;
+  spec.conditional_round = true;
+  spec.norm_bound = norm_bound_;
+  spec.max_retries = options_.max_rounding_retries;
+  spec.track_rejections = true;
+  spec.sample_block = [this](size_t n, int64_t* out, RandomGenerator& rng) {
+    sampler_.SampleBlock(n, out, rng);
+  };
+  set_fused_perturb_spec(std::move(spec));
+}
+
 Status DdgMechanism::PerturbRotatedInto(RandomGenerator& rng,
                                         EncodeWorkspace& workspace,
                                         EncodeCounters& counters) {
@@ -84,6 +107,28 @@ AgarwalSkellamMechanism::Create(const Options& options) {
       options, std::move(codec), std::move(sampler), norm_bound));
 }
 
+AgarwalSkellamMechanism::AgarwalSkellamMechanism(
+    Options options, RotationCodec codec, sampling::SkellamSampler sampler,
+    double norm_bound)
+    : RotatedModularMechanism(std::move(codec)),
+      options_(options),
+      sampler_(std::move(sampler)),
+      norm_bound_(norm_bound) {
+  // Same fused spec as DdgMechanism with Skellam noise and no rejection
+  // tracking (matching the unfused path's nullptr rejections).
+  FusedPerturbSpec spec;
+  spec.clip = FusedPerturbSpec::Clip::kL2;
+  spec.l2_threshold = options_.gamma * options_.l2_bound;
+  spec.conditional_round = true;
+  spec.norm_bound = norm_bound_;
+  spec.max_retries = options_.max_rounding_retries;
+  spec.track_rejections = false;
+  spec.sample_block = [this](size_t n, int64_t* out, RandomGenerator& rng) {
+    sampler_.SampleBlock(n, out, rng);
+  };
+  set_fused_perturb_spec(std::move(spec));
+}
+
 Status AgarwalSkellamMechanism::PerturbRotatedInto(RandomGenerator& rng,
                                                    EncodeWorkspace& workspace,
                                                    EncodeCounters& counters) {
@@ -116,6 +161,23 @@ StatusOr<std::unique_ptr<CpSgdMechanism>> CpSgdMechanism::Create(
       sampling::CenteredBinomialSampler::Create(options.binomial_trials));
   return std::unique_ptr<CpSgdMechanism>(
       new CpSgdMechanism(options, std::move(codec), binomial));
+}
+
+CpSgdMechanism::CpSgdMechanism(Options options, RotationCodec codec,
+                               sampling::CenteredBinomialSampler binomial)
+    : RotatedModularMechanism(std::move(codec)),
+      options_(options),
+      binomial_(binomial) {
+  // Fused-pipeline description of PerturbRotatedInto: L2 clip + plain
+  // stochastic rounding + centered binomial noise.
+  FusedPerturbSpec spec;
+  spec.clip = FusedPerturbSpec::Clip::kL2;
+  spec.l2_threshold = options_.gamma * options_.l2_bound;
+  spec.conditional_round = false;
+  spec.sample_block = [this](size_t n, int64_t* out, RandomGenerator& rng) {
+    binomial_.SampleBlock(n, out, rng);
+  };
+  set_fused_perturb_spec(std::move(spec));
 }
 
 Status CpSgdMechanism::PerturbRotatedInto(RandomGenerator& rng,

@@ -61,12 +61,11 @@ class DdgMechanism final : public RotatedModularMechanism {
   }
 
  private:
+  /// Defined in the .cc: installs the FusedPerturbSpec (L2 clip +
+  /// rejection-tracked conditional rounding + discrete-Gaussian noise
+  /// callback) alongside the member setup.
   DdgMechanism(Options options, RotationCodec codec,
-               sampling::DiscreteGaussianSampler sampler, double norm_bound)
-      : RotatedModularMechanism(std::move(codec)),
-        options_(options),
-        sampler_(std::move(sampler)),
-        norm_bound_(norm_bound) {}
+               sampling::DiscreteGaussianSampler sampler, double norm_bound);
 
   Options options_;
   sampling::DiscreteGaussianSampler sampler_;
@@ -103,12 +102,11 @@ class AgarwalSkellamMechanism final : public RotatedModularMechanism {
                             EncodeCounters& counters) override;
 
  private:
+  /// Defined in the .cc: installs the FusedPerturbSpec (L2 clip +
+  /// conditional rounding without rejection tracking + Skellam noise
+  /// callback) alongside the member setup.
   AgarwalSkellamMechanism(Options options, RotationCodec codec,
-                          sampling::SkellamSampler sampler, double norm_bound)
-      : RotatedModularMechanism(std::move(codec)),
-        options_(options),
-        sampler_(std::move(sampler)),
-        norm_bound_(norm_bound) {}
+                          sampling::SkellamSampler sampler, double norm_bound);
 
   Options options_;
   sampling::SkellamSampler sampler_;
@@ -143,11 +141,11 @@ class CpSgdMechanism final : public RotatedModularMechanism {
                             EncodeCounters& counters) override;
 
  private:
+  /// Defined in the .cc: installs the FusedPerturbSpec (L2 clip + plain
+  /// stochastic rounding + centered-binomial noise callback) alongside the
+  /// member setup.
   CpSgdMechanism(Options options, RotationCodec codec,
-                 sampling::CenteredBinomialSampler binomial)
-      : RotatedModularMechanism(std::move(codec)),
-        options_(options),
-        binomial_(binomial) {}
+                 sampling::CenteredBinomialSampler binomial);
 
   Options options_;
   sampling::CenteredBinomialSampler binomial_;

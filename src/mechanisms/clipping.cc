@@ -21,28 +21,37 @@ double SmmSensitivityInverse(double w) {
   return k + f;
 }
 
+double SmmClipReduce(const double* g, size_t n, double l1_so_far) {
+  // The contribution sum of Algorithm 5 (the L1 of the helper vector v),
+  // accumulated in coordinate order so blocked chaining reproduces the
+  // full-vector sum bit-for-bit.
+  for (size_t j = 0; j < n; ++j) {
+    l1_so_far += SmmSensitivityContribution(g[j]);
+  }
+  return l1_so_far;
+}
+
+void SmmClipApply(double* g, size_t n, double scale, double dinf) {
+  for (size_t j = 0; j < n; ++j) {
+    const double sign = g[j] < 0.0 ? -1.0 : 1.0;  // 0/0 := 1 per the paper.
+    const double contribution = SmmSensitivityContribution(g[j]);
+    double magnitude = SmmSensitivityInverse(contribution * scale);
+    magnitude = std::min(magnitude, dinf);
+    g[j] = sign * magnitude;
+  }
+}
+
 Status SmmClip(std::vector<double>& g, double c, double delta_inf) {
   if (!(c > 0.0)) return InvalidArgumentError("clip threshold c must be > 0");
   if (!(delta_inf > 0.0)) {
     return InvalidArgumentError("delta_inf must be > 0");
   }
   const double dinf = std::max(1.0, std::floor(delta_inf));
-  // Map to sensitivity contributions (the helper vector v of Algorithm 5).
-  double l1 = 0.0;
-  std::vector<double> v(g.size());
-  for (size_t j = 0; j < g.size(); ++j) {
-    v[j] = SmmSensitivityContribution(g[j]);
-    l1 += v[j];
-  }
-  // L1-clip the contribution vector to c.
+  // Map to sensitivity contributions and L1-clip them to c; the fused
+  // encode pipeline runs the same two halves block by block.
+  const double l1 = SmmClipReduce(g.data(), g.size(), 0.0);
   const double scale = l1 > c ? c / l1 : 1.0;
-  // Map back and apply the Linf clip.
-  for (size_t j = 0; j < g.size(); ++j) {
-    const double sign = g[j] < 0.0 ? -1.0 : 1.0;  // 0/0 := 1 per the paper.
-    double magnitude = SmmSensitivityInverse(v[j] * scale);
-    magnitude = std::min(magnitude, dinf);
-    g[j] = sign * magnitude;
-  }
+  SmmClipApply(g.data(), g.size(), scale, dinf);
   return OkStatus();
 }
 
@@ -55,9 +64,12 @@ void L2Clip(std::vector<double>& g, double threshold) {
 }
 
 double L2Norm(const std::vector<double>& g) {
-  double sum = 0.0;
-  for (double x : g) sum += x * x;
-  return std::sqrt(sum);
+  return std::sqrt(L2NormSqReduce(g.data(), g.size(), 0.0));
+}
+
+double L2NormSqReduce(const double* g, size_t n, double sum_so_far) {
+  for (size_t j = 0; j < n; ++j) sum_so_far += g[j] * g[j];
+  return sum_so_far;
 }
 
 }  // namespace smm::mechanisms

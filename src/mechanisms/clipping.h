@@ -1,6 +1,7 @@
 #ifndef SMM_MECHANISMS_CLIPPING_H_
 #define SMM_MECHANISMS_CLIPPING_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "common/status.h"
@@ -34,11 +35,36 @@ double SmmSensitivityInverse(double w);
 /// We implement the subtracted (correct) form.
 Status SmmClip(std::vector<double>& g, double c, double delta_inf);
 
+/// The blocked halves of SmmClip, exposed for the fused encode pipeline so
+/// the clip exists exactly once: SmmClip == one SmmClipReduce pass over the
+/// whole vector (seeded with 0.0) followed by one SmmClipApply pass with
+/// scale = l1 > c ? c / l1 : 1 and dinf = max(1, floor(delta_inf)).
+/// Chaining SmmClipReduce block by block — feeding each call the previous
+/// running sum — performs the identical addition sequence as one full-vector
+/// call, and SmmClipApply is per-element, so blocked and full-vector
+/// clipping are bit-identical by construction.
+///
+/// SmmClipReduce returns l1_so_far plus the contributions
+/// SmmSensitivityContribution(g[j]) accumulated in coordinate order.
+double SmmClipReduce(const double* g, size_t n, double l1_so_far);
+
+/// Maps each contribution back through SmmSensitivityInverse at the given
+/// L1 scale and applies the Linf clip (dinf must already be floored with the
+/// minimum of 1 that SmmClip applies). Recomputes the contribution from
+/// g[j] — bit-identical to reusing a stored contribution vector, since g is
+/// unchanged between the reduce and apply passes.
+void SmmClipApply(double* g, size_t n, double scale, double dinf);
+
 /// Standard L2 clipping (DPSGD): scales g so that ||g||_2 <= threshold.
 void L2Clip(std::vector<double>& g, double threshold);
 
 /// L2 norm helper.
 double L2Norm(const std::vector<double>& g);
+
+/// The blocked half of L2Norm: sum_so_far plus sum_j g[j]^2 accumulated in
+/// coordinate order, so chaining blocks reproduces L2Norm's sum exactly
+/// (L2Norm == sqrt of the full-vector call seeded with 0.0).
+double L2NormSqReduce(const double* g, size_t n, double sum_so_far);
 
 }  // namespace smm::mechanisms
 

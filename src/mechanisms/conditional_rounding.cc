@@ -47,13 +47,21 @@ StatusOr<std::vector<int64_t>> ConditionallyRound(
 Status ConditionallyRoundInto(const std::vector<double>& g, double norm_bound,
                               int max_retries, RandomGenerator& rng,
                               int64_t* rejections, std::vector<int64_t>& out) {
+  return ConditionallyRoundInto(g.data(), g.size(), norm_bound, max_retries,
+                                rng, rejections, out);
+}
+
+Status ConditionallyRoundInto(const double* g, size_t n, double norm_bound,
+                              int max_retries, RandomGenerator& rng,
+                              int64_t* rejections, std::vector<int64_t>& out) {
   if (!(norm_bound > 0.0)) {
     return InvalidArgumentError("norm_bound must be > 0");
   }
   if (max_retries < 1) return InvalidArgumentError("max_retries must be >= 1");
   const double bound_sq = norm_bound * norm_bound;
+  out.resize(n);
   for (int attempt = 0; attempt < max_retries; ++attempt) {
-    StochasticRoundInto(g, rng, out);
+    simd::ScaleRoundStochasticInto(g, n, /*scale=*/1.0, rng, out.data());
     double norm_sq = 0.0;
     for (int64_t v : out) {
       norm_sq += static_cast<double>(v) * static_cast<double>(v);
@@ -63,8 +71,7 @@ Status ConditionallyRoundInto(const std::vector<double>& g, double norm_bound,
   }
   // Fallback: round to nearest, which cannot exceed the bound for inputs
   // whose scaled norm respects the pre-rounding clip.
-  out.resize(g.size());
-  for (size_t j = 0; j < g.size(); ++j) {
+  for (size_t j = 0; j < n; ++j) {
     out[j] = static_cast<int64_t>(std::llround(g[j]));
   }
   return OkStatus();

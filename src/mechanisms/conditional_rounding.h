@@ -1,6 +1,7 @@
 #ifndef SMM_MECHANISMS_CONDITIONAL_ROUNDING_H_
 #define SMM_MECHANISMS_CONDITIONAL_ROUNDING_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -45,6 +46,16 @@ StatusOr<std::vector<int64_t>> ConditionallyRound(
 /// into out, reusing its capacity. Consumes the RNG identically to
 /// ConditionallyRound.
 Status ConditionallyRoundInto(const std::vector<double>& g, double norm_bound,
+                              int max_retries, RandomGenerator& rng,
+                              int64_t* rejections, std::vector<int64_t>& out);
+
+/// Pointer-span variant for the fused encode pipeline, which rounds rows
+/// living inside a batched-rotation tile rather than in their own vector.
+/// Identical semantics and RNG consumption to the vector overload (which
+/// delegates here). The accept/reject norm check is inherently
+/// whole-vector, so this stage cannot be tiled further — the fused pipeline
+/// calls it once per row between its blocked sweeps.
+Status ConditionallyRoundInto(const double* g, size_t n, double norm_bound,
                               int max_retries, RandomGenerator& rng,
                               int64_t* rejections, std::vector<int64_t>& out);
 

@@ -1,6 +1,8 @@
 #include "mechanisms/dgm_mechanism.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/simd.h"
 #include "mechanisms/clipping.h"
@@ -62,6 +64,23 @@ StatusOr<std::unique_ptr<DgmMechanism>> DgmMechanism::Create(
                                         options.sigma, options.sampler_mode));
   return std::unique_ptr<DgmMechanism>(
       new DgmMechanism(options, std::move(codec), std::move(noiser)));
+}
+
+DgmMechanism::DgmMechanism(Options options, RotationCodec codec,
+                           DiscreteGaussianMixtureNoiser noiser)
+    : RotatedModularMechanism(std::move(codec)),
+      options_(options),
+      noiser_(std::move(noiser)) {
+  // Same fused spec as SmmMechanism with the noise callback swapped for the
+  // discrete Gaussian. `this` is heap-allocated by Create and never moves.
+  FusedPerturbSpec spec;
+  spec.clip = FusedPerturbSpec::Clip::kSmm;
+  spec.smm_c = options_.c;
+  spec.smm_delta_inf = std::max(1.0, std::floor(options_.delta_inf));
+  spec.sample_block = [this](size_t n, int64_t* out, RandomGenerator& rng) {
+    noiser_.SampleNoiseBlock(n, out, rng);
+  };
+  set_fused_perturb_spec(std::move(spec));
 }
 
 Status DgmMechanism::PerturbRotatedInto(RandomGenerator& rng,

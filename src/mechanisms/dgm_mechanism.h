@@ -37,6 +37,13 @@ class DiscreteGaussianMixtureNoiser {
                          std::vector<int64_t>& out,
                          std::vector<int64_t>& noise);
 
+  /// The noise half of PerturbVectorInto on its own, for the fused encode
+  /// pipeline's blocked noise sweep (same blockwise RNG-consumption
+  /// guarantee as SkellamMixtureNoiser::SampleNoiseBlock).
+  void SampleNoiseBlock(size_t n, int64_t* out, RandomGenerator& rng) {
+    sampler_.SampleBlock(n, out, rng);
+  }
+
   double sigma() const { return sampler_.sigma(); }
 
  private:
@@ -75,11 +82,10 @@ class DgmMechanism final : public RotatedModularMechanism {
                             EncodeCounters& counters) override;
 
  private:
+  /// Defined in the .cc: installs the FusedPerturbSpec (Algorithm 5 clip +
+  /// discrete-Gaussian noise callback) alongside the member setup.
   DgmMechanism(Options options, RotationCodec codec,
-               DiscreteGaussianMixtureNoiser noiser)
-      : RotatedModularMechanism(std::move(codec)),
-        options_(options),
-        noiser_(std::move(noiser)) {}
+               DiscreteGaussianMixtureNoiser noiser);
 
   Options options_;
   DiscreteGaussianMixtureNoiser noiser_;

@@ -1,8 +1,14 @@
 #include "mechanisms/distributed_mechanism.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
+#include <cstdlib>
+#include <cstring>
 
+#include "common/simd.h"
+#include "mechanisms/clipping.h"
+#include "mechanisms/conditional_rounding.h"
 #include "secagg/session.h"
 #include "secagg/transport.h"
 
@@ -14,15 +20,26 @@ namespace {
 /// workspace.batch to kRotationTile * dim doubles per thread while still
 /// amortizing one batched Walsh-Hadamard dispatch over many rows. The tile
 /// size never affects results (rotation consumes no randomness).
-constexpr size_t kRotationTile = 32;
+constexpr size_t kRotationTile = kTileRowsPerThread;
 
-/// Participants per pipelined session tile in RunDistributedSum, per
-/// thread: each tile holds threads * kSessionTileRows encodings resident —
-/// enough to hand every thread one full batched-rotation tile — before its
-/// frames are drained into the aggregation stream. The tile size never
-/// affects results (encoding reads only per-participant streams, and
-/// absorption is exact mod m).
-constexpr size_t kSessionTileRows = 32;
+/// Block size (in doubles / int64s) for the fused encode sweeps: 2048
+/// elements = 16 KiB, matching the Walsh-Hadamard kernel's cache block, so
+/// every fused sweep touches one L1-resident block at a time. The block
+/// size never affects results — every stage is either per-element or an
+/// order-preserving chained reduction, and the RNG-consuming stages visit
+/// coordinates in order regardless of blocking.
+constexpr size_t kFusedBlockElems = 2048;
+
+/// SMM_FORCE_UNFUSED=1 pins the historical per-pass encode pipeline — the
+/// escape hatch for debugging and for benchmarking fused vs unfused from
+/// the same binary. Read once, like the SIMD dispatch overrides.
+bool ForceUnfusedEncode() {
+  static const bool force = [] {
+    const char* env = std::getenv("SMM_FORCE_UNFUSED");
+    return env != nullptr && std::strcmp(env, "1") == 0;
+  }();
+  return force;
+}
 
 }  // namespace
 
@@ -54,6 +71,32 @@ Status RotatedModularMechanism::EncodeBatch(
     const std::vector<std::vector<double>>& inputs, size_t begin, size_t end,
     RandomGenerator* rng_streams, EncodeWorkspace& workspace,
     std::vector<std::vector<uint64_t>>* out) {
+  if (!fused_spec_.has_value() || ForceUnfusedEncode()) {
+    return EncodeBatchUnfused(inputs, begin, end, rng_streams, workspace, out);
+  }
+  const size_t d = codec_.dim();
+  EncodeCounters counters;
+  for (size_t tile = begin; tile < end; tile += kRotationTile) {
+    const size_t tile_end = std::min(end, tile + kRotationTile);
+    // Raw batched rotate (butterflies + sign flips only): normalization and
+    // gamma move into FusedEncodeRow's first blocked sweep. Rotation draws
+    // no randomness, so tiling never changes the encoding.
+    SMM_RETURN_IF_ERROR(codec_.RotateRawBatchInto(inputs, tile, tile_end,
+                                                  workspace.batch));
+    for (size_t i = tile; i < tile_end; ++i) {
+      double* row = workspace.batch.data() + (i - tile) * d;
+      SMM_RETURN_IF_ERROR(FusedEncodeRow(row, rng_streams[i], workspace,
+                                         counters, (*out)[i]));
+    }
+  }
+  PublishCounters(counters);
+  return OkStatus();
+}
+
+Status RotatedModularMechanism::EncodeBatchUnfused(
+    const std::vector<std::vector<double>>& inputs, size_t begin, size_t end,
+    RandomGenerator* rng_streams, EncodeWorkspace& workspace,
+    std::vector<std::vector<uint64_t>>* out) {
   const size_t d = codec_.dim();
   EncodeCounters counters;
   for (size_t tile = begin; tile < end; tile += kRotationTile) {
@@ -72,6 +115,100 @@ Status RotatedModularMechanism::EncodeBatch(
     }
   }
   PublishCounters(counters);
+  return OkStatus();
+}
+
+Status RotatedModularMechanism::FusedEncodeRow(double* row,
+                                               RandomGenerator& rng,
+                                               EncodeWorkspace& workspace,
+                                               EncodeCounters& counters,
+                                               std::vector<uint64_t>& out) {
+  const FusedPerturbSpec& spec = *fused_spec_;
+  const size_t d = codec_.dim();
+  const double norm_scale = codec_.wht_norm_scale();
+  const double gamma = codec_.gamma();
+  const uint64_t m = codec_.modulus();
+
+  // Sweep 1 — finish the rotation and reduce the clip statistic, one
+  // L1-resident block at a time: Hadamard normalization (skipped when the
+  // codec left nothing unapplied) and the gamma scale are the same two IEEE
+  // multiplies per element the unfused path performs full-vector, and the
+  // chained reduce accumulates contributions in coordinate order, so the
+  // statistic matches the full-vector reduction bit-for-bit.
+  double reduced = 0.0;
+  for (size_t b = 0; b < d; b += kFusedBlockElems) {
+    const size_t n = std::min(kFusedBlockElems, d - b);
+    double* blk = row + b;
+    if (norm_scale != 1.0) simd::ScaleInPlace(blk, n, norm_scale);
+    simd::ScaleInPlace(blk, n, gamma);
+    reduced = spec.clip == FusedPerturbSpec::Clip::kSmm
+                  ? SmmClipReduce(blk, n, reduced)
+                  : L2NormSqReduce(blk, n, reduced);
+  }
+
+  // Sweep 2 — clip apply + rounding. The apply stage is per-element (it
+  // recomputes each coordinate's contribution from the unchanged row, or
+  // multiplies by one precomputed scale), so blocking cannot change it; the
+  // rounding draws are consumed strictly in coordinate order across blocks,
+  // exactly like the whole-row rounding of the unfused path. Conditional
+  // rounding accepts/rejects on the whole rounded row, so that variant
+  // clips blockwise and then rounds in one unblocked call between sweeps.
+  workspace.ints.resize(d);
+  if (spec.clip == FusedPerturbSpec::Clip::kSmm) {
+    const double scale = reduced > spec.smm_c ? spec.smm_c / reduced : 1.0;
+    for (size_t b = 0; b < d; b += kFusedBlockElems) {
+      const size_t n = std::min(kFusedBlockElems, d - b);
+      SmmClipApply(row + b, n, scale, spec.smm_delta_inf);
+      simd::ScaleRoundStochasticInto(row + b, n, /*scale=*/1.0, rng,
+                                     workspace.ints.data() + b);
+    }
+  } else {
+    const double norm = std::sqrt(reduced);
+    const bool clip = norm > spec.l2_threshold && norm > 0.0;
+    const double scale = clip ? spec.l2_threshold / norm : 1.0;
+    if (spec.conditional_round) {
+      for (size_t b = 0; b < d; b += kFusedBlockElems) {
+        const size_t n = std::min(kFusedBlockElems, d - b);
+        if (clip) simd::ScaleInPlace(row + b, n, scale);
+      }
+      SMM_RETURN_IF_ERROR(ConditionallyRoundInto(
+          row, d, spec.norm_bound, spec.max_retries, rng,
+          spec.track_rejections ? &counters.rejections : nullptr,
+          workspace.ints));
+    } else {
+      // The clip multiply folds into the rounding kernel's scale argument:
+      // for clipped rows the kernel's g = x * scale is the identical IEEE
+      // product the separate apply pass would have stored, and unclipped
+      // rows multiply by exactly 1.0 just like the unfused
+      // StochasticRoundInto. Folding means the row is only *read* here, so
+      // its cache lines evict clean instead of costing a write-back.
+      for (size_t b = 0; b < d; b += kFusedBlockElems) {
+        const size_t n = std::min(kFusedBlockElems, d - b);
+        simd::ScaleRoundStochasticInto(row + b, n, scale, rng,
+                                       workspace.ints.data() + b);
+      }
+    }
+  }
+
+  // Sweep 3 — noise + add + modular wrap straight into the output row. The
+  // sample_block contract (n scalar draws in order) makes blockwise
+  // sampling consume the rng identically to one whole-row SampleBlock, and
+  // running it only after sweep 2 preserves the historical global order:
+  // all rounding draws, then all noise draws.
+  out.resize(d);
+  for (size_t b = 0; b < d; b += kFusedBlockElems) {
+    const size_t n = std::min(kFusedBlockElems, d - b);
+    workspace.noise.resize(n);
+    spec.sample_block(n, workspace.noise.data(), rng);
+    // Accumulate into the block-sized noise buffer (L1-resident across
+    // blocks) rather than the row-sized ints buffer: int64 addition
+    // commutes, so noise + rounded is the same sum, but the ints row is
+    // only read — its lines evict clean — and the dirty lines are the
+    // 16 KiB that never leave L1.
+    simd::AddI64InPlace(workspace.noise.data(), workspace.ints.data() + b, n);
+    counters.overflow += static_cast<int64_t>(simd::WrapCenteredInto(
+        workspace.noise.data(), n, m, out.data() + b));
+  }
   return OkStatus();
 }
 
@@ -134,7 +271,11 @@ StatusOr<std::vector<double>> RunDistributedSum(
   if (inputs.empty()) return InvalidArgumentError("no inputs");
   const uint64_t m = mechanism.modulus();
   const int threads = pool != nullptr ? pool->num_threads() : 1;
-  const size_t tile_size = static_cast<size_t>(threads) * kSessionTileRows;
+  // One batched-rotation tile's worth of rows per thread stays resident
+  // before the frames drain into the aggregation stream. The tile size
+  // never affects results (encoding reads only per-participant streams, and
+  // absorption is exact mod m).
+  const size_t tile_size = DefaultTileRows(threads);
 
   // The full client -> server message flow: each tile of participants is
   // encoded in place, prepared for the wire (masked, under the masked

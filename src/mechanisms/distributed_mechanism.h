@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "common/parallel.h"
@@ -30,6 +32,42 @@ struct EncodeWorkspace {
 struct EncodeCounters {
   int64_t overflow = 0;    ///< Coordinates wrapped outside [-m/2, m/2).
   int64_t rejections = 0;  ///< Conditional-rounding rejected attempts.
+};
+
+/// Describes the mechanism-specific middle of the *fused* encode pipeline —
+/// the data RotatedModularMechanism::EncodeBatch needs to run the
+/// clip/round/noise stages block by block on the mechanism's behalf instead
+/// of calling the whole-row PerturbRotatedInto hook. All five integer
+/// mechanisms share the same stage skeleton (a clip with one whole-row
+/// reduction, a rounding step, one noise block per coordinate), so the spec
+/// is pure data plus one noise callback; the blocked sweeps themselves live
+/// once, in the base class. Mechanisms install their spec at construction
+/// via set_fused_perturb_spec; a mechanism without a spec falls back to the
+/// unfused per-pass path.
+struct FusedPerturbSpec {
+  /// Which clip family the mechanism applies to the rotated row.
+  enum class Clip { kSmm, kL2 };
+  Clip clip = Clip::kL2;
+  double smm_c = 0.0;          ///< Clip::kSmm: Algorithm 5 threshold c.
+  double smm_delta_inf = 1.0;  ///< Clip::kSmm: floored Linf bound (>= 1).
+  double l2_threshold = 0.0;   ///< Clip::kL2: gamma * l2_bound.
+
+  /// True for DDG/Agarwal-Skellam conditional rounding (whole-row
+  /// accept/reject on the rounded norm — inherently unfusable, so the base
+  /// runs the historical whole-row loop between its blocked sweeps); false
+  /// for plain stochastic rounding, which fuses with the clip apply.
+  bool conditional_round = false;
+  double norm_bound = 0.0;  ///< conditional_round: the Eq. (6) bound.
+  int max_retries = 1;      ///< conditional_round: retry budget.
+  bool track_rejections = false;  ///< Count rejected attempts in counters.
+
+  /// Fills out[0..n) with the mechanism's noise. Must consume `rng` exactly
+  /// as n scalar sampler draws in order (the SampleBlock contract), so that
+  /// calling it block by block across a row draws the identical stream as
+  /// one whole-row SampleBlock — the property that keeps the fused and
+  /// unfused pipelines bit-identical.
+  std::function<void(size_t n, int64_t* out, RandomGenerator& rng)>
+      sample_block;
 };
 
 /// A distributed-DP mechanism for the sum estimation problem of Section 3.1,
@@ -89,10 +127,20 @@ class DistributedSumMechanism {
 /// overflow-accounting bodies into one place; concrete mechanisms implement
 /// only PerturbRotatedInto (the middle of the pipeline).
 ///
-/// EncodeBatch rotates the shard through RotationCodec::RotateScaleBatchInto
-/// in cache-bounded tiles, so one batched Walsh-Hadamard pass covers many
-/// participants; the scalar EncodeParticipant path performs the identical
-/// arithmetic one row at a time, keeping the two bit-identical.
+/// EncodeBatch runs the *fused* blocked pipeline when the mechanism
+/// installed a FusedPerturbSpec (all five integer mechanisms do): rows are
+/// rotated through RotationCodec::RotateRawBatchInto in cache-bounded
+/// tiles, then each row is finished in three blocked sweeps of <= 16 KiB
+/// L1-resident blocks — (1) Hadamard normalization + gamma + clip
+/// reduction, (2) clip apply + stochastic-round prep + Bernoulli draws,
+/// (3) noise + add + modular wrap straight into the output row — instead of
+/// the seven-odd full-vector passes of the per-stage path. RNG draws are
+/// consumed in exactly the historical per-coordinate order (all rounding
+/// draws, then all noise draws, each in coordinate order), so the fused
+/// output is byte-identical to EncodeBatchUnfused and EncodeParticipant at
+/// every thread count and dispatch mode; encode_fused_test and the PR-1
+/// determinism suite pin this. The scalar EncodeParticipant path performs
+/// the identical arithmetic one row at a time through PerturbRotatedInto.
 class RotatedModularMechanism : public DistributedSumMechanism {
  public:
   StatusOr<std::vector<uint64_t>> EncodeParticipant(
@@ -102,6 +150,19 @@ class RotatedModularMechanism : public DistributedSumMechanism {
                      size_t begin, size_t end, RandomGenerator* rng_streams,
                      EncodeWorkspace& workspace,
                      std::vector<std::vector<uint64_t>>* out) override;
+
+  /// The historical per-pass batch encoder (rotate+scale tile, then one
+  /// whole-row PerturbRotatedInto + WrapInto per participant). EncodeBatch
+  /// delegates here when no FusedPerturbSpec is installed or when the
+  /// environment variable SMM_FORCE_UNFUSED=1 is set; it stays public so
+  /// tests and the bench harness can compare the fused pipeline against the
+  /// reference in one process. Consumes rng_streams identically to
+  /// EncodeBatch.
+  Status EncodeBatchUnfused(const std::vector<std::vector<double>>& inputs,
+                            size_t begin, size_t end,
+                            RandomGenerator* rng_streams,
+                            EncodeWorkspace& workspace,
+                            std::vector<std::vector<uint64_t>>* out);
 
   /// Centered unwrap, inverse rotation, rescale (Algorithm 6). Mechanisms
   /// whose estimate depends on the participant count override this.
@@ -140,8 +201,24 @@ class RotatedModularMechanism : public DistributedSumMechanism {
 
   const RotationCodec& codec() const { return codec_; }
 
+  /// Installs the fused-pipeline description. Call once, from the concrete
+  /// mechanism's constructor (the spec's sample_block may capture pointers
+  /// into the mechanism, which never moves after construction).
+  void set_fused_perturb_spec(FusedPerturbSpec spec) {
+    fused_spec_ = std::move(spec);
+  }
+
  private:
+  /// One row of the fused pipeline: `row` (length dim()) holds the raw
+  /// rotate output (unnormalized, un-gamma'd); runs the three blocked
+  /// sweeps described on the class and writes the wrapped residues into
+  /// `out`. Clobbers `row` and workspace.{ints,noise}.
+  Status FusedEncodeRow(double* row, RandomGenerator& rng,
+                        EncodeWorkspace& workspace, EncodeCounters& counters,
+                        std::vector<uint64_t>& out);
+
   RotationCodec codec_;
+  std::optional<FusedPerturbSpec> fused_spec_;
   /// Atomic so concurrent EncodeBatch shards never lose wrap-around events.
   std::atomic<int64_t> overflow_count_{0};
 };

@@ -1,6 +1,7 @@
 #include "mechanisms/rotation_codec.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 
 #include "common/bit_util.h"
@@ -90,6 +91,33 @@ Status RotationCodec::RotateScaleBatchInto(
   }
   ApplyGamma(flat, options_.gamma, GammaDir::kForward);
   return OkStatus();
+}
+
+Status RotationCodec::RotateRawBatchInto(
+    const std::vector<std::vector<double>>& inputs, size_t begin, size_t end,
+    std::vector<double>& flat, ThreadPool* pool) const {
+  const size_t d = options_.dim;
+  if (rotation_.has_value()) {
+    return rotation_->ApplyRawBatchInto(inputs, begin, end, flat, pool);
+  }
+  if (begin > end || end > inputs.size()) {
+    return InvalidArgumentError("batch range out of bounds");
+  }
+  flat.resize((end - begin) * d);
+  for (size_t i = begin; i < end; ++i) {
+    if (inputs[i].size() != d) {
+      return InvalidArgumentError("input dimension mismatch");
+    }
+    std::copy(inputs[i].begin(), inputs[i].end(),
+              flat.begin() + static_cast<ptrdiff_t>((i - begin) * d));
+  }
+  return OkStatus();
+}
+
+double RotationCodec::wht_norm_scale() const {
+  return rotation_.has_value()
+             ? 1.0 / std::sqrt(static_cast<double>(options_.dim))
+             : 1.0;
 }
 
 std::vector<uint64_t> RotationCodec::Wrap(const std::vector<int64_t>& values,

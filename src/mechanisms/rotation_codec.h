@@ -47,6 +47,23 @@ class RotationCodec {
                               std::vector<double>& flat,
                               ThreadPool* pool = nullptr) const;
 
+  /// The fused-pipeline front half of RotateScaleBatchInto: rotates rows
+  /// inputs[begin..end) into `flat` WITHOUT the Hadamard 1/sqrt(d)
+  /// normalization and WITHOUT the gamma scale (plain copy when rotation is
+  /// disabled). The caller finishes each row by multiplying every element
+  /// first by wht_norm_scale() and then by gamma() — per-element IEEE
+  /// multiplies it can fold into its own blocked sweep — after which row r
+  /// is bit-identical to RotateScaleBatchInto's row r.
+  Status RotateRawBatchInto(const std::vector<std::vector<double>>& inputs,
+                            size_t begin, size_t end,
+                            std::vector<double>& flat,
+                            ThreadPool* pool = nullptr) const;
+
+  /// The normalization factor RotateRawBatchInto leaves unapplied:
+  /// 1/sqrt(dim) when rotation is enabled, exactly 1.0 when disabled (the
+  /// raw batch is then already the full rotate output).
+  double wht_norm_scale() const;
+
   /// Reduces integer values into Z_m, counting coordinates that fall outside
   /// the representable centered range {-floor(m/2), ..., ceil(m/2) - 1} —
   /// exactly the window secagg::CenterLift inverts, for either modulus

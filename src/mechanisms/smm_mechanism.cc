@@ -1,6 +1,8 @@
 #include "mechanisms/smm_mechanism.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/simd.h"
 #include "mechanisms/clipping.h"
@@ -65,6 +67,26 @@ StatusOr<std::unique_ptr<SmmMechanism>> SmmMechanism::Create(
       SkellamMixtureNoiser::Create(options.lambda, options.sampler_mode));
   return std::unique_ptr<SmmMechanism>(
       new SmmMechanism(options, std::move(codec), std::move(noiser)));
+}
+
+SmmMechanism::SmmMechanism(Options options, RotationCodec codec,
+                           SkellamMixtureNoiser noiser)
+    : RotatedModularMechanism(std::move(codec)),
+      options_(options),
+      noiser_(std::move(noiser)) {
+  // Fused-pipeline description of PerturbRotatedInto: the Algorithm 5 clip
+  // with the same floored Linf bound SmmClip derives, then plain stochastic
+  // rounding, then Skellam noise. `this` is heap-allocated by Create and
+  // never moves, so the callback's capture stays valid for the mechanism's
+  // lifetime.
+  FusedPerturbSpec spec;
+  spec.clip = FusedPerturbSpec::Clip::kSmm;
+  spec.smm_c = options_.c;
+  spec.smm_delta_inf = std::max(1.0, std::floor(options_.delta_inf));
+  spec.sample_block = [this](size_t n, int64_t* out, RandomGenerator& rng) {
+    noiser_.SampleNoiseBlock(n, out, rng);
+  };
+  set_fused_perturb_spec(std::move(spec));
 }
 
 Status SmmMechanism::PerturbRotatedInto(RandomGenerator& rng,

@@ -40,6 +40,14 @@ class SkellamMixtureNoiser {
                          std::vector<int64_t>& out,
                          std::vector<int64_t>& noise);
 
+  /// The noise half of PerturbVectorInto on its own — n i.i.d. Skellam
+  /// draws into out[0..n) — exposed for the fused encode pipeline's blocked
+  /// noise sweep. SampleBlock draws scalars in order, so blockwise calls
+  /// consume the rng identically to one whole-vector call.
+  void SampleNoiseBlock(size_t n, int64_t* out, RandomGenerator& rng) {
+    sampler_.SampleBlock(n, out, rng);
+  }
+
   double lambda() const { return sampler_.lambda(); }
 
  private:
@@ -81,11 +89,10 @@ class SmmMechanism final : public RotatedModularMechanism {
                             EncodeCounters& counters) override;
 
  private:
+  /// Defined in the .cc: installs the FusedPerturbSpec (Algorithm 5 clip +
+  /// Skellam noise callback) alongside the member setup.
   SmmMechanism(Options options, RotationCodec codec,
-               SkellamMixtureNoiser noiser)
-      : RotatedModularMechanism(std::move(codec)),
-        options_(options),
-        noiser_(std::move(noiser)) {}
+               SkellamMixtureNoiser noiser);
 
   Options options_;
   SkellamMixtureNoiser noiser_;

@@ -37,6 +37,17 @@ class RandomRotation {
                         size_t begin, size_t end, std::vector<double>& flat,
                         ThreadPool* pool = nullptr) const;
 
+  /// ApplyBatchInto without the Hadamard normalization: row r holds
+  /// sqrt(d) * H D_xi x (the sign flip and the raw butterfly stages only).
+  /// The fused encode pipeline folds the 1/sqrt(d) factor into its first
+  /// blocked sweep; scaling each element by 1/sqrt(d) afterwards is the
+  /// identical IEEE multiply, so the two batch entry points stay
+  /// bit-compatible.
+  Status ApplyRawBatchInto(const std::vector<std::vector<double>>& xs,
+                           size_t begin, size_t end,
+                           std::vector<double>& flat,
+                           ThreadPool* pool = nullptr) const;
+
   /// Applies the inverse x = D_xi H^T y = D_xi H y (H is symmetric).
   StatusOr<std::vector<double>> Inverse(const std::vector<double>& y) const;
 
@@ -46,6 +57,10 @@ class RandomRotation {
  private:
   explicit RandomRotation(std::vector<int8_t> signs)
       : signs_(std::move(signs)) {}
+
+  Status ApplyBatchImpl(const std::vector<std::vector<double>>& xs,
+                        size_t begin, size_t end, std::vector<double>& flat,
+                        ThreadPool* pool, bool normalized) const;
 
   std::vector<int8_t> signs_;
 };

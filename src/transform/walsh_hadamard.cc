@@ -56,7 +56,7 @@ void TransformBlock(const simd::Kernels& kernels, double* v, size_t d) {
 
 }  // namespace
 
-void FastWalshHadamardKernel(double* v, size_t d) {
+void FastWalshHadamardKernelUnnormalized(double* v, size_t d) {
   const simd::Kernels& kernels = simd::Active();
   if (d <= kBlockElems) {
     TransformBlock(kernels, v, d);
@@ -64,17 +64,34 @@ void FastWalshHadamardKernel(double* v, size_t d) {
     // Butterflies with span h < kBlockElems stay inside one aligned block,
     // so running all of them block-by-block (phase 1) performs exactly the
     // same arithmetic as the stage-by-stage order while each block is
-    // cache-resident. The remaining cross-block stages (phase 2) stream the
-    // vector once per stage with contiguous, vector-width inner loops.
+    // cache-resident. The cross-block stages get the same treatment one
+    // level up (phase 2): butterflies with h < kSpanElems stay inside one
+    // aligned span, so running every such stage span-by-span keeps the
+    // span L2-resident and touches main memory once for the whole group of
+    // stages instead of once per stage. Butterflies on disjoint ranges are
+    // independent, so the reordering performs the identical FP operations.
+    // Only the top log2(d / kSpanElems) stages (phase 3) stream the full
+    // vector. kSpanElems = 2^18 doubles = 2 MiB, sized to mainstream L2.
+    constexpr size_t kSpanElems = size_t{1} << 18;
     for (size_t i = 0; i < d; i += kBlockElems) {
       TransformBlock(kernels, v + i, kBlockElems);
     }
-    for (size_t h = kBlockElems; h < d; h <<= 1) {
+    const size_t span = d < kSpanElems ? d : kSpanElems;
+    for (size_t base = 0; base < d; base += span) {
+      for (size_t h = kBlockElems; h < span; h <<= 1) {
+        kernels.wht_butterfly_pass(v + base, span, h);
+      }
+    }
+    for (size_t h = span; h < d; h <<= 1) {
       kernels.wht_butterfly_pass(v, d, h);
     }
   }
+}
+
+void FastWalshHadamardKernel(double* v, size_t d) {
+  FastWalshHadamardKernelUnnormalized(v, d);
   const double scale = 1.0 / std::sqrt(static_cast<double>(d));
-  kernels.scale_inplace(v, d, scale);
+  simd::Active().scale_inplace(v, d, scale);
 }
 
 Status FastWalshHadamard(std::vector<double>& v) {

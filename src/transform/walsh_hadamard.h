@@ -25,6 +25,16 @@ Status FastWalshHadamard(std::vector<double>& v);
 /// bit-identical across all of them.
 void FastWalshHadamardKernel(double* v, size_t d);
 
+/// The butterfly stages of FastWalshHadamardKernel *without* the trailing
+/// 1/sqrt(d) normalization pass. Callers that post-process the transform
+/// anyway (the fused encode pipeline) fold the normalization into their own
+/// blocked sweep instead of paying a separate full-vector pass; multiplying
+/// by 1/sqrt(d) later, per block, performs the identical IEEE multiply per
+/// element, so FastWalshHadamardKernel(v, d) is bit-identical to
+/// FastWalshHadamardKernelUnnormalized(v, d) followed by scaling every
+/// element by 1/sqrt(d). Same preconditions as FastWalshHadamardKernel.
+void FastWalshHadamardKernelUnnormalized(double* v, size_t d);
+
 /// Batched transform: `batch` rows of length d stored contiguously
 /// (row-major) in `data`, each transformed in place. Rows are independent,
 /// so the outer batch dimension is sharded across `pool` when given

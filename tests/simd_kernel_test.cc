@@ -1,12 +1,13 @@
-// Property suite for the runtime-dispatched SIMD kernel layer: the AVX2
-// table must be bit-identical to the scalar reference for all five hot
-// kernels (and their helpers) across the full modulus range — including the
-// wrap-prone m > 2^63 regime — odd and even lengths, and unaligned offsets
-// into the input/output buffers (the vector loops use unaligned loads, so a
-// misaligned view must not change results). The scalar reference itself is
-// pinned against the canonical single-element helpers (secagg::ModReduce /
-// CenterLift, smm::AddMod / SubMod), so the whole tower grounds out in the
-// arithmetic the rest of the library already tests.
+// Property suite for the runtime-dispatched SIMD kernel layer: every vector
+// table the build carries (AVX2 and AVX-512, whichever the host supports)
+// must be bit-identical to the scalar reference for all ten kernels across
+// the full modulus range — including the wrap-prone m > 2^63 regime — odd
+// and even lengths, and unaligned offsets into the input/output buffers
+// (the vector loops use unaligned loads, so a misaligned view must not
+// change results). The scalar reference itself is pinned against the
+// canonical single-element helpers (secagg::ModReduce / CenterLift,
+// smm::AddMod / SubMod), so the whole tower grounds out in the arithmetic
+// the rest of the library already tests.
 #include "common/simd.h"
 
 #include <cmath>
@@ -87,30 +88,46 @@ std::vector<uint64_t> UnsignedValues(uint64_t m, size_t n, uint64_t seed,
   return out;
 }
 
-/// Runs `fn(kernels, data_view)` for the scalar table and, when present, the
-/// AVX2 table, each on its own copy, and compares the copies bit-for-bit.
+/// Every vector table the host supports — each must match the scalar
+/// reference bit-for-bit in every test below.
+std::vector<const Kernels*> VectorTables() {
+  std::vector<const Kernels*> tables;
+  if (const Kernels* t = Avx2KernelsIfSupported()) tables.push_back(t);
+  if (const Kernels* t = Avx512KernelsIfSupported()) tables.push_back(t);
+  return tables;
+}
+
+/// Runs `fn(kernels, data_view)` for the scalar table and every available
+/// vector table, each on its own copy, and compares the copies
+/// bit-for-bit.
 template <typename T, typename Fn>
 void ExpectPathsAgree(const std::vector<T>& input, size_t offset, Fn fn,
                       const char* what) {
   std::vector<T> scalar_copy = input;
   fn(ScalarKernels(), scalar_copy.data() + offset);
-  const Kernels* avx2 = Avx2KernelsIfSupported();
-  if (avx2 == nullptr) {
-    GTEST_LOG_(INFO) << "AVX2 unavailable; scalar-only run for " << what;
-    return;
+  for (const Kernels* vec : VectorTables()) {
+    std::vector<T> vec_copy = input;
+    fn(*vec, vec_copy.data() + offset);
+    EXPECT_EQ(scalar_copy, vec_copy) << what << " path=" << vec->name;
   }
-  std::vector<T> avx2_copy = input;
-  fn(*avx2, avx2_copy.data() + offset);
-  EXPECT_EQ(scalar_copy, avx2_copy) << what;
 }
 
 TEST(SimdDispatchTest, ActiveResolvesToARealTable) {
   const Kernels& active = Active();
   EXPECT_TRUE(std::string(active.name) == "scalar" ||
-              std::string(active.name) == "avx2");
+              std::string(active.name) == "avx2" ||
+              std::string(active.name) == "avx512");
   // Forcing scalar must stick until reset.
   SetDispatchModeForTest(DispatchMode::kForceScalar);
   EXPECT_STREQ(Active().name, "scalar");
+  // kForceAvx2 caps resolution at the AVX2 table (scalar when AVX2 is
+  // unavailable) — it must never resolve to the AVX-512 table.
+  SetDispatchModeForTest(DispatchMode::kForceAvx2);
+  if (Avx2KernelsIfSupported() != nullptr) {
+    EXPECT_STREQ(Active().name, "avx2");
+  } else {
+    EXPECT_STREQ(Active().name, "scalar");
+  }
   SetDispatchModeForTest(DispatchMode::kAuto);
   EXPECT_STREQ(Active().name, active.name);
 }
@@ -134,14 +151,16 @@ TEST(SimdKernelTest, WrapCenteredMatchesScalarAndModReduce) {
               << "m=" << m << " v=" << v;
         }
         EXPECT_EQ(scalar_count, expected_count) << "m=" << m << " n=" << n;
-        if (const Kernels* avx2 = Avx2KernelsIfSupported()) {
-          std::vector<uint64_t> avx2_out(n + offset, 0xcdcdcdcd);
-          const size_t avx2_count = avx2->wrap_centered_into(
-              values.data() + offset, n, m, avx2_out.data() + offset);
-          EXPECT_EQ(avx2_count, scalar_count) << "m=" << m << " n=" << n;
+        for (const Kernels* vec : VectorTables()) {
+          std::vector<uint64_t> vec_out(n + offset, 0xcdcdcdcd);
+          const size_t vec_count = vec->wrap_centered_into(
+              values.data() + offset, n, m, vec_out.data() + offset);
+          EXPECT_EQ(vec_count, scalar_count)
+              << "m=" << m << " n=" << n << " path=" << vec->name;
           for (size_t j = 0; j < n; ++j) {
-            ASSERT_EQ(avx2_out[offset + j], scalar_out[offset + j])
-                << "m=" << m << " v=" << values[offset + j];
+            ASSERT_EQ(vec_out[offset + j], scalar_out[offset + j])
+                << "m=" << m << " v=" << values[offset + j]
+                << " path=" << vec->name;
           }
         }
       }
@@ -163,13 +182,14 @@ TEST(SimdKernelTest, CenterLiftMatchesScalarAndCanonicalLift) {
                     secagg::CenterLift(values[offset + j], m))
               << "m=" << m << " v=" << values[offset + j];
         }
-        if (const Kernels* avx2 = Avx2KernelsIfSupported()) {
-          std::vector<int64_t> avx2_out(n + offset, -9);
-          avx2->center_lift_into(values.data() + offset, n, m,
-                                 avx2_out.data() + offset);
+        for (const Kernels* vec : VectorTables()) {
+          std::vector<int64_t> vec_out(n + offset, -9);
+          vec->center_lift_into(values.data() + offset, n, m,
+                                vec_out.data() + offset);
           for (size_t j = 0; j < n; ++j) {
-            ASSERT_EQ(avx2_out[offset + j], scalar_out[offset + j])
-                << "m=" << m << " v=" << values[offset + j];
+            ASSERT_EQ(vec_out[offset + j], scalar_out[offset + j])
+                << "m=" << m << " v=" << values[offset + j]
+                << " path=" << vec->name;
           }
         }
       }
@@ -203,17 +223,18 @@ TEST(SimdKernelTest, AddSubModMatchScalarHelpers) {
                 << "m=" << m << " a=" << acc0[offset + j]
                 << " b=" << b[offset + j] << " sub=" << subtract;
           }
-          if (const Kernels* avx2 = Avx2KernelsIfSupported()) {
-            std::vector<uint64_t> avx2_acc = acc0;
+          for (const Kernels* vec : VectorTables()) {
+            std::vector<uint64_t> vec_acc = acc0;
             if (subtract) {
-              avx2->sub_mod_vec(avx2_acc.data() + offset, b.data() + offset,
-                                n, m);
+              vec->sub_mod_vec(vec_acc.data() + offset, b.data() + offset, n,
+                               m);
             } else {
-              avx2->add_mod_vec(avx2_acc.data() + offset, b.data() + offset,
-                                n, m);
+              vec->add_mod_vec(vec_acc.data() + offset, b.data() + offset, n,
+                               m);
             }
-            EXPECT_EQ(avx2_acc, scalar_acc)
-                << "m=" << m << " n=" << n << " sub=" << subtract;
+            EXPECT_EQ(vec_acc, scalar_acc)
+                << "m=" << m << " n=" << n << " sub=" << subtract
+                << " path=" << vec->name;
           }
         }
       }
@@ -233,14 +254,15 @@ TEST(SimdKernelTest, ModReduceIntoMatchesScalarIncludingAliasing) {
         for (size_t j = 0; j < n; ++j) {
           ASSERT_EQ(scalar_out[offset + j], values[offset + j] % m);
         }
-        if (const Kernels* avx2 = Avx2KernelsIfSupported()) {
+        for (const Kernels* vec : VectorTables()) {
           // Exact-aliased in-place reduction must match the out-of-place
           // result.
           std::vector<uint64_t> in_place = values;
-          avx2->mod_reduce_into(in_place.data() + offset, n, m,
-                                in_place.data() + offset);
+          vec->mod_reduce_into(in_place.data() + offset, n, m,
+                               in_place.data() + offset);
           for (size_t j = 0; j < n; ++j) {
-            ASSERT_EQ(in_place[offset + j], scalar_out[offset + j]);
+            ASSERT_EQ(in_place[offset + j], scalar_out[offset + j])
+                << "path=" << vec->name;
           }
         }
       }
@@ -295,12 +317,14 @@ TEST(SimdKernelTest, FloorFractScaledMatchesScalarFloor) {
           ASSERT_EQ(scalar_flr[j], std::floor(g));
           ASSERT_EQ(scalar_frac[j], g - std::floor(g));
         }
-        if (const Kernels* avx2 = Avx2KernelsIfSupported()) {
-          std::vector<double> avx2_flr(n), avx2_frac(n);
-          avx2->floor_fract_scaled(x.data() + offset, n, scale,
-                                   avx2_flr.data(), avx2_frac.data());
-          EXPECT_EQ(avx2_flr, scalar_flr) << "n=" << n << " s=" << scale;
-          EXPECT_EQ(avx2_frac, scalar_frac) << "n=" << n << " s=" << scale;
+        for (const Kernels* vec : VectorTables()) {
+          std::vector<double> vec_flr(n), vec_frac(n);
+          vec->floor_fract_scaled(x.data() + offset, n, scale,
+                                  vec_flr.data(), vec_frac.data());
+          EXPECT_EQ(vec_flr, scalar_flr)
+              << "n=" << n << " s=" << scale << " path=" << vec->name;
+          EXPECT_EQ(vec_frac, scalar_frac)
+              << "n=" << n << " s=" << scale << " path=" << vec->name;
         }
       }
     }
@@ -331,9 +355,13 @@ TEST(SimdKernelTest, FullWalshHadamardIsDispatchInvariant) {
     SetDispatchModeForTest(DispatchMode::kForceScalar);
     std::vector<double> scalar_run = original;
     ASSERT_TRUE(transform::FastWalshHadamard(scalar_run).ok());
+    SetDispatchModeForTest(DispatchMode::kForceAvx2);
+    std::vector<double> avx2_run = original;
+    ASSERT_TRUE(transform::FastWalshHadamard(avx2_run).ok());
     SetDispatchModeForTest(DispatchMode::kAuto);
     std::vector<double> auto_run = original;
     ASSERT_TRUE(transform::FastWalshHadamard(auto_run).ok());
+    EXPECT_EQ(scalar_run, avx2_run) << "d=" << d;
     EXPECT_EQ(scalar_run, auto_run) << "d=" << d;
   }
 }
