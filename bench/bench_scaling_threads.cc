@@ -40,6 +40,7 @@
 #include <cstring>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -49,6 +50,8 @@
 #include "mechanisms/baseline_mechanisms.h"
 #include "mechanisms/distributed_mechanism.h"
 #include "mechanisms/smm_mechanism.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "secagg/secure_aggregator.h"
 #include "secagg/session.h"
 #include "secagg/transport.h"
@@ -106,6 +109,29 @@ struct FusedEncodeResult {
 };
 
 std::vector<FusedEncodeResult> g_fused_results;
+
+/// Raw numbers of the TCP aggregation-server throughput sweep: the same
+/// session workload pushed through real loopback sockets at each
+/// event-loop thread count.
+struct ServerSessionsResult {
+  std::string name;
+  size_t sessions = 0;
+  size_t contributions_per_session = 0;
+  size_t dim = 0;
+  std::vector<int> threads;
+  std::vector<double> seconds;
+  bool sums_exact = true;
+
+  double sessions_per_sec(size_t idx) const {
+    return static_cast<double>(sessions) / seconds[idx];
+  }
+  double frames_per_sec(size_t idx) const {
+    return static_cast<double>(sessions * contributions_per_session) /
+           seconds[idx];
+  }
+};
+
+std::vector<ServerSessionsResult> g_server_results;
 
 const char* ParseJsonPath(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
@@ -184,6 +210,35 @@ void WriteJson(const char* path, Scale scale) {
                  elements / r.fused_seconds, r.speedup(),
                  r.identical ? "true" : "false",
                  s + 1 < g_fused_results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"server_sessions\": [\n");
+  for (size_t s = 0; s < g_server_results.size(); ++s) {
+    const ServerSessionsResult& r = g_server_results[s];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"sessions\": %zu, "
+                 "\"contributions_per_session\": %zu, \"dim\": %zu,\n"
+                 "     \"threads\": [",
+                 r.name.c_str(), r.sessions, r.contributions_per_session,
+                 r.dim);
+    for (size_t t = 0; t < r.threads.size(); ++t) {
+      std::fprintf(f, "%s%d", t == 0 ? "" : ", ", r.threads[t]);
+    }
+    std::fprintf(f, "],\n     \"seconds\": [");
+    for (size_t t = 0; t < r.seconds.size(); ++t) {
+      std::fprintf(f, "%s%.6e", t == 0 ? "" : ", ", r.seconds[t]);
+    }
+    std::fprintf(f, "],\n     \"sessions_per_sec\": [");
+    for (size_t t = 0; t < r.seconds.size(); ++t) {
+      std::fprintf(f, "%s%.6e", t == 0 ? "" : ", ", r.sessions_per_sec(t));
+    }
+    std::fprintf(f, "],\n     \"frames_per_sec\": [");
+    for (size_t t = 0; t < r.seconds.size(); ++t) {
+      std::fprintf(f, "%s%.6e", t == 0 ? "" : ", ", r.frames_per_sec(t));
+    }
+    std::fprintf(f, "],\n     \"sums_exact\": %s}%s\n",
+                 r.sums_exact ? "true" : "false",
+                 s + 1 < g_server_results.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"simd_dispatch\": \"%s\",\n",
@@ -570,7 +625,8 @@ void RunSessionMaskedSection(int participants, size_t dim, int repeats) {
                     session.status().ToString().c_str());
         std::exit(1);
       }
-      secagg::InMemoryTransport transport;
+      secagg::InMemoryTransport loopback;
+      secagg::FrameTransport& transport = loopback;
       for (int p = 0; p < contributors; ++p) {
         secagg::ContributionMsg msg;
         msg.participant_id = p;
@@ -621,6 +677,145 @@ void RunSessionMaskedSection(int participants, size_t dim, int repeats) {
                       static_cast<double>(dim);
   PrintSection(section, work);
   g_sections.push_back(std::move(section));
+}
+
+// ---------------------------------------------------------------------------
+// Section: the async TCP aggregation server — many small ideal-aggregator
+// rounds driven over real loopback sockets by concurrent client threads,
+// swept across event-loop thread counts. Measures the service layer the
+// net/ subsystem adds (accept + epoll + reassembly + session dispatch +
+// broadcast), not the arithmetic: the per-round math is tiny by design so
+// the numbers track sessions/sec and frames/sec of the event loops. Every
+// broadcast sum is verified against the exact modular sum; a mismatch
+// fails the harness like a determinism violation.
+// ---------------------------------------------------------------------------
+
+void RunServerSessionsSection(Scale scale) {
+  constexpr int kLoopCounts[] = {1, 4, 8};
+  constexpr int kDriverThreads = 4;
+  constexpr size_t kContribPerSession = 8;
+  constexpr size_t kDim = 64;
+  constexpr uint64_t kModulus = uint64_t{1} << 32;
+  const size_t sessions = scale == Scale::kFast ? 64 : 256;
+
+  // Probe support once: non-Linux builds skip the section gracefully.
+  {
+    auto probe = net::AggregationServer::Start();
+    if (!probe.ok()) {
+      std::printf("TCP server sessions: skipped (%s)\n",
+                  probe.status().ToString().c_str());
+      return;
+    }
+  }
+
+  ServerSessionsResult result;
+  result.name = "ideal_rounds";
+  result.sessions = sessions;
+  result.contributions_per_session = kContribPerSession;
+  result.dim = kDim;
+
+  const auto payload_value = [](size_t session, size_t p, size_t j) {
+    return (session * 2654435761ULL + p * 97 + j * 13 + 1) % kModulus;
+  };
+
+  std::printf(
+      "TCP server sessions (ideal rounds over loopback): sessions=%zu, "
+      "contributions/session=%zu, dim=%zu, client threads=%d\n",
+      sessions, kContribPerSession, kDim, kDriverThreads);
+  PrintRow("  event loops", {"1", "4", "8"}, 14, 12);
+  for (const int loops : kLoopCounts) {
+    secagg::IdealAggregator aggregator;
+    net::AggregationServer::Options options;
+    options.event_loop_threads = loops;
+    auto server = net::AggregationServer::Start(options);
+    if (!server.ok()) {
+      std::printf("server start failed: %s\n",
+                  server.status().ToString().c_str());
+      std::exit(1);
+    }
+
+    const auto start = Clock::now();
+    std::vector<net::AggregationServer::SessionInfo> infos(sessions);
+    for (size_t s = 0; s < sessions; ++s) {
+      net::AggregationServer::SessionOptions session_options;
+      session_options.session.dim = kDim;
+      session_options.session.modulus = kModulus;
+      session_options.expected_contributions = kContribPerSession;
+      auto info = (*server)->OpenSession(aggregator, session_options);
+      if (!info.ok()) {
+        std::printf("open session failed: %s\n",
+                    info.status().ToString().c_str());
+        std::exit(1);
+      }
+      infos[s] = *info;
+    }
+    std::vector<int> mismatches(kDriverThreads, 0);
+    std::vector<std::thread> drivers;
+    for (int t = 0; t < kDriverThreads; ++t) {
+      drivers.emplace_back([&, t] {
+        for (size_t s = static_cast<size_t>(t); s < sessions;
+             s += kDriverThreads) {
+          std::vector<net::BlockingClient> clients;
+          for (size_t p = 0; p < kContribPerSession; ++p) {
+            auto client = net::BlockingClient::Connect(infos[s].port);
+            if (!client.ok()) {
+              ++mismatches[static_cast<size_t>(t)];
+              return;
+            }
+            secagg::ContributionMsg msg;
+            msg.participant_id = static_cast<int>(p);
+            msg.modulus = kModulus;
+            msg.payload.resize(kDim);
+            for (size_t j = 0; j < kDim; ++j) {
+              msg.payload[j] = payload_value(s, p, j);
+            }
+            if (!client->SendContribution(msg).ok() ||
+                !client->FinishSending().ok()) {
+              ++mismatches[static_cast<size_t>(t)];
+              return;
+            }
+            clients.push_back(std::move(*client));
+          }
+          std::vector<uint64_t> expected(kDim, 0);
+          for (size_t p = 0; p < kContribPerSession; ++p) {
+            for (size_t j = 0; j < kDim; ++j) {
+              expected[j] = (expected[j] + payload_value(s, p, j)) % kModulus;
+            }
+          }
+          auto sum = clients.front().ReadSum();
+          if (!sum.ok() || sum->sum != expected) {
+            ++mismatches[static_cast<size_t>(t)];
+          }
+        }
+      });
+    }
+    for (auto& driver : drivers) driver.join();
+    (*server)->Stop();
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    for (const int m : mismatches) {
+      if (m != 0) result.sums_exact = false;
+    }
+    result.threads.push_back(loops);
+    result.seconds.push_back(seconds);
+  }
+
+  std::vector<std::string> session_cells, frame_cells;
+  for (size_t i = 0; i < result.seconds.size(); ++i) {
+    session_cells.push_back(FormatSci(result.sessions_per_sec(i)));
+    frame_cells.push_back(FormatSci(result.frames_per_sec(i)));
+  }
+  PrintRow("  sessions/sec", session_cells, 14, 12);
+  PrintRow("  frames/sec", frame_cells, 14, 12);
+  std::printf("  broadcast sums: %s\n",
+              result.sums_exact ? "exact" : "MISMATCH (bug!)");
+  std::printf("SPEEDUP_SUMMARY section=server_sessions sessions=%zu dim=%zu "
+              "speedup_8loops=%.2fx\n",
+              sessions, kDim,
+              result.seconds[0] / result.seconds[result.seconds.size() - 1]);
+  const bool exact = result.sums_exact;
+  g_server_results.push_back(std::move(result));
+  if (!exact) std::exit(1);
 }
 
 // ---------------------------------------------------------------------------
@@ -929,6 +1124,8 @@ void Run(Scale scale, const char* json_path) {
   RunSessionMaskedSection(
       /*participants=*/scale == Scale::kFast ? 16 : 32,
       /*dim=*/scale == Scale::kFast ? (1u << 9) : (1u << 11), repeats);
+  std::printf("\n");
+  RunServerSessionsSection(scale);
   std::printf("\n");
   RunSimdKernelSection(scale);
   std::printf("\n");

@@ -104,6 +104,25 @@ def main(argv):
               f"fused_vs_unfused={s['fused_vs_unfused']:.2f}x "
               f"bit_identical={s['bit_identical']}")
 
+    # TCP server throughput is wall-time over real sockets — informational
+    # only, like the other wall-time sections.
+    base_server = section_map(baseline, "server_sessions")
+    for s in current.get("server_sessions", []):
+        b = base_server.get(s["name"])
+        if b is None or not b.get("seconds") or not s.get("seconds"):
+            print(f"  BENCH_DIFF server_sessions={s['name']} (new section) "
+                  f"sessions_per_sec_t{s['threads'][-1]}="
+                  f"{s['sessions_per_sec'][-1]:.3e}")
+            continue
+        r1 = b["seconds"][0] / s["seconds"][0]
+        rn = b["seconds"][-1] / s["seconds"][-1]
+        print(f"  BENCH_DIFF server_sessions={s['name']} "
+              f"t1_throughput_ratio={fmt_ratio(r1)} "
+              f"t{s['threads'][-1]}_throughput_ratio={fmt_ratio(rn)} "
+              f"frames_per_sec_t{s['threads'][-1]}="
+              f"{s['frames_per_sec'][-1]:.3e} "
+              f"sums_exact={s['sums_exact']}")
+
     # Only the simd kernel ratios feed the gate (see module docstring).
     worst = None
     base_kernels = section_map(baseline, "simd_kernels")

@@ -30,7 +30,7 @@ namespace {
 bool SendContribution(const smm::secagg::MaskedAggregator& aggregator,
                       int participant, const std::vector<uint64_t>& input,
                       uint64_t modulus,
-                      smm::secagg::InMemoryTransport& transport) {
+                      smm::secagg::FrameTransport& transport) {
   auto masked =
       aggregator.PrepareContribution(participant, input, modulus);
   if (!masked.ok()) return false;
@@ -97,7 +97,10 @@ int main() {
                 session.status().ToString().c_str());
     return 1;
   }
-  smm::secagg::InMemoryTransport transport;
+  // The session drains the FrameTransport interface; this walkthrough uses
+  // the in-memory backend (see example_tcp_aggregation for real sockets).
+  smm::secagg::InMemoryTransport loopback;
+  smm::secagg::FrameTransport& transport = loopback;
   for (int i = 0; i < kParticipants; ++i) {
     if (!SendContribution(**aggregator, i, inputs[static_cast<size_t>(i)],
                           kModulus, transport)) {

@@ -1,0 +1,54 @@
+#ifndef SMM_COMMON_SPAN_H_
+#define SMM_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace smm {
+
+/// A non-owning, read-only view of a contiguous range of T.
+///
+/// This is the single argument-passing convention for byte buffers and
+/// residue vectors across the transport / session / streaming-aggregator
+/// public APIs, replacing the historical (const T*, size_t) + std::vector
+/// overload pairs. The library targets C++17, which predates std::span;
+/// this is the minimal subset the codebase needs.
+///
+/// A ConstSpan never owns its memory: the viewed range must outlive the
+/// span. Construction from std::vector is implicit so existing
+/// vector-based call sites compile unchanged; construction from a braced
+/// initializer list is deliberately NOT provided (the backing temporary
+/// array would dangle past the full-expression in easy-to-miss ways).
+template <typename T>
+class ConstSpan {
+ public:
+  constexpr ConstSpan() : data_(nullptr), size_(0) {}
+  constexpr ConstSpan(const T* data, size_t size) : data_(data), size_(size) {}
+  ConstSpan(const std::vector<T>& v)  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(v.size()) {}
+
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+
+  /// Unchecked element access, mirroring raw-pointer indexing.
+  constexpr const T& operator[](size_t i) const { return data_[i]; }
+
+  /// Copies the viewed range into an owning vector.
+  std::vector<T> ToVector() const { return std::vector<T>(begin(), end()); }
+
+ private:
+  const T* data_;
+  size_t size_;
+};
+
+/// The convention for framed wire bytes (see secagg/transport.h).
+using ByteSpan = ConstSpan<uint8_t>;
+
+}  // namespace smm
+
+#endif  // SMM_COMMON_SPAN_H_

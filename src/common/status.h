@@ -10,6 +10,35 @@ namespace smm {
 
 /// Error categories used across the library. The library does not throw
 /// exceptions; all fallible operations return a Status or StatusOr<T>.
+///
+/// Code semantics — every rejection path in the library picks its code by
+/// this table, so callers can branch on code() rather than parse messages:
+///
+/// | Code                | Meaning                                          |
+/// |---------------------|--------------------------------------------------|
+/// | kInvalidArgument    | The input itself is malformed or out of contract:|
+/// |                     | bad magic/version/type in a frame, wrong modulus |
+/// |                     | or dimension, negative id, zero participants.    |
+/// | kFailedPrecondition | The call arrived in the wrong order or state:    |
+/// |                     | absorbing into a finalized stream, finalizing    |
+/// |                     | twice, fewer survivors than the Shamir threshold.|
+/// | kOutOfRange         | A numeric parameter falls outside its domain     |
+/// |                     | (e.g. value >= modulus).                         |
+/// | kNotFound           | A referenced entity does not exist (unknown      |
+/// |                     | session id, unknown kernel name).                |
+/// | kDataLoss           | Bytes were lost or damaged in transit: checksum  |
+/// |                     | mismatch, frame or stream truncation, a byte     |
+/// |                     | stream desynchronized mid-frame.                 |
+/// | kInternal           | An invariant the library maintains was violated; |
+/// |                     | indicates a bug, not caller error.               |
+/// | kUnimplemented      | The operation is not available in this build     |
+/// |                     | (e.g. sockets on a non-Linux platform).          |
+///
+/// The transport distinction matters operationally: kInvalidArgument means
+/// the peer sent a well-delivered but nonsensical message (reject the frame,
+/// keep the connection), while kDataLoss means the channel itself corrupted
+/// or dropped bytes (the frame boundary may be gone — over a byte stream the
+/// connection must be torn down).
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument = 1,
@@ -18,6 +47,7 @@ enum class StatusCode {
   kNotFound = 4,
   kInternal = 5,
   kUnimplemented = 6,
+  kDataLoss = 7,
 };
 
 /// Returns a human-readable name for a status code (e.g. "InvalidArgument").
@@ -78,6 +108,9 @@ inline Status InternalError(std::string message) {
 }
 inline Status UnimplementedError(std::string message) {
   return Status(StatusCode::kUnimplemented, std::move(message));
+}
+inline Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
 }
 
 /// A value-or-error result, modeled after absl::StatusOr.

@@ -298,7 +298,10 @@ StatusOr<std::vector<double>> RunDistributedSum(
   SMM_ASSIGN_OR_RETURN(
       auto session, secagg::AggregationSession::Open(aggregator,
                                                      session_options));
-  secagg::InMemoryTransport transport;
+  // The round runs against the FrameTransport interface; the in-memory
+  // backend is just the zero-configuration choice for an in-process round.
+  secagg::InMemoryTransport loopback;
+  secagg::FrameTransport& transport = loopback;
 
   std::vector<RandomGenerator> streams =
       MakeParticipantStreams(rng, inputs.size());

@@ -1,0 +1,57 @@
+#include "net/client.h"
+
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace smm::net {
+
+StatusOr<BlockingClient> BlockingClient::Connect(uint16_t port,
+                                                 const Options& options) {
+  SMM_ASSIGN_OR_RETURN(UniqueFd fd, ConnectLoopback(port));
+  return BlockingClient(std::move(fd), options.max_frame_bytes);
+}
+
+Status BlockingClient::SendFrame(ByteSpan frame) {
+  return SendAll(fd_.get(), frame);
+}
+
+Status BlockingClient::SendContribution(const secagg::ContributionMsg& msg) {
+  SMM_ASSIGN_OR_RETURN(const std::vector<uint8_t> frame,
+                       secagg::EncodeFrame(msg));
+  return SendFrame(ByteSpan(frame.data(), frame.size()));
+}
+
+Status BlockingClient::SendShares(const secagg::SharesMsg& msg) {
+  SMM_ASSIGN_OR_RETURN(const std::vector<uint8_t> frame,
+                       secagg::EncodeFrame(msg));
+  return SendFrame(ByteSpan(frame.data(), frame.size()));
+}
+
+Status BlockingClient::FinishSending() { return ShutdownSend(fd_.get()); }
+
+StatusOr<secagg::SumMsg> BlockingClient::ReadSum() {
+  std::vector<uint8_t> chunk(64 * 1024);
+  while (true) {
+    if (auto frame = reassembler_.NextFrame()) {
+      SMM_ASSIGN_OR_RETURN(secagg::WireMessage message,
+                           secagg::DecodeFrame(ByteSpan(frame->data(),
+                                                        frame->size())));
+      auto* sum = std::get_if<secagg::SumMsg>(&message);
+      if (sum == nullptr) {
+        return InvalidArgumentError(
+            "server sent a non-sum frame to a client");
+      }
+      return std::move(*sum);
+    }
+    SMM_ASSIGN_OR_RETURN(const size_t n,
+                         RecvSome(fd_.get(), chunk.data(), chunk.size()));
+    if (n == 0) {
+      return DataLossError(
+          "connection closed before the sum broadcast arrived");
+    }
+    SMM_RETURN_IF_ERROR(reassembler_.Ingest(ByteSpan(chunk.data(), n)));
+  }
+}
+
+}  // namespace smm::net

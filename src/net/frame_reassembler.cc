@@ -1,0 +1,80 @@
+#include "net/frame_reassembler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "secagg/transport.h"
+
+namespace smm::net {
+
+using secagg::kFrameHeaderBytes;
+using secagg::kFrameOverheadBytes;
+using secagg::kMaxPayloadBytes;
+using secagg::kWireVersion;
+
+FrameReassembler::FrameReassembler(size_t max_frame_bytes)
+    : max_frame_bytes_(std::min(max_frame_bytes, kMaxPayloadBytes)) {}
+
+StatusOr<size_t> FrameReassembler::ValidateHeader(size_t at) const {
+  static constexpr uint8_t kMagic[4] = {'S', 'M', 'M', '1'};
+  const uint8_t* h = buffer_.data() + at;
+  for (int i = 0; i < 4; ++i) {
+    if (h[i] != kMagic[i]) {
+      return DataLossError("byte stream desynchronized: bad frame magic");
+    }
+  }
+  if (h[4] != kWireVersion) {
+    return DataLossError(
+        "byte stream desynchronized: unsupported wire version");
+  }
+  // Byte 5 is the message type; unknown types are a frame-level concern
+  // (DecodeFrame rejects them) — the length prefix still frames the bytes,
+  // so the stream stays in sync and the connection survives.
+  if (h[6] != 0 || h[7] != 0) {
+    return DataLossError(
+        "byte stream desynchronized: reserved frame bytes not zero");
+  }
+  uint32_t payload_len = 0;
+  for (int b = 3; b >= 0; --b) {
+    payload_len = (payload_len << 8) | h[8 + b];
+  }
+  if (payload_len > max_frame_bytes_) {
+    return DataLossError("frame payload exceeds the stream's size limit");
+  }
+  return kFrameOverheadBytes + static_cast<size_t>(payload_len);
+}
+
+Status FrameReassembler::Ingest(ByteSpan bytes) {
+  if (!error_.ok()) return error_;
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  // Peel off every complete frame the buffer now holds. `start` tracks the
+  // consumed prefix so a multi-frame chunk compacts the buffer once at the
+  // end, not once per frame.
+  size_t start = 0;
+  while (buffer_.size() - start >= kFrameHeaderBytes) {
+    auto total = ValidateHeader(start);
+    if (!total.ok()) {
+      error_ = total.status();
+      buffer_.clear();
+      return error_;
+    }
+    if (buffer_.size() - start < *total) break;  // Payload still in flight.
+    const auto begin = buffer_.begin() + static_cast<ptrdiff_t>(start);
+    frames_.emplace_back(begin, begin + static_cast<ptrdiff_t>(*total));
+    start += *total;
+  }
+  if (start > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(start));
+  }
+  return OkStatus();
+}
+
+std::optional<std::vector<uint8_t>> FrameReassembler::NextFrame() {
+  if (frames_.empty()) return std::nullopt;
+  std::vector<uint8_t> frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+}  // namespace smm::net

@@ -1,0 +1,90 @@
+#ifndef SMM_NET_FRAME_REASSEMBLER_H_
+#define SMM_NET_FRAME_REASSEMBLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/span.h"
+#include "common/status.h"
+
+namespace smm::net {
+
+/// Reassembles SMM1 frames from an arbitrary byte stream: TCP delivers
+/// bytes with no message boundaries, so reads may split a frame anywhere —
+/// mid-magic, mid-length-prefix, mid-checksum — and may glue many frames
+/// into one read. Feed every received chunk to Ingest, then pop complete
+/// frames with NextFrame until it returns nullopt.
+///
+/// State machine (per connection; `buffer_` holds the partial frame):
+///
+///   [header: < 12 bytes buffered]
+///      --bytes--> validate magic/version/reserved/length as soon as the
+///                 12-byte header is complete; a bad header is FATAL (see
+///                 below)                 --ok--> [payload]
+///   [payload: header valid, < total bytes buffered]
+///      --bytes--> accumulate until header+payload+checksum are all here
+///                 --complete--> frame moved to the ready queue, state
+///                 resets to [header] for the next frame
+///   [failed: any error]
+///      every further Ingest returns the same latched error
+///
+/// Error model: over a byte stream there is no way to resynchronize after
+/// garbage — the next frame boundary is only known from the previous
+/// frame's length prefix — so any structural header violation (bad magic,
+/// version, reserved bytes, oversize length) poisons the stream and is
+/// latched: the connection must be dropped (kDataLoss: the byte stream
+/// desynchronized). Payload and checksum damage is NOT detected here: the
+/// length prefix still frames the bytes correctly, so the completed frame
+/// is delivered and DecodeFrame downstream rejects it — exactly the
+/// behavior InMemoryTransport has for a corrupt-but-delivered frame, which
+/// keeps the two backends byte-identical.
+///
+/// Memory bound: the partial-frame buffer never exceeds one frame
+/// (kFrameOverheadBytes + max_frame_bytes) plus the tail of the read chunk
+/// that started the next frame; oversize length prefixes are rejected at
+/// header time, before any payload-sized allocation. The ready queue holds
+/// whatever the caller has not popped — callers that pop after every
+/// Ingest (the server loop does) keep it at O(frames per read chunk).
+///
+/// Not thread-safe: one connection, one reader.
+class FrameReassembler {
+ public:
+  /// `max_frame_bytes` caps a single frame's payload (a stream-level policy
+  /// bound, typically far below the wire format's 1 GiB kMaxPayloadBytes).
+  explicit FrameReassembler(size_t max_frame_bytes);
+
+  /// Consumes one received chunk. Returns the latched stream error, if any;
+  /// on error the connection is unusable and should be closed.
+  Status Ingest(ByteSpan bytes);
+
+  /// Pops the next complete frame in stream order, or nullopt.
+  std::optional<std::vector<uint8_t>> NextFrame();
+
+  /// Complete frames ready to pop.
+  size_t ready() const { return frames_.size(); }
+  /// Bytes buffered toward the current incomplete frame.
+  size_t buffered_bytes() const { return buffer_.size(); }
+  /// True when the stream stops inside a frame — a clean EOF here means the
+  /// peer died mid-frame (kDataLoss for the caller to report).
+  bool mid_frame() const { return !buffer_.empty(); }
+  size_t max_frame_bytes() const { return max_frame_bytes_; }
+  /// The latched stream error (OK while the stream is healthy).
+  const Status& stream_error() const { return error_; }
+
+ private:
+  /// Validates the 12-byte header at buffer_ offset `at` and returns the
+  /// total frame size it announces.
+  StatusOr<size_t> ValidateHeader(size_t at) const;
+
+  size_t max_frame_bytes_;
+  std::vector<uint8_t> buffer_;
+  std::deque<std::vector<uint8_t>> frames_;
+  Status error_;
+};
+
+}  // namespace smm::net
+
+#endif  // SMM_NET_FRAME_REASSEMBLER_H_

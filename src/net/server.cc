@@ -1,0 +1,620 @@
+#include "net/server.h"
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/frame_reassembler.h"
+#include "net/socket_util.h"
+
+#if defined(__linux__)
+#define SMM_NET_POSIX 1
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace smm::net {
+
+#if defined(SMM_NET_POSIX)
+
+namespace {
+
+/// What an epoll_event.data.ptr points at. Every registered fd carries one
+/// Tag whose lifetime matches the registration.
+enum class TagKind : uint8_t { kWake, kListener, kConn };
+
+struct ServedSession;
+
+struct Tag {
+  TagKind kind;
+  void* target = nullptr;  // ServedSession* or Connection* (kWake: unused).
+};
+
+/// One accepted client connection, pinned to its session's event loop.
+struct Connection {
+  UniqueFd fd;
+  ServedSession* session = nullptr;
+  FrameReassembler reassembler;
+  /// The queued broadcast (at most one SumMsg frame — the bounded
+  /// per-connection outbound buffer) and the flush cursor into it.
+  std::vector<uint8_t> outbound;
+  size_t outbound_off = 0;
+  /// Close gracefully once outbound is flushed.
+  bool closing = false;
+  /// The peer half-closed its sending side (clean EOF seen).
+  bool read_closed = false;
+  Tag tag{TagKind::kConn, this};
+
+  Connection(UniqueFd f, ServedSession* s, size_t max_frame)
+      : fd(std::move(f)), session(s), reassembler(max_frame) {}
+};
+
+/// One aggregation round: listener + session + its open connections, all
+/// owned by (and only touched from) one event loop thread.
+struct ServedSession {
+  uint64_t id = 0;
+  UniqueFd listener;
+  std::unique_ptr<secagg::AggregationSession> session;
+  size_t expected = 0;
+  std::vector<Connection*> conns;
+  bool finalized = false;
+  Tag tag{TagKind::kListener, this};
+};
+
+Status EpollCtl(int epfd, int op, int fd, uint32_t events, Tag* tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = tag;
+  if (::epoll_ctl(epfd, op, fd, op == EPOLL_CTL_DEL ? nullptr : &ev) != 0) {
+    return InternalError(std::string("epoll_ctl: ") + std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+struct AggregationServer::Impl {
+  struct AtomicStats {
+    std::atomic<uint64_t> sessions_opened{0};
+    std::atomic<uint64_t> sessions_completed{0};
+    std::atomic<uint64_t> sessions_failed{0};
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> connections_dropped{0};
+    std::atomic<uint64_t> frames_delivered{0};
+    std::atomic<uint64_t> frames_rejected{0};
+    std::atomic<uint64_t> bytes_read{0};
+    std::atomic<uint64_t> bytes_written{0};
+  };
+
+  struct Loop {
+    Impl* impl = nullptr;
+    UniqueFd epoll_fd;
+    UniqueFd wake_fd;
+    std::thread thread;
+    Tag wake_tag{TagKind::kWake, nullptr};
+
+    /// Commands posted by other threads, run on this loop's thread.
+    std::mutex mu;
+    std::vector<std::function<void()>> commands;
+
+    /// Loop-thread-only state.
+    std::unordered_map<uint64_t, std::unique_ptr<ServedSession>> sessions;
+    std::unordered_map<Connection*, std::unique_ptr<Connection>> conns;
+  };
+
+  Options options;
+  std::vector<std::unique_ptr<Loop>> loops;
+  std::atomic<bool> stopping{false};
+  bool joined = false;
+  std::mutex stop_mu;  // Serializes Stop against itself.
+
+  std::atomic<uint64_t> next_session_id{1};
+  std::atomic<size_t> next_loop{0};
+
+  /// Which loop owns which session id (written at OpenSession, read by
+  /// FinalizeSession / WaitForSum / Stop).
+  std::mutex routes_mu;
+  std::unordered_map<uint64_t, size_t> routes;
+
+  /// Finished rounds: the broadcast SumMsg or the failure status.
+  std::mutex results_mu;
+  std::condition_variable results_cv;
+  std::unordered_map<uint64_t, StatusOr<secagg::SumMsg>> results;
+
+  AtomicStats stats;
+
+  void Wake(Loop& loop) {
+    const uint64_t one = 1;
+    // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+    (void)!::write(loop.wake_fd.get(), &one, sizeof(one));
+  }
+
+  void Post(Loop& loop, std::function<void()> command) {
+    {
+      std::lock_guard<std::mutex> lock(loop.mu);
+      loop.commands.push_back(std::move(command));
+    }
+    Wake(loop);
+  }
+
+  void PublishResult(uint64_t id, StatusOr<secagg::SumMsg> result) {
+    if (result.ok()) {
+      stats.sessions_completed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats.sessions_failed.fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> lock(results_mu);
+      results.emplace(id, std::move(result));
+    }
+    results_cv.notify_all();
+  }
+
+  // ---- Loop-thread handlers -------------------------------------------
+
+  void CloseConn(Loop& loop, Connection* conn, bool dropped) {
+    (void)EpollCtl(loop.epoll_fd.get(), EPOLL_CTL_DEL, conn->fd.get(), 0,
+                   nullptr);
+    if (dropped) {
+      stats.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+    ServedSession* ss = conn->session;
+    auto& peers = ss->conns;
+    for (auto it = peers.begin(); it != peers.end(); ++it) {
+      if (*it == conn) {
+        peers.erase(it);
+        break;
+      }
+    }
+    loop.conns.erase(conn);  // Destroys the Connection and closes the fd.
+    MaybeRetireSession(loop, ss);
+  }
+
+  /// A finalized session with no connections left has nothing to do;
+  /// release it.
+  void MaybeRetireSession(Loop& loop, ServedSession* ss) {
+    if (ss->finalized && ss->conns.empty()) {
+      loop.sessions.erase(ss->id);
+    }
+  }
+
+  void FinalizeAndBroadcast(Loop& loop, ServedSession* ss) {
+    ss->finalized = true;
+    // The listener goes first: the round is over, late connections belong
+    // to nobody.
+    if (ss->listener.valid()) {
+      (void)EpollCtl(loop.epoll_fd.get(), EPOLL_CTL_DEL, ss->listener.get(),
+                     0, nullptr);
+      ss->listener.reset();
+    }
+    StatusOr<secagg::SumMsg> result = ss->session->Finalize();
+    std::vector<uint8_t> sum_frame;
+    if (result.ok()) {
+      auto frame = secagg::EncodeFrame(*result);
+      if (frame.ok()) {
+        sum_frame = std::move(*frame);
+      } else {
+        result = frame.status();
+      }
+    }
+    if (sum_frame.empty()) {
+      // Nothing to broadcast; drop every connection.
+      std::vector<Connection*> conns = ss->conns;
+      for (Connection* conn : conns) CloseConn(loop, conn, /*dropped=*/true);
+    } else {
+      // Queue the broadcast on every open connection and let EPOLLOUT
+      // drive the flush (never write inline here: CloseConn on a flushed
+      // connection would free state a caller further up the stack — e.g.
+      // the ReadConn that triggered this finalize — still holds).
+      for (Connection* conn : ss->conns) {
+        conn->outbound = sum_frame;
+        conn->outbound_off = 0;
+        conn->closing = true;
+        const uint32_t events =
+            (conn->read_closed ? 0u : EPOLLIN) | EPOLLOUT;
+        (void)EpollCtl(loop.epoll_fd.get(), EPOLL_CTL_MOD, conn->fd.get(),
+                       events, &conn->tag);
+      }
+    }
+    PublishResult(ss->id, std::move(result));
+    MaybeRetireSession(loop, ss);
+  }
+
+  void HandleAccept(Loop& loop, ServedSession* ss) {
+    while (ss->listener.valid()) {
+      const int raw = ::accept4(ss->listener.get(), nullptr, nullptr,
+                                SOCK_CLOEXEC | SOCK_NONBLOCK);
+      if (raw < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN (queue empty) or transient accept failure.
+      }
+      UniqueFd fd(raw);
+      (void)SetNoDelay(fd.get());
+      auto conn = std::make_unique<Connection>(std::move(fd), ss,
+                                              options.max_frame_bytes);
+      Connection* raw_conn = conn.get();
+      if (!EpollCtl(loop.epoll_fd.get(), EPOLL_CTL_ADD, raw_conn->fd.get(),
+                    EPOLLIN, &raw_conn->tag)
+               .ok()) {
+        continue;  // Registration failed; the fd closes with `conn`.
+      }
+      ss->conns.push_back(raw_conn);
+      loop.conns.emplace(raw_conn, std::move(conn));
+      stats.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void HandleRead(Loop& loop, Connection* conn) {
+    ServedSession* ss = conn->session;
+    // One bounded read per readiness event: level-triggered epoll
+    // re-signals while more bytes wait, so large backlogs interleave
+    // fairly across this loop's connections instead of one connection
+    // monopolizing the thread. Unread bytes stay in the kernel buffer and
+    // shrink the TCP window — that is the backpressure path.
+    std::vector<uint8_t> chunk(options.read_chunk_bytes);
+    const ssize_t n =
+        ::recv(conn->fd.get(), chunk.data(), chunk.size(), MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return;
+      CloseConn(loop, conn, /*dropped=*/true);
+      return;
+    }
+    if (n == 0) {
+      // Clean EOF: the peer half-closed after sending. The connection
+      // stays open to receive the broadcast; stop watching for reads
+      // (level-triggered EPOLLIN would spin on the EOF condition).
+      if (conn->reassembler.mid_frame() ||
+          !conn->reassembler.stream_error().ok()) {
+        CloseConn(loop, conn, /*dropped=*/true);
+        return;
+      }
+      conn->read_closed = true;
+      const uint32_t events = conn->outbound.empty() ? 0u : EPOLLOUT;
+      (void)EpollCtl(loop.epoll_fd.get(), EPOLL_CTL_MOD, conn->fd.get(),
+                     events, &conn->tag);
+      return;
+    }
+    stats.bytes_read.fetch_add(static_cast<uint64_t>(n),
+                               std::memory_order_relaxed);
+    if (!conn->reassembler.Ingest(ByteSpan(chunk.data(),
+                                           static_cast<size_t>(n)))
+             .ok()) {
+      // Byte stream desynchronized: no further frame boundary is knowable.
+      CloseConn(loop, conn, /*dropped=*/true);
+      return;
+    }
+    while (auto frame = conn->reassembler.NextFrame()) {
+      if (ss->session->HandleFrame(*frame).ok()) {
+        stats.frames_delivered.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Frame-level rejection: the boundary held, the connection
+        // survives, only this frame is lost (and counted).
+        stats.frames_rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!ss->finalized && ss->expected > 0 &&
+          ss->session->contributions() >= ss->expected) {
+        FinalizeAndBroadcast(loop, ss);
+        // `conn` is still alive (finalize never closes inline when a
+        // broadcast is queued); keep draining its reassembled frames —
+        // the finalized session rejects them, which is the right count.
+      }
+    }
+  }
+
+  void HandleWrite(Loop& loop, Connection* conn) {
+    while (conn->outbound_off < conn->outbound.size()) {
+      const ssize_t n = ::send(conn->fd.get(),
+                               conn->outbound.data() + conn->outbound_off,
+                               conn->outbound.size() - conn->outbound_off,
+                               MSG_DONTWAIT | MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->outbound_off += static_cast<size_t>(n);
+        stats.bytes_written.fetch_add(static_cast<uint64_t>(n),
+                                      std::memory_order_relaxed);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return;  // EPOLLOUT stays armed; the flush resumes when writable.
+      }
+      CloseConn(loop, conn, /*dropped=*/true);
+      return;
+    }
+    // Fully flushed.
+    conn->outbound.clear();
+    conn->outbound_off = 0;
+    if (conn->closing) {
+      CloseConn(loop, conn, /*dropped=*/false);
+      return;
+    }
+    // Disarm EPOLLOUT (level-triggered: it would fire on every loop turn).
+    const uint32_t events = conn->read_closed ? 0u : EPOLLIN;
+    (void)EpollCtl(loop.epoll_fd.get(), EPOLL_CTL_MOD, conn->fd.get(),
+                   events, &conn->tag);
+  }
+
+  void RunCommands(Loop& loop) {
+    std::vector<std::function<void()>> batch;
+    {
+      std::lock_guard<std::mutex> lock(loop.mu);
+      batch.swap(loop.commands);
+    }
+    for (auto& command : batch) command();
+  }
+
+  void LoopThread(Loop& loop) {
+    epoll_event events[128];
+    while (!stopping.load(std::memory_order_acquire)) {
+      const int n = ::epoll_wait(loop.epoll_fd.get(), events, 128,
+                                 /*timeout_ms=*/-1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        Tag* tag = static_cast<Tag*>(events[i].data.ptr);
+        switch (tag->kind) {
+          case TagKind::kWake: {
+            uint64_t drained = 0;
+            (void)!::read(loop.wake_fd.get(), &drained, sizeof(drained));
+            RunCommands(loop);
+            break;
+          }
+          case TagKind::kListener:
+            HandleAccept(loop, static_cast<ServedSession*>(tag->target));
+            break;
+          case TagKind::kConn: {
+            auto* conn = static_cast<Connection*>(tag->target);
+            // The conn may have been closed by an earlier event in this
+            // same batch (its Tag memory freed would be UB — so check
+            // liveness through the owning map first).
+            if (loop.conns.find(conn) == loop.conns.end()) break;
+            if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0 &&
+                (events[i].events & (EPOLLIN | EPOLLOUT)) == 0) {
+              CloseConn(loop, conn, /*dropped=*/true);
+              break;
+            }
+            if ((events[i].events & EPOLLIN) != 0) {
+              HandleRead(loop, conn);
+              if (loop.conns.find(conn) == loop.conns.end()) break;
+            }
+            if ((events[i].events & EPOLLOUT) != 0) {
+              HandleWrite(loop, conn);
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+};
+
+AggregationServer::AggregationServer(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+StatusOr<std::unique_ptr<AggregationServer>> AggregationServer::Start(
+    const Options& options) {
+  if (options.event_loop_threads < 1) {
+    return InvalidArgumentError("event_loop_threads must be >= 1");
+  }
+  if (options.max_frame_bytes < 1 || options.read_chunk_bytes < 1) {
+    return InvalidArgumentError("frame and read chunk sizes must be >= 1");
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->options = options;
+  for (int i = 0; i < options.event_loop_threads; ++i) {
+    auto loop = std::make_unique<Impl::Loop>();
+    loop->impl = impl.get();
+    loop->epoll_fd = UniqueFd(::epoll_create1(EPOLL_CLOEXEC));
+    if (!loop->epoll_fd) return InternalError("epoll_create1 failed");
+    loop->wake_fd =
+        UniqueFd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+    if (!loop->wake_fd) return InternalError("eventfd failed");
+    SMM_RETURN_IF_ERROR(EpollCtl(loop->epoll_fd.get(), EPOLL_CTL_ADD,
+                                 loop->wake_fd.get(), EPOLLIN,
+                                 &loop->wake_tag));
+    impl->loops.push_back(std::move(loop));
+  }
+  for (auto& loop : impl->loops) {
+    Impl* raw = impl.get();
+    Impl::Loop* raw_loop = loop.get();
+    loop->thread = std::thread([raw, raw_loop] { raw->LoopThread(*raw_loop); });
+  }
+  return std::unique_ptr<AggregationServer>(
+      new AggregationServer(std::move(impl)));
+}
+
+AggregationServer::~AggregationServer() {
+  if (impl_ != nullptr) Stop();
+}
+
+void AggregationServer::Stop() {
+  std::lock_guard<std::mutex> stop_lock(impl_->stop_mu);
+  if (impl_->joined) return;
+  impl_->stopping.store(true, std::memory_order_release);
+  for (auto& loop : impl_->loops) impl_->Wake(*loop);
+  for (auto& loop : impl_->loops) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  impl_->joined = true;
+  // The loops are quiescent; every session without a published result —
+  // registered or still sitting in an unexecuted command — fails now, so
+  // no WaitForSum caller parks forever.
+  std::vector<uint64_t> unfinished;
+  {
+    std::lock_guard<std::mutex> routes_lock(impl_->routes_mu);
+    std::lock_guard<std::mutex> results_lock(impl_->results_mu);
+    for (const auto& [id, loop_index] : impl_->routes) {
+      (void)loop_index;
+      if (impl_->results.find(id) == impl_->results.end()) {
+        unfinished.push_back(id);
+      }
+    }
+  }
+  for (uint64_t id : unfinished) {
+    impl_->PublishResult(
+        id, FailedPreconditionError("server stopped before the session "
+                                    "finalized"));
+  }
+  // Destroy sessions and connections (closes every fd).
+  for (auto& loop : impl_->loops) {
+    loop->conns.clear();
+    loop->sessions.clear();
+    std::lock_guard<std::mutex> lock(loop->mu);
+    loop->commands.clear();
+  }
+}
+
+StatusOr<AggregationServer::SessionInfo> AggregationServer::OpenSession(
+    secagg::SecureAggregator& aggregator, const SessionOptions& options) {
+  if (impl_->stopping.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("server is stopping");
+  }
+  // Bind on the caller's thread so the port is known synchronously and a
+  // client may connect the moment this returns (connections queue in the
+  // listen backlog until the loop registers the listener).
+  SMM_ASSIGN_OR_RETURN(UniqueFd listener,
+                       ListenLoopback(0, impl_->options.listen_backlog));
+  SMM_ASSIGN_OR_RETURN(const uint16_t port, BoundPort(listener.get()));
+  SMM_RETURN_IF_ERROR(SetNonBlocking(listener.get()));
+  SMM_ASSIGN_OR_RETURN(auto session, secagg::AggregationSession::Open(
+                                         aggregator, options.session));
+
+  auto ss = std::make_unique<ServedSession>();
+  ss->id = impl_->next_session_id.fetch_add(1, std::memory_order_relaxed);
+  ss->listener = std::move(listener);
+  ss->session = std::move(session);
+  ss->expected = options.expected_contributions;
+  const uint64_t id = ss->id;
+
+  const size_t loop_index =
+      impl_->next_loop.fetch_add(1, std::memory_order_relaxed) %
+      impl_->loops.size();
+  {
+    std::lock_guard<std::mutex> lock(impl_->routes_mu);
+    impl_->routes.emplace(id, loop_index);
+  }
+  impl_->stats.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+
+  Impl* impl = impl_.get();
+  Impl::Loop* loop = impl_->loops[loop_index].get();
+  // The command owns the session until the loop adopts it.
+  auto shared = std::make_shared<std::unique_ptr<ServedSession>>(
+      std::move(ss));
+  impl_->Post(*loop, [impl, loop, shared] {
+    ServedSession* raw = shared->get();
+    if (raw == nullptr) return;
+    if (!EpollCtl(loop->epoll_fd.get(), EPOLL_CTL_ADD, raw->listener.get(),
+                  EPOLLIN, &raw->tag)
+             .ok()) {
+      impl->PublishResult(raw->id,
+                          InternalError("failed to register listener"));
+      return;
+    }
+    loop->sessions.emplace(raw->id, std::move(*shared));
+    // Connections may already be waiting in the backlog.
+    impl->HandleAccept(*loop, raw);
+  });
+  return SessionInfo{id, port};
+}
+
+Status AggregationServer::FinalizeSession(uint64_t session_id) {
+  size_t loop_index;
+  {
+    std::lock_guard<std::mutex> lock(impl_->routes_mu);
+    const auto it = impl_->routes.find(session_id);
+    if (it == impl_->routes.end()) {
+      return NotFoundError("unknown session id");
+    }
+    loop_index = it->second;
+  }
+  if (impl_->stopping.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("server is stopping");
+  }
+  Impl* impl = impl_.get();
+  Impl::Loop* loop = impl_->loops[loop_index].get();
+  impl_->Post(*loop, [impl, loop, session_id] {
+    const auto it = loop->sessions.find(session_id);
+    if (it == loop->sessions.end()) return;  // Already finalized/retired.
+    ServedSession* ss = it->second.get();
+    if (!ss->finalized) impl->FinalizeAndBroadcast(*loop, ss);
+  });
+  return OkStatus();
+}
+
+StatusOr<secagg::SumMsg> AggregationServer::WaitForSum(uint64_t session_id) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->routes_mu);
+    if (impl_->routes.find(session_id) == impl_->routes.end()) {
+      return NotFoundError("unknown session id");
+    }
+  }
+  std::unique_lock<std::mutex> lock(impl_->results_mu);
+  impl_->results_cv.wait(lock, [this, session_id] {
+    return impl_->results.find(session_id) != impl_->results.end();
+  });
+  return impl_->results.at(session_id);
+}
+
+ServerStats AggregationServer::Stats() const {
+  const auto& s = impl_->stats;
+  ServerStats out;
+  out.sessions_opened = s.sessions_opened.load(std::memory_order_relaxed);
+  out.sessions_completed =
+      s.sessions_completed.load(std::memory_order_relaxed);
+  out.sessions_failed = s.sessions_failed.load(std::memory_order_relaxed);
+  out.connections_accepted =
+      s.connections_accepted.load(std::memory_order_relaxed);
+  out.connections_dropped =
+      s.connections_dropped.load(std::memory_order_relaxed);
+  out.frames_delivered = s.frames_delivered.load(std::memory_order_relaxed);
+  out.frames_rejected = s.frames_rejected.load(std::memory_order_relaxed);
+  out.bytes_read = s.bytes_read.load(std::memory_order_relaxed);
+  out.bytes_written = s.bytes_written.load(std::memory_order_relaxed);
+  return out;
+}
+
+int AggregationServer::event_loop_threads() const {
+  return static_cast<int>(impl_->loops.size());
+}
+
+#else  // !SMM_NET_POSIX
+
+struct AggregationServer::Impl {};
+
+AggregationServer::AggregationServer(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+AggregationServer::~AggregationServer() = default;
+
+StatusOr<std::unique_ptr<AggregationServer>> AggregationServer::Start(
+    const Options&) {
+  return UnimplementedError("smm::net requires Linux sockets/epoll");
+}
+void AggregationServer::Stop() {}
+StatusOr<AggregationServer::SessionInfo> AggregationServer::OpenSession(
+    secagg::SecureAggregator&, const SessionOptions&) {
+  return UnimplementedError("smm::net requires Linux sockets/epoll");
+}
+Status AggregationServer::FinalizeSession(uint64_t) {
+  return UnimplementedError("smm::net requires Linux sockets/epoll");
+}
+StatusOr<secagg::SumMsg> AggregationServer::WaitForSum(uint64_t) {
+  return UnimplementedError("smm::net requires Linux sockets/epoll");
+}
+ServerStats AggregationServer::Stats() const { return ServerStats{}; }
+int AggregationServer::event_loop_threads() const { return 0; }
+
+#endif  // SMM_NET_POSIX
+
+}  // namespace smm::net

@@ -1,0 +1,133 @@
+#ifndef SMM_NET_SERVER_H_
+#define SMM_NET_SERVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "secagg/secure_aggregator.h"
+#include "secagg/session.h"
+#include "secagg/transport.h"
+
+namespace smm::net {
+
+/// Server counters, all monotonic since Start.
+struct ServerStats {
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_completed = 0;
+  uint64_t sessions_failed = 0;
+  uint64_t connections_accepted = 0;
+  /// Connections torn down abnormally: stream desynchronization, reset, or
+  /// EOF mid-frame.
+  uint64_t connections_dropped = 0;
+  /// Frames decoded and accepted by a session.
+  uint64_t frames_delivered = 0;
+  /// Frames rejected by a session (parse failure or protocol violation);
+  /// the connection survives — the frame boundary is intact.
+  uint64_t frames_rejected = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+};
+
+/// The async TCP aggregation service: thousands of concurrent
+/// AggregationSessions multiplexed over a fixed-size pool of epoll event
+/// loops — the library -> service step the ROADMAP's "millions of users"
+/// north star requires. Each OpenSession binds its own loopback listener
+/// (one port per aggregation round, so clients address a round by port)
+/// and pins the session, its listener, and every connection accepted from
+/// it to exactly one event loop.
+///
+/// Concurrency model: a session's frames are handled only on its loop
+/// thread — no locks around session state, no cross-loop sharing; the
+/// fixed thread budget comes from running many sessions per loop, not many
+/// threads per session. Control operations (open/finalize/stop) post
+/// commands to the owning loop through an eventfd wakeup; results come
+/// back through a mutex+condvar result table (WaitForSum).
+///
+/// Data path per connection: level-triggered epoll readiness -> one
+/// bounded read per event (read_chunk_bytes, fairness across connections)
+/// -> FrameReassembler -> AggregationSession::HandleFrame. A frame the
+/// session rejects costs only that frame (boundary intact, connection
+/// survives); a desynchronized byte stream drops the connection. Unread
+/// bytes stay in the kernel socket buffer, so the TCP receive window is
+/// the backpressure signal all the way to the client's send call.
+///
+/// Round completion: when a session has accepted
+/// `expected_contributions` (or FinalizeSession is called), the loop
+/// finalizes the stream, encodes the SumMsg frame once, broadcasts it to
+/// every connection still open on that session (partial writes finish
+/// under EPOLLOUT against a bounded per-connection outbound buffer), then
+/// closes the session's listener and connections.
+///
+/// The aggregator passed to OpenSession must outlive the session's
+/// completion and must tolerate concurrent Open/stream use across loops
+/// (the provided aggregators keep per-stream state only). Sessions are
+/// opened with pool = nullptr — absorption parallelism inside one
+/// contribution would fight the event-loop threads; throughput comes from
+/// session-level parallelism.
+class AggregationServer {
+ public:
+  struct Options {
+    /// Event loops (each one thread + one epoll instance). The fixed
+    /// thread budget for every session on this server.
+    int event_loop_threads = 4;
+    /// Per-frame payload cap for reassembly.
+    size_t max_frame_bytes = size_t{1} << 24;
+    int listen_backlog = 512;
+    /// Bytes read per readiness event per connection (fairness quantum).
+    size_t read_chunk_bytes = 64 * 1024;
+  };
+
+  struct SessionOptions {
+    secagg::AggregationSession::Options session;
+    /// When > 0, the server finalizes and broadcasts as soon as this many
+    /// contributions are accepted. 0 = finalize only via FinalizeSession.
+    size_t expected_contributions = 0;
+  };
+
+  /// A handle to an opened session: its server-assigned id and the
+  /// loopback port its clients connect to.
+  struct SessionInfo {
+    uint64_t id = 0;
+    uint16_t port = 0;
+  };
+
+  /// Starts the event loops. kUnimplemented on non-Linux builds.
+  static StatusOr<std::unique_ptr<AggregationServer>> Start(
+      const Options& options);
+  static StatusOr<std::unique_ptr<AggregationServer>> Start() {
+    return Start(Options());
+  }
+
+  /// Stops all loops, failing every unfinished session and closing every
+  /// socket. Idempotent; the destructor calls it.
+  ~AggregationServer();
+  void Stop();
+
+  /// Opens one aggregation round: binds a listener on an ephemeral
+  /// loopback port, opens an AggregationSession over `aggregator`, and
+  /// registers both with one event loop (round-robin). Thread-safe.
+  StatusOr<SessionInfo> OpenSession(secagg::SecureAggregator& aggregator,
+                                    const SessionOptions& options);
+
+  /// Posts a finalize command to the session's loop (for rounds without an
+  /// expected_contributions trigger). The result arrives via WaitForSum.
+  Status FinalizeSession(uint64_t session_id);
+
+  /// Blocks until the session finalizes (or fails, or the server stops)
+  /// and returns the SumMsg it broadcast.
+  StatusOr<secagg::SumMsg> WaitForSum(uint64_t session_id);
+
+  ServerStats Stats() const;
+  int event_loop_threads() const;
+
+ private:
+  struct Impl;
+  explicit AggregationServer(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace smm::net
+
+#endif  // SMM_NET_SERVER_H_

@@ -1,0 +1,206 @@
+#include "net/socket_transport.h"
+
+#include <cerrno>
+#include <utility>
+
+#if defined(__linux__)
+#define SMM_NET_POSIX 1
+#include <poll.h>
+#include <sys/socket.h>
+#endif
+
+namespace smm::net {
+
+#if defined(SMM_NET_POSIX)
+
+StatusOr<std::unique_ptr<SocketTransport>> SocketTransport::Listen(
+    const Options& options) {
+  SMM_ASSIGN_OR_RETURN(UniqueFd listener,
+                       ListenLoopback(0, options.listen_backlog));
+  SMM_ASSIGN_OR_RETURN(const uint16_t port, BoundPort(listener.get()));
+  SMM_RETURN_IF_ERROR(SetNonBlocking(listener.get()));
+  return std::unique_ptr<SocketTransport>(
+      new SocketTransport(options, std::move(listener), port));
+}
+
+SocketTransport::~SocketTransport() = default;
+
+Status SocketTransport::Send(int client_id, std::vector<uint8_t> frame) {
+  if (client_id < 0) {
+    return InvalidArgumentError("client id must be non-negative");
+  }
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (finished_) {
+    return FailedPreconditionError("Send after FinishSending");
+  }
+  auto it = send_fds_.find(client_id);
+  if (it == send_fds_.end()) {
+    SMM_ASSIGN_OR_RETURN(UniqueFd fd, ConnectLoopback(port_));
+    it = send_fds_.emplace(client_id, std::move(fd)).first;
+  }
+  // Blocking SendAll under the lock: frames are small relative to kernel
+  // socket buffers, and the single-consumer Receive loop drains
+  // continuously, so this cannot deadlock against itself. Concurrent
+  // clients serialize here; the async server exists for real fan-in.
+  return SendAll(it->second.get(), frame);
+}
+
+Status SocketTransport::FinishSending() {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  finished_ = true;
+  for (auto& [id, fd] : send_fds_) {
+    (void)id;
+    SMM_RETURN_IF_ERROR(ShutdownSend(fd.get()));
+  }
+  return OkStatus();
+}
+
+size_t SocketTransport::AcceptReady() {
+  size_t accepted = 0;
+  while (true) {
+    const int fd = ::accept4(listener_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: queue empty. Other errors: treat as empty too.
+    }
+    UniqueFd conn_fd(fd);
+    if (!SetNonBlocking(conn_fd.get()).ok()) continue;
+    conns_.push_back(std::make_unique<Conn>(std::move(conn_fd),
+                                            options_.max_frame_bytes));
+    ++accepted;
+  }
+  return accepted;
+}
+
+bool SocketTransport::ReadConn(size_t i) {
+  Conn& conn = *conns_[i];
+  std::vector<uint8_t> chunk(options_.read_chunk_bytes);
+  bool done = false;     // Connection finished (EOF or fatal error).
+  bool dropped = false;  // Finished abnormally.
+  while (!done) {
+    const ssize_t n =
+        ::recv(conn.fd.get(), chunk.data(), chunk.size(), MSG_DONTWAIT);
+    if (n > 0) {
+      if (!conn.reassembler.Ingest(ByteSpan(chunk.data(),
+                                            static_cast<size_t>(n)))
+               .ok()) {
+        // Desynchronized stream: frames already completed stay deliverable,
+        // the connection itself is beyond recovery.
+        done = dropped = true;
+        break;
+      }
+      if (static_cast<size_t>(n) == chunk.size()) {
+        continue;  // Possibly more buffered than one chunk.
+      }
+      break;  // Short read: the socket buffer is drained for now.
+    }
+    if (n == 0) {
+      // Clean EOF. An EOF mid-frame means the peer died partway through.
+      done = true;
+      dropped = conn.reassembler.mid_frame() ||
+                !conn.reassembler.stream_error().ok();
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    done = dropped = true;  // Reset or other hard error.
+    break;
+  }
+  // Harvest every frame completed so far — including on EOF/drop, where
+  // the connection object is about to go away.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    while (auto frame = conn.reassembler.NextFrame()) {
+      ready_.push_back(std::move(*frame));
+    }
+    if (dropped) ++dropped_;
+  }
+  if (done) {
+    conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i));
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<uint8_t>> SocketTransport::Receive() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (!ready_.empty()) {
+        std::vector<uint8_t> frame = std::move(ready_.front());
+        ready_.pop_front();
+        return frame;
+      }
+    }
+    AcceptReady();
+
+    // Drained? No queued frames (checked above), every connection done,
+    // nothing left to accept, and the Send side is finished (or unused).
+    if (conns_.empty()) {
+      bool senders_done;
+      {
+        std::lock_guard<std::mutex> lock(send_mu_);
+        senders_done = finished_ || send_fds_.empty();
+      }
+      if (senders_done && AcceptReady() == 0) {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        if (ready_.empty()) return std::nullopt;
+        continue;
+      }
+    }
+
+    // Wait for readability (or a fresh connection), then read and harvest.
+    std::vector<pollfd> pfds;
+    pfds.reserve(conns_.size() + 1);
+    pfds.push_back(pollfd{listener_.get(), POLLIN, 0});
+    for (const auto& conn : conns_) {
+      pfds.push_back(pollfd{conn->fd.get(), POLLIN, 0});
+    }
+    // Finite timeout: FinishSending may race this loop's drained check from
+    // another thread, so never park forever on a state snapshot.
+    const int n = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/50);
+    if (n < 0 && errno != EINTR) return std::nullopt;  // Unrecoverable.
+
+    // Read every readable connection; iterate backwards so ReadConn's
+    // erase keeps remaining indices stable. ReadConn harvests completed
+    // frames into ready_ as it goes.
+    for (size_t i = conns_.size(); i-- > 0;) {
+      ReadConn(i);
+    }
+  }
+}
+
+size_t SocketTransport::pending() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return ready_.size();
+}
+
+size_t SocketTransport::dropped_connections() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return dropped_;
+}
+
+#else  // !SMM_NET_POSIX
+
+StatusOr<std::unique_ptr<SocketTransport>> SocketTransport::Listen(
+    const Options&) {
+  return UnimplementedError("smm::net requires Linux sockets/epoll");
+}
+SocketTransport::~SocketTransport() = default;
+Status SocketTransport::Send(int, std::vector<uint8_t>) {
+  return UnimplementedError("smm::net requires Linux sockets/epoll");
+}
+Status SocketTransport::FinishSending() {
+  return UnimplementedError("smm::net requires Linux sockets/epoll");
+}
+std::optional<std::vector<uint8_t>> SocketTransport::Receive() {
+  return std::nullopt;
+}
+size_t SocketTransport::pending() const { return 0; }
+size_t SocketTransport::dropped_connections() const { return 0; }
+size_t SocketTransport::AcceptReady() { return 0; }
+bool SocketTransport::ReadConn(size_t) { return false; }
+
+#endif  // SMM_NET_POSIX
+
+}  // namespace smm::net

@@ -1,0 +1,123 @@
+#ifndef SMM_NET_SOCKET_TRANSPORT_H_
+#define SMM_NET_SOCKET_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "net/frame_reassembler.h"
+#include "net/socket_util.h"
+#include "secagg/transport.h"
+
+namespace smm::net {
+
+/// FrameTransport over real loopback TCP sockets: the drop-in socket twin
+/// of InMemoryTransport for synchronous single-consumer flows like
+/// AggregationSession::DrainTransport (the async many-session server is
+/// net::AggregationServer). Send lazily opens one TCP connection per
+/// client id and writes the frame; Receive accepts connections and
+/// reassembles arriving bytes into complete frames.
+///
+/// Byte contract: frames travel opaque and intact — payload or checksum
+/// corruption is delivered and left to DecodeFrame downstream, exactly as
+/// the in-memory backend delivers whatever bytes were Sent. Only stream
+/// desynchronization (garbage where a frame header must be) differs by
+/// nature of a byte stream: the connection is dropped (counted in
+/// dropped_connections) because no further frame boundary is knowable.
+///
+/// Delivery order: frames of one connection arrive in send order (TCP);
+/// across connections the order follows arrival timing, not the in-memory
+/// backend's lowest-client-id rule. Aggregation is order-independent
+/// (modular addition commutes exactly), so the finalized SumMsg is
+/// byte-identical either way — the property tests pin this.
+///
+/// Termination: Receive blocks while frames may still be in flight and
+/// returns nullopt once the transport is drained: every accepted
+/// connection reached EOF, nothing is queued, no connection is waiting to
+/// be accepted, and the sending side is finished (FinishSending was
+/// called, or Send was never used — e.g. when tests drive raw sockets
+/// directly at port()).
+///
+/// Threading: Send/FinishSending are thread-safe; Receive is
+/// single-consumer (the FrameTransport contract).
+class SocketTransport final : public secagg::FrameTransport {
+ public:
+  struct Options {
+    /// Per-frame payload cap for reassembly (stream policy bound).
+    size_t max_frame_bytes = size_t{1} << 24;
+    int listen_backlog = 128;
+    /// Bytes per read syscall in Receive.
+    size_t read_chunk_bytes = 64 * 1024;
+  };
+
+  /// Binds a listener on an ephemeral 127.0.0.1 port.
+  static StatusOr<std::unique_ptr<SocketTransport>> Listen(
+      const Options& options);
+  static StatusOr<std::unique_ptr<SocketTransport>> Listen() {
+    return Listen(Options());
+  }
+
+  ~SocketTransport() override;
+
+  /// The bound listener port; clients (or raw test sockets) connect here.
+  uint16_t port() const { return port_; }
+
+  // FrameTransport:
+  Status Send(int client_id, std::vector<uint8_t> frame) override;
+  std::optional<std::vector<uint8_t>> Receive() override;
+  /// Frames reassembled and not yet delivered. Unlike the in-memory
+  /// backend, 0 does not mean drained — bytes may still sit in kernel
+  /// buffers; only Receive() == nullopt means drained.
+  size_t pending() const override;
+  /// Half-closes every connection Send opened, so Receive can terminate.
+  Status FinishSending() override;
+
+  /// Connections dropped for stream desynchronization, reset, or EOF
+  /// mid-frame.
+  size_t dropped_connections() const;
+
+ private:
+  struct Conn {
+    UniqueFd fd;
+    FrameReassembler reassembler;
+    explicit Conn(UniqueFd f, size_t max_frame)
+        : fd(std::move(f)), reassembler(max_frame) {}
+  };
+
+  SocketTransport(const Options& options, UniqueFd listener, uint16_t port)
+      : options_(options), listener_(std::move(listener)), port_(port) {}
+
+  /// Accepts every connection currently queued on the listener. Returns
+  /// how many were accepted.
+  size_t AcceptReady();
+  /// Reads once from conns_[i]; harvests completed frames. Returns false
+  /// when the connection is finished (EOF or fatal) and was closed.
+  bool ReadConn(size_t i);
+
+  const Options options_;
+  UniqueFd listener_;
+  uint16_t port_ = 0;
+
+  // Receive-side state: owned by the single consumer, except the ready
+  // queue and the dropped counter, which pending()/dropped_connections()
+  // may inspect from other threads.
+  std::vector<std::unique_ptr<Conn>> conns_;
+  mutable std::mutex queue_mu_;
+  std::deque<std::vector<uint8_t>> ready_;
+  size_t dropped_ = 0;
+
+  // Send-side state: one lazily opened connection per client id.
+  mutable std::mutex send_mu_;
+  std::map<int, UniqueFd> send_fds_;
+  bool finished_ = false;
+};
+
+}  // namespace smm::net
+
+#endif  // SMM_NET_SOCKET_TRANSPORT_H_

@@ -1,0 +1,182 @@
+#include "net/socket_util.h"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#if defined(__linux__)
+#define SMM_NET_POSIX 1
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace smm::net {
+
+#if defined(SMM_NET_POSIX)
+
+namespace {
+
+Status ErrnoError(const char* what) {
+  return InternalError(std::string(what) + ": " + std::strerror(errno));
+}
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+/// Blocks until `fd` reports `events` (POLLIN/POLLOUT), retrying EINTR.
+Status PollFor(int fd, short events) {
+  pollfd pfd{fd, events, 0};
+  while (true) {
+    const int n = ::poll(&pfd, 1, -1);
+    if (n >= 1) return OkStatus();
+    if (n < 0 && errno != EINTR) return ErrnoError("poll");
+  }
+}
+
+}  // namespace
+
+bool NetSupported() { return true; }
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+StatusOr<UniqueFd> ListenLoopback(uint16_t port, int backlog) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd) return ErrnoError("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    return ErrnoError("setsockopt(SO_REUSEADDR)");
+  }
+  const sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return ErrnoError("bind");
+  }
+  if (::listen(fd.get(), backlog) != 0) return ErrnoError("listen");
+  return fd;
+}
+
+StatusOr<uint16_t> BoundPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return ErrnoError("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+StatusOr<UniqueFd> ConnectLoopback(uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd) return ErrnoError("socket");
+  const sockaddr_in addr = LoopbackAddr(port);
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return ErrnoError("connect");
+  SMM_RETURN_IF_ERROR(SetNoDelay(fd.get()));
+  return fd;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoError("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return ErrnoError("fcntl(F_SETFL)");
+  }
+  return OkStatus();
+}
+
+Status SetNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return ErrnoError("setsockopt(TCP_NODELAY)");
+  }
+  return OkStatus();
+}
+
+Status SendAll(int fd, ByteSpan bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that closed its read side must surface as a
+    // Status, not a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      SMM_RETURN_IF_ERROR(PollFor(fd, POLLOUT));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return DataLossError("peer closed the connection mid-send");
+    }
+    return ErrnoError("send");
+  }
+  return OkStatus();
+}
+
+StatusOr<size_t> RecvSome(int fd, uint8_t* buf, size_t cap) {
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      SMM_RETURN_IF_ERROR(PollFor(fd, POLLIN));
+      continue;
+    }
+    if (errno == ECONNRESET) {
+      return DataLossError("connection reset mid-receive");
+    }
+    return ErrnoError("recv");
+  }
+}
+
+Status ShutdownSend(int fd) {
+  if (::shutdown(fd, SHUT_WR) != 0 && errno != ENOTCONN) {
+    return ErrnoError("shutdown");
+  }
+  return OkStatus();
+}
+
+#else  // !SMM_NET_POSIX
+
+namespace {
+Status Unsupported() {
+  return UnimplementedError("smm::net requires Linux sockets/epoll");
+}
+}  // namespace
+
+bool NetSupported() { return false; }
+
+void UniqueFd::reset(int fd) { fd_ = fd; }
+
+StatusOr<UniqueFd> ListenLoopback(uint16_t, int) { return Unsupported(); }
+StatusOr<uint16_t> BoundPort(int) { return Unsupported(); }
+StatusOr<UniqueFd> ConnectLoopback(uint16_t) { return Unsupported(); }
+Status SetNonBlocking(int) { return Unsupported(); }
+Status SetNoDelay(int) { return Unsupported(); }
+Status SendAll(int, ByteSpan) { return Unsupported(); }
+StatusOr<size_t> RecvSome(int, uint8_t*, size_t) { return Unsupported(); }
+Status ShutdownSend(int) { return Unsupported(); }
+
+#endif  // SMM_NET_POSIX
+
+}  // namespace smm::net

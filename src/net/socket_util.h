@@ -1,0 +1,86 @@
+#ifndef SMM_NET_SOCKET_UTIL_H_
+#define SMM_NET_SOCKET_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/span.h"
+#include "common/status.h"
+
+namespace smm::net {
+
+/// True when this build carries the socket/epoll backend (Linux). On other
+/// platforms every function below compiles but returns kUnimplemented, so
+/// callers can gate at runtime instead of sprinkling #ifdefs.
+bool NetSupported();
+
+/// A move-only owner of a POSIX file descriptor; closes on destruction.
+/// -1 means "no fd". Never throws; a failed close is ignored (the fd is
+/// gone either way).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  /// Releases ownership without closing; returns the fd.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the owned fd (if any) and optionally adopts a new one.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens a TCP socket on 127.0.0.1:`port` (0 = kernel-assigned
+/// ephemeral port). The returned socket has SO_REUSEADDR set and is
+/// blocking; callers that feed an event loop flip it with SetNonBlocking.
+StatusOr<UniqueFd> ListenLoopback(uint16_t port, int backlog);
+
+/// Returns the local port a bound socket ended up on (for port 0 binds).
+StatusOr<uint16_t> BoundPort(int fd);
+
+/// Opens a blocking TCP connection to 127.0.0.1:`port` with TCP_NODELAY
+/// (frames are latency-sensitive and self-contained; Nagle only hurts).
+StatusOr<UniqueFd> ConnectLoopback(uint16_t port);
+
+Status SetNonBlocking(int fd);
+Status SetNoDelay(int fd);
+
+/// Writes the whole span, polling through partial writes and EAGAIN (works
+/// for blocking and non-blocking fds alike). kDataLoss if the peer closes
+/// the read side mid-write (EPIPE/ECONNRESET).
+Status SendAll(int fd, ByteSpan bytes);
+
+/// Reads up to `cap` bytes, retrying EINTR and polling through EAGAIN.
+/// Returns the byte count, 0 on clean EOF; kDataLoss on a reset.
+StatusOr<size_t> RecvSome(int fd, uint8_t* buf, size_t cap);
+
+/// Half-closes the sending direction (shutdown(SHUT_WR)): the peer sees
+/// EOF after draining, while this side can still read.
+Status ShutdownSend(int fd);
+
+}  // namespace smm::net
+
+#endif  // SMM_NET_SOCKET_UTIL_H_

@@ -25,12 +25,13 @@ class BufferingStream final : public StreamingAggregator {
   uint64_t modulus() const override { return m_; }
   size_t absorbed() const override { return buffered_.size(); }
 
-  Status Absorb(int participant_id, const uint64_t* data,
-                size_t size) override {
+  Status Absorb(int participant_id, ConstSpan<uint64_t> input) override {
     (void)participant_id;
     if (finalized_) return FailedPreconditionError("stream already finalized");
-    if (size != dim_) return InvalidArgumentError("input dimension mismatch");
-    buffered_.emplace_back(data, data + size);
+    if (input.size() != dim_) {
+      return InvalidArgumentError("input dimension mismatch");
+    }
+    buffered_.emplace_back(input.begin(), input.end());
     return OkStatus();
   }
 

@@ -42,8 +42,8 @@ Status AggregationSession::Handle(ContributionMsg msg) {
   return OkStatus();
 }
 
-Status AggregationSession::HandleFrame(const uint8_t* data, size_t size) {
-  auto message = DecodeFrame(data, size);
+Status AggregationSession::HandleFrame(ByteSpan frame) {
+  auto message = DecodeFrame(frame);
   if (!message.ok()) {
     ++rejected_frames_;
     return message.status();
@@ -69,7 +69,7 @@ Status AggregationSession::HandleFrame(const uint8_t* data, size_t size) {
       "sum frames are server-outbound and cannot be received");
 }
 
-Status AggregationSession::DrainTransport(InMemoryTransport& transport) {
+Status AggregationSession::DrainTransport(FrameTransport& transport) {
   while (auto frame = transport.Receive()) {
     SMM_RETURN_IF_ERROR(HandleFrame(*frame));
   }

@@ -77,16 +77,21 @@ class AggregationSession {
   /// unchanged except that a masked-protocol tile admission already
   /// recorded by the stream stays recorded — the provided streams reject
   /// before touching the sum, so a failed HandleFrame never corrupts it.
-  Status HandleFrame(const uint8_t* data, size_t size);
-  Status HandleFrame(const std::vector<uint8_t>& frame) {
-    return HandleFrame(frame.data(), frame.size());
-  }
+  /// (ByteSpan is implicitly constructible from std::vector<uint8_t>.)
+  Status HandleFrame(ByteSpan frame);
 
-  /// Drains `transport` until no frame is pending, handling each in the
-  /// transport's deterministic order. Stops at (and returns) the first
+  /// Drains `transport` until Receive reports it drained, handling each
+  /// frame in the transport's order. Stops at (and returns) the first
   /// frame error, leaving the remaining frames queued so the caller can
   /// decide whether to keep draining.
-  Status DrainTransport(InMemoryTransport& transport);
+  Status DrainTransport(FrameTransport& transport);
+
+  /// Deprecated forwarder, kept for one release while callers migrate to
+  /// the FrameTransport interface overload above.
+  [[deprecated("pass a FrameTransport&")]] Status DrainTransport(
+      InMemoryTransport& transport) {
+    return DrainTransport(static_cast<FrameTransport&>(transport));
+  }
 
   /// Completes the round: runs the stream's deferred work (e.g. Shamir
   /// dropout recovery for participants that never contributed) and returns

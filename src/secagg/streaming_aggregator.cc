@@ -44,16 +44,16 @@ Status RunningSumStream::AdmitTile(const std::vector<int>& participant_ids) {
   return OkStatus();
 }
 
-Status RunningSumStream::Absorb(int participant_id, const uint64_t* data,
-                                size_t size) {
+Status RunningSumStream::Absorb(int participant_id, ConstSpan<uint64_t> input) {
   SMM_RETURN_IF_ERROR(CheckOpen());
-  if (size != dim_) {
+  if (input.size() != dim_) {
     return InvalidArgumentError("input dimension mismatch");
   }
   SMM_RETURN_IF_ERROR(AdmitParticipant(participant_id));
   // A single contribution updates each coordinate independently, so the
   // coordinate range shards with no partials at all: the memory high-water
   // mark of a one-participant absorb is the O(dim) running sum itself.
+  const uint64_t* data = input.data();
   const auto accumulate = [&](size_t begin, size_t end) {
     simd::AddModVec(sum_.data() + begin, data + begin, end - begin, m_);
   };

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/span.h"
 #include "common/status.h"
 
 namespace smm::secagg {
@@ -43,17 +44,14 @@ class StreamingAggregator {
   /// Participants absorbed so far.
   virtual size_t absorbed() const = 0;
 
-  /// Absorbs one participant's contribution (`size` must equal dim()).
-  /// Entries need not be pre-reduced; each is reduced once before the
-  /// overflow-safe accumulation. Implementations define what
+  /// Absorbs one participant's contribution (`input.size()` must equal
+  /// dim()). Entries need not be pre-reduced; each is reduced once before
+  /// the overflow-safe accumulation. Implementations define what
   /// `participant_id` means (the masked protocol requires a valid,
-  /// not-yet-absorbed index; the ideal sum ignores it).
-  virtual Status Absorb(int participant_id, const uint64_t* data,
-                        size_t size) = 0;
-
-  Status Absorb(int participant_id, const std::vector<uint64_t>& input) {
-    return Absorb(participant_id, input.data(), input.size());
-  }
+  /// not-yet-absorbed index; the ideal sum ignores it). ConstSpan is
+  /// implicitly constructible from std::vector<uint64_t>, so vector-based
+  /// callers pass their buffers unchanged.
+  virtual Status Absorb(int participant_id, ConstSpan<uint64_t> input) = 0;
 
   /// Absorbs a tile of participants (inputs[i] belongs to
   /// participant_ids[i]), equivalent to absorbing them one by one in order
@@ -87,9 +85,7 @@ class RunningSumStream : public StreamingAggregator {
   uint64_t modulus() const override { return m_; }
   size_t absorbed() const override { return absorbed_; }
 
-  Status Absorb(int participant_id, const uint64_t* data,
-                size_t size) override;
-  using StreamingAggregator::Absorb;
+  Status Absorb(int participant_id, ConstSpan<uint64_t> input) override;
 
   Status AbsorbTile(const std::vector<int>& participant_ids,
                     const std::vector<std::vector<uint64_t>>& inputs) override;

@@ -139,10 +139,12 @@ StatusOr<std::vector<uint8_t>> EncodeFrame(const SumMsg& msg) {
   return FinishFrame(std::move(frame));
 }
 
-StatusOr<WireMessage> DecodeFrame(const uint8_t* data, size_t size) {
+StatusOr<WireMessage> DecodeFrame(ByteSpan frame) {
+  const uint8_t* data = frame.data();
+  const size_t size = frame.size();
   if (data == nullptr) return InvalidArgumentError("null frame");
   if (size < kFrameOverheadBytes) {
-    return InvalidArgumentError("frame truncated: shorter than the overhead");
+    return DataLossError("frame truncated: shorter than the overhead");
   }
   for (int i = 0; i < 4; ++i) {
     if (data[i] != kMagic[i]) {
@@ -161,14 +163,17 @@ StatusOr<WireMessage> DecodeFrame(const uint8_t* data, size_t size) {
     return InvalidArgumentError("frame payload exceeds the size limit");
   }
   if (size != kFrameOverheadBytes + payload_len) {
-    return InvalidArgumentError(
-        size < kFrameOverheadBytes + payload_len
-            ? "frame truncated: payload shorter than its length prefix"
-            : "frame carries trailing bytes");
+    // A short frame lost bytes in transit (kDataLoss); trailing bytes mean
+    // the caller mis-framed the input (kInvalidArgument).
+    if (size < kFrameOverheadBytes + payload_len) {
+      return DataLossError(
+          "frame truncated: payload shorter than its length prefix");
+    }
+    return InvalidArgumentError("frame carries trailing bytes");
   }
   const size_t body = kFrameHeaderBytes + payload_len;
   if (LoadU64(data + body) != Fnv1a64(data, body)) {
-    return InvalidArgumentError("frame checksum mismatch");
+    return DataLossError("frame checksum mismatch");
   }
   const uint8_t* payload = data + kFrameHeaderBytes;
   switch (raw_type) {

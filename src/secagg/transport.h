@@ -10,6 +10,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/span.h"
 #include "common/status.h"
 #include "secagg/shamir.h"
 
@@ -91,38 +92,77 @@ StatusOr<std::vector<uint8_t>> EncodeFrame(const ContributionMsg& msg);
 StatusOr<std::vector<uint8_t>> EncodeFrame(const SharesMsg& msg);
 StatusOr<std::vector<uint8_t>> EncodeFrame(const SumMsg& msg);
 
-/// Parses one frame. `size` must be the exact frame length: truncated,
-/// oversized, corrupt, or trailing-garbage input is rejected with an
-/// InvalidArgument status and never touches memory outside [data, size).
-StatusOr<WireMessage> DecodeFrame(const uint8_t* data, size_t size);
+/// Parses one frame. `frame.size()` must be the exact frame length.
+/// Structurally malformed input (bad magic/version/type, trailing bytes,
+/// counts that disagree with the length prefix) is rejected with
+/// kInvalidArgument; input damaged in transit (truncation, checksum
+/// mismatch) with kDataLoss. Parsing never touches memory outside the span.
+StatusOr<WireMessage> DecodeFrame(ByteSpan frame);
 
-inline StatusOr<WireMessage> DecodeFrame(const std::vector<uint8_t>& frame) {
-  return DecodeFrame(frame.data(), frame.size());
-}
+/// The pluggable message channel underneath AggregationSession: clients
+/// push whole SMM1 frames in with Send, one server loop pulls complete
+/// frames out with Receive. Session code (DrainTransport, RunDistributedSum)
+/// is written against this interface, so swapping the in-process loopback
+/// for real sockets — or any future backend — changes no aggregation logic;
+/// a backend only has to move frames byte-identically.
+///
+/// Contract:
+///  - Send is thread-safe; many clients may call it concurrently.
+///  - Receive is driven by exactly one server loop at a time. It returns
+///    the next complete frame, or nullopt once the transport is drained:
+///    no frame is available now and the backend knows no more are coming
+///    (for the in-memory backend that is simply "all queues empty"; a
+///    socket backend may block while frames are still in flight).
+///  - FinishSending is the client side's end-of-stream signal: after it,
+///    no Send may follow, and a blocking backend's Receive must eventually
+///    return nullopt instead of waiting forever. Backends with no in-flight
+///    state (the in-memory queue) need not override it.
+///  - Frames travel opaque and intact: a backend never splits, merges,
+///    reorders bytes within, or validates the contents of a frame beyond
+///    what it needs to find frame boundaries.
+class FrameTransport {
+ public:
+  virtual ~FrameTransport() = default;
 
-/// A loopback message channel with per-client FIFO queues: clients enqueue
+  /// Enqueues/sends one framed message from `client_id` (>= 0). The frame
+  /// is taken by value and moved into the channel. Thread-safe.
+  virtual Status Send(int client_id, std::vector<uint8_t> frame) = 0;
+
+  /// Returns the next complete frame, or nullopt when the transport is
+  /// drained. Single-consumer; see the class contract for blocking rules.
+  virtual std::optional<std::vector<uint8_t>> Receive() = 0;
+
+  /// Frames currently deliverable without waiting for more input.
+  virtual size_t pending() const = 0;
+
+  /// Declares that no further Send will follow (any backend buffering or
+  /// in-flight bytes must still be delivered by Receive). Default: no-op.
+  virtual Status FinishSending() { return OkStatus(); }
+};
+
+/// A loopback FrameTransport with per-client FIFO queues: clients enqueue
 /// framed bytes with Send, the server drains them with Receive. The whole
-/// client -> frame -> session -> stream pipeline runs in-process through
-/// this today; a socket backend only has to reproduce the same
-/// byte-in/byte-out contract to slot in underneath AggregationSession.
+/// client -> frame -> session -> stream pipeline can run in-process through
+/// this; net::SocketTransport reproduces the same byte-in/byte-out contract
+/// over real TCP sockets.
 ///
 /// Determinism contract: Receive always returns the oldest frame of the
 /// lowest client id that has one pending, so the drain order is a function
 /// of what was sent — per-client send order and the client id set — never
-/// of thread scheduling. Send is thread-safe (clients may enqueue
-/// concurrently); Receive is meant to be driven by one server loop.
-class InMemoryTransport {
+/// of thread scheduling. Receive never blocks: an empty queue set means
+/// drained.
+class InMemoryTransport final : public FrameTransport {
  public:
   /// Enqueues a frame from `client_id` (>= 0). The frame is taken by value
   /// and moved into the queue.
-  Status Send(int client_id, std::vector<uint8_t> frame);
+  Status Send(int client_id, std::vector<uint8_t> frame) override;
 
   /// Dequeues the next frame in the deterministic drain order, or nullopt
   /// when every queue is empty.
-  std::optional<std::vector<uint8_t>> Receive();
+  std::optional<std::vector<uint8_t>> Receive() override;
 
   /// Frames currently queued across all clients.
-  size_t pending() const;
+  size_t pending() const override;
 
  private:
   mutable std::mutex mu_;

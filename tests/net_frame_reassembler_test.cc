@@ -1,0 +1,182 @@
+// Property tests for the per-connection frame reassembler: a concatenated
+// frame stream split at EVERY byte boundary (and every pair of boundaries)
+// reassembles byte-identically; structural header damage latches a fatal
+// kDataLoss; payload/checksum damage passes through for DecodeFrame to
+// reject — the invariant that keeps the socket backends byte-identical to
+// the in-memory transport.
+#include "net/frame_reassembler.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "secagg/transport.h"
+
+namespace smm::net {
+namespace {
+
+using secagg::ContributionMsg;
+using secagg::EncodeFrame;
+
+std::vector<uint8_t> MakeFrame(uint64_t seed, size_t dim) {
+  RandomGenerator rng(seed);
+  ContributionMsg msg;
+  msg.participant_id = static_cast<int>(seed);
+  msg.modulus = 1ULL << 32;
+  msg.payload.resize(dim);
+  for (auto& v : msg.payload) v = rng.UniformUint64(msg.modulus);
+  auto frame = EncodeFrame(msg);
+  EXPECT_TRUE(frame.ok());
+  return *frame;
+}
+
+std::vector<uint8_t> Concat(const std::vector<std::vector<uint8_t>>& frames) {
+  std::vector<uint8_t> stream;
+  for (const auto& f : frames) stream.insert(stream.end(), f.begin(), f.end());
+  return stream;
+}
+
+std::vector<std::vector<uint8_t>> PopAll(FrameReassembler& reassembler) {
+  std::vector<std::vector<uint8_t>> out;
+  while (auto frame = reassembler.NextFrame()) out.push_back(std::move(*frame));
+  return out;
+}
+
+TEST(FrameReassemblerTest, WholeStreamInOneIngest) {
+  const std::vector<std::vector<uint8_t>> frames = {
+      MakeFrame(1, 5), MakeFrame(2, 1), MakeFrame(3, 33)};
+  const std::vector<uint8_t> stream = Concat(frames);
+  FrameReassembler reassembler(1 << 20);
+  ASSERT_TRUE(reassembler.Ingest(ByteSpan(stream.data(), stream.size())).ok());
+  EXPECT_EQ(reassembler.ready(), frames.size());
+  EXPECT_FALSE(reassembler.mid_frame());
+  EXPECT_EQ(PopAll(reassembler), frames);
+}
+
+TEST(FrameReassemblerTest, ByteAtATimeIsByteIdentical) {
+  const std::vector<std::vector<uint8_t>> frames = {
+      MakeFrame(4, 7), MakeFrame(5, 1), MakeFrame(6, 12)};
+  const std::vector<uint8_t> stream = Concat(frames);
+  FrameReassembler reassembler(1 << 20);
+  for (const uint8_t byte : stream) {
+    ASSERT_TRUE(reassembler.Ingest(ByteSpan(&byte, 1)).ok());
+  }
+  EXPECT_EQ(PopAll(reassembler), frames);
+  EXPECT_EQ(reassembler.buffered_bytes(), 0u);
+}
+
+// The exhaustive split property: for every single split point i, feeding
+// [0, i) then [i, end) yields the identical frame sequence. This covers
+// splits inside the magic, the length prefix, the payload, and the
+// checksum of every frame in the stream.
+TEST(FrameReassemblerTest, EverySingleSplitPointReassembles) {
+  const std::vector<std::vector<uint8_t>> frames = {MakeFrame(7, 3),
+                                                    MakeFrame(8, 9)};
+  const std::vector<uint8_t> stream = Concat(frames);
+  for (size_t i = 0; i <= stream.size(); ++i) {
+    FrameReassembler reassembler(1 << 20);
+    ASSERT_TRUE(reassembler.Ingest(ByteSpan(stream.data(), i)).ok());
+    ASSERT_TRUE(
+        reassembler.Ingest(ByteSpan(stream.data() + i, stream.size() - i))
+            .ok());
+    EXPECT_EQ(PopAll(reassembler), frames) << "split at byte " << i;
+  }
+}
+
+// Every pair of split points (three chunks) over a smaller stream: the
+// quadratic sweep catches interactions between a partial header and a
+// partial payload in one stream.
+TEST(FrameReassemblerTest, EveryDoubleSplitPointReassembles) {
+  const std::vector<std::vector<uint8_t>> frames = {MakeFrame(9, 2),
+                                                    MakeFrame(10, 1)};
+  const std::vector<uint8_t> stream = Concat(frames);
+  for (size_t i = 0; i <= stream.size(); ++i) {
+    for (size_t j = i; j <= stream.size(); ++j) {
+      FrameReassembler reassembler(1 << 20);
+      ASSERT_TRUE(reassembler.Ingest(ByteSpan(stream.data(), i)).ok());
+      ASSERT_TRUE(reassembler.Ingest(ByteSpan(stream.data() + i, j - i)).ok());
+      ASSERT_TRUE(
+          reassembler.Ingest(ByteSpan(stream.data() + j, stream.size() - j))
+              .ok());
+      EXPECT_EQ(PopAll(reassembler), frames)
+          << "splits at bytes " << i << ", " << j;
+    }
+  }
+}
+
+TEST(FrameReassemblerTest, GarbageHeaderIsFatalAndLatched) {
+  FrameReassembler reassembler(1 << 20);
+  const std::vector<uint8_t> garbage = {'n', 'o', 'p', 'e', 1, 1, 0, 0,
+                                        0,   0,   0,   0};
+  const Status status =
+      reassembler.Ingest(ByteSpan(garbage.data(), garbage.size()));
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(reassembler.stream_error().code(), StatusCode::kDataLoss);
+  // Latched: even valid bytes are refused now.
+  const std::vector<uint8_t> good = MakeFrame(11, 2);
+  EXPECT_EQ(reassembler.Ingest(ByteSpan(good.data(), good.size())).code(),
+            StatusCode::kDataLoss);
+  EXPECT_FALSE(reassembler.NextFrame().has_value());
+}
+
+TEST(FrameReassemblerTest, BadVersionAndReservedBytesAreFatal) {
+  for (const size_t corrupt_at : {size_t{4}, size_t{6}, size_t{7}}) {
+    std::vector<uint8_t> frame = MakeFrame(12, 2);
+    frame[corrupt_at] ^= 0xff;
+    FrameReassembler reassembler(1 << 20);
+    EXPECT_EQ(reassembler.Ingest(ByteSpan(frame.data(), frame.size())).code(),
+              StatusCode::kDataLoss)
+        << "corrupt header byte " << corrupt_at;
+  }
+}
+
+TEST(FrameReassemblerTest, OversizeLengthPrefixRejectedBeforeAllocation) {
+  std::vector<uint8_t> frame = MakeFrame(13, 2);
+  // The policy cap is far below the announced length: bytes 8..11 hold the
+  // LE payload length.
+  frame[8] = 0xff;
+  frame[9] = 0xff;
+  frame[10] = 0xff;
+  frame[11] = 0x3f;
+  FrameReassembler reassembler(/*max_frame_bytes=*/1024);
+  EXPECT_EQ(reassembler.Ingest(ByteSpan(frame.data(), frame.size())).code(),
+            StatusCode::kDataLoss);
+}
+
+// Payload/checksum corruption keeps the frame boundary intact, so the
+// reassembler delivers the frame and DecodeFrame rejects it — the same
+// split of responsibilities the in-memory backend has.
+TEST(FrameReassemblerTest, ChecksumDamagePassesThroughToDecodeFrame) {
+  std::vector<uint8_t> frame = MakeFrame(14, 4);
+  frame[frame.size() - 1] ^= 0x01;  // Flip a checksum bit.
+  FrameReassembler reassembler(1 << 20);
+  ASSERT_TRUE(reassembler.Ingest(ByteSpan(frame.data(), frame.size())).ok());
+  auto delivered = reassembler.NextFrame();
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(*delivered, frame);
+  auto decoded = secagg::DecodeFrame(
+      ByteSpan(delivered->data(), delivered->size()));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FrameReassemblerTest, BufferedBytesStayBoundedToOnePartialFrame) {
+  const std::vector<uint8_t> frame = MakeFrame(15, 64);
+  FrameReassembler reassembler(1 << 20);
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    const uint8_t byte = frame[i];
+    ASSERT_TRUE(reassembler.Ingest(ByteSpan(&byte, 1)).ok());
+    EXPECT_LE(reassembler.buffered_bytes(), frame.size());
+    EXPECT_TRUE(reassembler.mid_frame());
+  }
+  const uint8_t last = frame.back();
+  ASSERT_TRUE(reassembler.Ingest(ByteSpan(&last, 1)).ok());
+  EXPECT_EQ(reassembler.buffered_bytes(), 0u);
+  EXPECT_FALSE(reassembler.mid_frame());
+  EXPECT_EQ(reassembler.ready(), 1u);
+}
+
+}  // namespace
+}  // namespace smm::net

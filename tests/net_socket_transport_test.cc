@@ -1,0 +1,313 @@
+// The socket backend property: a SocketTransport round over real loopback
+// TCP finalizes to a SumMsg frame BYTE-IDENTICAL to the same round over
+// InMemoryTransport — for both aggregators, at every tested thread count,
+// under shuffled arrival orders and dropouts — and corrupt frames are
+// rejected with the same counts. Plus the byte-stream-specific properties:
+// writes split at every byte offset reassemble, desynchronized streams
+// drop only their own connection.
+#include "net/socket_transport.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "net/socket_util.h"
+#include "secagg/secure_aggregator.h"
+#include "secagg/session.h"
+#include "secagg/transport.h"
+
+namespace smm::net {
+namespace {
+
+using secagg::AggregationSession;
+using secagg::ContributionMsg;
+using secagg::EncodeFrame;
+using secagg::FrameTransport;
+using secagg::IdealAggregator;
+using secagg::InMemoryTransport;
+using secagg::MaskedAggregator;
+using secagg::SecureAggregator;
+using secagg::SumMsg;
+
+std::vector<int> TestThreadCounts() {
+  std::vector<int> counts = {1, 2, 8};
+  if (const char* env = std::getenv("SMM_THREADS")) {
+    const int t = std::atoi(env);
+    if (t > 0 && std::find(counts.begin(), counts.end(), t) == counts.end()) {
+      counts.push_back(t);
+    }
+  }
+  return counts;
+}
+
+std::vector<std::vector<uint64_t>> RandomInputs(int n, size_t dim, uint64_t m,
+                                                uint64_t seed) {
+  RandomGenerator rng(seed);
+  std::vector<std::vector<uint64_t>> inputs(static_cast<size_t>(n));
+  for (auto& v : inputs) {
+    v.resize(dim);
+    for (auto& x : v) x = rng.UniformUint64(m);
+  }
+  return inputs;
+}
+
+/// One aggregation round over ANY FrameTransport backend — the whole point
+/// of the interface extraction: this function cannot tell loopback memory
+/// from loopback TCP. Returns the finalized SumMsg re-encoded as its wire
+/// frame, the strongest byte-identity witness.
+StatusOr<std::vector<uint8_t>> RunWireRound(
+    SecureAggregator& aggregator, FrameTransport& transport,
+    const std::vector<std::vector<uint64_t>>& inputs,
+    const std::vector<int>& order, uint64_t m, ThreadPool* pool) {
+  AggregationSession::Options options;
+  options.dim = inputs[0].size();
+  options.modulus = m;
+  options.pool = pool;
+  SMM_ASSIGN_OR_RETURN(auto session,
+                       AggregationSession::Open(aggregator, options));
+  for (int participant : order) {
+    ContributionMsg msg;
+    msg.participant_id = participant;
+    msg.modulus = m;
+    SMM_ASSIGN_OR_RETURN(
+        msg.payload,
+        aggregator.PrepareContribution(
+            participant, inputs[static_cast<size_t>(participant)], m, pool));
+    SMM_ASSIGN_OR_RETURN(auto frame, EncodeFrame(msg));
+    SMM_RETURN_IF_ERROR(transport.Send(participant, std::move(frame)));
+  }
+  SMM_RETURN_IF_ERROR(transport.FinishSending());
+  SMM_RETURN_IF_ERROR(session->DrainTransport(transport));
+  SMM_ASSIGN_OR_RETURN(const SumMsg sum, session->Finalize());
+  return EncodeFrame(sum);
+}
+
+TEST(SocketTransportTest, IdealRoundIsByteIdenticalToInMemory) {
+  if (!NetSupported()) GTEST_SKIP() << "no socket backend on this platform";
+  const uint64_t m = 18446744073709551557ULL;  // 2^64 - 59: wrap-prone.
+  const auto inputs = RandomInputs(17, 23, m, 40);
+  std::vector<int> order(inputs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  IdealAggregator aggregator;
+  for (int threads : TestThreadCounts()) {
+    ThreadPool pool(threads);
+    InMemoryTransport loopback;
+    auto reference =
+        RunWireRound(aggregator, loopback, inputs, order, m, &pool);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    auto socket_transport = SocketTransport::Listen();
+    ASSERT_TRUE(socket_transport.ok()) << socket_transport.status().ToString();
+    auto via_tcp = RunWireRound(aggregator, **socket_transport, inputs, order,
+                                m, &pool);
+    ASSERT_TRUE(via_tcp.ok()) << via_tcp.status().ToString();
+    EXPECT_EQ(*via_tcp, *reference) << threads << " threads";
+    EXPECT_EQ((*socket_transport)->dropped_connections(), 0u);
+  }
+}
+
+TEST(SocketTransportTest, MaskedShuffledRoundIsByteIdenticalToInMemory) {
+  if (!NetSupported()) GTEST_SKIP() << "no socket backend on this platform";
+  const int n = 9;
+  const uint64_t m = 1ULL << 32;
+  const auto inputs = RandomInputs(n, 13, m, 41);
+  // Adversarial arrival order — and the socket backend additionally
+  // delivers by arrival timing rather than the in-memory lowest-id rule,
+  // so this pins the order-independence of the finalized sum itself.
+  const std::vector<int> order = {7, 2, 8, 0, 5, 1, 6, 3, 4};
+  MaskedAggregator::Options options;
+  options.num_participants = n;
+  options.threshold = 4;
+  options.session_seed = 42;
+  for (int threads : TestThreadCounts()) {
+    ThreadPool pool(threads);
+    auto ref_aggregator = MaskedAggregator::Create(options);
+    ASSERT_TRUE(ref_aggregator.ok());
+    InMemoryTransport loopback;
+    auto reference =
+        RunWireRound(**ref_aggregator, loopback, inputs, order, m, &pool);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    auto tcp_aggregator = MaskedAggregator::Create(options);
+    ASSERT_TRUE(tcp_aggregator.ok());
+    auto socket_transport = SocketTransport::Listen();
+    ASSERT_TRUE(socket_transport.ok());
+    auto via_tcp = RunWireRound(**tcp_aggregator, **socket_transport, inputs,
+                                order, m, &pool);
+    ASSERT_TRUE(via_tcp.ok()) << via_tcp.status().ToString();
+    EXPECT_EQ(*via_tcp, *reference) << threads << " threads";
+  }
+}
+
+TEST(SocketTransportTest, MaskedDropoutRoundIsByteIdenticalToInMemory) {
+  if (!NetSupported()) GTEST_SKIP() << "no socket backend on this platform";
+  const int n = 8;
+  const uint64_t m = 1 << 16;
+  const auto inputs = RandomInputs(n, 11, m, 43);
+  // Participants 2 and 6 never connect; Finalize-time mask recovery must
+  // behave identically over both backends.
+  const std::vector<int> survivors = {0, 1, 3, 4, 5, 7};
+  MaskedAggregator::Options options;
+  options.num_participants = n;
+  options.threshold = 4;
+  options.session_seed = 44;
+  auto ref_aggregator = MaskedAggregator::Create(options);
+  ASSERT_TRUE(ref_aggregator.ok());
+  InMemoryTransport loopback;
+  auto reference =
+      RunWireRound(**ref_aggregator, loopback, inputs, survivors, m, nullptr);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  auto tcp_aggregator = MaskedAggregator::Create(options);
+  ASSERT_TRUE(tcp_aggregator.ok());
+  auto socket_transport = SocketTransport::Listen();
+  ASSERT_TRUE(socket_transport.ok());
+  auto via_tcp = RunWireRound(**tcp_aggregator, **socket_transport, inputs,
+                              survivors, m, nullptr);
+  ASSERT_TRUE(via_tcp.ok()) << via_tcp.status().ToString();
+  EXPECT_EQ(*via_tcp, *reference);
+}
+
+TEST(SocketTransportTest, CorruptFrameRejectedIdenticallyOnBothBackends) {
+  if (!NetSupported()) GTEST_SKIP() << "no socket backend on this platform";
+  const uint64_t m = 1 << 16;
+  ContributionMsg msg;
+  msg.modulus = m;
+  msg.payload = {1, 2, 3, 4};
+  auto run = [&](FrameTransport& transport) -> StatusOr<std::vector<uint8_t>> {
+    IdealAggregator aggregator;
+    AggregationSession::Options options;
+    options.dim = 4;
+    options.modulus = m;
+    SMM_ASSIGN_OR_RETURN(auto session,
+                         AggregationSession::Open(aggregator, options));
+    // One client streams good, corrupt, good — a single connection (and a
+    // single in-memory queue) preserves this order on both backends. The
+    // corruption flips a payload byte, so the frame boundary stays intact
+    // and only DecodeFrame rejects it.
+    msg.participant_id = 0;
+    SMM_ASSIGN_OR_RETURN(auto good0, EncodeFrame(msg));
+    std::vector<uint8_t> corrupt = good0;
+    corrupt[secagg::kFrameHeaderBytes + 3] ^= 0x40;
+    msg.participant_id = 1;
+    SMM_ASSIGN_OR_RETURN(auto good1, EncodeFrame(msg));
+    SMM_RETURN_IF_ERROR(transport.Send(0, std::move(good0)));
+    SMM_RETURN_IF_ERROR(transport.Send(0, std::move(corrupt)));
+    SMM_RETURN_IF_ERROR(transport.Send(0, std::move(good1)));
+    SMM_RETURN_IF_ERROR(transport.FinishSending());
+    // The drain stops at the corrupt frame with kDataLoss on both backends.
+    const Status drain = session->DrainTransport(transport);
+    EXPECT_EQ(drain.code(), StatusCode::kDataLoss);
+    SMM_RETURN_IF_ERROR(session->DrainTransport(transport));
+    EXPECT_EQ(session->contributions(), 2u);
+    EXPECT_EQ(session->rejected_frames(), 1u);
+    SMM_ASSIGN_OR_RETURN(const SumMsg sum, session->Finalize());
+    return EncodeFrame(sum);
+  };
+  InMemoryTransport loopback;
+  auto reference = run(loopback);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  auto socket_transport = SocketTransport::Listen();
+  ASSERT_TRUE(socket_transport.ok());
+  auto via_tcp = run(**socket_transport);
+  ASSERT_TRUE(via_tcp.ok()) << via_tcp.status().ToString();
+  EXPECT_EQ(*via_tcp, *reference);
+  // A delivered-but-corrupt frame is not a connection drop.
+  EXPECT_EQ((*socket_transport)->dropped_connections(), 0u);
+}
+
+// The byte-stream property the in-memory backend cannot even express:
+// a client's frames written with a split at EVERY byte offset — partial
+// header, partial length prefix, partial payload, partial checksum —
+// reassemble into the identical frame sequence.
+TEST(SocketTransportTest, WritesSplitAtEveryByteOffsetReassemble) {
+  if (!NetSupported()) GTEST_SKIP() << "no socket backend on this platform";
+  ContributionMsg msg;
+  msg.modulus = 257;
+  msg.payload = {11, 22, 33};
+  msg.participant_id = 0;
+  auto frame = EncodeFrame(msg);
+  ASSERT_TRUE(frame.ok());
+  for (size_t split = 0; split <= frame->size(); ++split) {
+    auto transport = SocketTransport::Listen();
+    ASSERT_TRUE(transport.ok());
+    auto fd = ConnectLoopback((*transport)->port());
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(SendAll(fd->get(), ByteSpan(frame->data(), split)).ok());
+    ASSERT_TRUE(SendAll(fd->get(), ByteSpan(frame->data() + split,
+                                            frame->size() - split))
+                    .ok());
+    fd->reset();  // Full close: clean EOF at a frame boundary.
+    auto received = (*transport)->Receive();
+    ASSERT_TRUE(received.has_value()) << "split at byte " << split;
+    EXPECT_EQ(*received, *frame) << "split at byte " << split;
+    EXPECT_FALSE((*transport)->Receive().has_value());
+    EXPECT_EQ((*transport)->dropped_connections(), 0u);
+  }
+}
+
+TEST(SocketTransportTest, DesyncDropsOnlyItsOwnConnection) {
+  if (!NetSupported()) GTEST_SKIP() << "no socket backend on this platform";
+  ContributionMsg msg;
+  msg.modulus = 257;
+  msg.payload = {5};
+  msg.participant_id = 0;
+  auto frame = EncodeFrame(msg);
+  ASSERT_TRUE(frame.ok());
+  auto transport = SocketTransport::Listen();
+  ASSERT_TRUE(transport.ok());
+  // Connection A streams garbage where a header must be; connection B
+  // streams a good frame. Only A is dropped.
+  auto bad_fd = ConnectLoopback((*transport)->port());
+  ASSERT_TRUE(bad_fd.ok());
+  const std::vector<uint8_t> garbage(32, 0xee);
+  ASSERT_TRUE(
+      SendAll(bad_fd->get(), ByteSpan(garbage.data(), garbage.size())).ok());
+  bad_fd->reset();
+  auto good_fd = ConnectLoopback((*transport)->port());
+  ASSERT_TRUE(good_fd.ok());
+  ASSERT_TRUE(
+      SendAll(good_fd->get(), ByteSpan(frame->data(), frame->size())).ok());
+  good_fd->reset();
+  auto received = (*transport)->Receive();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(*received, *frame);
+  EXPECT_FALSE((*transport)->Receive().has_value());
+  EXPECT_EQ((*transport)->dropped_connections(), 1u);
+}
+
+TEST(SocketTransportTest, EofMidFrameCountsAsDrop) {
+  if (!NetSupported()) GTEST_SKIP() << "no socket backend on this platform";
+  ContributionMsg msg;
+  msg.modulus = 257;
+  msg.payload = {5, 6};
+  msg.participant_id = 0;
+  auto frame = EncodeFrame(msg);
+  ASSERT_TRUE(frame.ok());
+  auto transport = SocketTransport::Listen();
+  ASSERT_TRUE(transport.ok());
+  auto fd = ConnectLoopback((*transport)->port());
+  ASSERT_TRUE(fd.ok());
+  // The peer dies after half a frame: nothing is deliverable, the drop is
+  // counted, and Receive still terminates.
+  ASSERT_TRUE(
+      SendAll(fd->get(), ByteSpan(frame->data(), frame->size() / 2)).ok());
+  fd->reset();
+  EXPECT_FALSE((*transport)->Receive().has_value());
+  EXPECT_EQ((*transport)->dropped_connections(), 1u);
+}
+
+TEST(SocketTransportTest, SendValidatesAndFinishSendingLatches) {
+  if (!NetSupported()) GTEST_SKIP() << "no socket backend on this platform";
+  auto transport = SocketTransport::Listen();
+  ASSERT_TRUE(transport.ok());
+  EXPECT_EQ((*transport)->Send(-1, {1, 2, 3}).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE((*transport)->FinishSending().ok());
+  EXPECT_EQ((*transport)->Send(0, {1, 2, 3}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace smm::net

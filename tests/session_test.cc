@@ -58,7 +58,8 @@ StatusOr<SumMsg> RunWireRound(SecureAggregator& aggregator,
   options.tile_rows = tile_rows;
   SMM_ASSIGN_OR_RETURN(auto session,
                        AggregationSession::Open(aggregator, options));
-  InMemoryTransport transport;
+  InMemoryTransport loopback;
+  FrameTransport& transport = loopback;
   for (int participant : order) {
     ContributionMsg msg;
     msg.participant_id = participant;
@@ -235,8 +236,10 @@ TEST(AggregationSessionTest, CorruptFramesRejectedWithoutPoisoningSession) {
   ASSERT_TRUE(good.ok());
 
   // Malformed bytes, a truncation, and a corruption: all status-rejected.
-  EXPECT_FALSE((*session)->HandleFrame({0xde, 0xad, 0xbe, 0xef}).ok());
-  EXPECT_FALSE((*session)->HandleFrame(good->data(), good->size() - 3).ok());
+  const std::vector<uint8_t> junk = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_FALSE((*session)->HandleFrame(junk).ok());
+  EXPECT_FALSE(
+      (*session)->HandleFrame(ByteSpan(good->data(), good->size() - 3)).ok());
   std::vector<uint8_t> corrupt = *good;
   corrupt[kFrameHeaderBytes] ^= 1;
   EXPECT_FALSE((*session)->HandleFrame(corrupt).ok());
@@ -318,7 +321,8 @@ TEST(AggregationSessionTest, DrainTransportStopsAtFirstBadFrame) {
   options.modulus = 64;
   auto session = AggregationSession::Open(aggregator, options);
   ASSERT_TRUE(session.ok());
-  InMemoryTransport transport;
+  InMemoryTransport loopback;
+  FrameTransport& transport = loopback;
   ContributionMsg msg;
   msg.modulus = 64;
   msg.payload = {1, 2};
@@ -333,6 +337,32 @@ TEST(AggregationSessionTest, DrainTransportStopsAtFirstBadFrame) {
   EXPECT_EQ(transport.pending(), 1u);
   EXPECT_TRUE((*session)->DrainTransport(transport).ok());
   EXPECT_EQ((*session)->contributions(), 2u);
+}
+
+TEST(AggregationSessionTest, DeprecatedDrainTransportOverloadForwards) {
+  // The InMemoryTransport& overload is a deprecated forwarder kept for one
+  // release; it must keep behaving exactly like the interface overload.
+  IdealAggregator aggregator;
+  AggregationSession::Options options;
+  options.dim = 2;
+  options.modulus = 64;
+  auto session = AggregationSession::Open(aggregator, options);
+  ASSERT_TRUE(session.ok());
+  InMemoryTransport transport;
+  ContributionMsg msg;
+  msg.modulus = 64;
+  msg.payload = {3, 4};
+  msg.participant_id = 0;
+  ASSERT_TRUE(transport.Send(0, *EncodeFrame(msg)).ok());
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  EXPECT_TRUE((*session)->DrainTransport(transport).ok());
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  EXPECT_EQ((*session)->contributions(), 1u);
 }
 
 }  // namespace

@@ -27,6 +27,8 @@ TEST(StatusTest, AllErrorFactoriesProduceDistinctCodes) {
   EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
   EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(DataLossError("x").ToString(), "DataLoss: x");
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -300,8 +300,10 @@ TEST(StreamingAggregatorTest, IdealStreamReducesUnreducedEntries) {
   ASSERT_TRUE(stream.ok());
   // Entries at and above m are reduced once before accumulation, matching
   // the batch path's tolerance for unreduced inputs.
-  ASSERT_TRUE((*stream)->Absorb(0, {m + 1, 999}).ok());
-  ASSERT_TRUE((*stream)->Absorb(1, {2 * m + 5, 2}).ok());
+  const std::vector<uint64_t> first = {m + 1, 999};
+  const std::vector<uint64_t> second = {2 * m + 5, 2};
+  ASSERT_TRUE((*stream)->Absorb(0, first).ok());
+  ASSERT_TRUE((*stream)->Absorb(1, second).ok());
   auto sum = (*stream)->Finalize();
   ASSERT_TRUE(sum.ok());
   EXPECT_EQ(*sum, (std::vector<uint64_t>{6, 1}));

@@ -115,7 +115,39 @@ TEST(TransportFrameTest, EveryTruncationRejected) {
   auto frame = EncodeFrame(msg);
   ASSERT_TRUE(frame.ok());
   for (size_t len = 0; len < frame->size(); ++len) {
-    EXPECT_FALSE(DecodeFrame(frame->data(), len).ok()) << "len=" << len;
+    auto decoded = DecodeFrame(ByteSpan(frame->data(), len));
+    ASSERT_FALSE(decoded.ok()) << "len=" << len;
+    // Truncation means bytes vanished in transit: kDataLoss by the status
+    // semantics table, so a byte-stream receiver knows to drop the
+    // connection instead of just the frame.
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss)
+        << "len=" << len;
+  }
+}
+
+TEST(TransportFrameTest, RejectionCodesFollowTheSemanticsTable) {
+  auto frame = EncodeFrame(MakeContribution(12, 4, 1 << 16));
+  ASSERT_TRUE(frame.ok());
+  {
+    // Damage in transit -> kDataLoss: a flipped payload byte only the
+    // checksum can catch.
+    std::vector<uint8_t> corrupt = *frame;
+    corrupt[kFrameHeaderBytes] ^= 0x01;
+    EXPECT_EQ(DecodeFrame(corrupt).status().code(), StatusCode::kDataLoss);
+  }
+  {
+    // Malformed input -> kInvalidArgument: wrong magic is a peer speaking
+    // the wrong protocol, not a damaged frame.
+    std::vector<uint8_t> wrong_magic = *frame;
+    wrong_magic[0] = 'X';
+    EXPECT_EQ(DecodeFrame(wrong_magic).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    std::vector<uint8_t> padded = *frame;
+    padded.push_back(0);
+    EXPECT_EQ(DecodeFrame(padded).status().code(),
+              StatusCode::kInvalidArgument);
   }
 }
 
@@ -198,9 +230,9 @@ TEST(TransportFrameTest, RandomGarbageNeverParses) {
     // A random buffer virtually never carries the magic + a valid FNV
     // checksum; what matters is that parsing returns a status instead of
     // reading out of bounds (ASan would catch the latter).
-    (void)DecodeFrame(garbage.data(), garbage.size()).ok();
+    (void)DecodeFrame(garbage).ok();
   }
-  EXPECT_FALSE(DecodeFrame(nullptr, 0).ok());
+  EXPECT_FALSE(DecodeFrame(ByteSpan()).ok());
 }
 
 TEST(InMemoryTransportTest, DrainsLowestClientFirstFifoWithinClient) {
