@@ -52,6 +52,8 @@ struct Connection {
   size_t outbound_off = 0;
   /// Close gracefully once outbound is flushed.
   bool closing = false;
+  /// Count the eventual close as dropped (abnormal teardown) in stats.
+  bool drop_on_close = false;
   /// The peer half-closed its sending side (clean EOF seen).
   bool read_closed = false;
   Tag tag{TagKind::kConn, this};
@@ -111,6 +113,13 @@ struct AggregationServer::Impl {
     /// Loop-thread-only state.
     std::unordered_map<uint64_t, std::unique_ptr<ServedSession>> sessions;
     std::unordered_map<Connection*, std::unique_ptr<Connection>> conns;
+
+    /// Objects closed/retired during the current epoll batch. epoll_wait
+    /// snapshots Tag pointers; a later event in the same batch may still
+    /// carry a pointer into an object an earlier event tore down, so the
+    /// memory must stay valid until the batch ends.
+    std::vector<std::unique_ptr<Connection>> conn_graveyard;
+    std::vector<std::unique_ptr<ServedSession>> session_graveyard;
   };
 
   Options options;
@@ -177,15 +186,27 @@ struct AggregationServer::Impl {
         break;
       }
     }
-    loop.conns.erase(conn);  // Destroys the Connection and closes the fd.
+    // Unregister now, free at end-of-batch: the fd closes with the
+    // Connection, and stale Tag pointers in this epoll batch must stay
+    // dereferenceable until then.
+    auto it = loop.conns.find(conn);
+    if (it != loop.conns.end()) {
+      loop.conn_graveyard.push_back(std::move(it->second));
+      loop.conns.erase(it);
+    }
     MaybeRetireSession(loop, ss);
   }
 
   /// A finalized session with no connections left has nothing to do;
-  /// release it.
+  /// release it (deferred to end-of-batch, like connections, so its
+  /// listener Tag stays valid for stale events in the current batch).
   void MaybeRetireSession(Loop& loop, ServedSession* ss) {
     if (ss->finalized && ss->conns.empty()) {
-      loop.sessions.erase(ss->id);
+      auto it = loop.sessions.find(ss->id);
+      if (it != loop.sessions.end()) {
+        loop.session_graveyard.push_back(std::move(it->second));
+        loop.sessions.erase(it);
+      }
     }
   }
 
@@ -208,24 +229,21 @@ struct AggregationServer::Impl {
         result = frame.status();
       }
     }
-    if (sum_frame.empty()) {
-      // Nothing to broadcast; drop every connection.
-      std::vector<Connection*> conns = ss->conns;
-      for (Connection* conn : conns) CloseConn(loop, conn, /*dropped=*/true);
-    } else {
-      // Queue the broadcast on every open connection and let EPOLLOUT
-      // drive the flush (never write inline here: CloseConn on a flushed
-      // connection would free state a caller further up the stack — e.g.
-      // the ReadConn that triggered this finalize — still holds).
-      for (Connection* conn : ss->conns) {
-        conn->outbound = sum_frame;
-        conn->outbound_off = 0;
-        conn->closing = true;
-        const uint32_t events =
-            (conn->read_closed ? 0u : EPOLLIN) | EPOLLOUT;
-        (void)EpollCtl(loop.epoll_fd.get(), EPOLL_CTL_MOD, conn->fd.get(),
-                       events, &conn->tag);
-      }
+    // Whether there is a SumMsg frame to broadcast or not, never close a
+    // connection inline here: the HandleRead that triggered this finalize
+    // still holds its Connection (and, transitively, this ServedSession)
+    // on the stack. Queue the outcome — the broadcast bytes, or an empty
+    // outbound with closing set — and let EPOLLOUT drive the flush/close
+    // on a later loop turn.
+    for (Connection* conn : ss->conns) {
+      conn->outbound = sum_frame;
+      conn->outbound_off = 0;
+      conn->closing = true;
+      conn->drop_on_close = sum_frame.empty();
+      const uint32_t events =
+          (conn->read_closed ? 0u : EPOLLIN) | EPOLLOUT;
+      (void)EpollCtl(loop.epoll_fd.get(), EPOLL_CTL_MOD, conn->fd.get(),
+                     events, &conn->tag);
     }
     PublishResult(ss->id, std::move(result));
     MaybeRetireSession(loop, ss);
@@ -280,6 +298,12 @@ struct AggregationServer::Impl {
         return;
       }
       conn->read_closed = true;
+      if (conn->closing && conn->outbound.empty()) {
+        // Nothing left to flush (finalize-failure teardown): close now
+        // rather than disarm every event and strand the connection.
+        CloseConn(loop, conn, conn->drop_on_close);
+        return;
+      }
       const uint32_t events = conn->outbound.empty() ? 0u : EPOLLOUT;
       (void)EpollCtl(loop.epoll_fd.get(), EPOLL_CTL_MOD, conn->fd.get(),
                      events, &conn->tag);
@@ -305,9 +329,10 @@ struct AggregationServer::Impl {
       if (!ss->finalized && ss->expected > 0 &&
           ss->session->contributions() >= ss->expected) {
         FinalizeAndBroadcast(loop, ss);
-        // `conn` is still alive (finalize never closes inline when a
-        // broadcast is queued); keep draining its reassembled frames —
-        // the finalized session rejects them, which is the right count.
+        // `conn` and `ss` are still alive (finalize never closes a
+        // connection inline, success or failure); keep draining the
+        // reassembled frames — the finalized session rejects them, which
+        // is the right count.
       }
     }
   }
@@ -335,7 +360,7 @@ struct AggregationServer::Impl {
     conn->outbound.clear();
     conn->outbound_off = 0;
     if (conn->closing) {
-      CloseConn(loop, conn, /*dropped=*/false);
+      CloseConn(loop, conn, conn->drop_on_close);
       return;
     }
     // Disarm EPOLLOUT (level-triggered: it would fire on every loop turn).
@@ -363,6 +388,12 @@ struct AggregationServer::Impl {
         break;
       }
       for (int i = 0; i < n; ++i) {
+        // Reading tag->kind is safe even for objects torn down by an
+        // earlier event in this batch: closes/retires park the owning
+        // unique_ptr in the graveyards below, so the memory outlives the
+        // batch. Liveness is then decided per kind — conns through the
+        // owning map, listeners through ss->listener.valid() (reset at
+        // finalize, so a retired session's accept loop no-ops).
         Tag* tag = static_cast<Tag*>(events[i].data.ptr);
         switch (tag->kind) {
           case TagKind::kWake: {
@@ -376,9 +407,6 @@ struct AggregationServer::Impl {
             break;
           case TagKind::kConn: {
             auto* conn = static_cast<Connection*>(tag->target);
-            // The conn may have been closed by an earlier event in this
-            // same batch (its Tag memory freed would be UB — so check
-            // liveness through the owning map first).
             if (loop.conns.find(conn) == loop.conns.end()) break;
             if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0 &&
                 (events[i].events & (EPOLLIN | EPOLLOUT)) == 0) {
@@ -396,6 +424,9 @@ struct AggregationServer::Impl {
           }
         }
       }
+      // Batch done: no stale Tag pointer can be pending, free for real.
+      loop.conn_graveyard.clear();
+      loop.session_graveyard.clear();
     }
   }
 };
@@ -526,6 +557,27 @@ StatusOr<AggregationServer::SessionInfo> AggregationServer::OpenSession(
     // Connections may already be waiting in the backlog.
     impl->HandleAccept(*loop, raw);
   });
+  // Close the race against Stop: if Stop ran to completion between the
+  // `stopping` check above and the Post (loops joined, commands cleared),
+  // the registration never executes and Stop's unfinished-session sweep
+  // may have run before the route existed — so publish the failure that
+  // sweep would have published, or no WaitForSum caller ever wakes.
+  {
+    std::lock_guard<std::mutex> stop_lock(impl_->stop_mu);
+    if (impl_->joined) {
+      bool published;
+      {
+        std::lock_guard<std::mutex> results_lock(impl_->results_mu);
+        published = impl_->results.find(id) != impl_->results.end();
+      }
+      if (!published) {
+        impl_->PublishResult(
+            id, FailedPreconditionError("server stopped before the session "
+                                        "finalized"));
+      }
+      return FailedPreconditionError("server is stopping");
+    }
+  }
   return SessionInfo{id, port};
 }
 
@@ -560,11 +612,21 @@ StatusOr<secagg::SumMsg> AggregationServer::WaitForSum(uint64_t session_id) {
       return NotFoundError("unknown session id");
     }
   }
-  std::unique_lock<std::mutex> lock(impl_->results_mu);
-  impl_->results_cv.wait(lock, [this, session_id] {
-    return impl_->results.find(session_id) != impl_->results.end();
-  });
-  return impl_->results.at(session_id);
+  StatusOr<secagg::SumMsg> result = [&]() -> StatusOr<secagg::SumMsg> {
+    std::unique_lock<std::mutex> lock(impl_->results_mu);
+    impl_->results_cv.wait(lock, [this, session_id] {
+      return impl_->results.find(session_id) != impl_->results.end();
+    });
+    // One-shot: consume the result so a long-running server does not
+    // accumulate a SumMsg per completed round.
+    auto node = impl_->results.extract(session_id);
+    return std::move(node.mapped());
+  }();
+  {
+    std::lock_guard<std::mutex> lock(impl_->routes_mu);
+    impl_->routes.erase(session_id);
+  }
+  return result;
 }
 
 ServerStats AggregationServer::Stats() const {

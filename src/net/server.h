@@ -116,7 +116,10 @@ class AggregationServer {
   Status FinalizeSession(uint64_t session_id);
 
   /// Blocks until the session finalizes (or fails, or the server stops)
-  /// and returns the SumMsg it broadcast.
+  /// and returns the SumMsg it broadcast. One-shot: the call consumes the
+  /// session's result and releases its bookkeeping (a long-running server
+  /// would otherwise retain a SumMsg per completed round); a second wait
+  /// on the same id returns kNotFound.
   StatusOr<secagg::SumMsg> WaitForSum(uint64_t session_id);
 
   ServerStats Stats() const;

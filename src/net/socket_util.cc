@@ -82,12 +82,25 @@ StatusOr<UniqueFd> ConnectLoopback(uint16_t port) {
   UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd) return ErrnoError("socket");
   const sockaddr_in addr = LoopbackAddr(port);
-  int rc;
-  do {
-    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-                   sizeof(addr));
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0) return ErrnoError("connect");
+  const int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc != 0 && errno == EINTR) {
+    // An interrupted connect keeps going asynchronously; re-calling
+    // connect() would fail with EALREADY even when the handshake
+    // succeeds. Wait for completion and read the real outcome.
+    SMM_RETURN_IF_ERROR(PollFor(fd.get(), POLLOUT));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return ErrnoError("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      errno = err;
+      return ErrnoError("connect");
+    }
+  } else if (rc != 0) {
+    return ErrnoError("connect");
+  }
   SMM_RETURN_IF_ERROR(SetNoDelay(fd.get()));
   return fd;
 }

@@ -274,6 +274,48 @@ TEST(AggregationServerTest, LargeBroadcastFinishesUnderEpollout) {
   SpinUntil([&] { return (*server)->Stats().bytes_written >= dim * 8; });
 }
 
+TEST(AggregationServerTest, FinalizeFailureDropsConnectionsAndFailsWaiter) {
+  if (!NetSupported()) GTEST_SKIP() << "no socket backend on this platform";
+  // A masked round whose Shamir threshold exceeds the contributors that
+  // show up: dropout recovery at Finalize fails, so the server has no
+  // SumMsg to broadcast. The regression this pins: the failing finalize
+  // fires from inside the triggering connection's frame-drain loop with a
+  // third frame queued behind it, so teardown must be deferred off the
+  // stack (the old inline CloseConn freed the draining connection).
+  const uint64_t m = 1 << 16;
+  secagg::MaskedAggregator::Options agg_options;
+  agg_options.num_participants = 4;
+  agg_options.threshold = 4;
+  agg_options.session_seed = 7;
+  auto aggregator = secagg::MaskedAggregator::Create(agg_options);
+  ASSERT_TRUE(aggregator.ok());
+  auto server = AggregationServer::Start();
+  ASSERT_TRUE(server.ok());
+  AggregationServer::SessionOptions session_options;
+  session_options.session.dim = 2;
+  session_options.session.modulus = m;
+  session_options.expected_contributions = 2;
+  auto info = (*server)->OpenSession(**aggregator, session_options);
+  ASSERT_TRUE(info.ok());
+
+  auto client = BlockingClient::Connect(info->port);
+  ASSERT_TRUE(client.ok());
+  // One burst on one connection: the second frame trips the finalize (2
+  // survivors < threshold 4 -> Finalize fails), the third is still in the
+  // reassembler when it does.
+  ASSERT_TRUE(client->SendContribution(MakeMsg(0, m, {1, 2})).ok());
+  ASSERT_TRUE(client->SendContribution(MakeMsg(1, m, {3, 4})).ok());
+  ASSERT_TRUE(client->SendContribution(MakeMsg(2, m, {5, 6})).ok());
+  // No sum frame ever arrives; the server closes the connection instead.
+  EXPECT_FALSE(client->ReadSum().ok());
+  auto waited = (*server)->WaitForSum(info->id);
+  ASSERT_FALSE(waited.ok());
+  EXPECT_EQ(waited.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*server)->Stats().sessions_failed, 1u);
+  SpinUntil([&] { return (*server)->Stats().connections_dropped >= 1; });
+  EXPECT_EQ((*server)->Stats().connections_dropped, 1u);
+}
+
 TEST(AggregationServerTest, StopFailsUnfinishedSessionsAndUnblocksWaiters) {
   if (!NetSupported()) GTEST_SKIP() << "no socket backend on this platform";
   IdealAggregator aggregator;
