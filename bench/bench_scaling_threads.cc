@@ -1,137 +1,33 @@
-// Thread-scaling benchmark for the parallel aggregation pipeline. Three
-// sections, each timed at 1/2/4/8 threads with a bit-identity cross-check
-// against the single-threaded run:
+// Thread-scaling benchmark — compatibility wrapper over the scenario-matrix
+// runner (bench/runner.h). The sections this binary historically hard-coded
+// (batched encode, batched rotation, streaming aggregation, masked secagg,
+// framed sessions, the TCP server sweep, SIMD kernels, fused encode) now
+// live in bench/scenarios.cc and are enumerated by bench_matrix; this
+// wrapper replays the full matrix at the legacy axis values and re-emits
+// the historical outputs so existing CI plumbing keeps working unchanged:
 //
-//   encode          EncodeBatchParallel for SMM and DDG (the PR 1 hot path,
-//                   now with the tiled batched-rotation pre-pass);
-//   rotation        the batched Walsh-Hadamard transform on its own;
-//   streaming_ideal the streaming aggregation subsystem at participant
-//                   counts 10-100x beyond what the batch-materializing
-//                   path's O(n·d) buffer can hold, at the wrap-prone
-//                   modulus 2^64 - 59;
-//   masked_secagg   a full Bonawitz-style round — parallel pairwise masking
-//                   across survivors plus UnmaskSum with dropouts;
-//   session_masked  the same protocol driven over the wire: participants
-//                   mask, frame, and send ContributionMsg bytes through the
-//                   loopback transport into an AggregationSession feeding
-//                   the masked streaming sum;
-//   simd_kernels    single-thread scalar-reference vs dispatched (AVX2 or
-//                   AVX-512 when the cpu has it) elements/sec for each hot
-//                   kernel of the SIMD layer, with a bit-identity
-//                   cross-check — the per-kernel speedup the dispatch layer
-//                   buys before any threading;
-//   encode_fused    the fused three-sweep blocked encode pipeline vs the
-//                   historical per-pass EncodeBatchUnfused, single-threaded
-//                   end-to-end elements/sec on a memory-bound cheap-noise
-//                   configuration (cpSGD with a small trial count at large
-//                   dim — Skellam-style sampling would dominate the clock
-//                   and dilute the pass-structure comparison), with a
-//                   bit-identity cross-check.
+//   - the per-section `SPEEDUP_SUMMARY ...` lines CI greps,
+//   - the per-kernel `SIMD_KERNEL ...` lines CI greps,
+//   - the legacy `--json <path>` artifact shape
+//     bench/check_bench_regression.py diffs against cached baselines,
+//   - exit status 1 on any bit-identity violation.
 //
-// Expected shape: near-linear scaling up to the physical core count, then
-// flat. Each section ends with a `SPEEDUP_SUMMARY` line (grepped by CI), and
-// `--json <path>` writes the raw numbers as a JSON artifact so the per-PR
-// perf trajectory is machine-readable.
-#include <algorithm>
-#include <atomic>
-#include <chrono>
+// New matrix-only capability (extra axis values, --filter, --calibrate, the
+// schema-versioned artifact) lives in bench_matrix.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <functional>
+#include <map>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/parallel.h"
-#include "common/random.h"
 #include "common/simd.h"
-#include "mechanisms/baseline_mechanisms.h"
-#include "mechanisms/distributed_mechanism.h"
-#include "mechanisms/smm_mechanism.h"
-#include "net/client.h"
-#include "net/server.h"
-#include "secagg/secure_aggregator.h"
-#include "secagg/session.h"
-#include "secagg/transport.h"
-#include "transform/walsh_hadamard.h"
+#include "runner.h"
 
 namespace smm::bench {
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-constexpr int kThreadCounts[] = {1, 2, 4, 8};
-
-/// Raw numbers of one benchmark section, for the table, the summary line,
-/// and the JSON artifact.
-struct Section {
-  std::string name;
-  size_t dim = 0;
-  size_t participants = 0;
-  std::vector<int> threads;
-  std::vector<double> best_seconds;
-  bool deterministic = true;
-
-  double speedup(size_t idx) const {
-    return best_seconds[0] / best_seconds[idx];
-  }
-};
-
-std::vector<Section> g_sections;
-
-/// Raw numbers of one SIMD-kernel comparison (single thread, scalar
-/// reference vs dispatched table), for the table and the JSON artifact.
-struct SimdKernelResult {
-  std::string name;
-  size_t elements = 0;
-  double scalar_seconds = 0.0;
-  double dispatch_seconds = 0.0;
-  bool identical = true;
-
-  double speedup() const { return scalar_seconds / dispatch_seconds; }
-};
-
-std::vector<SimdKernelResult> g_simd_results;
-
-/// Raw numbers of the fused-vs-unfused encode comparison (single thread),
-/// for the table and the JSON artifact.
-struct FusedEncodeResult {
-  std::string name;
-  size_t dim = 0;
-  size_t participants = 0;
-  double unfused_seconds = 0.0;
-  double fused_seconds = 0.0;
-  bool identical = true;
-
-  double speedup() const { return unfused_seconds / fused_seconds; }
-};
-
-std::vector<FusedEncodeResult> g_fused_results;
-
-/// Raw numbers of the TCP aggregation-server throughput sweep: the same
-/// session workload pushed through real loopback sockets at each
-/// event-loop thread count.
-struct ServerSessionsResult {
-  std::string name;
-  size_t sessions = 0;
-  size_t contributions_per_session = 0;
-  size_t dim = 0;
-  std::vector<int> threads;
-  std::vector<double> seconds;
-  bool sums_exact = true;
-
-  double sessions_per_sec(size_t idx) const {
-    return static_cast<double>(sessions) / seconds[idx];
-  }
-  double frames_per_sec(size_t idx) const {
-    return static_cast<double>(sessions * contributions_per_session) /
-           seconds[idx];
-  }
-};
-
-std::vector<ServerSessionsResult> g_server_results;
 
 const char* ParseJsonPath(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
@@ -140,27 +36,78 @@ const char* ParseJsonPath(int argc, char** argv) {
   return nullptr;
 }
 
-void PrintSection(const Section& section, double work_items) {
-  std::vector<std::string> throughput_cells;
-  std::vector<std::string> speedup_cells;
-  for (size_t t = 0; t < section.best_seconds.size(); ++t) {
-    throughput_cells.push_back(
-        FormatSci(work_items / section.best_seconds[t]));
+/// The legacy thread-scaling table: one row group per (label) with the
+/// threads axis widened into columns.
+struct LegacySection {
+  std::string name;
+  size_t dim = 0;
+  size_t participants = 0;
+  std::vector<int> threads;
+  std::vector<double> seconds;
+  bool bit_identical = true;
+
+  double speedup(size_t idx) const { return seconds[0] / seconds[idx]; }
+};
+
+/// Groups a thread-scaling scenario's runs by label, preserving label
+/// first-seen order and the per-label threads order.
+std::vector<LegacySection> GroupByLabel(const ScenarioReport& report) {
+  std::vector<LegacySection> sections;
+  std::map<std::string, size_t> index;
+  for (const RunRecord& run : report.runs) {
+    auto [it, inserted] = index.emplace(run.label, sections.size());
+    if (inserted) {
+      LegacySection section;
+      section.name = run.label;
+      section.dim = run.params.dim;
+      section.participants = run.params.participants;
+      sections.push_back(std::move(section));
+    }
+    LegacySection& section = sections[it->second];
+    section.threads.push_back(run.params.threads);
+    section.seconds.push_back(run.seconds);
+    section.bit_identical = section.bit_identical && run.bit_identical;
+  }
+  return sections;
+}
+
+void PrintLegacySection(const LegacySection& section, double work_items) {
+  std::printf("%s: dim=%zu, participants=%zu\n", section.name.c_str(),
+              section.dim, section.participants);
+  std::vector<std::string> thread_cells, throughput_cells, speedup_cells;
+  for (size_t t = 0; t < section.seconds.size(); ++t) {
+    thread_cells.push_back(std::to_string(section.threads[t]));
+    throughput_cells.push_back(FormatSci(work_items / section.seconds[t]));
     speedup_cells.push_back(FormatSci(section.speedup(t)));
   }
+  PrintRow("  threads", thread_cells, 14, 12);
   PrintRow("  items/sec", throughput_cells, 14, 12);
   PrintRow("  speedup", speedup_cells, 14, 12);
   std::printf("  thread-count invariance: %s\n",
-              section.deterministic ? "bit-identical" : "MISMATCH (bug!)");
+              section.bit_identical ? "bit-identical" : "MISMATCH (bug!)");
   std::printf("SPEEDUP_SUMMARY section=%s dim=%zu participants=%zu "
               "speedup_8t=%.2fx\n",
               section.name.c_str(), section.dim, section.participants,
-              section.speedup(section.best_seconds.size() - 1));
-  // A determinism violation must fail the harness (and the CI smoke run).
-  if (!section.deterministic) std::exit(1);
+              section.speedup(section.seconds.size() - 1));
 }
 
-void WriteJson(const char* path, Scale scale) {
+/// Work-item count per section, matching the historical throughput model.
+double SectionWorkItems(const LegacySection& s) {
+  if (s.name == "masked_secagg") {
+    // Survivors * participants * dim mask draws dominate (2 dropouts).
+    return static_cast<double>(s.participants - 2) *
+           static_cast<double>(s.participants) * static_cast<double>(s.dim);
+  }
+  if (s.name == "session_masked") {
+    return static_cast<double>(s.participants - 2) *
+           static_cast<double>(s.participants) * static_cast<double>(s.dim);
+  }
+  return static_cast<double>(s.participants) * static_cast<double>(s.dim);
+}
+
+void WriteLegacyJson(const char* path, Scale scale,
+                     const std::vector<LegacySection>& sections,
+                     const MatrixReport& report) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::printf("cannot open %s for the JSON report\n", path);
@@ -173,8 +120,8 @@ void WriteJson(const char* path, Scale scale) {
   std::fprintf(f, "  \"hardware_threads\": %d,\n",
                ThreadPool::HardwareThreads());
   std::fprintf(f, "  \"sections\": [\n");
-  for (size_t s = 0; s < g_sections.size(); ++s) {
-    const Section& section = g_sections[s];
+  for (size_t s = 0; s < sections.size(); ++s) {
+    const LegacySection& section = sections[s];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"dim\": %zu, \"participants\": "
                  "%zu,\n     \"threads\": [",
@@ -183,962 +130,218 @@ void WriteJson(const char* path, Scale scale) {
       std::fprintf(f, "%s%d", t == 0 ? "" : ", ", section.threads[t]);
     }
     std::fprintf(f, "],\n     \"seconds\": [");
-    for (size_t t = 0; t < section.best_seconds.size(); ++t) {
-      std::fprintf(f, "%s%.6e", t == 0 ? "" : ", ", section.best_seconds[t]);
+    for (size_t t = 0; t < section.seconds.size(); ++t) {
+      std::fprintf(f, "%s%.6e", t == 0 ? "" : ", ", section.seconds[t]);
     }
     std::fprintf(f, "],\n     \"speedup\": [");
-    for (size_t t = 0; t < section.best_seconds.size(); ++t) {
+    for (size_t t = 0; t < section.seconds.size(); ++t) {
       std::fprintf(f, "%s%.3f", t == 0 ? "" : ", ", section.speedup(t));
     }
     std::fprintf(f, "],\n     \"bit_identical\": %s}%s\n",
-                 section.deterministic ? "true" : "false",
-                 s + 1 < g_sections.size() ? "," : "");
+                 section.bit_identical ? "true" : "false",
+                 s + 1 < sections.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+
   std::fprintf(f, "  \"encode_fused\": [\n");
-  for (size_t s = 0; s < g_fused_results.size(); ++s) {
-    const FusedEncodeResult& r = g_fused_results[s];
-    const double elements =
-        static_cast<double>(r.participants) * static_cast<double>(r.dim);
+  const ScenarioReport* fused = report.Find("encode_fused");
+  const size_t fused_count = fused != nullptr ? fused->runs.size() : 0;
+  for (size_t s = 0; s < fused_count; ++s) {
+    const RunRecord& r = fused->runs[s];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"dim\": %zu, \"participants\": "
                  "%zu,\n     \"unfused_seconds\": %.6e, \"fused_seconds\": "
                  "%.6e,\n     \"unfused_eps\": %.6e, \"fused_eps\": %.6e,\n"
                  "     \"fused_vs_unfused\": %.3f, \"bit_identical\": %s}%s\n",
-                 r.name.c_str(), r.dim, r.participants, r.unfused_seconds,
-                 r.fused_seconds, elements / r.unfused_seconds,
-                 elements / r.fused_seconds, r.speedup(),
-                 r.identical ? "true" : "false",
-                 s + 1 < g_fused_results.size() ? "," : "");
+                 r.label.c_str(), r.params.dim, r.params.participants,
+                 r.Metric("unfused_seconds"), r.Metric("fused_seconds"),
+                 r.Metric("unfused_eps"), r.Metric("fused_eps"),
+                 r.Metric("fused_vs_unfused"),
+                 r.bit_identical ? "true" : "false",
+                 s + 1 < fused_count ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+
   std::fprintf(f, "  \"server_sessions\": [\n");
-  for (size_t s = 0; s < g_server_results.size(); ++s) {
-    const ServerSessionsResult& r = g_server_results[s];
+  const ScenarioReport* server = report.Find("server_sessions");
+  if (server != nullptr && !server->runs.empty()) {
+    const RunRecord& first = server->runs.front();
+    bool sums_exact = true;
+    for (const RunRecord& r : server->runs) {
+      sums_exact = sums_exact && r.bit_identical;
+    }
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"sessions\": %zu, "
                  "\"contributions_per_session\": %zu, \"dim\": %zu,\n"
                  "     \"threads\": [",
-                 r.name.c_str(), r.sessions, r.contributions_per_session,
-                 r.dim);
-    for (size_t t = 0; t < r.threads.size(); ++t) {
-      std::fprintf(f, "%s%d", t == 0 ? "" : ", ", r.threads[t]);
+                 first.label.c_str(), first.params.participants,
+                 static_cast<size_t>(
+                     first.Metric("contributions_per_session")),
+                 first.params.dim);
+    for (size_t t = 0; t < server->runs.size(); ++t) {
+      std::fprintf(f, "%s%d", t == 0 ? "" : ", ",
+                   server->runs[t].params.threads);
     }
     std::fprintf(f, "],\n     \"seconds\": [");
-    for (size_t t = 0; t < r.seconds.size(); ++t) {
-      std::fprintf(f, "%s%.6e", t == 0 ? "" : ", ", r.seconds[t]);
+    for (size_t t = 0; t < server->runs.size(); ++t) {
+      std::fprintf(f, "%s%.6e", t == 0 ? "" : ", ",
+                   server->runs[t].seconds);
     }
     std::fprintf(f, "],\n     \"sessions_per_sec\": [");
-    for (size_t t = 0; t < r.seconds.size(); ++t) {
-      std::fprintf(f, "%s%.6e", t == 0 ? "" : ", ", r.sessions_per_sec(t));
+    for (size_t t = 0; t < server->runs.size(); ++t) {
+      std::fprintf(f, "%s%.6e", t == 0 ? "" : ", ",
+                   server->runs[t].Metric("sessions_per_sec"));
     }
     std::fprintf(f, "],\n     \"frames_per_sec\": [");
-    for (size_t t = 0; t < r.seconds.size(); ++t) {
-      std::fprintf(f, "%s%.6e", t == 0 ? "" : ", ", r.frames_per_sec(t));
+    for (size_t t = 0; t < server->runs.size(); ++t) {
+      std::fprintf(f, "%s%.6e", t == 0 ? "" : ", ",
+                   server->runs[t].Metric("frames_per_sec"));
     }
-    std::fprintf(f, "],\n     \"sums_exact\": %s}%s\n",
-                 r.sums_exact ? "true" : "false",
-                 s + 1 < g_server_results.size() ? "," : "");
+    std::fprintf(f, "],\n     \"sums_exact\": %s}\n",
+                 sums_exact ? "true" : "false");
   }
   std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"simd_dispatch\": \"%s\",\n",
-               smm::simd::Active().name);
+
+  std::fprintf(f, "  \"simd_dispatch\": \"%s\",\n", smm::simd::Active().name);
   std::fprintf(f, "  \"simd_kernels\": [\n");
-  for (size_t s = 0; s < g_simd_results.size(); ++s) {
-    const SimdKernelResult& r = g_simd_results[s];
+  const ScenarioReport* simd_report = report.Find("simd_kernels");
+  const size_t kernel_count =
+      simd_report != nullptr ? simd_report->runs.size() : 0;
+  for (size_t s = 0; s < kernel_count; ++s) {
+    const RunRecord& r = simd_report->runs[s];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"elements\": %zu,\n"
                  "     \"scalar_seconds\": %.6e, \"dispatch_seconds\": "
                  "%.6e,\n     \"scalar_eps\": %.6e, \"dispatch_eps\": %.6e,\n"
                  "     \"speedup\": %.3f, \"bit_identical\": %s}%s\n",
-                 r.name.c_str(), r.elements, r.scalar_seconds,
-                 r.dispatch_seconds,
-                 static_cast<double>(r.elements) / r.scalar_seconds,
-                 static_cast<double>(r.elements) / r.dispatch_seconds,
-                 r.speedup(), r.identical ? "true" : "false",
-                 s + 1 < g_simd_results.size() ? "," : "");
+                 r.label.c_str(), r.params.dim, r.Metric("scalar_seconds"),
+                 r.Metric("dispatch_seconds"), r.Metric("scalar_eps"),
+                 r.Metric("dispatch_eps"), r.Metric("speedup"),
+                 r.bit_identical ? "true" : "false",
+                 s + 1 < kernel_count ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote JSON report to %s\n", path);
 }
 
-std::vector<std::vector<double>> MakeInputs(size_t n, size_t dim) {
-  RandomGenerator rng(17);
-  std::vector<std::vector<double>> inputs(n, std::vector<double>(dim));
-  for (auto& x : inputs) {
-    for (auto& v : x) v = rng.Gaussian(0.0, 0.01);
-  }
-  return inputs;
-}
-
-// ---------------------------------------------------------------------------
-// Section 1: the batched encode pipeline.
-// ---------------------------------------------------------------------------
-
-/// Encodes the batch `repeats` times at the given thread count and returns
-/// the best wall time plus the last repeat's encodings. ok is false (and the
-/// harness aborts) if any encode failed — a failed run must not feed the
-/// throughput or invariance reporting.
-struct EncodeTiming {
-  bool ok = false;
-  double best_seconds = 0.0;
-  std::vector<std::vector<uint64_t>> encoded;
-};
-
-EncodeTiming TimeEncode(mechanisms::DistributedSumMechanism& mechanism,
-                        const std::vector<std::vector<double>>& inputs,
-                        int threads, int repeats) {
-  ThreadPool pool(threads);
-  EncodeTiming timing;
-  timing.best_seconds = 1e300;
-  for (int r = 0; r < repeats; ++r) {
-    RandomGenerator rng(4242);
-    std::vector<RandomGenerator> streams =
-        MakeParticipantStreams(rng, inputs.size());
-    const auto start = Clock::now();
-    auto encoded =
-        mechanisms::EncodeBatchParallel(mechanism, inputs, streams, &pool);
-    const double seconds =
-        std::chrono::duration<double>(Clock::now() - start).count();
-    if (!encoded.ok()) {
-      std::printf("encode failed: %s\n",
-                  encoded.status().ToString().c_str());
-      timing.ok = false;
-      return timing;
-    }
-    if (seconds < timing.best_seconds) timing.best_seconds = seconds;
-    timing.encoded = std::move(*encoded);
-    timing.ok = true;
-  }
-  return timing;
-}
-
-void RunEncodeSection(const char* name,
-                      mechanisms::DistributedSumMechanism& mechanism,
-                      const std::vector<std::vector<double>>& inputs,
-                      int repeats) {
-  Section section;
-  section.name = name;
-  section.dim = mechanism.dim();
-  section.participants = inputs.size();
-  std::printf("%s: dim=%zu, participants=%zu\n", name, mechanism.dim(),
-              inputs.size());
-  PrintRow("  threads", {"1", "2", "4", "8"}, 14, 12);
-  std::vector<std::vector<uint64_t>> reference;
-  for (int threads : kThreadCounts) {
-    const EncodeTiming timing =
-        TimeEncode(mechanism, inputs, threads, repeats);
-    if (!timing.ok) {
-      std::printf("  aborting %s: encode failed at %d threads\n", name,
-                  threads);
-      std::exit(1);
-    }
-    if (threads == 1) {
-      reference = timing.encoded;
-    } else if (timing.encoded != reference) {
-      section.deterministic = false;
-    }
-    section.threads.push_back(threads);
-    section.best_seconds.push_back(timing.best_seconds);
-  }
-  const double coords = static_cast<double>(inputs.size()) *
-                        static_cast<double>(mechanism.dim());
-  PrintSection(section, coords);
-  g_sections.push_back(std::move(section));
-}
-
-// ---------------------------------------------------------------------------
-// Section 2: the batched Walsh-Hadamard rotation kernel on its own.
-// ---------------------------------------------------------------------------
-
-void RunRotationSection(size_t batch, size_t dim, int repeats) {
-  RandomGenerator rng(29);
-  std::vector<double> original(batch * dim);
-  for (double& v : original) v = rng.Gaussian(0.0, 1.0);
-
-  Section section;
-  section.name = "rotation_batch";
-  section.dim = dim;
-  section.participants = batch;
-  std::printf("FastWalshHadamardBatch: dim=%zu, batch=%zu\n", dim, batch);
-  PrintRow("  threads", {"1", "2", "4", "8"}, 14, 12);
-  std::vector<double> reference;
-  for (int threads : kThreadCounts) {
-    ThreadPool pool(threads);
-    double best_seconds = 1e300;
-    std::vector<double> data;
-    for (int r = 0; r < repeats; ++r) {
-      data = original;
-      const auto start = Clock::now();
-      auto status = transform::FastWalshHadamardBatch(data.data(), batch,
-                                                      dim, &pool);
-      const double seconds =
-          std::chrono::duration<double>(Clock::now() - start).count();
-      if (!status.ok()) {
-        std::printf("rotation failed: %s\n", status.ToString().c_str());
-        std::exit(1);
-      }
-      if (seconds < best_seconds) best_seconds = seconds;
-    }
-    if (threads == 1) {
-      reference = data;
-    } else if (data != reference) {
-      section.deterministic = false;
-    }
-    section.threads.push_back(threads);
-    section.best_seconds.push_back(best_seconds);
-  }
-  PrintSection(section, static_cast<double>(batch * dim));
-  g_sections.push_back(std::move(section));
-}
-
-// ---------------------------------------------------------------------------
-// Section 3: streaming aggregation at participant counts the batch path
-// cannot hold. One tile of inputs is resident at a time (the stream's own
-// state is a single O(dim) running sum, O(threads·dim) during a tile
-// absorb), so the participant count here runs 10-100x beyond what the
-// batch-materializing path's O(n·d) buffer would tolerate at production
-// dimensions.
-// ---------------------------------------------------------------------------
-
-void RunStreamingSection(size_t participants, size_t dim, int repeats) {
-  const uint64_t m = 18446744073709551557ULL;  // 2^64 - 59: wrap-prone.
-  constexpr size_t kTileRows = 256;
-  participants = participants / kTileRows * kTileRows;  // Whole tiles only.
-  // One pre-generated tile, absorbed over and over under rotating ids: the
-  // timed loop measures pure streaming-absorb throughput with exactly one
-  // tile resident, and every thread count consumes identical data.
-  RandomGenerator rng(23);
-  std::vector<std::vector<uint64_t>> tile(kTileRows,
-                                          std::vector<uint64_t>(dim));
-  for (auto& row : tile) {
-    for (auto& v : row) v = rng.UniformUint64(m);
-  }
-  std::vector<int> ids(kTileRows);
-
-  Section section;
-  section.name = "streaming_ideal";
-  section.dim = dim;
-  section.participants = participants;
-  const double batch_mb =
-      static_cast<double>(participants) * static_cast<double>(dim) * 8 / 1e6;
-  std::printf(
-      "IdealAggregator streaming: dim=%zu, participants=%zu, m=2^64-59\n"
-      "  (batch path would materialize %.0f MB; stream keeps one %zu-row "
-      "tile)\n",
-      dim, participants, batch_mb, kTileRows);
-  PrintRow("  threads", {"1", "2", "4", "8"}, 14, 12);
-  secagg::IdealAggregator aggregator;
-  std::vector<uint64_t> reference;
-  for (int threads : kThreadCounts) {
-    ThreadPool pool(threads);
-    double best_seconds = 1e300;
-    std::vector<uint64_t> sum;
-    for (int r = 0; r < repeats; ++r) {
-      const auto start = Clock::now();
-      auto stream = aggregator.Open(dim, m, &pool);
-      if (!stream.ok()) {
-        std::printf("open failed: %s\n",
-                    stream.status().ToString().c_str());
-        std::exit(1);
-      }
-      for (size_t begin = 0; begin < participants; begin += kTileRows) {
-        for (size_t i = 0; i < kTileRows; ++i) {
-          ids[i] = static_cast<int>((begin + i) % 1000000);
-        }
-        auto status = (*stream)->AbsorbTile(ids, tile);
-        if (!status.ok()) {
-          std::printf("absorb failed: %s\n", status.ToString().c_str());
-          std::exit(1);
-        }
-      }
-      auto finalized = (*stream)->Finalize();
-      const double seconds =
-          std::chrono::duration<double>(Clock::now() - start).count();
-      if (!finalized.ok()) {
-        std::printf("finalize failed: %s\n",
-                    finalized.status().ToString().c_str());
-        std::exit(1);
-      }
-      if (seconds < best_seconds) best_seconds = seconds;
-      sum = std::move(*finalized);
-    }
-    if (threads == 1) {
-      reference = sum;
-    } else if (sum != reference) {
-      section.deterministic = false;
-    }
-    section.threads.push_back(threads);
-    section.best_seconds.push_back(best_seconds);
-  }
-  const double work =
-      static_cast<double>(participants) * static_cast<double>(dim);
-  PrintSection(section, work);
-  g_sections.push_back(std::move(section));
-}
-
-// ---------------------------------------------------------------------------
-// Section 4: the full masked-secagg round (Bonawitz-style) with dropouts.
-// ---------------------------------------------------------------------------
-
-void RunMaskedSecaggSection(int participants, size_t dim, int repeats) {
-  secagg::MaskedAggregator::Options options;
-  options.num_participants = participants;
-  options.threshold = participants / 2;
-  options.session_seed = 77;
-  auto aggregator = secagg::MaskedAggregator::Create(options);
-  if (!aggregator.ok()) {
-    std::printf("masked aggregator creation failed: %s\n",
-                aggregator.status().ToString().c_str());
-    std::exit(1);
-  }
-  const uint64_t m = 1 << 16;
-  RandomGenerator rng(31);
-  std::vector<std::vector<uint64_t>> inputs(
-      static_cast<size_t>(participants), std::vector<uint64_t>(dim));
-  for (auto& v : inputs) {
-    for (auto& x : v) x = rng.UniformUint64(m);
-  }
-  // The last two participants drop out after masking is configured.
-  std::vector<int> survivors;
-  for (int i = 0; i < participants - 2; ++i) survivors.push_back(i);
-
-  Section section;
-  section.name = "masked_secagg";
-  section.dim = dim;
-  section.participants = static_cast<size_t>(participants);
-  std::printf(
-      "MaskedAggregator round: dim=%zu, participants=%d (2 dropouts)\n", dim,
-      participants);
-  PrintRow("  threads", {"1", "2", "4", "8"}, 14, 12);
-  std::vector<uint64_t> reference;
-  for (int threads : kThreadCounts) {
-    ThreadPool pool(threads);
-    double best_seconds = 1e300;
-    std::vector<uint64_t> sum;
-    for (int r = 0; r < repeats; ++r) {
-      const auto start = Clock::now();
-      // Client side: pairwise masking, sharded across survivors.
-      std::vector<std::vector<uint64_t>> masked(survivors.size());
-      std::atomic<bool> failed{false};
-      pool.ParallelFor(survivors.size(), [&](int, size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          const int p = survivors[i];
-          auto mi = (*aggregator)
-                        ->MaskInput(p, inputs[static_cast<size_t>(p)], m);
-          if (!mi.ok()) {
-            failed.store(true, std::memory_order_relaxed);
-            return;
-          }
-          masked[i] = std::move(*mi);
-        }
-      });
-      // Server side: sum + dropout recovery, sharded on the same pool.
-      auto unmasked = failed.load() ? StatusOr<std::vector<uint64_t>>(
-                                          InternalError("masking failed"))
-                                    : (*aggregator)->UnmaskSum(
-                                          masked, survivors, dim, m, &pool);
-      const double seconds =
-          std::chrono::duration<double>(Clock::now() - start).count();
-      if (!unmasked.ok()) {
-        std::printf("masked round failed: %s\n",
-                    unmasked.status().ToString().c_str());
-        std::exit(1);
-      }
-      if (seconds < best_seconds) best_seconds = seconds;
-      sum = std::move(*unmasked);
-    }
-    if (threads == 1) {
-      reference = sum;
-    } else if (sum != reference) {
-      section.deterministic = false;
-    }
-    section.threads.push_back(threads);
-    section.best_seconds.push_back(best_seconds);
-  }
-  // One work item = one masked coordinate contribution (n_surv * n * d mask
-  // draws dominate).
-  const double work = static_cast<double>(survivors.size()) *
-                      static_cast<double>(participants) *
-                      static_cast<double>(dim);
-  PrintSection(section, work);
-  g_sections.push_back(std::move(section));
-}
-
-// ---------------------------------------------------------------------------
-// Section 5: the wire path — participants mask + frame ContributionMsg
-// bytes, the loopback transport carries them, and an AggregationSession
-// decodes each frame straight into the masked protocol's streaming sum
-// (dropout recovery deferred to Finalize). Measures the full
-// client -> frame -> session -> stream pipeline the sum harnesses now run.
-// ---------------------------------------------------------------------------
-
-void RunSessionMaskedSection(int participants, size_t dim, int repeats) {
-  secagg::MaskedAggregator::Options options;
-  options.num_participants = participants;
-  options.threshold = participants / 2;
-  options.session_seed = 79;
-  auto aggregator = secagg::MaskedAggregator::Create(options);
-  if (!aggregator.ok()) {
-    std::printf("masked aggregator creation failed: %s\n",
-                aggregator.status().ToString().c_str());
-    std::exit(1);
-  }
-  const uint64_t m = 1 << 16;
-  RandomGenerator rng(37);
-  std::vector<std::vector<uint64_t>> inputs(
-      static_cast<size_t>(participants), std::vector<uint64_t>(dim));
-  for (auto& v : inputs) {
-    for (auto& x : v) x = rng.UniformUint64(m);
-  }
-  // The last two participants drop out: they never send a frame, and the
-  // session recovers their leftover masks at Finalize.
-  const int contributors = participants - 2;
-
-  Section section;
-  section.name = "session_masked";
-  section.dim = dim;
-  section.participants = static_cast<size_t>(participants);
-  std::printf(
-      "AggregationSession over frames: dim=%zu, participants=%d "
-      "(2 dropouts)\n", dim, participants);
-  PrintRow("  threads", {"1", "2", "4", "8"}, 14, 12);
-  std::vector<uint64_t> reference;
-  for (int threads : kThreadCounts) {
-    ThreadPool pool(threads);
-    double best_seconds = 1e300;
-    std::vector<uint64_t> sum;
-    for (int r = 0; r < repeats; ++r) {
-      const auto start = Clock::now();
-      secagg::AggregationSession::Options session_options;
-      session_options.dim = dim;
-      session_options.modulus = m;
-      session_options.pool = &pool;
-      // Trusted in-process clients: absorb one sharded tile at a time (the
-      // shared per-thread tile sizing the encode paths use).
-      session_options.tile_rows = DefaultTileRows(threads);
-      auto session =
-          secagg::AggregationSession::Open(**aggregator, session_options);
-      if (!session.ok()) {
-        std::printf("session open failed: %s\n",
-                    session.status().ToString().c_str());
-        std::exit(1);
-      }
-      secagg::InMemoryTransport loopback;
-      secagg::FrameTransport& transport = loopback;
-      for (int p = 0; p < contributors; ++p) {
-        secagg::ContributionMsg msg;
-        msg.participant_id = p;
-        msg.modulus = m;
-        auto masked = (*aggregator)->PrepareContribution(
-            p, inputs[static_cast<size_t>(p)], m, &pool);
-        if (!masked.ok()) {
-          std::printf("masking failed: %s\n",
-                      masked.status().ToString().c_str());
-          std::exit(1);
-        }
-        msg.payload = std::move(*masked);
-        auto frame = secagg::EncodeFrame(msg);
-        if (!frame.ok()) {
-          std::printf("framing failed: %s\n",
-                      frame.status().ToString().c_str());
-          std::exit(1);
-        }
-        if (!transport.Send(p, std::move(*frame)).ok() ||
-            !(*session)->DrainTransport(transport).ok()) {
-          std::printf("frame delivery failed\n");
-          std::exit(1);
-        }
-      }
-      auto finalized = (*session)->Finalize();
-      const double seconds =
-          std::chrono::duration<double>(Clock::now() - start).count();
-      if (!finalized.ok()) {
-        std::printf("finalize failed: %s\n",
-                    finalized.status().ToString().c_str());
-        std::exit(1);
-      }
-      if (seconds < best_seconds) best_seconds = seconds;
-      sum = std::move(finalized->sum);
-    }
-    if (threads == 1) {
-      reference = sum;
-    } else if (sum != reference) {
-      section.deterministic = false;
-    }
-    section.threads.push_back(threads);
-    section.best_seconds.push_back(best_seconds);
-  }
-  // Work model mirrors masked_secagg: the O(contributors * n * d) mask
-  // expansion dominates; framing adds O(contributors * d) byte shuffling.
-  const double work = static_cast<double>(contributors) *
-                      static_cast<double>(participants) *
-                      static_cast<double>(dim);
-  PrintSection(section, work);
-  g_sections.push_back(std::move(section));
-}
-
-// ---------------------------------------------------------------------------
-// Section: the async TCP aggregation server — many small ideal-aggregator
-// rounds driven over real loopback sockets by concurrent client threads,
-// swept across event-loop thread counts. Measures the service layer the
-// net/ subsystem adds (accept + epoll + reassembly + session dispatch +
-// broadcast), not the arithmetic: the per-round math is tiny by design so
-// the numbers track sessions/sec and frames/sec of the event loops. Every
-// broadcast sum is verified against the exact modular sum; a mismatch
-// fails the harness like a determinism violation.
-// ---------------------------------------------------------------------------
-
-void RunServerSessionsSection(Scale scale) {
-  constexpr int kLoopCounts[] = {1, 4, 8};
-  constexpr int kDriverThreads = 4;
-  constexpr size_t kContribPerSession = 8;
-  constexpr size_t kDim = 64;
-  constexpr uint64_t kModulus = uint64_t{1} << 32;
-  const size_t sessions = scale == Scale::kFast ? 64 : 256;
-
-  // Probe support once: non-Linux builds skip the section gracefully.
-  {
-    auto probe = net::AggregationServer::Start();
-    if (!probe.ok()) {
-      std::printf("TCP server sessions: skipped (%s)\n",
-                  probe.status().ToString().c_str());
-      return;
-    }
-  }
-
-  ServerSessionsResult result;
-  result.name = "ideal_rounds";
-  result.sessions = sessions;
-  result.contributions_per_session = kContribPerSession;
-  result.dim = kDim;
-
-  const auto payload_value = [](size_t session, size_t p, size_t j) {
-    return (session * 2654435761ULL + p * 97 + j * 13 + 1) % kModulus;
-  };
-
-  std::printf(
-      "TCP server sessions (ideal rounds over loopback): sessions=%zu, "
-      "contributions/session=%zu, dim=%zu, client threads=%d\n",
-      sessions, kContribPerSession, kDim, kDriverThreads);
-  PrintRow("  event loops", {"1", "4", "8"}, 14, 12);
-  for (const int loops : kLoopCounts) {
-    secagg::IdealAggregator aggregator;
-    net::AggregationServer::Options options;
-    options.event_loop_threads = loops;
-    auto server = net::AggregationServer::Start(options);
-    if (!server.ok()) {
-      std::printf("server start failed: %s\n",
-                  server.status().ToString().c_str());
-      std::exit(1);
-    }
-
-    const auto start = Clock::now();
-    std::vector<net::AggregationServer::SessionInfo> infos(sessions);
-    for (size_t s = 0; s < sessions; ++s) {
-      net::AggregationServer::SessionOptions session_options;
-      session_options.session.dim = kDim;
-      session_options.session.modulus = kModulus;
-      session_options.expected_contributions = kContribPerSession;
-      auto info = (*server)->OpenSession(aggregator, session_options);
-      if (!info.ok()) {
-        std::printf("open session failed: %s\n",
-                    info.status().ToString().c_str());
-        std::exit(1);
-      }
-      infos[s] = *info;
-    }
-    std::vector<int> mismatches(kDriverThreads, 0);
-    std::vector<std::thread> drivers;
-    for (int t = 0; t < kDriverThreads; ++t) {
-      drivers.emplace_back([&, t] {
-        for (size_t s = static_cast<size_t>(t); s < sessions;
-             s += kDriverThreads) {
-          std::vector<net::BlockingClient> clients;
-          for (size_t p = 0; p < kContribPerSession; ++p) {
-            auto client = net::BlockingClient::Connect(infos[s].port);
-            if (!client.ok()) {
-              ++mismatches[static_cast<size_t>(t)];
-              return;
-            }
-            secagg::ContributionMsg msg;
-            msg.participant_id = static_cast<int>(p);
-            msg.modulus = kModulus;
-            msg.payload.resize(kDim);
-            for (size_t j = 0; j < kDim; ++j) {
-              msg.payload[j] = payload_value(s, p, j);
-            }
-            if (!client->SendContribution(msg).ok() ||
-                !client->FinishSending().ok()) {
-              ++mismatches[static_cast<size_t>(t)];
-              return;
-            }
-            clients.push_back(std::move(*client));
-          }
-          std::vector<uint64_t> expected(kDim, 0);
-          for (size_t p = 0; p < kContribPerSession; ++p) {
-            for (size_t j = 0; j < kDim; ++j) {
-              expected[j] = (expected[j] + payload_value(s, p, j)) % kModulus;
-            }
-          }
-          auto sum = clients.front().ReadSum();
-          if (!sum.ok() || sum->sum != expected) {
-            ++mismatches[static_cast<size_t>(t)];
-          }
-        }
-      });
-    }
-    for (auto& driver : drivers) driver.join();
-    (*server)->Stop();
-    const double seconds =
-        std::chrono::duration<double>(Clock::now() - start).count();
-    for (const int m : mismatches) {
-      if (m != 0) result.sums_exact = false;
-    }
-    result.threads.push_back(loops);
-    result.seconds.push_back(seconds);
-  }
-
-  std::vector<std::string> session_cells, frame_cells;
-  for (size_t i = 0; i < result.seconds.size(); ++i) {
-    session_cells.push_back(FormatSci(result.sessions_per_sec(i)));
-    frame_cells.push_back(FormatSci(result.frames_per_sec(i)));
-  }
-  PrintRow("  sessions/sec", session_cells, 14, 12);
-  PrintRow("  frames/sec", frame_cells, 14, 12);
-  std::printf("  broadcast sums: %s\n",
-              result.sums_exact ? "exact" : "MISMATCH (bug!)");
-  std::printf("SPEEDUP_SUMMARY section=server_sessions sessions=%zu dim=%zu "
-              "speedup_8loops=%.2fx\n",
-              sessions, kDim,
-              result.seconds[0] / result.seconds[result.seconds.size() - 1]);
-  const bool exact = result.sums_exact;
-  g_server_results.push_back(std::move(result));
-  if (!exact) std::exit(1);
-}
-
-// ---------------------------------------------------------------------------
-// Section 6: the SIMD kernel layer, scalar reference vs dispatched table at
-// a single thread. Every case cross-checks bit-identity (scalar output ==
-// dispatched output) before timing; a mismatch is a dispatch-layer bug and
-// fails the harness like a determinism violation.
-// ---------------------------------------------------------------------------
-
-void RunOneSimdCase(const char* name, size_t elements, int repeats,
-                    const std::function<void()>& reset,
-                    const std::function<void(const smm::simd::Kernels&)>& run,
-                    const unsigned char* out, size_t out_bytes) {
-  SimdKernelResult result;
-  result.name = name;
-  result.elements = elements;
-
-  std::vector<unsigned char> scalar_snapshot(out_bytes);
-  reset();
-  run(smm::simd::ScalarKernels());
-  std::memcpy(scalar_snapshot.data(), out, out_bytes);
-  reset();
-  run(smm::simd::Active());
-  result.identical = std::memcmp(scalar_snapshot.data(), out, out_bytes) == 0;
-
-  const auto best_seconds = [&](const smm::simd::Kernels& kernels) {
-    double best = 1e300;
-    for (int r = 0; r < repeats; ++r) {
-      reset();
-      const auto start = Clock::now();
-      run(kernels);
-      const double seconds =
-          std::chrono::duration<double>(Clock::now() - start).count();
-      if (seconds < best) best = seconds;
-    }
-    return best;
-  };
-  result.scalar_seconds = best_seconds(smm::simd::ScalarKernels());
-  result.dispatch_seconds = best_seconds(smm::simd::Active());
-
-  const double e = static_cast<double>(elements);
-  PrintRow("  " + result.name,
-           {FormatSci(e / result.scalar_seconds),
-            FormatSci(e / result.dispatch_seconds),
-            FormatSci(result.speedup()),
-            result.identical ? "yes" : "MISMATCH"},
-           22, 14);
-  std::printf("SIMD_KERNEL name=%s elements=%zu speedup=%.2fx "
-              "identical=%s\n",
-              result.name.c_str(), result.elements, result.speedup(),
-              result.identical ? "yes" : "no");
-  const bool identical = result.identical;
-  g_simd_results.push_back(std::move(result));
-  if (!identical) {
-    std::printf("SIMD dispatch bit-identity violation in %s\n", name);
-    std::exit(1);
-  }
-}
-
-void RunSimdKernelSection(Scale scale) {
-  const size_t n = scale == Scale::kFast ? (1u << 20) : (1u << 22);
-  const int repeats = scale == Scale::kFast ? 3 : 5;
-  const uint64_t m = 18446744073709551557ULL;  // 2^64 - 59: wrap-prone.
-
-  std::printf(
-      "SIMD kernels: single-thread scalar reference vs dispatched (%s), "
-      "n=%zu, m=2^64-59\n",
-      smm::simd::Active().name, n);
-  PrintRow("  kernel",
-           {"scalar el/s", "dispatch el/s", "speedup", "identical"}, 22, 14);
-
-  RandomGenerator rng(43);
-  // Shared inputs: centered signed values (the wrap fast path's home turf),
-  // reduced residues, and Gaussian doubles.
-  std::vector<int64_t> signed_vals(n);
-  for (auto& v : signed_vals) {
-    v = static_cast<int64_t>(rng.UniformUint64(m)) -
-        static_cast<int64_t>(m / 2);
-  }
-  std::vector<uint64_t> residues(n);
-  for (auto& v : residues) v = rng.UniformUint64(m);
-  std::vector<uint64_t> residues_b(n);
-  for (auto& v : residues_b) v = rng.UniformUint64(m);
-  std::vector<double> reals(n);
-  for (auto& v : reals) v = rng.Gaussian(0.0, 100.0);
-
-  std::vector<uint64_t> u64_out(n);
-  std::vector<int64_t> i64_out(n);
-  std::vector<uint64_t> acc(n);
-  std::vector<double> real_work(n);
-  std::vector<double> flr(n), frac(n);
-
-  RunOneSimdCase(
-      "wrap_centered", n, repeats, [] {},
-      [&](const smm::simd::Kernels& k) {
-        k.wrap_centered_into(signed_vals.data(), n, m, u64_out.data());
-      },
-      reinterpret_cast<const unsigned char*>(u64_out.data()),
-      n * sizeof(uint64_t));
-  RunOneSimdCase(
-      "center_lift", n, repeats, [] {},
-      [&](const smm::simd::Kernels& k) {
-        k.center_lift_into(residues.data(), n, m, i64_out.data());
-      },
-      reinterpret_cast<const unsigned char*>(i64_out.data()),
-      n * sizeof(int64_t));
-  RunOneSimdCase(
-      "add_mod", n, repeats,
-      [&] { std::memcpy(acc.data(), residues.data(), n * sizeof(uint64_t)); },
-      [&](const smm::simd::Kernels& k) {
-        k.add_mod_vec(acc.data(), residues_b.data(), n, m);
-      },
-      reinterpret_cast<const unsigned char*>(acc.data()),
-      n * sizeof(uint64_t));
-  RunOneSimdCase(
-      "sub_mod", n, repeats,
-      [&] { std::memcpy(acc.data(), residues.data(), n * sizeof(uint64_t)); },
-      [&](const smm::simd::Kernels& k) {
-        k.sub_mod_vec(acc.data(), residues_b.data(), n, m);
-      },
-      reinterpret_cast<const unsigned char*>(acc.data()),
-      n * sizeof(uint64_t));
-  RunOneSimdCase(
-      "mod_reduce", n, repeats, [] {},
-      [&](const smm::simd::Kernels& k) {
-        k.mod_reduce_into(residues.data(), n, m, u64_out.data());
-      },
-      reinterpret_cast<const unsigned char*>(u64_out.data()),
-      n * sizeof(uint64_t));
-  RunOneSimdCase(
-      "scale_round_prep", n, repeats, [] {},
-      [&](const smm::simd::Kernels& k) {
-        k.floor_fract_scaled(reals.data(), n, 64.0, flr.data(), frac.data());
-      },
-      reinterpret_cast<const unsigned char*>(frac.data()),
-      n * sizeof(double));
-  RunOneSimdCase(
-      "wht_butterfly", n, repeats,
-      [&] {
-        std::memcpy(real_work.data(), reals.data(), n * sizeof(double));
-      },
-      [&](const smm::simd::Kernels& k) {
-        // One full stage at the cache-block span the transform's phase-1
-        // stages use.
-        k.wht_butterfly_pass(real_work.data(), n, 1024);
-      },
-      reinterpret_cast<const unsigned char*>(real_work.data()),
-      n * sizeof(double));
-  RunOneSimdCase(
-      "scale", n, repeats,
-      [&] {
-        std::memcpy(real_work.data(), reals.data(), n * sizeof(double));
-      },
-      [&](const smm::simd::Kernels& k) {
-        k.scale_inplace(real_work.data(), n, 1.00000001);
-      },
-      reinterpret_cast<const unsigned char*>(real_work.data()),
-      n * sizeof(double));
-}
-
-// ---------------------------------------------------------------------------
-// Section 7: the fused three-sweep encode pipeline vs the historical
-// per-pass path, single-threaded. A cheap-noise cpSGD configuration at
-// large dim keeps the comparison memory-bound — exactly the regime the
-// fusion targets: ~9 full-row passes collapse into one raw rotate plus
-// three L1-resident blocked sweeps. Sampling-heavy mechanisms (SMM/DDG)
-// spend most of their encode clock in noise draws, which fusion neither
-// helps nor harms, so they would only dilute the signal measured here.
-// Bit-identity between the two paths is cross-checked before timing; a
-// mismatch fails the harness.
-// ---------------------------------------------------------------------------
-
-void RunEncodeFusedSection(Scale scale) {
-  const size_t dim = scale == Scale::kFast ? (1u << 14) : (1u << 16);
-  const size_t participants = 8;
-  const int repeats = scale == Scale::kFast ? 5 : 11;
-
-  mechanisms::CpSgdMechanism::Options o;
-  o.dim = dim;
-  o.gamma = 64.0;
-  o.l2_bound = 1.0;
-  o.binomial_trials = 8;  // Popcount-exact: one generator word per draw.
-  o.modulus = 1 << 16;
-  o.rotation_seed = 101;
-  auto mech = mechanisms::CpSgdMechanism::Create(o).value();
-  const auto inputs = MakeInputs(participants, dim);
-
-  FusedEncodeResult result;
-  result.name = "cpsgd_cheap_noise";
-  result.dim = dim;
-  result.participants = participants;
-
-  // One timed run of either path with identical fresh streams; returns the
-  // wall seconds and leaves the encodings in `out`. The workspace and `out`
-  // rows persist across repeats (fully overwritten each run), so the timed
-  // region measures the encode pipeline, not the allocator faulting in
-  // fresh pages — the warm-up pass below pre-sizes both.
-  mechanisms::EncodeWorkspace workspace;
-  const auto run_once = [&](bool fused,
-                            std::vector<std::vector<uint64_t>>& out) {
-    RandomGenerator rng(4242);
-    std::vector<RandomGenerator> streams =
-        MakeParticipantStreams(rng, inputs.size());
-    out.resize(inputs.size());
-    const auto start = Clock::now();
-    const Status status =
-        fused ? mech->EncodeBatch(inputs, 0, inputs.size(), streams.data(),
-                                  workspace, &out)
-              : mech->EncodeBatchUnfused(inputs, 0, inputs.size(),
-                                         streams.data(), workspace, &out);
-    const double seconds =
-        std::chrono::duration<double>(Clock::now() - start).count();
-    if (!status.ok()) {
-      std::printf("fused-section encode failed: %s\n",
-                  status.ToString().c_str());
-      std::exit(1);
-    }
-    return seconds;
-  };
-
-  std::printf(
-      "Fused encode pipeline (cpSGD, trials=8): dim=%zu, participants=%zu, "
-      "single thread, dispatch=%s\n",
-      dim, participants, smm::simd::Active().name);
-  std::vector<std::vector<uint64_t>> unfused_out, fused_out;
-  run_once(false, unfused_out);  // Untimed warm-up: faults in workspace
-  run_once(true, fused_out);     // and output pages for both paths.
-  result.unfused_seconds = 1e300;
-  result.fused_seconds = 1e300;
-  for (int r = 0; r < repeats; ++r) {
-    result.unfused_seconds =
-        std::min(result.unfused_seconds, run_once(false, unfused_out));
-    result.fused_seconds =
-        std::min(result.fused_seconds, run_once(true, fused_out));
-  }
-  result.identical = fused_out == unfused_out;
-
-  const double elements =
-      static_cast<double>(participants) * static_cast<double>(dim);
-  PrintRow("  path", {"unfused el/s", "fused el/s", "ratio", "identical"},
-           22, 14);
-  PrintRow("  encode_fused",
-           {FormatSci(elements / result.unfused_seconds),
-            FormatSci(elements / result.fused_seconds),
-            FormatSci(result.speedup()),
-            result.identical ? "yes" : "MISMATCH"},
-           22, 14);
-  std::printf("SPEEDUP_SUMMARY section=encode_fused dim=%zu participants=%zu "
-              "fused_vs_unfused=%.2fx\n",
-              dim, participants, result.speedup());
-  const bool identical = result.identical;
-  g_fused_results.push_back(std::move(result));
-  if (!identical) {
-    std::printf("fused/unfused bit-identity violation\n");
-    std::exit(1);
-  }
-}
-
-void Run(Scale scale, const char* json_path) {
-  const size_t dim = scale == Scale::kFast ? (1u << 10) : (1u << 14);
-  const size_t participants = scale == Scale::kFull ? 64 : 32;
-  const int repeats = scale == Scale::kFast ? 2 : 3;
-  const auto inputs = MakeInputs(participants, dim);
+int Main(int argc, char** argv) {
+  RegisterAllScenarios();
+  const Scale scale = ParseScale(argc, argv);
+  const char* json_path = ParseJsonPath(argc, argv);
 
   std::printf("Aggregation thread scaling (%s). Hardware threads: %d\n",
               ScaleName(scale), ThreadPool::HardwareThreads());
   std::printf(
       "Note: speedups > 1 require as many physical cores as threads.\n\n");
 
-  {
-    mechanisms::SmmMechanism::Options o;
-    o.dim = dim;
-    o.gamma = 64.0;
-    o.c = 4096.0;
-    o.delta_inf = 64.0;
-    o.lambda = 2.0;
-    o.modulus = 1 << 16;
-    o.rotation_seed = 99;
-    auto mech = mechanisms::SmmMechanism::Create(o).value();
-    RunEncodeSection("encode_smm", *mech, inputs, repeats);
+  RunOptions options;
+  options.scale = scale;
+  auto report = RunMatrix(/*filter=*/"", options);
+  if (!report.ok()) {
+    std::printf("benchmark failed: %s\n",
+                report.status().ToString().c_str());
+    return 1;
   }
-  std::printf("\n");
-  {
-    mechanisms::DdgMechanism::Options o;
-    o.dim = dim;
-    o.gamma = 64.0;
-    o.l2_bound = 1.0;
-    o.sigma = 2.0;
-    o.modulus = 1 << 16;
-    o.rotation_seed = 99;
-    auto mech = mechanisms::DdgMechanism::Create(o).value();
-    RunEncodeSection("encode_ddg", *mech, inputs, repeats);
-  }
-  std::printf("\n");
-  RunRotationSection(/*batch=*/scale == Scale::kFast ? 64 : 256, dim,
-                     repeats);
-  std::printf("\n");
-  RunStreamingSection(
-      /*participants=*/scale == Scale::kFast ? (1u << 14) : (1u << 17),
-      /*dim=*/scale == Scale::kFast ? (1u << 9) : (1u << 10), repeats);
-  std::printf("\n");
-  RunMaskedSecaggSection(
-      /*participants=*/scale == Scale::kFast ? 16 : 32,
-      /*dim=*/scale == Scale::kFast ? (1u << 9) : (1u << 11), repeats);
-  std::printf("\n");
-  RunSessionMaskedSection(
-      /*participants=*/scale == Scale::kFast ? 16 : 32,
-      /*dim=*/scale == Scale::kFast ? (1u << 9) : (1u << 11), repeats);
-  std::printf("\n");
-  RunServerSessionsSection(scale);
-  std::printf("\n");
-  RunSimdKernelSection(scale);
-  std::printf("\n");
-  RunEncodeFusedSection(scale);
 
-  if (json_path != nullptr) WriteJson(json_path, scale);
+  // Legacy per-section tables + SPEEDUP_SUMMARY lines, in the historical
+  // section order.
+  std::vector<LegacySection> sections;
+  for (const char* name : {"encode", "rotation_batch", "streaming_ideal",
+                           "masked_secagg", "session_masked"}) {
+    const ScenarioReport* scenario = report->Find(name);
+    if (scenario == nullptr) continue;
+    for (LegacySection& section : GroupByLabel(*scenario)) {
+      std::printf("\n");
+      PrintLegacySection(section, SectionWorkItems(section));
+      sections.push_back(std::move(section));
+    }
+  }
+
+  const ScenarioReport* server = report->Find("server_sessions");
+  if (server != nullptr && !server->runs.empty()) {
+    const RunRecord& first = server->runs.front();
+    const RunRecord& last = server->runs.back();
+    std::printf("\nTCP server sessions (ideal rounds over loopback): "
+                "sessions=%zu, contributions/session=%zu, dim=%zu\n",
+                first.params.participants,
+                static_cast<size_t>(
+                    first.Metric("contributions_per_session")),
+                first.params.dim);
+    std::vector<std::string> loop_cells, session_cells, frame_cells;
+    bool sums_exact = true;
+    for (const RunRecord& r : server->runs) {
+      loop_cells.push_back(std::to_string(r.params.threads));
+      session_cells.push_back(FormatSci(r.Metric("sessions_per_sec")));
+      frame_cells.push_back(FormatSci(r.Metric("frames_per_sec")));
+      sums_exact = sums_exact && r.bit_identical;
+    }
+    PrintRow("  event loops", loop_cells, 14, 12);
+    PrintRow("  sessions/sec", session_cells, 14, 12);
+    PrintRow("  frames/sec", frame_cells, 14, 12);
+    std::printf("  broadcast sums: %s\n",
+                sums_exact ? "exact" : "MISMATCH (bug!)");
+    std::printf("SPEEDUP_SUMMARY section=server_sessions sessions=%zu "
+                "dim=%zu speedup_8loops=%.2fx\n",
+                first.params.participants, first.params.dim,
+                first.seconds / last.seconds);
+  }
+
+  const ScenarioReport* simd_report = report->Find("simd_kernels");
+  if (simd_report != nullptr) {
+    std::printf("\nSIMD kernels: single-thread scalar reference vs "
+                "dispatched (%s)\n",
+                smm::simd::Active().name);
+    PrintRow("  kernel",
+             {"scalar el/s", "dispatch el/s", "speedup", "identical"}, 22,
+             14);
+    for (const RunRecord& r : simd_report->runs) {
+      PrintRow("  " + r.label,
+               {FormatSci(r.Metric("scalar_eps")),
+                FormatSci(r.Metric("dispatch_eps")),
+                FormatSci(r.Metric("speedup")),
+                r.bit_identical ? "yes" : "MISMATCH"},
+               22, 14);
+      std::printf("SIMD_KERNEL name=%s elements=%zu speedup=%.2fx "
+                  "identical=%s\n",
+                  r.label.c_str(), r.params.dim, r.Metric("speedup"),
+                  r.bit_identical ? "yes" : "no");
+    }
+  }
+
+  const ScenarioReport* fused = report->Find("encode_fused");
+  if (fused != nullptr) {
+    for (const RunRecord& r : fused->runs) {
+      std::printf("\nFused encode pipeline (cpSGD, trials=8): dim=%zu, "
+                  "participants=%zu, single thread, dispatch=%s\n",
+                  r.params.dim, r.params.participants,
+                  smm::simd::Active().name);
+      PrintRow("  path",
+               {"unfused el/s", "fused el/s", "ratio", "identical"}, 22, 14);
+      PrintRow("  encode_fused",
+               {FormatSci(r.Metric("unfused_eps")),
+                FormatSci(r.Metric("fused_eps")),
+                FormatSci(r.Metric("fused_vs_unfused")),
+                r.bit_identical ? "yes" : "MISMATCH"},
+               22, 14);
+      std::printf("SPEEDUP_SUMMARY section=encode_fused dim=%zu "
+                  "participants=%zu fused_vs_unfused=%.2fx\n",
+                  r.params.dim, r.params.participants,
+                  r.Metric("fused_vs_unfused"));
+    }
+  }
+
+  if (json_path != nullptr) {
+    WriteLegacyJson(json_path, scale, sections, *report);
+  }
+  if (!report->AllBitIdentical()) {
+    std::printf("bit-identity violation (see MISMATCH above)\n");
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace smm::bench
 
-int main(int argc, char** argv) {
-  smm::bench::Run(smm::bench::ParseScale(argc, argv),
-                  smm::bench::ParseJsonPath(argc, argv));
-  return 0;
-}
+int main(int argc, char** argv) { return smm::bench::Main(argc, argv); }

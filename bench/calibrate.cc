@@ -1,0 +1,228 @@
+// --calibrate: measures this host's best per-thread tile size, session
+// thread count, and per-kernel scalar/SIMD dispatch crossover, and returns
+// them as a RuntimeTuning ready to serialize as tuning.json. Every knob it
+// tunes is a pure performance parameter — the pinned bit-identity invariant
+// means any calibration outcome produces the same results, so a noisy sweep
+// can only cost speed, never correctness.
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "common/simd.h"
+#include "common/tuning.h"
+#include "mechanisms/baseline_mechanisms.h"
+#include "mechanisms/distributed_mechanism.h"
+#include "runner.h"
+#include "secagg/secure_aggregator.h"
+#include "simd_cases.h"
+
+namespace smm::bench {
+namespace {
+
+/// Sweeps tile_rows_per_thread over the batched encode pipeline (the
+/// heaviest consumer of the tile knob: EncodeBatch's rotation tiles and the
+/// per-thread chunking both derive from it). Installs each candidate via
+/// SetRuntimeTuning and times a cheap-noise cpSGD encode, so the sweep
+/// exercises exactly the code path production rounds run.
+StatusOr<size_t> SweepTileRows(Scale scale, int repeats, bool verbose) {
+  const size_t dim = scale == Scale::kFast ? (1u << 10) : (1u << 12);
+  const size_t participants = scale == Scale::kFast ? 64 : 128;
+  const int threads = std::min(4, std::max(1, ThreadPool::HardwareThreads()));
+
+  mechanisms::CpSgdMechanism::Options o;
+  o.dim = dim;
+  o.gamma = 64.0;
+  o.l2_bound = 1.0;
+  o.binomial_trials = 8;
+  o.modulus = 1 << 16;
+  o.rotation_seed = 101;
+  SMM_ASSIGN_OR_RETURN(auto mech, mechanisms::CpSgdMechanism::Create(o));
+  RandomGenerator input_rng(17);
+  std::vector<std::vector<double>> inputs(participants,
+                                          std::vector<double>(dim));
+  for (auto& x : inputs) {
+    for (auto& v : x) v = input_rng.Gaussian(0.0, 0.01);
+  }
+  ThreadPool pool(threads);
+
+  const size_t candidates[] = {8, 16, 32, 64, 128};
+  size_t best_tile = kTileRowsPerThread;
+  double best_seconds = 1e300;
+  for (const size_t candidate : candidates) {
+    RuntimeTuning tuning;
+    tuning.tile_rows_per_thread = candidate;
+    SetRuntimeTuning(tuning);
+    Status status = OkStatus();
+    const double seconds = BestOfN(repeats, [&] {
+      RandomGenerator rng(4242);
+      std::vector<RandomGenerator> streams =
+          MakeParticipantStreams(rng, inputs.size());
+      auto encoded =
+          mechanisms::EncodeBatchParallel(*mech, inputs, streams, &pool);
+      if (!encoded.ok()) status = encoded.status();
+    });
+    SMM_RETURN_IF_ERROR(status);
+    if (verbose) {
+      std::printf("  calibrate tile_rows_per_thread=%zu seconds=%.3e\n",
+                  candidate, seconds);
+    }
+    if (seconds < best_seconds) {
+      best_seconds = seconds;
+      best_tile = candidate;
+    }
+  }
+  return best_tile;
+}
+
+/// Sweeps the pool size of a streaming aggregation round (the session-side
+/// workload AggregateRound runs when FederatedConfig::num_threads is 0)
+/// and returns the fastest thread count on this host.
+StatusOr<int> SweepSessionThreads(Scale scale, int repeats, bool verbose) {
+  const size_t dim = scale == Scale::kFast ? (1u << 9) : (1u << 10);
+  constexpr size_t kTileRows = 256;
+  const size_t participants =
+      scale == Scale::kFast ? (1u << 11) : (1u << 13);
+  const uint64_t m = 18446744073709551557ULL;
+
+  RandomGenerator rng(23);
+  std::vector<std::vector<uint64_t>> tile(kTileRows,
+                                          std::vector<uint64_t>(dim));
+  for (auto& row : tile) {
+    for (auto& v : row) v = rng.UniformUint64(m);
+  }
+  std::vector<int> ids(kTileRows);
+  secagg::IdealAggregator aggregator;
+
+  std::vector<int> candidates;
+  const int hardware = std::max(1, ThreadPool::HardwareThreads());
+  for (int t = 1; t <= hardware && t <= 16; t *= 2) candidates.push_back(t);
+
+  int best_threads = 1;
+  double best_seconds = 1e300;
+  for (const int threads : candidates) {
+    ThreadPool pool(threads);
+    Status status = OkStatus();
+    const double seconds = BestOfN(repeats, [&] {
+      auto stream = aggregator.Open(dim, m, &pool);
+      if (!stream.ok()) {
+        status = stream.status();
+        return;
+      }
+      for (size_t begin = 0; begin < participants; begin += kTileRows) {
+        for (size_t i = 0; i < kTileRows; ++i) {
+          ids[i] = static_cast<int>((begin + i) % 1000000);
+        }
+        auto absorb = (*stream)->AbsorbTile(ids, tile);
+        if (!absorb.ok()) {
+          status = absorb;
+          return;
+        }
+      }
+      auto finalized = (*stream)->Finalize();
+      if (!finalized.ok()) status = finalized.status();
+    });
+    SMM_RETURN_IF_ERROR(status);
+    if (verbose) {
+      std::printf("  calibrate threads_per_session=%d seconds=%.3e\n",
+                  threads, seconds);
+    }
+    if (seconds < best_seconds) {
+      best_seconds = seconds;
+      best_threads = threads;
+    }
+  }
+  return best_threads;
+}
+
+/// Sweeps vector lengths per kernel and finds the smallest length where the
+/// dispatched table is at least as fast as the scalar reference. Times the
+/// tables directly (not through ForLength), so the crossovers installed in
+/// the process never skew their own measurement.
+std::vector<std::pair<std::string, size_t>> SweepDispatchCrossovers(
+    int repeats, bool verbose) {
+  const size_t lengths[] = {64, 128, 256, 512, 1024, 2048, 4096};
+  constexpr size_t kLengthCount = sizeof(lengths) / sizeof(lengths[0]);
+  constexpr size_t kWorkPerLength = size_t{1} << 20;
+
+  // crossover_found[case][length]: dispatched >= scalar at that length.
+  std::vector<std::array<bool, kLengthCount>> wins;
+  std::vector<std::pair<std::string, size_t>> result;
+
+  std::vector<const SimdCase*> case_order;
+  std::vector<simd::KernelId> ids;
+  std::vector<size_t> crossover;
+
+  for (size_t li = 0; li < kLengthCount; ++li) {
+    const size_t n = lengths[li];
+    const int iters = static_cast<int>(kWorkPerLength / n);
+    SimdCaseSet case_set(n);
+    if (li == 0) {
+      wins.assign(case_set.cases().size(), {});
+      for (const SimdCase& c : case_set.cases()) ids.push_back(c.id);
+    }
+    for (size_t ci = 0; ci < case_set.cases().size(); ++ci) {
+      const SimdCase& c = case_set.cases()[ci];
+      // One untimed reset up front; the iteration loop then reuses the
+      // buffers (in-place kernels stay in domain mod m; the drifting
+      // float kernels only drift, which x86 executes at full speed).
+      if (c.reset) c.reset();
+      const double scalar = BestOfN(repeats, [&] {
+        for (int i = 0; i < iters; ++i) c.run(simd::ScalarKernels());
+      });
+      if (c.reset) c.reset();
+      const double dispatched = BestOfN(repeats, [&] {
+        for (int i = 0; i < iters; ++i) c.run(simd::Active());
+      });
+      wins[ci][li] = dispatched <= scalar;
+      if (verbose) {
+        std::printf(
+            "  calibrate crossover kernel=%s n=%zu scalar=%.3e "
+            "dispatch=%.3e\n",
+            simd::KernelIdName(c.id), n, scalar, dispatched);
+      }
+    }
+  }
+
+  for (size_t ci = 0; ci < ids.size(); ++ci) {
+    // Smallest tested length from which the dispatched table wins and
+    // keeps winning; 0 (always dispatch) when it wins from the start,
+    // 2x the largest tested length when it never sustainably wins.
+    size_t threshold = lengths[kLengthCount - 1] * 2;
+    for (size_t li = kLengthCount; li-- > 0;) {
+      if (!wins[ci][li]) break;
+      threshold = lengths[li];
+    }
+    if (threshold == lengths[0]) threshold = 0;
+    result.emplace_back(simd::KernelIdName(ids[ci]), threshold);
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<RuntimeTuning> RunCalibration(Scale scale, bool verbose) {
+  const RuntimeTuning original = GetRuntimeTuning();
+  const int repeats = scale == Scale::kFast ? 2 : 3;
+
+  auto tile = SweepTileRows(scale, repeats, verbose);
+  // The tile sweep perturbs the process-wide tuning; put it back before
+  // any other consumer runs, whether or not the sweep succeeded.
+  SetRuntimeTuning(original);
+  SMM_RETURN_IF_ERROR(tile.status());
+  SMM_ASSIGN_OR_RETURN(const int session_threads,
+                       SweepSessionThreads(scale, repeats, verbose));
+
+  RuntimeTuning tuning;
+  tuning.tile_rows_per_thread = *tile;
+  tuning.threads_per_session = session_threads;
+  tuning.simd_crossover = SweepDispatchCrossovers(repeats, verbose);
+  tuning.source = "calibrated";
+  return tuning;
+}
+
+}  // namespace smm::bench

@@ -1,21 +1,33 @@
 #!/usr/bin/env python3
-"""Diffs two bench_scaling_threads --json artifacts and prints per-section
-speedup lines, so the per-PR perf trajectory is visible in CI logs.
+"""Diffs two bench JSON artifacts and prints per-section speedup lines, so
+the per-PR perf trajectory is visible in CI logs.
 
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json [--fail-below R]
 
-Compares, per thread-scaling section, the best single-thread seconds and the
-highest-thread-count seconds (throughput ratio new/old; > 1 is faster), and,
-per SIMD kernel, the dispatched elements/sec. A missing or unreadable
-baseline is not an error — the first run of a fresh trajectory prints the
-current numbers and exits 0, so the CI job that seeds the baseline cache
-passes. With --fail-below R (e.g. 0.5), exits 1 when any *simd kernel's*
-dispatched throughput ratio drops below R. Only the simd_kernels section
-gates: those loops are short, allocation-free, and best-of-N, so a 2x drop
-means a real kernel regression, not scheduler noise. The wall-time sections
-(thread scaling, end-to-end encode) stay informational at any threshold,
+Handles both artifact shapes and picks the diff automatically:
+
+  * bench_matrix artifacts (schema_version + scenarios): runs are matched
+    by (scenario, label, params) key. Scenarios marked "stable": true gate
+    the merge — with --fail-below R, exits 1 when any stable run's
+    items_per_sec ratio (new/old; > 1 is faster) drops below R, or when any
+    current run reports bit_identical false. Non-stable scenarios print
+    informational ratios only.
+  * legacy bench_scaling_threads artifacts: compares, per thread-scaling
+    section, the best single-thread seconds and the highest-thread-count
+    seconds, and, per SIMD kernel, the dispatched elements/sec; only the
+    simd_kernels ratios gate under --fail-below.
+
+In both shapes the gated set is deliberate: those loops are short,
+allocation-free, and best-of-N, so a 2x drop means a real kernel
+regression, not scheduler noise. The wall-time sections (thread scaling,
+end-to-end encode, TCP server) stay informational at any threshold,
 because shared CI runners jitter far too much to gate merges on them.
+
+A missing or unreadable baseline is not an error — the first run of a
+fresh trajectory prints the current numbers and exits 0, so the CI job
+that seeds the baseline cache passes. Mismatched scales or mismatched
+artifact shapes are likewise informational-only.
 """
 
 import json
@@ -48,6 +60,83 @@ def print_current_only(current):
               f"speedup_vs_scalar={k['speedup']:.2f}x")
 
 
+def is_matrix(report):
+    return report.get("bench") == "bench_matrix" and "scenarios" in report
+
+
+def run_key(scenario_name, run):
+    p = run.get("params", {})
+    return (scenario_name, run.get("label"), p.get("dim"),
+            p.get("participants"), p.get("dispatch"), p.get("threads"))
+
+
+def matrix_run_map(report):
+    runs = {}
+    for scenario in report.get("scenarios", []):
+        for run in scenario.get("runs", []):
+            runs[run_key(scenario["name"], run)] = run
+    return runs
+
+
+def print_matrix_current_only(current):
+    print("no readable baseline; current numbers (seeding the trajectory):")
+    for scenario in current.get("scenarios", []):
+        tag = "stable" if scenario.get("stable") else "info"
+        for run in scenario.get("runs", []):
+            print(f"  BENCH_POINT [{tag}] {scenario['name']}/{run['label']} "
+                  f"threads={run['params']['threads']} "
+                  f"items_per_sec={run['items_per_sec']:.3e} "
+                  f"bit_identical={run['bit_identical']}")
+
+
+def diff_matrix(baseline, current, fail_below):
+    """Diffs two bench_matrix artifacts; only stable scenarios gate."""
+    print(f"bench matrix regression check: "
+          f"baseline scale={baseline.get('scale')} "
+          f"vs current scale={current.get('scale')} "
+          f"(dispatch {baseline.get('host', {}).get('simd_dispatch', '?')} "
+          f"-> {current.get('host', {}).get('simd_dispatch', '?')})")
+    if baseline.get("scale") != current.get("scale"):
+        print("  scales differ; ratios are not comparable — "
+              "printing current only")
+        print_matrix_current_only(current)
+        return 0
+
+    base_runs = matrix_run_map(baseline)
+    worst = None
+    broken = []
+    for scenario in current.get("scenarios", []):
+        stable = bool(scenario.get("stable"))
+        tag = "stable" if stable else "info"
+        for run in scenario.get("runs", []):
+            if not run.get("bit_identical", True):
+                broken.append(f"{scenario['name']}/{run['label']}")
+            b = base_runs.get(run_key(scenario["name"], run))
+            if b is None or not b.get("items_per_sec"):
+                print(f"  BENCH_DIFF [{tag}] "
+                      f"{scenario['name']}/{run['label']} (new point) "
+                      f"items_per_sec={run['items_per_sec']:.3e}")
+                continue
+            r = run["items_per_sec"] / b["items_per_sec"]
+            if stable:
+                worst = min(worst, r) if worst is not None else r
+            print(f"  BENCH_DIFF [{tag}] "
+                  f"{scenario['name']}/{run['label']} "
+                  f"threads={run['params']['threads']} "
+                  f"throughput_ratio={fmt_ratio(r)} "
+                  f"bit_identical={run['bit_identical']}")
+
+    if broken:
+        print(f"FAIL: bit-identity violated in current artifact: "
+              f"{', '.join(broken)}")
+        return 1
+    if fail_below is not None and worst is not None and worst < fail_below:
+        print(f"FAIL: worst stable-scenario throughput ratio {worst:.2f} "
+              f"below threshold {fail_below}")
+        return 1
+    return 0
+
+
 def main(argv):
     if len(argv) < 3:
         print(__doc__)
@@ -64,8 +153,22 @@ def main(argv):
     try:
         baseline = load(argv[1])
     except (OSError, ValueError):
-        print_current_only(current)
+        if is_matrix(current):
+            print_matrix_current_only(current)
+        else:
+            print_current_only(current)
         return 0
+
+    if is_matrix(current) != is_matrix(baseline):
+        print("artifact shapes differ (legacy vs matrix); "
+              "not comparable — printing current only")
+        if is_matrix(current):
+            print_matrix_current_only(current)
+        else:
+            print_current_only(current)
+        return 0
+    if is_matrix(current):
+        return diff_matrix(baseline, current, fail_below)
 
     print(f"bench regression check: baseline scale={baseline.get('scale')} "
           f"vs current scale={current.get('scale')} "

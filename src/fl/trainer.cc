@@ -7,6 +7,7 @@
 #include "accounting/calibration.h"
 #include "accounting/mechanism_rdp.h"
 #include "common/bit_util.h"
+#include "common/tuning.h"
 #include "mechanisms/baseline_mechanisms.h"
 #include "mechanisms/clipping.h"
 #include "mechanisms/conditional_rounding.h"
@@ -66,7 +67,10 @@ StatusOr<std::unique_ptr<FederatedTrainer>> FederatedTrainer::Create(
   }
   auto trainer = std::unique_ptr<FederatedTrainer>(new FederatedTrainer(
       std::move(model), std::move(train), std::move(test), config));
-  const int threads = config.num_threads == 0 ? ThreadPool::HardwareThreads()
+  // num_threads == 0 means "auto": the calibrated threads-per-session when
+  // a tuning was loaded (one trainer round is one aggregation session),
+  // else hardware concurrency — the historical resolution.
+  const int threads = config.num_threads == 0 ? TunedSessionThreads()
                                               : config.num_threads;
   if (threads > 1) trainer->pool_ = std::make_unique<ThreadPool>(threads);
   trainer->padded_dim_ = NextPowerOfTwo(trainer->model_.num_parameters());
@@ -255,12 +259,13 @@ StatusOr<std::vector<double>> FederatedTrainer::AggregateRound(
   const size_t model_dim = model_.num_parameters();
   const size_t count = participant_indices.size();
   const int threads = pool_ != nullptr ? pool_->num_threads() : 1;
-  // One batched-rotation tile of gradients/encodings per thread stays
-  // resident per round, so peak round memory is O(threads·d) independent of
-  // how many participants the Poisson sample drew. The tile size never
-  // affects results: gradients and encodings depend only on the
-  // participant, and the streamed modular sum is exact.
-  const size_t tile_size = DefaultTileRows(threads);
+  // One tile of gradients/encodings per thread stays resident per round, so
+  // peak round memory is O(threads·d) independent of how many participants
+  // the Poisson sample drew. The tile size comes from the runtime tuning
+  // (DefaultTileRows when none is loaded) and never affects results:
+  // gradients and encodings depend only on the participant, and the
+  // streamed modular sum is exact.
+  const size_t tile_size = TunedTileRows(threads);
 
   // Integer mechanism path: one streaming aggregation session per round.
   // Tiles are encoded and absorbed as they are produced, so the round never

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/simd.h"
+#include "common/tuning.h"
 #include "mechanisms/clipping.h"
 #include "mechanisms/conditional_rounding.h"
 #include "secagg/session.h"
@@ -17,10 +18,11 @@ namespace smm::mechanisms {
 namespace {
 
 /// Participants per batched-rotation tile in the shared EncodeBatch: bounds
-/// workspace.batch to kRotationTile * dim doubles per thread while still
-/// amortizing one batched Walsh-Hadamard dispatch over many rows. The tile
+/// workspace.batch to RotationTile() * dim doubles per thread while still
+/// amortizing one batched Walsh-Hadamard dispatch over many rows. Sized by
+/// the runtime tuning (kTileRowsPerThread when none is loaded); the tile
 /// size never affects results (rotation consumes no randomness).
-constexpr size_t kRotationTile = kTileRowsPerThread;
+size_t RotationTile() { return TunedTileRowsPerThread(); }
 
 /// Block size (in doubles / int64s) for the fused encode sweeps: 2048
 /// elements = 16 KiB, matching the Walsh-Hadamard kernel's cache block, so
@@ -76,8 +78,9 @@ Status RotatedModularMechanism::EncodeBatch(
   }
   const size_t d = codec_.dim();
   EncodeCounters counters;
-  for (size_t tile = begin; tile < end; tile += kRotationTile) {
-    const size_t tile_end = std::min(end, tile + kRotationTile);
+  const size_t rotation_tile = RotationTile();
+  for (size_t tile = begin; tile < end; tile += rotation_tile) {
+    const size_t tile_end = std::min(end, tile + rotation_tile);
     // Raw batched rotate (butterflies + sign flips only): normalization and
     // gamma move into FusedEncodeRow's first blocked sweep. Rotation draws
     // no randomness, so tiling never changes the encoding.
@@ -99,8 +102,9 @@ Status RotatedModularMechanism::EncodeBatchUnfused(
     std::vector<std::vector<uint64_t>>* out) {
   const size_t d = codec_.dim();
   EncodeCounters counters;
-  for (size_t tile = begin; tile < end; tile += kRotationTile) {
-    const size_t tile_end = std::min(end, tile + kRotationTile);
+  const size_t rotation_tile = RotationTile();
+  for (size_t tile = begin; tile < end; tile += rotation_tile) {
+    const size_t tile_end = std::min(end, tile + rotation_tile);
     // One batched rotate + scale pass over the whole tile. The per-row
     // result is bit-identical to RotateScaleInto, and rotation draws no
     // randomness, so tiling never changes the encoding.
@@ -275,7 +279,7 @@ StatusOr<std::vector<double>> RunDistributedSum(
   // before the frames drain into the aggregation stream. The tile size
   // never affects results (encoding reads only per-participant streams, and
   // absorption is exact mod m).
-  const size_t tile_size = DefaultTileRows(threads);
+  const size_t tile_size = TunedTileRows(threads);
 
   // The full client -> server message flow: each tile of participants is
   // encoded in place, prepared for the wire (masked, under the masked

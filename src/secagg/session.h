@@ -86,13 +86,6 @@ class AggregationSession {
   /// decide whether to keep draining.
   Status DrainTransport(FrameTransport& transport);
 
-  /// Deprecated forwarder, kept for one release while callers migrate to
-  /// the FrameTransport interface overload above.
-  [[deprecated("pass a FrameTransport&")]] Status DrainTransport(
-      InMemoryTransport& transport) {
-    return DrainTransport(static_cast<FrameTransport&>(transport));
-  }
-
   /// Completes the round: runs the stream's deferred work (e.g. Shamir
   /// dropout recovery for participants that never contributed) and returns
   /// the aggregated sum as a ready-to-frame SumMsg. The session is consumed.

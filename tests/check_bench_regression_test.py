@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench tooling: check_bench_regression.py's diff and
+gating logic (both the legacy bench_scaling_threads shape and the
+schema-versioned bench_matrix shape) and validate_bench_artifact.py's
+mini JSON-Schema validator. Registered with ctest so the merge gate's own
+logic is itself gated.
+"""
+
+import copy
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "bench"))
+
+import check_bench_regression as cbr  # noqa: E402
+import validate_bench_artifact as vba  # noqa: E402
+
+
+def matrix_artifact(eps=1.0e9, stable=True, bit_identical=True,
+                    scale="fast"):
+    return {
+        "schema_version": 1,
+        "bench": "bench_matrix",
+        "scale": scale,
+        "host": {"hardware_threads": 8, "simd_dispatch": "avx2"},
+        "tuning": {"source": "defaults", "tile_rows_per_thread": 32,
+                   "threads_per_session": 0},
+        "scenarios": [
+            {"name": "simd_kernels", "stable": stable, "runs": [
+                {"label": "add_mod",
+                 "params": {"mechanism": "none", "modulus_class": "prime64",
+                            "modulus": 97, "dim": 1048576,
+                            "participants": 0, "dropout_rate": 0.0,
+                            "corrupt_frame_rate": 0.0,
+                            "dispatch": "scalar_vs_active", "threads": 1},
+                 "seconds": 1048576 / eps, "items_per_sec": eps,
+                 "bit_identical": bit_identical,
+                 "metrics": {"speedup": 2.0}},
+            ]},
+            {"name": "encode", "stable": False, "runs": [
+                {"label": "encode_smm",
+                 "params": {"mechanism": "smm", "modulus_class": "pow2_16",
+                            "modulus": 65536, "dim": 1024,
+                            "participants": 32, "dropout_rate": 0.0,
+                            "corrupt_frame_rate": 0.0,
+                            "dispatch": "active", "threads": 2},
+                 "seconds": 0.5, "items_per_sec": 2.0e6,
+                 "bit_identical": True, "metrics": {}},
+            ]},
+        ],
+    }
+
+
+def legacy_artifact(dispatch_eps=1.0e9, scale="fast"):
+    return {
+        "bench": "bench_scaling_threads",
+        "scale": scale,
+        "hardware_threads": 8,
+        "simd_dispatch": "avx2",
+        "sections": [
+            {"name": "encode", "dim": 1024, "participants": 32,
+             "threads": [1, 8], "seconds": [1.0, 0.2],
+             "bit_identical": True},
+        ],
+        "encode_fused": [
+            {"name": "cpsgd_cheap_noise", "dim": 16384,
+             "unfused_seconds": 1.0, "fused_seconds": 0.5,
+             "unfused_eps": 1.0e6, "fused_eps": 2.0e6,
+             "fused_vs_unfused": 2.0, "bit_identical": True},
+        ],
+        "simd_kernels": [
+            {"name": "add_mod", "elements": 1 << 20,
+             "scalar_eps": 5.0e8, "dispatch_eps": dispatch_eps,
+             "speedup": dispatch_eps / 5.0e8, "identical": True},
+        ],
+    }
+
+
+class ArtifactFixtureMixin:
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def write(self, name, report):
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w") as f:
+            json.dump(report, f)
+        return path
+
+    def run_check(self, baseline, current, *extra):
+        argv = ["check_bench_regression.py", baseline, current, *extra]
+        return cbr.main(argv)
+
+
+class LegacyDiffTest(ArtifactFixtureMixin, unittest.TestCase):
+    def test_identical_reports_pass_under_gate(self):
+        p = self.write("a.json", legacy_artifact())
+        self.assertEqual(self.run_check(p, p, "--fail-below", "0.5"), 0)
+
+    def test_kernel_regression_fails_gate(self):
+        base = self.write("base.json", legacy_artifact(dispatch_eps=1.0e9))
+        cur = self.write("cur.json", legacy_artifact(dispatch_eps=0.4e9))
+        self.assertEqual(self.run_check(base, cur, "--fail-below", "0.5"), 1)
+
+    def test_kernel_regression_informational_without_gate(self):
+        base = self.write("base.json", legacy_artifact(dispatch_eps=1.0e9))
+        cur = self.write("cur.json", legacy_artifact(dispatch_eps=0.4e9))
+        self.assertEqual(self.run_check(base, cur), 0)
+
+    def test_missing_baseline_seeds_trajectory(self):
+        cur = self.write("cur.json", legacy_artifact())
+        self.assertEqual(
+            self.run_check("/nonexistent/base.json", cur,
+                           "--fail-below", "0.5"), 0)
+
+    def test_scale_mismatch_is_informational(self):
+        base = self.write("base.json",
+                          legacy_artifact(dispatch_eps=1.0e9, scale="full"))
+        cur = self.write("cur.json",
+                         legacy_artifact(dispatch_eps=0.1e9, scale="fast"))
+        self.assertEqual(self.run_check(base, cur, "--fail-below", "0.5"), 0)
+
+    def test_unreadable_current_is_an_error(self):
+        base = self.write("base.json", legacy_artifact())
+        bad = self.write("bad.json", legacy_artifact())
+        with open(bad, "w") as f:
+            f.write("{not json")
+        self.assertEqual(self.run_check(base, bad), 1)
+
+
+class MatrixDiffTest(ArtifactFixtureMixin, unittest.TestCase):
+    def test_identical_reports_pass_under_gate(self):
+        p = self.write("a.json", matrix_artifact())
+        self.assertEqual(self.run_check(p, p, "--fail-below", "0.5"), 0)
+
+    def test_stable_regression_fails_gate(self):
+        base = self.write("base.json", matrix_artifact(eps=1.0e9))
+        cur = self.write("cur.json", matrix_artifact(eps=0.4e9))
+        self.assertEqual(self.run_check(base, cur, "--fail-below", "0.5"), 1)
+
+    def test_stable_regression_above_threshold_passes(self):
+        base = self.write("base.json", matrix_artifact(eps=1.0e9))
+        cur = self.write("cur.json", matrix_artifact(eps=0.6e9))
+        self.assertEqual(self.run_check(base, cur, "--fail-below", "0.5"), 0)
+
+    def test_nonstable_regression_is_informational(self):
+        # The same throughput drop in a scenario not marked stable must not
+        # gate: wall-time sections jitter too much on shared runners.
+        base = self.write("base.json", matrix_artifact(eps=1.0e9,
+                                                       stable=False))
+        cur = self.write("cur.json", matrix_artifact(eps=0.1e9,
+                                                     stable=False))
+        self.assertEqual(self.run_check(base, cur, "--fail-below", "0.5"), 0)
+
+    def test_bit_identity_violation_fails_even_without_gate(self):
+        base = self.write("base.json", matrix_artifact())
+        cur = self.write("cur.json", matrix_artifact(bit_identical=False))
+        self.assertEqual(self.run_check(base, cur), 1)
+
+    def test_scale_mismatch_is_informational(self):
+        base = self.write("base.json", matrix_artifact(eps=1.0e9,
+                                                       scale="full"))
+        cur = self.write("cur.json", matrix_artifact(eps=0.1e9,
+                                                     scale="fast"))
+        self.assertEqual(self.run_check(base, cur, "--fail-below", "0.5"), 0)
+
+    def test_missing_baseline_seeds_trajectory(self):
+        cur = self.write("cur.json", matrix_artifact())
+        self.assertEqual(
+            self.run_check("/nonexistent/base.json", cur,
+                           "--fail-below", "0.5"), 0)
+
+    def test_shape_mismatch_is_informational(self):
+        # A legacy baseline against a matrix current (the transition PR's
+        # first run) must seed, not fail.
+        base = self.write("base.json", legacy_artifact())
+        cur = self.write("cur.json", matrix_artifact(eps=0.1e9))
+        self.assertEqual(self.run_check(base, cur, "--fail-below", "0.5"), 0)
+
+    def test_new_point_is_not_gated(self):
+        base = self.write("base.json", matrix_artifact())
+        cur_report = matrix_artifact(eps=0.1e9)
+        cur_report["scenarios"][0]["runs"][0]["label"] = "brand_new_case"
+        cur = self.write("cur.json", cur_report)
+        self.assertEqual(self.run_check(base, cur, "--fail-below", "0.5"), 0)
+
+
+class SchemaValidatorTest(ArtifactFixtureMixin, unittest.TestCase):
+    SCHEMA = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir, "bench",
+        "bench_matrix_schema.json")
+
+    def run_validate(self, report):
+        path = self.write("artifact.json", report)
+        return vba.main(["validate_bench_artifact.py", path, self.SCHEMA])
+
+    def test_well_formed_matrix_artifact_conforms(self):
+        self.assertEqual(self.run_validate(matrix_artifact()), 0)
+
+    def test_legacy_artifact_rejected(self):
+        self.assertEqual(self.run_validate(legacy_artifact()), 1)
+
+    def test_missing_required_field_rejected(self):
+        report = matrix_artifact()
+        del report["tuning"]
+        self.assertEqual(self.run_validate(report), 1)
+
+    def test_unknown_field_rejected(self):
+        report = matrix_artifact()
+        report["surprise"] = 1
+        self.assertEqual(self.run_validate(report), 1)
+
+    def test_wrong_type_rejected(self):
+        report = matrix_artifact()
+        report["scenarios"][0]["runs"][0]["seconds"] = "fast"
+        self.assertEqual(self.run_validate(report), 1)
+
+    def test_bad_enum_rejected(self):
+        report = matrix_artifact()
+        report["scale"] = "warp"
+        self.assertEqual(self.run_validate(report), 1)
+
+    def test_non_numeric_metric_rejected(self):
+        report = matrix_artifact()
+        report["scenarios"][0]["runs"][0]["metrics"]["note"] = "hi"
+        self.assertEqual(self.run_validate(report), 1)
+
+    def test_validator_does_not_mutate_input(self):
+        report = matrix_artifact()
+        snapshot = copy.deepcopy(report)
+        self.run_validate(report)
+        self.assertEqual(report, snapshot)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -339,9 +339,10 @@ TEST(AggregationSessionTest, DrainTransportStopsAtFirstBadFrame) {
   EXPECT_EQ((*session)->contributions(), 2u);
 }
 
-TEST(AggregationSessionTest, DeprecatedDrainTransportOverloadForwards) {
-  // The InMemoryTransport& overload is a deprecated forwarder kept for one
-  // release; it must keep behaving exactly like the interface overload.
+TEST(AggregationSessionTest, DrainAcceptsConcreteTransportViaInterface) {
+  // The deprecated InMemoryTransport& forwarder is gone; a concrete
+  // transport binds to the FrameTransport interface overload directly and
+  // behaves identically.
   IdealAggregator aggregator;
   AggregationSession::Options options;
   options.dim = 2;
@@ -354,14 +355,7 @@ TEST(AggregationSessionTest, DeprecatedDrainTransportOverloadForwards) {
   msg.payload = {3, 4};
   msg.participant_id = 0;
   ASSERT_TRUE(transport.Send(0, *EncodeFrame(msg)).ok());
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
   EXPECT_TRUE((*session)->DrainTransport(transport).ok());
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
   EXPECT_EQ((*session)->contributions(), 1u);
 }
 
