@@ -134,44 +134,49 @@ StatusOr<MatrixReport> RunMatrix(const std::string& filter,
             for (const double dropout : axes.dropout_rates) {
               for (const double corrupt : axes.corrupt_frame_rates) {
                 for (const auto& dispatch : axes.dispatch) {
-                  for (const int threads : axes.threads) {
-                    ScenarioPoint point;
-                    point.mechanism = mechanism;
-                    point.modulus_class = modulus_class;
-                    point.modulus = modulus;
-                    point.dim = dim;
-                    point.participants = participants;
-                    point.dropout_rate = dropout;
-                    point.corrupt_frame_rate = corrupt;
-                    point.dispatch = dispatch;
-                    point.threads = threads;
-                    auto results = scenario->RunPoint(point, options);
-                    if (!results.ok()) {
-                      return Status(results.status().code(),
-                                    "scenario " + name + " failed: " +
-                                        results.status().ToString());
-                    }
-                    for (auto& result : *results) {
-                      RunRecord record;
-                      record.label = std::move(result.label);
-                      record.params = point;
-                      record.seconds = result.seconds;
-                      record.items_per_sec =
-                          result.seconds > 0.0
-                              ? result.items / result.seconds
-                              : 0.0;
-                      record.bit_identical = result.bit_identical;
-                      record.metrics = std::move(result.metrics);
-                      if (options.verbose) {
-                        std::printf(
-                            "  %s/%s threads=%d dim=%zu participants=%zu "
-                            "seconds=%.3e items/s=%.3e identical=%s\n",
-                            name.c_str(), record.label.c_str(),
-                            point.threads, point.dim, point.participants,
-                            record.seconds, record.items_per_sec,
-                            record.bit_identical ? "yes" : "NO");
+                  for (const size_t shards : axes.shards) {
+                    for (const int threads : axes.threads) {
+                      ScenarioPoint point;
+                      point.mechanism = mechanism;
+                      point.modulus_class = modulus_class;
+                      point.modulus = modulus;
+                      point.dim = dim;
+                      point.participants = participants;
+                      point.dropout_rate = dropout;
+                      point.corrupt_frame_rate = corrupt;
+                      point.dispatch = dispatch;
+                      point.shards = shards;
+                      point.threads = threads;
+                      auto results = scenario->RunPoint(point, options);
+                      if (!results.ok()) {
+                        return Status(results.status().code(),
+                                      "scenario " + name + " failed: " +
+                                          results.status().ToString());
                       }
-                      scenario_report.runs.push_back(std::move(record));
+                      for (auto& result : *results) {
+                        RunRecord record;
+                        record.label = std::move(result.label);
+                        record.params = point;
+                        record.seconds = result.seconds;
+                        record.items_per_sec =
+                            result.seconds > 0.0
+                                ? result.items / result.seconds
+                                : 0.0;
+                        record.bit_identical = result.bit_identical;
+                        record.metrics = std::move(result.metrics);
+                        if (options.verbose) {
+                          std::printf(
+                              "  %s/%s shards=%zu threads=%d dim=%zu "
+                              "participants=%zu seconds=%.3e items/s=%.3e "
+                              "identical=%s\n",
+                              name.c_str(), record.label.c_str(),
+                              point.shards, point.threads, point.dim,
+                              point.participants, record.seconds,
+                              record.items_per_sec,
+                              record.bit_identical ? "yes" : "NO");
+                        }
+                        scenario_report.runs.push_back(std::move(record));
+                      }
                     }
                   }
                 }
@@ -232,7 +237,8 @@ Status WriteMatrixJson(const MatrixReport& report, const std::string& path) {
                    "\"dispatch\": ",
                    p.corrupt_frame_rate);
       WriteJsonString(f, p.dispatch);
-      std::fprintf(f, ", \"threads\": %d},\n", p.threads);
+      std::fprintf(f, ", \"shards\": %zu, \"threads\": %d},\n", p.shards,
+                   p.threads);
       std::fprintf(f,
                    "       \"seconds\": %.6e, \"items_per_sec\": %.6e, "
                    "\"bit_identical\": %s,\n",

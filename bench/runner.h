@@ -3,7 +3,7 @@
 
 // Scenario-matrix benchmark runner. Each benchmark is a Scenario that
 // declares its axes (mechanism, modulus class, dim, participants, dropout
-// rate, corrupt-frame rate, dispatch mode, threads) and measures one
+// rate, corrupt-frame rate, dispatch mode, shards, threads) and measures one
 // enumerated point at a time; the runner enumerates the cross product,
 // collects every point's wall time / throughput / bit-identity verdict into
 // a MatrixReport, and serializes the report as one schema-versioned JSON
@@ -49,6 +49,7 @@ struct ScenarioPoint {
   double dropout_rate = 0.0;
   double corrupt_frame_rate = 0.0;
   std::string dispatch = "active";  ///< "active" or "scalar".
+  size_t shards = 1;                ///< Shard workers; 1 = unsharded.
   int threads = 1;
 };
 
@@ -65,6 +66,7 @@ struct ScenarioAxes {
   std::vector<double> dropout_rates{0.0};
   std::vector<double> corrupt_frame_rates{0.0};
   std::vector<std::string> dispatch{"active"};
+  std::vector<size_t> shards{1};
   std::vector<int> threads{1};
 };
 

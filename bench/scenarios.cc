@@ -22,6 +22,7 @@
 #include "runner.h"
 #include "secagg/secure_aggregator.h"
 #include "secagg/session.h"
+#include "secagg/sharded_coordinator.h"
 #include "secagg/transport.h"
 #include "simd_cases.h"
 #include "transform/walsh_hadamard.h"
@@ -549,6 +550,126 @@ class SessionMaskedScenario : public Scenario {
 };
 
 // ---------------------------------------------------------------------------
+// sharded_sum: one logical round run as K shard workers plus the
+// coordinator tree reduction, over the framed loopback transport. Shards
+// and threads are real axes; the shards=1 / threads=1 point is the
+// bit-identity reference, so every sharded point is cross-checked against
+// the unsharded sum. Per-worker resident bytes (~dim/K) and the unsharded
+// baseline land in the metrics.
+// ---------------------------------------------------------------------------
+
+class ShardedSumScenario : public Scenario {
+ public:
+  const char* name() const override { return "sharded_sum"; }
+  const char* description() const override {
+    return "sharded coordinator round vs unsharded across shard and thread "
+           "counts";
+  }
+
+  ScenarioAxes Axes(const RunOptions& options) override {
+    ScenarioAxes axes;
+    axes.moduli = {{"prime64", kPrime64}};
+    axes.dims = {options.scale == Scale::kFast ? size_t{1} << 9
+                                               : size_t{1} << 11};
+    axes.participants = {options.scale == Scale::kFast ? size_t{64}
+                                                       : size_t{128}};
+    axes.shards = {1, 2, 3, 8};
+    axes.threads = {1, 2, 8};
+    return axes;
+  }
+
+  StatusOr<std::vector<PointResult>> RunPoint(
+      const ScenarioPoint& point, const RunOptions& options) override {
+    const size_t dim = point.dim;
+    const uint64_t m = point.modulus;
+    const size_t participants = point.participants;
+    const size_t shards = point.shards;
+
+    RandomGenerator rng(41);
+    std::vector<std::vector<uint64_t>> inputs(participants,
+                                              std::vector<uint64_t>(dim));
+    for (auto& v : inputs) {
+      for (auto& x : v) x = rng.UniformUint64(m);
+    }
+
+    secagg::IdealAggregator aggregator;
+    ThreadPool pool(point.threads);
+    std::vector<uint64_t> sum;
+    size_t worker_bytes = 0;
+    Status status = OkStatus();
+    const double best_seconds = BestOfN(Repeats(options, 2, 3), [&] {
+      secagg::ShardedCoordinator::Options coordinator_options;
+      coordinator_options.dim = dim;
+      coordinator_options.modulus = m;
+      coordinator_options.shard_count = shards;
+      coordinator_options.pool = &pool;
+      coordinator_options.tile_rows = TunedTileRows(point.threads);
+      auto round =
+          secagg::ShardedCoordinator::Open(aggregator, coordinator_options);
+      if (!round.ok()) {
+        status = round.status();
+        return;
+      }
+      secagg::InMemoryTransport loopback;
+      for (size_t p = 0; p < participants; ++p) {
+        auto frames = (*round)->EncodeShardedContribution(
+            static_cast<int>(p), inputs[p]);
+        if (!frames.ok()) {
+          status = frames.status();
+          return;
+        }
+        for (auto& frame : *frames) {
+          if (!loopback.Send(static_cast<int>(p), std::move(frame)).ok()) {
+            status = InternalError("frame delivery failed");
+            return;
+          }
+        }
+      }
+      const Status drained = (*round)->DrainTransport(loopback);
+      if (!drained.ok()) {
+        status = drained;
+        return;
+      }
+      worker_bytes = 0;
+      for (size_t s = 0; s < shards; ++s) {
+        worker_bytes = std::max(worker_bytes, (*round)->ShardResidentBytes(s));
+      }
+      auto finalized = (*round)->Finalize();
+      if (!finalized.ok()) {
+        status = finalized.status();
+        return;
+      }
+      sum = std::move(finalized->sum);
+    });
+    SMM_RETURN_IF_ERROR(status);
+
+    PointResult result;
+    result.label = "sharded_sum";
+    result.seconds = best_seconds;
+    // One work item = one aggregated coordinate, whatever the shard layout.
+    result.items =
+        static_cast<double>(participants) * static_cast<double>(dim);
+    result.metrics.push_back(
+        {"worker_resident_bytes", static_cast<double>(worker_bytes)});
+    result.metrics.push_back(
+        {"unsharded_resident_bytes",
+         static_cast<double>(dim * sizeof(uint64_t))});
+    result.metrics.push_back(
+        {"sub_frames", static_cast<double>(participants * shards)});
+    if (point.shards == 1 && point.threads == 1) {
+      reference_ = std::move(sum);
+    } else {
+      result.bit_identical = sum == reference_;
+    }
+    return std::vector<PointResult>{std::move(result)};
+  }
+
+ private:
+  /// shards=1 / threads=1 sum of the current outer-axis combination.
+  std::vector<uint64_t> reference_;
+};
+
+// ---------------------------------------------------------------------------
 // server_sessions: the async TCP aggregation server — many small
 // ideal-aggregator rounds driven over real loopback sockets by concurrent
 // client threads, swept across event-loop thread counts. Measures the
@@ -845,6 +966,8 @@ void RegisterAllScenarios() {
         [] { return std::make_unique<MaskedSecaggScenario>(); });
     registry.Register(
         [] { return std::make_unique<SessionMaskedScenario>(); });
+    registry.Register(
+        [] { return std::make_unique<ShardedSumScenario>(); });
     registry.Register(
         [] { return std::make_unique<ServerSessionsScenario>(); });
     registry.Register(

@@ -56,6 +56,13 @@ struct FlConfig {
   /// the trained model bit-identical for every thread count.
   int num_threads = 1;
 
+  /// Dimension-range shard workers per aggregation round. 1 = today's
+  /// single-session path; K > 1 splits each round across K narrower
+  /// per-shard streams stitched back by the coordinator merge; 0 = the
+  /// tuned default (TunedShardCount). A pure performance dial: the sharded
+  /// round is bit-identical to the unsharded one at every K.
+  int shard_count = 1;
+
   /// Evaluate test accuracy every this many rounds (and always at the end).
   int eval_every = 100;
   /// Cap on test examples per evaluation (0 = use all).

@@ -11,6 +11,7 @@
 #include "mechanisms/clipping.h"
 #include "mechanisms/conditional_rounding.h"
 #include "secagg/session.h"
+#include "secagg/sharded_coordinator.h"
 #include "secagg/transport.h"
 
 namespace smm::mechanisms {
@@ -271,7 +272,7 @@ StatusOr<std::vector<std::vector<uint64_t>>> EncodeBatchParallel(
 StatusOr<std::vector<double>> RunDistributedSum(
     DistributedSumMechanism& mechanism, secagg::SecureAggregator& aggregator,
     const std::vector<std::vector<double>>& inputs, RandomGenerator& rng,
-    ThreadPool* pool) {
+    ThreadPool* pool, size_t shard_count) {
   if (inputs.empty()) return InvalidArgumentError("no inputs");
   const uint64_t m = mechanism.modulus();
   const int threads = pool != nullptr ? pool->num_threads() : 1;
@@ -280,28 +281,35 @@ StatusOr<std::vector<double>> RunDistributedSum(
   // never affects results (encoding reads only per-participant streams, and
   // absorption is exact mod m).
   const size_t tile_size = TunedTileRows(threads);
+  if (shard_count == 0) shard_count = TunedShardCount();
 
   // The full client -> server message flow: each tile of participants is
   // encoded in place, prepared for the wire (masked, under the masked
-  // protocol), framed, sent over the loopback transport, and absorbed by
-  // the session's stream before the next tile is encoded. Resident state
-  // is one tile of encodings plus the stream's O(threads·d) running sum —
-  // the batch-materializing O(participants·d) encoded buffer is gone. (The
+  // protocol; sliced per shard when the round is sharded), framed, sent
+  // over the loopback transport, and absorbed by the round's worker streams
+  // before the next tile is encoded. Resident state is one tile of
+  // encodings plus the workers' O(threads·d) running sums — the
+  // batch-materializing O(participants·d) encoded buffer is gone. (The
   // `encoded` vector below has one entry per participant, but only the
   // current tile's entries ever hold a payload; outside the tile they are
   // empty, so its footprint has no d factor — same order as the
   // per-participant rng streams.)
-  secagg::AggregationSession::Options session_options;
-  session_options.dim = mechanism.dim();
-  session_options.modulus = m;
-  session_options.pool = pool;
-  // Frames come from this very pipeline (trusted, no duplicates), so the
-  // session may buffer a whole tile and absorb it with one sharded
+  //
+  // The ShardedCoordinator at shard_count == 1 runs exactly one unsharded
+  // AggregationSession over version-1 frames, so the single-shard round is
+  // byte-identical to the pre-shard pipeline; at K > 1 each worker sums one
+  // dimension range and the Finalize merge is bit-identical to it.
+  secagg::ShardedCoordinator::Options round_options;
+  round_options.dim = mechanism.dim();
+  round_options.modulus = m;
+  round_options.shard_count = shard_count;
+  round_options.pool = pool;
+  // Frames come from this very pipeline (trusted, no duplicates), so each
+  // worker may buffer a whole tile and absorb it with one sharded
   // fork/join rather than one per frame.
-  session_options.tile_rows = tile_size;
+  round_options.tile_rows = tile_size;
   SMM_ASSIGN_OR_RETURN(
-      auto session, secagg::AggregationSession::Open(aggregator,
-                                                     session_options));
+      auto round, secagg::ShardedCoordinator::Open(aggregator, round_options));
   // The round runs against the FrameTransport interface; the in-memory
   // backend is just the zero-configuration choice for an in-process round.
   secagg::InMemoryTransport loopback;
@@ -317,22 +325,20 @@ StatusOr<std::vector<double>> RunDistributedSum(
                                             tile_end, streams.data(), pool,
                                             &encoded));
     for (size_t t = tile_begin; t < tile_end; ++t) {
-      secagg::ContributionMsg msg;
-      msg.participant_id = static_cast<int>(t);
-      msg.modulus = m;
-      SMM_ASSIGN_OR_RETURN(msg.payload, aggregator.PrepareContribution(
-                                            msg.participant_id, encoded[t],
-                                            m, pool));
-      // Release the tile entry before the frame travels: the encoding is
+      const int participant = static_cast<int>(t);
+      SMM_ASSIGN_OR_RETURN(
+          auto frames, round->EncodeShardedContribution(participant,
+                                                        encoded[t]));
+      // Release the tile entry before the frames travel: the encoding is
       // done with, and the buffer must not accumulate across tiles.
       std::vector<uint64_t>().swap(encoded[t]);
-      SMM_ASSIGN_OR_RETURN(auto frame, secagg::EncodeFrame(msg));
-      SMM_RETURN_IF_ERROR(transport.Send(msg.participant_id,
-                                         std::move(frame)));
+      for (auto& frame : frames) {
+        SMM_RETURN_IF_ERROR(transport.Send(participant, std::move(frame)));
+      }
     }
-    SMM_RETURN_IF_ERROR(session->DrainTransport(transport));
+    SMM_RETURN_IF_ERROR(round->DrainTransport(transport));
   }
-  SMM_ASSIGN_OR_RETURN(secagg::SumMsg sum, session->Finalize());
+  SMM_ASSIGN_OR_RETURN(secagg::SumMsg sum, round->Finalize());
   return mechanism.DecodeSum(sum.sum, static_cast<int>(inputs.size()));
 }
 

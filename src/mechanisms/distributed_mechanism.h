@@ -236,18 +236,27 @@ StatusOr<std::vector<std::vector<uint64_t>>> EncodeBatchParallel(
 /// participant from `rng`, then — one tile of participants at a time —
 /// encodes (in parallel when `pool` is given), prepares each contribution
 /// for transport (masking, under the masked protocol), frames it into a
-/// ContributionMsg, and drains the frames through an AggregationSession
-/// into the aggregator's streaming sum; the framed SumMsg result is decoded
-/// into the estimated sum (same length as the inputs). Resident payload
-/// memory is one tile of encodings plus the stream's O(threads·d) state —
-/// the O(participants·d) encoded buffer is gone; only d-free
+/// ContributionMsg, and drains the frames through the round's aggregation
+/// tier into the aggregator's streaming sum; the framed SumMsg result is
+/// decoded into the estimated sum (same length as the inputs). Resident
+/// payload memory is one tile of encodings plus the stream's O(threads·d)
+/// state — the O(participants·d) encoded buffer is gone; only d-free
 /// per-participant bookkeeping (the rng streams) scales with n — and the
 /// output is bit-identical to the former batch-materializing path at every
 /// thread count.
+///
+/// `shard_count` picks the round's aggregation tier: 1 runs today's single
+/// AggregationSession; K > 1 runs the round as K dimension-range shard
+/// workers plus a coordinator (ShardedCoordinator) — each contribution is
+/// sliced into K sub-frames and each worker sums its range, with per-shard
+/// masking under the masked protocol; 0 (the default) resolves to the
+/// tuned shard count (TunedShardCount, 1 unless calibrated). A pure
+/// performance/residency dial: the decoded sum is bit-identical at every
+/// shard count.
 StatusOr<std::vector<double>> RunDistributedSum(
     DistributedSumMechanism& mechanism, secagg::SecureAggregator& aggregator,
     const std::vector<std::vector<double>>& inputs, RandomGenerator& rng,
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr, size_t shard_count = 0);
 
 /// Mean squared error per dimension between an estimate and the exact sum of
 /// `inputs` — the Err_M metric of Section 3.1. Fails (instead of reading out

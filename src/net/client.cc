@@ -4,6 +4,8 @@
 #include <variant>
 #include <vector>
 
+#include "secagg/sharded_coordinator.h"
+
 namespace smm::net {
 
 StatusOr<BlockingClient> BlockingClient::Connect(uint16_t port,
@@ -52,6 +54,64 @@ StatusOr<secagg::SumMsg> BlockingClient::ReadSum() {
     }
     SMM_RETURN_IF_ERROR(reassembler_.Ingest(ByteSpan(chunk.data(), n)));
   }
+}
+
+StatusOr<ShardedFanoutClient> ShardedFanoutClient::Connect(
+    const std::vector<uint16_t>& ports,
+    const BlockingClient::Options& options) {
+  if (ports.empty()) {
+    return InvalidArgumentError("fan-out needs at least one shard port");
+  }
+  std::vector<BlockingClient> clients;
+  clients.reserve(ports.size());
+  for (uint16_t port : ports) {
+    SMM_ASSIGN_OR_RETURN(auto client, BlockingClient::Connect(port, options));
+    clients.push_back(std::move(client));
+  }
+  return ShardedFanoutClient(std::move(clients));
+}
+
+Status ShardedFanoutClient::SendShardFrames(
+    const std::vector<std::vector<uint8_t>>& frames) {
+  if (frames.size() != clients_.size()) {
+    return InvalidArgumentError(
+        "sub-frame count disagrees with the fan-out shard count");
+  }
+  for (size_t s = 0; s < clients_.size(); ++s) {
+    SMM_RETURN_IF_ERROR(
+        clients_[s].SendFrame(ByteSpan(frames[s].data(), frames[s].size())));
+  }
+  return OkStatus();
+}
+
+Status ShardedFanoutClient::FinishSending() {
+  for (BlockingClient& client : clients_) {
+    SMM_RETURN_IF_ERROR(client.FinishSending());
+  }
+  return OkStatus();
+}
+
+StatusOr<secagg::SumMsg> ShardedFanoutClient::ReadMergedSum(
+    const secagg::ShardPlan& plan) {
+  if (plan.shard_count() != clients_.size()) {
+    return InvalidArgumentError(
+        "shard plan disagrees with the fan-out shard count");
+  }
+  if (clients_.size() == 1) return clients_[0].ReadSum();
+  std::vector<secagg::PartialSumMsg> partials;
+  partials.reserve(clients_.size());
+  uint64_t modulus = 0;
+  for (size_t s = 0; s < clients_.size(); ++s) {
+    SMM_ASSIGN_OR_RETURN(secagg::SumMsg shard_sum, clients_[s].ReadSum());
+    modulus = shard_sum.modulus;
+    secagg::PartialSumMsg partial;
+    partial.modulus = shard_sum.modulus;
+    partial.num_contributors = shard_sum.num_contributors;
+    partial.shard = plan.Spec(s);
+    partial.sum = std::move(shard_sum.sum);
+    partials.push_back(std::move(partial));
+  }
+  return secagg::MergePartialSums(std::move(partials), plan.dim(), modulus);
 }
 
 }  // namespace smm::net

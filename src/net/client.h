@@ -3,11 +3,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/span.h"
 #include "common/status.h"
 #include "net/frame_reassembler.h"
 #include "net/socket_util.h"
+#include "secagg/shard_plan.h"
 #include "secagg/transport.h"
 
 namespace smm::net {
@@ -71,6 +73,51 @@ class BlockingClient {
 
   UniqueFd fd_;
   FrameReassembler reassembler_;
+};
+
+/// A participant's fan-out side of a dimension-sharded round: one blocking
+/// connection per shard worker (the ports of an OpenShardedRound handle, in
+/// shard order). The participant slices and prepares its contribution once
+/// (ShardedCoordinator::EncodeShardedContribution produces exactly the
+/// per-shard sub-frames), sends sub-frame s on connection s, half-closes
+/// all of them, and merges the workers' per-range sum broadcasts back into
+/// the round's full-dimension sum.
+///
+/// Move-only; not thread-safe, like BlockingClient.
+class ShardedFanoutClient {
+ public:
+  /// Connects to every port in shard order. Fails atomically: any refused
+  /// connection fails the whole fan-out.
+  static StatusOr<ShardedFanoutClient> Connect(
+      const std::vector<uint16_t>& ports, const BlockingClient::Options& options);
+  static StatusOr<ShardedFanoutClient> Connect(
+      const std::vector<uint16_t>& ports) {
+    return Connect(ports, BlockingClient::Options());
+  }
+
+  ShardedFanoutClient(ShardedFanoutClient&&) = default;
+  ShardedFanoutClient& operator=(ShardedFanoutClient&&) = default;
+
+  size_t shard_count() const { return clients_.size(); }
+
+  /// Sends already-encoded sub-frame `frames[s]` to shard worker s.
+  /// frames.size() must equal shard_count().
+  Status SendShardFrames(const std::vector<std::vector<uint8_t>>& frames);
+
+  /// Half-closes the sending side of every connection.
+  Status FinishSending();
+
+  /// Blocks for every worker's per-range SumMsg broadcast (in shard order)
+  /// and tree-reduces them into the round's full SumMsg per `plan`, whose
+  /// shard_count must equal shard_count(). With one shard this is the
+  /// plain BlockingClient::ReadSum.
+  StatusOr<secagg::SumMsg> ReadMergedSum(const secagg::ShardPlan& plan);
+
+ private:
+  explicit ShardedFanoutClient(std::vector<BlockingClient> clients)
+      : clients_(std::move(clients)) {}
+
+  std::vector<BlockingClient> clients_;
 };
 
 }  // namespace smm::net

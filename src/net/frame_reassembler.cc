@@ -11,6 +11,7 @@ using secagg::kFrameHeaderBytes;
 using secagg::kFrameOverheadBytes;
 using secagg::kMaxPayloadBytes;
 using secagg::kWireVersion;
+using secagg::kWireVersionSharded;
 
 FrameReassembler::FrameReassembler(size_t max_frame_bytes)
     : max_frame_bytes_(std::min(max_frame_bytes, kMaxPayloadBytes)) {}
@@ -23,7 +24,7 @@ StatusOr<size_t> FrameReassembler::ValidateHeader(size_t at) const {
       return DataLossError("byte stream desynchronized: bad frame magic");
     }
   }
-  if (h[4] != kWireVersion) {
+  if (h[4] != kWireVersion && h[4] != kWireVersionSharded) {
     return DataLossError(
         "byte stream desynchronized: unsupported wire version");
   }

@@ -15,6 +15,7 @@
 
 #include "net/frame_reassembler.h"
 #include "net/socket_util.h"
+#include "secagg/sharded_coordinator.h"
 
 #if defined(__linux__)
 #define SMM_NET_POSIX 1
@@ -678,5 +679,68 @@ ServerStats AggregationServer::Stats() const { return ServerStats{}; }
 int AggregationServer::event_loop_threads() const { return 0; }
 
 #endif  // SMM_NET_POSIX
+
+// The sharded-round surface is a pure composition of OpenSession /
+// WaitForSum plus the secagg merge, so it is platform-independent (on
+// non-Linux builds the first OpenSession returns kUnimplemented).
+
+StatusOr<AggregationServer::ShardedRoundInfo>
+AggregationServer::OpenShardedRound(secagg::SecureAggregator& aggregator,
+                                    const ShardedRoundOptions& options) {
+  SMM_ASSIGN_OR_RETURN(
+      secagg::ShardPlan plan,
+      secagg::ShardPlan::Create(options.dim, options.shard_count));
+  ShardedRoundInfo round{plan, {}, {}};
+  const size_t shards = plan.shard_count();
+  round.shards.reserve(shards);
+  round.shard_aggregators.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    std::unique_ptr<secagg::SecureAggregator> derived;
+    SessionOptions session_options;
+    session_options.session.dim = plan.Width(s);
+    session_options.session.modulus = options.modulus;
+    session_options.session.tile_rows = options.tile_rows;
+    session_options.expected_contributions = options.expected_contributions;
+    if (shards > 1) {
+      SMM_ASSIGN_OR_RETURN(derived,
+                           aggregator.CreateShardAggregator(s, shards));
+      session_options.session.expected_shard = plan.Spec(s);
+    }
+    secagg::SecureAggregator& shard_aggregator =
+        derived ? *derived : aggregator;
+    SMM_ASSIGN_OR_RETURN(SessionInfo info,
+                         OpenSession(shard_aggregator, session_options));
+    round.shards.push_back(info);
+    round.shard_aggregators.push_back(std::move(derived));
+  }
+  return round;
+}
+
+StatusOr<secagg::SumMsg> AggregationServer::WaitForShardedSum(
+    const ShardedRoundInfo& round) {
+  if (round.shards.size() != round.plan.shard_count()) {
+    return InvalidArgumentError(
+        "sharded round handle does not match its plan");
+  }
+  if (round.shards.size() == 1) {
+    return WaitForSum(round.shards[0].id);
+  }
+  std::vector<secagg::PartialSumMsg> partials;
+  partials.reserve(round.shards.size());
+  uint64_t modulus = 0;
+  for (size_t s = 0; s < round.shards.size(); ++s) {
+    SMM_ASSIGN_OR_RETURN(secagg::SumMsg shard_sum,
+                         WaitForSum(round.shards[s].id));
+    modulus = shard_sum.modulus;
+    secagg::PartialSumMsg partial;
+    partial.modulus = shard_sum.modulus;
+    partial.num_contributors = shard_sum.num_contributors;
+    partial.shard = round.plan.Spec(s);
+    partial.sum = std::move(shard_sum.sum);
+    partials.push_back(std::move(partial));
+  }
+  return secagg::MergePartialSums(std::move(partials), round.plan.dim(),
+                                  modulus);
+}
 
 }  // namespace smm::net

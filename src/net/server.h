@@ -4,10 +4,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/status.h"
 #include "secagg/secure_aggregator.h"
 #include "secagg/session.h"
+#include "secagg/shard_plan.h"
 #include "secagg/transport.h"
 
 namespace smm::net {
@@ -92,6 +94,49 @@ class AggregationServer {
     uint64_t id = 0;
     uint16_t port = 0;
   };
+
+  struct ShardedRoundOptions {
+    /// Full round dimension, sliced per ShardPlan across the workers.
+    size_t dim = 0;
+    uint64_t modulus = 0;
+    /// Shard workers; kInvalidArgument if < 1 or > dim.
+    size_t shard_count = 1;
+    /// Per-worker tile buffering (AggregationSession::Options::tile_rows).
+    size_t tile_rows = 1;
+    /// Per-worker auto-finalize trigger: each shard worker finalizes after
+    /// this many sub-frames (normally the participant count — every
+    /// participant sends one sub-frame to every shard). 0 = finalize each
+    /// shard via FinalizeSession.
+    size_t expected_contributions = 0;
+  };
+
+  /// A handle to one dimension-sharded round: shard s is the worker
+  /// session `shards[s]`, addressed by (session id, shard index) and
+  /// reachable on its own port, covering plan.Spec(s)'s coordinate range.
+  /// The handle owns the per-shard protocol instances
+  /// CreateShardAggregator derived (null entries = the base aggregator
+  /// serves that shard), so it must outlive every worker's completion —
+  /// keep it alive until WaitForShardedSum returns.
+  struct ShardedRoundInfo {
+    secagg::ShardPlan plan;
+    std::vector<SessionInfo> shards;
+    std::vector<std::unique_ptr<secagg::SecureAggregator>> shard_aggregators;
+  };
+
+  /// Opens one logical round as shard_count worker sessions, one per
+  /// contiguous dimension range of the ShardPlan, each over the aggregator
+  /// instance CreateShardAggregator derives for its shard. At
+  /// shard_count == 1 this is exactly one unsharded OpenSession (version-1
+  /// frames, byte-identical round). Thread-safe.
+  StatusOr<ShardedRoundInfo> OpenShardedRound(
+      secagg::SecureAggregator& aggregator,
+      const ShardedRoundOptions& options);
+
+  /// Blocks until every shard worker of the round finalizes, then
+  /// tree-reduces their per-range sums (secagg::MergePartialSums) into the
+  /// round's SumMsg — bit-identical to the unsharded session's sum. Like
+  /// WaitForSum, one-shot per round.
+  StatusOr<secagg::SumMsg> WaitForShardedSum(const ShardedRoundInfo& round);
 
   /// Starts the event loops. kUnimplemented on non-Linux builds.
   static StatusOr<std::unique_ptr<AggregationServer>> Start(

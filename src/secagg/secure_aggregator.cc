@@ -77,6 +77,15 @@ StatusOr<std::unique_ptr<StreamingAggregator>> SecureAggregator::Open(
       new BufferingStream(*this, dim, m, pool));
 }
 
+StatusOr<std::unique_ptr<SecureAggregator>>
+SecureAggregator::CreateShardAggregator(size_t shard_index,
+                                        size_t shard_count) const {
+  if (shard_count < 1 || shard_index >= shard_count) {
+    return InvalidArgumentError("shard index out of range");
+  }
+  return std::unique_ptr<SecureAggregator>(nullptr);
+}
+
 StatusOr<std::vector<uint64_t>> IdealAggregator::Aggregate(
     const std::vector<std::vector<uint64_t>>& inputs, uint64_t m) {
   return AggregateParallel(inputs, m, nullptr);
@@ -411,6 +420,22 @@ StatusOr<std::unique_ptr<StreamingAggregator>> MaskedAggregator::Open(
   SMM_RETURN_IF_ERROR(ValidateStreamParams(dim, m));
   return std::unique_ptr<StreamingAggregator>(
       new Stream(*this, dim, m, pool));
+}
+
+StatusOr<std::unique_ptr<SecureAggregator>>
+MaskedAggregator::CreateShardAggregator(size_t shard_index,
+                                        size_t shard_count) const {
+  if (shard_count < 1 || shard_index >= shard_count) {
+    return InvalidArgumentError("shard index out of range");
+  }
+  if (shard_count == 1) return std::unique_ptr<SecureAggregator>(nullptr);
+  Options shard_options = options_;
+  // Each shard runs an independent protocol instance: distinct pairwise
+  // seeds per shard (mask streams must not repeat across dimension ranges)
+  // and its own Shamir sharing, so dropout recovery is local to the shard.
+  shard_options.session_seed = options_.session_seed + shard_index;
+  SMM_ASSIGN_OR_RETURN(auto aggregator, Create(shard_options));
+  return std::unique_ptr<SecureAggregator>(std::move(aggregator));
 }
 
 }  // namespace smm::secagg

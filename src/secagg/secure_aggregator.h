@@ -65,6 +65,25 @@ class SecureAggregator {
   /// O(n·dim) memory. The aggregator must outlive the returned stream.
   virtual StatusOr<std::unique_ptr<StreamingAggregator>> Open(
       size_t dim, uint64_t m, ThreadPool* pool = nullptr);
+
+  /// Derives the aggregator instance that serves shard `shard_index` of a
+  /// `shard_count`-way dimension-sharded round (ShardPlan's contiguous
+  /// ranges). Returns nullptr when this instance serves every shard
+  /// directly — the stateless default, correct whenever the protocol's
+  /// per-coordinate work is independent of which dimension range a stream
+  /// covers (true for the ideal plain-sum aggregator).
+  ///
+  /// Protocols with cross-coordinate randomness must override this:
+  /// MaskedAggregator expands each pair's mask as one PRG stream over the
+  /// full d coordinates, so slicing a d-dim masked vector into K ranges and
+  /// unmasking each range with the same instance would misalign every
+  /// shard's mask offsets — and reusing one mask stream across shards would
+  /// leak cross-shard plaintext differences. It therefore returns a fresh
+  /// aggregator over a shard-derived session seed (seed + shard_index) per
+  /// shard, and nullptr at shard_count == 1 so the degenerate path is the
+  /// byte-identical unsharded protocol. Requires shard_index < shard_count.
+  virtual StatusOr<std::unique_ptr<SecureAggregator>> CreateShardAggregator(
+      size_t shard_index, size_t shard_count) const;
 };
 
 /// The ideal functionality: a plain modular sum. Used by the experiment
@@ -167,6 +186,15 @@ class MaskedAggregator final : public SecureAggregator {
   /// the stream.
   StatusOr<std::unique_ptr<StreamingAggregator>> Open(
       size_t dim, uint64_t m, ThreadPool* pool = nullptr) override;
+
+  /// Per-shard protocol instance for dimension-sharded rounds: a fresh
+  /// MaskedAggregator over session_seed + shard_index, so each shard runs
+  /// its own seed agreement, masking, and (local) Shamir dropout recovery
+  /// over its narrower range. nullptr at shard_count == 1 (shard 0 would
+  /// derive seed + 0 = the unsharded instance anyway; returning nullptr
+  /// keeps the K = 1 path byte-identical by construction).
+  StatusOr<std::unique_ptr<SecureAggregator>> CreateShardAggregator(
+      size_t shard_index, size_t shard_count) const override;
 
  private:
   class Stream;

@@ -6,6 +6,13 @@ namespace smm::secagg {
 
 StatusOr<std::unique_ptr<AggregationSession>> AggregationSession::Open(
     SecureAggregator& aggregator, const Options& options) {
+  if (options.expected_shard.has_value()) {
+    SMM_RETURN_IF_ERROR(ValidateShardSpec(*options.expected_shard));
+    if (options.expected_shard->shard_dim != options.dim) {
+      return InvalidArgumentError(
+          "expected_shard.shard_dim must equal the session dimension");
+    }
+  }
   SMM_ASSIGN_OR_RETURN(
       auto stream, aggregator.Open(options.dim, options.modulus, options.pool));
   return std::unique_ptr<AggregationSession>(
@@ -25,6 +32,19 @@ Status AggregationSession::Handle(ContributionMsg msg) {
   if (msg.modulus != modulus_) {
     return InvalidArgumentError("contribution modulus does not match session");
   }
+  if (expected_shard_.has_value()) {
+    if (!msg.shard.has_value()) {
+      return InvalidArgumentError(
+          "unsharded contribution sent to a shard-worker session");
+    }
+    if (*msg.shard != *expected_shard_) {
+      return InvalidArgumentError(
+          "contribution shard spec does not match this shard worker");
+    }
+  } else if (msg.shard.has_value()) {
+    return InvalidArgumentError(
+        "sharded contribution sent to an unsharded session");
+  }
   if (msg.payload.size() != dim_) {
     return InvalidArgumentError(
         "contribution dimension does not match session");
@@ -42,20 +62,23 @@ Status AggregationSession::Handle(ContributionMsg msg) {
   return OkStatus();
 }
 
+Status AggregationSession::HandleContribution(ContributionMsg msg) {
+  const size_t rejected_before = rejected_frames_;
+  const Status status = Handle(std::move(msg));
+  if (!status.ok() && rejected_frames_ == rejected_before) {
+    ++rejected_frames_;  // Not already counted by a failed tile flush.
+  }
+  return status;
+}
+
 Status AggregationSession::HandleFrame(ByteSpan frame) {
   auto message = DecodeFrame(frame);
   if (!message.ok()) {
     ++rejected_frames_;
     return message.status();
   }
-  Status status = OkStatus();
   if (auto* contribution = std::get_if<ContributionMsg>(&*message)) {
-    const size_t rejected_before = rejected_frames_;
-    status = Handle(std::move(*contribution));
-    if (!status.ok() && rejected_frames_ == rejected_before) {
-      ++rejected_frames_;  // Not already counted by a failed tile flush.
-    }
-    return status;
+    return HandleContribution(std::move(*contribution));
   }
   if (std::get_if<SharesMsg>(&*message) != nullptr) {
     // The simulated aggregator distributed every pair seed's shares at
@@ -65,6 +88,11 @@ Status AggregationSession::HandleFrame(ByteSpan frame) {
     return OkStatus();
   }
   ++rejected_frames_;
+  if (std::get_if<PartialSumMsg>(&*message) != nullptr) {
+    return InvalidArgumentError(
+        "partial sum frames are coordinator-inbound and cannot be received "
+        "by an aggregation session");
+  }
   return InvalidArgumentError(
       "sum frames are server-outbound and cannot be received");
 }

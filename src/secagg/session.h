@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/parallel.h"
@@ -65,6 +66,13 @@ class AggregationSession {
     /// a rejected tile drops all its pending contributions (AbsorbTile's
     /// all-or-nothing admission). The sum is bit-identical either way.
     size_t tile_rows = 1;
+    /// When set, this session is one shard worker of a dimension-sharded
+    /// round: every contribution must carry exactly this ShardSpec (whose
+    /// shard_dim must equal `dim`), and sliced frames addressed to any
+    /// other shard are rejected. When unset (the default), sharded frames
+    /// are rejected — an unsharded session never silently absorbs a slice
+    /// of a vector as if it were whole.
+    std::optional<ShardSpec> expected_shard;
   };
 
   /// Opens a session over `aggregator` (requires dim >= 1, modulus >= 2).
@@ -79,6 +87,12 @@ class AggregationSession {
   /// before touching the sum, so a failed HandleFrame never corrupts it.
   /// (ByteSpan is implicitly constructible from std::vector<uint8_t>.)
   Status HandleFrame(ByteSpan frame);
+
+  /// Routes one already-decoded contribution into the stream, with the same
+  /// validation and rejection counting as HandleFrame. For trusted
+  /// in-process routers (ShardedCoordinator) that decode a frame once to
+  /// pick a shard and must not pay a second decode per sub-frame.
+  Status HandleContribution(ContributionMsg msg);
 
   /// Drains `transport` until Receive reports it drained, handling each
   /// frame in the transport's order. Stops at (and returns) the first
@@ -110,7 +124,8 @@ class AggregationSession {
       : stream_(std::move(stream)),
         dim_(options.dim),
         modulus_(options.modulus),
-        tile_rows_(options.tile_rows < 1 ? 1 : options.tile_rows) {}
+        tile_rows_(options.tile_rows < 1 ? 1 : options.tile_rows),
+        expected_shard_(options.expected_shard) {}
 
   Status Handle(ContributionMsg msg);
   /// Absorbs the pending tile through one sharded AbsorbTile. On error the
@@ -122,6 +137,7 @@ class AggregationSession {
   size_t dim_;
   uint64_t modulus_;
   size_t tile_rows_;
+  std::optional<ShardSpec> expected_shard_;
   std::vector<int> pending_ids_;
   std::vector<std::vector<uint64_t>> pending_payloads_;
   size_t shares_received_ = 0;

@@ -1,0 +1,64 @@
+#include "secagg/shard_plan.h"
+
+#include <cassert>
+#include <limits>
+
+namespace smm::secagg {
+
+StatusOr<ShardPlan> ShardPlan::Create(size_t dim, size_t shard_count) {
+  if (dim < 1) {
+    return InvalidArgumentError("shard plan dimension must be >= 1");
+  }
+  if (shard_count < 1) {
+    return InvalidArgumentError("shard count must be >= 1");
+  }
+  if (shard_count > dim) {
+    return InvalidArgumentError(
+        "shard count exceeds the dimension: every shard must own at least "
+        "one coordinate");
+  }
+  if (dim > std::numeric_limits<uint32_t>::max()) {
+    return InvalidArgumentError(
+        "dimension exceeds the u32 coordinate space of ShardSpec");
+  }
+  return ShardPlan(dim, shard_count);
+}
+
+size_t ShardPlan::Offset(size_t shard) const {
+  assert(shard < shard_count_);
+  const size_t wide = dim_ % shard_count_;  // shards owning ceil(d / K)
+  const size_t floor_width = dim_ / shard_count_;
+  if (shard < wide) return shard * (floor_width + 1);
+  return wide * (floor_width + 1) + (shard - wide) * floor_width;
+}
+
+size_t ShardPlan::Width(size_t shard) const {
+  assert(shard < shard_count_);
+  return dim_ / shard_count_ + (shard < dim_ % shard_count_ ? 1 : 0);
+}
+
+ShardSpec ShardPlan::Spec(size_t shard) const {
+  ShardSpec spec;
+  spec.shard_index = static_cast<uint32_t>(shard);
+  spec.shard_count = static_cast<uint32_t>(shard_count_);
+  spec.dim_offset = static_cast<uint32_t>(Offset(shard));
+  spec.shard_dim = static_cast<uint32_t>(Width(shard));
+  return spec;
+}
+
+StatusOr<std::vector<uint64_t>> ShardPlan::Slice(
+    const std::vector<uint64_t>& full, size_t shard) const {
+  if (full.size() != dim_) {
+    return InvalidArgumentError(
+        "vector size disagrees with the shard plan dimension");
+  }
+  if (shard >= shard_count_) {
+    return InvalidArgumentError("shard index out of range for the plan");
+  }
+  const size_t offset = Offset(shard);
+  const size_t width = Width(shard);
+  return std::vector<uint64_t>(full.begin() + offset,
+                               full.begin() + offset + width);
+}
+
+}  // namespace smm::secagg

@@ -49,18 +49,46 @@ uint64_t LoadU64(const uint8_t* p) {
 
 /// Reserves the frame buffer, writes the header with the (known a priori)
 /// payload length, and returns the buffer ready for payload appends.
-std::vector<uint8_t> BeginFrame(MessageType type, size_t payload_len) {
+std::vector<uint8_t> BeginFrame(uint8_t version, MessageType type,
+                                size_t payload_len) {
   std::vector<uint8_t> out;
   out.reserve(kFrameOverheadBytes + payload_len);
   // push_back (not a range insert): gcc 12's -Wstringop-overflow misfires
   // on vector::insert into a freshly reserved buffer.
   for (uint8_t b : kMagic) out.push_back(b);
-  out.push_back(kWireVersion);
+  out.push_back(version);
   out.push_back(static_cast<uint8_t>(type));
   out.push_back(0);  // reserved
   out.push_back(0);  // reserved
   AppendU32(out, static_cast<uint32_t>(payload_len));
   return out;
+}
+
+void AppendShardSpec(std::vector<uint8_t>& out, const ShardSpec& spec) {
+  AppendU32(out, spec.shard_index);
+  AppendU32(out, spec.shard_count);
+  AppendU32(out, spec.dim_offset);
+  AppendU32(out, spec.shard_dim);
+}
+
+ShardSpec LoadShardSpec(const uint8_t* p) {
+  ShardSpec spec;
+  spec.shard_index = LoadU32(p);
+  spec.shard_count = LoadU32(p + 4);
+  spec.dim_offset = LoadU32(p + 8);
+  spec.shard_dim = LoadU32(p + 12);
+  return spec;
+}
+
+/// Shard spec validity plus its agreement with the payload element count,
+/// shared by the encoder and the version-2 decoder.
+Status CheckShardAgainstPayload(const ShardSpec& spec, size_t count) {
+  SMM_RETURN_IF_ERROR(ValidateShardSpec(spec));
+  if (spec.shard_dim != count) {
+    return InvalidArgumentError(
+        "shard_dim disagrees with the payload element count");
+  }
+  return OkStatus();
 }
 
 /// Appends the checksum over everything written so far.
@@ -87,6 +115,20 @@ Status CheckElementCount(size_t count, size_t bytes_per_element,
 
 }  // namespace
 
+Status ValidateShardSpec(const ShardSpec& spec) {
+  if (spec.shard_index >= spec.shard_count) {
+    return InvalidArgumentError("shard_index must be < shard_count");
+  }
+  if (spec.shard_dim == 0) {
+    return InvalidArgumentError("shard_dim must be >= 1");
+  }
+  if (uint64_t{spec.dim_offset} + uint64_t{spec.shard_dim} >
+      std::numeric_limits<uint32_t>::max()) {
+    return InvalidArgumentError("shard dimension range overflows uint32");
+  }
+  return OkStatus();
+}
+
 StatusOr<std::vector<uint8_t>> EncodeFrame(const ContributionMsg& msg) {
   SMM_RETURN_IF_ERROR(CheckParticipantId(msg.participant_id));
   if (msg.modulus < 2) {
@@ -95,9 +137,23 @@ StatusOr<std::vector<uint8_t>> EncodeFrame(const ContributionMsg& msg) {
   if (msg.payload.empty()) {
     return InvalidArgumentError("contribution payload must be non-empty");
   }
+  if (msg.shard.has_value()) {
+    SMM_RETURN_IF_ERROR(
+        CheckShardAgainstPayload(*msg.shard, msg.payload.size()));
+    SMM_RETURN_IF_ERROR(CheckElementCount(msg.payload.size(), 8, 32));
+    std::vector<uint8_t> frame =
+        BeginFrame(kWireVersionSharded, MessageType::kContribution,
+                   32 + 8 * msg.payload.size());
+    AppendU32(frame, static_cast<uint32_t>(msg.participant_id));
+    AppendU32(frame, static_cast<uint32_t>(msg.payload.size()));
+    AppendU64(frame, msg.modulus);
+    AppendShardSpec(frame, *msg.shard);
+    for (uint64_t v : msg.payload) AppendU64(frame, v);
+    return FinishFrame(std::move(frame));
+  }
   SMM_RETURN_IF_ERROR(CheckElementCount(msg.payload.size(), 8, 16));
-  std::vector<uint8_t> frame =
-      BeginFrame(MessageType::kContribution, 16 + 8 * msg.payload.size());
+  std::vector<uint8_t> frame = BeginFrame(
+      kWireVersion, MessageType::kContribution, 16 + 8 * msg.payload.size());
   AppendU32(frame, static_cast<uint32_t>(msg.participant_id));
   AppendU32(frame, static_cast<uint32_t>(msg.payload.size()));
   AppendU64(frame, msg.modulus);
@@ -111,8 +167,8 @@ StatusOr<std::vector<uint8_t>> EncodeFrame(const SharesMsg& msg) {
     return InvalidArgumentError("shares message must carry shares");
   }
   SMM_RETURN_IF_ERROR(CheckElementCount(msg.shares.size(), 16, 8));
-  std::vector<uint8_t> frame =
-      BeginFrame(MessageType::kShares, 8 + 16 * msg.shares.size());
+  std::vector<uint8_t> frame = BeginFrame(kWireVersion, MessageType::kShares,
+                                          8 + 16 * msg.shares.size());
   AppendU32(frame, static_cast<uint32_t>(msg.participant_id));
   AppendU32(frame, static_cast<uint32_t>(msg.shares.size()));
   for (const ShamirShare& share : msg.shares) {
@@ -131,10 +187,30 @@ StatusOr<std::vector<uint8_t>> EncodeFrame(const SumMsg& msg) {
   }
   SMM_RETURN_IF_ERROR(CheckElementCount(msg.sum.size(), 8, 16));
   std::vector<uint8_t> frame =
-      BeginFrame(MessageType::kSum, 16 + 8 * msg.sum.size());
+      BeginFrame(kWireVersion, MessageType::kSum, 16 + 8 * msg.sum.size());
   AppendU32(frame, msg.num_contributors);
   AppendU32(frame, static_cast<uint32_t>(msg.sum.size()));
   AppendU64(frame, msg.modulus);
+  for (uint64_t v : msg.sum) AppendU64(frame, v);
+  return FinishFrame(std::move(frame));
+}
+
+StatusOr<std::vector<uint8_t>> EncodeFrame(const PartialSumMsg& msg) {
+  if (msg.modulus < 2) {
+    return InvalidArgumentError("partial sum modulus must be >= 2");
+  }
+  if (msg.sum.empty()) {
+    return InvalidArgumentError("partial sum payload must be non-empty");
+  }
+  SMM_RETURN_IF_ERROR(CheckShardAgainstPayload(msg.shard, msg.sum.size()));
+  SMM_RETURN_IF_ERROR(CheckElementCount(msg.sum.size(), 8, 32));
+  std::vector<uint8_t> frame =
+      BeginFrame(kWireVersionSharded, MessageType::kPartialSum,
+                 32 + 8 * msg.sum.size());
+  AppendU32(frame, msg.num_contributors);
+  AppendU32(frame, static_cast<uint32_t>(msg.sum.size()));
+  AppendU64(frame, msg.modulus);
+  AppendShardSpec(frame, msg.shard);
   for (uint64_t v : msg.sum) AppendU64(frame, v);
   return FinishFrame(std::move(frame));
 }
@@ -151,7 +227,8 @@ StatusOr<WireMessage> DecodeFrame(ByteSpan frame) {
       return InvalidArgumentError("bad frame magic");
     }
   }
-  if (data[4] != kWireVersion) {
+  const uint8_t version = data[4];
+  if (version != kWireVersion && version != kWireVersionSharded) {
     return InvalidArgumentError("unsupported wire version");
   }
   const uint8_t raw_type = data[5];
@@ -178,7 +255,11 @@ StatusOr<WireMessage> DecodeFrame(ByteSpan frame) {
   const uint8_t* payload = data + kFrameHeaderBytes;
   switch (raw_type) {
     case static_cast<uint8_t>(MessageType::kContribution): {
-      if (payload_len < 16) {
+      // Version 2 inserts a 16-byte ShardSpec between the modulus and the
+      // values; everything before and after it keeps the version-1 layout.
+      const uint64_t fixed =
+          version == kWireVersionSharded ? 32 : 16;
+      if (payload_len < fixed) {
         return InvalidArgumentError("contribution payload truncated");
       }
       ContributionMsg msg;
@@ -192,18 +273,26 @@ StatusOr<WireMessage> DecodeFrame(ByteSpan frame) {
       if (msg.modulus < 2) {
         return InvalidArgumentError("contribution modulus must be >= 2");
       }
-      if (count == 0 || payload_len != 16 + 8 * count) {
+      if (count == 0 || payload_len != fixed + 8 * count) {
         return InvalidArgumentError(
             "contribution count disagrees with the payload length");
+      }
+      if (version == kWireVersionSharded) {
+        msg.shard = LoadShardSpec(payload + 16);
+        SMM_RETURN_IF_ERROR(CheckShardAgainstPayload(*msg.shard, count));
       }
       msg.participant_id = static_cast<int>(participant);
       msg.payload.resize(count);
       for (uint64_t i = 0; i < count; ++i) {
-        msg.payload[i] = LoadU64(payload + 16 + 8 * i);
+        msg.payload[i] = LoadU64(payload + fixed + 8 * i);
       }
       return WireMessage(std::move(msg));
     }
     case static_cast<uint8_t>(MessageType::kShares): {
+      if (version != kWireVersion) {
+        return InvalidArgumentError(
+            "shares frames are only defined at wire version 1");
+      }
       if (payload_len < 8) {
         return InvalidArgumentError("shares payload truncated");
       }
@@ -227,6 +316,10 @@ StatusOr<WireMessage> DecodeFrame(ByteSpan frame) {
       return WireMessage(std::move(msg));
     }
     case static_cast<uint8_t>(MessageType::kSum): {
+      if (version != kWireVersion) {
+        return InvalidArgumentError(
+            "sum frames are only defined at wire version 1");
+      }
       if (payload_len < 16) {
         return InvalidArgumentError("sum payload truncated");
       }
@@ -244,6 +337,33 @@ StatusOr<WireMessage> DecodeFrame(ByteSpan frame) {
       msg.sum.resize(count);
       for (uint64_t i = 0; i < count; ++i) {
         msg.sum[i] = LoadU64(payload + 16 + 8 * i);
+      }
+      return WireMessage(std::move(msg));
+    }
+    case static_cast<uint8_t>(MessageType::kPartialSum): {
+      if (version != kWireVersionSharded) {
+        return InvalidArgumentError(
+            "partial sum frames require wire version 2");
+      }
+      if (payload_len < 32) {
+        return InvalidArgumentError("partial sum payload truncated");
+      }
+      PartialSumMsg msg;
+      msg.num_contributors = LoadU32(payload);
+      const uint64_t count = LoadU32(payload + 4);
+      msg.modulus = LoadU64(payload + 8);
+      if (msg.modulus < 2) {
+        return InvalidArgumentError("partial sum modulus must be >= 2");
+      }
+      if (count == 0 || payload_len != 32 + 8 * count) {
+        return InvalidArgumentError(
+            "partial sum count disagrees with the payload length");
+      }
+      msg.shard = LoadShardSpec(payload + 16);
+      SMM_RETURN_IF_ERROR(CheckShardAgainstPayload(msg.shard, count));
+      msg.sum.resize(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        msg.sum[i] = LoadU64(payload + 32 + 8 * i);
       }
       return WireMessage(std::move(msg));
     }

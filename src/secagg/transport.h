@@ -25,7 +25,8 @@ namespace smm::secagg {
 ///
 ///   offset  size  field
 ///   0       4     magic "SMM1" (raw bytes, rejects non-protocol data)
-///   4       1     version (kWireVersion; parsers reject anything else)
+///   4       1     version (kWireVersion or kWireVersionSharded; parsers
+///                 reject anything else)
 ///   5       1     message type (MessageType; parsers reject unknowns)
 ///   6       2     reserved, must be zero
 ///   8       4     payload length in bytes (little-endian uint32)
@@ -38,14 +39,30 @@ namespace smm::secagg {
 /// bytes, exceeds kMaxPayloadBytes, fails the checksum, or its payload's
 /// internal counts disagree with the payload length.
 ///
-/// Payload layouts (LE):
+/// Version 1 payload layouts (LE):
 ///   kContribution  participant_id u32 | count u32 | modulus u64
 ///                  | count x value u64
 ///   kShares        participant_id u32 | count u32 | count x (x u64, y u64)
 ///   kSum           num_contributors u32 | count u32 | modulus u64
 ///                  | count x value u64
+///
+/// Version 2 ("sharded") payload layouts (LE). The version byte gates the
+/// shard extension: every version-1 frame above stays byte-identical, and a
+/// version-2 frame unconditionally carries a 16-byte ShardSpec after the
+/// modulus. Only the two sharded message types exist at version 2; a
+/// version-2 kShares/kSum (and a version-1 kPartialSum) is structurally
+/// malformed and rejected with kInvalidArgument.
+///   kContribution  participant_id u32 | count u32 | modulus u64
+///                  | ShardSpec (4 x u32) | count x value u64
+///   kPartialSum    num_contributors u32 | count u32 | modulus u64
+///                  | ShardSpec (4 x u32) | count x value u64
+///   ShardSpec      shard_index u32 | shard_count u32 | dim_offset u32
+///                  | shard_dim u32
 
 inline constexpr uint8_t kWireVersion = 1;
+/// Wire version of the shard extension: contributions sliced to one shard's
+/// dimension range and the per-shard partial sums a coordinator merges.
+inline constexpr uint8_t kWireVersionSharded = 2;
 inline constexpr size_t kFrameHeaderBytes = 12;
 inline constexpr size_t kFrameChecksumBytes = 8;
 inline constexpr size_t kFrameOverheadBytes =
@@ -59,14 +76,45 @@ enum class MessageType : uint8_t {
   kContribution = 1,
   kShares = 2,
   kSum = 3,
+  kPartialSum = 4,
 };
 
+/// Addresses one shard of a dimension-sharded round: shard `shard_index` of
+/// `shard_count` owns the contiguous coordinate range
+/// [dim_offset, dim_offset + shard_dim). Carried by every version-2 frame;
+/// a spec is well-formed iff shard_index < shard_count, shard_dim >= 1, and
+/// dim_offset + shard_dim fits in a u32 (see ValidateShardSpec).
+struct ShardSpec {
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
+  uint32_t dim_offset = 0;
+  uint32_t shard_dim = 0;
+
+  friend bool operator==(const ShardSpec& a, const ShardSpec& b) {
+    return a.shard_index == b.shard_index && a.shard_count == b.shard_count &&
+           a.dim_offset == b.dim_offset && a.shard_dim == b.shard_dim;
+  }
+  friend bool operator!=(const ShardSpec& a, const ShardSpec& b) {
+    return !(a == b);
+  }
+};
+
+/// Structural validity of a ShardSpec, independent of any round's dimension:
+/// kInvalidArgument unless shard_index < shard_count, shard_dim >= 1, and
+/// dim_offset + shard_dim <= UINT32_MAX.
+Status ValidateShardSpec(const ShardSpec& spec);
+
 /// One participant's (masked) contribution in Z_m^d — the client -> server
-/// payload of Algorithm 3's black-box protocol.
+/// payload of Algorithm 3's black-box protocol. When `shard` is set the
+/// payload covers only that shard's dimension range (shard.shard_dim must
+/// equal payload.size()) and the frame is encoded at kWireVersionSharded;
+/// when unset the frame is a version-1 whole-vector contribution,
+/// byte-identical to the pre-shard wire format.
 struct ContributionMsg {
   int participant_id = 0;
   uint64_t modulus = 0;
   std::vector<uint64_t> payload;
+  std::optional<ShardSpec> shard;
 };
 
 /// A participant's Shamir shares (the dropout-recovery material clients
@@ -83,14 +131,27 @@ struct SumMsg {
   std::vector<uint64_t> sum;
 };
 
+/// One shard worker's aggregated sum over its dimension range, sent to the
+/// coordinator for tree reduction into the round's SumMsg. Always encoded
+/// at kWireVersionSharded; shard.shard_dim must equal sum.size().
+struct PartialSumMsg {
+  uint64_t modulus = 0;
+  uint32_t num_contributors = 0;
+  ShardSpec shard;
+  std::vector<uint64_t> sum;
+};
+
 /// A successfully parsed frame, one alternative per message type.
-using WireMessage = std::variant<ContributionMsg, SharesMsg, SumMsg>;
+using WireMessage =
+    std::variant<ContributionMsg, SharesMsg, SumMsg, PartialSumMsg>;
 
 /// Serializes a message into one framed byte string. Fails on a negative
-/// participant id, a modulus < 2, or a payload over kMaxPayloadBytes.
+/// participant id, a modulus < 2, a payload over kMaxPayloadBytes, or a
+/// shard spec that is malformed or disagrees with the payload size.
 StatusOr<std::vector<uint8_t>> EncodeFrame(const ContributionMsg& msg);
 StatusOr<std::vector<uint8_t>> EncodeFrame(const SharesMsg& msg);
 StatusOr<std::vector<uint8_t>> EncodeFrame(const SumMsg& msg);
+StatusOr<std::vector<uint8_t>> EncodeFrame(const PartialSumMsg& msg);
 
 /// Parses one frame. `frame.size()` must be the exact frame length.
 /// Structurally malformed input (bad magic/version/type, trailing bytes,

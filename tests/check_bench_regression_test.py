@@ -36,7 +36,8 @@ def matrix_artifact(eps=1.0e9, stable=True, bit_identical=True,
                             "modulus": 97, "dim": 1048576,
                             "participants": 0, "dropout_rate": 0.0,
                             "corrupt_frame_rate": 0.0,
-                            "dispatch": "scalar_vs_active", "threads": 1},
+                            "dispatch": "scalar_vs_active", "shards": 1,
+                            "threads": 1},
                  "seconds": 1048576 / eps, "items_per_sec": eps,
                  "bit_identical": bit_identical,
                  "metrics": {"speedup": 2.0}},
@@ -47,7 +48,7 @@ def matrix_artifact(eps=1.0e9, stable=True, bit_identical=True,
                             "modulus": 65536, "dim": 1024,
                             "participants": 32, "dropout_rate": 0.0,
                             "corrupt_frame_rate": 0.0,
-                            "dispatch": "active", "threads": 2},
+                            "dispatch": "active", "shards": 1, "threads": 2},
                  "seconds": 0.5, "items_per_sec": 2.0e6,
                  "bit_identical": True, "metrics": {}},
             ]},

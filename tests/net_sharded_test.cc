@@ -1,0 +1,175 @@
+// End-to-end tests for the dimension-sharded TCP tier: OpenShardedRound
+// hosts K shard workers on their own ports, ShardedFanoutClient fans one
+// participant's sub-frames out across them and merges the per-range sum
+// broadcasts, and both the client-side and server-side merged sums are
+// byte-identical to the same round run unsharded — the wire-level half of
+// the sharding bit-identity contract.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket_util.h"
+#include "secagg/secure_aggregator.h"
+#include "secagg/shard_plan.h"
+#include "secagg/transport.h"
+
+namespace smm::net {
+namespace {
+
+using secagg::ContributionMsg;
+using secagg::EncodeFrame;
+using secagg::IdealAggregator;
+using secagg::ShardPlan;
+using secagg::SumMsg;
+
+constexpr uint64_t kPrime64 = 18446744073709551557ULL;  // 2^64 - 59.
+
+std::vector<std::vector<uint64_t>> RandomInputs(int n, size_t dim, uint64_t m,
+                                                uint64_t seed) {
+  RandomGenerator rng(seed);
+  std::vector<std::vector<uint64_t>> inputs(static_cast<size_t>(n));
+  for (auto& v : inputs) {
+    v.resize(dim);
+    for (auto& x : v) x = rng.UniformUint64(m);
+  }
+  return inputs;
+}
+
+std::vector<uint64_t> PlainSum(const std::vector<std::vector<uint64_t>>& inputs,
+                               uint64_t m) {
+  std::vector<uint64_t> sum(inputs[0].size(), 0);
+  for (const auto& v : inputs) {
+    for (size_t i = 0; i < v.size(); ++i) sum[i] = AddMod(sum[i], v[i], m);
+  }
+  return sum;
+}
+
+/// One participant's sub-frames for the round: the per-shard slices of its
+/// input, each addressed with the shard's spec. With one shard this is the
+/// plain unsharded version-1 contribution (no spec), matching what the
+/// single worker session expects.
+std::vector<std::vector<uint8_t>> ShardFrames(const ShardPlan& plan,
+                                              int participant, uint64_t m,
+                                              const std::vector<uint64_t>& x) {
+  std::vector<std::vector<uint8_t>> frames;
+  for (size_t s = 0; s < plan.shard_count(); ++s) {
+    ContributionMsg msg;
+    msg.participant_id = participant;
+    msg.modulus = m;
+    auto slice = plan.Slice(x, s);
+    EXPECT_TRUE(slice.ok());
+    msg.payload = *std::move(slice);
+    if (plan.shard_count() > 1) msg.shard = plan.Spec(s);
+    auto frame = EncodeFrame(msg);
+    EXPECT_TRUE(frame.ok());
+    frames.push_back(*std::move(frame));
+  }
+  return frames;
+}
+
+TEST(NetShardedTest, FanoutRoundMatchesUnshardedSumAtEveryShardCount) {
+  if (!NetSupported()) GTEST_SKIP() << "no socket backend on this platform";
+  const size_t dim = 10;  // Not divisible by 3: uneven shard widths.
+  const int kParticipants = 4;
+  IdealAggregator aggregator;
+  auto server = AggregationServer::Start();
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  const auto inputs = RandomInputs(kParticipants, dim, kPrime64, 77);
+  const std::vector<uint64_t> expected = PlainSum(inputs, kPrime64);
+
+  for (const size_t shards : {size_t{1}, size_t{3}}) {
+    AggregationServer::ShardedRoundOptions options;
+    options.dim = dim;
+    options.modulus = kPrime64;
+    options.shard_count = shards;
+    options.expected_contributions = kParticipants;
+    auto round = (*server)->OpenShardedRound(aggregator, options);
+    ASSERT_TRUE(round.ok()) << round.status().ToString();
+    ASSERT_EQ(round->shards.size(), shards);
+
+    std::vector<uint16_t> ports;
+    for (const auto& info : round->shards) ports.push_back(info.port);
+
+    std::vector<ShardedFanoutClient> clients;
+    for (int p = 0; p < kParticipants; ++p) {
+      auto client = ShardedFanoutClient::Connect(ports);
+      ASSERT_TRUE(client.ok()) << client.status().ToString();
+      EXPECT_EQ(client->shard_count(), shards);
+      ASSERT_TRUE(client
+                      ->SendShardFrames(ShardFrames(
+                          round->plan, p, kPrime64,
+                          inputs[static_cast<size_t>(p)]))
+                      .ok());
+      ASSERT_TRUE(client->FinishSending().ok());
+      clients.push_back(std::move(*client));
+    }
+
+    // Every participant's client-side merge and the server-side merge agree
+    // with the plain modular sum, exactly.
+    for (auto& client : clients) {
+      auto merged = client.ReadMergedSum(round->plan);
+      ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+      EXPECT_EQ(merged->sum, expected) << "shards=" << shards;
+      EXPECT_EQ(merged->modulus, kPrime64);
+      EXPECT_EQ(merged->num_contributors,
+                static_cast<uint32_t>(kParticipants));
+    }
+    auto waited = (*server)->WaitForShardedSum(*round);
+    ASSERT_TRUE(waited.ok()) << waited.status().ToString();
+    EXPECT_EQ(waited->sum, expected) << "shards=" << shards;
+    EXPECT_EQ(waited->num_contributors, static_cast<uint32_t>(kParticipants));
+  }
+}
+
+TEST(NetShardedTest, RejectsMoreShardsThanDimensions) {
+  if (!NetSupported()) GTEST_SKIP() << "no socket backend on this platform";
+  IdealAggregator aggregator;
+  auto server = AggregationServer::Start();
+  ASSERT_TRUE(server.ok());
+  AggregationServer::ShardedRoundOptions options;
+  options.dim = 2;
+  options.modulus = 1 << 16;
+  options.shard_count = 3;
+  EXPECT_EQ((*server)->OpenShardedRound(aggregator, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetShardedTest, WrongShardFrameCountRejectedClientSide) {
+  if (!NetSupported()) GTEST_SKIP() << "no socket backend on this platform";
+  IdealAggregator aggregator;
+  auto server = AggregationServer::Start();
+  ASSERT_TRUE(server.ok());
+  AggregationServer::ShardedRoundOptions options;
+  options.dim = 8;
+  options.modulus = 1 << 16;
+  options.shard_count = 2;
+  options.expected_contributions = 1;
+  auto round = (*server)->OpenShardedRound(aggregator, options);
+  ASSERT_TRUE(round.ok());
+  std::vector<uint16_t> ports;
+  for (const auto& info : round->shards) ports.push_back(info.port);
+  auto client = ShardedFanoutClient::Connect(ports);
+  ASSERT_TRUE(client.ok());
+  // One frame for a two-shard fan-out: rejected before anything is sent.
+  const std::vector<uint64_t> x(8, 1);
+  auto frames = ShardFrames(round->plan, 0, 1 << 16, x);
+  frames.pop_back();
+  EXPECT_EQ(client->SendShardFrames(frames).code(),
+            StatusCode::kInvalidArgument);
+  // The full fan-out still completes the round afterwards.
+  ASSERT_TRUE(
+      client->SendShardFrames(ShardFrames(round->plan, 0, 1 << 16, x)).ok());
+  ASSERT_TRUE(client->FinishSending().ok());
+  auto merged = client->ReadMergedSum(round->plan);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->sum, x);
+}
+
+}  // namespace
+}  // namespace smm::net

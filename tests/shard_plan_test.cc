@@ -1,0 +1,101 @@
+// ShardPlan slicing-rule tests: contiguous coverage of [0, dim) for any
+// (dim, K), the ceil/floor width split when K does not divide d, the
+// K > d / K < 1 rejections, and Spec/Slice agreement with the wire format.
+#include "secagg/shard_plan.h"
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace smm::secagg {
+namespace {
+
+TEST(ShardPlanTest, RejectsInvalidArguments) {
+  EXPECT_EQ(ShardPlan::Create(0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ShardPlan::Create(8, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  // K > d would create empty shards; rejected, never silently clamped.
+  EXPECT_EQ(ShardPlan::Create(4, 5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ShardPlan::Create(1, 2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardPlanTest, SingleShardOwnsEverything) {
+  auto plan = ShardPlan::Create(17, 1);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->Offset(0), 0u);
+  EXPECT_EQ(plan->Width(0), 17u);
+  const ShardSpec spec = plan->Spec(0);
+  EXPECT_EQ(spec.shard_index, 0u);
+  EXPECT_EQ(spec.shard_count, 1u);
+  EXPECT_EQ(spec.dim_offset, 0u);
+  EXPECT_EQ(spec.shard_dim, 17u);
+}
+
+TEST(ShardPlanTest, RangesTileTheDimensionForEveryDivisibility) {
+  for (size_t dim : {1u, 2u, 7u, 8u, 100u, 1023u}) {
+    for (size_t k = 1; k <= dim && k <= 16; ++k) {
+      auto plan = ShardPlan::Create(dim, k);
+      ASSERT_TRUE(plan.ok()) << "dim=" << dim << " k=" << k;
+      size_t covered = 0;
+      const size_t wide = dim % k;
+      for (size_t s = 0; s < k; ++s) {
+        EXPECT_EQ(plan->Offset(s), covered) << "dim=" << dim << " k=" << k;
+        const size_t width = plan->Width(s);
+        EXPECT_GE(width, 1u);
+        // First d % K shards take ceil(d/K), the rest floor(d/K).
+        EXPECT_EQ(width, dim / k + (s < wide ? 1 : 0));
+        covered += width;
+      }
+      EXPECT_EQ(covered, dim);
+    }
+  }
+}
+
+TEST(ShardPlanTest, SpecMatchesOffsetAndWidth) {
+  auto plan = ShardPlan::Create(10, 3);  // Widths 4, 3, 3.
+  ASSERT_TRUE(plan.ok());
+  for (size_t s = 0; s < 3; ++s) {
+    const ShardSpec spec = plan->Spec(s);
+    EXPECT_EQ(spec.shard_index, s);
+    EXPECT_EQ(spec.shard_count, 3u);
+    EXPECT_EQ(spec.dim_offset, plan->Offset(s));
+    EXPECT_EQ(spec.shard_dim, plan->Width(s));
+    EXPECT_TRUE(ValidateShardSpec(spec).ok());
+  }
+  EXPECT_EQ(plan->Width(0), 4u);
+  EXPECT_EQ(plan->Width(1), 3u);
+  EXPECT_EQ(plan->Width(2), 3u);
+}
+
+TEST(ShardPlanTest, SliceConcatenationReproducesTheInput) {
+  std::vector<uint64_t> full(23);
+  std::iota(full.begin(), full.end(), 100);
+  auto plan = ShardPlan::Create(full.size(), 5);
+  ASSERT_TRUE(plan.ok());
+  std::vector<uint64_t> rebuilt;
+  for (size_t s = 0; s < plan->shard_count(); ++s) {
+    auto slice = plan->Slice(full, s);
+    ASSERT_TRUE(slice.ok());
+    EXPECT_EQ(slice->size(), plan->Width(s));
+    rebuilt.insert(rebuilt.end(), slice->begin(), slice->end());
+  }
+  EXPECT_EQ(rebuilt, full);
+}
+
+TEST(ShardPlanTest, SliceRejectsWrongSizeInput) {
+  auto plan = ShardPlan::Create(8, 2);
+  ASSERT_TRUE(plan.ok());
+  const std::vector<uint64_t> wrong(7, 0);
+  EXPECT_EQ(plan->Slice(wrong, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace smm::secagg

@@ -38,6 +38,28 @@ ContributionMsg MakeContribution(uint64_t seed, size_t dim, uint64_t m) {
   return msg;
 }
 
+/// Rewrites the trailing FNV-1a checksum after a deliberate mutation, so
+/// only the structural check under test can reject the frame.
+void Rechecksum(std::vector<uint8_t>& frame) {
+  const size_t body = frame.size() - kFrameChecksumBytes;
+  const uint64_t hash = ReferenceFnv1a64(frame.data(), body);
+  for (size_t b = 0; b < 8; ++b) {
+    frame[body + b] = static_cast<uint8_t>(hash >> (8 * b));
+  }
+}
+
+PartialSumMsg MakePartialSum(uint64_t seed, const ShardSpec& spec,
+                             uint64_t m) {
+  RandomGenerator rng(seed);
+  PartialSumMsg msg;
+  msg.modulus = m;
+  msg.num_contributors = static_cast<uint32_t>(rng.UniformUint64(500));
+  msg.shard = spec;
+  msg.sum.resize(spec.shard_dim);
+  for (auto& v : msg.sum) v = rng.UniformUint64(m);
+  return msg;
+}
+
 TEST(TransportFrameTest, ContributionRoundTrip) {
   const uint64_t m = 18446744073709551557ULL;  // 2^64 - 59.
   const ContributionMsg msg = MakeContribution(1, 37, m);
@@ -233,6 +255,214 @@ TEST(TransportFrameTest, RandomGarbageNeverParses) {
     (void)DecodeFrame(garbage).ok();
   }
   EXPECT_FALSE(DecodeFrame(ByteSpan()).ok());
+}
+
+TEST(TransportFrameTest, ShardedContributionRoundTrip) {
+  const uint64_t m = 18446744073709551557ULL;  // 2^64 - 59.
+  ContributionMsg msg = MakeContribution(13, 5, m);
+  msg.shard = ShardSpec{1, 4, 10, 5};
+  auto frame = EncodeFrame(msg);
+  ASSERT_TRUE(frame.ok());
+  // Version-2 fixed part: the v1 16 bytes plus the 16-byte ShardSpec.
+  EXPECT_EQ(frame->size(), kFrameOverheadBytes + 32 + 8 * msg.payload.size());
+  EXPECT_EQ((*frame)[4], kWireVersionSharded);
+  auto decoded = DecodeFrame(*frame);
+  ASSERT_TRUE(decoded.ok());
+  const auto* out = std::get_if<ContributionMsg>(&*decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->participant_id, msg.participant_id);
+  EXPECT_EQ(out->modulus, msg.modulus);
+  EXPECT_EQ(out->payload, msg.payload);
+  ASSERT_TRUE(out->shard.has_value());
+  EXPECT_EQ(*out->shard, *msg.shard);
+}
+
+TEST(TransportFrameTest, UnshardedContributionStaysVersionOne) {
+  // The shard extension must not move a single byte of the v1 format: an
+  // unsharded contribution still encodes at version 1 with the 16-byte
+  // fixed part, so pre-shard peers interoperate unchanged.
+  auto frame = EncodeFrame(MakeContribution(14, 6, 1 << 20));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ((*frame)[4], kWireVersion);
+  EXPECT_EQ(frame->size(), kFrameOverheadBytes + 16 + 8 * 6);
+}
+
+TEST(TransportFrameTest, PartialSumRoundTrip) {
+  const uint64_t m = 18446744073709551557ULL;
+  const PartialSumMsg msg = MakePartialSum(15, ShardSpec{2, 3, 8, 7}, m);
+  auto frame = EncodeFrame(msg);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->size(), kFrameOverheadBytes + 32 + 8 * msg.sum.size());
+  EXPECT_EQ((*frame)[4], kWireVersionSharded);
+  auto decoded = DecodeFrame(*frame);
+  ASSERT_TRUE(decoded.ok());
+  const auto* out = std::get_if<PartialSumMsg>(&*decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->modulus, msg.modulus);
+  EXPECT_EQ(out->num_contributors, msg.num_contributors);
+  EXPECT_EQ(out->shard, msg.shard);
+  EXPECT_EQ(out->sum, msg.sum);
+}
+
+TEST(TransportFrameTest, PartialSumEveryTruncationRejected) {
+  const PartialSumMsg msg = MakePartialSum(16, ShardSpec{0, 2, 0, 9}, 1 << 16);
+  auto frame = EncodeFrame(msg);
+  ASSERT_TRUE(frame.ok());
+  for (size_t len = 0; len < frame->size(); ++len) {
+    auto decoded = DecodeFrame(ByteSpan(frame->data(), len));
+    ASSERT_FALSE(decoded.ok()) << "len=" << len;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss) << "len=" << len;
+  }
+}
+
+TEST(TransportFrameTest, ShardedEverySingleByteCorruptionRejected) {
+  ContributionMsg msg = MakeContribution(17, 4, 1 << 20);
+  msg.shard = ShardSpec{0, 2, 0, 4};
+  auto contribution = EncodeFrame(msg);
+  ASSERT_TRUE(contribution.ok());
+  auto partial =
+      EncodeFrame(MakePartialSum(18, ShardSpec{1, 2, 4, 3}, 1 << 20));
+  ASSERT_TRUE(partial.ok());
+  for (const auto* frame : {&*contribution, &*partial}) {
+    for (size_t pos = 0; pos < frame->size(); ++pos) {
+      std::vector<uint8_t> corrupt = *frame;
+      corrupt[pos] ^= 0x40;
+      EXPECT_FALSE(DecodeFrame(corrupt).ok()) << "pos=" << pos;
+    }
+  }
+}
+
+TEST(TransportFrameTest, EncodeRejectsMalformedShardSpecs) {
+  const uint64_t m = 1 << 16;
+  {
+    // shard_index >= shard_count.
+    ContributionMsg msg = MakeContribution(19, 4, m);
+    msg.shard = ShardSpec{2, 2, 0, 4};
+    EXPECT_EQ(EncodeFrame(msg).status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // shard_dim disagrees with the payload size.
+    ContributionMsg msg = MakeContribution(19, 4, m);
+    msg.shard = ShardSpec{0, 2, 0, 5};
+    EXPECT_EQ(EncodeFrame(msg).status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Empty shard (shard_dim 0).
+    PartialSumMsg msg;
+    msg.modulus = m;
+    msg.num_contributors = 1;
+    msg.shard = ShardSpec{0, 1, 0, 0};
+    EXPECT_EQ(EncodeFrame(msg).status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // dim_offset + shard_dim overflows u32.
+    PartialSumMsg msg = MakePartialSum(20, ShardSpec{0, 1, 0, 3}, m);
+    msg.shard.dim_offset = 0xffffffffu - 1;
+    EXPECT_EQ(EncodeFrame(msg).status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(TransportFrameTest, DecodeRejectsMalformedShardSpecOnTheWire) {
+  // Craft a correctly-checksummed version-2 frame whose ShardSpec is
+  // structurally invalid; only the spec validation can reject it.
+  ContributionMsg msg = MakeContribution(21, 4, 1 << 16);
+  msg.shard = ShardSpec{1, 4, 4, 4};
+  auto frame = EncodeFrame(msg);
+  ASSERT_TRUE(frame.ok());
+  {
+    // shard_index (payload offset 16, LE low byte) raised to shard_count.
+    std::vector<uint8_t> corrupt = *frame;
+    corrupt[kFrameHeaderBytes + 16] = 4;
+    Rechecksum(corrupt);
+    EXPECT_EQ(DecodeFrame(corrupt).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    // shard_dim (payload offset 28) zeroed: empty shards don't exist, and
+    // the count/payload-length check would also disagree. shard_dim is 4,
+    // so clearing the LE low byte zeroes the whole field.
+    std::vector<uint8_t> corrupt = *frame;
+    corrupt[kFrameHeaderBytes + 28] = 0;
+    Rechecksum(corrupt);
+    EXPECT_EQ(DecodeFrame(corrupt).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    // shard_dim disagreeing with the count field while the payload length
+    // still matches the count: the spec/count cross-check must fire.
+    std::vector<uint8_t> corrupt = *frame;
+    corrupt[kFrameHeaderBytes + 28] = 5;
+    Rechecksum(corrupt);
+    EXPECT_FALSE(DecodeFrame(corrupt).ok());
+  }
+}
+
+TEST(TransportFrameTest, VersionGatingRejectsCrossVersionTypes) {
+  const uint64_t m = 1 << 16;
+  {
+    // A version-2 kShares frame does not exist: take a valid v1 shares
+    // frame, stamp version 2, re-checksum.
+    SharesMsg msg;
+    msg.participant_id = 3;
+    msg.shares.push_back({1, 2});
+    auto frame = EncodeFrame(msg);
+    ASSERT_TRUE(frame.ok());
+    std::vector<uint8_t> v2 = *frame;
+    v2[4] = kWireVersionSharded;
+    Rechecksum(v2);
+    EXPECT_EQ(DecodeFrame(v2).status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // A version-2 kSum frame does not exist either (shard workers emit
+    // kPartialSum; only the coordinator emits the v1 kSum).
+    SumMsg msg;
+    msg.modulus = m;
+    msg.num_contributors = 2;
+    msg.sum = {1, 2, 3};
+    auto frame = EncodeFrame(msg);
+    ASSERT_TRUE(frame.ok());
+    std::vector<uint8_t> v2 = *frame;
+    v2[4] = kWireVersionSharded;
+    Rechecksum(v2);
+    EXPECT_EQ(DecodeFrame(v2).status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // A version-1 kPartialSum does not exist: the partial-sum layout
+    // requires the ShardSpec the v1 header has no room for.
+    auto frame = EncodeFrame(MakePartialSum(22, ShardSpec{0, 2, 0, 3}, m));
+    ASSERT_TRUE(frame.ok());
+    std::vector<uint8_t> v1 = *frame;
+    v1[4] = kWireVersion;
+    Rechecksum(v1);
+    EXPECT_EQ(DecodeFrame(v1).status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // A sharded contribution downgraded to version 1 reads as a v1
+    // contribution whose count disagrees with the payload length (the spec
+    // bytes land where values would be); it must be rejected, not
+    // misinterpreted.
+    ContributionMsg msg = MakeContribution(23, 4, m);
+    msg.shard = ShardSpec{0, 2, 0, 4};
+    auto frame = EncodeFrame(msg);
+    ASSERT_TRUE(frame.ok());
+    std::vector<uint8_t> v1 = *frame;
+    v1[4] = kWireVersion;
+    Rechecksum(v1);
+    EXPECT_FALSE(DecodeFrame(v1).ok());
+  }
+}
+
+TEST(TransportFrameTest, ValidateShardSpecCoversTheContract) {
+  EXPECT_TRUE(ValidateShardSpec(ShardSpec{0, 1, 0, 1}).ok());
+  EXPECT_TRUE(ValidateShardSpec(ShardSpec{7, 8, 100, 50}).ok());
+  EXPECT_EQ(ValidateShardSpec(ShardSpec{1, 1, 0, 1}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateShardSpec(ShardSpec{0, 0, 0, 1}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateShardSpec(ShardSpec{0, 1, 0, 0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateShardSpec(ShardSpec{0, 1, 0xffffffffu, 2}).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(InMemoryTransportTest, DrainsLowestClientFirstFifoWithinClient) {
