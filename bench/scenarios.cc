@@ -18,8 +18,10 @@
 #include "mechanisms/distributed_mechanism.h"
 #include "mechanisms/smm_mechanism.h"
 #include "net/client.h"
+#include "net/retry.h"
 #include "net/server.h"
 #include "runner.h"
+#include "secagg/fault_injection.h"
 #include "secagg/secure_aggregator.h"
 #include "secagg/session.h"
 #include "secagg/sharded_coordinator.h"
@@ -596,6 +598,7 @@ class ShardedSumScenario : public Scenario {
     ThreadPool pool(point.threads);
     std::vector<uint64_t> sum;
     size_t worker_bytes = 0;
+    secagg::FaultStats fault_stats;
     Status status = OkStatus();
     const double best_seconds = BestOfN(Repeats(options, 2, 3), [&] {
       secagg::ShardedCoordinator::Options coordinator_options;
@@ -610,7 +613,16 @@ class ShardedSumScenario : public Scenario {
         status = round.status();
         return;
       }
+      // The frames travel through the chaos decorator with duplicate and
+      // reorder faults on — the two faults first-wins dedup and commutative
+      // modular addition absorb exactly — so every point also proves the
+      // sharded sum is chaos-invariant, bit for bit.
       secagg::InMemoryTransport loopback;
+      secagg::FaultSchedule schedule;
+      schedule.duplicate = 0.10;
+      schedule.reorder = 0.10;
+      schedule.seed = 23;
+      secagg::FaultInjectingTransport chaotic(loopback, schedule);
       for (size_t p = 0; p < participants; ++p) {
         auto frames = (*round)->EncodeShardedContribution(
             static_cast<int>(p), inputs[p]);
@@ -619,17 +631,22 @@ class ShardedSumScenario : public Scenario {
           return;
         }
         for (auto& frame : *frames) {
-          if (!loopback.Send(static_cast<int>(p), std::move(frame)).ok()) {
+          if (!chaotic.Send(static_cast<int>(p), std::move(frame)).ok()) {
             status = InternalError("frame delivery failed");
             return;
           }
         }
       }
-      const Status drained = (*round)->DrainTransport(loopback);
+      if (!chaotic.FinishSending().ok()) {
+        status = InternalError("chaos flush failed");
+        return;
+      }
+      const Status drained = (*round)->DrainTransport(chaotic);
       if (!drained.ok()) {
         status = drained;
         return;
       }
+      fault_stats = chaotic.stats();
       worker_bytes = 0;
       for (size_t s = 0; s < shards; ++s) {
         worker_bytes = std::max(worker_bytes, (*round)->ShardResidentBytes(s));
@@ -656,6 +673,12 @@ class ShardedSumScenario : public Scenario {
          static_cast<double>(dim * sizeof(uint64_t))});
     result.metrics.push_back(
         {"sub_frames", static_cast<double>(participants * shards)});
+    result.metrics.push_back(
+        {"chaos_duplicated_frames",
+         static_cast<double>(fault_stats.duplicated)});
+    result.metrics.push_back(
+        {"chaos_reordered_frames",
+         static_cast<double>(fault_stats.reordered)});
     if (point.shards == 1 && point.threads == 1) {
       reference_ = std::move(sum);
     } else {
@@ -719,17 +742,24 @@ class ServerSessionsScenario : public Scenario {
     secagg::IdealAggregator aggregator;
     net::AggregationServer::Options server_options;
     server_options.event_loop_threads = loops;
+    // Exercise the failure machinery on the happy path: a generous idle
+    // timeout and round deadline that nothing should hit — the counters
+    // below prove it.
+    server_options.idle_timeout_ms = 30'000;
     SMM_ASSIGN_OR_RETURN(auto server,
                          net::AggregationServer::Start(server_options));
 
     int mismatch_total = 0;
+    std::atomic<int64_t> total_attempts{0};
     const double seconds = TimeSeconds([&] {
       std::vector<net::AggregationServer::SessionInfo> infos(sessions);
       for (size_t s = 0; s < sessions; ++s) {
         net::AggregationServer::SessionOptions session_options;
         session_options.session.dim = dim;
         session_options.session.modulus = modulus;
+        session_options.session.min_contributions = kContribPerSession;
         session_options.expected_contributions = kContribPerSession;
+        session_options.deadline_ms = 60'000;
         auto info = server->OpenSession(aggregator, session_options);
         if (!info.ok()) {
           ++mismatch_total;
@@ -743,8 +773,12 @@ class ServerSessionsScenario : public Scenario {
         drivers.emplace_back([&, t] {
           for (size_t s = static_cast<size_t>(t); s < sessions;
                s += kDriverThreads) {
+            // Last participant runs the retrying full round (connect, send,
+            // half-close, read the broadcast); the others contribute and
+            // stay connected through the broadcast. Retries should never
+            // fire on loopback — total_attempts proves it.
             std::vector<net::BlockingClient> clients;
-            for (size_t p = 0; p < kContribPerSession; ++p) {
+            for (size_t p = 0; p + 1 < kContribPerSession; ++p) {
               auto client = net::BlockingClient::Connect(infos[s].port);
               if (!client.ok()) {
                 ++mismatches[static_cast<size_t>(t)];
@@ -764,13 +798,33 @@ class ServerSessionsScenario : public Scenario {
               }
               clients.push_back(std::move(*client));
             }
+            secagg::ContributionMsg last;
+            last.participant_id = static_cast<int>(kContribPerSession - 1);
+            last.modulus = modulus;
+            last.payload.resize(dim);
+            for (size_t j = 0; j < dim; ++j) {
+              last.payload[j] =
+                  payload_value(s, kContribPerSession - 1, j);
+            }
+            auto frame = secagg::EncodeFrame(last);
+            if (!frame.ok()) {
+              ++mismatches[static_cast<size_t>(t)];
+              return;
+            }
+            net::RetryPolicy retry;
+            retry.max_attempts = 3;
+            retry.seed = 11 + s;
+            int attempts = 0;
+            auto sum = net::RunContributionRound(
+                infos[s].port, *frame, net::BlockingClient::Options(), retry,
+                &attempts);
+            total_attempts.fetch_add(attempts, std::memory_order_relaxed);
             std::vector<uint64_t> expected(dim, 0);
             for (size_t p = 0; p < kContribPerSession; ++p) {
               for (size_t j = 0; j < dim; ++j) {
                 expected[j] = (expected[j] + payload_value(s, p, j)) % modulus;
               }
             }
-            auto sum = clients.front().ReadSum();
             if (!sum.ok() || sum->sum != expected) {
               ++mismatches[static_cast<size_t>(t)];
             }
@@ -780,6 +834,7 @@ class ServerSessionsScenario : public Scenario {
       for (auto& driver : drivers) driver.join();
       for (const int m : mismatches) mismatch_total += m;
     });
+    const net::ServerStats stats = server->Stats();
     server->Stop();
 
     PointResult result;
@@ -795,6 +850,19 @@ class ServerSessionsScenario : public Scenario {
     result.metrics.push_back(
         {"contributions_per_session",
          static_cast<double>(kContribPerSession)});
+    // Failure-path counters: all three should stay zero on the happy path,
+    // and retry_attempts should equal the session count (one attempt each).
+    result.metrics.push_back(
+        {"retry_attempts", static_cast<double>(total_attempts.load())});
+    result.metrics.push_back(
+        {"sessions_deadline_exceeded",
+         static_cast<double>(stats.sessions_deadline_exceeded)});
+    result.metrics.push_back(
+        {"sessions_quorum_finalized",
+         static_cast<double>(stats.sessions_quorum_finalized)});
+    result.metrics.push_back(
+        {"connections_evicted",
+         static_cast<double>(stats.connections_evicted)});
     return std::vector<PointResult>{std::move(result)};
   }
 };

@@ -33,6 +33,13 @@ namespace smm {
 /// |                     | indicates a bug, not caller error.               |
 /// | kUnimplemented      | The operation is not available in this build     |
 /// |                     | (e.g. sockets on a non-Linux platform).          |
+/// | kDeadlineExceeded   | A wall-clock bound expired before the operation  |
+/// |                     | could complete: a round deadline passed below    |
+/// |                     | quorum, a wait timed out. Not retryable within   |
+/// |                     | the same round — the round is over.              |
+/// | kUnavailable        | The peer or service cannot be reached right now  |
+/// |                     | (connection refused/reset during setup). Safe to |
+/// |                     | retry with backoff.                              |
 ///
 /// The transport distinction matters operationally: kInvalidArgument means
 /// the peer sent a well-delivered but nonsensical message (reject the frame,
@@ -48,6 +55,8 @@ enum class StatusCode {
   kInternal = 5,
   kUnimplemented = 6,
   kDataLoss = 7,
+  kDeadlineExceeded = 8,
+  kUnavailable = 9,
 };
 
 /// Returns a human-readable name for a status code (e.g. "InvalidArgument").
@@ -111,6 +120,12 @@ inline Status UnimplementedError(std::string message) {
 }
 inline Status DataLossError(std::string message) {
   return Status(StatusCode::kDataLoss, std::move(message));
+}
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 /// A value-or-error result, modeled after absl::StatusOr.

@@ -63,6 +63,14 @@ struct FlConfig {
   /// round is bit-identical to the unsharded one at every K.
   int shard_count = 1;
 
+  /// Aggregation-round failures (deadline expiry, transport loss) the run
+  /// tolerates before giving up: a failed round is skipped — no model
+  /// update, marked failed in the history — and training continues, because
+  /// losing one Poisson sample costs one gradient step, not the run. 0
+  /// (default) = fail-fast: the first failed round fails Train() with its
+  /// status, exactly the pre-degradation behavior.
+  int max_round_failures = 0;
+
   /// Evaluate test accuracy every this many rounds (and always at the end).
   int eval_every = 100;
   /// Cap on test examples per evaluation (0 = use all).

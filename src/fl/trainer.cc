@@ -456,10 +456,29 @@ StatusOr<TrainingResult> FederatedTrainer::Train() {
     if (participants.empty()) continue;
 
     double mean_loss = 0.0;
-    SMM_ASSIGN_OR_RETURN(auto grad_avg,
-                         AggregateRound(participants, &mean_loss));
+    Status injected = round_fault_injector_ != nullptr
+                          ? round_fault_injector_(round)
+                          : OkStatus();
+    StatusOr<std::vector<double>> grad_avg =
+        injected.ok() ? AggregateRound(participants, &mean_loss)
+                      : StatusOr<std::vector<double>>(std::move(injected));
+    if (!grad_avg.ok()) {
+      // A failed aggregation round (deadline expiry, transport loss) costs
+      // one Poisson sample's gradient step. Within the configured budget,
+      // skip it — no model update — and keep training; past the budget,
+      // fail the run with the round's status.
+      if (result.failed_rounds >= config_.max_round_failures) {
+        return grad_avg.status();
+      }
+      ++result.failed_rounds;
+      RoundRecord record;
+      record.round = round;
+      record.failed = true;
+      result.history.push_back(record);
+      continue;
+    }
     SMM_RETURN_IF_ERROR(
-        optimizer_->Step(model_.mutable_parameters(), grad_avg));
+        optimizer_->Step(model_.mutable_parameters(), *grad_avg));
 
     const bool should_eval =
         (config_.eval_every > 0 && round % config_.eval_every == 0) ||
@@ -474,9 +493,17 @@ StatusOr<TrainingResult> FederatedTrainer::Train() {
       result.history.push_back(record);
     }
   }
+  // The last *evaluated* record carries the final accuracy; failed rounds
+  // recorded no metrics. None evaluated -> measure now.
+  const RoundRecord* last_eval = nullptr;
+  for (auto it = result.history.rbegin(); it != result.history.rend(); ++it) {
+    if (!it->failed) {
+      last_eval = &*it;
+      break;
+    }
+  }
   result.final_accuracy =
-      result.history.empty() ? EvaluateAccuracy()
-                             : result.history.back().test_accuracy;
+      last_eval != nullptr ? last_eval->test_accuracy : EvaluateAccuracy();
   if (mechanism_ != nullptr) {
     result.total_overflows = mechanism_->overflow_count();
   }

@@ -1,7 +1,9 @@
 #ifndef SMM_FL_TRAINER_H_
 #define SMM_FL_TRAINER_H_
 
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "accounting/rdp_accountant.h"
@@ -23,6 +25,10 @@ struct RoundRecord {
   double train_loss = 0.0;
   double test_accuracy = 0.0;
   double test_loss = 0.0;
+  /// True when this round's aggregation failed (deadline, transport loss)
+  /// and was skipped under FlConfig::max_round_failures: no model update
+  /// happened, the metrics above are zero, and training continued.
+  bool failed = false;
 };
 
 /// One evaluation pass over the test set.
@@ -45,6 +51,10 @@ struct TrainingResult {
   /// Modular wrap-around events across the run (utility-destroying at small
   /// bitwidths; Section 6.2).
   int64_t total_overflows = 0;
+  /// Aggregation rounds that failed and were skipped (each also appears in
+  /// `history` with RoundRecord::failed set). Always 0 when
+  /// FlConfig::max_round_failures is 0 — a failure then fails the run.
+  int failed_rounds = 0;
 };
 
 /// Federated learning with distributed SGD (Algorithm 3): every training
@@ -74,6 +84,14 @@ class FederatedTrainer {
   EvalMetrics EvaluateMetrics() const;
 
   const nn::Mlp& model() const { return model_; }
+
+  /// Test-only chaos hook: when set, runs before each round's aggregation;
+  /// a non-OK return is treated exactly like that round's AggregateRound
+  /// failing (the degradation path under FlConfig::max_round_failures).
+  void SetRoundFaultInjectorForTest(
+      std::function<Status(int round)> injector) {
+    round_fault_injector_ = std::move(injector);
+  }
 
  private:
   FederatedTrainer(nn::Mlp model, data::Dataset train, data::Dataset test,
@@ -120,6 +138,8 @@ class FederatedTrainer {
   double noise_parameter_ = 0.0;
   accounting::DpGuarantee guarantee_;
   double delta_inf_ = 0.0;
+
+  std::function<Status(int)> round_fault_injector_;
 };
 
 }  // namespace smm::fl

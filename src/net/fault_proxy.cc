@@ -1,0 +1,302 @@
+#include "net/fault_proxy.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "common/random.h"
+#include "common/span.h"
+#include "net/frame_reassembler.h"
+
+#if defined(__linux__)
+#define SMM_NET_POSIX 1
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace smm::net {
+
+#if defined(SMM_NET_POSIX)
+
+namespace {
+
+double NextUniform(uint64_t* state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<FaultProxy>> FaultProxy::Start(
+    const FaultProxyOptions& options) {
+  if (options.upstream_port == 0) {
+    return InvalidArgumentError("FaultProxy requires an upstream port");
+  }
+  SMM_ASSIGN_OR_RETURN(UniqueFd listener, ListenLoopback(0, /*backlog=*/128));
+  SMM_ASSIGN_OR_RETURN(const uint16_t port, BoundPort(listener.get()));
+  UniqueFd wake_fd(::eventfd(0, EFD_CLOEXEC));
+  if (!wake_fd) {
+    return InternalError(std::string("eventfd: ") + std::strerror(errno));
+  }
+  auto proxy = std::unique_ptr<FaultProxy>(new FaultProxy(
+      options, std::move(listener), port, std::move(wake_fd)));
+  proxy->accept_thread_ = std::thread([p = proxy.get()] { p->AcceptLoop(); });
+  return proxy;
+}
+
+FaultProxy::FaultProxy(const FaultProxyOptions& options, UniqueFd listener,
+                       uint16_t port, UniqueFd wake_fd)
+    : options_(options),
+      listener_(std::move(listener)),
+      port_(port),
+      wake_fd_(std::move(wake_fd)) {}
+
+FaultProxy::~FaultProxy() { Stop(); }
+
+void FaultProxy::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  // Broadcast shutdown: the tick is never consumed, so every poll over
+  // wake_fd_ reports readable from here on.
+  const uint64_t one = 1;
+  while (::write(wake_fd_.get(), &one, sizeof(one)) < 0 && errno == EINTR) {
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> pairs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pairs.swap(pair_threads_);
+  }
+  for (std::thread& t : pairs) {
+    if (t.joinable()) t.join();
+  }
+}
+
+FaultProxyStats FaultProxy::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FaultProxy::AcceptLoop() {
+  uint64_t conn_index = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfds[2] = {{listener_.get(), POLLIN, 0},
+                      {wake_fd_.get(), POLLIN, 0}};
+    const int n = ::poll(pfds, 2, /*timeout_ms=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((pfds[1].revents & POLLIN) != 0) return;  // Stop broadcast.
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+
+    const int fd = ::accept4(listener_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
+      return;
+    }
+    UniqueFd client(fd);
+    auto upstream = ConnectLoopback(options_.upstream_port);
+    if (!upstream.ok()) continue;  // Upstream gone; drop the client.
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    ++stats_.connections;
+    pair_threads_.emplace_back(
+        [this, c = std::move(client), u = std::move(*upstream),
+         idx = conn_index]() mutable {
+          RelayPair(std::move(c), std::move(u), idx);
+        });
+    ++conn_index;
+  }
+}
+
+void FaultProxy::RelayPair(UniqueFd client, UniqueFd upstream,
+                           uint64_t conn_index) {
+  // Per-connection PRG: seed mixed with the connection index keeps the
+  // schedule deterministic per connection even when accept order races.
+  uint64_t rng = options_.seed + conn_index * 0x9E3779B97F4A7C15ULL;
+  FrameReassembler reassembler(options_.max_frame_bytes);
+  std::optional<std::vector<uint8_t>> stashed;
+  bool client_eof = false;
+  bool upstream_eof = false;
+  std::vector<uint8_t> chunk(64 * 1024);
+
+  auto throttle = [this](size_t bytes) {
+    if (options_.throttle_bytes_per_sec == 0) return;
+    const auto ms = static_cast<int64_t>(
+        (bytes * 1000.0) /
+        static_cast<double>(options_.throttle_bytes_per_sec));
+    if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  };
+
+  // Forwards one frame upstream with the per-frame fault draws. Returns
+  // false when the pair was killed (caller must stop relaying upstream).
+  auto forward_frame = [&](std::vector<uint8_t> frame) -> bool {
+    const bool drop = NextUniform(&rng) < options_.drop;
+    const bool duplicate = NextUniform(&rng) < options_.duplicate;
+    const bool reorder = NextUniform(&rng) < options_.reorder;
+    const bool truncate = NextUniform(&rng) < options_.truncate;
+    const bool kill = NextUniform(&rng) < options_.kill;
+
+    if (drop) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.frames_dropped;
+      return true;
+    }
+    if (options_.delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(options_.delay_ms));
+    }
+    if (kill || truncate) {
+      // A strict prefix, then an abrupt close: the server sees EOF
+      // mid-frame, the client sees EOF before its sum.
+      const size_t keep =
+          frame.size() > 1
+              ? 1 + static_cast<size_t>(SplitMix64(&rng) % (frame.size() - 1))
+              : frame.size();
+      (void)SendAll(upstream.get(), ByteSpan(frame.data(), keep));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (truncate) ++stats_.frames_truncated;
+        ++stats_.connections_killed;
+      }
+      return false;
+    }
+    if (reorder) {
+      std::vector<uint8_t> out_first;
+      bool have_first = false;
+      if (stashed) {
+        out_first = std::move(*stashed);
+        have_first = true;
+      }
+      stashed = std::move(frame);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.frames_reordered;
+      }
+      if (have_first) {
+        throttle(out_first.size());
+        if (!SendAll(upstream.get(), out_first).ok()) return false;
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.frames_forwarded;
+      }
+      return true;
+    }
+    const int copies = duplicate ? 2 : 1;
+    for (int c = 0; c < copies; ++c) {
+      throttle(frame.size());
+      if (!SendAll(upstream.get(), frame).ok()) return false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.frames_forwarded += static_cast<uint64_t>(copies);
+      if (duplicate) ++stats_.frames_duplicated;
+    }
+    // Flush a pending stash behind this frame (that is the swap).
+    if (stashed) {
+      std::vector<uint8_t> flush = std::move(*stashed);
+      stashed.reset();
+      throttle(flush.size());
+      if (!SendAll(upstream.get(), flush).ok()) return false;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.frames_forwarded;
+    }
+    return true;
+  };
+
+  while (!stopping_.load(std::memory_order_acquire) &&
+         !(client_eof && upstream_eof)) {
+    pollfd pfds[3] = {
+        {client_eof ? -1 : client.get(), POLLIN, 0},
+        {upstream_eof ? -1 : upstream.get(), POLLIN, 0},
+        {wake_fd_.get(), POLLIN, 0},
+    };
+    const int n = ::poll(pfds, 3, /*timeout_ms=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((pfds[2].revents & POLLIN) != 0) return;  // Stop broadcast.
+
+    if (!client_eof && (pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      const ssize_t got =
+          ::recv(client.get(), chunk.data(), chunk.size(), 0);
+      if (got < 0) {
+        if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) return;
+      } else if (got == 0) {
+        client_eof = true;
+        // Flush the stash, then pass the half-close upstream so the
+        // session sees this participant's end-of-stream.
+        if (stashed) {
+          std::vector<uint8_t> flush = std::move(*stashed);
+          stashed.reset();
+          if (!SendAll(upstream.get(), flush).ok()) return;
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.frames_forwarded;
+        }
+        (void)ShutdownSend(upstream.get());
+      } else {
+        if (!reassembler
+                 .Ingest(ByteSpan(chunk.data(), static_cast<size_t>(got)))
+                 .ok()) {
+          return;  // Client stream desynchronized; nothing sane to forward.
+        }
+        while (auto frame = reassembler.NextFrame()) {
+          if (!forward_frame(std::move(*frame))) return;
+        }
+      }
+    }
+
+    if (!upstream_eof &&
+        (pfds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      const ssize_t got =
+          ::recv(upstream.get(), chunk.data(), chunk.size(), 0);
+      if (got < 0) {
+        if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) return;
+      } else if (got == 0) {
+        upstream_eof = true;
+        (void)ShutdownSend(client.get());
+      } else {
+        // The sum broadcast relays byte-exact: faults only hit the
+        // contribution direction.
+        if (!SendAll(client.get(),
+                     ByteSpan(chunk.data(), static_cast<size_t>(got)))
+                 .ok()) {
+          return;
+        }
+      }
+    }
+  }
+}
+
+#else  // !SMM_NET_POSIX
+
+StatusOr<std::unique_ptr<FaultProxy>> FaultProxy::Start(
+    const FaultProxyOptions&) {
+  return UnimplementedError("smm::net requires Linux sockets/epoll");
+}
+FaultProxy::FaultProxy(const FaultProxyOptions& options, UniqueFd listener,
+                       uint16_t port, UniqueFd wake_fd)
+    : options_(options),
+      listener_(std::move(listener)),
+      port_(port),
+      wake_fd_(std::move(wake_fd)) {}
+FaultProxy::~FaultProxy() = default;
+void FaultProxy::Stop() {}
+FaultProxyStats FaultProxy::Stats() const { return FaultProxyStats(); }
+void FaultProxy::AcceptLoop() {}
+void FaultProxy::RelayPair(UniqueFd, UniqueFd, uint64_t) {}
+
+#endif  // SMM_NET_POSIX
+
+}  // namespace smm::net

@@ -1,0 +1,119 @@
+#ifndef SMM_NET_FAULT_PROXY_H_
+#define SMM_NET_FAULT_PROXY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/socket_util.h"
+
+namespace smm::net {
+
+/// Fault plan for a FaultProxy. Client -> upstream traffic is reassembled
+/// into whole SMM1 frames and each frame draws its faults independently
+/// from a PRG seeded by `seed` (mixed with the connection index), so a
+/// chaos run replays identically for a pinned seed and connection order.
+/// Upstream -> client traffic (the sum broadcast) relays untouched.
+struct FaultProxyOptions {
+  /// Where real AggregationServer sessions listen (required).
+  uint16_t upstream_port = 0;
+
+  /// P(frame silently discarded).
+  double drop = 0.0;
+  /// P(frame forwarded twice back-to-back).
+  double duplicate = 0.0;
+  /// P(frame stashed and swapped with this connection's next frame);
+  /// client EOF flushes the stash.
+  double reorder = 0.0;
+  /// P(frame truncated to a strict prefix and the connection then killed —
+  /// over a byte stream a truncated frame desynchronizes everything after
+  /// it, so the kill is what a real half-written crash looks like).
+  double truncate = 0.0;
+  /// P(connection killed mid-frame: a strict prefix of the frame is
+  /// forwarded, then both sides are closed abruptly). The server sees EOF
+  /// mid-frame (a dropped connection); the client sees EOF before its sum
+  /// (kDataLoss -> retryable).
+  double kill = 0.0;
+
+  /// Fixed per-frame forwarding delay (slow network), applied before the
+  /// frame's bytes go upstream. 0 = none.
+  int64_t delay_ms = 0;
+  /// Pace client -> upstream bytes to roughly this rate (slow-loris /
+  /// congested path). 0 = unthrottled.
+  size_t throttle_bytes_per_sec = 0;
+
+  uint64_t seed = 1;
+  /// Frame payload cap for the proxy-side reassembler.
+  size_t max_frame_bytes = size_t{1} << 24;
+};
+
+/// What the proxy actually did, all monotonic since Start.
+struct FaultProxyStats {
+  uint64_t connections = 0;
+  uint64_t frames_forwarded = 0;
+  uint64_t frames_dropped = 0;
+  uint64_t frames_duplicated = 0;
+  uint64_t frames_reordered = 0;
+  uint64_t frames_truncated = 0;
+  uint64_t connections_killed = 0;
+};
+
+/// A socket-level chaos proxy: clients connect to port() instead of the
+/// real session port, and every connection is piped to the upstream with
+/// the configured faults injected on the client -> upstream frame stream.
+/// Unlike secagg::FaultInjectingTransport (which faults frames inside one
+/// process), this exercises the real TCP path end to end: partial writes,
+/// EOF mid-frame, connection resets, slow peers — the failure modes the
+/// server's eviction/deadline machinery and the client's retry loop exist
+/// for.
+///
+/// One thread per connection pair plus one accept thread; Stop (or the
+/// destructor) shuts everything down and joins. Thread-safe Stats().
+class FaultProxy {
+ public:
+  static StatusOr<std::unique_ptr<FaultProxy>> Start(
+      const FaultProxyOptions& options);
+
+  ~FaultProxy();
+
+  /// The loopback port chaos clients connect to.
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, kills every live pair, joins all threads. Idempotent.
+  void Stop();
+
+  FaultProxyStats Stats() const;
+
+ private:
+  FaultProxy(const FaultProxyOptions& options, UniqueFd listener,
+             uint16_t port, UniqueFd wake_fd);
+
+  void AcceptLoop();
+  /// Relays one client <-> upstream pair with faults until either side
+  /// finishes or the proxy stops. `conn_index` salts the fault PRG.
+  void RelayPair(UniqueFd client, UniqueFd upstream, uint64_t conn_index);
+
+  const FaultProxyOptions options_;
+  UniqueFd listener_;
+  uint16_t port_ = 0;
+  /// Written once by Stop and never read back, so every poll that includes
+  /// it stays readable forever after — the shutdown broadcast.
+  UniqueFd wake_fd_;
+
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  std::vector<std::thread> pair_threads_;
+  FaultProxyStats stats_;
+  bool stopped_ = false;
+};
+
+}  // namespace smm::net
+
+#endif  // SMM_NET_FAULT_PROXY_H_

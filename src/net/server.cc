@@ -1,7 +1,9 @@
 #include "net/server.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -42,11 +44,17 @@ struct Tag {
   void* target = nullptr;  // ServedSession* or Connection* (kWake: unused).
 };
 
+using SteadyClock = std::chrono::steady_clock;
+
 /// One accepted client connection, pinned to its session's event loop.
 struct Connection {
   UniqueFd fd;
   ServedSession* session = nullptr;
   FrameReassembler reassembler;
+  /// Last time this connection completed a frame (or was accepted). Bytes
+  /// that never finish a frame do NOT refresh it — that is exactly the
+  /// slow-loris signature the idle timeout evicts on.
+  SteadyClock::time_point last_frame_activity = SteadyClock::now();
   /// The queued broadcast (at most one SumMsg frame — the bounded
   /// per-connection outbound buffer) and the flush cursor into it.
   std::vector<uint8_t> outbound;
@@ -72,6 +80,12 @@ struct ServedSession {
   size_t expected = 0;
   std::vector<Connection*> conns;
   bool finalized = false;
+  /// Round deadline (valid iff has_deadline): at expiry the loop finalizes
+  /// with the survivor set when contributions() >= min_contributions, else
+  /// fails the round with kDeadlineExceeded.
+  bool has_deadline = false;
+  SteadyClock::time_point deadline{};
+  size_t min_contributions = 0;
   Tag tag{TagKind::kListener, this};
 };
 
@@ -98,6 +112,9 @@ struct AggregationServer::Impl {
     std::atomic<uint64_t> frames_rejected{0};
     std::atomic<uint64_t> bytes_read{0};
     std::atomic<uint64_t> bytes_written{0};
+    std::atomic<uint64_t> sessions_deadline_exceeded{0};
+    std::atomic<uint64_t> sessions_quorum_finalized{0};
+    std::atomic<uint64_t> connections_evicted{0};
   };
 
   struct Loop {
@@ -250,6 +267,103 @@ struct AggregationServer::Impl {
     MaybeRetireSession(loop, ss);
   }
 
+  /// Fails the round without a broadcast: publish `status` to the waiters
+  /// and tear the session down exactly like a finalize failure — listener
+  /// first, then every connection queued for a graceful EPOLLOUT-driven
+  /// close (never closed inline: the caller may still hold a Connection of
+  /// this session on its stack).
+  void FailSession(Loop& loop, ServedSession* ss, Status status) {
+    ss->finalized = true;
+    if (ss->listener.valid()) {
+      (void)EpollCtl(loop.epoll_fd.get(), EPOLL_CTL_DEL, ss->listener.get(),
+                     0, nullptr);
+      ss->listener.reset();
+    }
+    for (Connection* conn : ss->conns) {
+      conn->outbound.clear();
+      conn->outbound_off = 0;
+      conn->closing = true;
+      conn->drop_on_close = true;
+      const uint32_t events = (conn->read_closed ? 0u : EPOLLIN) | EPOLLOUT;
+      (void)EpollCtl(loop.epoll_fd.get(), EPOLL_CTL_MOD, conn->fd.get(),
+                     events, &conn->tag);
+    }
+    PublishResult(ss->id, std::move(status));
+    MaybeRetireSession(loop, ss);
+  }
+
+  /// The epoll_wait timeout for this loop: the nearest session deadline or
+  /// connection idle expiry, or -1 (park indefinitely) when no timer is
+  /// armed — the common case stays scan-free of wakeup ticks.
+  int NextTimeoutMs(const Loop& loop) const {
+    bool have = false;
+    SteadyClock::time_point next{};
+    auto consider = [&](SteadyClock::time_point t) {
+      if (!have || t < next) next = t;
+      have = true;
+    };
+    for (const auto& [id, ss] : loop.sessions) {
+      (void)id;
+      if (ss->has_deadline && !ss->finalized) consider(ss->deadline);
+    }
+    if (options.idle_timeout_ms > 0) {
+      const auto idle = std::chrono::milliseconds(options.idle_timeout_ms);
+      for (const auto& [raw, conn] : loop.conns) {
+        (void)raw;
+        if (!conn->read_closed && !conn->closing) {
+          consider(conn->last_frame_activity + idle);
+        }
+      }
+    }
+    if (!have) return -1;
+    const auto now = SteadyClock::now();
+    if (next <= now) return 0;
+    const auto ms = std::chrono::ceil<std::chrono::milliseconds>(next - now);
+    return static_cast<int>(std::min<int64_t>(ms.count(), 60'000));
+  }
+
+  /// Runs between epoll batches: expire session deadlines (quorum decides
+  /// survivor-set finalize vs. kDeadlineExceeded failure) and evict
+  /// connections that stopped completing frames.
+  void ExpireTimers(Loop& loop) {
+    const auto now = SteadyClock::now();
+    std::vector<ServedSession*> expired;
+    for (const auto& [id, ss] : loop.sessions) {
+      (void)id;
+      if (!ss->finalized && ss->has_deadline && now >= ss->deadline) {
+        expired.push_back(ss.get());
+      }
+    }
+    for (ServedSession* ss : expired) {
+      if (ss->session->contributions() >= ss->min_contributions) {
+        stats.sessions_quorum_finalized.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        FinalizeAndBroadcast(loop, ss);
+      } else {
+        stats.sessions_deadline_exceeded.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        FailSession(loop, ss,
+                    DeadlineExceededError(
+                        "round deadline expired below the contribution "
+                        "quorum"));
+      }
+    }
+    if (options.idle_timeout_ms > 0) {
+      const auto idle = std::chrono::milliseconds(options.idle_timeout_ms);
+      std::vector<Connection*> evict;
+      for (const auto& [raw, conn] : loop.conns) {
+        if (!conn->read_closed && !conn->closing &&
+            now - conn->last_frame_activity >= idle) {
+          evict.push_back(raw);
+        }
+      }
+      for (Connection* conn : evict) {
+        stats.connections_evicted.fetch_add(1, std::memory_order_relaxed);
+        CloseConn(loop, conn, /*dropped=*/true);
+      }
+    }
+  }
+
   void HandleAccept(Loop& loop, ServedSession* ss) {
     while (ss->listener.valid()) {
       const int raw = ::accept4(ss->listener.get(), nullptr, nullptr,
@@ -320,6 +434,9 @@ struct AggregationServer::Impl {
       return;
     }
     while (auto frame = conn->reassembler.NextFrame()) {
+      // A completed frame is real progress; bytes alone are not (the idle
+      // eviction keys off this).
+      conn->last_frame_activity = SteadyClock::now();
       if (ss->session->HandleFrame(*frame).ok()) {
         stats.frames_delivered.fetch_add(1, std::memory_order_relaxed);
       } else {
@@ -383,7 +500,7 @@ struct AggregationServer::Impl {
     epoll_event events[128];
     while (!stopping.load(std::memory_order_acquire)) {
       const int n = ::epoll_wait(loop.epoll_fd.get(), events, 128,
-                                 /*timeout_ms=*/-1);
+                                 NextTimeoutMs(loop));
       if (n < 0) {
         if (errno == EINTR) continue;
         break;
@@ -425,6 +542,9 @@ struct AggregationServer::Impl {
           }
         }
       }
+      // The batch's Tag pointers are settled; timers may now tear down
+      // sessions/connections without any stale-pointer hazard.
+      ExpireTimers(loop);
       // Batch done: no stale Tag pointer can be pending, free for real.
       loop.conn_graveyard.clear();
       loop.session_graveyard.clear();
@@ -442,6 +562,9 @@ StatusOr<std::unique_ptr<AggregationServer>> AggregationServer::Start(
   }
   if (options.max_frame_bytes < 1 || options.read_chunk_bytes < 1) {
     return InvalidArgumentError("frame and read chunk sizes must be >= 1");
+  }
+  if (options.idle_timeout_ms < 0) {
+    return InvalidArgumentError("idle_timeout_ms must be >= 0");
   }
   auto impl = std::make_unique<Impl>();
   impl->options = options;
@@ -528,6 +651,17 @@ StatusOr<AggregationServer::SessionInfo> AggregationServer::OpenSession(
   ss->listener = std::move(listener);
   ss->session = std::move(session);
   ss->expected = options.expected_contributions;
+  if (options.deadline_ms < 0) {
+    return InvalidArgumentError("session deadline must be >= 0 ms");
+  }
+  if (options.deadline_ms > 0) {
+    // Measured from here: queueing delay before the loop adopts the
+    // session counts against the round, not in its favor.
+    ss->has_deadline = true;
+    ss->deadline = SteadyClock::now() +
+                   std::chrono::milliseconds(options.deadline_ms);
+    ss->min_contributions = options.session.min_contributions;
+  }
   const uint64_t id = ss->id;
 
   const size_t loop_index =
@@ -645,6 +779,12 @@ ServerStats AggregationServer::Stats() const {
   out.frames_rejected = s.frames_rejected.load(std::memory_order_relaxed);
   out.bytes_read = s.bytes_read.load(std::memory_order_relaxed);
   out.bytes_written = s.bytes_written.load(std::memory_order_relaxed);
+  out.sessions_deadline_exceeded =
+      s.sessions_deadline_exceeded.load(std::memory_order_relaxed);
+  out.sessions_quorum_finalized =
+      s.sessions_quorum_finalized.load(std::memory_order_relaxed);
+  out.connections_evicted =
+      s.connections_evicted.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -684,53 +824,114 @@ int AggregationServer::event_loop_threads() const { return 0; }
 // WaitForSum plus the secagg merge, so it is platform-independent (on
 // non-Linux builds the first OpenSession returns kUnimplemented).
 
+namespace {
+
+/// The SessionOptions one shard worker of a sharded round runs with.
+AggregationServer::SessionOptions ShardWorkerOptions(
+    const secagg::ShardPlan& plan,
+    const AggregationServer::ShardedRoundOptions& options, size_t s) {
+  AggregationServer::SessionOptions session_options;
+  session_options.session.dim = plan.Width(s);
+  session_options.session.modulus = options.modulus;
+  session_options.session.tile_rows = options.tile_rows;
+  session_options.session.min_contributions = options.min_contributions;
+  session_options.expected_contributions = options.expected_contributions;
+  session_options.deadline_ms = options.deadline_ms;
+  if (plan.shard_count() > 1) {
+    session_options.session.expected_shard = plan.Spec(s);
+  }
+  return session_options;
+}
+
+}  // namespace
+
 StatusOr<AggregationServer::ShardedRoundInfo>
 AggregationServer::OpenShardedRound(secagg::SecureAggregator& aggregator,
                                     const ShardedRoundOptions& options) {
   SMM_ASSIGN_OR_RETURN(
       secagg::ShardPlan plan,
       secagg::ShardPlan::Create(options.dim, options.shard_count));
-  ShardedRoundInfo round{plan, {}, {}};
+  if (options.max_shard_retries < 0) {
+    return InvalidArgumentError("max_shard_retries must be >= 0");
+  }
+  ShardedRoundInfo round{plan, {}, {}, {}, {}, options, &aggregator};
   const size_t shards = plan.shard_count();
   round.shards.reserve(shards);
   round.shard_aggregators.reserve(shards);
+  round.collected.resize(shards);
+  round.shard_retries.assign(shards, 0);
   for (size_t s = 0; s < shards; ++s) {
     std::unique_ptr<secagg::SecureAggregator> derived;
-    SessionOptions session_options;
-    session_options.session.dim = plan.Width(s);
-    session_options.session.modulus = options.modulus;
-    session_options.session.tile_rows = options.tile_rows;
-    session_options.expected_contributions = options.expected_contributions;
     if (shards > 1) {
       SMM_ASSIGN_OR_RETURN(derived,
                            aggregator.CreateShardAggregator(s, shards));
-      session_options.session.expected_shard = plan.Spec(s);
     }
     secagg::SecureAggregator& shard_aggregator =
         derived ? *derived : aggregator;
-    SMM_ASSIGN_OR_RETURN(SessionInfo info,
-                         OpenSession(shard_aggregator, session_options));
+    SMM_ASSIGN_OR_RETURN(
+        SessionInfo info,
+        OpenSession(shard_aggregator, ShardWorkerOptions(plan, options, s)));
     round.shards.push_back(info);
     round.shard_aggregators.push_back(std::move(derived));
   }
   return round;
 }
 
+Status AggregationServer::ReopenShardWorker(ShardedRoundInfo& round,
+                                            size_t s) {
+  // The spare worker runs over the SAME derived shard aggregator: its
+  // fresh stream re-derives the identical per-pair masks from the
+  // session seed, so sub-frames the participants already encoded (or
+  // byte-identically re-encode) stay valid on the new session.
+  secagg::SecureAggregator& shard_aggregator =
+      round.shard_aggregators[s] ? *round.shard_aggregators[s] : *round.base;
+  SMM_ASSIGN_OR_RETURN(
+      round.shards[s],
+      OpenSession(shard_aggregator,
+                  ShardWorkerOptions(round.plan, round.options, s)));
+  return OkStatus();
+}
+
 StatusOr<secagg::SumMsg> AggregationServer::WaitForShardedSum(
-    const ShardedRoundInfo& round) {
+    ShardedRoundInfo& round) {
   if (round.shards.size() != round.plan.shard_count()) {
     return InvalidArgumentError(
         "sharded round handle does not match its plan");
   }
-  if (round.shards.size() == 1) {
-    return WaitForSum(round.shards[0].id);
+  if (round.collected.size() != round.shards.size()) {
+    round.collected.resize(round.shards.size());
+  }
+  if (round.shard_retries.size() != round.shards.size()) {
+    round.shard_retries.assign(round.shards.size(), 0);
+  }
+  size_t reopened = 0;
+  for (size_t s = 0; s < round.shards.size(); ++s) {
+    if (round.collected[s].has_value()) continue;  // Survived a prior wait.
+    StatusOr<secagg::SumMsg> shard_sum = WaitForSum(round.shards[s].id);
+    if (shard_sum.ok()) {
+      round.collected[s] = std::move(*shard_sum);
+      continue;
+    }
+    if (round.options.failure_policy == ShardFailurePolicy::kFailFast ||
+        round.shard_retries[s] >= round.options.max_shard_retries) {
+      return shard_sum.status();
+    }
+    ++round.shard_retries[s];
+    SMM_RETURN_IF_ERROR(ReopenShardWorker(round, s));
+    ++reopened;
+  }
+  if (reopened > 0) {
+    return UnavailableError(
+        "failed shard workers were reopened on spare sessions; resend "
+        "their sub-frames to the updated ports and wait again");
   }
   std::vector<secagg::PartialSumMsg> partials;
   partials.reserve(round.shards.size());
   uint64_t modulus = 0;
   for (size_t s = 0; s < round.shards.size(); ++s) {
-    SMM_ASSIGN_OR_RETURN(secagg::SumMsg shard_sum,
-                         WaitForSum(round.shards[s].id));
+    secagg::SumMsg shard_sum = std::move(*round.collected[s]);
+    round.collected[s].reset();
+    if (round.shards.size() == 1) return shard_sum;
     modulus = shard_sum.modulus;
     secagg::PartialSumMsg partial;
     partial.modulus = shard_sum.modulus;

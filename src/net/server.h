@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -30,6 +31,15 @@ struct ServerStats {
   uint64_t frames_rejected = 0;
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
+  /// Sessions whose deadline expired below quorum: the round failed with
+  /// kDeadlineExceeded instead of hanging its waiters.
+  uint64_t sessions_deadline_exceeded = 0;
+  /// Sessions finalized early at deadline expiry with a survivor set of at
+  /// least min_contributions (dropout recovery covers the rest).
+  uint64_t sessions_quorum_finalized = 0;
+  /// Connections evicted by the idle/stalled-read timeout (slow-loris
+  /// peers that stopped completing frames but kept the socket open).
+  uint64_t connections_evicted = 0;
 };
 
 /// The async TCP aggregation service: thousands of concurrent
@@ -79,6 +89,12 @@ class AggregationServer {
     int listen_backlog = 512;
     /// Bytes read per readiness event per connection (fairness quantum).
     size_t read_chunk_bytes = 64 * 1024;
+    /// Evict a connection that has not completed a frame for this long
+    /// (and has not cleanly half-closed): catches both idle sockets and
+    /// slow-loris peers trickling bytes that never finish a frame. The
+    /// eviction counts as a dropped connection and in
+    /// connections_evicted. 0 (default) disables eviction.
+    int64_t idle_timeout_ms = 0;
   };
 
   struct SessionOptions {
@@ -86,6 +102,14 @@ class AggregationServer {
     /// When > 0, the server finalizes and broadcasts as soon as this many
     /// contributions are accepted. 0 = finalize only via FinalizeSession.
     size_t expected_contributions = 0;
+    /// Round deadline, measured from OpenSession. When it expires before
+    /// the session finalized: if at least session.min_contributions
+    /// contributions were accepted (the quorum), the server finalizes and
+    /// broadcasts with the survivor set — dropout recovery handles the
+    /// missing participants; otherwise the round fails and its WaitForSum
+    /// returns kDeadlineExceeded instead of blocking forever. 0 (default)
+    /// = no deadline.
+    int64_t deadline_ms = 0;
   };
 
   /// A handle to an opened session: its server-assigned id and the
@@ -93,6 +117,19 @@ class AggregationServer {
   struct SessionInfo {
     uint64_t id = 0;
     uint16_t port = 0;
+  };
+
+  /// What a failed shard worker does to the round.
+  enum class ShardFailurePolicy {
+    /// The first failed shard fails the whole round (the default; exactly
+    /// the pre-degradation behavior).
+    kFailFast,
+    /// WaitForShardedSum reopens a spare worker session for each failed
+    /// shard — over the same derived shard aggregator, so the re-keyed
+    /// masks are identical and resent sub-frames stay byte-valid — and
+    /// returns kUnavailable so the caller resends to the new ports and
+    /// waits again. Bounded by max_shard_retries per shard.
+    kRetryOnSpareWorker,
   };
 
   struct ShardedRoundOptions {
@@ -108,6 +145,15 @@ class AggregationServer {
     /// participant sends one sub-frame to every shard). 0 = finalize each
     /// shard via FinalizeSession.
     size_t expected_contributions = 0;
+    /// Per-shard round deadline (SessionOptions::deadline_ms semantics,
+    /// applied to every worker session). 0 = none.
+    int64_t deadline_ms = 0;
+    /// Per-shard quorum at deadline expiry
+    /// (AggregationSession::Options::min_contributions for every worker).
+    size_t min_contributions = 0;
+    ShardFailurePolicy failure_policy = ShardFailurePolicy::kFailFast;
+    /// Spare-worker reopens allowed per shard under kRetryOnSpareWorker.
+    int max_shard_retries = 1;
   };
 
   /// A handle to one dimension-sharded round: shard s is the worker
@@ -121,6 +167,16 @@ class AggregationServer {
     secagg::ShardPlan plan;
     std::vector<SessionInfo> shards;
     std::vector<std::unique_ptr<secagg::SecureAggregator>> shard_aggregators;
+    /// Degradation state, maintained by WaitForShardedSum. `collected[s]`
+    /// holds shard s's sum once its worker finalized, so a re-wait after a
+    /// spare-worker reopen only waits on the shards that failed.
+    std::vector<std::optional<secagg::SumMsg>> collected;
+    /// Spare-worker reopens consumed, per shard.
+    std::vector<int> shard_retries;
+    /// The round's options and base aggregator, kept for spare-worker
+    /// reopens. The aggregator must outlive the round (it already must).
+    ShardedRoundOptions options;
+    secagg::SecureAggregator* base = nullptr;
   };
 
   /// Opens one logical round as shard_count worker sessions, one per
@@ -134,9 +190,19 @@ class AggregationServer {
 
   /// Blocks until every shard worker of the round finalizes, then
   /// tree-reduces their per-range sums (secagg::MergePartialSums) into the
-  /// round's SumMsg — bit-identical to the unsharded session's sum. Like
-  /// WaitForSum, one-shot per round.
-  StatusOr<secagg::SumMsg> WaitForShardedSum(const ShardedRoundInfo& round);
+  /// round's SumMsg — bit-identical to the unsharded session's sum.
+  ///
+  /// Shard failures follow options.failure_policy: under kFailFast the
+  /// first failed worker fails the round with its status; under
+  /// kRetryOnSpareWorker each failed shard (with retries left) is reopened
+  /// as a fresh worker session — round.shards[s] is updated to the spare
+  /// worker's port — and the call returns kUnavailable: the caller resends
+  /// the failed shards' sub-frames (byte-identical re-encodes are valid —
+  /// same derived aggregator, same masks) and calls WaitForShardedSum
+  /// again; already-collected shards are not re-waited. A shard out of
+  /// retries fails the round. Results consume like WaitForSum (one wait
+  /// per worker session).
+  StatusOr<secagg::SumMsg> WaitForShardedSum(ShardedRoundInfo& round);
 
   /// Starts the event loops. kUnimplemented on non-Linux builds.
   static StatusOr<std::unique_ptr<AggregationServer>> Start(
@@ -173,6 +239,11 @@ class AggregationServer {
  private:
   struct Impl;
   explicit AggregationServer(std::unique_ptr<Impl> impl);
+
+  /// Opens a spare worker session for shard `s` of `round` (same derived
+  /// aggregator, same options) and updates round.shards[s].
+  Status ReopenShardWorker(ShardedRoundInfo& round, size_t s);
+
   std::unique_ptr<Impl> impl_;
 };
 

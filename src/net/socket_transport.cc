@@ -1,12 +1,16 @@
 #include "net/socket_transport.h"
 
 #include <cerrno>
+#include <cstring>
+#include <string>
 #include <utility>
 
 #if defined(__linux__)
 #define SMM_NET_POSIX 1
 #include <poll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <unistd.h>
 #endif
 
 namespace smm::net {
@@ -19,8 +23,22 @@ StatusOr<std::unique_ptr<SocketTransport>> SocketTransport::Listen(
                        ListenLoopback(0, options.listen_backlog));
   SMM_ASSIGN_OR_RETURN(const uint16_t port, BoundPort(listener.get()));
   SMM_RETURN_IF_ERROR(SetNonBlocking(listener.get()));
-  return std::unique_ptr<SocketTransport>(
-      new SocketTransport(options, std::move(listener), port));
+  UniqueFd wake_fd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wake_fd) {
+    return InternalError(std::string("eventfd: ") + std::strerror(errno));
+  }
+  return std::unique_ptr<SocketTransport>(new SocketTransport(
+      options, std::move(listener), port, std::move(wake_fd)));
+}
+
+void SocketTransport::LatchReceiveError(Status status) {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (receive_status_.ok()) receive_status_ = std::move(status);
+}
+
+Status SocketTransport::receive_status() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return receive_status_;
 }
 
 SocketTransport::~SocketTransport() = default;
@@ -46,13 +64,22 @@ Status SocketTransport::Send(int client_id, std::vector<uint8_t> frame) {
 }
 
 Status SocketTransport::FinishSending() {
-  std::lock_guard<std::mutex> lock(send_mu_);
-  finished_ = true;
-  for (auto& [id, fd] : send_fds_) {
-    (void)id;
-    SMM_RETURN_IF_ERROR(ShutdownSend(fd.get()));
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    finished_ = true;
+    for (auto& [id, fd] : send_fds_) {
+      (void)id;
+      const Status shutdown = ShutdownSend(fd.get());
+      if (!shutdown.ok() && status.ok()) status = shutdown;
+    }
   }
-  return OkStatus();
+  // Wake a consumer parked in Receive's poll: finished_ is already set, so
+  // its drained re-check observes the new state even if this tick races it.
+  const uint64_t one = 1;
+  while (::write(wake_fd_.get(), &one, sizeof(one)) < 0 && errno == EINTR) {
+  }
+  return status;
 }
 
 size_t SocketTransport::AcceptReady() {
@@ -61,7 +88,13 @@ size_t SocketTransport::AcceptReady() {
     const int fd = ::accept4(listener_.get(), nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      break;  // EAGAIN: queue empty. Other errors: treat as empty too.
+      if (errno == ECONNABORTED) continue;  // Peer gone before accept; skip.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // Queue empty.
+      // A hard accept failure is not "queue empty": connections (and their
+      // frames) may be unreachable. Latch it so a drain reports broken.
+      LatchReceiveError(DataLossError(std::string("accept failed: ") +
+                                      std::strerror(errno)));
+      break;
     }
     UniqueFd conn_fd(fd);
     if (!SetNonBlocking(conn_fd.get()).ok()) continue;
@@ -113,7 +146,15 @@ bool SocketTransport::ReadConn(size_t i) {
     while (auto frame = conn.reassembler.NextFrame()) {
       ready_.push_back(std::move(*frame));
     }
-    if (dropped) ++dropped_;
+    if (dropped) {
+      ++dropped_;
+      // Frames past the break point are gone; the eventual "drained"
+      // nullopt must not read as every frame having been delivered.
+      if (receive_status_.ok()) {
+        receive_status_ =
+            DataLossError("a connection broke mid-stream; frames may be lost");
+      }
+    }
   }
   if (done) {
     conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i));
@@ -149,17 +190,32 @@ std::optional<std::vector<uint8_t>> SocketTransport::Receive() {
       }
     }
 
-    // Wait for readability (or a fresh connection), then read and harvest.
+    // Wait for readability (or a fresh connection, or a FinishSending
+    // wakeup), then read and harvest. Every state change is fd-driven —
+    // new connection: listener readable; data/EOF: connection readable;
+    // FinishSending: wake_fd readable — so the poll can park indefinitely
+    // instead of the old fixed 50 ms tick.
     std::vector<pollfd> pfds;
-    pfds.reserve(conns_.size() + 1);
+    pfds.reserve(conns_.size() + 2);
     pfds.push_back(pollfd{listener_.get(), POLLIN, 0});
+    pfds.push_back(pollfd{wake_fd_.get(), POLLIN, 0});
     for (const auto& conn : conns_) {
       pfds.push_back(pollfd{conn->fd.get(), POLLIN, 0});
     }
-    // Finite timeout: FinishSending may race this loop's drained check from
-    // another thread, so never park forever on a state snapshot.
-    const int n = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/50);
-    if (n < 0 && errno != EINTR) return std::nullopt;  // Unrecoverable.
+    const int n = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      LatchReceiveError(
+          DataLossError(std::string("poll failed: ") + std::strerror(errno)));
+      return std::nullopt;  // Unrecoverable.
+    }
+    if ((pfds[1].revents & POLLIN) != 0) {
+      // Consume wakeup ticks; finished_ (re-read above) is the source of
+      // truth, the eventfd only breaks the park.
+      uint64_t ticks = 0;
+      while (::read(wake_fd_.get(), &ticks, sizeof(ticks)) > 0) {
+      }
+    }
 
     // Read every readable connection; iterate backwards so ReadConn's
     // erase keeps remaining indices stable. ReadConn harvests completed
@@ -197,6 +253,8 @@ std::optional<std::vector<uint8_t>> SocketTransport::Receive() {
   return std::nullopt;
 }
 size_t SocketTransport::pending() const { return 0; }
+Status SocketTransport::receive_status() const { return OkStatus(); }
+void SocketTransport::LatchReceiveError(Status) {}
 size_t SocketTransport::dropped_connections() const { return 0; }
 size_t SocketTransport::AcceptReady() { return 0; }
 bool SocketTransport::ReadConn(size_t) { return false; }

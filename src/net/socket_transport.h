@@ -75,8 +75,16 @@ class SocketTransport final : public secagg::FrameTransport {
   /// backend, 0 does not mean drained — bytes may still sit in kernel
   /// buffers; only Receive() == nullopt means drained.
   size_t pending() const override;
-  /// Half-closes every connection Send opened, so Receive can terminate.
+  /// Half-closes every connection Send opened, so Receive can terminate,
+  /// and wakes a consumer parked in Receive's poll so the drained check
+  /// re-runs immediately (no timeout tick).
   Status FinishSending() override;
+  /// OK while every byte arrived intact; kDataLoss once any hard transport
+  /// error was swallowed into "drained" — an accept()/poll() failure or a
+  /// connection that broke mid-stream (desync, reset, EOF mid-frame), after
+  /// which undelivered frames may have been lost. Latched: stays the first
+  /// error. Thread-safe.
+  Status receive_status() const override;
 
   /// Connections dropped for stream desynchronization, reset, or EOF
   /// mid-frame.
@@ -90,8 +98,15 @@ class SocketTransport final : public secagg::FrameTransport {
         : fd(std::move(f)), reassembler(max_frame) {}
   };
 
-  SocketTransport(const Options& options, UniqueFd listener, uint16_t port)
-      : options_(options), listener_(std::move(listener)), port_(port) {}
+  SocketTransport(const Options& options, UniqueFd listener, uint16_t port,
+                  UniqueFd wake_fd)
+      : options_(options),
+        listener_(std::move(listener)),
+        port_(port),
+        wake_fd_(std::move(wake_fd)) {}
+
+  /// Records the first hard receive-side failure (see receive_status()).
+  void LatchReceiveError(Status status);
 
   /// Accepts every connection currently queued on the listener. Returns
   /// how many were accepted.
@@ -103,6 +118,10 @@ class SocketTransport final : public secagg::FrameTransport {
   const Options options_;
   UniqueFd listener_;
   uint16_t port_ = 0;
+  /// eventfd FinishSending writes so Receive's poll (which otherwise waits
+  /// indefinitely on socket readiness) wakes for the drained re-check —
+  /// replaces the old fixed 50 ms timeout tick.
+  UniqueFd wake_fd_;
 
   // Receive-side state: owned by the single consumer, except the ready
   // queue and the dropped counter, which pending()/dropped_connections()
@@ -111,6 +130,7 @@ class SocketTransport final : public secagg::FrameTransport {
   mutable std::mutex queue_mu_;
   std::deque<std::vector<uint8_t>> ready_;
   size_t dropped_ = 0;
+  Status receive_status_;  // Guarded by queue_mu_; first error wins.
 
   // Send-side state: one lazily opened connection per client id.
   mutable std::mutex send_mu_;

@@ -25,6 +25,16 @@ Status ErrnoError(const char* what) {
   return InternalError(std::string(what) + ": " + std::strerror(errno));
 }
 
+/// Connect-time failures that mean "the peer is not there right now" map to
+/// kUnavailable so retry policies can distinguish them from caller bugs.
+Status ConnectError() {
+  if (errno == ECONNREFUSED || errno == ECONNRESET || errno == ETIMEDOUT ||
+      errno == ENETUNREACH || errno == EHOSTUNREACH) {
+    return UnavailableError(std::string("connect: ") + std::strerror(errno));
+  }
+  return ErrnoError("connect");
+}
+
 sockaddr_in LoopbackAddr(uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -96,10 +106,10 @@ StatusOr<UniqueFd> ConnectLoopback(uint16_t port) {
     }
     if (err != 0) {
       errno = err;
-      return ErrnoError("connect");
+      return ConnectError();
     }
   } else if (rc != 0) {
-    return ErrnoError("connect");
+    return ConnectError();
   }
   SMM_RETURN_IF_ERROR(SetNoDelay(fd.get()));
   return fd;

@@ -1,0 +1,91 @@
+#include "secagg/fault_injection.h"
+
+#include <utility>
+
+#include "common/random.h"
+
+namespace smm::secagg {
+
+double FaultInjectingTransport::NextUniform() {
+  // 53-bit mantissa draw, the standard uint64 -> [0, 1) mapping.
+  return static_cast<double>(SplitMix64(&rng_state_) >> 11) * 0x1.0p-53;
+}
+
+Status FaultInjectingTransport::Send(int client_id,
+                                     std::vector<uint8_t> frame) {
+  std::optional<std::pair<int, std::vector<uint8_t>>> deliver_first;
+  bool duplicate = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.frames_sent;
+    // Fixed draw order keeps the schedule a pure function of the seed and
+    // the send sequence, whatever subset of probabilities is nonzero.
+    const bool drop = NextUniform() < schedule_.drop;
+    duplicate = NextUniform() < schedule_.duplicate;
+    const bool reorder = NextUniform() < schedule_.reorder;
+    const bool truncate = NextUniform() < schedule_.truncate;
+    const bool corrupt = NextUniform() < schedule_.corrupt;
+
+    if (drop) {
+      ++stats_.dropped;
+      return OkStatus();
+    }
+    if (truncate && frame.size() > 1) {
+      ++stats_.truncated;
+      const size_t keep =
+          1 + static_cast<size_t>(SplitMix64(&rng_state_) %
+                                  (frame.size() - 1));
+      frame.resize(keep);
+    }
+    if (corrupt && !frame.empty()) {
+      ++stats_.corrupted;
+      const size_t at =
+          static_cast<size_t>(SplitMix64(&rng_state_) % frame.size());
+      frame[at] ^= static_cast<uint8_t>(1 + SplitMix64(&rng_state_) % 255);
+    }
+    if (reorder) {
+      ++stats_.reordered;
+      // Stash this frame; it rides out behind the next one. A frame
+      // already stashed goes out now (swapped).
+      stashed_.swap(deliver_first);
+      stashed_ = std::make_pair(client_id, std::move(frame));
+      if (!deliver_first) return OkStatus();
+      SMM_RETURN_IF_ERROR(
+          inner_.Send(deliver_first->first, std::move(deliver_first->second)));
+      return OkStatus();
+    }
+    if (duplicate) ++stats_.duplicated;
+    // Flush a pending stash behind this frame: deliver current first, then
+    // the stashed one — that is the swap the reorder draw asked for.
+    stashed_.swap(deliver_first);
+  }
+  if (duplicate) {
+    std::vector<uint8_t> copy = frame;
+    SMM_RETURN_IF_ERROR(inner_.Send(client_id, std::move(copy)));
+  }
+  SMM_RETURN_IF_ERROR(inner_.Send(client_id, std::move(frame)));
+  if (deliver_first) {
+    SMM_RETURN_IF_ERROR(
+        inner_.Send(deliver_first->first, std::move(deliver_first->second)));
+  }
+  return OkStatus();
+}
+
+Status FaultInjectingTransport::FinishSending() {
+  std::optional<std::pair<int, std::vector<uint8_t>>> stashed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stashed_.swap(stashed);
+  }
+  if (stashed) {
+    SMM_RETURN_IF_ERROR(inner_.Send(stashed->first, std::move(stashed->second)));
+  }
+  return inner_.FinishSending();
+}
+
+FaultStats FaultInjectingTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace smm::secagg

@@ -1,0 +1,94 @@
+#ifndef SMM_SECAGG_FAULT_INJECTION_H_
+#define SMM_SECAGG_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "secagg/transport.h"
+
+namespace smm::secagg {
+
+/// Per-frame fault probabilities for FaultInjectingTransport. Each Send
+/// draws independently from a PRG seeded by `seed`, so a schedule replays
+/// identically for the same seed and send sequence — chaos tests pin seeds
+/// and assert exact outcomes.
+///
+/// Draw order per frame is fixed (drop, duplicate, reorder, truncate,
+/// corrupt) so a schedule's faults are reproducible even when several
+/// probabilities are nonzero. Faults compose: a duplicated frame can also
+/// be truncated, etc.
+struct FaultSchedule {
+  /// P(frame silently discarded).
+  double drop = 0.0;
+  /// P(frame delivered twice). Harmless against a session by first-wins
+  /// dedup — the second copy is acked and counted in duplicate_frames().
+  double duplicate = 0.0;
+  /// P(frame stashed and swapped with the next frame from any client) —
+  /// a one-slot reorder buffer. FinishSending flushes a stashed frame.
+  double reorder = 0.0;
+  /// P(frame truncated to a random strict prefix). The parser rejects the
+  /// remainder with kDataLoss; the in-memory backend keeps the boundary.
+  double truncate = 0.0;
+  /// P(one random payload byte flipped). Caught by the FNV-1a checksum.
+  double corrupt = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Counters for every fault actually injected (not just drawn — reorder
+/// counts stashes, and a stash flushed un-swapped still counts).
+struct FaultStats {
+  uint64_t frames_sent = 0;
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t reordered = 0;
+  uint64_t truncated = 0;
+  uint64_t corrupted = 0;
+};
+
+/// A FrameTransport decorator that injects seeded, per-frame faults on the
+/// Send path before delegating to the wrapped transport — the in-process
+/// half of the chaos harness (net::FaultProxy is the socket-level half).
+/// The wrapped transport outlives this decorator; Receive/pending/
+/// FinishSending/receive_status pass through (after the reorder stash is
+/// flushed), so the server-side drain loop is oblivious.
+///
+/// Thread-safe like the FrameTransport contract: concurrent Sends
+/// serialize on an internal mutex, which also makes the fault draw
+/// sequence deterministic per (seed, send order).
+class FaultInjectingTransport final : public FrameTransport {
+ public:
+  /// `inner` must outlive this decorator.
+  FaultInjectingTransport(FrameTransport& inner, const FaultSchedule& schedule)
+      : inner_(inner), schedule_(schedule), rng_state_(schedule.seed) {}
+
+  Status Send(int client_id, std::vector<uint8_t> frame) override;
+  std::optional<std::vector<uint8_t>> Receive() override { return inner_.Receive(); }
+  size_t pending() const override { return inner_.pending(); }
+  /// Flushes a stashed reorder frame, then finishes the inner transport.
+  Status FinishSending() override;
+  Status receive_status() const override { return inner_.receive_status(); }
+
+  FaultStats stats() const;
+
+ private:
+  /// Uniform draw in [0, 1) from the schedule's PRG. Caller holds mu_.
+  double NextUniform();
+
+  FrameTransport& inner_;
+  const FaultSchedule schedule_;
+
+  mutable std::mutex mu_;
+  uint64_t rng_state_;
+  FaultStats stats_;
+  /// One-slot reorder buffer: (client_id, frame) awaiting a swap partner.
+  std::optional<std::pair<int, std::vector<uint8_t>>> stashed_;
+};
+
+}  // namespace smm::secagg
+
+#endif  // SMM_SECAGG_FAULT_INJECTION_H_

@@ -22,7 +22,13 @@ StatusOr<std::unique_ptr<AggregationSession>> AggregationSession::Open(
 Status AggregationSession::FlushPendingTile() {
   if (pending_ids_.empty()) return OkStatus();
   const Status status = stream_->AbsorbTile(pending_ids_, pending_payloads_);
-  if (!status.ok()) rejected_frames_ += pending_ids_.size();
+  if (!status.ok()) {
+    rejected_frames_ += pending_ids_.size();
+    // The tile's contributions are gone, so its participants are no longer
+    // "seen": a client that retries one of them must not be silently acked
+    // as a duplicate of a contribution that never landed.
+    for (int id : pending_ids_) seen_ids_.erase(id);
+  }
   pending_ids_.clear();
   pending_payloads_.clear();
   return status;
@@ -49,8 +55,17 @@ Status AggregationSession::Handle(ContributionMsg msg) {
     return InvalidArgumentError(
         "contribution dimension does not match session");
   }
+  // First-wins idempotency: a well-formed resend from a participant whose
+  // contribution already landed is acknowledged with OK and not absorbed,
+  // so a client retrying after a lost ack can never double-count itself.
+  if (seen_ids_.count(msg.participant_id) != 0) {
+    ++duplicate_frames_;
+    return OkStatus();
+  }
   if (tile_rows_ <= 1) {
-    return stream_->Absorb(msg.participant_id, msg.payload);
+    SMM_RETURN_IF_ERROR(stream_->Absorb(msg.participant_id, msg.payload));
+    seen_ids_.insert(msg.participant_id);
+    return OkStatus();
   }
   // Tile mode: buffer up to tile_rows contributions (O(tile_rows·d)
   // pending), then fold them in with one sharded AbsorbTile fork/join
@@ -58,6 +73,7 @@ Status AggregationSession::Handle(ContributionMsg msg) {
   // modular addition commutes exactly.
   pending_ids_.push_back(msg.participant_id);
   pending_payloads_.push_back(std::move(msg.payload));
+  seen_ids_.insert(msg.participant_id);
   if (pending_ids_.size() >= tile_rows_) return FlushPendingTile();
   return OkStatus();
 }
@@ -101,11 +117,17 @@ Status AggregationSession::DrainTransport(FrameTransport& transport) {
   while (auto frame = transport.Receive()) {
     SMM_RETURN_IF_ERROR(HandleFrame(*frame));
   }
-  return OkStatus();
+  // "Drained" can mean "broken": a socket backend reports nullopt when a
+  // hard error ends the stream, and then the drain must not look clean.
+  return transport.receive_status();
 }
 
 StatusOr<SumMsg> AggregationSession::Finalize() {
   SMM_RETURN_IF_ERROR(FlushPendingTile());
+  if (contributions() < min_contributions_) {
+    return FailedPreconditionError(
+        "round below quorum: fewer contributions than min_contributions");
+  }
   SumMsg msg;
   msg.modulus = modulus_;
   msg.num_contributors = static_cast<uint32_t>(stream_->absorbed());

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "common/parallel.h"
@@ -27,10 +28,13 @@ namespace smm::secagg {
 ///     -> Finalize() -> SumMsg
 ///
 /// Frame handling is status-only: a truncated, corrupt, oversized, or
-/// protocol-violating frame (wrong modulus, wrong dimension, duplicate
-/// participant under the masked protocol) is rejected with a Status, the
-/// running sum is left untouched, and the session keeps serving subsequent
-/// frames — malformed input can never crash the server loop. (With
+/// protocol-violating frame (wrong modulus, wrong dimension) is rejected
+/// with a Status, the running sum is left untouched, and the session keeps
+/// serving subsequent frames — malformed input can never crash the server
+/// loop. A duplicate contribution from an already-accepted participant is
+/// NOT an error: the session acknowledges it with OK and keeps the first
+/// absorption (first-wins idempotency), so a client that retries after a
+/// lost ack is harmless; duplicates are tallied in duplicate_frames(). (With
 /// Options::tile_rows > 1, stream-level rejections surface at the tile
 /// flush instead of the offending frame; see Options.) SharesMsg
 /// frames are tallied and acknowledged (the simulated aggregator already
@@ -73,6 +77,11 @@ class AggregationSession {
     /// are rejected — an unsharded session never silently absorbs a slice
     /// of a vector as if it were whole.
     std::optional<ShardSpec> expected_shard;
+    /// Quorum: the fewest accepted contributions Finalize will publish a
+    /// sum from. Below it, Finalize fails with kFailedPrecondition and the
+    /// session stays open so more contributions can still land. 0 (the
+    /// default) disables the check.
+    size_t min_contributions = 0;
   };
 
   /// Opens a session over `aggregator` (requires dim >= 1, modulus >= 2).
@@ -97,12 +106,17 @@ class AggregationSession {
   /// Drains `transport` until Receive reports it drained, handling each
   /// frame in the transport's order. Stops at (and returns) the first
   /// frame error, leaving the remaining frames queued so the caller can
-  /// decide whether to keep draining.
+  /// decide whether to keep draining. After a clean drain, returns the
+  /// transport's receive_status() so a channel that broke mid-stream
+  /// (frames possibly lost) surfaces as kDataLoss rather than success.
   Status DrainTransport(FrameTransport& transport);
 
   /// Completes the round: runs the stream's deferred work (e.g. Shamir
   /// dropout recovery for participants that never contributed) and returns
-  /// the aggregated sum as a ready-to-frame SumMsg. The session is consumed.
+  /// the aggregated sum as a ready-to-frame SumMsg. Fails with
+  /// kFailedPrecondition — leaving the session open — when fewer than
+  /// Options::min_contributions contributions were accepted. On success the
+  /// session is consumed.
   StatusOr<SumMsg> Finalize();
 
   /// Contributions accepted so far (absorbed plus any buffered in the
@@ -114,6 +128,9 @@ class AggregationSession {
   size_t shares_received() const { return shares_received_; }
   /// Frames rejected so far (parse failures and protocol violations).
   size_t rejected_frames() const { return rejected_frames_; }
+  /// Valid contributions acknowledged-but-not-absorbed because their
+  /// participant already contributed (retry resends after a lost ack).
+  size_t duplicate_frames() const { return duplicate_frames_; }
 
   size_t dim() const { return dim_; }
   uint64_t modulus() const { return modulus_; }
@@ -125,7 +142,8 @@ class AggregationSession {
         dim_(options.dim),
         modulus_(options.modulus),
         tile_rows_(options.tile_rows < 1 ? 1 : options.tile_rows),
-        expected_shard_(options.expected_shard) {}
+        expected_shard_(options.expected_shard),
+        min_contributions_(options.min_contributions) {}
 
   Status Handle(ContributionMsg msg);
   /// Absorbs the pending tile through one sharded AbsorbTile. On error the
@@ -138,10 +156,17 @@ class AggregationSession {
   uint64_t modulus_;
   size_t tile_rows_;
   std::optional<ShardSpec> expected_shard_;
+  size_t min_contributions_;
   std::vector<int> pending_ids_;
   std::vector<std::vector<uint64_t>> pending_payloads_;
+  /// Participants whose contribution was accepted (absorbed or buffered in
+  /// the pending tile) — the first-wins dedup set behind duplicate_frames().
+  /// A tile the flush rejects removes its ids again, so a participant whose
+  /// contribution was dropped with a bad tile can retry.
+  std::unordered_set<int> seen_ids_;
   size_t shares_received_ = 0;
   size_t rejected_frames_ = 0;
+  size_t duplicate_frames_ = 0;
 };
 
 }  // namespace smm::secagg

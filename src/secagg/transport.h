@@ -199,6 +199,13 @@ class FrameTransport {
   /// Declares that no further Send will follow (any backend buffering or
   /// in-flight bytes must still be delivered by Receive). Default: no-op.
   virtual Status FinishSending() { return OkStatus(); }
+
+  /// Why Receive last reported drained. OK means genuinely drained (every
+  /// sent frame was delivered); an error (kDataLoss) means the channel
+  /// itself broke and undelivered frames may have been lost — callers that
+  /// need exactly-once delivery must check this after a drain. Backends
+  /// that cannot lose frames (the in-memory queue) keep the OK default.
+  virtual Status receive_status() const { return OkStatus(); }
 };
 
 /// A loopback FrameTransport with per-client FIFO queues: clients enqueue

@@ -1,0 +1,215 @@
+// FaultInjectingTransport: seeded per-frame faults over the in-memory
+// loopback. The schedule is deterministic per seed; drop/duplicate/
+// reorder/truncate/corrupt each behave per contract; and the faults the
+// aggregation layer is built to absorb (duplicate, reorder) leave an
+// AggregationSession's sum bit-identical to the clean run.
+#include "secagg/fault_injection.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "secagg/secure_aggregator.h"
+#include "secagg/session.h"
+#include "secagg/transport.h"
+
+namespace smm::secagg {
+namespace {
+
+std::vector<uint8_t> Frame(int participant, uint64_t m,
+                           const std::vector<uint64_t>& payload) {
+  ContributionMsg msg;
+  msg.participant_id = participant;
+  msg.modulus = m;
+  msg.payload = payload;
+  auto frame = EncodeFrame(msg);
+  EXPECT_TRUE(frame.ok());
+  return *frame;
+}
+
+std::vector<std::vector<uint8_t>> DrainAll(FrameTransport& transport) {
+  std::vector<std::vector<uint8_t>> frames;
+  while (auto frame = transport.Receive()) frames.push_back(std::move(*frame));
+  return frames;
+}
+
+TEST(FaultInjectionTest, ZeroScheduleIsTransparent) {
+  InMemoryTransport inner;
+  FaultInjectingTransport chaotic(inner, FaultSchedule{});
+  const uint64_t m = 1 << 16;
+  std::vector<std::vector<uint8_t>> sent;
+  for (int p = 0; p < 5; ++p) {
+    sent.push_back(Frame(p, m, {uint64_t(p), uint64_t(p + 1)}));
+    ASSERT_TRUE(chaotic.Send(p, sent.back()).ok());
+  }
+  ASSERT_TRUE(chaotic.FinishSending().ok());
+  EXPECT_EQ(chaotic.pending(), 5u);
+  EXPECT_EQ(DrainAll(chaotic), sent);
+  const FaultStats stats = chaotic.stats();
+  EXPECT_EQ(stats.frames_sent, 5u);
+  EXPECT_EQ(stats.dropped + stats.duplicated + stats.reordered +
+                stats.truncated + stats.corrupted,
+            0u);
+  EXPECT_TRUE(chaotic.receive_status().ok());
+}
+
+TEST(FaultInjectionTest, DropOneSwallowsEveryFrame) {
+  InMemoryTransport inner;
+  FaultSchedule schedule;
+  schedule.drop = 1.0;
+  FaultInjectingTransport chaotic(inner, schedule);
+  for (int p = 0; p < 4; ++p) {
+    ASSERT_TRUE(chaotic.Send(p, Frame(p, 1 << 16, {1})).ok());
+  }
+  ASSERT_TRUE(chaotic.FinishSending().ok());
+  EXPECT_EQ(chaotic.pending(), 0u);
+  EXPECT_EQ(chaotic.stats().dropped, 4u);
+}
+
+TEST(FaultInjectionTest, DuplicateOneDeliversEveryFrameTwice) {
+  InMemoryTransport inner;
+  FaultSchedule schedule;
+  schedule.duplicate = 1.0;
+  FaultInjectingTransport chaotic(inner, schedule);
+  const auto f0 = Frame(0, 1 << 16, {7});
+  const auto f1 = Frame(1, 1 << 16, {9});
+  ASSERT_TRUE(chaotic.Send(0, f0).ok());
+  ASSERT_TRUE(chaotic.Send(1, f1).ok());
+  ASSERT_TRUE(chaotic.FinishSending().ok());
+  const auto frames = DrainAll(chaotic);
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(chaotic.stats().duplicated, 2u);
+}
+
+TEST(FaultInjectionTest, ReorderSwapsAdjacentFramesAndFlushOnFinish) {
+  InMemoryTransport inner;
+  FaultSchedule schedule;
+  schedule.reorder = 1.0;
+  FaultInjectingTransport chaotic(inner, schedule);
+  const uint64_t m = 1 << 16;
+  // Same client id, so the in-memory FIFO preserves the decorator's
+  // delivery order exactly.
+  std::vector<std::vector<uint8_t>> sent;
+  for (int i = 0; i < 3; ++i) {
+    sent.push_back(Frame(i, m, {uint64_t(10 + i)}));
+    ASSERT_TRUE(chaotic.Send(0, sent.back()).ok());
+  }
+  // Every frame stashes: frame0 held, frame1 stashes and releases frame0,
+  // frame2 stashes and releases frame1; FinishSending flushes frame2 —
+  // every frame delivered exactly once.
+  ASSERT_TRUE(chaotic.FinishSending().ok());
+  const auto frames = DrainAll(chaotic);
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], sent[0]);
+  EXPECT_EQ(frames[1], sent[1]);
+  EXPECT_EQ(frames[2], sent[2]);
+  EXPECT_EQ(chaotic.stats().reordered, 3u);
+}
+
+TEST(FaultInjectionTest, TruncatedAndCorruptFramesAreRejectedDownstream) {
+  for (const bool truncate : {true, false}) {
+    InMemoryTransport inner;
+    FaultSchedule schedule;
+    if (truncate) {
+      schedule.truncate = 1.0;
+    } else {
+      schedule.corrupt = 1.0;
+    }
+    schedule.seed = 5;
+    FaultInjectingTransport chaotic(inner, schedule);
+    ASSERT_TRUE(chaotic.Send(0, Frame(0, 1 << 16, {1, 2, 3})).ok());
+    ASSERT_TRUE(chaotic.FinishSending().ok());
+    const auto frames = DrainAll(chaotic);
+    ASSERT_EQ(frames.size(), 1u);
+    // The damaged frame is delivered (the in-memory backend keeps the
+    // boundary) and rejected by the parser, never absorbed silently.
+    EXPECT_FALSE(DecodeFrame(frames[0]).ok()) << "truncate=" << truncate;
+    if (truncate) {
+      EXPECT_EQ(chaotic.stats().truncated, 1u);
+    } else {
+      EXPECT_EQ(chaotic.stats().corrupted, 1u);
+    }
+  }
+}
+
+TEST(FaultInjectionTest, ScheduleIsDeterministicPerSeed) {
+  const uint64_t m = 1 << 16;
+  const auto run = [&](uint64_t seed) {
+    InMemoryTransport inner;
+    FaultSchedule schedule;
+    schedule.drop = 0.3;
+    schedule.duplicate = 0.3;
+    schedule.reorder = 0.2;
+    schedule.seed = seed;
+    FaultInjectingTransport chaotic(inner, schedule);
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_TRUE(chaotic.Send(0, Frame(i, m, {uint64_t(i)})).ok());
+    }
+    EXPECT_TRUE(chaotic.FinishSending().ok());
+    return DrainAll(chaotic);
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(FaultInjectionTest, DuplicateAndReorderChaosKeepsSessionSumBitIdentical) {
+  const uint64_t m = 18446744073709551557ULL;  // 2^64 - 59: wrap-prone.
+  const int kParticipants = 24;
+  const size_t dim = 8;
+  std::vector<std::vector<uint64_t>> inputs(kParticipants,
+                                            std::vector<uint64_t>(dim));
+  for (int p = 0; p < kParticipants; ++p) {
+    for (size_t j = 0; j < dim; ++j) {
+      inputs[static_cast<size_t>(p)][j] =
+          m - 1 - static_cast<uint64_t>(p) * 31 - j;
+    }
+  }
+
+  // Clean reference round.
+  IdealAggregator clean_aggregator;
+  AggregationSession::Options options;
+  options.dim = dim;
+  options.modulus = m;
+  auto clean = AggregationSession::Open(clean_aggregator, options);
+  ASSERT_TRUE(clean.ok());
+  for (int p = 0; p < kParticipants; ++p) {
+    ASSERT_TRUE(
+        (*clean)
+            ->HandleFrame(Frame(p, m, inputs[static_cast<size_t>(p)]))
+            .ok());
+  }
+  auto reference = (*clean)->Finalize();
+  ASSERT_TRUE(reference.ok());
+
+  // Chaos round: duplicates and reorders only — exactly the faults
+  // first-wins dedup and commutative modular addition absorb.
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    IdealAggregator aggregator;
+    auto session = AggregationSession::Open(aggregator, options);
+    ASSERT_TRUE(session.ok());
+    InMemoryTransport inner;
+    FaultSchedule schedule;
+    schedule.duplicate = 0.4;
+    schedule.reorder = 0.3;
+    schedule.seed = seed;
+    FaultInjectingTransport chaotic(inner, schedule);
+    for (int p = 0; p < kParticipants; ++p) {
+      ASSERT_TRUE(
+          chaotic.Send(p, Frame(p, m, inputs[static_cast<size_t>(p)])).ok());
+    }
+    ASSERT_TRUE(chaotic.FinishSending().ok());
+    ASSERT_TRUE((*session)->DrainTransport(chaotic).ok());
+    EXPECT_EQ((*session)->duplicate_frames(), chaotic.stats().duplicated)
+        << "seed=" << seed;
+    EXPECT_EQ((*session)->contributions(),
+              static_cast<size_t>(kParticipants));
+    auto sum = (*session)->Finalize();
+    ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+    EXPECT_EQ(sum->sum, reference->sum) << "seed=" << seed;
+    EXPECT_EQ(sum->num_contributors, reference->num_contributors);
+  }
+}
+
+}  // namespace
+}  // namespace smm::secagg

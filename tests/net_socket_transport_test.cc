@@ -296,6 +296,31 @@ TEST(SocketTransportTest, EofMidFrameCountsAsDrop) {
   fd->reset();
   EXPECT_FALSE((*transport)->Receive().has_value());
   EXPECT_EQ((*transport)->dropped_connections(), 1u);
+  // The drained nullopt above must not read as "every frame delivered":
+  // the hard loss is latched as kDataLoss for the session to check.
+  EXPECT_EQ((*transport)->receive_status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SocketTransportTest, ReceiveStatusStaysOkOnCleanStreams) {
+  if (!NetSupported()) GTEST_SKIP() << "no socket backend on this platform";
+  ContributionMsg msg;
+  msg.modulus = 257;
+  msg.payload = {5, 6};
+  msg.participant_id = 0;
+  auto frame = EncodeFrame(msg);
+  ASSERT_TRUE(frame.ok());
+  auto transport = SocketTransport::Listen();
+  ASSERT_TRUE(transport.ok());
+  auto fd = ConnectLoopback((*transport)->port());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(SendAll(fd->get(), ByteSpan(frame->data(), frame->size())).ok());
+  fd->reset();  // Clean EOF on a frame boundary: no loss.
+  auto received = (*transport)->Receive();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(*received, *frame);
+  EXPECT_FALSE((*transport)->Receive().has_value());
+  EXPECT_TRUE((*transport)->receive_status().ok());
+  EXPECT_EQ((*transport)->dropped_connections(), 0u);
 }
 
 TEST(SocketTransportTest, SendValidatesAndFinishSendingLatches) {

@@ -1,0 +1,269 @@
+// Client retry/backoff against the aggregation server: a participant that
+// dies mid-frame and resends through RunContributionRound lands exactly
+// once — the broadcast sum stays byte-identical to the clean round and the
+// contributor accounting is exact — at every tested event-loop count. Plus
+// unit coverage for the deterministic backoff schedule and the retryable
+// status set.
+#include "net/retry.h"
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/span.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket_util.h"
+#include "secagg/secure_aggregator.h"
+#include "secagg/session.h"
+#include "secagg/transport.h"
+
+namespace smm::net {
+namespace {
+
+using secagg::AggregationSession;
+using secagg::ContributionMsg;
+using secagg::EncodeFrame;
+using secagg::IdealAggregator;
+
+std::vector<uint8_t> Frame(int participant, uint64_t m,
+                           const std::vector<uint64_t>& payload) {
+  ContributionMsg msg;
+  msg.participant_id = participant;
+  msg.modulus = m;
+  msg.payload = payload;
+  auto frame = EncodeFrame(msg);
+  EXPECT_TRUE(frame.ok());
+  return *frame;
+}
+
+void SpinUntil(const std::function<bool()>& done) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!done()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "timed out";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(RetryPolicyTest, RetryableStatusSet) {
+  EXPECT_TRUE(IsRetryableStatus(UnavailableError("connect refused")));
+  EXPECT_TRUE(IsRetryableStatus(DataLossError("channel broke")));
+  // The round is over: retrying within it cannot succeed.
+  EXPECT_FALSE(IsRetryableStatus(DeadlineExceededError("round expired")));
+  EXPECT_FALSE(IsRetryableStatus(InvalidArgumentError("bad frame")));
+  EXPECT_FALSE(IsRetryableStatus(OkStatus()));
+}
+
+TEST(RetryPolicyTest, BackoffScheduleIsDeterministicCappedAndBounded) {
+  const auto schedule_for = [](uint64_t seed) {
+    RetryPolicy policy;
+    policy.max_attempts = 6;
+    policy.initial_backoff_ms = 10;
+    policy.max_backoff_ms = 50;
+    policy.multiplier = 2.0;
+    policy.jitter = 0.2;
+    policy.seed = seed;
+    std::vector<int64_t> sleeps;
+    policy.sleep_fn = [&sleeps](int64_t ms) { sleeps.push_back(ms); };
+    RetryState state(policy);
+    while (state.BackoffAndRetry()) {
+    }
+    EXPECT_EQ(state.attempts(), 6);
+    return sleeps;
+  };
+  const std::vector<int64_t> sleeps = schedule_for(9);
+  ASSERT_EQ(sleeps.size(), 5u);  // max_attempts - 1 retries actually sleep.
+  // Exponential growth with +/- 20% jitter, capped at max_backoff_ms.
+  const int64_t nominal[] = {10, 20, 40, 50, 50};
+  for (size_t i = 0; i < 5; ++i) {
+    const int64_t jitter = nominal[i] / 5;
+    EXPECT_GE(sleeps[i], nominal[i] - jitter) << i;
+    EXPECT_LE(sleeps[i], nominal[i] + jitter) << i;
+  }
+  EXPECT_EQ(schedule_for(9), sleeps);      // Same seed, same schedule.
+  EXPECT_NE(schedule_for(10), sleeps);     // Seed moves the jitter.
+}
+
+TEST(RetryPolicyTest, SingleAttemptPolicyNeverRetries) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  policy.sleep_fn = [](int64_t) { FAIL() << "must not sleep"; };
+  RetryState state(policy);
+  EXPECT_FALSE(state.BackoffAndRetry());
+  EXPECT_EQ(state.attempts(), 1);
+}
+
+/// The heart of the robustness contract: participant 0 connects, writes
+/// half of its frame, and dies; its retry resends the whole frame on a
+/// fresh connection. The session must absorb it exactly once and the
+/// broadcast must be byte-identical to the clean in-process round — at
+/// every event-loop count, so the timer/teardown machinery is exercised
+/// under real loop concurrency.
+TEST(RetryIdempotencyTest, ResendAfterMidFrameDisconnectLandsExactlyOnce) {
+  if (!NetSupported()) GTEST_SKIP() << "no socket backend on this platform";
+  const uint64_t m = 18446744073709551557ULL;  // 2^64 - 59: wrap-prone.
+  const int kParticipants = 6;
+  const size_t dim = 32;
+  std::vector<std::vector<uint64_t>> inputs(kParticipants,
+                                            std::vector<uint64_t>(dim));
+  for (int p = 0; p < kParticipants; ++p) {
+    for (size_t j = 0; j < dim; ++j) {
+      inputs[static_cast<size_t>(p)][j] =
+          m - 1 - static_cast<uint64_t>(p) * 131 - j * 7;
+    }
+  }
+
+  // Clean in-process reference.
+  IdealAggregator reference_aggregator;
+  AggregationSession::Options session_options;
+  session_options.dim = dim;
+  session_options.modulus = m;
+  auto reference_session =
+      AggregationSession::Open(reference_aggregator, session_options);
+  ASSERT_TRUE(reference_session.ok());
+  for (int p = 0; p < kParticipants; ++p) {
+    ASSERT_TRUE((*reference_session)
+                    ->HandleFrame(Frame(p, m, inputs[static_cast<size_t>(p)]))
+                    .ok());
+  }
+  auto reference = (*reference_session)->Finalize();
+  ASSERT_TRUE(reference.ok());
+
+  for (const int loops : {1, 2, 8}) {
+    IdealAggregator aggregator;
+    AggregationServer::Options options;
+    options.event_loop_threads = loops;
+    auto server = AggregationServer::Start(options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+    AggregationServer::SessionOptions open_options;
+    open_options.session.dim = dim;
+    open_options.session.modulus = m;
+    open_options.expected_contributions = kParticipants;
+    auto info = (*server)->OpenSession(aggregator, open_options);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+
+    // Participant 0 dies mid-frame: half the frame, then a hard close.
+    const std::vector<uint8_t> frame0 =
+        Frame(0, m, inputs[0]);
+    {
+      auto fd = ConnectLoopback(info->port);
+      ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+      ASSERT_TRUE(
+          SendAll(fd->get(), ByteSpan(frame0.data(), frame0.size() / 2))
+              .ok());
+    }  // UniqueFd closes here — EOF mid-frame on the server.
+
+    // The other participants contribute normally and stay connected.
+    std::vector<BlockingClient> clients;
+    for (int p = 1; p < kParticipants; ++p) {
+      auto client = BlockingClient::Connect(info->port);
+      ASSERT_TRUE(client.ok()) << client.status().ToString();
+      ASSERT_TRUE(
+          client->SendFrame(Frame(p, m, inputs[static_cast<size_t>(p)])).ok());
+      ASSERT_TRUE(client->FinishSending().ok());
+      clients.push_back(std::move(*client));
+    }
+
+    // Participant 0's retry: reconnect-and-resend the whole frame through
+    // the retry runner. One attempt should suffice (the listener is up).
+    RetryPolicy retry;
+    retry.max_attempts = 4;
+    retry.initial_backoff_ms = 1;
+    retry.seed = 77;
+    int attempts = 0;
+    auto retried_sum = RunContributionRound(
+        info->port, frame0, BlockingClient::Options(), retry, &attempts);
+    ASSERT_TRUE(retried_sum.ok()) << retried_sum.status().ToString();
+    EXPECT_EQ(attempts, 1) << "loops=" << loops;
+
+    // Exactly-once accounting: the sum is byte-identical to the clean
+    // round and participant 0 counted exactly once.
+    EXPECT_EQ(retried_sum->sum, reference->sum) << "loops=" << loops;
+    EXPECT_EQ(retried_sum->num_contributors,
+              static_cast<uint32_t>(kParticipants));
+    for (auto& client : clients) {
+      auto sum = client.ReadSum();
+      ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+      EXPECT_EQ(sum->sum, reference->sum);
+      EXPECT_EQ(sum->num_contributors, static_cast<uint32_t>(kParticipants));
+    }
+    // The half-frame EOF is processed asynchronously by its loop; wait for
+    // the drop to land before asserting on it.
+    SpinUntil(
+        [&] { return (*server)->Stats().connections_dropped >= 1; });
+    const ServerStats stats = (*server)->Stats();
+    EXPECT_EQ(stats.connections_dropped, 1u) << "loops=" << loops;
+    EXPECT_EQ(stats.sessions_completed, 1u);
+  }
+}
+
+/// Lost-ack shape: the full frame lands twice on two connections. The
+/// session acks both (first-wins) and absorbs once.
+TEST(RetryIdempotencyTest, FullResendAfterLostAckIsAckedNotDoubleCounted) {
+  if (!NetSupported()) GTEST_SKIP() << "no socket backend on this platform";
+  const uint64_t m = uint64_t{1} << 32;
+  const size_t dim = 4;
+  const std::vector<uint64_t> payload = {10, 20, 30, 40};
+
+  IdealAggregator aggregator;
+  auto server = AggregationServer::Start();
+  ASSERT_TRUE(server.ok());
+  AggregationServer::SessionOptions open_options;
+  open_options.session.dim = dim;
+  open_options.session.modulus = m;
+  open_options.expected_contributions = 2;
+  auto info = (*server)->OpenSession(aggregator, open_options);
+  ASSERT_TRUE(info.ok());
+
+  const std::vector<uint8_t> frame0 = Frame(0, m, payload);
+  // First send: full frame, but the client gives up before the broadcast
+  // (its ack — the sum — is "lost").
+  {
+    auto client = BlockingClient::Connect(info->port);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->SendFrame(frame0).ok());
+    ASSERT_TRUE(client->FinishSending().ok());
+  }
+  auto other = BlockingClient::Connect(info->port);
+  ASSERT_TRUE(other.ok());
+
+  // The resend blocks for the broadcast, so it runs on its own thread; the
+  // round completes only after participant 1 contributes below.
+  StatusOr<secagg::SumMsg> resent = InternalError("not run");
+  int attempts = 0;
+  std::thread resender([&] {
+    RetryPolicy retry;
+    retry.max_attempts = 3;
+    retry.initial_backoff_ms = 1;
+    resent = RunContributionRound(info->port, frame0,
+                                  BlockingClient::Options(), retry,
+                                  &attempts);
+  });
+  // Wait until the duplicate has been acked (frame0 + its resend are both
+  // delivered frames) before completing the round — that pins the order
+  // this test is about: duplicate first, finalize after.
+  SpinUntil([&] { return (*server)->Stats().frames_delivered >= 2; });
+
+  ASSERT_TRUE(other->SendFrame(Frame(1, m, payload)).ok());
+  ASSERT_TRUE(other->FinishSending().ok());
+  auto sum = other->ReadSum();
+  resender.join();
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  // Participant 0 counted once: 2 contributors, sum = 2x payload mod m.
+  EXPECT_EQ(sum->num_contributors, 2u);
+  for (size_t j = 0; j < dim; ++j) {
+    EXPECT_EQ(sum->sum[j], (payload[j] * 2) % m);
+  }
+  ASSERT_TRUE(resent.ok()) << resent.status().ToString();
+  EXPECT_EQ(attempts, 1);
+  EXPECT_EQ(resent->sum, sum->sum);
+}
+
+}  // namespace
+}  // namespace smm::net

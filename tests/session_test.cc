@@ -128,11 +128,12 @@ TEST(AggregationSessionTest, TiledSessionsMatchPerFrameSessions) {
   }
 }
 
-TEST(AggregationSessionTest, TiledDuplicateSurfacesAtFlushAndDropsTile) {
-  // In tile mode a duplicate participant is caught by the masked stream's
-  // all-or-nothing tile admission: the error surfaces at the flush, the
-  // whole pending tile is dropped (counted as rejected), and the session
-  // keeps serving.
+TEST(AggregationSessionTest, TiledBadTileDroppedAndItsParticipantsCanRetry) {
+  // In tile mode a bad contribution (out-of-range participant) is caught by
+  // the masked stream's all-or-nothing tile admission: the error surfaces
+  // at the flush, the whole pending tile is dropped (counted as rejected),
+  // and — because the dropped contributions never landed — the same
+  // participants may retry and are NOT swallowed as duplicates.
   MaskedAggregator::Options options;
   options.num_participants = 4;
   options.threshold = 1;
@@ -155,19 +156,30 @@ TEST(AggregationSessionTest, TiledDuplicateSurfacesAtFlushAndDropsTile) {
     return EncodeFrame(msg).value();
   };
   ASSERT_TRUE((*session)->HandleFrame(frame_for(0)).ok());
-  ASSERT_TRUE((*session)->HandleFrame(frame_for(0)).ok());  // Buffered dup.
-  EXPECT_EQ((*session)->contributions(), 2u);
-  // The third frame fills the tile; the flush rejects it wholesale.
+  // A buffered resend is acked first-wins, never double-buffered.
+  ASSERT_TRUE((*session)->HandleFrame(frame_for(0)).ok());
+  EXPECT_EQ((*session)->contributions(), 1u);
+  EXPECT_EQ((*session)->duplicate_frames(), 1u);
+  // Participant 7 is out of range for the 4-party round; the frame itself
+  // is well-formed so it buffers, and the flush rejects the tile wholesale.
+  ContributionMsg bad;
+  bad.participant_id = 7;
+  bad.modulus = m;
+  bad.payload = {9, 9};
+  ASSERT_TRUE((*session)->HandleFrame(*EncodeFrame(bad)).ok());
   EXPECT_FALSE((*session)->HandleFrame(frame_for(1)).ok());
   EXPECT_EQ((*session)->rejected_frames(), 3u);
   EXPECT_EQ((*session)->contributions(), 0u);
-  // Still serving: a clean tile lands and finalizes (others dropped out).
+  // Still serving, and the dropped participants retry successfully: their
+  // ids were erased with the tile, so the retries land as fresh frames.
+  ASSERT_TRUE((*session)->HandleFrame(frame_for(0)).ok());
+  ASSERT_TRUE((*session)->HandleFrame(frame_for(1)).ok());
   ASSERT_TRUE((*session)->HandleFrame(frame_for(2)).ok());
   auto sum = (*session)->Finalize();
   ASSERT_TRUE(sum.ok()) << sum.status().ToString();
-  EXPECT_EQ(sum->num_contributors, 1u);
-  // Dropout recovery removed every mask of the lone survivor's pairs.
-  EXPECT_EQ(sum->sum, (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(sum->num_contributors, 3u);
+  // Dropout recovery removed participant 3's leftover masks.
+  EXPECT_EQ(sum->sum, (std::vector<uint64_t>{3, 6}));
 }
 
 TEST(AggregationSessionTest, MaskedMatchesBatchInShuffledArrivalOrder) {
@@ -258,17 +270,18 @@ TEST(AggregationSessionTest, CorruptFramesRejectedWithoutPoisoningSession) {
   EXPECT_EQ((*session)->rejected_frames(), 6u);
   EXPECT_EQ((*session)->contributions(), 0u);
 
-  // The session keeps serving: the good frame still lands, and the sum is
-  // exactly that one contribution.
+  // The session keeps serving: the good frame still lands, a resend of it
+  // is acked first-wins, and the sum is exactly that one contribution.
   ASSERT_TRUE((*session)->HandleFrame(*good).ok());
   ASSERT_TRUE((*session)->HandleFrame(*EncodeFrame(msg)).ok());
+  EXPECT_EQ((*session)->duplicate_frames(), 1u);
   auto sum = (*session)->Finalize();
   ASSERT_TRUE(sum.ok());
-  EXPECT_EQ(sum->sum, (std::vector<uint64_t>{2, 4, 6, 8}));
-  EXPECT_EQ(sum->num_contributors, 2u);
+  EXPECT_EQ(sum->sum, (std::vector<uint64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(sum->num_contributors, 1u);
 }
 
-TEST(AggregationSessionTest, DuplicateMaskedParticipantRejected) {
+TEST(AggregationSessionTest, DuplicateMaskedParticipantAckedFirstWins) {
   MaskedAggregator::Options options;
   options.num_participants = 4;
   options.threshold = 2;
@@ -281,20 +294,30 @@ TEST(AggregationSessionTest, DuplicateMaskedParticipantRejected) {
   session_options.modulus = m;
   auto session = AggregationSession::Open(**aggregator, session_options);
   ASSERT_TRUE(session.ok());
-  ContributionMsg msg;
-  msg.participant_id = 1;
-  msg.modulus = m;
-  auto prepared = (*aggregator)->PrepareContribution(1, {5, 6, 7}, m);
-  ASSERT_TRUE(prepared.ok());
-  msg.payload = *prepared;
-  auto frame = EncodeFrame(msg);
-  ASSERT_TRUE(frame.ok());
-  ASSERT_TRUE((*session)->HandleFrame(*frame).ok());
-  // Replaying the same frame is a double-contribution: status, not UB, and
-  // the first absorption stands.
-  EXPECT_FALSE((*session)->HandleFrame(*frame).ok());
+  auto frame_for = [&](int participant, std::vector<uint64_t> input) {
+    ContributionMsg msg;
+    msg.participant_id = participant;
+    msg.modulus = m;
+    msg.payload =
+        (*aggregator)->PrepareContribution(participant, input, m).value();
+    return EncodeFrame(msg).value();
+  };
+  const auto frame = frame_for(1, {5, 6, 7});
+  ASSERT_TRUE((*session)->HandleFrame(frame).ok());
+  // Replaying the same frame is a retry after a lost ack: acknowledged OK,
+  // counted as a duplicate, and the first absorption stands — exactly-once
+  // accounting regardless of how many times the client resends.
+  EXPECT_TRUE((*session)->HandleFrame(frame).ok());
+  EXPECT_TRUE((*session)->HandleFrame(frame).ok());
   EXPECT_EQ((*session)->contributions(), 1u);
-  EXPECT_EQ((*session)->rejected_frames(), 1u);
+  EXPECT_EQ((*session)->rejected_frames(), 0u);
+  EXPECT_EQ((*session)->duplicate_frames(), 2u);
+  // The sum is the two distinct contributions, counted exactly once each.
+  ASSERT_TRUE((*session)->HandleFrame(frame_for(2, {1, 2, 3})).ok());
+  auto sum = (*session)->Finalize();
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  EXPECT_EQ(sum->num_contributors, 2u);
+  EXPECT_EQ(sum->sum, (std::vector<uint64_t>{6, 8, 10}));
 }
 
 TEST(AggregationSessionTest, SharesFramesAcknowledged) {
@@ -357,6 +380,34 @@ TEST(AggregationSessionTest, DrainAcceptsConcreteTransportViaInterface) {
   ASSERT_TRUE(transport.Send(0, *EncodeFrame(msg)).ok());
   EXPECT_TRUE((*session)->DrainTransport(transport).ok());
   EXPECT_EQ((*session)->contributions(), 1u);
+}
+
+TEST(AggregationSessionTest, FinalizeBelowQuorumFailsAndSessionStaysOpen) {
+  IdealAggregator aggregator;
+  AggregationSession::Options options;
+  options.dim = 2;
+  options.modulus = 64;
+  options.min_contributions = 2;
+  auto session = AggregationSession::Open(aggregator, options);
+  ASSERT_TRUE(session.ok());
+  ContributionMsg msg;
+  msg.modulus = 64;
+  msg.payload = {1, 2};
+  msg.participant_id = 0;
+  ASSERT_TRUE((*session)->HandleFrame(*EncodeFrame(msg)).ok());
+  // One of two required contributions: Finalize refuses, without consuming
+  // the session.
+  auto under = (*session)->Finalize();
+  ASSERT_FALSE(under.ok());
+  EXPECT_EQ(under.status().code(), StatusCode::kFailedPrecondition);
+  // The quorum-filling contribution still lands and the round completes.
+  msg.participant_id = 1;
+  msg.payload = {10, 20};
+  ASSERT_TRUE((*session)->HandleFrame(*EncodeFrame(msg)).ok());
+  auto sum = (*session)->Finalize();
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  EXPECT_EQ(sum->num_contributors, 2u);
+  EXPECT_EQ(sum->sum, (std::vector<uint64_t>{11, 22}));
 }
 
 }  // namespace

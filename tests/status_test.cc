@@ -29,6 +29,10 @@ TEST(StatusTest, AllErrorFactoriesProduceDistinctCodes) {
   EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
   EXPECT_EQ(DataLossError("x").ToString(), "DataLoss: x");
+  EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(DeadlineExceededError("x").ToString(), "DeadlineExceeded: x");
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(UnavailableError("x").ToString(), "Unavailable: x");
 }
 
 TEST(StatusOrTest, HoldsValue) {

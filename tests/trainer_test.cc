@@ -302,6 +302,68 @@ TEST(FederatedTrainerTest, TrainingIsShardCountInvariant) {
       FederatedTrainer::Create(SmallModel(), task.train, task.test, bad).ok());
 }
 
+TEST(FederatedTrainerTest, FailedRoundsAreSkippedWithinTheFailureBudget) {
+  auto task = SmallTask();
+  FlConfig c = FastConfig(MechanismKind::kNonPrivate);
+  c.max_round_failures = 5;
+  auto trainer =
+      FederatedTrainer::Create(SmallModel(), task.train, task.test, c);
+  ASSERT_TRUE(trainer.ok());
+  // Three rounds lose their aggregation (deadline / transport loss shape).
+  (*trainer)->SetRoundFaultInjectorForTest([](int round) {
+    if (round == 4 || round == 17 || round == 40) {
+      return UnavailableError("injected round loss");
+    }
+    return OkStatus();
+  });
+  auto result = (*trainer)->Train();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->failed_rounds, 3);
+  int failed_records = 0;
+  for (const auto& record : result->history) {
+    if (!record.failed) continue;
+    ++failed_records;
+    EXPECT_TRUE(record.round == 4 || record.round == 17 || record.round == 40)
+        << record.round;
+    EXPECT_EQ(record.test_accuracy, 0.0);  // No metrics for a skipped round.
+  }
+  EXPECT_EQ(failed_records, 3);
+  // 57 of 60 rounds still ran: the model still learns the task.
+  EXPECT_GT(result->final_accuracy, 0.8);
+}
+
+TEST(FederatedTrainerTest, RoundFailurePastTheBudgetFailsTheRun) {
+  auto task = SmallTask();
+  FlConfig c = FastConfig(MechanismKind::kNonPrivate);
+  c.rounds = 10;
+  c.max_round_failures = 2;
+  auto trainer =
+      FederatedTrainer::Create(SmallModel(), task.train, task.test, c);
+  ASSERT_TRUE(trainer.ok());
+  (*trainer)->SetRoundFaultInjectorForTest([](int round) {
+    return round >= 3 ? UnavailableError("injected round loss") : OkStatus();
+  });
+  auto result = (*trainer)->Train();
+  ASSERT_FALSE(result.ok());  // Rounds 3 and 4 skipped; round 5 exceeds.
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FederatedTrainerTest, DefaultBudgetKeepsFailFastBehavior) {
+  auto task = SmallTask();
+  FlConfig c = FastConfig(MechanismKind::kNonPrivate);
+  c.rounds = 10;
+  ASSERT_EQ(c.max_round_failures, 0);
+  auto trainer =
+      FederatedTrainer::Create(SmallModel(), task.train, task.test, c);
+  ASSERT_TRUE(trainer.ok());
+  (*trainer)->SetRoundFaultInjectorForTest([](int round) {
+    return round == 2 ? DataLossError("injected round loss") : OkStatus();
+  });
+  auto result = (*trainer)->Train();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
 TEST(FederatedTrainerTest, MechanismNamesAreStable) {
   EXPECT_STREQ(MechanismKindName(MechanismKind::kSmm), "SMM");
   EXPECT_STREQ(MechanismKindName(MechanismKind::kDdg), "DDG");
